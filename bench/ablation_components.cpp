@@ -1,0 +1,177 @@
+// Component ablations for the design choices DESIGN.md calls out:
+//   1. growth policy: exploitation-only (RigL) vs unstructured exploration
+//      (SET) vs coverage-only (c→∞) vs the balanced DST-EE score;
+//   2. ε sensitivity of the acquisition function;
+//   3. ΔT (update frequency) sweep;
+//   4. ERK vs uniform sparsity distribution;
+//   5. drop-fraction decay schedule (constant / cosine / linear).
+#include "bench_common.hpp"
+#include "data/synthetic_tabular.hpp"
+#include "models/mlp.hpp"
+
+namespace dstee {
+namespace {
+
+struct Variant {
+  std::string group;
+  std::string name;
+  train::ClassificationConfig cfg;
+  train::MeanStd acc;
+  train::MeanStd exploration;
+};
+
+int run() {
+  const bench::BenchEnv env = bench::BenchEnv::resolve(3);
+  const std::size_t epochs = env.epochs_or(16);
+
+  std::cout << "=== Ablations: DST-EE component and hyperparameter study "
+               "(VGG-19-like, CIFAR-10-like, sparsity 0.95) ===\n"
+            << "(epochs=" << epochs << ", seeds=" << env.seeds << ")\n\n";
+  util::Timer timer;
+
+  auto base_cfg = [&] {
+    train::ClassificationConfig cfg;
+    cfg.method = train::MethodKind::kDstEe;
+    cfg.sparsity = 0.95;
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    cfg.lr = 0.08;
+    cfg.dst = bench::bench_dst_params();
+    return cfg;
+  };
+
+  std::vector<Variant> variants;
+  // 1. growth policy family
+  {
+    auto cfg = base_cfg();
+    cfg.method = train::MethodKind::kRigl;
+    variants.push_back({"growth", "exploitation-only (RigL)", cfg, {}, {}});
+    cfg = base_cfg();
+    cfg.method = train::MethodKind::kSet;
+    variants.push_back({"growth", "random exploration (SET)", cfg, {}, {}});
+    cfg = base_cfg();
+    cfg.dst.c = 1e3;  // bonus dwarfs gradients → coverage-only growth
+    variants.push_back({"growth", "coverage-only (c -> inf)", cfg, {}, {}});
+    cfg = base_cfg();
+    variants.push_back({"growth", "balanced DST-EE", cfg, {}, {}});
+  }
+  // 2. epsilon sensitivity
+  for (const double eps : {1e-3, 1e-1, 1.0}) {
+    auto cfg = base_cfg();
+    cfg.dst.eps = eps;
+    variants.push_back({"epsilon", "eps=" + util::format_sci(eps, 0), cfg,
+                        {}, {}});
+  }
+  // 3. update frequency
+  for (const std::size_t dt : {4, 8, 16, 32}) {
+    auto cfg = base_cfg();
+    cfg.dst.delta_t = dt;
+    variants.push_back({"delta_t", "dT=" + std::to_string(dt), cfg, {}, {}});
+  }
+  // 4. sparsity distribution
+  for (const auto kind :
+       {sparse::DistributionKind::kErk, sparse::DistributionKind::kUniform,
+        sparse::DistributionKind::kEr}) {
+    auto cfg = base_cfg();
+    cfg.distribution = kind;
+    variants.push_back({"distribution", sparse::to_string(kind), cfg, {}, {}});
+  }
+  // 5. drop fraction α₀ (the decay schedule itself is fixed per method in
+  // the registry; sweep the initial fraction instead).
+  for (const double alpha : {0.1, 0.2, 0.4}) {
+    auto cfg = base_cfg();
+    cfg.dst.drop_fraction = alpha;
+    variants.push_back({"drop_fraction", "alpha=" + util::format_fixed(alpha, 1),
+                        cfg, {}, {}});
+  }
+
+  std::vector<std::function<void()>> jobs;
+  for (auto& v : variants) {
+    jobs.emplace_back([&v, &env] {
+      for (std::int64_t seed = 1; seed <= env.seeds; ++seed) {
+        const auto data_cfg = bench::cifar10_like(env, 5);
+        const data::SyntheticImageDataset train_set(
+            data_cfg, data::SyntheticImageDataset::Split::kTrain);
+        const data::SyntheticImageDataset test_set(
+            data_cfg, data::SyntheticImageDataset::Split::kTest);
+        auto cfg = v.cfg;
+        cfg.seed = static_cast<std::uint64_t>(seed) * 37 + 5;
+        util::Rng rng(cfg.seed);
+        models::Vgg model(bench::vgg19_preset(data_cfg, 0.10), rng);
+        const auto result = train::run_classification(model, nullptr,
+                                                      train_set, test_set,
+                                                      cfg);
+        v.acc.add(result.best_test_accuracy);
+        v.exploration.add(result.exploration_rate);
+      }
+    });
+  }
+  bench::run_parallel(jobs);
+
+  util::CsvWriter csv("bench_results/ablation_components.csv",
+                      {"group", "variant", "accuracy_mean", "accuracy_std",
+                       "exploration"});
+  std::string current_group;
+  util::Table table({"Group", "Variant", "Accuracy", "Exploration R"});
+  for (const auto& v : variants) {
+    if (v.group != current_group && !current_group.empty()) {
+      table.add_separator();
+    }
+    current_group = v.group;
+    table.add_row({v.group, v.name, bench::cell(v.acc),
+                   util::format_fixed(v.exploration.mean(), 3)});
+    csv.write_row({v.group, v.name, util::format_fixed(v.acc.mean(), 4),
+                   util::format_fixed(v.acc.stddev(), 4),
+                   util::format_fixed(v.exploration.mean(), 4)});
+  }
+  table.print();
+  csv.flush();
+
+  auto find = [&](const std::string& group,
+                  const std::string& name) -> const Variant& {
+    for (const auto& v : variants) {
+      if (v.group == group && v.name == name) return v;
+    }
+    util::fail("variant not found: " + group + "/" + name);
+  };
+
+  std::cout << "\nShape checks:\n";
+  int holds = 0, total = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    ++total;
+    holds += bench::shape_check(what, ok) ? 1 : 0;
+  };
+  const auto& balanced = find("growth", "balanced DST-EE");
+  check("balanced DST-EE >= exploitation-only (RigL)",
+        balanced.acc.mean() >=
+            find("growth", "exploitation-only (RigL)").acc.mean() - 0.01);
+  check("balanced DST-EE >= random exploration (SET)",
+        balanced.acc.mean() >=
+            find("growth", "random exploration (SET)").acc.mean() - 0.01);
+  check("balanced DST-EE >= coverage-only (c -> inf)",
+        balanced.acc.mean() >=
+            find("growth", "coverage-only (c -> inf)").acc.mean() - 0.01);
+  check("coverage-only explores the most",
+        find("growth", "coverage-only (c -> inf)").exploration.mean() >=
+            balanced.exploration.mean() - 1e-6);
+  check("smaller eps -> more exploration (bonus saturates for N=0)",
+        find("epsilon", "eps=1e-03").exploration.mean() >=
+            find("epsilon", "eps=1e+00").exploration.mean() - 1e-6);
+  check("ERK >= uniform at equal global sparsity (paper's init choice)",
+        find("distribution", "erk").acc.mean() >=
+            find("distribution", "uniform").acc.mean() - 0.01);
+  check("moderate dT beats extreme dT=32 (too few updates)",
+        std::max(find("delta_t", "dT=8").acc.mean(),
+                 find("delta_t", "dT=16").acc.mean()) >=
+            find("delta_t", "dT=32").acc.mean() - 0.01);
+  std::cout << "\n" << holds << "/" << total
+            << " shape checks hold (bench wall time "
+            << util::format_fixed(timer.seconds(), 1) << "s)\n"
+            << "CSV: bench_results/ablation_components.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dstee
+
+int main() { return dstee::run(); }

@@ -1,0 +1,156 @@
+// Figure 3 reproduction: exploration degree (ITOP R) per mask-update round
+// and test accuracy for different trade-off coefficients c, at sparsity
+// 0.95 on both CIFAR-like datasets.
+//
+// Paper's claims: (a) larger c → higher exploration degree at every round;
+// (b) within the swept range, higher exploration degree → higher accuracy.
+#include "bench_common.hpp"
+
+namespace dstee {
+namespace {
+
+struct Sweep {
+  std::string dataset;
+  double c = 0.0;
+  std::vector<double> r_per_round;  // exploration after each update round
+  train::MeanStd acc;
+};
+
+int run() {
+  const bench::BenchEnv env = bench::BenchEnv::resolve(2);
+  const std::size_t epochs = env.epochs_or(16);
+  // Paper: c ∈ {1e-4, 1e-3, 5e-3} on CIFAR-100 and {5e-4, 1e-3, 5e-3} on
+  // CIFAR-10 (sparsity 0.95).
+  const std::vector<double> c10_sweep{5e-4, 1e-3, 5e-3};
+  const std::vector<double> c100_sweep{1e-4, 1e-3, 5e-3};
+
+  std::cout << "=== Figure 3: exploration degree and accuracy vs trade-off "
+               "coefficient c (sparsity 0.95) ===\n"
+            << "(epochs=" << epochs << ", seeds=" << env.seeds << ")\n\n";
+  util::Timer timer;
+
+  std::vector<Sweep> sweeps;
+  for (const double c : c10_sweep) sweeps.push_back({"cifar10", c, {}, {}});
+  for (const double c : c100_sweep) sweeps.push_back({"cifar100", c, {}, {}});
+
+  std::vector<std::function<void()>> jobs;
+  for (auto& sweep : sweeps) {
+    jobs.emplace_back([&sweep, &env, epochs] {
+      for (std::int64_t seed = 1; seed <= env.seeds; ++seed) {
+        const auto data_cfg = sweep.dataset == "cifar10"
+                                  ? bench::cifar10_like(env, 5)
+                                  : bench::cifar100_like(env, 7);
+        const data::SyntheticImageDataset train_set(
+            data_cfg, data::SyntheticImageDataset::Split::kTrain);
+        const data::SyntheticImageDataset test_set(
+            data_cfg, data::SyntheticImageDataset::Split::kTest);
+
+        train::ClassificationConfig cfg;
+        cfg.method = train::MethodKind::kDstEe;
+        cfg.sparsity = 0.95;
+        cfg.epochs = epochs;
+        cfg.batch_size = 32;
+        cfg.lr = 0.08;
+        cfg.dst = bench::bench_dst_params();
+        cfg.dst.c = sweep.c;
+        cfg.seed = static_cast<std::uint64_t>(seed) * 53 + 11;
+
+        util::Rng rng(cfg.seed);
+        models::Vgg model(bench::vgg19_preset(data_cfg, 0.10), rng);
+        const auto result = train::run_classification(model, nullptr,
+                                                      train_set, test_set,
+                                                      cfg);
+        sweep.acc.add(result.best_test_accuracy);
+        if (seed == 1) {
+          sweep.r_per_round.clear();
+          for (const auto& round : result.topology_rounds) {
+            sweep.r_per_round.push_back(round.exploration_rate);
+          }
+        }
+      }
+    });
+  }
+  bench::run_parallel(jobs);
+
+  util::CsvWriter csv("bench_results/fig3_exploration.csv",
+                      {"dataset", "c", "round", "exploration_rate",
+                       "final_accuracy_mean"});
+  for (const std::string ds : {"cifar10", "cifar100"}) {
+    std::cout << "--- " << (ds == "cifar10" ? "CIFAR-10-like"
+                                            : "CIFAR-100-like")
+              << " / sparsity 0.95 ---\n";
+    std::cout << "Exploration degree R per mask-update round:\n";
+    for (const auto& sweep : sweeps) {
+      if (sweep.dataset != ds) continue;
+      std::cout << "  c=" << util::format_sci(sweep.c, 0) << ": ";
+      for (std::size_t r = 0; r < sweep.r_per_round.size(); ++r) {
+        std::cout << util::format_fixed(sweep.r_per_round[r], 3) << " ";
+        csv.write_row({ds, util::format_sci(sweep.c, 1), std::to_string(r + 1),
+                       util::format_fixed(sweep.r_per_round[r], 5),
+                       util::format_fixed(sweep.acc.mean(), 4)});
+      }
+      std::cout << "\n";
+    }
+    util::Table table({"c", "final exploration R", "test accuracy"});
+    for (const auto& sweep : sweeps) {
+      if (sweep.dataset != ds) continue;
+      table.add_row({util::format_sci(sweep.c, 0),
+                     sweep.r_per_round.empty()
+                         ? "-"
+                         : util::format_fixed(sweep.r_per_round.back(), 3),
+                     bench::cell(sweep.acc)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  csv.flush();
+
+  std::cout << "Shape checks (paper's qualitative claims):\n";
+  int holds = 0, total = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    ++total;
+    holds += bench::shape_check(what, ok) ? 1 : 0;
+  };
+  for (const std::string ds : {"cifar10", "cifar100"}) {
+    std::vector<const Sweep*> ordered;
+    for (const auto& sweep : sweeps) {
+      if (sweep.dataset == ds) ordered.push_back(&sweep);
+    }
+    // (a) R is non-decreasing over rounds for every c.
+    for (const auto* sweep : ordered) {
+      bool monotone = true;
+      for (std::size_t r = 1; r < sweep->r_per_round.size(); ++r) {
+        if (sweep->r_per_round[r] < sweep->r_per_round[r - 1] - 1e-9) {
+          monotone = false;
+        }
+      }
+      check(ds + ": R non-decreasing over rounds (c=" +
+                util::format_sci(sweep->c, 0) + ")",
+            monotone);
+    }
+    // (b) larger c → larger final exploration degree.
+    bool r_ordered = true;
+    for (std::size_t i = 1; i < ordered.size(); ++i) {
+      if (ordered[i]->r_per_round.empty() ||
+          ordered[i - 1]->r_per_round.empty() ||
+          ordered[i]->r_per_round.back() <
+              ordered[i - 1]->r_per_round.back() - 1e-6) {
+        r_ordered = false;
+      }
+    }
+    check(ds + ": final R increases with c", r_ordered);
+    // (c) the largest-c run is at least as accurate as the smallest-c run.
+    check(ds + ": accuracy(largest c) >= accuracy(smallest c) - 1%",
+          ordered.back()->acc.mean() >= ordered.front()->acc.mean() - 0.01);
+  }
+  std::cout << "\n" << holds << "/" << total
+            << " shape checks hold (bench wall time "
+            << util::format_fixed(timer.seconds(), 1) << "s)\n"
+            << "CSV: bench_results/fig3_exploration.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dstee
+
+int main() { return dstee::run(); }

@@ -1,0 +1,154 @@
+// Shared harness for the two GNN link-prediction benches (Tables III/IV).
+#pragma once
+
+#include "bench_common.hpp"
+#include "graph/generator.hpp"
+#include "models/gnn.hpp"
+
+namespace dstee::bench {
+
+/// Runs the full Dense / prune-from-dense(ADMM) / DST-EE comparison on one
+/// generated graph and prints the paper-style table + shape checks.
+inline int run_gnn_table(const std::string& table_name,
+                         const std::string& dataset_name,
+                         const graph::PowerLawConfig& graph_cfg,
+                         const std::string& csv_path) {
+  const BenchEnv env = BenchEnv::resolve(2);
+  const std::size_t dst_epochs = env.epochs_or(50);
+  const std::size_t admm_epochs = std::max<std::size_t>(5, dst_epochs * 2 / 5);
+  const std::vector<double> sparsities{0.80, 0.90, 0.98};
+
+  std::cout << "=== " << table_name << ": GNN link prediction on "
+            << dataset_name << "-like graph ===\n"
+            << "(power-law synthetic graph, " << graph_cfg.num_nodes
+            << " nodes; DST-EE " << dst_epochs << " epochs, ADMM 3x"
+            << admm_epochs << " epochs, seeds=" << env.seeds << ")\n\n";
+  util::Timer timer;
+
+  const graph::Graph g = graph::generate_power_law(graph_cfg);
+  const tensor::Tensor features = graph::structural_features(g, 32, 23);
+  const graph::LinkSplit split = graph::split_links(g, 0.2, 29);
+
+  struct Cell {
+    train::LinkMethod method;
+    double sparsity;
+    train::MeanStd acc;
+    train::MeanStd auc;
+  };
+  std::vector<Cell> cells;
+  cells.push_back({train::LinkMethod::kDense, 0.0, {}, {}});
+  for (const double s : sparsities) {
+    cells.push_back({train::LinkMethod::kPruneFromDense, s, {}, {}});
+    cells.push_back({train::LinkMethod::kDstEe, s, {}, {}});
+  }
+
+  std::vector<std::function<void()>> jobs;
+  for (auto& cell : cells) {
+    jobs.emplace_back([&cell, &env, &g, &features, &split, dst_epochs,
+                       admm_epochs] {
+      for (std::int64_t seed = 1; seed <= env.seeds; ++seed) {
+        util::Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
+        models::GnnConfig gcfg;
+        gcfg.in_features = 32;
+        gcfg.hidden = 64;
+        gcfg.embedding = 32;
+        models::GnnLinkPredictor model(g, gcfg, rng);
+        train::LinkConfig cfg;
+        cfg.method = cell.method;
+        cfg.sparsity = cell.sparsity;
+        cfg.epochs = dst_epochs;
+        cfg.admm_epochs_each = admm_epochs;
+        cfg.dst.delta_t = 2;
+        cfg.dst.c = 1e-2;
+        cfg.dst.eps = 0.1;
+        cfg.seed = static_cast<std::uint64_t>(seed) * 131 + 7;
+        const auto result =
+            train::run_link_prediction(model, features, split, cfg);
+        cell.acc.add(result.best_test_accuracy);
+        cell.auc.add(result.best_test_auc);
+      }
+    });
+  }
+  run_parallel(jobs);
+
+  util::CsvWriter csv(csv_path, {"method", "sparsity", "accuracy_mean",
+                                 "accuracy_std", "auc_mean"});
+  auto method_name = [](train::LinkMethod m) -> std::string {
+    switch (m) {
+      case train::LinkMethod::kDense: return "Dense";
+      case train::LinkMethod::kPruneFromDense: return "Prune-from-dense";
+      case train::LinkMethod::kDstEe: return "DST-EE";
+    }
+    return "?";
+  };
+
+  util::Table table({"Method", "80%", "90%", "98%"});
+  {
+    const auto& dense = cells.front();
+    table.add_row({"Dense", cell(dense.acc), cell(dense.acc),
+                   cell(dense.acc)});
+    csv.write_row({"Dense", "0", util::format_fixed(dense.acc.mean(), 4),
+                   util::format_fixed(dense.acc.stddev(), 4),
+                   util::format_fixed(dense.auc.mean(), 4)});
+  }
+  for (const auto method :
+       {train::LinkMethod::kPruneFromDense, train::LinkMethod::kDstEe}) {
+    std::vector<std::string> row{method_name(method)};
+    for (const double s : sparsities) {
+      for (const auto& c : cells) {
+        if (c.method == method && c.sparsity == s) {
+          row.push_back(cell(c.acc));
+          csv.write_row({method_name(method), util::format_fixed(s, 2),
+                         util::format_fixed(c.acc.mean(), 4),
+                         util::format_fixed(c.acc.stddev(), 4),
+                         util::format_fixed(c.auc.mean(), 4)});
+        }
+      }
+    }
+    table.add_row(row);
+  }
+  table.print();
+  csv.flush();
+
+  auto mean_acc = [&](train::LinkMethod m, double s) {
+    for (const auto& c : cells) {
+      if (c.method == m && (m == train::LinkMethod::kDense ||
+                            c.sparsity == s)) {
+        return c.acc.mean();
+      }
+    }
+    util::fail("cell not found");
+  };
+
+  std::cout << "\nShape checks (paper's qualitative claims):\n";
+  int holds = 0, total = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    ++total;
+    holds += shape_check(what, ok) ? 1 : 0;
+  };
+  for (const double s : sparsities) {
+    check("DST-EE >= prune-from-dense @" + util::format_fixed(s, 2) +
+              " (with fewer epochs)",
+          mean_acc(train::LinkMethod::kDstEe, s) >=
+              mean_acc(train::LinkMethod::kPruneFromDense, s) - 0.01);
+  }
+  check("DST-EE @0.80 within 2 points of dense (paper: above dense)",
+        mean_acc(train::LinkMethod::kDstEe, 0.80) >=
+            mean_acc(train::LinkMethod::kDense, 0.0) - 0.02);
+  check("DST-EE degrades gracefully to 98% (no collapse)",
+        mean_acc(train::LinkMethod::kDstEe, 0.98) >= 0.5);
+  const double admm_drop = mean_acc(train::LinkMethod::kPruneFromDense, 0.80) -
+                           mean_acc(train::LinkMethod::kPruneFromDense, 0.98);
+  const double ee_drop = mean_acc(train::LinkMethod::kDstEe, 0.80) -
+                         mean_acc(train::LinkMethod::kDstEe, 0.98);
+  check("prune-from-dense loses more from 80%->98% than DST-EE",
+        admm_drop >= ee_drop - 0.01);
+
+  std::cout << "\n" << holds << "/" << total
+            << " shape checks hold (bench wall time "
+            << util::format_fixed(timer.seconds(), 1) << "s)\n"
+            << "CSV: " << csv_path << "\n";
+  return 0;
+}
+
+}  // namespace dstee::bench

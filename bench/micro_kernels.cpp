@@ -1,0 +1,190 @@
+// google-benchmark microbenchmarks for the kernels on the sparse-training
+// hot path: matmul, im2col convolution, top-k selection, the DST-EE
+// acquisition score, mask application, and a full engine update round.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "methods/drop_policy.hpp"
+#include "methods/dst_engine.hpp"
+#include "methods/grow_policy.hpp"
+#include "models/mlp.hpp"
+#include "nn/conv2d.hpp"
+#include "optim/optimizer.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sparse_model.hpp"
+#include "tensor/init.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/topk.hpp"
+#include "util/rng.hpp"
+
+namespace dstee {
+namespace {
+
+tensor::Tensor random_tensor(tensor::Shape shape, std::uint64_t seed) {
+  tensor::Tensor t(std::move(shape));
+  util::Rng rng(seed);
+  tensor::fill_normal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_tensor(tensor::Shape({n, n}), 1);
+  const auto b = random_tensor(tensor::Shape({n, n}), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_tensor(tensor::Shape({n, n}), 3);
+  const auto b = random_tensor(tensor::Shape({n, n}), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+  }
+}
+BENCHMARK(BM_MatmulNt)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+  const auto x = random_tensor(tensor::Shape({8, 16, 16, 16}), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  util::Rng rng(7);
+  nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+  const auto x = random_tensor(tensor::Shape({8, 16, 16, 16}), 8);
+  const auto y = conv.forward(x);
+  const auto g = random_tensor(y.shape(), 9);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_TopK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto values = random_tensor(tensor::Shape({n}), 10);
+  const std::size_t k = n / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::topk_indices(values, k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopK)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_DstEeScore(benchmark::State& state) {
+  // Scoring one 512x512 layer (the acquisition function itself).
+  util::Rng rng(11);
+  models::MlpConfig cfg;
+  cfg.in_features = 512;
+  cfg.hidden = {};
+  cfg.out_features = 512;
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel smodel(model, 0.9, sparse::DistributionKind::kErk,
+                             rng);
+  auto& layer = smodel.layer(0);
+  tensor::fill_normal(layer.param().grad, rng, 0.0f, 1.0f);
+  methods::DstEeGrow::Config ee;
+  methods::DstEeGrow grow(ee);
+  util::Rng grow_rng(12);
+  for (auto _ : state) {
+    methods::GrowContext ctx{layer, 0, layer.param().grad, 1000, grow_rng};
+    benchmark::DoNotOptimize(grow.scores(ctx));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layer.numel()));
+}
+BENCHMARK(BM_DstEeScore);
+
+void BM_MaskApply(benchmark::State& state) {
+  util::Rng rng(13);
+  const auto mask = sparse::Mask::random(tensor::Shape({1024, 1024}),
+                                         1024 * 102, rng);
+  auto values = random_tensor(tensor::Shape({1024, 1024}), 14);
+  for (auto _ : state) {
+    mask.apply_to(values);
+    benchmark::DoNotOptimize(values.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.numel()));
+}
+BENCHMARK(BM_MaskApply);
+
+// Dense vs CSR matvec across densities — the deployment crossover that
+// makes the paper's inference-FLOPs column real.
+void BM_DenseMatvec(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const auto w = random_tensor(tensor::Shape({n, n}), 21);
+  const auto x = random_tensor(tensor::Shape({1, n}), 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_nt(x, w));
+  }
+}
+BENCHMARK(BM_DenseMatvec);
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  auto w = random_tensor(tensor::Shape({n, n}), 23);
+  util::Rng rng(24);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(density)) w[i] = 0.0f;
+  }
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto x = random_tensor(tensor::Shape({n}), 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr.matvec(x));
+  }
+  state.counters["density"] = csr.density();
+}
+BENCHMARK(BM_CsrMatvec)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_EngineUpdateRound(benchmark::State& state) {
+  util::Rng rng(15);
+  models::MlpConfig cfg;
+  cfg.in_features = 256;
+  cfg.hidden = {512, 512};
+  cfg.out_features = 64;
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel smodel(model, 0.9, sparse::DistributionKind::kErk,
+                             rng);
+  optim::Sgd::Config sgd_cfg;
+  optim::Sgd optimizer(model.parameters(), sgd_cfg);
+  methods::DstEngineConfig engine_cfg;
+  engine_cfg.schedule.delta_t = 1;
+  engine_cfg.schedule.total_iterations = 1u << 30;
+  engine_cfg.schedule.stop_fraction = 1.0;
+  engine_cfg.schedule.initial_drop_fraction = 0.3;
+  engine_cfg.drop = std::make_unique<methods::MagnitudeDrop>();
+  methods::DstEeGrow::Config ee;
+  engine_cfg.grow = std::make_unique<methods::DstEeGrow>(ee);
+  methods::DstEngine engine(smodel, optimizer, std::move(engine_cfg),
+                            rng.fork("engine"));
+  for (auto& layer : smodel.layers()) {
+    tensor::fill_normal(layer.param().grad, rng, 0.0f, 1.0f);
+  }
+  std::size_t iteration = 1;
+  for (auto _ : state) {
+    engine.force_update(iteration++, 0.1);
+  }
+}
+BENCHMARK(BM_EngineUpdateRound);
+
+}  // namespace
+}  // namespace dstee
+
+BENCHMARK_MAIN();

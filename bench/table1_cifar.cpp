@@ -1,0 +1,284 @@
+// Table I reproduction: test accuracy of sparse VGG-19 and ResNet-50 on
+// CIFAR-10-like / CIFAR-100-like data at sparsity {90, 95, 98}% for every
+// method row in the paper (pruning-at-init, dense-to-sparse, DST), plus the
+// paper's 250-epoch DST-EE row (here: 1.5× the epoch budget).
+//
+// Absolute numbers come from synthetic data on scaled-down models run for a
+// few epochs, so individual cells carry noise; the SHAPE checks at the
+// bottom therefore assert the paper's claims in aggregate (mean gap and
+// win-rate across the model×dataset grid), which is also how the paper's
+// conclusions are framed ("DST-EE outperforms SOTA sparse training
+// methods" across the board, not per-cell).
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace dstee {
+namespace {
+
+using bench::BenchEnv;
+
+struct Cell {
+  std::string model, dataset;
+  train::MethodKind method = train::MethodKind::kDense;
+  double sparsity = 0.0;
+  std::size_t epochs = 0;
+  bool long_budget = false;
+  train::MeanStd acc;
+  train::MeanStd exploration;
+};
+
+void run_cell(Cell& cell, const data::SyntheticImageConfig& data_cfg,
+              const BenchEnv& env) {
+  for (std::int64_t seed = 1; seed <= env.seeds; ++seed) {
+    const data::SyntheticImageDataset train_set(
+        data_cfg, data::SyntheticImageDataset::Split::kTrain);
+    const data::SyntheticImageDataset test_set(
+        data_cfg, data::SyntheticImageDataset::Split::kTest);
+
+    train::ClassificationConfig cfg;
+    cfg.method = cell.method;
+    cfg.sparsity = cell.method == train::MethodKind::kDense ? 0.0
+                                                            : cell.sparsity;
+    cfg.epochs = cell.epochs;
+    cfg.batch_size = 32;
+    cfg.lr = 0.08;
+    cfg.dst = bench::bench_dst_params();
+    cfg.seed = static_cast<std::uint64_t>(seed) * 1000 + 17;
+
+    util::Rng rng(cfg.seed);
+    train::ClassificationResult result;
+    if (cell.model == "vgg19") {
+      models::Vgg model(bench::vgg19_preset(data_cfg, 0.10), rng);
+      result =
+          train::run_classification(model, nullptr, train_set, test_set, cfg);
+    } else {
+      models::ResNet model(bench::resnet50_preset(data_cfg, 0.05), rng);
+      result =
+          train::run_classification(model, nullptr, train_set, test_set, cfg);
+    }
+    cell.acc.add(result.best_test_accuracy);
+    cell.exploration.add(result.exploration_rate);
+  }
+}
+
+int run() {
+  const BenchEnv env = BenchEnv::resolve(2);
+  const std::size_t epochs = env.epochs_or(16);
+  const std::vector<double> sparsities{0.90, 0.95, 0.98};
+  const std::vector<train::MethodKind> methods{
+      train::MethodKind::kDense,   train::MethodKind::kSnip,
+      train::MethodKind::kGrasp,   train::MethodKind::kSynFlow,
+      train::MethodKind::kStr,     train::MethodKind::kSis,
+      train::MethodKind::kDeepR,   train::MethodKind::kSet,
+      train::MethodKind::kRigl,    train::MethodKind::kDstEe,
+  };
+
+  std::cout << "=== Table I: sparse VGG-19 / ResNet-50 on CIFAR-10-like and "
+               "CIFAR-100-like data ===\n"
+            << "(synthetic substitute data; epochs=" << epochs
+            << ", seeds=" << env.seeds << ", scale=" << env.scale << ")\n\n";
+  util::Timer timer;
+
+  // Build the full cell grid (dense once per model/dataset).
+  std::vector<Cell> cells;
+  for (const std::string model : {"vgg19", "resnet50"}) {
+    for (const std::string ds : {"cifar10", "cifar100"}) {
+      Cell dense;
+      dense.model = model;
+      dense.dataset = ds;
+      dense.method = train::MethodKind::kDense;
+      dense.epochs = epochs;
+      cells.push_back(dense);
+      for (const auto method : methods) {
+        if (method == train::MethodKind::kDense) continue;
+        for (const double s : sparsities) {
+          Cell c;
+          c.model = model;
+          c.dataset = ds;
+          c.method = method;
+          c.sparsity = s;
+          c.epochs = epochs;
+          cells.push_back(c);
+        }
+      }
+      for (const double s : sparsities) {  // the paper's 250-epoch row
+        Cell c;
+        c.model = model;
+        c.dataset = ds;
+        c.method = train::MethodKind::kDstEe;
+        c.sparsity = s;
+        c.epochs = epochs + epochs / 2;
+        c.long_budget = true;
+        cells.push_back(c);
+      }
+    }
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(cells.size());
+  for (auto& cell : cells) {
+    jobs.emplace_back([&cell, &env] {
+      const auto data_cfg = cell.dataset == "cifar10"
+                                ? bench::cifar10_like(env, 5)
+                                : bench::cifar100_like(env, 7);
+      run_cell(cell, data_cfg, env);
+    });
+  }
+  bench::run_parallel(jobs);
+
+  // ---- render tables + CSV ---------------------------------------------
+  util::CsvWriter csv("bench_results/table1_cifar.csv",
+                      {"model", "dataset", "method", "sparsity", "epochs",
+                       "accuracy_mean", "accuracy_std", "exploration"});
+  auto key = [](const Cell& c) {
+    return c.model + "/" + c.dataset + "/" + train::to_string(c.method) +
+           (c.long_budget ? "-long" : "") + "/" +
+           util::format_fixed(c.sparsity, 2);
+  };
+  std::map<std::string, const Cell*> by_key;
+  for (const auto& c : cells) by_key[key(c)] = &c;
+
+  for (const std::string model : {"vgg19", "resnet50"}) {
+    for (const std::string ds : {"cifar10", "cifar100"}) {
+      std::cout << "--- " << (model == "vgg19" ? "VGG-19" : "ResNet-50")
+                << " / "
+                << (ds == "cifar10" ? "CIFAR-10-like" : "CIFAR-100-like")
+                << " ---\n";
+      util::Table table({"Method", "90%", "95%", "98%"});
+      for (const auto& c : cells) {
+        if (c.model != model || c.dataset != ds) continue;
+        if (c.method == train::MethodKind::kDense) {
+          table.add_row({"Dense", bench::cell(c.acc), bench::cell(c.acc),
+                         bench::cell(c.acc)});
+          csv.write_row({model, ds, "Dense", "0", std::to_string(c.epochs),
+                         util::format_fixed(c.acc.mean(), 4),
+                         util::format_fixed(c.acc.stddev(), 4),
+                         util::format_fixed(c.exploration.mean(), 4)});
+        }
+      }
+      for (const auto method : methods) {
+        if (method == train::MethodKind::kDense) continue;
+        std::vector<std::string> row{train::to_string(method)};
+        for (const double s : sparsities) {
+          const Cell& c = *by_key.at(model + "/" + ds + "/" +
+                                     train::to_string(method) + "/" +
+                                     util::format_fixed(s, 2));
+          row.push_back(bench::cell(c.acc));
+          csv.write_row({model, ds, train::to_string(method),
+                         util::format_fixed(s, 2), std::to_string(c.epochs),
+                         util::format_fixed(c.acc.mean(), 4),
+                         util::format_fixed(c.acc.stddev(), 4),
+                         util::format_fixed(c.exploration.mean(), 4)});
+        }
+        table.add_row(row);
+      }
+      std::vector<std::string> row{"DST-EE (1.5x epochs)"};
+      for (const double s : sparsities) {
+        const Cell& c = *by_key.at(model + "/" + ds + "/DST-EE-long/" +
+                                   util::format_fixed(s, 2));
+        row.push_back(bench::cell(c.acc));
+        csv.write_row({model, ds, "DST-EE-long", util::format_fixed(s, 2),
+                       std::to_string(c.epochs),
+                       util::format_fixed(c.acc.mean(), 4),
+                       util::format_fixed(c.acc.stddev(), 4), ""});
+      }
+      table.add_separator();
+      table.add_row(row);
+      table.print();
+      std::cout << "\n";
+    }
+  }
+  csv.flush();
+
+  // ---- aggregate shape checks ------------------------------------------
+  auto mean_of = [&](train::MethodKind m, double s,
+                     bool long_budget = false) {
+    double acc = 0.0;
+    int n = 0;
+    for (const std::string model : {"vgg19", "resnet50"}) {
+      for (const std::string ds : {"cifar10", "cifar100"}) {
+        acc += by_key
+                   .at(model + "/" + ds + "/" + train::to_string(m) +
+                       (long_budget ? "-long" : "") + "/" +
+                       util::format_fixed(m == train::MethodKind::kDense
+                                              ? 0.0
+                                              : s,
+                                          2))
+                   ->acc.mean();
+        ++n;
+      }
+    }
+    return acc / n;
+  };
+  auto win_rate = [&](train::MethodKind a, train::MethodKind b) {
+    int wins = 0, n = 0;
+    for (const std::string model : {"vgg19", "resnet50"}) {
+      for (const std::string ds : {"cifar10", "cifar100"}) {
+        for (const double s : {0.90, 0.95, 0.98}) {
+          const double aa = by_key
+                                .at(model + "/" + ds + "/" +
+                                    train::to_string(a) + "/" +
+                                    util::format_fixed(s, 2))
+                                ->acc.mean();
+          const double bb = by_key
+                                .at(model + "/" + ds + "/" +
+                                    train::to_string(b) + "/" +
+                                    util::format_fixed(s, 2))
+                                ->acc.mean();
+          if (aa >= bb - 1e-9) ++wins;
+          ++n;
+        }
+      }
+    }
+    return static_cast<double>(wins) / n;
+  };
+
+  std::cout << "Shape checks (aggregate over the model x dataset grid):\n";
+  int holds = 0, total = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    ++total;
+    holds += bench::shape_check(what, ok) ? 1 : 0;
+  };
+  for (const double s : sparsities) {
+    const std::string tag = " @" + util::format_fixed(s, 2);
+    check("mean DST-EE >= mean RigL" + tag,
+          mean_of(train::MethodKind::kDstEe, s) >=
+              mean_of(train::MethodKind::kRigl, s) - 0.005);
+    check("mean DST-EE >= mean SET" + tag,
+          mean_of(train::MethodKind::kDstEe, s) >=
+              mean_of(train::MethodKind::kSet, s) - 0.005);
+    check("mean DST-EE >= mean DeepR" + tag,
+          mean_of(train::MethodKind::kDstEe, s) >=
+              mean_of(train::MethodKind::kDeepR, s) - 0.005);
+  }
+  check("DST-EE win-rate vs RigL >= 50%",
+        win_rate(train::MethodKind::kDstEe, train::MethodKind::kRigl) >= 0.5);
+  check("DST-EE win-rate vs SET >= 50%",
+        win_rate(train::MethodKind::kDstEe, train::MethodKind::kSet) >= 0.5);
+  check("DST-EE win-rate vs DeepR >= 50%",
+        win_rate(train::MethodKind::kDstEe, train::MethodKind::kDeepR) >=
+            0.5);
+  check("mean DST-EE >= mean SNIP @0.98 (static masks fade at extreme "
+        "sparsity)",
+        mean_of(train::MethodKind::kDstEe, 0.98) >=
+            mean_of(train::MethodKind::kSnip, 0.98) - 0.005);
+  check("longer budget helps DST-EE @0.90 (paper's 250-epoch row)",
+        mean_of(train::MethodKind::kDstEe, 0.90, true) >=
+            mean_of(train::MethodKind::kDstEe, 0.90) - 0.01);
+  // Near-dense claim: DST-EE at 90% within a few points of dense.
+  check("DST-EE @0.90 within 5 points of dense (paper: ~lossless at 90%)",
+        mean_of(train::MethodKind::kDstEe, 0.90) >=
+            mean_of(train::MethodKind::kDense, 0.0) - 0.05);
+
+  std::cout << "\n" << holds << "/" << total
+            << " shape checks hold (bench wall time "
+            << util::format_fixed(timer.seconds(), 1) << "s)\n"
+            << "CSV: bench_results/table1_cifar.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dstee
+
+int main() { return dstee::run(); }

@@ -1,0 +1,10 @@
+// Table III reproduction: GNN link prediction on a wiki-talk-like graph
+// (Dense vs ADMM prune-from-dense vs DST-EE at 80/90/98% sparsity).
+#include "gnn_common.hpp"
+
+int main() {
+  const auto env = dstee::bench::BenchEnv::resolve(2);
+  auto cfg = dstee::graph::wiki_talk_config(env.scale);
+  return dstee::bench::run_gnn_table("Table III", "wiki-talk", cfg,
+                                     "bench_results/table3_wikitalk.csv");
+}

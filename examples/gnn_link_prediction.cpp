@@ -1,0 +1,67 @@
+// GNN link prediction with sparse training — the paper's §V-B workload.
+//
+// Builds a power-law graph (ia-email-like), splits edges into train/test,
+// trains a two-layer GCN link predictor three ways (dense, ADMM
+// prune-from-dense, DST-EE) and reports best accuracy and AUC.
+//
+// Build & run:  ./build/examples/gnn_link_prediction
+#include <iostream>
+
+#include "graph/generator.hpp"
+#include "models/gnn.hpp"
+#include "train/experiment.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace dstee;
+
+  const auto graph_cfg = graph::ia_email_config(0.5);
+  const graph::Graph g = graph::generate_power_law(graph_cfg);
+  const tensor::Tensor features = graph::structural_features(g, 32, 23);
+  const graph::LinkSplit split = graph::split_links(g, /*holdout=*/0.2, 29);
+
+  std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges; " << split.train_pairs.size()
+            << " training pairs, " << split.test_pairs.size()
+            << " held-out pairs\n\n";
+
+  auto run = [&](train::LinkMethod method, double sparsity,
+                 const char* name) {
+    util::Rng rng(31);
+    models::GnnConfig gcfg;
+    gcfg.in_features = 32;
+    gcfg.hidden = 64;
+    gcfg.embedding = 32;
+    models::GnnLinkPredictor model(g, gcfg, rng);
+    train::LinkConfig cfg;
+    cfg.method = method;
+    cfg.sparsity = sparsity;
+    cfg.epochs = 50;           // paper: best model over 50 epochs
+    cfg.admm_epochs_each = 20; // paper: 20 + 20 + 20 epochs
+    cfg.dst.delta_t = 2;
+    cfg.dst.c = 1e-2;
+    cfg.dst.eps = 0.1;
+    const auto result = train::run_link_prediction(model, features, split,
+                                                   cfg);
+    std::cout << name << ": best accuracy "
+              << util::format_fixed(result.best_test_accuracy * 100, 2)
+              << "%, best AUC "
+              << util::format_fixed(result.best_test_auc, 3)
+              << " (achieved sparsity "
+              << util::format_fixed(result.achieved_sparsity * 100, 1)
+              << "%)\n";
+    return result;
+  };
+
+  run(train::LinkMethod::kDense, 0.0,
+      "dense                         ");
+  run(train::LinkMethod::kPruneFromDense, 0.9,
+      "ADMM prune-from-dense @90%    ");
+  run(train::LinkMethod::kDstEe, 0.9,
+      "DST-EE sparse training @90%   ");
+
+  std::cout << "\nThe sparse-from-scratch DST-EE model needs no dense "
+               "pretraining phase and\nstill matches or beats the "
+               "prune-from-dense pipeline (Tables III/IV).\n";
+  return 0;
+}

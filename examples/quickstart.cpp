@@ -1,0 +1,105 @@
+// Quickstart: sparse-train an MLP with DST-EE in ~60 lines.
+//
+// Shows the full public-API surface a user needs:
+//   1. build a model and an optimizer;
+//   2. wrap them in a core::DstEeSession (this sparsifies the model);
+//   3. call session.on_iteration_end(...) after backward and
+//      session.after_optimizer_step() after the optimizer step.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/dst_ee.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic_tabular.hpp"
+#include "models/mlp.hpp"
+#include "nn/losses.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "train/metrics.hpp"
+
+int main() {
+  using namespace dstee;
+
+  // A small 4-class Gaussian-cluster classification task.
+  data::SyntheticTabularConfig data_cfg;
+  data_cfg.num_classes = 4;
+  data_cfg.features = 32;
+  data_cfg.train_per_class = 128;
+  data_cfg.test_per_class = 64;
+  const data::SyntheticTabularDataset train_set(
+      data_cfg, data::SyntheticTabularDataset::Split::kTrain);
+  const data::SyntheticTabularDataset test_set(
+      data_cfg, data::SyntheticTabularDataset::Split::kTest);
+
+  // Model + optimizer, exactly as for dense training.
+  util::Rng rng(7);
+  models::MlpConfig model_cfg;
+  model_cfg.in_features = 32;
+  model_cfg.hidden = {128, 128};
+  model_cfg.out_features = 4;
+  models::Mlp model(model_cfg, rng);
+
+  optim::Sgd::Config sgd_cfg;
+  sgd_cfg.lr = 0.1;
+  sgd_cfg.momentum = 0.9;
+  optim::Sgd optimizer(model.parameters(), sgd_cfg);
+
+  // DST-EE at 95% sparsity: 5% of the weights are nonzero at every step.
+  const std::size_t epochs = 20;
+  data::DataLoader loader(train_set, 32, rng.fork("loader"));
+  const std::size_t total_iters = epochs * loader.batches_per_epoch();
+
+  core::DstEeConfig ee;
+  ee.sparsity = 0.95;
+  ee.delta_t = 16;   // drop-and-grow every 16 iterations
+  ee.c = 5e-3;       // exploration coefficient (Eq. 1 of the paper)
+  core::DstEeSession session(model, optimizer, ee, total_iters, /*seed=*/7);
+
+  std::cout << "training a " << ee.sparsity * 100 << "% sparse MLP ("
+            << session.sparse_model().total_active() << " of "
+            << session.sparse_model().total_weights()
+            << " weights active)\n";
+
+  optim::CosineAnnealingLr schedule(sgd_cfg.lr, total_iters);
+  nn::SoftmaxCrossEntropy loss;
+  std::size_t iteration = 0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    loader.start_epoch();
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    while (loader.has_next()) {
+      const auto batch = loader.next_batch();
+      model.zero_grad();
+      loss_sum += loss.forward(model.forward(batch.examples), batch.labels);
+      model.backward(loss.backward());
+
+      const double lr = schedule.lr_at(iteration);
+      session.on_iteration_end(iteration, lr);  // drop-and-grow + mask grads
+      optimizer.set_learning_rate(lr);
+      optimizer.step();
+      session.after_optimizer_step();           // keep masked weights at 0
+      ++iteration;
+      ++batches;
+    }
+    if (epoch % 5 == 4 || epoch + 1 == epochs) {
+      std::cout << "epoch " << epoch + 1 << ": train loss "
+                << loss_sum / batches << ", exploration R = "
+                << session.exploration_rate() << "\n";
+    }
+  }
+
+  // Evaluate.
+  model.set_training(false);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test_set.size(); ++i) {
+    const auto logits = model.forward(test_set.batch({i}));
+    const auto labels = test_set.batch_labels({i});
+    if (train::accuracy(logits, labels) > 0.5) ++correct;
+  }
+  std::cout << "test accuracy: "
+            << 100.0 * static_cast<double>(correct) /
+                   static_cast<double>(test_set.size())
+            << "% at sparsity " << session.sparsity() * 100 << "%\n";
+  return 0;
+}

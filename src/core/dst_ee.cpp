@@ -1,0 +1,64 @@
+#include "core/dst_ee.hpp"
+
+#include "methods/drop_policy.hpp"
+#include "methods/grow_policy.hpp"
+#include "util/check.hpp"
+
+namespace dstee::core {
+
+namespace {
+
+sparse::SparseModel make_sparse_model(nn::Module& model,
+                                      const DstEeConfig& config,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  return sparse::SparseModel(model, config.sparsity, config.distribution,
+                             rng);
+}
+
+methods::DstEngineConfig make_engine_config(const DstEeConfig& config,
+                                            std::size_t total_iterations) {
+  methods::DstEngineConfig cfg;
+  cfg.schedule.delta_t = config.delta_t;
+  cfg.schedule.total_iterations = total_iterations;
+  cfg.schedule.stop_fraction = config.stop_fraction;
+  cfg.schedule.initial_drop_fraction = config.drop_fraction;
+  cfg.schedule.decay = methods::DropFractionDecay::kCosine;
+  cfg.drop = std::make_unique<methods::MagnitudeDrop>();
+  methods::DstEeGrow::Config ee;
+  ee.c = config.c;
+  ee.eps = config.eps;
+  cfg.grow = std::make_unique<methods::DstEeGrow>(ee);
+  return cfg;
+}
+
+}  // namespace
+
+DstEeSession::DstEeSession(nn::Module& model, optim::Optimizer& optimizer,
+                           const DstEeConfig& config,
+                           std::size_t total_iterations, std::uint64_t seed)
+    : config_(config),
+      model_state_(make_sparse_model(model, config, seed)) {
+  util::check(total_iterations > 0, "total iterations must be positive");
+  util::Rng rng(seed);
+  engine_ = std::make_unique<methods::DstEngine>(
+      model_state_, optimizer, make_engine_config(config, total_iterations),
+      rng.fork("dst-ee/engine"));
+}
+
+bool DstEeSession::on_iteration_end(std::size_t iteration,
+                                    double learning_rate) {
+  const bool updated = engine_->maybe_update(iteration, learning_rate);
+  model_state_.apply_masks_to_grads();
+  return updated;
+}
+
+void DstEeSession::after_optimizer_step() {
+  model_state_.apply_masks_to_values();
+}
+
+double DstEeSession::exploration_rate() const {
+  return engine_->exploration().exploration_rate();
+}
+
+}  // namespace dstee::core

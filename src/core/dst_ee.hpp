@@ -1,0 +1,78 @@
+// DST-EE public API — the paper's contribution behind one object.
+//
+// Usage (see examples/quickstart.cpp):
+//
+//   models::Mlp model(cfg, rng);
+//   optim::Sgd opt(model.parameters(), sgd_cfg);
+//   core::DstEeConfig ee;
+//   ee.sparsity = 0.95;
+//   core::DstEeSession session(model, opt, ee, total_iterations, seed);
+//   for each iteration:
+//     ... forward / loss / backward ...
+//     session.on_iteration_end(iter, lr);   // drop-and-grow + mask grads
+//     opt.step();
+//     session.after_optimizer_step();       // keep masked weights at zero
+//
+// The session owns the SparseModel (masks + counters), the DST-EE engine
+// (acquisition scores, Algorithm 1), and the exploration tracker (ITOP R).
+#pragma once
+
+#include <memory>
+
+#include "methods/dst_engine.hpp"
+#include "nn/module.hpp"
+#include "optim/optimizer.hpp"
+#include "sparse/distribution.hpp"
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::core {
+
+/// All DST-EE hyperparameters with the paper's defaults.
+struct DstEeConfig {
+  double sparsity = 0.9;  ///< global sparsity of the sparsifiable weights
+  sparse::DistributionKind distribution = sparse::DistributionKind::kErk;
+  std::size_t delta_t = 50;     ///< ΔT — iterations between mask updates
+  double drop_fraction = 0.3;   ///< α₀ — fraction replaced per update
+  double stop_fraction = 0.75;  ///< stop topology updates after this
+                                ///< fraction of training (1.0 = Algorithm 1)
+  double c = 1e-3;              ///< exploration coefficient (Eq. 1)
+  double eps = 1e-3;            ///< ε in the exploration denominator
+};
+
+/// Binds DST-EE sparse training to an existing model + optimizer.
+class DstEeSession {
+ public:
+  /// Sparsifies `model` in place (ERK random masks at `config.sparsity`)
+  /// and prepares the drop-and-grow engine for `total_iterations` steps.
+  /// Both `model` and `optimizer` must outlive the session; the optimizer
+  /// must have been constructed from this model's parameters() order.
+  DstEeSession(nn::Module& model, optim::Optimizer& optimizer,
+               const DstEeConfig& config, std::size_t total_iterations,
+               std::uint64_t seed);
+
+  /// Call after backward(): runs a mask update when the schedule fires,
+  /// then masks gradients so the optimizer leaves inactive weights alone.
+  /// Returns true when a drop-and-grow round executed.
+  bool on_iteration_end(std::size_t iteration, double learning_rate);
+
+  /// Call after optimizer.step(): re-applies masks to parameter values.
+  void after_optimizer_step();
+
+  /// Current exploration rate R (fraction of weights ever activated).
+  double exploration_rate() const;
+
+  /// Achieved global sparsity (should equal the configured target).
+  double sparsity() const { return model_state_.global_sparsity(); }
+
+  sparse::SparseModel& sparse_model() { return model_state_; }
+  const sparse::SparseModel& sparse_model() const { return model_state_; }
+  const methods::DstEngine& engine() const { return *engine_; }
+  const DstEeConfig& config() const { return config_; }
+
+ private:
+  DstEeConfig config_;
+  sparse::SparseModel model_state_;
+  std::unique_ptr<methods::DstEngine> engine_;
+};
+
+}  // namespace dstee::core

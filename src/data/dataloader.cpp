@@ -1,0 +1,40 @@
+#include "data/dataloader.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       util::Rng rng)
+    : dataset_(&dataset), batch_size_(batch_size), rng_(rng) {
+  util::check(batch_size > 0, "batch size must be positive");
+  util::check(dataset.size() > 0, "dataset is empty");
+  start_epoch();
+}
+
+void DataLoader::start_epoch() {
+  order_ = rng_.permutation(dataset_->size());
+  cursor_ = 0;
+}
+
+bool DataLoader::has_next() const { return cursor_ < order_.size(); }
+
+std::vector<std::size_t> DataLoader::next_indices() {
+  util::check(has_next(), "epoch exhausted; call start_epoch()");
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  std::vector<std::size_t> indices(order_.begin() + cursor_,
+                                   order_.begin() + end);
+  cursor_ = end;
+  return indices;
+}
+
+DataLoader::Batch DataLoader::next_batch() {
+  const auto indices = next_indices();
+  return Batch{dataset_->batch(indices), dataset_->batch_labels(indices)};
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace dstee::data

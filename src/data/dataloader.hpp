@@ -1,0 +1,43 @@
+// Minibatch iteration with per-epoch shuffling.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::data {
+
+/// Yields shuffled minibatches over a dataset. The final short batch is
+/// kept (not dropped) so every example is seen each epoch.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::size_t batch_size, util::Rng rng);
+
+  /// Reshuffles and rewinds. Called automatically when an epoch completes.
+  void start_epoch();
+
+  /// True while the current epoch has batches left.
+  bool has_next() const;
+
+  /// Index list of the next batch (advances the cursor).
+  std::vector<std::size_t> next_indices();
+
+  /// Convenience: materializes the next batch.
+  struct Batch {
+    tensor::Tensor examples;
+    std::vector<std::size_t> labels;
+  };
+  Batch next_batch();
+
+  std::size_t batches_per_epoch() const;
+  std::size_t batch_size() const { return batch_size_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dstee::data

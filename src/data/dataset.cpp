@@ -1,0 +1,46 @@
+#include "data/dataset.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::data {
+
+tensor::Tensor Dataset::example(std::size_t i) const {
+  util::check(i < size(), "example index out of range");
+  const std::size_t n = example_shape_.numel();
+  std::vector<float> values(examples_.begin() + i * n,
+                            examples_.begin() + (i + 1) * n);
+  return tensor::Tensor(example_shape_, std::move(values));
+}
+
+std::size_t Dataset::label(std::size_t i) const {
+  util::check(i < size(), "label index out of range");
+  return labels_[i];
+}
+
+tensor::Tensor Dataset::batch(const std::vector<std::size_t>& indices) const {
+  util::check(!indices.empty(), "batch of zero examples");
+  const std::size_t n = example_shape_.numel();
+  std::vector<std::size_t> dims{indices.size()};
+  for (const auto d : example_shape_.dims()) dims.push_back(d);
+  tensor::Tensor out{tensor::Shape(dims)};
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    util::check(indices[b] < size(), "batch index out of range");
+    const float* src = examples_.data() + indices[b] * n;
+    float* dst = out.raw() + b * n;
+    for (std::size_t j = 0; j < n; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::batch_labels(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<std::size_t> out;
+  out.reserve(indices.size());
+  for (const auto i : indices) {
+    util::check(i < size(), "batch label index out of range");
+    out.push_back(labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace dstee::data

@@ -1,0 +1,42 @@
+// Dataset abstraction: indexed (example, label) pairs held in memory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::data {
+
+/// In-memory labeled dataset. Examples share one shape; labels are class
+/// indices. Implementations fill `examples_` / `labels_` at construction.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  std::size_t size() const { return labels_.size(); }
+  const tensor::Shape& example_shape() const { return example_shape_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// Copies example `i` into a tensor of `example_shape()`.
+  tensor::Tensor example(std::size_t i) const;
+  std::size_t label(std::size_t i) const;
+
+  /// Assembles a batch tensor [indices.size(), ...example dims] plus its
+  /// label vector.
+  tensor::Tensor batch(const std::vector<std::size_t>& indices) const;
+  std::vector<std::size_t> batch_labels(
+      const std::vector<std::size_t>& indices) const;
+
+ protected:
+  Dataset(tensor::Shape example_shape, std::size_t num_classes)
+      : example_shape_(std::move(example_shape)), num_classes_(num_classes) {}
+
+  tensor::Shape example_shape_;
+  std::size_t num_classes_;
+  std::vector<float> examples_;  // size() * example numel, contiguous
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace dstee::data

@@ -1,0 +1,114 @@
+#include "data/synthetic_images.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace dstee::data {
+
+namespace {
+
+// Prototype: sum of random-frequency, random-phase 2-d cosines per channel.
+// Low frequencies dominate, giving natural-image-like local correlation.
+std::vector<float> make_prototype(const SyntheticImageConfig& cfg,
+                                  util::Rng& rng) {
+  const std::size_t hw = cfg.image_size;
+  std::vector<float> proto(cfg.channels * hw * hw, 0.0f);
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    for (std::size_t w = 0; w < cfg.prototype_waves; ++w) {
+      const double fx = rng.uniform(0.5, 3.0);
+      const double fy = rng.uniform(0.5, 3.0);
+      const double px = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double py = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double amp = rng.uniform(0.4, 1.0);
+      for (std::size_t y = 0; y < hw; ++y) {
+        for (std::size_t x = 0; x < hw; ++x) {
+          const double v =
+              amp *
+              std::cos(fx * 2.0 * std::numbers::pi * x / hw + px) *
+              std::cos(fy * 2.0 * std::numbers::pi * y / hw + py);
+          proto[(c * hw + y) * hw + x] += static_cast<float>(v);
+        }
+      }
+    }
+  }
+  // Normalize prototype to unit RMS so `signal` is meaningful.
+  double rms = 0.0;
+  for (const float v : proto) rms += static_cast<double>(v) * v;
+  rms = std::sqrt(rms / static_cast<double>(proto.size()));
+  if (rms > 0.0) {
+    for (auto& v : proto) v = static_cast<float>(v / rms);
+  }
+  return proto;
+}
+
+// Correlated (smoothed) noise field: one low-frequency cosine per draw.
+void add_spatial_noise(std::vector<float>& img,
+                       const SyntheticImageConfig& cfg, util::Rng& rng) {
+  const std::size_t hw = cfg.image_size;
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    const double fx = rng.uniform(0.5, 2.0);
+    const double fy = rng.uniform(0.5, 2.0);
+    const double px = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double py = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double amp = cfg.spatial_noise * rng.normal(0.0, 1.0);
+    for (std::size_t y = 0; y < hw; ++y) {
+      for (std::size_t x = 0; x < hw; ++x) {
+        const double v =
+            amp * std::cos(fx * 2.0 * std::numbers::pi * x / hw + px) *
+            std::cos(fy * 2.0 * std::numbers::pi * y / hw + py);
+        img[(c * hw + y) * hw + x] += static_cast<float>(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticImageDataset::SyntheticImageDataset(
+    const SyntheticImageConfig& config, Split split)
+    : Dataset(tensor::Shape({config.channels, config.image_size,
+                             config.image_size}),
+              config.num_classes),
+      config_(config) {
+  util::check(config.num_classes >= 2, "need at least two classes");
+  util::check(config.image_size >= 4, "image size must be >= 4");
+
+  util::Rng base(config.seed);
+  // Prototypes are shared between splits (same distribution).
+  util::Rng proto_rng = base.fork("images/prototypes");
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(config.num_classes);
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    prototypes.push_back(make_prototype(config, proto_rng));
+  }
+
+  const std::size_t per_class = split == Split::kTrain
+                                    ? config.train_per_class
+                                    : config.test_per_class;
+  util::Rng sample_rng =
+      base.fork(split == Split::kTrain ? "images/train" : "images/test");
+
+  const std::size_t numel = example_shape_.numel();
+  examples_.reserve(config.num_classes * per_class * numel);
+  labels_.reserve(config.num_classes * per_class);
+
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    for (std::size_t s = 0; s < per_class; ++s) {
+      std::vector<float> img(numel);
+      for (std::size_t i = 0; i < numel; ++i) {
+        img[i] = static_cast<float>(config.signal) * prototypes[k][i];
+      }
+      add_spatial_noise(img, config, sample_rng);
+      for (std::size_t i = 0; i < numel; ++i) {
+        img[i] += static_cast<float>(
+            config.pixel_noise * sample_rng.normal(0.0, 1.0));
+      }
+      examples_.insert(examples_.end(), img.begin(), img.end());
+      labels_.push_back(k);
+    }
+  }
+}
+
+}  // namespace dstee::data

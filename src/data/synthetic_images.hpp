@@ -1,0 +1,47 @@
+// Synthetic class-conditional image dataset — the stand-in for CIFAR-10,
+// CIFAR-100 and ImageNet (see DESIGN.md, substitution table).
+//
+// Generation model: each class k has a prototype image P_k built from
+// low-frequency random structure (sums of random 2-d cosine bumps, so
+// nearby pixels correlate like natural images); an example is
+//   x = signal · P_k + spatial_noise + pixel_noise,
+// normalized per channel. Difficulty is controlled by the signal-to-noise
+// knob, chosen so that (a) a dense model reaches high-but-not-saturated
+// accuracy in a few epochs and (b) model capacity still matters — which is
+// what the paper's accuracy-vs-sparsity comparisons require.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::data {
+
+struct SyntheticImageConfig {
+  std::size_t num_classes = 10;
+  std::size_t channels = 3;
+  std::size_t image_size = 16;
+  std::size_t train_per_class = 64;
+  std::size_t test_per_class = 16;
+  double signal = 1.0;           ///< prototype strength
+  double spatial_noise = 0.6;    ///< correlated noise strength
+  double pixel_noise = 0.4;      ///< iid noise strength
+  std::size_t prototype_waves = 6;  ///< cosine bumps per prototype
+  std::uint64_t seed = 1;
+};
+
+/// Train or test split of the synthetic image distribution. Both splits
+/// built from the same config share prototypes (same underlying
+/// distribution, disjoint sample streams).
+class SyntheticImageDataset : public Dataset {
+ public:
+  enum class Split { kTrain, kTest };
+
+  SyntheticImageDataset(const SyntheticImageConfig& config, Split split);
+
+  const SyntheticImageConfig& config() const { return config_; }
+
+ private:
+  SyntheticImageConfig config_;
+};
+
+}  // namespace dstee::data

@@ -1,0 +1,54 @@
+#include "data/synthetic_tabular.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dstee::data {
+
+SyntheticTabularDataset::SyntheticTabularDataset(
+    const SyntheticTabularConfig& config, Split split)
+    : Dataset(tensor::Shape({config.features}), config.num_classes),
+      config_(config) {
+  util::check(config.num_classes >= 2, "need at least two classes");
+  util::check(config.features >= 2, "need at least two features");
+
+  util::Rng base(config.seed);
+  util::Rng center_rng = base.fork("tabular/centers");
+  std::vector<std::vector<float>> centers;
+  centers.reserve(config.num_classes);
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    // Random direction scaled to the separation radius.
+    std::vector<float> c(config.features);
+    double norm = 0.0;
+    for (auto& v : c) {
+      v = static_cast<float>(center_rng.normal());
+      norm += static_cast<double>(v) * v;
+    }
+    norm = std::sqrt(norm);
+    for (auto& v : c) {
+      v = static_cast<float>(v / norm * config.class_separation);
+    }
+    centers.push_back(std::move(c));
+  }
+
+  const std::size_t per_class = split == Split::kTrain
+                                    ? config.train_per_class
+                                    : config.test_per_class;
+  util::Rng sample_rng =
+      base.fork(split == Split::kTrain ? "tabular/train" : "tabular/test");
+  examples_.reserve(config.num_classes * per_class * config.features);
+  labels_.reserve(config.num_classes * per_class);
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    for (std::size_t s = 0; s < per_class; ++s) {
+      for (std::size_t f = 0; f < config.features; ++f) {
+        examples_.push_back(
+            centers[k][f] +
+            static_cast<float>(sample_rng.normal(0.0, config.noise)));
+      }
+      labels_.push_back(k);
+    }
+  }
+}
+
+}  // namespace dstee::data

@@ -1,0 +1,33 @@
+// Synthetic tabular classification (Gaussian clusters on a hypersphere) —
+// a fast workload for MLP unit/integration tests and the quickstart.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::data {
+
+struct SyntheticTabularConfig {
+  std::size_t num_classes = 4;
+  std::size_t features = 32;
+  std::size_t train_per_class = 128;
+  std::size_t test_per_class = 32;
+  double class_separation = 2.5;  ///< distance between cluster centers
+  double noise = 1.0;             ///< within-cluster std
+  std::uint64_t seed = 7;
+};
+
+/// Gaussian-cluster classification dataset.
+class SyntheticTabularDataset : public Dataset {
+ public:
+  enum class Split { kTrain, kTest };
+
+  SyntheticTabularDataset(const SyntheticTabularConfig& config, Split split);
+
+  const SyntheticTabularConfig& config() const { return config_; }
+
+ private:
+  SyntheticTabularConfig config_;
+};
+
+}  // namespace dstee::data

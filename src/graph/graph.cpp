@@ -1,0 +1,102 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace dstee::graph {
+
+Graph::Graph(std::size_t num_nodes, const std::vector<Edge>& edges)
+    : num_nodes_(num_nodes) {
+  util::check(num_nodes > 0, "graph requires at least one node");
+
+  // Deduplicate into canonical adjacency sets.
+  std::vector<std::set<std::size_t>> adj(num_nodes);
+  for (const auto& e : edges) {
+    util::check(e.u < num_nodes && e.v < num_nodes,
+                "edge endpoint out of range");
+    if (e.u == e.v) continue;
+    adj[e.u].insert(e.v);
+    adj[e.v].insert(e.u);
+  }
+
+  row_ptr_.assign(num_nodes + 1, 0);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    row_ptr_[u + 1] = row_ptr_[u] + adj[u].size();
+  }
+  col_idx_.reserve(row_ptr_[num_nodes]);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (const std::size_t v : adj[u]) col_idx_.push_back(v);
+  }
+  num_edges_ = col_idx_.size() / 2;
+
+  // GCN normalization with self-loops: deg̃(u) = deg(u) + 1.
+  norm_.resize(col_idx_.size());
+  self_norm_.resize(num_nodes);
+  std::vector<double> inv_sqrt(num_nodes);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    inv_sqrt[u] = 1.0 / std::sqrt(static_cast<double>(degree(u) + 1));
+    self_norm_[u] = static_cast<float>(inv_sqrt[u] * inv_sqrt[u]);
+  }
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (std::size_t k = row_ptr_[u]; k < row_ptr_[u + 1]; ++k) {
+      norm_[k] = static_cast<float>(inv_sqrt[u] * inv_sqrt[col_idx_[k]]);
+    }
+  }
+}
+
+const std::size_t* Graph::neighbors_begin(std::size_t u) const {
+  util::check(u < num_nodes_, "node index out of range");
+  return col_idx_.data() + row_ptr_[u];
+}
+
+const std::size_t* Graph::neighbors_end(std::size_t u) const {
+  util::check(u < num_nodes_, "node index out of range");
+  return col_idx_.data() + row_ptr_[u + 1];
+}
+
+std::size_t Graph::degree(std::size_t u) const {
+  util::check(u < num_nodes_, "node index out of range");
+  return row_ptr_[u + 1] - row_ptr_[u];
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  util::check(u < num_nodes_ && v < num_nodes_, "node index out of range");
+  const auto* begin = neighbors_begin(u);
+  const auto* end = neighbors_end(u);
+  return std::binary_search(begin, end, v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    for (std::size_t k = row_ptr_[u]; k < row_ptr_[u + 1]; ++k) {
+      if (u < col_idx_[k]) edges.push_back({u, col_idx_[k]});
+    }
+  }
+  return edges;
+}
+
+tensor::Tensor Graph::propagate(const tensor::Tensor& x) const {
+  util::check(x.rank() == 2 && x.dim(0) == num_nodes_,
+              "propagate expects [num_nodes, features]");
+  const std::size_t f = x.dim(1);
+  tensor::Tensor y({num_nodes_, f});
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    float* dst = y.raw() + u * f;
+    const float self = self_norm_[u];
+    const float* src_u = x.raw() + u * f;
+    for (std::size_t j = 0; j < f; ++j) dst[j] = self * src_u[j];
+    for (std::size_t k = row_ptr_[u]; k < row_ptr_[u + 1]; ++k) {
+      const float w = norm_[k];
+      const float* src = x.raw() + col_idx_[k] * f;
+      for (std::size_t j = 0; j < f; ++j) dst[j] += w * src[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace dstee::graph

@@ -1,0 +1,53 @@
+// Undirected graph in CSR form with symmetric-normalized adjacency —
+// the substrate for the GNN link-prediction experiments (Tables III/IV).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::graph {
+
+/// An undirected edge (u < v canonical order).
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  bool operator==(const Edge&) const = default;
+};
+
+/// CSR-stored undirected graph. Self-loops are added for GCN normalization
+/// at propagation time, not stored here.
+class Graph {
+ public:
+  /// Builds from an edge list (duplicates and self-loops are dropped).
+  Graph(std::size_t num_nodes, const std::vector<Edge>& edges);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Neighbor list of node `u` (sorted ascending).
+  const std::size_t* neighbors_begin(std::size_t u) const;
+  const std::size_t* neighbors_end(std::size_t u) const;
+  std::size_t degree(std::size_t u) const;
+
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  /// All edges in canonical (u < v) order.
+  std::vector<Edge> edge_list() const;
+
+  /// GCN propagation: Y = Â·X where Â = D̃^{-1/2}(A + I)D̃^{-1/2},
+  /// X is [num_nodes, features]. This is the adjoint of itself (Â is
+  /// symmetric), which the GCN layer's backward uses.
+  tensor::Tensor propagate(const tensor::Tensor& x) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t num_edges_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<float> norm_;        ///< per-edge normalization weight
+  std::vector<float> self_norm_;   ///< per-node self-loop weight
+};
+
+}  // namespace dstee::graph

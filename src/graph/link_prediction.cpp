@@ -1,0 +1,69 @@
+#include "graph/link_prediction.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dstee::graph {
+
+std::vector<Edge> sample_negative_edges(const Graph& graph,
+                                        std::size_t count, util::Rng& rng) {
+  const std::size_t n = graph.num_nodes();
+  const double density = static_cast<double>(2 * graph.num_edges()) /
+                         (static_cast<double>(n) * static_cast<double>(n - 1));
+  util::check(density < 0.5,
+              "graph too dense for rejection-sampled negatives");
+  std::vector<Edge> negatives;
+  negatives.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * (count + 1);
+  while (negatives.size() < count) {
+    util::check(++attempts <= max_attempts,
+                "negative sampling failed to converge");
+    const auto u = static_cast<std::size_t>(rng.uniform_index(n));
+    const auto v = static_cast<std::size_t>(rng.uniform_index(n));
+    if (u == v || graph.has_edge(u, v)) continue;
+    negatives.push_back({std::min(u, v), std::max(u, v)});
+  }
+  return negatives;
+}
+
+LinkSplit split_links(const Graph& graph, double holdout,
+                      std::uint64_t seed) {
+  util::check(holdout > 0.0 && holdout < 1.0, "holdout must be in (0, 1)");
+  util::Rng rng(seed);
+
+  std::vector<Edge> edges = graph.edge_list();
+  util::Rng shuffle_rng = rng.fork("link/shuffle");
+  shuffle_rng.shuffle(edges);
+
+  const std::size_t test_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(holdout * static_cast<double>(edges.size())));
+  util::check(test_count < edges.size(), "holdout leaves no training edges");
+
+  LinkSplit split;
+  split.train_edges.assign(edges.begin() + test_count, edges.end());
+  std::vector<Edge> test_pos(edges.begin(), edges.begin() + test_count);
+
+  // Negatives are sampled against the FULL graph so no negative is secretly
+  // a held-out positive.
+  util::Rng neg_rng = rng.fork("link/negatives");
+  const std::vector<Edge> train_neg =
+      sample_negative_edges(graph, split.train_edges.size(), neg_rng);
+  const std::vector<Edge> test_neg =
+      sample_negative_edges(graph, test_pos.size(), neg_rng);
+
+  split.train_pairs.reserve(2 * split.train_edges.size());
+  for (const auto& e : split.train_edges) {
+    split.train_pairs.push_back({e.u, e.v, 1.0f});
+  }
+  for (const auto& e : train_neg) {
+    split.train_pairs.push_back({e.u, e.v, 0.0f});
+  }
+  split.test_pairs.reserve(2 * test_pos.size());
+  for (const auto& e : test_pos) split.test_pairs.push_back({e.u, e.v, 1.0f});
+  for (const auto& e : test_neg) split.test_pairs.push_back({e.u, e.v, 0.0f});
+  return split;
+}
+
+}  // namespace dstee::graph

@@ -1,0 +1,37 @@
+// Link-prediction dataset machinery: edge splitting and negative sampling.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::graph {
+
+/// A labeled node pair for link prediction (label 1 = edge exists).
+struct LabeledPair {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  float label = 0.0f;
+};
+
+/// Train/test split for link prediction:
+///  - `train_graph` keeps (1 − holdout) of the edges (message passing +
+///    positive training examples);
+///  - test positives are the held-out edges;
+///  - negatives are uniformly sampled non-edges, one per positive.
+struct LinkSplit {
+  std::vector<Edge> train_edges;
+  std::vector<LabeledPair> train_pairs;  ///< positives + negatives
+  std::vector<LabeledPair> test_pairs;   ///< positives + negatives
+};
+
+/// Builds the split. `holdout` is the fraction of edges moved to test.
+LinkSplit split_links(const Graph& graph, double holdout, std::uint64_t seed);
+
+/// Samples `count` node pairs without an edge in `graph` (and not in
+/// `exclude`), uniformly at random.
+std::vector<Edge> sample_negative_edges(const Graph& graph,
+                                        std::size_t count, util::Rng& rng);
+
+}  // namespace dstee::graph

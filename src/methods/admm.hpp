@@ -1,0 +1,64 @@
+// ADMM-based prune-from-dense — the GNN baseline in Tables III/IV.
+//
+// Three-phase pipeline exactly as the paper describes (20 pretrain +
+// 20 reweighted/ADMM + 20 retrain epochs, scaled):
+//   1. pretrain dense;
+//   2. ADMM phase — the loss gains ρ/2·‖W − Z + U‖² per layer, where Z is
+//      the top-k projection of W + U and U the scaled dual; Z and U are
+//      refreshed every `projection_interval` iterations;
+//   3. hard-prune to the target sparsity (mask = top-k |W|) and retrain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/distribution.hpp"
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::methods {
+
+struct AdmmConfig {
+  double rho = 1e-2;                  ///< augmented-Lagrangian strength
+  double sparsity = 0.9;              ///< target sparsity of the projection
+  std::size_t projection_interval = 50;  ///< iterations between Z/U updates
+  sparse::DistributionKind distribution = sparse::DistributionKind::kUniform;
+};
+
+/// Stateful helper for phase 2 and 3. The caller owns the phase structure
+/// (train loops); this class owns Z, U and the projections.
+class AdmmPruner {
+ public:
+  /// Captures Z = Π(W), U = 0 from the (pretrained) model.
+  AdmmPruner(sparse::SparseModel& model, const AdmmConfig& config);
+
+  /// Adds ρ·(W − Z + U) to every sparsifiable parameter's gradient.
+  /// Call after backward, before the optimizer step, each ADMM iteration.
+  void add_penalty_gradients(sparse::SparseModel& model) const;
+
+  /// Refreshes Z ← Π(W + U), U ← U + W − Z when `t` hits the interval.
+  /// Returns true when a refresh happened.
+  bool maybe_update_duals(sparse::SparseModel& model, std::size_t t);
+
+  /// Phase 3 entry: installs the final hard mask (top-k |W| per layer at
+  /// the target sparsity), zeroes pruned weights, resets counters.
+  void finalize_mask(sparse::SparseModel& model) const;
+
+  /// ‖W − Z‖² summed over layers — convergence diagnostic; → 0 as ADMM
+  /// pulls weights onto the sparse constraint set.
+  double constraint_violation(const sparse::SparseModel& model) const;
+
+  const AdmmConfig& config() const { return config_; }
+
+ private:
+  std::vector<std::size_t> projection_counts(
+      const sparse::SparseModel& model) const;
+  void project(const sparse::SparseModel& model,
+               const std::vector<tensor::Tensor>& source,
+               std::vector<tensor::Tensor>& dest) const;
+
+  AdmmConfig config_;
+  std::vector<tensor::Tensor> z_;  // auxiliary sparse targets
+  std::vector<tensor::Tensor> u_;  // scaled duals
+};
+
+}  // namespace dstee::methods

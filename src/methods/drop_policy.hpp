@@ -1,0 +1,72 @@
+// Drop policies: select k ACTIVE weights to deactivate at a mask update.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/masked_parameter.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::methods {
+
+/// Inputs available to a drop policy for one layer.
+struct DropContext {
+  const sparse::MaskedParameter& layer;
+  const tensor::Tensor& dense_grad;
+  double learning_rate = 0.0;  ///< current lr (DeepR's sign-flip test)
+  util::Rng& rng;
+};
+
+/// Selects `k` flat indices among the layer's ACTIVE weights to drop.
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+  virtual std::vector<std::size_t> select(const DropContext& ctx,
+                                          std::size_t k) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Magnitude drop (the paper, SET, RigL): drop the k weights closest to
+/// zero — smallest |w| among active positions.
+class MagnitudeDrop : public DropPolicy {
+ public:
+  std::vector<std::size_t> select(const DropContext& ctx,
+                                  std::size_t k) override;
+  std::string name() const override { return "magnitude"; }
+};
+
+/// Random drop (ablation only — shows magnitude drop matters).
+class RandomDrop : public DropPolicy {
+ public:
+  std::vector<std::size_t> select(const DropContext& ctx,
+                                  std::size_t k) override;
+  std::string name() const override { return "random"; }
+};
+
+/// MEST-style importance drop: smallest |w| + γ·|g| — "a more relaxed range
+/// of parameters" because a small weight with a large gradient survives.
+class MagnitudeGradientDrop : public DropPolicy {
+ public:
+  explicit MagnitudeGradientDrop(double gamma = 1.0);
+  std::vector<std::size_t> select(const DropContext& ctx,
+                                  std::size_t k) override;
+  std::string name() const override { return "magnitude+gradient"; }
+
+ private:
+  double gamma_;
+};
+
+/// DeepR-style drop: prefer active weights whose next SGD step would flip
+/// their sign (w and w − lr·g disagree in sign); remaining slots are filled
+/// by smallest magnitude.
+class SignFlipDrop : public DropPolicy {
+ public:
+  std::vector<std::size_t> select(const DropContext& ctx,
+                                  std::size_t k) override;
+  std::string name() const override { return "sign-flip"; }
+};
+
+}  // namespace dstee::methods

@@ -1,0 +1,101 @@
+// DstEngine: executes Algorithm 1's drop-and-grow skeleton.
+//
+// Per mask-update step (t mod ΔT == 0, t < T_stop), for every layer i:
+//   1. k_i = round(α_t · active_i)   — weights to replace
+//   2. drop k_i active weights via the DropPolicy (magnitude by default)
+//   3. grow k_i inactive weights with the top-k GrowPolicy scores
+//      (candidates exclude this round's drops — the sets are computed on
+//      the pre-update mask, where drop candidates are active and grow
+//      candidates inactive, hence disjoint)
+//   4. grown weights start at 0; dropped weights are zeroed
+//   5. optimizer momentum at both sets is reset
+//   6. counters N += new mask; exploration tracker observes the new mask
+//
+// Optional layer redistribution (DSR/SNFS): the global grow budget Σk_i is
+// re-split across layers proportionally to mean |grad| instead of returned
+// to the layer it came from.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "methods/drop_policy.hpp"
+#include "methods/grow_policy.hpp"
+#include "methods/schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "sparse/exploration.hpp"
+#include "sparse/sparse_model.hpp"
+#include "sparse/stats.hpp"
+
+namespace dstee::methods {
+
+/// Engine configuration; policies are owned by the engine.
+struct DstEngineConfig {
+  UpdateScheduleConfig schedule;
+  std::unique_ptr<DropPolicy> drop;
+  std::unique_ptr<GrowPolicy> grow;
+  bool redistribute_across_layers = false;  ///< DSR/SNFS-style
+  bool reset_momentum = true;               ///< clear optimizer state on edits
+};
+
+/// Everything observable about one layer's drop-and-grow decision.
+/// References stay valid only for the duration of the observer call.
+struct UpdateObservation {
+  std::size_t layer_index = 0;
+  std::size_t round = 0;
+  std::size_t iteration = 0;
+  const std::vector<std::size_t>& drops;   ///< deactivated flat indices
+  const std::vector<std::size_t>& grows;   ///< activated flat indices
+  const tensor::Tensor& dense_grad;        ///< gradient used for scoring
+  const tensor::Tensor& scores;            ///< the grow policy's scores
+};
+
+/// Per-layer callback fired at every topology update (Fig. 1's
+/// instrumentation hooks in here; it is not needed for training itself).
+using UpdateObserver = std::function<void(const UpdateObservation&)>;
+
+/// Drives topology updates for one SparseModel during training.
+class DstEngine {
+ public:
+  /// `model` and `optimizer` must outlive the engine.
+  DstEngine(sparse::SparseModel& model, optim::Optimizer& optimizer,
+            DstEngineConfig config, util::Rng rng);
+
+  /// Registers a per-layer update observer (replaces any previous one).
+  void set_observer(UpdateObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Call once per training iteration AFTER backward (dense gradients
+  /// populated) and BEFORE masking gradients / stepping the optimizer.
+  /// Returns true when a topology update fired.
+  bool maybe_update(std::size_t iteration, double learning_rate);
+
+  /// Forces an update at `iteration` regardless of the schedule (tests,
+  /// Fig. 1 instrumentation).
+  void force_update(std::size_t iteration, double learning_rate);
+
+  const UpdateSchedule& schedule() const { return schedule_; }
+  const sparse::TopologyLog& log() const { return log_; }
+  const sparse::ExplorationTracker& exploration() const { return tracker_; }
+  GrowPolicy& grow_policy() { return *config_.grow; }
+  DropPolicy& drop_policy() { return *config_.drop; }
+
+ private:
+  void run_update(std::size_t iteration, double learning_rate);
+  std::vector<std::size_t> grow_budgets(
+      const std::vector<std::size_t>& drop_counts) const;
+
+  sparse::SparseModel* model_;
+  optim::Optimizer* optimizer_;
+  DstEngineConfig config_;
+  UpdateSchedule schedule_;
+  util::Rng rng_;
+  sparse::TopologyLog log_;
+  sparse::ExplorationTracker tracker_;
+  UpdateObserver observer_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace dstee::methods

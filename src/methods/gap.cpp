@@ -1,0 +1,74 @@
+#include "methods/gap.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/topk.hpp"
+#include "util/check.hpp"
+
+namespace dstee::methods {
+
+GapScheduler::GapScheduler(sparse::SparseModel& model, const GapConfig& config)
+    : config_(config), num_layers_(model.num_layers()) {
+  util::check(config.num_partitions >= 2,
+              "GaP requires at least two partitions");
+  util::check(config.num_partitions <= model.num_layers(),
+              "more partitions than layers");
+  util::check(config.phase_iterations > 0,
+              "phase length must be positive");
+  util::check(config.sparsity > 0.0 && config.sparsity < 1.0,
+              "sparsity must be in (0, 1)");
+  // Phase 0 starts with partition 0 dense; the rest keep their (sparse)
+  // masks from SparseModel construction.
+  densify_partition(model, 0);
+}
+
+std::size_t GapScheduler::partition_of(std::size_t layer_index) const {
+  util::check(layer_index < num_layers_, "layer index out of range");
+  return layer_index % config_.num_partitions;
+}
+
+bool GapScheduler::maybe_rotate(sparse::SparseModel& model,
+                                std::size_t iteration) {
+  if (iteration == 0 || iteration % config_.phase_iterations != 0) {
+    return false;
+  }
+  prune_partition(model, active_partition_);
+  active_partition_ = (active_partition_ + 1) % config_.num_partitions;
+  densify_partition(model, active_partition_);
+  model.accumulate_counters();
+  ++rotations_;
+  return true;
+}
+
+void GapScheduler::densify_partition(sparse::SparseModel& model,
+                                     std::size_t partition) {
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    if (partition_of(i) != partition) continue;
+    auto& layer = model.layer(i);
+    layer.mask() = sparse::Mask(layer.param().value.shape());  // all ones
+    // Weights stay as they are: previously-masked entries are zero and can
+    // now train; surviving entries keep their values.
+  }
+}
+
+void GapScheduler::prune_partition(sparse::SparseModel& model,
+                                   std::size_t partition) {
+  // Per-layer counts are recomputed at the target sparsity over the whole
+  // model so the layer budget matches the configured distribution.
+  std::vector<tensor::Shape> shapes;
+  shapes.reserve(model.num_layers());
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    shapes.push_back(model.layer(i).param().value.shape());
+  }
+  const auto counts = sparse::layer_active_counts(shapes, config_.sparsity,
+                                                  config_.distribution);
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    if (partition_of(i) != partition) continue;
+    auto& layer = model.layer(i);
+    const tensor::Tensor magnitudes = tensor::abs(layer.param().value);
+    const auto keep = tensor::topk_indices(magnitudes, counts[i]);
+    layer.mask() = sparse::Mask::from_indices(magnitudes.shape(), keep);
+    layer.apply_mask_to_value();
+  }
+}
+
+}  // namespace dstee::methods

@@ -1,0 +1,62 @@
+// GaP (grow-and-prune) — the scheduled partition-wise baseline the paper's
+// related-work section discusses (Ma et al., "Effective model
+// sparsification by scheduled grow-and-prune", ICLR 2022).
+//
+// The model's layers are divided into P partitions. Training proceeds in
+// phases: in phase p, partition (p mod P) is grown DENSE while every other
+// partition stays sparse; at the phase boundary the previously-dense
+// partition is magnitude-pruned back to the target sparsity. Over P·k
+// phases every weight gets dense training time (full coverage — the
+// property DST-EE achieves with its exploration bonus instead), at the
+// cost of a much higher training-FLOPs budget, which is the drawback the
+// paper cites.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/distribution.hpp"
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::methods {
+
+struct GapConfig {
+  std::size_t num_partitions = 4;
+  std::size_t phase_iterations = 200;  ///< iterations per dense phase
+  double sparsity = 0.9;               ///< target sparsity between phases
+  sparse::DistributionKind distribution = sparse::DistributionKind::kErk;
+};
+
+/// Drives the grow-and-prune phase schedule over a SparseModel.
+class GapScheduler {
+ public:
+  /// Partitions the model's layers round-robin and densifies partition 0.
+  GapScheduler(sparse::SparseModel& model, const GapConfig& config);
+
+  /// Call once per iteration BEFORE gradient masking. At phase boundaries
+  /// prunes the outgoing dense partition and densifies the next one.
+  /// Returns true when the phase rotated.
+  bool maybe_rotate(sparse::SparseModel& model, std::size_t iteration);
+
+  /// Partition index a layer belongs to.
+  std::size_t partition_of(std::size_t layer_index) const;
+
+  /// Currently-dense partition.
+  std::size_t active_partition() const { return active_partition_; }
+
+  /// Number of completed phase rotations.
+  std::size_t rotations() const { return rotations_; }
+
+  const GapConfig& config() const { return config_; }
+
+ private:
+  void densify_partition(sparse::SparseModel& model, std::size_t partition);
+  void prune_partition(sparse::SparseModel& model, std::size_t partition);
+
+  GapConfig config_;
+  std::size_t num_layers_ = 0;
+  std::size_t active_partition_ = 0;
+  std::size_t rotations_ = 0;
+};
+
+}  // namespace dstee::methods

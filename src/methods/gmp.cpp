@@ -1,0 +1,57 @@
+#include "methods/gmp.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/topk.hpp"
+#include "util/check.hpp"
+
+namespace dstee::methods {
+
+GradualMagnitudePruner::GradualMagnitudePruner(const GmpConfig& config)
+    : config_(config) {
+  util::check(config.final_sparsity > 0.0 && config.final_sparsity < 1.0,
+              "final sparsity must be in (0, 1)");
+  util::check(config.end_iteration > config.start_iteration,
+              "pruning window must be non-empty");
+  util::check(config.frequency > 0, "pruning frequency must be positive");
+}
+
+double GradualMagnitudePruner::sparsity_at(std::size_t t) const {
+  if (t <= config_.start_iteration) return 0.0;
+  if (t >= config_.end_iteration) return config_.final_sparsity;
+  const double progress =
+      static_cast<double>(t - config_.start_iteration) /
+      static_cast<double>(config_.end_iteration - config_.start_iteration);
+  const double ramp = 1.0 - std::pow(1.0 - progress, 3.0);
+  return config_.final_sparsity * ramp;
+}
+
+bool GradualMagnitudePruner::maybe_prune(sparse::SparseModel& model,
+                                         std::size_t t) {
+  if (t < config_.start_iteration || t > config_.end_iteration) return false;
+  if ((t - config_.start_iteration) % config_.frequency != 0) return false;
+
+  const double sparsity = sparsity_at(t);
+  if (sparsity <= 0.0) return false;
+
+  std::vector<tensor::Shape> shapes;
+  shapes.reserve(model.num_layers());
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    shapes.push_back(model.layer(i).param().value.shape());
+  }
+  const auto counts =
+      sparse::layer_active_counts(shapes, sparsity, config_.distribution);
+
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    auto& layer = model.layer(i);
+    const tensor::Tensor magnitudes = tensor::abs(layer.param().value);
+    const auto keep = tensor::topk_indices(magnitudes, counts[i]);
+    layer.mask() = sparse::Mask::from_indices(magnitudes.shape(), keep);
+    layer.apply_mask_to_value();
+  }
+  model.accumulate_counters();
+  return true;
+}
+
+}  // namespace dstee::methods

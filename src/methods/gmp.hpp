@@ -1,0 +1,48 @@
+// Gradual magnitude pruning (Zhu & Gupta): dense-to-sparse over training.
+//
+// Stands in for the paper's dense-to-sparse baselines STR and SIS, which
+// learn per-layer thresholds. GMP reproduces their *envelope*: a dense
+// early phase (high training FLOPs), gradually increasing sparsity, and a
+// magnitude-selected final mask. The Table I/II qualitative behaviour —
+// dense-to-sparse beating static masks but losing to good DST at high
+// sparsity with a far larger training-FLOPs budget — is what matters here,
+// and it is schedule-driven, not threshold-driven.
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/distribution.hpp"
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::methods {
+
+/// Cubic sparsity ramp: s(t) = s_f · (1 − (1 − p)³), p = progress in the
+/// pruning window.
+struct GmpConfig {
+  double final_sparsity = 0.9;
+  std::size_t start_iteration = 0;   ///< pruning window start
+  std::size_t end_iteration = 0;     ///< pruning window end (must be set)
+  std::size_t frequency = 100;       ///< prune every this many iterations
+  sparse::DistributionKind distribution = sparse::DistributionKind::kErk;
+};
+
+/// Drives the dense→sparse schedule during training.
+class GradualMagnitudePruner {
+ public:
+  explicit GradualMagnitudePruner(const GmpConfig& config);
+
+  /// Target sparsity at iteration `t`.
+  double sparsity_at(std::size_t t) const;
+
+  /// Call once per iteration (before the optimizer step). When a pruning
+  /// step fires, masks are recomputed by per-layer magnitude at the
+  /// scheduled sparsity. Returns true when masks changed.
+  bool maybe_prune(sparse::SparseModel& model, std::size_t t);
+
+  const GmpConfig& config() const { return config_; }
+
+ private:
+  GmpConfig config_;
+};
+
+}  // namespace dstee::methods

@@ -1,0 +1,81 @@
+#include "methods/grow_policy.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dstee::methods {
+
+tensor::Tensor RandomGrow::scores(const GrowContext& ctx) {
+  tensor::Tensor s(ctx.dense_grad.shape());
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    s[i] = static_cast<float>(ctx.rng.uniform());
+  }
+  return s;
+}
+
+tensor::Tensor GradientGrow::scores(const GrowContext& ctx) {
+  return tensor::abs(ctx.dense_grad);
+}
+
+DstEeGrow::DstEeGrow(const Config& config) : config_(config) {
+  util::check(config.c >= 0.0, "DST-EE coefficient c must be non-negative");
+  util::check(config.eps > 0.0, "DST-EE epsilon must be positive");
+}
+
+tensor::Tensor DstEeGrow::exploration_term(const GrowContext& ctx) const {
+  util::check(ctx.iteration >= 1, "DST-EE requires iteration >= 1");
+  const double ln_t = std::log(static_cast<double>(ctx.iteration));
+  const tensor::Tensor& counter = ctx.layer.counter();
+  tensor::Tensor s(counter.shape());
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    s[i] = static_cast<float>(config_.c * ln_t /
+                              (static_cast<double>(counter[i]) + config_.eps));
+  }
+  return s;
+}
+
+tensor::Tensor DstEeGrow::scores(const GrowContext& ctx) {
+  tensor::Tensor s = tensor::abs(ctx.dense_grad);  // exploitation
+  const tensor::Tensor bonus = exploration_term(ctx);
+  tensor::add_inplace(s, bonus);
+  return s;
+}
+
+MomentumGrow::MomentumGrow(double smoothing) : smoothing_(smoothing) {
+  util::check(smoothing >= 0.0 && smoothing < 1.0,
+              "momentum smoothing must be in [0, 1)");
+}
+
+tensor::Tensor MomentumGrow::scores(const GrowContext& ctx) {
+  if (ema_.size() <= ctx.layer_index) ema_.resize(ctx.layer_index + 1);
+  tensor::Tensor& ema = ema_[ctx.layer_index];
+  if (ema.numel() != ctx.dense_grad.numel()) {
+    ema = tensor::Tensor(ctx.dense_grad.shape());  // lazily created, zeroed
+  }
+  const float mu = static_cast<float>(smoothing_);
+  for (std::size_t i = 0; i < ema.numel(); ++i) {
+    ema[i] = mu * ema[i] + (1.0f - mu) * std::fabs(ctx.dense_grad[i]);
+  }
+  return ema;
+}
+
+BlendedGrow::BlendedGrow(double lambda) : lambda_(lambda) {
+  util::check(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+}
+
+tensor::Tensor BlendedGrow::scores(const GrowContext& ctx) {
+  // Normalize |grad| to [0,1] so the blend is scale-free.
+  tensor::Tensor g = tensor::abs(ctx.dense_grad);
+  const float gmax = tensor::max_value(g);
+  const float inv = gmax > 0.0f ? 1.0f / gmax : 0.0f;
+  tensor::Tensor s(g.shape());
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    s[i] = static_cast<float>(lambda_) * g[i] * inv +
+           static_cast<float>((1.0 - lambda_) * ctx.rng.uniform());
+  }
+  return s;
+}
+
+}  // namespace dstee::methods

@@ -1,0 +1,103 @@
+// Growth policies: given a layer's state and its dense gradient, score every
+// weight position; the engine grows the top-k among INACTIVE positions.
+//
+// The strategy pattern keeps the comparison honest: every method in
+// Tables I/II shares the same engine, drop policy and training loop and
+// differs only in this scoring function (plus scheduling noted in the
+// registry).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/masked_parameter.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::methods {
+
+/// Everything a growth policy may look at when scoring one layer.
+struct GrowContext {
+  const sparse::MaskedParameter& layer;  ///< mask, counter N, weights
+  std::size_t layer_index = 0;           ///< stable index within the model
+  const tensor::Tensor& dense_grad;      ///< full ∂l/∂W (masked entries too)
+  std::size_t iteration = 0;             ///< global iteration t
+  util::Rng& rng;                        ///< per-call deterministic stream
+};
+
+/// Scores candidate positions for growth (higher = grown first).
+class GrowPolicy {
+ public:
+  virtual ~GrowPolicy() = default;
+  virtual tensor::Tensor scores(const GrowContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// SET: uniform random scores — growth is pure exploration, but memoryless.
+class RandomGrow : public GrowPolicy {
+ public:
+  tensor::Tensor scores(const GrowContext& ctx) override;
+  std::string name() const override { return "random"; }
+};
+
+/// RigL: |gradient| — pure exploitation of the current loss landscape.
+class GradientGrow : public GrowPolicy {
+ public:
+  tensor::Tensor scores(const GrowContext& ctx) override;
+  std::string name() const override { return "gradient"; }
+};
+
+/// DST-EE (the paper): S = |∂l/∂W| + c · ln(t) / (N + ε).
+/// The first term exploits the current gradient; the second is a UCB-style
+/// exploration bonus that decays for frequently-active positions and grows
+/// (logarithmically) with training time, so never-tried weights are
+/// eventually grown even if their instantaneous gradient is small.
+class DstEeGrow : public GrowPolicy {
+ public:
+  struct Config {
+    double c = 1e-3;    ///< exploration/exploitation trade-off coefficient
+    double eps = 1e-3;  ///< keeps the denominator positive for N == 0
+  };
+  explicit DstEeGrow(const Config& config);
+
+  tensor::Tensor scores(const GrowContext& ctx) override;
+  std::string name() const override { return "dst-ee"; }
+
+  const Config& config() const { return config_; }
+
+  /// The exploration term alone — used by Fig. 3's instrumentation.
+  tensor::Tensor exploration_term(const GrowContext& ctx) const;
+
+ private:
+  Config config_;
+};
+
+/// SNFS: exponentially-smoothed gradient momentum as the growth score.
+/// State (one EMA tensor per layer) lives inside the policy.
+class MomentumGrow : public GrowPolicy {
+ public:
+  explicit MomentumGrow(double smoothing = 0.9);
+  tensor::Tensor scores(const GrowContext& ctx) override;
+  std::string name() const override { return "momentum"; }
+
+ private:
+  double smoothing_;
+  std::vector<tensor::Tensor> ema_;  // indexed by layer_index
+};
+
+/// Hybrid used in ablations: λ·|grad| + (1−λ)·uniform-random. λ=1 is RigL,
+/// λ=0 is SET; sweeping λ isolates the value of the DST-EE *structured*
+/// exploration bonus versus unstructured randomness.
+class BlendedGrow : public GrowPolicy {
+ public:
+  explicit BlendedGrow(double lambda);
+  tensor::Tensor scores(const GrowContext& ctx) override;
+  std::string name() const override { return "blended"; }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace dstee::methods

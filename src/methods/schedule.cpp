@@ -1,0 +1,68 @@
+#include "methods/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace dstee::methods {
+
+UpdateSchedule::UpdateSchedule(const UpdateScheduleConfig& config)
+    : config_(config) {
+  util::check(config.delta_t > 0, "ΔT must be positive");
+  util::check(config.total_iterations > 0, "total iterations must be set");
+  util::check(config.stop_fraction > 0.0 && config.stop_fraction <= 1.0,
+              "stop fraction must be in (0, 1]");
+  util::check(config.initial_drop_fraction > 0.0 &&
+                  config.initial_drop_fraction < 1.0,
+              "initial drop fraction must be in (0, 1)");
+}
+
+std::size_t UpdateSchedule::stop_iteration() const {
+  return static_cast<std::size_t>(
+      config_.stop_fraction * static_cast<double>(config_.total_iterations));
+}
+
+bool UpdateSchedule::is_update_step(std::size_t t) const {
+  if (t == 0 || t >= config_.total_iterations) return false;
+  if (t > stop_iteration()) return false;
+  return t % config_.delta_t == 0;
+}
+
+double UpdateSchedule::drop_fraction(std::size_t t) const {
+  const double alpha0 = config_.initial_drop_fraction;
+  const double stop = static_cast<double>(stop_iteration());
+  const double progress =
+      stop > 0.0 ? std::min(1.0, static_cast<double>(t) / stop) : 1.0;
+  switch (config_.decay) {
+    case DropFractionDecay::kConstant:
+      return alpha0;
+    case DropFractionDecay::kCosine:
+      return alpha0 / 2.0 * (1.0 + std::cos(std::numbers::pi * progress));
+    case DropFractionDecay::kLinear:
+      return alpha0 * (1.0 - progress);
+  }
+  return alpha0;
+}
+
+std::size_t UpdateSchedule::num_rounds() const {
+  std::size_t rounds = 0;
+  for (std::size_t t = config_.delta_t; t <= stop_iteration() &&
+                                        t < config_.total_iterations;
+       t += config_.delta_t) {
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::string to_string(DropFractionDecay decay) {
+  switch (decay) {
+    case DropFractionDecay::kConstant: return "constant";
+    case DropFractionDecay::kCosine: return "cosine";
+    case DropFractionDecay::kLinear: return "linear";
+  }
+  return "?";
+}
+
+}  // namespace dstee::methods

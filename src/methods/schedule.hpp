@@ -1,0 +1,55 @@
+// Update scheduling for drop-and-grow: when topology updates happen and
+// what fraction of active weights each round replaces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dstee::methods {
+
+/// How the drop fraction α_t decays over training.
+enum class DropFractionDecay {
+  kConstant,  ///< α_t = α₀ (SET)
+  kCosine,    ///< α_t = α₀/2 · (1 + cos(πt/T_stop)) (RigL)
+  kLinear,    ///< α_t = α₀ · (1 − t/T_stop) (MEST's decreasing rate)
+};
+
+/// Drop-and-grow scheduling parameters.
+struct UpdateScheduleConfig {
+  std::size_t delta_t = 100;        ///< iterations between mask updates (ΔT)
+  std::size_t total_iterations = 0; ///< T_end; must be set
+  double stop_fraction = 0.75;      ///< updates stop after this fraction of
+                                    ///< training (RigL convention); 1.0 = run
+                                    ///< to the end as in Algorithm 1
+  double initial_drop_fraction = 0.3;  ///< α₀
+  DropFractionDecay decay = DropFractionDecay::kCosine;
+};
+
+/// Evaluates the schedule. Iterations are 0-based; following Algorithm 1,
+/// updates fire when t mod ΔT == 0 (skipping t == 0, where no gradient
+/// information exists yet).
+class UpdateSchedule {
+ public:
+  explicit UpdateSchedule(const UpdateScheduleConfig& config);
+
+  /// True when iteration `t` is a mask-update step.
+  bool is_update_step(std::size_t t) const;
+
+  /// Drop fraction α_t at iteration `t`.
+  double drop_fraction(std::size_t t) const;
+
+  /// Number of update rounds that will fire over the whole run.
+  std::size_t num_rounds() const;
+
+  /// Last iteration at which updates may fire.
+  std::size_t stop_iteration() const;
+
+  const UpdateScheduleConfig& config() const { return config_; }
+
+ private:
+  UpdateScheduleConfig config_;
+};
+
+std::string to_string(DropFractionDecay decay);
+
+}  // namespace dstee::methods

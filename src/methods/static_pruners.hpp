@@ -1,0 +1,70 @@
+// Pruning-at-initialization baselines (Table I/II's static-mask rows).
+//
+// Workflow: build the model dense, wrap it in a SparseModel with sparsity 0,
+// then call one of these to install the static mask. No topology updates
+// happen afterwards.
+//
+// Faithfulness notes (documented substitutions):
+//  * SNIP uses the exact published score |w ⊙ g|.
+//  * GraSP's score is -w ⊙ Hg; we use the first-order H ≈ I approximation
+//    (keep large w ⊙ g, i.e. preserve gradient flow) since the framework is
+//    first-order only. The qualitative behaviour — static masks degrade
+//    sharply at 98% sparsity — is preserved.
+//  * SynFlow is implemented exactly (data-free, iterative, abs-weight
+//    linearization), as in the published algorithm.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.hpp"
+#include "sparse/sparse_model.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::methods {
+
+/// Options shared by the static pruners.
+struct StaticPruneConfig {
+  double sparsity = 0.9;
+  sparse::DistributionKind distribution = sparse::DistributionKind::kErk;
+  /// true → single global top-k over all layers (each layer keeps ≥1
+  /// weight); false → per-layer counts from `distribution`.
+  bool global_topk = false;
+};
+
+/// Runs one forward+backward on a scoring minibatch, leaving gradients in
+/// the model parameters. Provided by the caller (it owns data and loss).
+using GradEvalFn = std::function<void()>;
+
+/// Keeps the largest-|w| weights.
+void prune_magnitude(sparse::SparseModel& model,
+                     const StaticPruneConfig& config);
+
+/// Keeps a uniformly random subset (the "random ticket" control).
+void prune_random(sparse::SparseModel& model, const StaticPruneConfig& config,
+                  util::Rng& rng);
+
+/// SNIP: connection sensitivity |w ⊙ g| from one scoring batch.
+void prune_snip(nn::Module& module, sparse::SparseModel& model,
+                const GradEvalFn& eval_grads, const StaticPruneConfig& config);
+
+/// GraSP (first-order): keeps large w ⊙ g to preserve gradient flow.
+void prune_grasp(nn::Module& module, sparse::SparseModel& model,
+                 const GradEvalFn& eval_grads,
+                 const StaticPruneConfig& config);
+
+/// SynFlow: data-free iterative synaptic-flow pruning. `input_shape` is a
+/// single-example input shape (batch dim added internally); `rounds` is the
+/// published exponential pruning schedule length (100 in the paper; smaller
+/// values work at our scales).
+void prune_synflow(nn::Module& module, sparse::SparseModel& model,
+                   const tensor::Shape& input_shape,
+                   const StaticPruneConfig& config, std::size_t rounds = 20);
+
+/// Shared helper: installs masks keeping top-k of `scores` per the config
+/// (per-layer counts or global top-k), zeroes masked weights and resets
+/// occurrence counters. Exposed for tests and custom pruners.
+void install_masks_from_scores(sparse::SparseModel& model,
+                               const std::vector<tensor::Tensor>& scores,
+                               const StaticPruneConfig& config);
+
+}  // namespace dstee::methods

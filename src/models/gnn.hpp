@@ -1,0 +1,83 @@
+// GNN link predictor (Tables III/IV): a two-layer GCN encoder whose two
+// fully-connected weight matrices are the sparsification targets (the paper
+// applies DST to "the two fully connected layers" with uniform sparsity),
+// plus a dot-product edge decoder.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/link_prediction.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::models {
+
+/// One GCN layer: Y = Â · (X · Wᵀ). The weight is an ordinary Linear-style
+/// sparsifiable parameter; Â is the graph's fixed normalized adjacency.
+class GcnLayer : public nn::Module {
+ public:
+  GcnLayer(const graph::Graph& g, std::size_t in_features,
+           std::size_t out_features, util::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  std::string name() const override;
+
+  nn::Parameter& weight() { return weight_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::size_t in_features_;
+  std::size_t out_features_;
+  nn::Parameter weight_;
+  tensor::Tensor cached_input_;
+};
+
+struct GnnConfig {
+  std::size_t in_features = 32;
+  std::size_t hidden = 64;
+  std::size_t embedding = 32;
+};
+
+/// Encoder (GCN → ReLU → GCN) + dot-product decoder with a learnable
+/// scalar bias (the bias calibrates the 0.5 decision threshold; it is a
+/// dense parameter, never sparsified). Not a Sequential: the decoder
+/// consumes node-pair lists, not tensors.
+class GnnLinkPredictor : public nn::Module {
+ public:
+  GnnLinkPredictor(const graph::Graph& g, const GnnConfig& config,
+                   util::Rng& rng);
+
+  /// Node embeddings Z = encoder(X), cached for pair scoring/backprop.
+  tensor::Tensor forward(const tensor::Tensor& features) override;
+
+  /// Backward from dL/dZ.
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  /// Logit per pair: z_u · z_v + b (uses the cached embeddings).
+  tensor::Tensor score_pairs(const std::vector<graph::LabeledPair>& pairs) const;
+
+  /// Converts pair-logit gradients into dL/dZ for backward() and
+  /// accumulates the decoder-bias gradient.
+  tensor::Tensor pair_grad_to_embedding_grad(
+      const tensor::Tensor& grad_logits,
+      const std::vector<graph::LabeledPair>& pairs);
+
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override { return "gnn_link_predictor"; }
+
+  const GnnConfig& config() const { return config_; }
+
+ private:
+  GnnConfig config_;
+  GcnLayer layer1_;
+  nn::ReLU relu_;
+  GcnLayer layer2_;
+  nn::Parameter decoder_bias_;
+  tensor::Tensor cached_embeddings_;
+};
+
+}  // namespace dstee::models

@@ -1,0 +1,41 @@
+#include "models/mlp.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "util/check.hpp"
+
+namespace dstee::models {
+
+Mlp::Mlp(const MlpConfig& config, util::Rng& rng) : config_(config) {
+  util::check(config.in_features > 0 && config.out_features > 0,
+              "mlp feature sizes must be positive");
+  util::Rng init_rng = rng.fork("mlp/init");
+  std::size_t in = config.in_features;
+  for (std::size_t i = 0; i < config.hidden.size(); ++i) {
+    const std::size_t out = config.hidden[i];
+    emplace<nn::Linear>(in, out, init_rng);
+    if (config.batch_norm) emplace<nn::BatchNorm1d>(out);
+    emplace<nn::ReLU>();
+    if (config.dropout > 0.0) {
+      emplace<nn::Dropout>(config.dropout,
+                           rng.fork("mlp/dropout/" + std::to_string(i)));
+    }
+    in = out;
+  }
+  emplace<nn::Linear>(in, config.out_features, init_rng);
+}
+
+sparse::FlopsModel Mlp::flops_model() const {
+  sparse::FlopsModel fm;
+  std::size_t in = config_.in_features;
+  for (std::size_t i = 0; i < config_.hidden.size(); ++i) {
+    fm.add_linear("fc" + std::to_string(i), in, config_.hidden[i]);
+    in = config_.hidden[i];
+  }
+  fm.add_linear("fc_out", in, config_.out_features);
+  return fm;
+}
+
+}  // namespace dstee::models

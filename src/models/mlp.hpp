@@ -1,0 +1,33 @@
+// Multi-layer perceptron — used by unit tests, the quickstart example and
+// the tabular ablations.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "sparse/flops.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::models {
+
+struct MlpConfig {
+  std::size_t in_features = 32;
+  std::vector<std::size_t> hidden = {128, 128};
+  std::size_t out_features = 10;
+  bool batch_norm = false;
+  double dropout = 0.0;
+};
+
+/// Plain feed-forward ReLU network.
+class Mlp : public nn::Sequential {
+ public:
+  Mlp(const MlpConfig& config, util::Rng& rng);
+
+  const MlpConfig& config() const { return config_; }
+  sparse::FlopsModel flops_model() const;
+
+ private:
+  MlpConfig config_;
+};
+
+}  // namespace dstee::models

@@ -1,0 +1,156 @@
+#include "models/resnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dstee::models {
+
+namespace {
+std::size_t scaled(std::size_t channels, double multiplier) {
+  return std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::llround(channels * multiplier)));
+}
+}  // namespace
+
+ResidualBlock::ResidualBlock(std::size_t in_ch, std::size_t mid_ch,
+                             std::size_t out_ch, std::size_t stride,
+                             bool bottleneck, util::Rng& rng,
+                             std::size_t input_res,
+                             std::vector<ConvGeomRecord>& records) {
+  const std::size_t out_res = (input_res + stride - 1) / stride;
+  if (bottleneck) {
+    main_.emplace<nn::Conv2d>(in_ch, mid_ch, 1, 1, 0, rng);
+    records.push_back({in_ch, mid_ch, 1, 1, 0, input_res});
+    main_.emplace<nn::BatchNorm2d>(mid_ch);
+    main_.emplace<nn::ReLU>();
+    main_.emplace<nn::Conv2d>(mid_ch, mid_ch, 3, stride, 1, rng);
+    records.push_back({mid_ch, mid_ch, 3, stride, 1, input_res});
+    main_.emplace<nn::BatchNorm2d>(mid_ch);
+    main_.emplace<nn::ReLU>();
+    main_.emplace<nn::Conv2d>(mid_ch, out_ch, 1, 1, 0, rng);
+    records.push_back({mid_ch, out_ch, 1, 1, 0, out_res});
+    main_.emplace<nn::BatchNorm2d>(out_ch);
+  } else {
+    main_.emplace<nn::Conv2d>(in_ch, mid_ch, 3, stride, 1, rng);
+    records.push_back({in_ch, mid_ch, 3, stride, 1, input_res});
+    main_.emplace<nn::BatchNorm2d>(mid_ch);
+    main_.emplace<nn::ReLU>();
+    main_.emplace<nn::Conv2d>(mid_ch, out_ch, 3, 1, 1, rng);
+    records.push_back({mid_ch, out_ch, 3, 1, 1, out_res});
+    main_.emplace<nn::BatchNorm2d>(out_ch);
+  }
+  if (stride != 1 || in_ch != out_ch) {
+    shortcut_.emplace();
+    shortcut_->emplace<nn::Conv2d>(in_ch, out_ch, 1, stride, 0, rng);
+    records.push_back({in_ch, out_ch, 1, stride, 0, input_res});
+    shortcut_->emplace<nn::BatchNorm2d>(out_ch);
+  }
+}
+
+tensor::Tensor ResidualBlock::forward(const tensor::Tensor& x) {
+  tensor::Tensor a = main_.forward(x);
+  tensor::Tensor b = shortcut_ ? shortcut_->forward(x) : x;
+  util::check(a.shape() == b.shape(),
+              "residual branches disagree: " + a.shape().to_string() +
+                  " vs " + b.shape().to_string());
+  tensor::Tensor s = tensor::add(a, b);
+  cached_relu_mask_ = tensor::Tensor(s.shape());
+  tensor::Tensor y(s.shape());
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    const bool pos = s[i] > 0.0f;
+    cached_relu_mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? s[i] : 0.0f;
+  }
+  return y;
+}
+
+tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_out) {
+  util::check(grad_out.shape() == cached_relu_mask_.shape(),
+              "residual backward shape mismatch");
+  tensor::Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_relu_mask_[i];
+  }
+  tensor::Tensor gx = main_.backward(g);
+  if (shortcut_) {
+    tensor::add_inplace(gx, shortcut_->backward(g));
+  } else {
+    tensor::add_inplace(gx, g);
+  }
+  return gx;
+}
+
+void ResidualBlock::collect_parameters(std::vector<nn::Parameter*>& out) {
+  main_.collect_parameters(out);
+  if (shortcut_) shortcut_->collect_parameters(out);
+}
+
+void ResidualBlock::set_training(bool training) {
+  Module::set_training(training);
+  main_.set_training(training);
+  if (shortcut_) shortcut_->set_training(training);
+}
+
+std::string ResidualBlock::name() const { return "residual_block"; }
+
+ResNet::ResNet(const ResNetConfig& config, util::Rng& rng) : config_(config) {
+  util::check(config.num_classes >= 2, "resnet requires >= 2 classes");
+  const bool bottleneck = config.depth >= 50;
+  std::vector<std::size_t> blocks;
+  switch (config.depth) {
+    case 18: blocks = {2, 2, 2, 2}; break;
+    case 34: blocks = {3, 4, 6, 3}; break;
+    case 50: blocks = {3, 4, 6, 3}; break;
+    default: util::fail("unsupported ResNet depth: " +
+                        std::to_string(config.depth));
+  }
+  const std::size_t expansion = bottleneck ? 4 : 1;
+  util::Rng init_rng = rng.fork("resnet/init");
+
+  std::size_t res = config.image_size;
+  const std::size_t stem = scaled(64, config.width_multiplier);
+  emplace<nn::Conv2d>(config.in_channels, stem, 3, 1, 1, init_rng);
+  conv_records_.push_back({config.in_channels, stem, 3, 1, 1, res});
+  emplace<nn::BatchNorm2d>(stem);
+  emplace<nn::ReLU>();
+
+  std::size_t in_ch = stem;
+  const std::size_t stage_widths[4] = {64, 128, 256, 512};
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    const std::size_t mid = scaled(stage_widths[stage], config.width_multiplier);
+    const std::size_t out = mid * expansion;
+    for (std::size_t b = 0; b < blocks[stage]; ++b) {
+      // Never stride below 1×1 feature maps.
+      std::size_t stride = (b == 0 && stage > 0) ? 2 : 1;
+      if (res < 2) stride = 1;
+      emplace<ResidualBlock>(in_ch, mid, out, stride, bottleneck, init_rng,
+                             res, conv_records_);
+      if (stride == 2) res = (res + 1) / 2;
+      in_ch = out;
+    }
+  }
+  emplace<nn::GlobalAvgPool>();
+  final_features_ = in_ch;
+  emplace<nn::Linear>(in_ch, config.num_classes, init_rng);
+}
+
+sparse::FlopsModel ResNet::flops_model() const {
+  sparse::FlopsModel fm;
+  for (std::size_t i = 0; i < conv_records_.size(); ++i) {
+    const auto& r = conv_records_[i];
+    fm.add_conv("conv" + std::to_string(i), r.in_ch, r.out_ch, r.kernel,
+                r.stride, r.padding, r.res, r.res);
+  }
+  fm.add_linear("classifier", final_features_, config_.num_classes);
+  return fm;
+}
+
+}  // namespace dstee::models

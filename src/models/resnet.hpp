@@ -1,0 +1,66 @@
+// ResNet family with basic (18/34) and bottleneck (50) blocks, in the
+// CIFAR-style stem configuration (3×3 stem, no initial max-pool) that the
+// paper's CIFAR experiments use; the ImageNet bench raises the input
+// resolution instead.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/sequential.hpp"
+#include "sparse/flops.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::models {
+
+/// Conv geometry record used to assemble the analytic FLOPs model.
+struct ConvGeomRecord {
+  std::size_t in_ch, out_ch, kernel, stride, padding, res;
+};
+
+/// Residual block with a bottleneck (1×1 → 3×3 → 1×1) or basic (3×3 → 3×3)
+/// main path and an optional projection shortcut.
+class ResidualBlock : public nn::Module {
+ public:
+  ResidualBlock(std::size_t in_ch, std::size_t mid_ch, std::size_t out_ch,
+                std::size_t stride, bool bottleneck, util::Rng& rng,
+                std::size_t input_res, std::vector<ConvGeomRecord>& records);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override;
+
+ private:
+  nn::Sequential main_;
+  std::optional<nn::Sequential> shortcut_;
+  tensor::Tensor cached_relu_mask_;
+};
+
+/// Architecture hyperparameters.
+struct ResNetConfig {
+  int depth = 50;                 ///< 18, 34 or 50
+  std::size_t in_channels = 3;
+  std::size_t image_size = 32;
+  std::size_t num_classes = 10;
+  double width_multiplier = 1.0;  ///< scales the 64/128/256/512 stage widths
+};
+
+/// Full ResNet classifier.
+class ResNet : public nn::Sequential {
+ public:
+  ResNet(const ResNetConfig& config, util::Rng& rng);
+
+  const ResNetConfig& config() const { return config_; }
+  sparse::FlopsModel flops_model() const;
+
+ private:
+  ResNetConfig config_;
+  std::vector<ConvGeomRecord> conv_records_;
+  std::size_t final_features_ = 0;
+};
+
+}  // namespace dstee::models

@@ -1,0 +1,86 @@
+#include "models/vgg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "util/check.hpp"
+
+namespace dstee::models {
+
+std::vector<std::size_t> vgg_plan(int depth) {
+  // 0 = max-pool stage break (standard torchvision configs A/B/D/E).
+  switch (depth) {
+    case 11:
+      return {64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0};
+    case 13:
+      return {64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0};
+    case 16:
+      return {64, 64, 0, 128, 128, 0, 256, 256, 256, 0,
+              512, 512, 512, 0, 512, 512, 512, 0};
+    case 19:
+      return {64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0,
+              512, 512, 512, 512, 0, 512, 512, 512, 512, 0};
+    default:
+      util::fail("unsupported VGG depth: " + std::to_string(depth));
+  }
+}
+
+namespace {
+std::size_t scaled(std::size_t channels, double multiplier) {
+  return std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::llround(channels * multiplier)));
+}
+}  // namespace
+
+Vgg::Vgg(const VggConfig& config, util::Rng& rng) : config_(config) {
+  util::check(config.image_size >= 2, "vgg requires image size >= 2");
+  util::check(config.num_classes >= 2, "vgg requires >= 2 classes");
+  util::check(config.width_multiplier > 0.0,
+              "width multiplier must be positive");
+
+  std::size_t channels = config.in_channels;
+  std::size_t res = config.image_size;
+  util::Rng init_rng = rng.fork("vgg/init");
+  for (const std::size_t entry : vgg_plan(config.depth)) {
+    if (entry == 0) {
+      if (res >= 2) {
+        emplace<nn::MaxPool2d>(2, 2);
+        res /= 2;
+      }
+      continue;
+    }
+    const std::size_t out_ch = scaled(entry, config.width_multiplier);
+    emplace<nn::Conv2d>(channels, out_ch, 3, 1, 1, init_rng);
+    emplace<nn::BatchNorm2d>(out_ch);
+    emplace<nn::ReLU>();
+    conv_records_.push_back({channels, out_ch, res});
+    ++num_convs_;
+    channels = out_ch;
+  }
+  emplace<nn::GlobalAvgPool>();
+  final_features_ = channels;
+  if (config.classifier_dropout > 0.0) {
+    emplace<nn::Dropout>(config.classifier_dropout, rng.fork("vgg/dropout"));
+  }
+  emplace<nn::Linear>(channels, config.num_classes, init_rng);
+}
+
+sparse::FlopsModel Vgg::flops_model() const {
+  sparse::FlopsModel fm;
+  for (std::size_t i = 0; i < conv_records_.size(); ++i) {
+    const auto& r = conv_records_[i];
+    fm.add_conv("conv" + std::to_string(i), r.in_ch, r.out_ch, 3, 1, 1,
+                r.res, r.res);
+  }
+  fm.add_linear("classifier", final_features_, config_.num_classes);
+  return fm;
+}
+
+}  // namespace dstee::models

@@ -1,0 +1,58 @@
+// VGG family (VGG-11/13/16/19) in the CIFAR configuration the paper uses:
+// 3×3 convs + batch-norm + ReLU, max-pool stage breaks, global average
+// pool, single linear classifier.
+//
+// `width_multiplier` scales channel counts so the same topology runs at
+// laptop scale; 1.0 recovers the full architecture. Pools that would
+// reduce the spatial size below 1×1 are skipped, letting the same config
+// accept small synthetic resolutions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "sparse/flops.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::models {
+
+/// Architecture hyperparameters.
+struct VggConfig {
+  int depth = 19;                 ///< 11, 13, 16 or 19
+  std::size_t in_channels = 3;
+  std::size_t image_size = 32;    ///< square input resolution
+  std::size_t num_classes = 100;
+  double width_multiplier = 1.0;  ///< scales every conv stage
+  double classifier_dropout = 0.0;
+};
+
+/// Builds the VGG module tree. The returned Sequential owns all layers.
+class Vgg : public nn::Sequential {
+ public:
+  Vgg(const VggConfig& config, util::Rng& rng);
+
+  const VggConfig& config() const { return config_; }
+
+  /// Number of conv layers in this configuration.
+  std::size_t num_conv_layers() const { return num_convs_; }
+
+  /// Analytic FLOPs profile matching this instance's geometry.
+  sparse::FlopsModel flops_model() const;
+
+ private:
+  VggConfig config_;
+  std::size_t num_convs_ = 0;
+  // (in_ch, out_ch, input resolution) per conv, for the FLOPs model.
+  struct ConvRecord {
+    std::size_t in_ch, out_ch, res;
+  };
+  std::vector<ConvRecord> conv_records_;
+  std::size_t final_features_ = 0;
+};
+
+/// Per-depth stage plan: channel counts with 0 denoting a max-pool.
+std::vector<std::size_t> vgg_plan(int depth);
+
+}  // namespace dstee::models

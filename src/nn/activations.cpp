@@ -1,0 +1,87 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dstee::nn {
+
+tensor::Tensor ReLU::forward(const tensor::Tensor& x) {
+  cached_mask_ = tensor::Tensor(x.shape());
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    cached_mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+tensor::Tensor ReLU::backward(const tensor::Tensor& grad_out) {
+  util::check(grad_out.shape() == cached_mask_.shape(),
+              "relu backward shape mismatch");
+  tensor::Tensor grad_x(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    grad_x[i] = grad_out[i] * cached_mask_[i];
+  }
+  return grad_x;
+}
+
+tensor::Tensor Sigmoid::forward(const tensor::Tensor& x) {
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  cached_output_ = y;
+  return y;
+}
+
+tensor::Tensor Sigmoid::backward(const tensor::Tensor& grad_out) {
+  util::check(grad_out.shape() == cached_output_.shape(),
+              "sigmoid backward shape mismatch");
+  tensor::Tensor grad_x(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    const float s = cached_output_[i];
+    grad_x[i] = grad_out[i] * s * (1.0f - s);
+  }
+  return grad_x;
+}
+
+tensor::Tensor Tanh::forward(const tensor::Tensor& x) {
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = y;
+  return y;
+}
+
+tensor::Tensor Tanh::backward(const tensor::Tensor& grad_out) {
+  util::check(grad_out.shape() == cached_output_.shape(),
+              "tanh backward shape mismatch");
+  tensor::Tensor grad_x(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    const float t = cached_output_[i];
+    grad_x[i] = grad_out[i] * (1.0f - t * t);
+  }
+  return grad_x;
+}
+
+tensor::Tensor LeakyReLU::forward(const tensor::Tensor& x) {
+  cached_input_ = x;
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : slope_ * x[i];
+  }
+  return y;
+}
+
+tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_out) {
+  util::check(grad_out.shape() == cached_input_.shape(),
+              "leaky_relu backward shape mismatch");
+  tensor::Tensor grad_x(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    grad_x[i] = grad_out[i] * (cached_input_[i] > 0.0f ? 1.0f : slope_);
+  }
+  return grad_x;
+}
+
+}  // namespace dstee::nn

@@ -1,0 +1,55 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dstee::nn {
+
+/// Rectified linear unit.
+class ReLU : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  tensor::Tensor cached_mask_;  // 1 where x > 0
+};
+
+/// Logistic sigmoid (used by the GNN link-prediction head).
+class Sigmoid : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "tanh"; }
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+/// LeakyReLU with fixed negative slope.
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f)
+      : slope_(negative_slope) {}
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "leaky_relu"; }
+
+ private:
+  float slope_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace dstee::nn

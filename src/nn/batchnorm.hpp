@@ -1,0 +1,64 @@
+// Batch normalization (2-d feature maps and 1-d feature vectors).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dstee::nn {
+
+/// BatchNorm over [N, C, H, W] (per-channel statistics) or [N, C]
+/// (per-feature). Training mode normalizes with batch statistics and
+/// maintains running estimates; eval mode uses the running estimates.
+/// Affine parameters gamma/beta are trainable but never sparsified.
+class BatchNorm : public Module {
+ public:
+  /// `channels` = C; `momentum` is the running-stat update rate;
+  /// `rank4` selects [N,C,H,W] (true) vs [N,C] (false) input layout.
+  BatchNorm(std::size_t channels, bool rank4, double momentum = 0.1,
+            double eps = 1e-5);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string name() const override;
+
+  std::size_t channels() const { return channels_; }
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  bool rank4_;
+  double momentum_;
+  double eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  tensor::Tensor running_mean_;
+  tensor::Tensor running_var_;
+
+  // forward caches (training AND eval mode; eval backward treats the
+  // statistics as constants)
+  tensor::Tensor cached_xhat_;
+  std::vector<double> cached_mean_;
+  std::vector<double> cached_inv_std_;
+  tensor::Shape cached_shape_;
+  bool backward_through_batch_stats_ = true;
+
+  std::size_t spatial(const tensor::Shape& s) const;
+};
+
+/// Convenience aliases matching torch naming.
+class BatchNorm2d : public BatchNorm {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double momentum = 0.1,
+                       double eps = 1e-5)
+      : BatchNorm(channels, /*rank4=*/true, momentum, eps) {}
+};
+
+class BatchNorm1d : public BatchNorm {
+ public:
+  explicit BatchNorm1d(std::size_t channels, double momentum = 0.1,
+                       double eps = 1e-5)
+      : BatchNorm(channels, /*rank4=*/false, momentum, eps) {}
+};
+
+}  // namespace dstee::nn

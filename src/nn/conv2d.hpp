@@ -1,0 +1,47 @@
+// 2-d convolution over NCHW tensors via im2col lowering.
+#pragma once
+
+#include <optional>
+
+#include "nn/module.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::nn {
+
+/// Conv2d with square kernels, symmetric padding and uniform stride.
+/// Weight shape: [out_channels, in_channels, k, k] (sparsifiable).
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t padding,
+         util::Rng& rng, bool with_bias = false);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string name() const override;
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t padding() const { return padding_; }
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+
+ private:
+  tensor::ConvGeometry geometry(std::size_t in_h, std::size_t in_w) const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  Parameter weight_;
+  std::optional<Parameter> bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace dstee::nn

@@ -1,0 +1,42 @@
+#include "nn/dropout.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::nn {
+
+Dropout::Dropout(double p, util::Rng rng) : p_(p), rng_(rng) {
+  util::check(p >= 0.0 && p < 1.0, "dropout probability must be in [0, 1)");
+}
+
+tensor::Tensor Dropout::forward(const tensor::Tensor& x) {
+  if (!is_training() || p_ == 0.0) {
+    cached_scale_ = tensor::Tensor();  // marks pass-through for backward
+    return x;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  cached_scale_ = tensor::Tensor(x.shape());
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float s = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    cached_scale_[i] = s;
+    y[i] = x[i] * s;
+  }
+  return y;
+}
+
+tensor::Tensor Dropout::backward(const tensor::Tensor& grad_out) {
+  if (cached_scale_.rank() == 0) return grad_out;  // was a pass-through
+  util::check(grad_out.shape() == cached_scale_.shape(),
+              "dropout backward shape mismatch");
+  tensor::Tensor grad_x(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    grad_x[i] = grad_out[i] * cached_scale_[i];
+  }
+  return grad_x;
+}
+
+std::string Dropout::name() const {
+  return "dropout(p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace dstee::nn

@@ -1,0 +1,28 @@
+// Inverted dropout.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::nn {
+
+/// Inverted dropout: active only in training mode; outputs are scaled by
+/// 1/(1-p) so inference needs no correction. Owns a deterministic RNG
+/// stream so runs stay reproducible.
+class Dropout : public Module {
+ public:
+  Dropout(double p, util::Rng rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+
+  double drop_probability() const { return p_; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+  tensor::Tensor cached_scale_;  // 0 or 1/(1-p) per element
+};
+
+}  // namespace dstee::nn

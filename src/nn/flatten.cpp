@@ -1,0 +1,21 @@
+#include "nn/flatten.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::nn {
+
+tensor::Tensor Flatten::forward(const tensor::Tensor& x) {
+  util::check(x.rank() >= 2, "flatten expects at least rank-2 input");
+  cached_in_shape_ = x.shape();
+  const std::size_t batch = x.dim(0);
+  const std::size_t features = x.numel() / batch;
+  return x.reshaped(tensor::Shape({batch, features}));
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_out) {
+  util::check(grad_out.numel() == cached_in_shape_.numel(),
+              "flatten backward gradient size mismatch");
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+}  // namespace dstee::nn

@@ -1,0 +1,19 @@
+// Flatten: [N, C, H, W] → [N, C·H·W].
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dstee::nn {
+
+/// Flattens all trailing dimensions into one feature axis.
+class Flatten : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  tensor::Shape cached_in_shape_;
+};
+
+}  // namespace dstee::nn

@@ -1,0 +1,41 @@
+// Fully-connected layer: y = x·Wᵀ + b.
+#pragma once
+
+#include <optional>
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::nn {
+
+/// Linear layer over rank-2 inputs [batch, in_features].
+/// Weight shape: [out_features, in_features] (sparsifiable);
+/// bias shape: [out_features] (dense).
+class Linear : public Module {
+ public:
+  /// Kaiming-normal weight init, zero bias.
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+         bool with_bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string name() const override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  /// Requires with_bias = true at construction.
+  Parameter& bias();
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Parameter weight_;
+  std::optional<Parameter> bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace dstee::nn

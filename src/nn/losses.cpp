@@ -1,0 +1,113 @@
+#include "nn/losses.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dstee::nn {
+
+double SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
+                                    std::span<const std::size_t> labels) {
+  util::check(logits.rank() == 2, "cross-entropy expects [batch, classes]");
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  util::check(labels.size() == batch,
+              "label count must equal the batch size");
+
+  probs_ = tensor::Tensor(logits.shape());
+  labels_.assign(labels.begin(), labels.end());
+  double loss = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    util::check(labels[n] < classes, "label out of class range");
+    const float* row = logits.raw() + n * classes;
+    float* prow = probs_.raw() + n * classes;
+    float maxv = row[0];
+    for (std::size_t c = 1; c < classes; ++c) maxv = std::max(maxv, row[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double e = std::exp(static_cast<double>(row[c] - maxv));
+      prow[c] = static_cast<float>(e);
+      denom += e;
+    }
+    const double inv = 1.0 / denom;
+    for (std::size_t c = 0; c < classes; ++c) {
+      prow[c] = static_cast<float>(prow[c] * inv);
+    }
+    // -log p[label]; clamp avoids -inf on underflow
+    const double p = std::max(static_cast<double>(prow[labels[n]]), 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(batch);
+}
+
+tensor::Tensor SoftmaxCrossEntropy::backward() const {
+  util::check(probs_.rank() == 2, "backward called before forward");
+  const std::size_t batch = probs_.dim(0), classes = probs_.dim(1);
+  tensor::Tensor grad = probs_;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    grad[n * classes + labels_[n]] -= 1.0f;
+  }
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= inv_batch;
+  return grad;
+}
+
+double BCEWithLogits::forward(const tensor::Tensor& logits,
+                              std::span<const float> targets) {
+  util::check(logits.rank() == 1 ||
+                  (logits.rank() == 2 && logits.dim(1) == 1),
+              "bce-with-logits expects [batch] or [batch, 1] logits");
+  const std::size_t batch = logits.dim(0);
+  util::check(targets.size() == batch,
+              "target count must equal the batch size");
+  logits_shape_ = logits.shape();
+  probs_ = tensor::Tensor(tensor::Shape({batch}));
+  targets_.assign(targets.begin(), targets.end());
+
+  double loss = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double z = logits[n];
+    const double t = targets[n];
+    util::check(t == 0.0f || t == 1.0f, "bce targets must be 0 or 1");
+    // log(1 + e^{-|z|}) formulation avoids overflow for large |z|.
+    const double log1p_term = std::log1p(std::exp(-std::fabs(z)));
+    loss += std::max(z, 0.0) - z * t + log1p_term;
+    probs_[n] = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
+  }
+  return loss / static_cast<double>(batch);
+}
+
+tensor::Tensor BCEWithLogits::backward() const {
+  util::check(probs_.numel() == targets_.size(),
+              "backward called before forward");
+  const std::size_t batch = probs_.numel();
+  tensor::Tensor grad(logits_shape_);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    grad[n] = (probs_[n] - targets_[n]) * inv_batch;
+  }
+  return grad;
+}
+
+double MeanSquaredError::forward(const tensor::Tensor& prediction,
+                                 const tensor::Tensor& target) {
+  util::check(prediction.shape() == target.shape(),
+              "mse requires matching shapes");
+  diff_ = tensor::Tensor(prediction.shape());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < prediction.numel(); ++i) {
+    const double d = static_cast<double>(prediction[i]) - target[i];
+    diff_[i] = static_cast<float>(d);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(prediction.numel());
+}
+
+tensor::Tensor MeanSquaredError::backward() const {
+  util::check(diff_.numel() > 0, "backward called before forward");
+  tensor::Tensor grad = diff_;
+  const float scale = 2.0f / static_cast<float>(diff_.numel());
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= scale;
+  return grad;
+}
+
+}  // namespace dstee::nn

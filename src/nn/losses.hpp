@@ -1,0 +1,60 @@
+// Loss functions. Losses are not Modules: they take (prediction, target)
+// and produce (scalar loss, gradient w.r.t. prediction).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::nn {
+
+/// Softmax + cross-entropy over logits [batch, classes] with integer labels.
+/// The fused formulation is numerically stable (max-subtraction) and gives
+/// the textbook gradient (softmax − one_hot) / batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns mean loss over the batch and caches what backward needs.
+  double forward(const tensor::Tensor& logits,
+                 std::span<const std::size_t> labels);
+
+  /// Gradient w.r.t. the logits of the last forward call.
+  tensor::Tensor backward() const;
+
+  /// Row-wise class probabilities of the last forward call.
+  const tensor::Tensor& probabilities() const { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<std::size_t> labels_;
+};
+
+/// Binary cross-entropy on logits [batch] (or [batch, 1]) with float
+/// targets in {0, 1} — the link-prediction objective.
+class BCEWithLogits {
+ public:
+  double forward(const tensor::Tensor& logits,
+                 std::span<const float> targets);
+  tensor::Tensor backward() const;
+
+  /// σ(logit) of the last forward call.
+  const tensor::Tensor& probabilities() const { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<float> targets_;
+  tensor::Shape logits_shape_;
+};
+
+/// Mean squared error between prediction and target tensors of equal shape.
+class MeanSquaredError {
+ public:
+  double forward(const tensor::Tensor& prediction,
+                 const tensor::Tensor& target);
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor diff_;
+};
+
+}  // namespace dstee::nn

@@ -1,0 +1,25 @@
+#include "nn/module.hpp"
+
+namespace dstee::nn {
+
+void Module::collect_parameters(std::vector<Parameter*>& out) {
+  (void)out;  // leaf modules without parameters add nothing
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t Module::num_parameters() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace dstee::nn

@@ -1,0 +1,32 @@
+// Trainable parameter: value + gradient + sparsification eligibility.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::nn {
+
+/// A named trainable tensor with its gradient accumulator.
+///
+/// `sparsifiable` marks the parameters DST operates on. Following the paper
+/// (and RigL/SET convention), conv and linear *weights* are sparsified;
+/// biases and batch-norm affine parameters stay dense — they are a
+/// negligible fraction of the model and pruning them destabilizes training.
+struct Parameter {
+  Parameter(std::string param_name, tensor::Shape shape, bool can_sparsify)
+      : name(std::move(param_name)),
+        value(shape),
+        grad(shape),
+        sparsifiable(can_sparsify) {}
+
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+  bool sparsifiable;
+
+  /// Clears the gradient accumulator.
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+}  // namespace dstee::nn

@@ -1,0 +1,49 @@
+// Spatial pooling layers for NCHW tensors.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dstee::nn {
+
+/// Max pooling with square window. Default 2×2/stride-2 (the VGG config).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t kernel = 2, std::size_t stride = 0);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  tensor::Shape cached_in_shape_;
+  std::vector<std::size_t> cached_argmax_;  // flat input index per output
+};
+
+/// Average pooling with square window and stride == kernel.
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(std::size_t kernel = 2);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override;
+
+ private:
+  std::size_t kernel_;
+  tensor::Shape cached_in_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] → [N, C].
+class GlobalAvgPool : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  std::string name() const override { return "global_avg_pool"; }
+
+ private:
+  tensor::Shape cached_in_shape_;
+};
+
+}  // namespace dstee::nn

@@ -1,0 +1,44 @@
+#include "nn/sequential.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::nn {
+
+void Sequential::append(std::unique_ptr<Module> module) {
+  util::check(module != nullptr, "cannot append a null module");
+  children_.push_back(std::move(module));
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& x) {
+  tensor::Tensor h = x;
+  for (auto& child : children_) h = child->forward(h);
+  return h;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor g = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& child : children_) child->collect_parameters(out);
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+std::string Sequential::name() const {
+  return "sequential(" + std::to_string(children_.size()) + " modules)";
+}
+
+Module& Sequential::child(std::size_t i) {
+  util::check(i < children_.size(), "sequential child index out of range");
+  return *children_[i];
+}
+
+}  // namespace dstee::nn

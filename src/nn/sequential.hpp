@@ -1,0 +1,41 @@
+// Sequential container: composes modules front-to-back.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dstee::nn {
+
+/// Runs children in order on forward; reverses them on backward.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a child; returns a reference for chaining/config access.
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto child = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *child;
+    children_.push_back(std::move(child));
+    return ref;
+  }
+
+  /// Appends an already-built module.
+  void append(std::unique_ptr<Module> module);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override;
+
+  std::size_t size() const { return children_.size(); }
+  Module& child(std::size_t i);
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace dstee::nn

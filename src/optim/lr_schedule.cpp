@@ -1,0 +1,57 @@
+#include "optim/lr_schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace dstee::optim {
+
+ConstantLr::ConstantLr(double lr) : lr_(lr) {
+  util::check(lr > 0.0, "learning rate must be positive");
+}
+
+double ConstantLr::lr_at(std::size_t) const { return lr_; }
+
+StepLr::StepLr(double base_lr, std::size_t step_every, double gamma)
+    : base_lr_(base_lr), step_every_(step_every), gamma_(gamma) {
+  util::check(base_lr > 0.0, "learning rate must be positive");
+  util::check(step_every > 0, "step interval must be positive");
+  util::check(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+}
+
+double StepLr::lr_at(std::size_t t) const {
+  const auto k = static_cast<double>(t / step_every_);
+  return base_lr_ * std::pow(gamma_, k);
+}
+
+CosineAnnealingLr::CosineAnnealingLr(double base_lr, std::size_t total_iters,
+                                     double min_lr)
+    : base_lr_(base_lr), total_iters_(total_iters), min_lr_(min_lr) {
+  util::check(base_lr > 0.0, "learning rate must be positive");
+  util::check(total_iters > 0, "total iterations must be positive");
+  util::check(min_lr >= 0.0 && min_lr <= base_lr,
+              "min_lr must lie in [0, base_lr]");
+}
+
+double CosineAnnealingLr::lr_at(std::size_t t) const {
+  const double progress =
+      std::min(1.0, static_cast<double>(t) / static_cast<double>(total_iters_));
+  return min_lr_ + 0.5 * (base_lr_ - min_lr_) *
+                       (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+WarmupLr::WarmupLr(std::unique_ptr<LrSchedule> inner,
+                   std::size_t warmup_iters)
+    : inner_(std::move(inner)), warmup_iters_(warmup_iters) {
+  util::check(inner_ != nullptr, "warmup requires an inner schedule");
+}
+
+double WarmupLr::lr_at(std::size_t t) const {
+  if (warmup_iters_ == 0 || t >= warmup_iters_) return inner_->lr_at(t);
+  const double frac =
+      static_cast<double>(t + 1) / static_cast<double>(warmup_iters_);
+  return inner_->lr_at(warmup_iters_) * frac;
+}
+
+}  // namespace dstee::optim

@@ -1,0 +1,70 @@
+// Learning-rate schedules. The paper uses cosine annealing with SGD.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace dstee::optim {
+
+/// Maps a global iteration index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate at iteration `t` (0-based) of `total` iterations.
+  virtual double lr_at(std::size_t t) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr);
+  double lr_at(std::size_t t) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  double lr_;
+};
+
+/// Step decay: lr = base · gammaᵏ where k = t / step_every.
+class StepLr : public LrSchedule {
+ public:
+  StepLr(double base_lr, std::size_t step_every, double gamma);
+  double lr_at(std::size_t t) const override;
+  std::string name() const override { return "step"; }
+
+ private:
+  double base_lr_;
+  std::size_t step_every_;
+  double gamma_;
+};
+
+/// Cosine annealing from base_lr down to min_lr over `total_iters`
+/// (paper's scheduler): lr(t) = min + 0.5(base−min)(1 + cos(πt/T)).
+class CosineAnnealingLr : public LrSchedule {
+ public:
+  CosineAnnealingLr(double base_lr, std::size_t total_iters,
+                    double min_lr = 0.0);
+  double lr_at(std::size_t t) const override;
+  std::string name() const override { return "cosine"; }
+
+ private:
+  double base_lr_;
+  std::size_t total_iters_;
+  double min_lr_;
+};
+
+/// Linear warmup for the first `warmup_iters`, then delegates to `inner`.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(std::unique_ptr<LrSchedule> inner, std::size_t warmup_iters);
+  double lr_at(std::size_t t) const override;
+  std::string name() const override { return "warmup+" + inner_->name(); }
+
+ private:
+  std::unique_ptr<LrSchedule> inner_;
+  std::size_t warmup_iters_;
+};
+
+}  // namespace dstee::optim

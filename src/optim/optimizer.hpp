@@ -1,0 +1,98 @@
+// Optimizers. The paper trains with SGD + momentum under cosine annealing;
+// Adam is provided for the GNN experiments and ablations.
+//
+// Sparse-training integration: optimizers expose `reset_state_at` so the
+// DST engine can clear stale momentum when a weight is dropped or grown
+// (RigL's reference implementation does the same — carrying momentum across
+// topology changes lets dead weights "ghost-update").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace dstee::optim {
+
+/// Base optimizer over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using each parameter's accumulated gradient.
+  virtual void step() = 0;
+
+  /// Clears optimizer state (e.g. momentum) for element `flat_index` of
+  /// parameter `param_idx`. No-op for stateless optimizers.
+  virtual void reset_state_at(std::size_t param_idx, std::size_t flat_index);
+
+  /// Current learning rate.
+  double learning_rate() const { return lr_; }
+  /// Updates the learning rate (driven by an LrSchedule each iteration).
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+  std::size_t num_params() const { return params_.size(); }
+  nn::Parameter& param(std::size_t i) { return *params_[i]; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+  double lr_ = 0.1;
+};
+
+/// SGD with momentum, optional Nesterov, and decoupled L2 weight decay.
+/// Weight decay is applied only to sparsifiable parameters' active weights
+/// being updated; biases/batch-norm are exempt (standard practice).
+class Sgd : public Optimizer {
+ public:
+  struct Config {
+    double lr = 0.1;
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+    bool nesterov = false;
+    bool decay_bn_and_bias = false;
+  };
+
+  Sgd(std::vector<nn::Parameter*> params, const Config& config);
+
+  void step() override;
+  void reset_state_at(std::size_t param_idx, std::size_t flat_index) override;
+  std::string name() const override { return "sgd"; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<nn::Parameter*> params, const Config& config);
+
+  void step() override;
+  void reset_state_at(std::size_t param_idx, std::size_t flat_index) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  Config config_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace dstee::optim

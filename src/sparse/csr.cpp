@@ -1,0 +1,140 @@
+#include "sparse/csr.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dstee::sparse {
+
+CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
+  util::check(dense.rank() == 2, "CSR conversion requires a rank-2 tensor");
+  CsrMatrix m(dense.dim(0), dense.dim(1));
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      const float v = dense[r * m.cols_ + c];
+      if (std::fabs(v) > eps) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[r + 1] = m.values_.size();
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_masked(const MaskedParameter& param) {
+  const tensor::Tensor& dense = param.param().value;
+  util::check(dense.rank() == 2,
+              "CSR conversion requires a rank-2 parameter");
+  const tensor::Tensor& mask = param.mask().tensor();
+  CsrMatrix m(dense.dim(0), dense.dim(1));
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      const std::size_t i = r * m.cols_ + c;
+      if (mask[i] != 0.0f) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(dense[i]);
+      }
+    }
+    m.row_ptr_[r + 1] = m.values_.size();
+  }
+  return m;
+}
+
+double CsrMatrix::density() const {
+  const double total = static_cast<double>(rows_) * static_cast<double>(cols_);
+  return total > 0.0 ? static_cast<double>(nnz()) / total : 0.0;
+}
+
+tensor::Tensor CsrMatrix::matvec(const tensor::Tensor& x) const {
+  util::check(x.numel() == cols_, "matvec input size must equal cols");
+  tensor::Tensor y({rows_});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float acc = 0.0f;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+tensor::Tensor CsrMatrix::matmul_nt(const tensor::Tensor& x) const {
+  util::check(x.rank() == 2 && x.dim(1) == cols_,
+              "matmul_nt expects [batch, cols]");
+  const std::size_t batch = x.dim(0);
+  tensor::Tensor y({batch, rows_});
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xn = x.raw() + n * cols_;
+    float* yn = y.raw() + n * rows_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      float acc = 0.0f;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        acc += values_[k] * xn[col_idx_[k]];
+      }
+      yn[r] = acc;
+    }
+  }
+  return y;
+}
+
+tensor::Tensor CsrMatrix::to_dense() const {
+  tensor::Tensor dense({rows_, cols_});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense[r * cols_ + col_idx_[k]] = values_[k];
+    }
+  }
+  return dense;
+}
+
+SparseLinearStack::SparseLinearStack(std::vector<CsrMatrix> layers,
+                                     std::vector<tensor::Tensor> biases)
+    : layers_(std::move(layers)), biases_(std::move(biases)) {
+  util::check(!layers_.empty(), "sparse stack requires at least one layer");
+  util::check(biases_.size() == layers_.size(),
+              "one bias entry (possibly empty) per layer required");
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    util::check(layers_[i].cols() == layers_[i - 1].rows(),
+                "layer dimensions do not chain");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    util::check(biases_[i].numel() == 0 ||
+                    biases_[i].numel() == layers_[i].rows(),
+                "bias size must match layer output");
+  }
+}
+
+const CsrMatrix& SparseLinearStack::layer(std::size_t i) const {
+  util::check(i < layers_.size(), "layer index out of range");
+  return layers_[i];
+}
+
+std::size_t SparseLinearStack::total_nnz() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.nnz();
+  return n;
+}
+
+tensor::Tensor SparseLinearStack::forward(const tensor::Tensor& x) const {
+  util::check(x.rank() == 2, "forward expects [batch, features]");
+  tensor::Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].matmul_nt(h);
+    const std::size_t out = layers_[i].rows();
+    if (biases_[i].numel() == out) {
+      for (std::size_t n = 0; n < h.dim(0); ++n) {
+        float* row = h.raw() + n * out;
+        for (std::size_t j = 0; j < out; ++j) row[j] += biases_[i][j];
+      }
+    }
+    if (i + 1 < layers_.size()) {  // ReLU between layers, none at the head
+      for (std::size_t j = 0; j < h.numel(); ++j) {
+        if (h[j] < 0.0f) h[j] = 0.0f;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace dstee::sparse

@@ -1,0 +1,89 @@
+// CSR sparse-matrix inference path.
+//
+// Training keeps weights dense-with-masks (the standard DST formulation),
+// but the *deployment* story of the paper — inference FLOPs proportional to
+// density — is only real if sparse kernels exist. This module converts a
+// trained masked weight matrix into CSR form and provides the sparse
+// matrix-vector / matrix-matrix products a deployment runtime would use.
+// The micro_kernels bench measures the dense→CSR crossover empirically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/masked_parameter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::sparse {
+
+/// Compressed sparse row matrix (float values, row-major logical shape).
+class CsrMatrix {
+ public:
+  /// Builds from a dense rank-2 tensor, keeping entries with |v| > eps.
+  static CsrMatrix from_dense(const tensor::Tensor& dense, float eps = 0.0f);
+
+  /// Builds from a masked parameter (only mask-active entries are stored,
+  /// regardless of value — the faithful deployment of a sparse topology).
+  static CsrMatrix from_masked(const MaskedParameter& param);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Density in [0, 1].
+  double density() const;
+
+  /// y = A·x for x[cols] → y[rows].
+  tensor::Tensor matvec(const tensor::Tensor& x) const;
+
+  /// Y = X·Aᵀ for X[batch, cols] → Y[batch, rows] — the sparse Linear
+  /// forward (weights stored [out, in] as in nn::Linear).
+  tensor::Tensor matmul_nt(const tensor::Tensor& x) const;
+
+  /// Reconstructs the dense matrix (tests / round-trips).
+  tensor::Tensor to_dense() const;
+
+  /// Raw CSR arrays (read-only).
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  CsrMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<float> values_;
+};
+
+/// Sparse-deployed MLP inference: converts every sparsifiable rank-2 layer
+/// of a SparseModel into CSR once, then serves forward passes without
+/// touching dense weights. Only Linear-chain models are supported (conv
+/// deployment would lower to CSR over im2col patches; out of scope here).
+class SparseLinearStack {
+ public:
+  /// Captures CSR weights + dense biases from an MLP-shaped module whose
+  /// sparsifiable parameters are rank-2 [out, in] matrices, in order.
+  /// `biases[i]` may be empty when the layer has none.
+  SparseLinearStack(std::vector<CsrMatrix> layers,
+                    std::vector<tensor::Tensor> biases);
+
+  /// Forward with ReLU between layers (matching models::Mlp without
+  /// batch-norm/dropout, in eval mode).
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const CsrMatrix& layer(std::size_t i) const;
+
+  /// Total stored nonzeros across layers.
+  std::size_t total_nnz() const;
+
+ private:
+  std::vector<CsrMatrix> layers_;
+  std::vector<tensor::Tensor> biases_;
+};
+
+}  // namespace dstee::sparse

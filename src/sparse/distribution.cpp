@@ -1,0 +1,155 @@
+#include "sparse/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace dstee::sparse {
+
+DistributionKind parse_distribution(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "uniform") return DistributionKind::kUniform;
+  if (lower == "er") return DistributionKind::kEr;
+  if (lower == "erk") return DistributionKind::kErk;
+  util::fail("unknown sparsity distribution: " + name);
+}
+
+std::string to_string(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kUniform: return "uniform";
+    case DistributionKind::kEr: return "er";
+    case DistributionKind::kErk: return "erk";
+  }
+  return "?";
+}
+
+namespace {
+
+// ER/ERK raw scale factor for one parameter shape.
+double raw_scale(const tensor::Shape& shape, DistributionKind kind) {
+  if (kind == DistributionKind::kUniform) return 1.0;
+  double sum_dims = 0.0;
+  double numel = 1.0;
+  if (shape.rank() == 2) {
+    sum_dims = static_cast<double>(shape.dim(0) + shape.dim(1));
+    numel = static_cast<double>(shape.dim(0)) * static_cast<double>(shape.dim(1));
+  } else if (shape.rank() == 4) {
+    if (kind == DistributionKind::kErk) {
+      sum_dims = static_cast<double>(shape.dim(0) + shape.dim(1) +
+                                     shape.dim(2) + shape.dim(3));
+    } else {
+      sum_dims = static_cast<double>(shape.dim(0) + shape.dim(1));
+    }
+    numel = static_cast<double>(shape.numel());
+  } else {
+    util::fail("sparsity distribution supports rank-2/4 parameters only");
+  }
+  return sum_dims / numel;
+}
+
+}  // namespace
+
+std::vector<double> layer_densities(const std::vector<tensor::Shape>& shapes,
+                                    double global_sparsity,
+                                    DistributionKind kind) {
+  util::check(!shapes.empty(), "no parameter shapes given");
+  util::check(global_sparsity >= 0.0 && global_sparsity < 1.0,
+              "global sparsity must be in [0, 1)");
+  const double global_density = 1.0 - global_sparsity;
+  const std::size_t L = shapes.size();
+
+  if (kind == DistributionKind::kUniform) {
+    return std::vector<double>(L, global_density);
+  }
+
+  // Fixed point: dense-clamped layers keep density 1; remaining budget is
+  // spread over the rest proportionally to their raw ER(K) scales.
+  std::vector<bool> dense(L, false);
+  std::vector<double> densities(L, 0.0);
+  std::vector<double> scales(L);
+  std::vector<double> numels(L);
+  for (std::size_t i = 0; i < L; ++i) {
+    scales[i] = raw_scale(shapes[i], kind);
+    numels[i] = static_cast<double>(shapes[i].numel());
+  }
+  const double total = std::accumulate(numels.begin(), numels.end(), 0.0);
+
+  for (std::size_t iteration = 0; iteration <= L; ++iteration) {
+    double budget = global_density * total;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < L; ++i) {
+      if (dense[i]) budget -= numels[i];
+      else weighted += scales[i] * numels[i];
+    }
+    util::check(weighted > 0.0,
+                "ERK distribution degenerate: all layers clamped dense");
+    const double eps = budget / weighted;  // global multiplier
+
+    bool clamped_new = false;
+    for (std::size_t i = 0; i < L; ++i) {
+      if (dense[i]) {
+        densities[i] = 1.0;
+        continue;
+      }
+      densities[i] = eps * scales[i];
+      if (densities[i] > 1.0) {
+        dense[i] = true;
+        clamped_new = true;
+      }
+    }
+    if (!clamped_new) break;
+  }
+  for (auto& d : densities) d = std::clamp(d, 0.0, 1.0);
+  return densities;
+}
+
+std::vector<std::size_t> layer_active_counts(
+    const std::vector<tensor::Shape>& shapes, double global_sparsity,
+    DistributionKind kind) {
+  const auto densities = layer_densities(shapes, global_sparsity, kind);
+  const std::size_t L = shapes.size();
+  double total = 0.0;
+  for (const auto& s : shapes) total += static_cast<double>(s.numel());
+  const auto target_global = static_cast<std::size_t>(
+      std::llround((1.0 - global_sparsity) * total));
+
+  // Floor per layer, then distribute the remainder by largest fraction.
+  std::vector<std::size_t> counts(L);
+  std::vector<std::pair<double, std::size_t>> fractions(L);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < L; ++i) {
+    const double exact = densities[i] * static_cast<double>(shapes[i].numel());
+    counts[i] = static_cast<std::size_t>(std::floor(exact));
+    counts[i] = std::max<std::size_t>(counts[i], 1);  // never empty a layer
+    counts[i] = std::min(counts[i], shapes[i].numel());
+    fractions[i] = {exact - std::floor(exact), i};
+    assigned += counts[i];
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t cursor = 0;
+  while (assigned < target_global && cursor < L) {
+    const std::size_t i = fractions[cursor++].second;
+    if (counts[i] < shapes[i].numel()) {
+      ++counts[i];
+      ++assigned;
+    }
+  }
+  // If rounding overshot (floors + min-1 clamps), trim from the densest
+  // layers — keeping ≥1 active weight per layer.
+  cursor = L;
+  while (assigned > target_global && cursor-- > 0) {
+    const std::size_t i = fractions[cursor].second;
+    if (counts[i] > 1) {
+      --counts[i];
+      --assigned;
+    }
+    if (cursor == 0 && assigned > target_global) cursor = L;
+  }
+  return counts;
+}
+
+}  // namespace dstee::sparse

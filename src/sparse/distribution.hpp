@@ -1,0 +1,43 @@
+// Layer-wise sparsity distributions.
+//
+// The paper initializes with ERK (Erdős–Rényi-Kernel, from SET/RigL):
+// layer density ∝ (fan_in + fan_out + kernel terms) / numel, rescaled so
+// the GLOBAL density hits the target. Uniform and ER are provided for
+// ablations and the GNN experiments (paper §V-B uses uniform for the GNN).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace dstee::sparse {
+
+/// How the global sparsity budget is spread across layers.
+enum class DistributionKind {
+  kUniform,  ///< every layer gets the global density
+  kEr,       ///< Erdős–Rényi: scale ∝ (n_in + n_out) / (n_in·n_out)
+  kErk,      ///< Erdős–Rényi-Kernel: ER extended with kernel dims (RigL)
+};
+
+DistributionKind parse_distribution(const std::string& name);
+std::string to_string(DistributionKind kind);
+
+/// Computes per-layer densities for parameter shapes `shapes` so that the
+/// total active count is (1 - global_sparsity) · Σ numel (up to rounding).
+///
+/// ERK/ER scale factors can push small layers above density 1; those layers
+/// are clamped dense and the remainder is redistributed (same fixed-point
+/// loop as the RigL reference implementation).
+std::vector<double> layer_densities(const std::vector<tensor::Shape>& shapes,
+                                    double global_sparsity,
+                                    DistributionKind kind);
+
+/// Per-layer active-weight counts implied by `layer_densities`, with
+/// largest-remainder rounding so the GLOBAL count is hit exactly (each
+/// layer keeps at least 1 active weight).
+std::vector<std::size_t> layer_active_counts(
+    const std::vector<tensor::Shape>& shapes, double global_sparsity,
+    DistributionKind kind);
+
+}  // namespace dstee::sparse

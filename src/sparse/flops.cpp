@@ -1,0 +1,100 @@
+#include "sparse/flops.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::sparse {
+
+void FlopsModel::add_conv(const std::string& name, std::size_t in_channels,
+                          std::size_t out_channels, std::size_t kernel,
+                          std::size_t stride, std::size_t padding,
+                          std::size_t in_h, std::size_t in_w) {
+  util::check(stride > 0, "conv stride must be positive");
+  util::check(in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+              "conv input smaller than kernel");
+  const std::size_t out_h = (in_h + 2 * padding - kernel) / stride + 1;
+  const std::size_t out_w = (in_w + 2 * padding - kernel) / stride + 1;
+  LayerCost c;
+  c.name = name;
+  c.params = out_channels * in_channels * kernel * kernel;
+  // 2 FLOPs per MAC; MACs = out positions × kernel volume.
+  c.dense_flops = 2.0 * static_cast<double>(out_h * out_w) *
+                  static_cast<double>(c.params);
+  c.sparsifiable = true;
+  layers_.push_back(std::move(c));
+}
+
+void FlopsModel::add_linear(const std::string& name, std::size_t in_features,
+                            std::size_t out_features) {
+  LayerCost c;
+  c.name = name;
+  c.params = in_features * out_features;
+  c.dense_flops = 2.0 * static_cast<double>(c.params);
+  c.sparsifiable = true;
+  layers_.push_back(std::move(c));
+}
+
+void FlopsModel::add_fixed(const std::string& name, double flops) {
+  LayerCost c;
+  c.name = name;
+  c.params = 0;
+  c.dense_flops = flops;
+  c.sparsifiable = false;
+  layers_.push_back(std::move(c));
+}
+
+const LayerCost& FlopsModel::layer(std::size_t i) const {
+  util::check(i < layers_.size(), "flops layer index out of range");
+  return layers_[i];
+}
+
+double FlopsModel::dense_forward_flops() const {
+  double total = 0.0;
+  for (const auto& l : layers_) total += l.dense_flops;
+  return total;
+}
+
+std::size_t FlopsModel::num_sparsifiable() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    if (l.sparsifiable) ++n;
+  }
+  return n;
+}
+
+double FlopsModel::sparse_forward_flops(
+    const std::vector<double>& densities) const {
+  util::check(densities.size() == num_sparsifiable(),
+              "density count must match sparsifiable layer count");
+  double total = 0.0;
+  std::size_t di = 0;
+  for (const auto& l : layers_) {
+    if (l.sparsifiable) {
+      util::check(densities[di] >= 0.0 && densities[di] <= 1.0,
+                  "density out of range");
+      total += l.dense_flops * densities[di++];
+    } else {
+      total += l.dense_flops;
+    }
+  }
+  return total;
+}
+
+double FlopsModel::sparse_training_flops(
+    const std::vector<double>& densities) const {
+  return 3.0 * sparse_forward_flops(densities);
+}
+
+double FlopsModel::training_flops_with_dense_grad(
+    const std::vector<double>& densities, std::size_t dense_grad_every) const {
+  const double sparse_step = sparse_training_flops(densities);
+  if (dense_grad_every == 0) return sparse_step;
+  // On growth steps the weight-gradient half of the backward pass is dense:
+  // step cost = 2× sparse forward (forward + input grads) + 1× dense forward
+  // equivalent (weight grads). Amortized over ΔT steps.
+  const double dense_grad_step =
+      2.0 * sparse_forward_flops(densities) + dense_forward_flops();
+  const double every = static_cast<double>(dense_grad_every);
+  return sparse_step * (every - 1.0) / every + dense_grad_step / every;
+}
+
+}  // namespace dstee::sparse

@@ -1,0 +1,26 @@
+#include "sparse/masked_parameter.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::sparse {
+
+MaskedParameter::MaskedParameter(nn::Parameter& param, Mask mask,
+                                 std::size_t optimizer_index)
+    : param_(&param),
+      mask_(std::move(mask)),
+      counter_(param.value.shape()),
+      optimizer_index_(optimizer_index) {
+  util::check(mask_.shape() == param.value.shape(),
+              "mask shape must match parameter shape");
+  util::check(param.sparsifiable,
+              "MaskedParameter requires a sparsifiable parameter");
+}
+
+void MaskedParameter::accumulate_counter() {
+  const tensor::Tensor& m = mask_.tensor();
+  for (std::size_t i = 0; i < counter_.numel(); ++i) {
+    counter_[i] += m[i];
+  }
+}
+
+}  // namespace dstee::sparse

@@ -1,0 +1,46 @@
+// Topology statistics: churn between mask updates, per-layer summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::sparse {
+
+/// Summary of one drop-and-grow round.
+struct UpdateStats {
+  std::size_t round = 0;          ///< mask-update round index q
+  std::size_t iteration = 0;      ///< global iteration t = q·ΔT
+  std::size_t dropped = 0;        ///< weights deactivated this round
+  std::size_t grown = 0;          ///< weights activated this round
+  std::size_t never_seen_grown = 0;  ///< grown weights with counter N == 0
+  double exploration_rate = 0.0;  ///< R after this round
+};
+
+/// Rolling log of update rounds (kept by the DST engine; benches read it).
+class TopologyLog {
+ public:
+  void record(UpdateStats stats) { rounds_.push_back(stats); }
+  const std::vector<UpdateStats>& rounds() const { return rounds_; }
+  std::size_t num_rounds() const { return rounds_.size(); }
+
+  /// Total dropped/grown over all rounds.
+  std::size_t total_dropped() const;
+  std::size_t total_grown() const;
+
+  /// Fraction of grown weights that had never been active before —
+  /// a direct measure of how much "exploration" growth is doing.
+  double never_seen_growth_fraction() const;
+
+ private:
+  std::vector<UpdateStats> rounds_;
+};
+
+/// Validates sparse-model invariants; returns a description of the first
+/// violation or an empty string when everything holds. Used by tests and
+/// (cheaply) by the engine in debug builds.
+std::string validate_invariants(const SparseModel& model);
+
+}  // namespace dstee::sparse

@@ -1,0 +1,77 @@
+#include "tensor/im2col.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::tensor {
+
+void im2col(const float* image, const ConvGeometry& g, Tensor& cols) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  util::check(cols.rank() == 2 && cols.dim(0) == g.patch_size() &&
+                  cols.dim(1) == oh * ow,
+              "im2col output tensor has wrong shape");
+  float* out = cols.raw();
+  const std::size_t out_cols = oh * ow;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* img_c = image + c * g.in_h * g.in_w;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw) {
+        const std::size_t row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        float* out_row = out + row * out_cols;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // input row index, may be in the padding band
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.padding);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            for (std::size_t x = 0; x < ow; ++x) out_row[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* img_row = img_c + static_cast<std::size_t>(iy) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.padding);
+            out_row[y * ow + x] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w))
+                    ? 0.0f
+                    : img_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& cols, const ConvGeometry& g, float* image_grad) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  util::check(cols.rank() == 2 && cols.dim(0) == g.patch_size() &&
+                  cols.dim(1) == oh * ow,
+              "col2im input tensor has wrong shape");
+  const float* in = cols.raw();
+  const std::size_t in_cols = oh * ow;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    float* img_c = image_grad + c * g.in_h * g.in_w;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw) {
+        const std::size_t row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        const float* in_row = in + row * in_cols;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.padding);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          float* img_row = img_c + static_cast<std::size_t>(iy) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.padding);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            img_row[static_cast<std::size_t>(ix)] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dstee::tensor

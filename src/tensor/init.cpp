@@ -1,0 +1,56 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dstee::tensor {
+
+void fill_uniform(Tensor& t, util::Rng& rng, float lo, float hi) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+void fill_normal(Tensor& t, util::Rng& rng, float mean, float stddev) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+std::size_t fan_in_of(const Shape& shape) {
+  switch (shape.rank()) {
+    case 2: return shape.dim(1);
+    case 4: return shape.dim(1) * shape.dim(2) * shape.dim(3);
+    default:
+      util::fail("fan_in is defined for rank-2/4 parameters, got rank " +
+                 std::to_string(shape.rank()));
+  }
+}
+
+std::size_t fan_out_of(const Shape& shape) {
+  switch (shape.rank()) {
+    case 2: return shape.dim(0);
+    case 4: return shape.dim(0) * shape.dim(2) * shape.dim(3);
+    default:
+      util::fail("fan_out is defined for rank-2/4 parameters, got rank " +
+                 std::to_string(shape.rank()));
+  }
+}
+
+void fill_kaiming_normal(Tensor& t, util::Rng& rng) {
+  const auto fan_in = fan_in_of(t.shape());
+  util::check(fan_in > 0, "kaiming init requires positive fan-in");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  fill_normal(t, rng, 0.0f, stddev);
+}
+
+void fill_xavier_uniform(Tensor& t, util::Rng& rng) {
+  const auto fan_in = fan_in_of(t.shape());
+  const auto fan_out = fan_out_of(t.shape());
+  util::check(fan_in + fan_out > 0, "xavier init requires positive fans");
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  fill_uniform(t, rng, -bound, bound);
+}
+
+}  // namespace dstee::tensor

@@ -1,0 +1,27 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dstee::tensor {
+
+/// Fills with U(lo, hi).
+void fill_uniform(Tensor& t, util::Rng& rng, float lo, float hi);
+
+/// Fills with N(mean, stddev).
+void fill_normal(Tensor& t, util::Rng& rng, float mean, float stddev);
+
+/// Kaiming-He normal for ReLU networks: N(0, sqrt(2 / fan_in)).
+/// `fan_in` is taken from the tensor shape: rank-2 [out,in] → in;
+/// rank-4 [out,in,kh,kw] → in·kh·kw.
+void fill_kaiming_normal(Tensor& t, util::Rng& rng);
+
+/// Xavier/Glorot uniform: U(±sqrt(6 / (fan_in + fan_out))).
+void fill_xavier_uniform(Tensor& t, util::Rng& rng);
+
+/// fan_in/fan_out for rank-2 and rank-4 parameter tensors.
+std::size_t fan_in_of(const Shape& shape);
+std::size_t fan_out_of(const Shape& shape);
+
+}  // namespace dstee::tensor

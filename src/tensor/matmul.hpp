@@ -1,0 +1,25 @@
+// Dense matrix multiplication kernels. These back Linear layers and the
+// im2col convolution path, so they are the hot spot of the whole library.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::tensor {
+
+/// C = A·B for rank-2 tensors A[m,k], B[k,n] → C[m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A·Bᵀ for A[m,k], B[n,k] → C[m,n]. Avoids materializing transposes in
+/// backward passes.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ·B for A[k,m], B[k,n] → C[m,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C += A·B (accumulating variant; shapes as in matmul).
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Bᵀ for a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+}  // namespace dstee::tensor

@@ -1,0 +1,73 @@
+// Elementwise operations and reductions over Tensor.
+//
+// Free functions keep Tensor itself minimal (Core Guidelines C.4: make a
+// function a member only if it needs access to the representation).
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::tensor {
+
+// ---- elementwise binary (shapes must match exactly; no broadcasting) -----
+
+/// out = a + b
+Tensor add(const Tensor& a, const Tensor& b);
+/// out = a - b
+Tensor sub(const Tensor& a, const Tensor& b);
+/// out = a ⊙ b (Hadamard)
+Tensor mul(const Tensor& a, const Tensor& b);
+/// out = a / b (caller guarantees no zero divisors)
+Tensor div(const Tensor& a, const Tensor& b);
+
+/// a += b, a -= b, a ⊙= b — in-place variants used in training loops.
+void add_inplace(Tensor& a, const Tensor& b);
+void sub_inplace(Tensor& a, const Tensor& b);
+void mul_inplace(Tensor& a, const Tensor& b);
+
+/// a += alpha * b (axpy).
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+
+// ---- elementwise scalar ---------------------------------------------------
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+void mul_scalar_inplace(Tensor& a, float s);
+
+// ---- elementwise unary ----------------------------------------------------
+
+/// |a| elementwise — the exploitation score uses the absolute gradient.
+Tensor abs(const Tensor& a);
+/// sign(a) ∈ {-1, 0, +1} elementwise.
+Tensor sign(const Tensor& a);
+/// Applies `f` to each element.
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+void map_inplace(Tensor& a, const std::function<float(float)>& f);
+
+// ---- reductions -------------------------------------------------------------
+
+/// Sum of all elements (double accumulator for stability).
+double sum(const Tensor& a);
+/// Mean of all elements.
+double mean(const Tensor& a);
+/// Maximum element value; requires numel > 0.
+float max_value(const Tensor& a);
+/// Minimum element value; requires numel > 0.
+float min_value(const Tensor& a);
+/// Index of the maximum element (first on ties).
+std::size_t argmax(const Tensor& a);
+/// Squared L2 norm Σ aᵢ².
+double squared_norm(const Tensor& a);
+/// L2 norm.
+double norm(const Tensor& a);
+/// Number of nonzero elements (|a| > eps).
+std::size_t count_nonzero(const Tensor& a, float eps = 0.0f);
+
+/// Row-wise argmax for a rank-2 tensor — used for classification accuracy.
+std::vector<std::size_t> argmax_rows(const Tensor& a);
+
+/// True if any element is NaN or infinite (training-divergence guard).
+bool has_nonfinite(const Tensor& a);
+
+}  // namespace dstee::tensor

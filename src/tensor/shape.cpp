@@ -1,0 +1,39 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dstee::tensor {
+
+std::size_t Shape::dim(std::size_t axis) const {
+  util::check(axis < dims_.size(), "shape axis out of range");
+  return dims_[axis];
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::size_t> Shape::strides() const {
+  std::vector<std::size_t> s(dims_.size(), 1);
+  for (std::size_t i = dims_.size(); i-- > 1;) {
+    s[i - 1] = s[i] * dims_[i];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dstee::tensor

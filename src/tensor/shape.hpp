@@ -1,0 +1,41 @@
+// Tensor shape: a small value type describing row-major extents.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dstee::tensor {
+
+/// Row-major tensor shape. Rank 0 denotes a scalar (numel == 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `axis`; checked.
+  std::size_t dim(std::size_t axis) const;
+
+  /// Total element count (product of extents; 1 for rank 0).
+  std::size_t numel() const;
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Row-major strides (in elements) for this shape.
+  std::vector<std::size_t> strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[64, 3, 3, 3]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace dstee::tensor

@@ -1,0 +1,102 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dstee::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  util::check(data_.size() == shape_.numel(),
+              "value count does not match shape numel");
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(Shape({n}), std::move(values));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+float& Tensor::at(std::size_t i) {
+  util::check(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  util::check(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float& Tensor::at2(std::size_t i, std::size_t j) {
+  util::check(rank() == 2, "at2 requires a rank-2 tensor");
+  util::check(i < dim(0) && j < dim(1), "2-d index out of range");
+  return data_[i * dim(1) + j];
+}
+
+float Tensor::at2(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at2(i, j);
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  util::check(rank() == 4, "at4 requires a rank-4 tensor");
+  util::check(n < dim(0) && c < dim(1) && h < dim(2) && w < dim(3),
+              "4-d index out of range");
+  return data_[((n * dim(1) + c) * dim(2) + h) * dim(3) + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+void Tensor::fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  util::check(new_shape.numel() == numel(),
+              "reshape must preserve element count");
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::reshape_in_place(Shape new_shape) {
+  util::check(new_shape.numel() == numel(),
+              "reshape must preserve element count");
+  shape_ = std::move(new_shape);
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::to_string(std::size_t max_values) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.to_string() << " {";
+  const std::size_t n = std::min(max_values, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  if (data_.size() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dstee::tensor

@@ -1,0 +1,97 @@
+// Dense row-major float32 tensor — the storage type for activations,
+// weights, gradients, masks and counters throughout the library.
+//
+// Deliberately simple (contiguous, CPU, float): dynamic sparse training
+// research frameworks (RigL's public code included) keep weights dense and
+// apply binary masks; sparsity is a *training-algorithm* property, modeled
+// in sparse::, while FLOPs savings are computed analytically in
+// sparse::FlopsModel, mirroring the paper's accounting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace dstee::tensor {
+
+/// Contiguous row-major float tensor with value semantics.
+class Tensor {
+ public:
+  /// Rank-0 scalar containing 0.
+  Tensor() : shape_({}), data_(1, 0.0f) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+
+  /// Convenience: Tensor({2, 3}).
+  Tensor(std::initializer_list<std::size_t> dims) : Tensor(Shape(dims)) {}
+
+  /// Tensor with explicit contents; `values.size()` must equal numel.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Builds a rank-1 tensor from values.
+  static Tensor from_vector(std::vector<float> values);
+
+  /// Tensor of the given shape filled with `value`.
+  static Tensor full(Shape shape, float value);
+
+  /// Shorthand for full(shape, 0) / full(shape, 1).
+  static Tensor zeros(Shape shape) { return full(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+  /// Zeros with the same shape as `other`.
+  static Tensor zeros_like(const Tensor& other) { return Tensor(other.shape()); }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t rank() const { return shape_.rank(); }
+  std::size_t dim(std::size_t axis) const { return shape_.dim(axis); }
+
+  /// Flat element access (checked in debug via vector::operator[] contract).
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Checked flat access.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// Multi-index access for rank 2 / 4 (the ranks used by layers).
+  float& at2(std::size_t i, std::size_t j);
+  float at2(std::size_t i, std::size_t j) const;
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  /// Fills every element with `value`.
+  void fill(float value);
+
+  /// Reinterprets the contiguous buffer under a new shape with equal numel.
+  /// Returns a copy (value semantics keep aliasing out of the API).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape (no data movement); numel must match.
+  void reshape_in_place(Shape new_shape);
+
+  /// True when shapes and all elements match exactly.
+  bool equals(const Tensor& other) const;
+
+  /// True when shapes match and elements are within `tol` of each other.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Short debug description: shape + first few values.
+  std::string to_string(std::size_t max_values = 8) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dstee::tensor

@@ -1,0 +1,84 @@
+#include "tensor/topk.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace dstee::tensor {
+
+namespace {
+
+// Shared implementation: selects k indices out of `candidates` ordered by
+// `better` (strict weak ordering over indices).
+template <typename Compare>
+std::vector<std::size_t> select_k(std::vector<std::size_t> candidates,
+                                  std::size_t k, Compare better) {
+  util::check(k <= candidates.size(),
+              "top-k: k exceeds number of eligible elements");
+  if (k == 0) return {};
+  std::nth_element(candidates.begin(), candidates.begin() + (k - 1),
+                   candidates.end(), better);
+  candidates.resize(k);
+  std::sort(candidates.begin(), candidates.end(), better);
+  return candidates;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+std::vector<std::size_t> where_indices(const Tensor& eligible) {
+  std::vector<std::size_t> idx;
+  idx.reserve(eligible.numel());
+  for (std::size_t i = 0; i < eligible.numel(); ++i) {
+    if (eligible[i] != 0.0f) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::vector<std::size_t> topk_indices(const Tensor& values, std::size_t k) {
+  return select_k(all_indices(values.numel()), k,
+                  [&](std::size_t a, std::size_t b) {
+                    if (values[a] != values[b]) return values[a] > values[b];
+                    return a < b;
+                  });
+}
+
+std::vector<std::size_t> bottomk_indices(const Tensor& values, std::size_t k) {
+  return select_k(all_indices(values.numel()), k,
+                  [&](std::size_t a, std::size_t b) {
+                    if (values[a] != values[b]) return values[a] < values[b];
+                    return a < b;
+                  });
+}
+
+std::vector<std::size_t> topk_indices_where(const Tensor& values,
+                                            const Tensor& eligible,
+                                            std::size_t k) {
+  util::check(values.shape() == eligible.shape(),
+              "top-k eligibility mask must match value shape");
+  return select_k(where_indices(eligible), k,
+                  [&](std::size_t a, std::size_t b) {
+                    if (values[a] != values[b]) return values[a] > values[b];
+                    return a < b;
+                  });
+}
+
+std::vector<std::size_t> bottomk_indices_where(const Tensor& values,
+                                               const Tensor& eligible,
+                                               std::size_t k) {
+  util::check(values.shape() == eligible.shape(),
+              "bottom-k eligibility mask must match value shape");
+  return select_k(where_indices(eligible), k,
+                  [&](std::size_t a, std::size_t b) {
+                    if (values[a] != values[b]) return values[a] < values[b];
+                    return a < b;
+                  });
+}
+
+}  // namespace dstee::tensor

@@ -1,0 +1,146 @@
+#include "train/checkpoint.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "sparse/mask.hpp"
+#include "util/check.hpp"
+
+namespace dstee::train {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'T', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  util::check(in.good(), "checkpoint truncated");
+  return v;
+}
+
+void write_tensor(std::ofstream& out, const std::string& name,
+                  const tensor::Tensor& t) {
+  write_u64(out, name.size());
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  write_u64(out, t.rank());
+  for (std::size_t d = 0; d < t.rank(); ++d) write_u64(out, t.dim(d));
+  out.write(reinterpret_cast<const char*>(t.raw()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+// Reads one record and validates it against the expected name/shape,
+// writing the payload into `dest`.
+void read_tensor_into(std::ifstream& in, const std::string& expected_name,
+                      tensor::Tensor& dest) {
+  const std::uint64_t name_len = read_u64(in);
+  std::string name(name_len, '\0');
+  in.read(name.data(), static_cast<std::streamsize>(name_len));
+  util::check(in.good(), "checkpoint truncated in tensor name");
+  util::check(name == expected_name,
+              "checkpoint tensor order mismatch: expected '" + expected_name +
+                  "', found '" + name + "'");
+  const std::uint64_t rank = read_u64(in);
+  std::vector<std::size_t> dims(rank);
+  for (auto& d : dims) d = read_u64(in);
+  const tensor::Shape shape{std::vector<std::size_t>(dims)};
+  util::check(shape == dest.shape(),
+              "checkpoint shape mismatch for '" + name + "': file has " +
+                  shape.to_string() + ", model has " +
+                  dest.shape().to_string());
+  in.read(reinterpret_cast<char*>(dest.raw()),
+          static_cast<std::streamsize>(dest.numel() * sizeof(float)));
+  util::check(in.good(), "checkpoint truncated in tensor data");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, nn::Module& model,
+                     const sparse::SparseModel* state) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  util::check(out.is_open(), "cannot open checkpoint for writing: " + path);
+
+  const auto params = model.parameters();
+  std::uint64_t num_tensors = params.size();
+  if (state != nullptr) num_tensors += 2 * state->num_layers();
+
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  write_u64(out, num_tensors);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    write_tensor(out, "param" + std::to_string(i) + "#value",
+                 params[i]->value);
+  }
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < state->num_layers(); ++i) {
+      write_tensor(out, "layer" + std::to_string(i) + "#mask",
+                   state->layer(i).mask().tensor());
+      write_tensor(out, "layer" + std::to_string(i) + "#counter",
+                   state->layer(i).counter());
+    }
+  }
+  out.flush();
+  util::check(out.good(), "checkpoint write failed: " + path);
+}
+
+void load_checkpoint(const std::string& path, nn::Module& model,
+                     sparse::SparseModel* state) {
+  std::ifstream in(path, std::ios::binary);
+  util::check(in.is_open(), "cannot open checkpoint for reading: " + path);
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  util::check(in.good() && std::equal(magic, magic + 4, kMagic),
+              "not a dstee checkpoint: " + path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  util::check(version == kVersion, "unsupported checkpoint version");
+
+  const auto params = model.parameters();
+  std::uint64_t expected = params.size();
+  if (state != nullptr) expected += 2 * state->num_layers();
+  const std::uint64_t num_tensors = read_u64(in);
+  util::check(num_tensors == expected,
+              "checkpoint tensor count mismatch (file has " +
+                  std::to_string(num_tensors) + ", model expects " +
+                  std::to_string(expected) +
+                  " — was it saved with/without sparse state?)");
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    read_tensor_into(in, "param" + std::to_string(i) + "#value",
+                     params[i]->value);
+  }
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < state->num_layers(); ++i) {
+      auto& layer = state->layer(i);
+      tensor::Tensor mask_values(layer.param().value.shape());
+      read_tensor_into(in, "layer" + std::to_string(i) + "#mask",
+                       mask_values);
+      std::vector<std::size_t> active;
+      for (std::size_t j = 0; j < mask_values.numel(); ++j) {
+        const float v = mask_values[j];
+        util::check(v == 0.0f || v == 1.0f,
+                    "checkpoint mask is not binary");
+        if (v == 1.0f) active.push_back(j);
+      }
+      layer.mask() = sparse::Mask::from_indices(mask_values.shape(), active);
+      read_tensor_into(in, "layer" + std::to_string(i) + "#counter",
+                       layer.counter());
+    }
+    state->apply_masks_to_values();
+  }
+}
+
+}  // namespace dstee::train

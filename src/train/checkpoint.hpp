@@ -1,0 +1,32 @@
+// Checkpointing: serialize model parameters plus sparse-training state
+// (masks + occurrence counters) to a single binary file, so a sparse
+// training run can pause/resume or ship its final topology for deployment.
+//
+// Format (little-endian, versioned):
+//   magic "DSTE" | u32 version | u64 num_tensors
+//   per tensor: u64 name_len | name bytes | u64 rank | u64 dims[rank]
+//               | float data[numel]
+// Tensor names carry "#value" / "#mask" / "#counter" suffixes keyed by
+// parameter order, so loading validates shapes AND ordering.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::train {
+
+/// Writes every parameter value of `model` (and, if `state` is non-null,
+/// every mask and counter) to `path`. Throws CheckError on I/O failure.
+void save_checkpoint(const std::string& path, nn::Module& model,
+                     const sparse::SparseModel* state = nullptr);
+
+/// Restores a checkpoint written by save_checkpoint into a model with the
+/// SAME architecture (parameter count/shapes are validated). When `state`
+/// is non-null, masks and counters are restored too and masks are
+/// re-applied to the values.
+void load_checkpoint(const std::string& path, nn::Module& model,
+                     sparse::SparseModel* state = nullptr);
+
+}  // namespace dstee::train

@@ -1,0 +1,491 @@
+#include "train/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "data/dataloader.hpp"
+#include "methods/admm.hpp"
+#include "methods/drop_policy.hpp"
+#include "methods/dst_engine.hpp"
+#include "methods/gap.hpp"
+#include "methods/gmp.hpp"
+#include "methods/grow_policy.hpp"
+#include "methods/static_pruners.hpp"
+#include "nn/losses.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "sparse/exploration.hpp"
+#include "sparse/sparse_model.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace dstee::train {
+
+MethodKind parse_method(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "dense") return MethodKind::kDense;
+  if (n == "snip") return MethodKind::kSnip;
+  if (n == "grasp") return MethodKind::kGrasp;
+  if (n == "synflow") return MethodKind::kSynFlow;
+  if (n == "magnitude") return MethodKind::kStaticMagnitude;
+  if (n == "random") return MethodKind::kStaticRandom;
+  if (n == "str") return MethodKind::kStr;
+  if (n == "sis") return MethodKind::kSis;
+  if (n == "deepr") return MethodKind::kDeepR;
+  if (n == "set") return MethodKind::kSet;
+  if (n == "rigl") return MethodKind::kRigl;
+  if (n == "rigl-itop" || n == "riglitop") return MethodKind::kRiglItop;
+  if (n == "mest") return MethodKind::kMest;
+  if (n == "snfs") return MethodKind::kSnfs;
+  if (n == "dsr") return MethodKind::kDsr;
+  if (n == "dst-ee" || n == "dstee") return MethodKind::kDstEe;
+  if (n == "gap") return MethodKind::kGap;
+  util::fail("unknown method: " + name);
+}
+
+std::string to_string(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kDense: return "Dense";
+    case MethodKind::kSnip: return "SNIP";
+    case MethodKind::kGrasp: return "GraSP";
+    case MethodKind::kSynFlow: return "SynFlow";
+    case MethodKind::kStaticMagnitude: return "Magnitude";
+    case MethodKind::kStaticRandom: return "Random";
+    case MethodKind::kStr: return "STR";
+    case MethodKind::kSis: return "SIS";
+    case MethodKind::kDeepR: return "DeepR";
+    case MethodKind::kSet: return "SET";
+    case MethodKind::kRigl: return "RigL";
+    case MethodKind::kRiglItop: return "RigL-ITOP";
+    case MethodKind::kMest: return "MEST";
+    case MethodKind::kSnfs: return "SNFS";
+    case MethodKind::kDsr: return "DSR";
+    case MethodKind::kDstEe: return "DST-EE";
+    case MethodKind::kGap: return "GaP";
+  }
+  return "?";
+}
+
+bool is_dynamic(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kDeepR:
+    case MethodKind::kSet:
+    case MethodKind::kRigl:
+    case MethodKind::kRiglItop:
+    case MethodKind::kMest:
+    case MethodKind::kSnfs:
+    case MethodKind::kDsr:
+    case MethodKind::kDstEe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_dense_to_sparse(MethodKind kind) {
+  // GaP is grouped here: like STR/SIS it trains dense regions on a
+  // schedule and ends at the target sparsity.
+  return kind == MethodKind::kStr || kind == MethodKind::kSis ||
+         kind == MethodKind::kGap;
+}
+
+bool is_static(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kSnip:
+    case MethodKind::kGrasp:
+    case MethodKind::kSynFlow:
+    case MethodKind::kStaticMagnitude:
+    case MethodKind::kStaticRandom:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Assembles the DstEngineConfig for each dynamic method. This is where the
+// methods differ — everything else in the run is shared.
+methods::DstEngineConfig make_engine_config(MethodKind kind,
+                                            const DstParams& dst,
+                                            std::size_t total_iterations) {
+  methods::DstEngineConfig cfg;
+  cfg.schedule.delta_t = dst.delta_t;
+  cfg.schedule.total_iterations = total_iterations;
+  cfg.schedule.stop_fraction = dst.stop_fraction;
+  cfg.schedule.initial_drop_fraction = dst.drop_fraction;
+  cfg.schedule.decay = methods::DropFractionDecay::kCosine;
+  cfg.drop = std::make_unique<methods::MagnitudeDrop>();
+
+  switch (kind) {
+    case MethodKind::kDeepR:
+      cfg.drop = std::make_unique<methods::SignFlipDrop>();
+      cfg.grow = std::make_unique<methods::RandomGrow>();
+      cfg.schedule.decay = methods::DropFractionDecay::kConstant;
+      break;
+    case MethodKind::kSet:
+      cfg.grow = std::make_unique<methods::RandomGrow>();
+      cfg.schedule.decay = methods::DropFractionDecay::kConstant;
+      break;
+    case MethodKind::kRigl:
+      cfg.grow = std::make_unique<methods::GradientGrow>();
+      break;
+    case MethodKind::kRiglItop:
+      // ITOP regime: larger replacement budget, updates never stop early.
+      cfg.grow = std::make_unique<methods::GradientGrow>();
+      cfg.schedule.initial_drop_fraction =
+          std::min(0.8, 2.0 * dst.drop_fraction);
+      cfg.schedule.stop_fraction = 1.0;
+      break;
+    case MethodKind::kMest:
+      cfg.drop = std::make_unique<methods::MagnitudeGradientDrop>(1.0);
+      cfg.grow = std::make_unique<methods::RandomGrow>();
+      cfg.schedule.decay = methods::DropFractionDecay::kLinear;
+      break;
+    case MethodKind::kSnfs:
+      cfg.grow = std::make_unique<methods::MomentumGrow>(0.9);
+      cfg.redistribute_across_layers = true;
+      break;
+    case MethodKind::kDsr:
+      cfg.grow = std::make_unique<methods::RandomGrow>();
+      cfg.redistribute_across_layers = true;
+      break;
+    case MethodKind::kDstEe: {
+      methods::DstEeGrow::Config ee;
+      ee.c = dst.c;
+      ee.eps = dst.eps;
+      cfg.grow = std::make_unique<methods::DstEeGrow>(ee);
+      break;
+    }
+    default:
+      util::fail("make_engine_config called for a non-dynamic method");
+  }
+  return cfg;
+}
+
+// Mean density over the GMP ramp (used for dense-to-sparse training FLOPs).
+double gmp_mean_density(const methods::GradualMagnitudePruner& gmp,
+                        std::size_t total_iterations) {
+  double acc = 0.0;
+  const std::size_t samples = 100;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t t = i * total_iterations / samples;
+    acc += 1.0 - gmp.sparsity_at(t);
+  }
+  return acc / static_cast<double>(samples);
+}
+
+std::vector<double> layer_density_vector(const sparse::SparseModel& model) {
+  std::vector<double> d;
+  d.reserve(model.num_layers());
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    d.push_back(model.layer(i).density());
+  }
+  return d;
+}
+
+}  // namespace
+
+ClassificationResult run_classification(nn::Module& model,
+                                        const sparse::FlopsModel* flops,
+                                        const data::Dataset& train_set,
+                                        const data::Dataset& test_set,
+                                        const ClassificationConfig& config) {
+  util::Rng rng(config.seed);
+  const MethodKind method = config.method;
+
+  // Dynamic methods start sparse; dense/static/GMP start dense.
+  const double initial_sparsity = is_dynamic(method) ? config.sparsity : 0.0;
+  sparse::SparseModel smodel(model, initial_sparsity, config.distribution,
+                             rng);
+
+  data::DataLoader loader(train_set, config.batch_size, rng.fork("loader"));
+  const std::size_t total_iterations =
+      config.epochs * loader.batches_per_epoch();
+
+  optim::Sgd::Config sgd_cfg;
+  sgd_cfg.lr = config.lr;
+  sgd_cfg.momentum = config.momentum;
+  sgd_cfg.weight_decay = config.weight_decay;
+  optim::Sgd optimizer(model.parameters(), sgd_cfg);
+  optim::CosineAnnealingLr schedule(config.lr, total_iterations);
+
+  // ---- static pruning at initialization --------------------------------
+  if (is_static(method)) {
+    methods::StaticPruneConfig prune_cfg;
+    prune_cfg.sparsity = config.sparsity;
+    prune_cfg.distribution = config.distribution;
+    // SNIP and GraSP as published use a single global saliency threshold —
+    // the source of their collapse at extreme sparsity (whole layers are
+    // starved). SynFlow and the magnitude/random controls keep layer-wise
+    // budgets (SynFlow's iterative schedule exists precisely to avoid
+    // layer collapse).
+    prune_cfg.global_topk =
+        method == MethodKind::kSnip || method == MethodKind::kGrasp;
+
+    if (method == MethodKind::kStaticRandom) {
+      methods::prune_random(smodel, prune_cfg, rng);
+    } else if (method == MethodKind::kStaticMagnitude) {
+      prune_magnitude(smodel, prune_cfg);
+    } else if (method == MethodKind::kSynFlow) {
+      prune_synflow(model, smodel, train_set.example_shape(), prune_cfg);
+    } else {
+      // SNIP / GraSP score on one held batch.
+      util::Rng score_rng = rng.fork("static/score-batch");
+      const std::size_t score_batch =
+          std::min<std::size_t>(train_set.size(), 2 * config.batch_size);
+      const auto idx =
+          score_rng.sample_without_replacement(train_set.size(), score_batch);
+      std::vector<std::size_t> indices(idx.begin(), idx.end());
+      const tensor::Tensor examples = train_set.batch(indices);
+      const auto labels = train_set.batch_labels(indices);
+      nn::SoftmaxCrossEntropy score_loss;
+      const auto eval_grads = [&] {
+        const tensor::Tensor logits = model.forward(examples);
+        score_loss.forward(logits, labels);
+        model.backward(score_loss.backward());
+      };
+      if (method == MethodKind::kSnip) {
+        prune_snip(model, smodel, eval_grads, prune_cfg);
+      } else {
+        prune_grasp(model, smodel, eval_grads, prune_cfg);
+      }
+    }
+  }
+
+  // ---- dense-to-sparse schedules -----------------------------------------
+  std::unique_ptr<methods::GapScheduler> gap;
+  if (method == MethodKind::kGap) {
+    methods::GapConfig gap_cfg;
+    gap_cfg.sparsity = config.sparsity;
+    gap_cfg.distribution = config.distribution;
+    // Choose partitions/phases so every partition gets at least two dense
+    // phases within the run.
+    gap_cfg.num_partitions = 4;
+    std::size_t layers = smodel.num_layers();
+    if (layers < gap_cfg.num_partitions) gap_cfg.num_partitions = std::max<std::size_t>(2, layers);
+    gap_cfg.phase_iterations = std::max<std::size_t>(
+        1, total_iterations / (2 * gap_cfg.num_partitions + 1));
+    // GaP starts from the sparse topology, then densifies one partition at
+    // a time; give it the target-sparsity masks first.
+    methods::StaticPruneConfig seed_cfg;
+    seed_cfg.sparsity = config.sparsity;
+    seed_cfg.distribution = config.distribution;
+    prune_magnitude(smodel, seed_cfg);
+    gap = std::make_unique<methods::GapScheduler>(smodel, gap_cfg);
+  }
+
+  std::unique_ptr<methods::GradualMagnitudePruner> gmp;
+  if (is_dense_to_sparse(method) && method != MethodKind::kGap) {
+    methods::GmpConfig gmp_cfg;
+    gmp_cfg.final_sparsity = config.sparsity;
+    gmp_cfg.distribution = config.distribution;
+    // STR ramps late and slowly (thresholds grow over training); SIS
+    // reaches the target sparsity sooner.
+    if (method == MethodKind::kStr) {
+      gmp_cfg.start_iteration = total_iterations / 10;
+      gmp_cfg.end_iteration = (3 * total_iterations) / 4;
+    } else {
+      gmp_cfg.start_iteration = total_iterations / 20;
+      gmp_cfg.end_iteration = total_iterations / 2;
+    }
+    gmp_cfg.frequency = std::max<std::size_t>(1, config.dst.delta_t / 2);
+    gmp = std::make_unique<methods::GradualMagnitudePruner>(gmp_cfg);
+  }
+
+  // ---- dynamic drop-and-grow engine ------------------------------------
+  std::unique_ptr<methods::DstEngine> engine;
+  if (is_dynamic(method)) {
+    engine = std::make_unique<methods::DstEngine>(
+        smodel, optimizer,
+        make_engine_config(method, config.dst, total_iterations),
+        rng.fork("engine"));
+  }
+
+  Trainer trainer(model, optimizer, schedule, loader, test_set,
+                  config.epochs);
+  TrainHooks hooks;
+  hooks.after_backward = [&](std::size_t iteration, double lr) {
+    if (engine) engine->maybe_update(iteration, lr);
+    if (gmp) gmp->maybe_prune(smodel, iteration);
+    if (gap) gap->maybe_rotate(smodel, iteration);
+  };
+  hooks.before_step = [&] { smodel.apply_masks_to_grads(); };
+  hooks.after_step = [&] { smodel.apply_masks_to_values(); };
+  trainer.set_hooks(hooks);
+
+  std::vector<EpochStats> history = trainer.run();
+  if (gap) {
+    // Final hard prune back to the target sparsity (last partition may
+    // still be dense), then measure accuracy of the deployable model.
+    methods::StaticPruneConfig final_cfg;
+    final_cfg.sparsity = config.sparsity;
+    final_cfg.distribution = config.distribution;
+    prune_magnitude(smodel, final_cfg);
+    history.back().test_accuracy = trainer.evaluate(test_set);
+  }
+
+  ClassificationResult result;
+  result.history = history;
+  result.final_test_accuracy = history.back().test_accuracy;
+  result.final_train_loss = history.back().train_loss;
+  for (const auto& e : history) {
+    result.best_test_accuracy =
+        std::max(result.best_test_accuracy, e.test_accuracy);
+  }
+  result.achieved_sparsity = smodel.global_sparsity();
+  if (engine) {
+    result.topology_rounds = engine->log().rounds();
+    result.exploration_rate = engine->exploration().exploration_rate();
+  } else if (is_static(method)) {
+    // A static mask only ever exposes its initial active set.
+    result.exploration_rate = 1.0 - config.sparsity;
+  } else {
+    // Dense and dense-to-sparse runs touch every weight at least once.
+    result.exploration_rate = 1.0;
+  }
+
+  // ---- analytic FLOPs (Table II columns) --------------------------------
+  if (flops != nullptr) {
+    const double dense_fwd = flops->dense_forward_flops();
+    const double dense_train = 3.0 * dense_fwd;
+    const std::vector<double> final_densities = layer_density_vector(smodel);
+    result.inference_flops_multiple =
+        flops->sparse_forward_flops(final_densities) / dense_fwd;
+    double train_flops = 0.0;
+    if (method == MethodKind::kDense) {
+      train_flops = dense_train;
+    } else if (is_static(method)) {
+      train_flops = flops->sparse_training_flops(final_densities);
+    } else if (method == MethodKind::kGap) {
+      // One of P partitions is dense at any time: mean density ≈
+      // (P-1)/P · sparse + 1/P · 1.
+      const double p = 4.0;
+      std::vector<double> d(final_densities.size());
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        d[i] = final_densities[i] * (p - 1.0) / p + 1.0 / p;
+      }
+      train_flops = flops->sparse_training_flops(d);
+    } else if (is_dense_to_sparse(method)) {
+      // Approximate with the schedule's mean density applied uniformly.
+      const double mean_density = gmp_mean_density(*gmp, total_iterations);
+      std::vector<double> d(final_densities.size(), mean_density);
+      train_flops = flops->sparse_training_flops(d);
+    } else {
+      // Dynamic: amortized dense weight-gradient every ΔT for methods that
+      // score growth with gradients; pure sparse steps otherwise.
+      const bool needs_dense_grads =
+          method == MethodKind::kRigl || method == MethodKind::kRiglItop ||
+          method == MethodKind::kSnfs || method == MethodKind::kDstEe;
+      train_flops = needs_dense_grads
+                        ? flops->training_flops_with_dense_grad(
+                              final_densities, config.dst.delta_t)
+                        : flops->sparse_training_flops(final_densities);
+    }
+    result.train_flops_multiple = train_flops / dense_train;
+  }
+  return result;
+}
+
+LinkResult run_link_prediction(models::GnnLinkPredictor& model,
+                               const tensor::Tensor& features,
+                               const graph::LinkSplit& split,
+                               const LinkConfig& config) {
+  util::Rng rng(config.seed);
+
+  const bool is_dst = config.method == LinkMethod::kDstEe;
+  const double initial_sparsity = is_dst ? config.sparsity : 0.0;
+  // Paper §V-B: uniform sparsity over the two FC layers.
+  sparse::SparseModel smodel(model, initial_sparsity,
+                             sparse::DistributionKind::kUniform, rng);
+
+  optim::Adam::Config adam_cfg;
+  adam_cfg.lr = config.lr;
+  optim::Adam optimizer(model.parameters(), adam_cfg);
+
+  LinkResult result;
+  auto track = [&](const std::vector<LinkEpochStats>& history) {
+    for (const auto& e : history) {
+      result.history.push_back(e);
+      result.best_test_accuracy =
+          std::max(result.best_test_accuracy, e.test_accuracy);
+      result.best_test_auc = std::max(result.best_test_auc, e.test_auc);
+    }
+    if (!history.empty()) {
+      result.final_test_accuracy = history.back().test_accuracy;
+    }
+  };
+
+  if (config.method == LinkMethod::kDense) {
+    optim::ConstantLr schedule(config.lr);
+    LinkPredictionTrainer trainer(model, features, split, optimizer, schedule,
+                                  config.epochs);
+    track(trainer.run());
+  } else if (config.method == LinkMethod::kPruneFromDense) {
+    // Phase 1: dense pretraining.
+    optim::ConstantLr schedule(config.lr);
+    {
+      LinkPredictionTrainer trainer(model, features, split, optimizer,
+                                    schedule, config.admm_epochs_each);
+      trainer.run();  // best accuracy from the dense phase does not count —
+                      // the paper reports the pruned model's accuracy
+    }
+    // Phase 2: reweighted training with the ADMM penalty.
+    methods::AdmmConfig admm_cfg;
+    admm_cfg.rho = config.admm_rho;
+    admm_cfg.sparsity = config.sparsity;
+    admm_cfg.projection_interval = 2;  // epochs are iterations here
+    methods::AdmmPruner admm(smodel, admm_cfg);
+    {
+      LinkPredictionTrainer trainer(model, features, split, optimizer,
+                                    schedule, config.admm_epochs_each);
+      TrainHooks hooks;
+      hooks.after_backward = [&](std::size_t iteration, double) {
+        admm.add_penalty_gradients(smodel);
+        admm.maybe_update_duals(smodel, iteration + 1);
+      };
+      trainer.set_hooks(hooks);
+      trainer.run();
+    }
+    // Phase 3: hard prune, then retrain under the fixed mask.
+    admm.finalize_mask(smodel);
+    {
+      LinkPredictionTrainer trainer(model, features, split, optimizer,
+                                    schedule, config.admm_epochs_each);
+      TrainHooks hooks;
+      hooks.before_step = [&] { smodel.apply_masks_to_grads(); };
+      hooks.after_step = [&] { smodel.apply_masks_to_values(); };
+      trainer.set_hooks(hooks);
+      track(trainer.run());
+    }
+  } else {
+    // DST-EE sparse training from scratch.
+    optim::ConstantLr schedule(config.lr);
+    methods::DstEngineConfig engine_cfg;
+    engine_cfg.schedule.delta_t =
+        std::max<std::size_t>(1, config.dst.delta_t);
+    engine_cfg.schedule.total_iterations = config.epochs;
+    engine_cfg.schedule.stop_fraction = config.dst.stop_fraction;
+    engine_cfg.schedule.initial_drop_fraction = config.dst.drop_fraction;
+    engine_cfg.drop = std::make_unique<methods::MagnitudeDrop>();
+    methods::DstEeGrow::Config ee{config.dst.c, config.dst.eps};
+    engine_cfg.grow = std::make_unique<methods::DstEeGrow>(ee);
+    methods::DstEngine engine(smodel, optimizer, std::move(engine_cfg),
+                              rng.fork("engine"));
+
+    LinkPredictionTrainer trainer(model, features, split, optimizer, schedule,
+                                  config.epochs);
+    TrainHooks hooks;
+    hooks.after_backward = [&](std::size_t iteration, double lr) {
+      engine.maybe_update(iteration, lr);
+    };
+    hooks.before_step = [&] { smodel.apply_masks_to_grads(); };
+    hooks.after_step = [&] { smodel.apply_masks_to_values(); };
+    trainer.set_hooks(hooks);
+    track(trainer.run());
+  }
+  result.achieved_sparsity = smodel.global_sparsity();
+  return result;
+}
+
+}  // namespace dstee::train

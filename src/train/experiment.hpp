@@ -1,0 +1,128 @@
+// Experiment harness shared by all bench binaries: maps each method name
+// appearing in the paper's tables to its engine/pruner configuration, runs
+// the training, and reports accuracy + topology + FLOPs results.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+#include "sparse/distribution.hpp"
+#include "sparse/flops.hpp"
+#include "sparse/stats.hpp"
+#include "train/link_trainer.hpp"
+#include "train/trainer.hpp"
+
+namespace dstee::train {
+
+/// Every method the paper's tables mention (plus ablation controls).
+enum class MethodKind {
+  kDense,       ///< no sparsity
+  kSnip,        ///< static, |w·g| at init
+  kGrasp,       ///< static, gradient-flow at init (1st-order)
+  kSynFlow,     ///< static, data-free iterative
+  kStaticMagnitude,  ///< static, |w| at init (control)
+  kStaticRandom,     ///< static, random at init (control)
+  kStr,         ///< dense-to-sparse (GMP schedule stand-in)
+  kSis,         ///< dense-to-sparse (GMP, earlier/faster ramp)
+  kDeepR,       ///< dynamic: sign-flip drop + random grow
+  kSet,         ///< dynamic: magnitude drop + random grow
+  kRigl,        ///< dynamic: magnitude drop + gradient grow
+  kRiglItop,    ///< RigL under the ITOP regime (higher α, no early stop)
+  kMest,        ///< dynamic: |w|+γ|g| drop + random grow, decaying rate
+  kSnfs,        ///< dynamic: momentum grow + layer redistribution
+  kDsr,         ///< dynamic: random grow + layer redistribution
+  kDstEe,       ///< the paper's method
+  kGap,         ///< scheduled grow-and-prune partitions (related work)
+};
+
+MethodKind parse_method(const std::string& name);
+std::string to_string(MethodKind kind);
+
+/// True for drop-and-grow methods driven by the DstEngine.
+bool is_dynamic(MethodKind kind);
+/// True for dense-to-sparse schedules (GMP family).
+bool is_dense_to_sparse(MethodKind kind);
+/// True for pruning-at-initialization methods.
+bool is_static(MethodKind kind);
+
+/// DST hyperparameters (Algorithm 1's ΔT, α, c, ε).
+struct DstParams {
+  std::size_t delta_t = 50;        ///< iterations between mask updates
+  double drop_fraction = 0.3;      ///< α₀
+  double stop_fraction = 0.75;     ///< RigL-style early stop (1.0 = never)
+  double c = 1e-3;                 ///< DST-EE exploration coefficient
+  double eps = 1e-3;               ///< DST-EE ε
+};
+
+/// One classification table cell.
+struct ClassificationConfig {
+  MethodKind method = MethodKind::kDstEe;
+  double sparsity = 0.9;
+  sparse::DistributionKind distribution = sparse::DistributionKind::kErk;
+  std::size_t epochs = 8;
+  std::size_t batch_size = 32;
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  DstParams dst;
+  std::uint64_t seed = 1;
+};
+
+/// Everything a bench needs to print its table row.
+struct ClassificationResult {
+  double final_test_accuracy = 0.0;
+  double best_test_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  double achieved_sparsity = 0.0;   ///< over sparsifiable weights
+  double exploration_rate = 0.0;    ///< ITOP R (1.0 for dense)
+  std::vector<EpochStats> history;
+  std::vector<sparse::UpdateStats> topology_rounds;
+  /// ×dense multiples (Table II); filled when a FlopsModel is provided.
+  double train_flops_multiple = 1.0;
+  double inference_flops_multiple = 1.0;
+};
+
+/// Runs one classification experiment. The model is trained IN PLACE
+/// (build a fresh model per cell). `flops` may be null.
+ClassificationResult run_classification(nn::Module& model,
+                                        const sparse::FlopsModel* flops,
+                                        const data::Dataset& train_set,
+                                        const data::Dataset& test_set,
+                                        const ClassificationConfig& config);
+
+/// GNN link-prediction methods of Tables III/IV.
+enum class LinkMethod {
+  kDense,
+  kPruneFromDense,  ///< ADMM three-phase pipeline
+  kDstEe,
+};
+
+struct LinkConfig {
+  LinkMethod method = LinkMethod::kDstEe;
+  double sparsity = 0.9;
+  std::size_t epochs = 50;          ///< DST-EE/dense budget (paper: 50)
+  std::size_t admm_epochs_each = 20;  ///< per ADMM phase (paper: 20+20+20)
+  double lr = 0.05;
+  double admm_rho = 1e-2;
+  DstParams dst;
+  std::uint64_t seed = 1;
+};
+
+struct LinkResult {
+  double best_test_accuracy = 0.0;  ///< paper reports best over epochs
+  double final_test_accuracy = 0.0;
+  double best_test_auc = 0.0;
+  double achieved_sparsity = 0.0;
+  std::vector<LinkEpochStats> history;
+};
+
+/// Runs one link-prediction experiment on the given graph/features/split.
+LinkResult run_link_prediction(models::GnnLinkPredictor& model,
+                               const tensor::Tensor& features,
+                               const graph::LinkSplit& split,
+                               const LinkConfig& config);
+
+}  // namespace dstee::train

@@ -1,0 +1,77 @@
+#include "train/link_trainer.hpp"
+
+#include "train/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dstee::train {
+
+namespace {
+std::vector<float> pair_targets(const std::vector<graph::LabeledPair>& pairs) {
+  std::vector<float> t;
+  t.reserve(pairs.size());
+  for (const auto& p : pairs) t.push_back(p.label);
+  return t;
+}
+}  // namespace
+
+LinkPredictionTrainer::LinkPredictionTrainer(
+    models::GnnLinkPredictor& model, const tensor::Tensor& features,
+    const graph::LinkSplit& split, optim::Optimizer& optimizer,
+    const optim::LrSchedule& schedule, std::size_t epochs)
+    : model_(&model),
+      features_(&features),
+      split_(&split),
+      optimizer_(&optimizer),
+      schedule_(&schedule),
+      epochs_(epochs) {
+  util::check(epochs > 0, "link trainer requires at least one epoch");
+  util::check(!split.train_pairs.empty() && !split.test_pairs.empty(),
+              "link split has empty pair sets");
+}
+
+std::vector<LinkEpochStats> LinkPredictionTrainer::run() {
+  std::vector<LinkEpochStats> history;
+  history.reserve(epochs_);
+  const std::vector<float> train_targets = pair_targets(split_->train_pairs);
+
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    model_->set_training(true);
+    model_->zero_grad();
+    model_->forward(*features_);
+    const tensor::Tensor logits = model_->score_pairs(split_->train_pairs);
+    const double loss = loss_.forward(logits, train_targets);
+    const tensor::Tensor grad_logits = loss_.backward();
+    const tensor::Tensor grad_z =
+        model_->pair_grad_to_embedding_grad(grad_logits, split_->train_pairs);
+    model_->backward(grad_z);
+
+    const double lr = schedule_->lr_at(iteration_);
+    if (hooks_.after_backward) hooks_.after_backward(iteration_, lr);
+    if (hooks_.before_step) hooks_.before_step();
+    optimizer_->set_learning_rate(lr);
+    optimizer_->step();
+    if (hooks_.after_step) hooks_.after_step();
+    ++iteration_;
+
+    LinkEpochStats stats = evaluate();
+    stats.epoch = epoch;
+    stats.train_loss = loss;
+    history.push_back(stats);
+    if (hooks_.on_epoch_end) hooks_.on_epoch_end(epoch);
+  }
+  return history;
+}
+
+LinkEpochStats LinkPredictionTrainer::evaluate() {
+  model_->set_training(false);
+  model_->forward(*features_);
+  const tensor::Tensor logits = model_->score_pairs(split_->test_pairs);
+  const std::vector<float> targets = pair_targets(split_->test_pairs);
+  LinkEpochStats stats;
+  stats.test_accuracy = binary_accuracy(logits, targets);
+  stats.test_auc = auc(logits, targets);
+  model_->set_training(true);
+  return stats;
+}
+
+}  // namespace dstee::train

@@ -1,0 +1,57 @@
+// Link-prediction training loop (full-batch GCN encoder + BCE over pairs).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/link_prediction.hpp"
+#include "models/gnn.hpp"
+#include "nn/losses.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace dstee::train {
+
+/// Per-epoch link-prediction record.
+struct LinkEpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double test_accuracy = 0.0;
+  double test_auc = 0.0;
+};
+
+/// Full-batch trainer for GnnLinkPredictor. Hooks fire exactly as in
+/// Trainer (after_backward → before_step → step → after_step).
+class LinkPredictionTrainer {
+ public:
+  LinkPredictionTrainer(models::GnnLinkPredictor& model,
+                        const tensor::Tensor& features,
+                        const graph::LinkSplit& split,
+                        optim::Optimizer& optimizer,
+                        const optim::LrSchedule& schedule,
+                        std::size_t epochs);
+
+  void set_hooks(TrainHooks hooks) { hooks_ = std::move(hooks); }
+
+  std::vector<LinkEpochStats> run();
+
+  /// Accuracy / AUC on the held-out pairs with the current weights.
+  LinkEpochStats evaluate();
+
+  std::size_t iteration() const { return iteration_; }
+  std::size_t total_iterations() const { return epochs_; }
+
+ private:
+  models::GnnLinkPredictor* model_;
+  const tensor::Tensor* features_;
+  const graph::LinkSplit* split_;
+  optim::Optimizer* optimizer_;
+  const optim::LrSchedule* schedule_;
+  std::size_t epochs_;
+  std::size_t iteration_ = 0;
+  TrainHooks hooks_;
+  nn::BCEWithLogits loss_;
+};
+
+}  // namespace dstee::train

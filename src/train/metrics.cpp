@@ -1,0 +1,87 @@
+#include "train/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dstee::train {
+
+double accuracy(const tensor::Tensor& logits,
+                std::span<const std::size_t> labels) {
+  util::check(logits.rank() == 2, "accuracy expects [batch, classes]");
+  util::check(labels.size() == logits.dim(0),
+              "label count must equal the batch size");
+  const auto predictions = tensor::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double binary_accuracy(const tensor::Tensor& logits,
+                       std::span<const float> targets) {
+  util::check(logits.numel() == targets.size(),
+              "one logit per target required");
+  util::check(!targets.empty(), "binary accuracy of empty batch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const bool predicted_positive = logits[i] > 0.0f;  // σ(z) > 0.5 ⟺ z > 0
+    if (predicted_positive == (targets[i] > 0.5f)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(targets.size());
+}
+
+double auc(const tensor::Tensor& scores, std::span<const float> targets) {
+  util::check(scores.numel() == targets.size(),
+              "one score per target required");
+  // Rank-based (Mann–Whitney U) with midrank tie handling.
+  const std::size_t n = targets.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) /
+                               2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = midrank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (targets[k] > 0.5f) {
+      pos_rank_sum += rank[k];
+      ++pos;
+    }
+  }
+  const std::size_t neg = n - pos;
+  util::check(pos > 0 && neg > 0, "auc requires both classes present");
+  const double u = pos_rank_sum - static_cast<double>(pos) *
+                                      (static_cast<double>(pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+void MeanStd::add(double value) {
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+}
+
+double MeanStd::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double MeanStd::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace dstee::train

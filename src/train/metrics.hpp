@@ -1,0 +1,39 @@
+// Evaluation metrics and running statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::train {
+
+/// Top-1 classification accuracy from logits [batch, classes].
+double accuracy(const tensor::Tensor& logits,
+                std::span<const std::size_t> labels);
+
+/// Binary accuracy at threshold 0.5 from logits [n] and {0,1} targets.
+double binary_accuracy(const tensor::Tensor& logits,
+                       std::span<const float> targets);
+
+/// Area under the ROC curve from scores and {0,1} targets (Mann–Whitney).
+double auc(const tensor::Tensor& scores, std::span<const float> targets);
+
+/// Welford running mean/std — used for the paper's "mean ± std over three
+/// seeds" cells.
+class MeanStd {
+ public:
+  void add(double value);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dstee::train

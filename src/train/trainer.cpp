@@ -1,0 +1,88 @@
+#include "train/trainer.hpp"
+
+#include "tensor/ops.hpp"
+#include "train/metrics.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace dstee::train {
+
+Trainer::Trainer(nn::Module& model, optim::Optimizer& optimizer,
+                 const optim::LrSchedule& schedule,
+                 data::DataLoader& train_loader, const data::Dataset& test_set,
+                 std::size_t epochs)
+    : model_(&model),
+      optimizer_(&optimizer),
+      schedule_(&schedule),
+      train_loader_(&train_loader),
+      test_set_(&test_set),
+      epochs_(epochs) {
+  util::check(epochs > 0, "trainer requires at least one epoch");
+}
+
+std::size_t Trainer::total_iterations() const {
+  return epochs_ * train_loader_->batches_per_epoch();
+}
+
+std::vector<EpochStats> Trainer::run() {
+  std::vector<EpochStats> history;
+  history.reserve(epochs_);
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    model_->set_training(true);
+    train_loader_->start_epoch();
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    double lr = optimizer_->learning_rate();
+    while (train_loader_->has_next()) {
+      const auto batch = train_loader_->next_batch();
+      model_->zero_grad();
+      const tensor::Tensor logits = model_->forward(batch.examples);
+      const double loss = loss_.forward(logits, batch.labels);
+      model_->backward(loss_.backward());
+
+      lr = schedule_->lr_at(iteration_);
+      if (hooks_.after_backward) hooks_.after_backward(iteration_, lr);
+      if (hooks_.before_step) hooks_.before_step();
+      optimizer_->set_learning_rate(lr);
+      optimizer_->step();
+      if (hooks_.after_step) hooks_.after_step();
+
+      loss_sum += loss;
+      ++batches;
+      ++iteration_;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches)
+                                   : 0.0;
+    stats.test_accuracy = evaluate(*test_set_);
+    stats.lr = lr;
+    history.push_back(stats);
+    if (hooks_.on_epoch_end) hooks_.on_epoch_end(epoch);
+    util::log_debug("epoch ", epoch, ": loss=", stats.train_loss,
+                    " acc=", stats.test_accuracy, " lr=", stats.lr);
+  }
+  return history;
+}
+
+double Trainer::evaluate(const data::Dataset& dataset,
+                         std::size_t batch_size) {
+  model_->set_training(false);
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, dataset.size());
+    std::vector<std::size_t> indices;
+    indices.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) indices.push_back(i);
+    const tensor::Tensor logits = model_->forward(dataset.batch(indices));
+    const auto labels = dataset.batch_labels(indices);
+    const auto predictions = tensor::argmax_rows(logits);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (predictions[i] == labels[i]) ++correct;
+    }
+  }
+  model_->set_training(true);
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace dstee::train

@@ -1,0 +1,71 @@
+// Classification training loop with sparse-training hooks.
+//
+// Iteration order (matters — see nn::Module contract and Algorithm 1):
+//   zero_grad → forward → loss → backward          (dense grads ready)
+//   hooks.after_backward(iter, lr)                  (DST engine / GMP / ADMM)
+//   hooks.before_step()                             (mask gradients)
+//   optimizer.step() at the scheduled lr
+//   hooks.after_step()                              (re-apply masks to values)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "nn/losses.hpp"
+#include "nn/module.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+
+namespace dstee::train {
+
+/// Optional callbacks threaded through the loop. Absent hooks are skipped.
+struct TrainHooks {
+  std::function<void(std::size_t iteration, double lr)> after_backward;
+  std::function<void()> before_step;
+  std::function<void()> after_step;
+  std::function<void(std::size_t epoch)> on_epoch_end;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double test_accuracy = 0.0;
+  double lr = 0.0;
+};
+
+/// Reusable epoch/iteration loop for softmax-classification models.
+class Trainer {
+ public:
+  Trainer(nn::Module& model, optim::Optimizer& optimizer,
+          const optim::LrSchedule& schedule, data::DataLoader& train_loader,
+          const data::Dataset& test_set, std::size_t epochs);
+
+  void set_hooks(TrainHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Runs the full schedule; returns one record per epoch.
+  std::vector<EpochStats> run();
+
+  /// Accuracy of the current model on `dataset` (eval mode, batched).
+  double evaluate(const data::Dataset& dataset, std::size_t batch_size = 64);
+
+  /// Iterations executed so far (across epochs).
+  std::size_t iteration() const { return iteration_; }
+
+  /// Total iterations the configured run will execute.
+  std::size_t total_iterations() const;
+
+ private:
+  nn::Module* model_;
+  optim::Optimizer* optimizer_;
+  const optim::LrSchedule* schedule_;
+  data::DataLoader* train_loader_;
+  const data::Dataset* test_set_;
+  std::size_t epochs_;
+  std::size_t iteration_ = 0;
+  TrainHooks hooks_;
+  nn::SoftmaxCrossEntropy loss_;
+};
+
+}  // namespace dstee::train

@@ -1,0 +1,61 @@
+// Checked-precondition helpers for the dstee library.
+//
+// Following C++ Core Guidelines I.6/E.12: preconditions are expressed as
+// checks that throw std::invalid_argument / std::runtime_error with enough
+// context (expression + source location) to diagnose API misuse without a
+// debugger. These checks guard *interfaces*; hot inner loops use plain
+// assertions compiled out in release builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dstee::util {
+
+/// Exception thrown when a dstee API precondition is violated.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(std::string_view expr,
+                                             std::string_view msg,
+                                             const std::source_location& loc) {
+  std::ostringstream os;
+  os << "dstee check failed";
+  if (!expr.empty()) os << ": (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  os << " [" << loc.file_name() << ":" << loc.line() << " in "
+     << loc.function_name() << "]";
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+/// Throws CheckError when `cond` is false. `msg` should say what the caller
+/// did wrong, not restate the condition.
+inline void check(bool cond, std::string_view msg = "",
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!cond) detail::raise_check_failure("", msg, loc);
+}
+
+/// check() variant that records the failing expression text.
+inline void check_expr(bool cond, std::string_view expr,
+                       std::string_view msg = "",
+                       const std::source_location loc =
+                           std::source_location::current()) {
+  if (!cond) detail::raise_check_failure(expr, msg, loc);
+}
+
+/// Unconditional failure for unreachable branches / unsupported configs.
+[[noreturn]] inline void fail(std::string_view msg,
+                              const std::source_location loc =
+                                  std::source_location::current()) {
+  detail::raise_check_failure("", msg, loc);
+}
+
+}  // namespace dstee::util

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+
+#include "util/check.hpp"
+
+namespace dstee::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::trunc);
+  check(out_.is_open(), "cannot open CSV file for writing: " + path);
+  width_ = header.size();
+  write_fields(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  check(fields.size() == width_,
+        "CSV row width does not match header width");
+  write_fields(fields);
+  ++rows_;
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dstee::util

@@ -1,0 +1,43 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace dstee::util {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const std::string text = env_string(name, "");
+  if (text.empty()) return fallback;
+  try {
+    return std::stoll(text);
+  } catch (const std::exception&) {
+    fail("environment variable " + name + " is not an integer: " + text);
+  }
+}
+
+double env_double(const std::string& name, double fallback) {
+  const std::string text = env_string(name, "");
+  if (text.empty()) return fallback;
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    fail("environment variable " + name + " is not a number: " + text);
+  }
+}
+
+double bench_scale() { return env_double("DSTEE_SCALE", 1.0); }
+
+std::int64_t bench_epochs_override() { return env_int("DSTEE_EPOCHS", 0); }
+
+std::int64_t bench_seeds(std::int64_t fallback) {
+  return env_int("DSTEE_SEEDS", fallback);
+}
+
+}  // namespace dstee::util

@@ -1,0 +1,32 @@
+// Environment-variable configuration for the bench harness.
+//
+// Benches run with small defaults so `for b in build/bench/*; do $b; done`
+// finishes in minutes; DSTEE_SCALE / DSTEE_EPOCHS / DSTEE_SEEDS lift them
+// to full-fidelity sweeps without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dstee::util {
+
+/// Reads an environment variable, returning `fallback` when unset/empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Integer environment variable with fallback; throws on malformed values.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Floating-point environment variable with fallback.
+double env_double(const std::string& name, double fallback);
+
+/// Global bench scale multiplier (DSTEE_SCALE, default 1.0). Benches apply
+/// it to dataset sizes / model widths.
+double bench_scale();
+
+/// Global epoch override (DSTEE_EPOCHS); <= 0 means "use bench default".
+std::int64_t bench_epochs_override();
+
+/// Number of random seeds per table cell (DSTEE_SEEDS, default bench-specific).
+std::int64_t bench_seeds(std::int64_t fallback);
+
+}  // namespace dstee::util

@@ -1,0 +1,64 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "util/string_util.hpp"
+
+namespace dstee::util {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("DSTEE_LOG_LEVEL"); env != nullptr) {
+      return parse_log_level(env);
+    }
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  const std::string lower = to_lower(text);
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace dstee::util

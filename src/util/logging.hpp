@@ -1,0 +1,61 @@
+// Minimal leveled logger used across the library and the bench harness.
+//
+// Design: a single process-wide level (benches flip it from the
+// DSTEE_LOG_LEVEL environment variable), streams to stderr so bench tables
+// printed on stdout stay machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dstee::util {
+
+/// Severity levels, ordered. Messages below the global level are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current global log level (default: kInfo, overridable via the
+/// DSTEE_LOG_LEVEL environment variable: debug|info|warn|error|off).
+LogLevel log_level();
+
+/// Sets the global log level for the current process.
+void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+LogLevel parse_log_level(std::string_view text);
+
+/// Emits one log line ("[level] message") to stderr if `level` is enabled.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+/// Convenience wrappers; arguments are streamed together.
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace dstee::util

@@ -1,0 +1,67 @@
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace dstee::util {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string trim(std::string_view text) {
+  const auto* first = std::find_if_not(text.begin(), text.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+  const auto* last = std::find_if_not(text.rbegin(), text.rend(), [](unsigned char c) {
+                       return std::isspace(c) != 0;
+                     }).base();
+  if (first >= last) return {};
+  return std::string(first, last);
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_sci(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_multiple(double value, int digits) {
+  return format_fixed(value, digits) + "x";
+}
+
+std::string format_mean_std(double mean, double std, int digits) {
+  return format_fixed(mean, digits) + " +/- " + format_fixed(std, digits);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace dstee::util

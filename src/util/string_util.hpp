@@ -1,0 +1,35 @@
+// Small string helpers shared by logging, CSV output and config parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dstee::util {
+
+/// ASCII lower-casing (config values and log levels are ASCII by contract).
+std::string to_lower(std::string_view text);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips leading/trailing whitespace.
+std::string trim(std::string_view text);
+
+/// Formats a double with `digits` significant decimal places (fixed).
+std::string format_fixed(double value, int digits);
+
+/// Formats a double in compact scientific notation, e.g. "1.0e-03".
+std::string format_sci(double value, int digits = 1);
+
+/// Renders e.g. 0.23 as "0.23x" — the paper's FLOPs-multiple convention.
+std::string format_multiple(double value, int digits = 2);
+
+/// "mean ± std" with the given number of decimals, matching the paper's
+/// accuracy cells (e.g. "93.84 ± 0.09").
+std::string format_mean_std(double mean, double std, int digits = 2);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace dstee::util

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dstee::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  check(!header_.empty(), "table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  check(row.size() == header_.size(), "table row width must match header");
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  os << hline() << render_cells(header_) << hline();
+  for (const auto& row : rows_) {
+    if (row.separator_before) os << hline();
+    os << render_cells(row.cells);
+  }
+  os << hline();
+  return os.str();
+}
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+}  // namespace dstee::util

@@ -1,0 +1,46 @@
+// ASCII table rendering for paper-style result tables on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dstee::util {
+
+/// Accumulates rows and renders an aligned ASCII table, e.g.
+///
+///   +---------+-------+-------+
+///   | Method  | 90%   | 95%   |
+///   +---------+-------+-------+
+///   | RigL    | 93.38 | 93.06 |
+///   | DST-EE  | 93.84 | 93.53 |
+///   +---------+-------+-------+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row (section break).
+  void add_separator();
+
+  /// Renders the table to a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace dstee::util

@@ -1,0 +1,166 @@
+// Public-API (core::DstEeSession) tests — Algorithm 1 end to end.
+#include <gtest/gtest.h>
+
+#include "core/dst_ee.hpp"
+
+#include "tensor/ops.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic_tabular.hpp"
+#include "models/mlp.hpp"
+#include "nn/losses.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "sparse/stats.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+struct SessionHarness {
+  explicit SessionHarness(double sparsity = 0.9, double c = 1e-3)
+      : rng(21),
+        train_set(tab_cfg(), data::SyntheticTabularDataset::Split::kTrain),
+        test_set(tab_cfg(), data::SyntheticTabularDataset::Split::kTest),
+        model(mlp_cfg(), rng),
+        optimizer(model.parameters(), sgd_cfg()),
+        loader(train_set, 32, rng.fork("loader")) {
+    core::DstEeConfig ee;
+    ee.sparsity = sparsity;
+    ee.delta_t = 3;
+    ee.c = c;
+    total_iters = 6 * loader.batches_per_epoch();
+    session = std::make_unique<core::DstEeSession>(model, optimizer, ee,
+                                                   total_iters, 21);
+  }
+
+  static data::SyntheticTabularConfig tab_cfg() {
+    data::SyntheticTabularConfig cfg;
+    cfg.num_classes = 4;
+    cfg.features = 16;
+    cfg.train_per_class = 32;
+    cfg.test_per_class = 8;
+    cfg.class_separation = 3.0;
+    cfg.seed = 21;
+    return cfg;
+  }
+  static models::MlpConfig mlp_cfg() {
+    models::MlpConfig cfg;
+    cfg.in_features = 16;
+    cfg.hidden = {64};
+    cfg.out_features = 4;
+    return cfg;
+  }
+  static optim::Sgd::Config sgd_cfg() {
+    optim::Sgd::Config cfg;
+    cfg.lr = 0.1;
+    cfg.momentum = 0.9;
+    return cfg;
+  }
+
+  // Trains for `epochs` epochs through the session API; returns final
+  // train loss.
+  double train_epochs(std::size_t epochs) {
+    nn::SoftmaxCrossEntropy loss;
+    optim::CosineAnnealingLr sched(0.1, total_iters);
+    double last = 0.0;
+    std::size_t iter = 0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+      loader.start_epoch();
+      while (loader.has_next()) {
+        const auto batch = loader.next_batch();
+        model.zero_grad();
+        last = loss.forward(model.forward(batch.examples), batch.labels);
+        model.backward(loss.backward());
+        const double lr = sched.lr_at(iter);
+        session->on_iteration_end(iter, lr);
+        optimizer.set_learning_rate(lr);
+        optimizer.step();
+        session->after_optimizer_step();
+        ++iter;
+      }
+    }
+    return last;
+  }
+
+  util::Rng rng;
+  data::SyntheticTabularDataset train_set;
+  data::SyntheticTabularDataset test_set;
+  models::Mlp model;
+  optim::Sgd optimizer;
+  data::DataLoader loader;
+  std::unique_ptr<core::DstEeSession> session;
+  std::size_t total_iters = 0;
+};
+
+TEST(DstEeSession, SparsifiesAtConstruction) {
+  SessionHarness h(0.9);
+  EXPECT_NEAR(h.session->sparsity(), 0.9, 0.01);
+  EXPECT_EQ(sparse::validate_invariants(h.session->sparse_model()), "");
+}
+
+TEST(DstEeSession, SparsityInvariantHoldsThroughTraining) {
+  SessionHarness h(0.9);
+  h.train_epochs(3);
+  EXPECT_NEAR(h.session->sparsity(), 0.9, 0.01);
+  EXPECT_EQ(sparse::validate_invariants(h.session->sparse_model()), "");
+}
+
+TEST(DstEeSession, LearnsAboveChance) {
+  SessionHarness h(0.8);
+  const double first_loss = h.train_epochs(1);
+  const double last_loss = h.train_epochs(5);
+  EXPECT_LT(last_loss, first_loss);
+  // Evaluate accuracy on the test split.
+  h.model.set_training(false);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < h.test_set.size(); ++i) {
+    const auto logits = h.model.forward(h.test_set.batch({i}));
+    if (tensor::argmax_rows(logits)[0] == h.test_set.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / h.test_set.size(), 0.5);
+}
+
+TEST(DstEeSession, ExplorationRateGrowsDuringTraining) {
+  SessionHarness h(0.95, /*c=*/1e-2);
+  const double r0 = h.session->exploration_rate();
+  h.train_epochs(6);
+  EXPECT_GT(h.session->exploration_rate(), r0);
+}
+
+TEST(DstEeSession, LargerCExploresMore) {
+  // Fig. 3's mechanism at unit-test scale: larger c ⇒ higher R.
+  SessionHarness small_c(0.95, 1e-5);
+  SessionHarness large_c(0.95, 1e-1);
+  small_c.train_epochs(6);
+  large_c.train_epochs(6);
+  EXPECT_GE(large_c.session->exploration_rate(),
+            small_c.session->exploration_rate());
+}
+
+TEST(DstEeSession, TopologyUpdatesFollowSchedule) {
+  SessionHarness h(0.9);
+  h.train_epochs(2);
+  const auto& log = h.session->engine().log();
+  EXPECT_GT(log.num_rounds(), 0u);
+  for (const auto& round : log.rounds()) {
+    EXPECT_EQ(round.iteration % 3, 0u);  // delta_t = 3
+    EXPECT_EQ(round.dropped, round.grown);
+  }
+}
+
+TEST(DstEeSession, RejectsZeroIterations) {
+  SessionHarness h(0.9);
+  core::DstEeConfig ee;
+  EXPECT_THROW(core::DstEeSession(h.model, h.optimizer, ee, 0, 1),
+               util::CheckError);
+}
+
+TEST(DstEeSession, ConfigAccessorsRoundTrip) {
+  SessionHarness h(0.9);
+  EXPECT_DOUBLE_EQ(h.session->config().sparsity, 0.9);
+  EXPECT_EQ(h.session->config().delta_t, 3u);
+}
+
+}  // namespace
+}  // namespace dstee

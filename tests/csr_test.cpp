@@ -1,0 +1,133 @@
+// CSR sparse-inference tests: conversion round-trips, products vs dense
+// reference, and the end-to-end sparse deployment of a trained MLP.
+#include <gtest/gtest.h>
+
+#include "models/mlp.hpp"
+#include "nn/linear.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sparse_model.hpp"
+#include "tensor/matmul.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+using testing::random_tensor;
+
+TEST(Csr, FromDenseRoundTrips) {
+  tensor::Tensor dense(tensor::Shape({3, 4}),
+                       {1, 0, 2, 0, 0, 0, 0, 3, 4, 0, 0, 5});
+  const auto csr = sparse::CsrMatrix::from_dense(dense);
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.cols(), 4u);
+  EXPECT_EQ(csr.nnz(), 5u);
+  EXPECT_NEAR(csr.density(), 5.0 / 12.0, 1e-12);
+  EXPECT_TRUE(csr.to_dense().equals(dense));
+}
+
+TEST(Csr, EpsThresholdDropsSmallEntries) {
+  tensor::Tensor dense(tensor::Shape({1, 3}), {1.0f, 1e-6f, -2.0f});
+  const auto csr = sparse::CsrMatrix::from_dense(dense, 1e-3f);
+  EXPECT_EQ(csr.nnz(), 2u);
+}
+
+TEST(Csr, FromMaskedStoresActiveEntriesOnly) {
+  util::Rng rng(1);
+  models::MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {};
+  cfg.out_features = 8;
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel sm(model, 0.75, sparse::DistributionKind::kUniform,
+                         rng);
+  const auto csr = sparse::CsrMatrix::from_masked(sm.layer(0));
+  EXPECT_EQ(csr.nnz(), sm.layer(0).num_active());
+  // Reconstruction matches the masked dense weights exactly.
+  EXPECT_TRUE(csr.to_dense().equals(sm.layer(0).param().value));
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  const auto dense = random_tensor(tensor::Shape({7, 5}), 2);
+  const auto x = random_tensor(tensor::Shape({5}), 3);
+  const auto csr = sparse::CsrMatrix::from_dense(dense);
+  const auto y = csr.matvec(x);
+  ASSERT_EQ(y.numel(), 7u);
+  for (std::size_t r = 0; r < 7; ++r) {
+    float expect = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) expect += dense[r * 5 + c] * x[c];
+    EXPECT_NEAR(y[r], expect, 1e-4f);
+  }
+}
+
+TEST(Csr, MatmulNtMatchesDenseKernel) {
+  const auto w = random_tensor(tensor::Shape({6, 9}), 4);
+  const auto x = random_tensor(tensor::Shape({4, 9}), 5);
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  EXPECT_TRUE(csr.matmul_nt(x).allclose(tensor::matmul_nt(x, w), 1e-4f));
+}
+
+TEST(Csr, ShapeChecks) {
+  const auto w = random_tensor(tensor::Shape({3, 4}), 6);
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  EXPECT_THROW(csr.matvec(random_tensor(tensor::Shape({5}), 7)),
+               util::CheckError);
+  EXPECT_THROW(csr.matmul_nt(random_tensor(tensor::Shape({2, 5}), 8)),
+               util::CheckError);
+  EXPECT_THROW(
+      sparse::CsrMatrix::from_dense(random_tensor(tensor::Shape({4}), 9)),
+      util::CheckError);
+}
+
+class CsrDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrDensitySweep, SparseForwardMatchesMaskedDenseMlp) {
+  // End-to-end: sparse-train state → CSR stack → forward equals the dense
+  // masked model's eval-mode forward at every density.
+  const double sparsity = GetParam();
+  util::Rng rng(11);
+  models::MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {24, 16};
+  cfg.out_features = 5;
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel sm(model, sparsity,
+                         sparse::DistributionKind::kUniform, rng);
+
+  std::vector<sparse::CsrMatrix> layers;
+  std::vector<tensor::Tensor> biases;
+  for (std::size_t i = 0; i < sm.num_layers(); ++i) {
+    layers.push_back(sparse::CsrMatrix::from_masked(sm.layer(i)));
+  }
+  // Collect biases in the same order (linear layers only).
+  for (nn::Parameter* p : model.parameters()) {
+    if (!p->sparsifiable) biases.push_back(p->value);
+  }
+  ASSERT_EQ(biases.size(), layers.size());
+  const sparse::SparseLinearStack stack(std::move(layers), std::move(biases));
+
+  model.set_training(false);
+  const auto x = random_tensor(tensor::Shape({6, 12}), 13);
+  const auto dense_out = model.forward(x);
+  const auto sparse_out = stack.forward(x);
+  EXPECT_TRUE(sparse_out.allclose(dense_out, 1e-3f));
+  EXPECT_EQ(stack.total_nnz(), sm.total_active());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CsrDensitySweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.98));
+
+TEST(Csr, StackValidatesChaining) {
+  std::vector<sparse::CsrMatrix> layers;
+  layers.push_back(
+      sparse::CsrMatrix::from_dense(random_tensor(tensor::Shape({4, 8}), 14)));
+  layers.push_back(
+      sparse::CsrMatrix::from_dense(random_tensor(tensor::Shape({3, 5}), 15)));
+  std::vector<tensor::Tensor> biases(2);
+  EXPECT_THROW(
+      sparse::SparseLinearStack(std::move(layers), std::move(biases)),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace dstee

@@ -1,0 +1,200 @@
+// Dataset and loader tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataloader.hpp"
+#include "data/synthetic_images.hpp"
+#include "data/synthetic_tabular.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+data::SyntheticImageConfig small_images() {
+  data::SyntheticImageConfig cfg;
+  cfg.num_classes = 4;
+  cfg.image_size = 8;
+  cfg.train_per_class = 10;
+  cfg.test_per_class = 5;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ImageDataset, SizesAndShapes) {
+  const data::SyntheticImageDataset train(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  const data::SyntheticImageDataset test(
+      small_images(), data::SyntheticImageDataset::Split::kTest);
+  EXPECT_EQ(train.size(), 40u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.example_shape(), tensor::Shape({3, 8, 8}));
+  EXPECT_EQ(train.num_classes(), 4u);
+}
+
+TEST(ImageDataset, LabelsAreBalanced) {
+  const data::SyntheticImageDataset train(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) ++counts[train.label(i)];
+  for (const auto c : counts) EXPECT_EQ(c, 10u);
+}
+
+TEST(ImageDataset, DeterministicBySeed) {
+  const data::SyntheticImageDataset a(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  const data::SyntheticImageDataset b(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  EXPECT_TRUE(a.example(7).equals(b.example(7)));
+}
+
+TEST(ImageDataset, DifferentSeedsDiffer) {
+  auto cfg_b = small_images();
+  cfg_b.seed = 4;
+  const data::SyntheticImageDataset a(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  const data::SyntheticImageDataset b(
+      cfg_b, data::SyntheticImageDataset::Split::kTrain);
+  EXPECT_FALSE(a.example(0).equals(b.example(0)));
+}
+
+TEST(ImageDataset, TrainAndTestSplitsDiffer) {
+  const data::SyntheticImageDataset train(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  const data::SyntheticImageDataset test(
+      small_images(), data::SyntheticImageDataset::Split::kTest);
+  EXPECT_FALSE(train.example(0).equals(test.example(0)));
+}
+
+TEST(ImageDataset, SameClassSharesPrototypeStructure) {
+  // Two samples of the same class must correlate more than samples of
+  // different classes (on average) — this is what makes it learnable.
+  auto cfg = small_images();
+  cfg.signal = 2.0;
+  cfg.pixel_noise = 0.3;
+  cfg.spatial_noise = 0.3;
+  const data::SyntheticImageDataset train(
+      cfg, data::SyntheticImageDataset::Split::kTrain);
+  auto corr = [&](std::size_t i, std::size_t j) {
+    const auto a = train.example(i), b = train.example(j);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t k = 0; k < a.numel(); ++k) {
+      dot += static_cast<double>(a[k]) * b[k];
+      na += static_cast<double>(a[k]) * a[k];
+      nb += static_cast<double>(b[k]) * b[k];
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  // same class: indices 0..9 are class 0; different: 0 vs 10 (class 1)
+  double same = 0.0, diff = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      same += corr(i, j);
+      diff += corr(i, 10 + j);
+      ++n;
+    }
+  }
+  EXPECT_GT(same / n, diff / n);
+}
+
+TEST(ImageDataset, BatchAssembly) {
+  const data::SyntheticImageDataset train(
+      small_images(), data::SyntheticImageDataset::Split::kTrain);
+  const auto batch = train.batch({0, 5, 11});
+  EXPECT_EQ(batch.shape(), tensor::Shape({3, 3, 8, 8}));
+  const auto labels = train.batch_labels({0, 5, 11});
+  EXPECT_EQ(labels[0], train.label(0));
+  EXPECT_EQ(labels[2], train.label(11));
+  EXPECT_THROW(train.batch({1000}), util::CheckError);
+}
+
+TEST(TabularDataset, SizesAndSeparation) {
+  data::SyntheticTabularConfig cfg;
+  cfg.num_classes = 3;
+  cfg.features = 8;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 5;
+  cfg.class_separation = 5.0;
+  cfg.noise = 0.5;
+  const data::SyntheticTabularDataset train(
+      cfg, data::SyntheticTabularDataset::Split::kTrain);
+  EXPECT_EQ(train.size(), 60u);
+  EXPECT_EQ(train.example_shape(), tensor::Shape({8}));
+  // With large separation a nearest-class-mean classifier should be
+  // near-perfect; verify per-class means are far apart.
+  std::vector<std::vector<double>> means(3, std::vector<double>(8, 0.0));
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto x = train.example(i);
+    for (std::size_t f = 0; f < 8; ++f) {
+      means[train.label(i)][f] += x[f] / 20.0;
+    }
+  }
+  double d01 = 0.0;
+  for (std::size_t f = 0; f < 8; ++f) {
+    const double d = means[0][f] - means[1][f];
+    d01 += d * d;
+  }
+  EXPECT_GT(std::sqrt(d01), 2.0);
+}
+
+TEST(DataLoader, CoversEveryExampleOncePerEpoch) {
+  const data::SyntheticTabularDataset train(
+      data::SyntheticTabularConfig{},
+      data::SyntheticTabularDataset::Split::kTrain);
+  data::DataLoader loader(train, 32, util::Rng(5));
+  std::multiset<std::size_t> seen;
+  while (loader.has_next()) {
+    for (const auto idx : loader.next_indices()) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(seen.count(i), 1u);
+  }
+}
+
+TEST(DataLoader, BatchesPerEpochRoundsUp) {
+  const data::SyntheticTabularDataset train(
+      data::SyntheticTabularConfig{},
+      data::SyntheticTabularDataset::Split::kTrain);
+  data::DataLoader loader(train, 100, util::Rng(6));
+  EXPECT_EQ(loader.batches_per_epoch(),
+            (train.size() + 99) / 100);
+}
+
+TEST(DataLoader, ShufflesBetweenEpochs) {
+  const data::SyntheticTabularDataset train(
+      data::SyntheticTabularConfig{},
+      data::SyntheticTabularDataset::Split::kTrain);
+  data::DataLoader loader(train, train.size(), util::Rng(7));
+  const auto first = loader.next_indices();
+  loader.start_epoch();
+  const auto second = loader.next_indices();
+  EXPECT_NE(first, second);
+}
+
+TEST(DataLoader, NextBatchMaterializesTensors) {
+  const data::SyntheticTabularDataset train(
+      data::SyntheticTabularConfig{},
+      data::SyntheticTabularDataset::Split::kTrain);
+  data::DataLoader loader(train, 16, util::Rng(8));
+  const auto batch = loader.next_batch();
+  EXPECT_EQ(batch.examples.dim(0), 16u);
+  EXPECT_EQ(batch.labels.size(), 16u);
+}
+
+TEST(DataLoader, ExhaustedEpochThrows) {
+  data::SyntheticTabularConfig cfg;
+  cfg.num_classes = 2;
+  cfg.train_per_class = 4;
+  const data::SyntheticTabularDataset train(
+      cfg, data::SyntheticTabularDataset::Split::kTrain);
+  data::DataLoader loader(train, 8, util::Rng(9));
+  loader.next_indices();
+  EXPECT_FALSE(loader.has_next());
+  EXPECT_THROW(loader.next_indices(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dstee

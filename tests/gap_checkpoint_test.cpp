@@ -1,0 +1,203 @@
+// Tests for the GaP baseline scheduler and checkpoint serialization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "methods/gap.hpp"
+#include "models/mlp.hpp"
+#include "sparse/stats.hpp"
+#include "train/checkpoint.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+struct GapHarness {
+  GapHarness()
+      : rng(3),
+        model(make_cfg(), rng),
+        smodel(model, 0.9, sparse::DistributionKind::kErk, rng) {}
+
+  static models::MlpConfig make_cfg() {
+    models::MlpConfig cfg;
+    cfg.in_features = 16;
+    cfg.hidden = {32, 32, 32};
+    cfg.out_features = 8;  // four sparsifiable layers total
+    return cfg;
+  }
+
+  util::Rng rng;
+  models::Mlp model;
+  sparse::SparseModel smodel;
+};
+
+TEST(Gap, FirstPartitionStartsDense) {
+  GapHarness h;
+  methods::GapConfig cfg;
+  cfg.num_partitions = 2;
+  cfg.phase_iterations = 10;
+  cfg.sparsity = 0.9;
+  methods::GapScheduler gap(h.smodel, cfg);
+  EXPECT_EQ(gap.active_partition(), 0u);
+  // Layers 0 and 2 are partition 0 → dense; layers 1, 3 stay sparse.
+  EXPECT_DOUBLE_EQ(h.smodel.layer(0).density(), 1.0);
+  EXPECT_DOUBLE_EQ(h.smodel.layer(2).density(), 1.0);
+  EXPECT_LT(h.smodel.layer(1).density(), 0.5);
+}
+
+TEST(Gap, RotationPrunesOldAndDensifiesNext) {
+  GapHarness h;
+  methods::GapConfig cfg;
+  cfg.num_partitions = 2;
+  cfg.phase_iterations = 10;
+  cfg.sparsity = 0.9;
+  methods::GapScheduler gap(h.smodel, cfg);
+  EXPECT_FALSE(gap.maybe_rotate(h.smodel, 5));
+  EXPECT_TRUE(gap.maybe_rotate(h.smodel, 10));
+  EXPECT_EQ(gap.active_partition(), 1u);
+  EXPECT_EQ(gap.rotations(), 1u);
+  // Old partition pruned back, new one dense.
+  EXPECT_LT(h.smodel.layer(0).density(), 0.5);
+  EXPECT_DOUBLE_EQ(h.smodel.layer(1).density(), 1.0);
+  EXPECT_EQ(sparse::validate_invariants(h.smodel), "");
+}
+
+TEST(Gap, FullCycleCoversEveryPartition) {
+  GapHarness h;
+  methods::GapConfig cfg;
+  cfg.num_partitions = 4;
+  cfg.phase_iterations = 5;
+  methods::GapScheduler gap(h.smodel, cfg);
+  std::set<std::size_t> seen{gap.active_partition()};
+  for (std::size_t it = 5; it <= 20; it += 5) {
+    gap.maybe_rotate(h.smodel, it);
+    seen.insert(gap.active_partition());
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Gap, InvalidConfigsThrow) {
+  GapHarness h;
+  methods::GapConfig cfg;
+  cfg.num_partitions = 1;
+  EXPECT_THROW(methods::GapScheduler(h.smodel, cfg), util::CheckError);
+  cfg.num_partitions = 100;  // more than the 4 layers
+  EXPECT_THROW(methods::GapScheduler(h.smodel, cfg), util::CheckError);
+}
+
+TEST(Gap, PartitionAssignmentRoundRobin) {
+  GapHarness h;
+  methods::GapConfig cfg;
+  cfg.num_partitions = 3;
+  methods::GapScheduler gap(h.smodel, cfg);
+  EXPECT_EQ(gap.partition_of(0), 0u);
+  EXPECT_EQ(gap.partition_of(1), 1u);
+  EXPECT_EQ(gap.partition_of(2), 2u);
+  EXPECT_EQ(gap.partition_of(3), 0u);
+}
+
+// ---------------------------------------------------------------------------
+
+struct CheckpointHarness {
+  CheckpointHarness(std::uint64_t seed = 5)
+      : rng(seed),
+        model(make_cfg(), rng),
+        smodel(model, 0.8, sparse::DistributionKind::kUniform, rng) {}
+
+  static models::MlpConfig make_cfg() {
+    models::MlpConfig cfg;
+    cfg.in_features = 10;
+    cfg.hidden = {20};
+    cfg.out_features = 4;
+    return cfg;
+  }
+
+  util::Rng rng;
+  models::Mlp model;
+  sparse::SparseModel smodel;
+};
+
+TEST(Checkpoint, RoundTripsValuesMasksAndCounters) {
+  const std::string path = "test_ckpt/model.bin";
+  CheckpointHarness a(5);
+  a.smodel.accumulate_counters();  // make counters nontrivial
+  train::save_checkpoint(path, a.model, &a.smodel);
+
+  CheckpointHarness b(99);  // different init
+  train::load_checkpoint(path, b.model, &b.smodel);
+
+  const auto pa = a.model.parameters();
+  const auto pb = b.model.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.equals(pb[i]->value)) << "param " << i;
+  }
+  for (std::size_t i = 0; i < a.smodel.num_layers(); ++i) {
+    EXPECT_EQ(a.smodel.layer(i).mask().hamming_distance(
+                  b.smodel.layer(i).mask()),
+              0u);
+    EXPECT_TRUE(a.smodel.layer(i).counter().equals(
+        b.smodel.layer(i).counter()));
+  }
+  EXPECT_EQ(sparse::validate_invariants(b.smodel), "");
+  std::filesystem::remove_all("test_ckpt");
+}
+
+TEST(Checkpoint, ValuesOnlyRoundTrip) {
+  const std::string path = "test_ckpt/dense.bin";
+  CheckpointHarness a(7);
+  train::save_checkpoint(path, a.model);
+  CheckpointHarness b(8);
+  train::load_checkpoint(path, b.model);
+  EXPECT_TRUE(a.model.parameters()[0]->value.equals(
+      b.model.parameters()[0]->value));
+  std::filesystem::remove_all("test_ckpt");
+}
+
+TEST(Checkpoint, ForwardIdenticalAfterReload) {
+  const std::string path = "test_ckpt/fw.bin";
+  CheckpointHarness a(9);
+  a.model.set_training(false);
+  const auto x = testing::random_tensor(tensor::Shape({3, 10}), 1);
+  const auto before = a.model.forward(x);
+  train::save_checkpoint(path, a.model, &a.smodel);
+  CheckpointHarness b(10);
+  b.model.set_training(false);
+  train::load_checkpoint(path, b.model, &b.smodel);
+  EXPECT_TRUE(b.model.forward(x).equals(before));
+  std::filesystem::remove_all("test_ckpt");
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  CheckpointHarness a(11);
+  EXPECT_THROW(train::load_checkpoint("does/not/exist.bin", a.model),
+               util::CheckError);
+}
+
+TEST(Checkpoint, StateCountMismatchDetected) {
+  const std::string path = "test_ckpt/mismatch.bin";
+  CheckpointHarness a(12);
+  train::save_checkpoint(path, a.model);  // saved WITHOUT sparse state
+  CheckpointHarness b(13);
+  EXPECT_THROW(train::load_checkpoint(path, b.model, &b.smodel),
+               util::CheckError);
+  std::filesystem::remove_all("test_ckpt");
+}
+
+TEST(Checkpoint, CorruptedMagicRejected) {
+  const std::string path = "test_ckpt/corrupt.bin";
+  std::filesystem::create_directories("test_ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a checkpoint";
+  }
+  CheckpointHarness a(14);
+  EXPECT_THROW(train::load_checkpoint(path, a.model), util::CheckError);
+  std::filesystem::remove_all("test_ckpt");
+}
+
+}  // namespace
+}  // namespace dstee

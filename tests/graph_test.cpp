@@ -1,0 +1,203 @@
+// Graph substrate tests: CSR, generator, propagation, link splits.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.hpp"
+#include "graph/graph.hpp"
+#include "graph/link_prediction.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+TEST(Graph, BuildsCsrFromEdges) {
+  const graph::Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, DropsDuplicatesAndSelfLoops) {
+  const graph::Graph g(3, {{0, 1}, {1, 0}, {0, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, EdgeListCanonical) {
+  const graph::Graph g(4, {{2, 0}, {3, 1}});
+  const auto edges = g.edge_list();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const auto& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, RejectsOutOfRangeEdges) {
+  EXPECT_THROW(graph::Graph(2, {{0, 5}}), util::CheckError);
+  EXPECT_THROW(graph::Graph(0, {}), util::CheckError);
+}
+
+TEST(Graph, PropagateShapeAndSymmetry) {
+  const graph::Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto x = testing::random_tensor(tensor::Shape({5, 3}), 1);
+  const auto y = testing::random_tensor(tensor::Shape({5, 3}), 2);
+  const auto ax = g.propagate(x);
+  const auto ay = g.propagate(y);
+  EXPECT_EQ(ax.shape(), x.shape());
+  // Â symmetric ⇒ <Âx, y> == <x, Ây>.
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    lhs += static_cast<double>(ax[i]) * y[i];
+    rhs += static_cast<double>(x[i]) * ay[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Graph, PropagatePreservesConstantVector) {
+  // Â = D̃^{-1/2}(A+I)D̃^{-1/2} applied to a constant vector on a regular
+  // graph returns the same constant (row sums = 1 when degrees equal).
+  const graph::Graph ring(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  tensor::Tensor ones({4, 1});
+  ones.fill(1.0f);
+  const auto out = ring.propagate(ones);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(out[i], 1.0f, 1e-5f);
+}
+
+TEST(Generator, PowerLawBasicProperties) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.edges_per_node = 3;
+  const auto g = graph::generate_power_law(cfg);
+  EXPECT_EQ(g.num_nodes(), 300u);
+  // m edges per new node + seed clique.
+  EXPECT_GE(g.num_edges(), (300u - 4u) * 3u);
+  // Every node has degree >= m (new nodes attach m edges; seeds more).
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(g.degree(u), 1u);
+  }
+}
+
+TEST(Generator, PowerLawHasHubs) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.edges_per_node = 2;
+  const auto g = graph::generate_power_law(cfg);
+  std::size_t max_degree = 0;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.degree(u));
+  }
+  // Preferential attachment produces hubs far above the mean degree (≈4).
+  EXPECT_GT(max_degree, 20u);
+}
+
+TEST(Generator, DeterministicBySeed) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.edges_per_node = 2;
+  cfg.seed = 77;
+  const auto a = graph::generate_power_law(cfg);
+  const auto b = graph::generate_power_law(cfg);
+  EXPECT_EQ(a.edge_list().size(), b.edge_list().size());
+  const auto ea = a.edge_list(), eb = b.edge_list();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_TRUE(ea[i] == eb[i]);
+  }
+}
+
+TEST(Generator, PresetsScaleAsDocumented) {
+  const auto ia = graph::ia_email_config(1.0);
+  EXPECT_EQ(ia.num_nodes, 1133u);
+  EXPECT_EQ(ia.edges_per_node, 5u);
+  const auto wiki = graph::wiki_talk_config(0.5);
+  EXPECT_EQ(wiki.num_nodes, 1200u);
+  EXPECT_EQ(wiki.edges_per_node, 2u);
+  // Tiny scales clamp at the floor.
+  EXPECT_EQ(graph::ia_email_config(0.0).num_nodes, 64u);
+}
+
+TEST(Generator, StructuralFeaturesShapeAndDeterminism) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.edges_per_node = 2;
+  const auto g = graph::generate_power_law(cfg);
+  const auto f1 = graph::structural_features(g, 16, 5);
+  const auto f2 = graph::structural_features(g, 16, 5);
+  EXPECT_EQ(f1.shape(), tensor::Shape({50, 16}));
+  EXPECT_TRUE(f1.equals(f2));
+  const auto f3 = graph::structural_features(g, 16, 6);
+  EXPECT_FALSE(f1.equals(f3));
+}
+
+TEST(LinkSplit, PartitionsEdges) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.edges_per_node = 3;
+  const auto g = graph::generate_power_law(cfg);
+  const auto split = graph::split_links(g, 0.2, 11);
+  const std::size_t test_pos = split.test_pairs.size() / 2;
+  EXPECT_EQ(split.train_edges.size() + test_pos, g.num_edges());
+  // train pairs: half positive, half negative
+  std::size_t pos = 0;
+  for (const auto& p : split.train_pairs) {
+    if (p.label == 1.0f) ++pos;
+  }
+  EXPECT_EQ(pos, split.train_edges.size());
+}
+
+TEST(LinkSplit, NegativesAreNonEdges) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.edges_per_node = 2;
+  const auto g = graph::generate_power_law(cfg);
+  const auto split = graph::split_links(g, 0.3, 13);
+  for (const auto& p : split.test_pairs) {
+    if (p.label == 0.0f) {
+      EXPECT_FALSE(g.has_edge(p.u, p.v));
+    } else {
+      EXPECT_TRUE(g.has_edge(p.u, p.v));
+    }
+  }
+}
+
+TEST(LinkSplit, HeldOutEdgesNotInTrainingSet) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.edges_per_node = 2;
+  const auto g = graph::generate_power_law(cfg);
+  const auto split = graph::split_links(g, 0.25, 17);
+  std::set<std::pair<std::size_t, std::size_t>> train_set;
+  for (const auto& e : split.train_edges) train_set.insert({e.u, e.v});
+  for (const auto& p : split.test_pairs) {
+    if (p.label == 1.0f) {
+      EXPECT_EQ(train_set.count({p.u, p.v}), 0u);
+    }
+  }
+}
+
+TEST(LinkSplit, InvalidHoldoutThrows) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 64;
+  const auto g = graph::generate_power_law(cfg);
+  EXPECT_THROW(graph::split_links(g, 0.0, 1), util::CheckError);
+  EXPECT_THROW(graph::split_links(g, 1.0, 1), util::CheckError);
+}
+
+TEST(NegativeSampling, ProducesRequestedCount) {
+  graph::PowerLawConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.edges_per_node = 2;
+  const auto g = graph::generate_power_law(cfg);
+  util::Rng rng(19);
+  const auto negatives = graph::sample_negative_edges(g, 50, rng);
+  EXPECT_EQ(negatives.size(), 50u);
+  for (const auto& e : negatives) {
+    EXPECT_FALSE(g.has_edge(e.u, e.v));
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+}  // namespace
+}  // namespace dstee

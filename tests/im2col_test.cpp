@@ -1,0 +1,131 @@
+// Unit tests for im2col / col2im, including the adjoint identity.
+#include <gtest/gtest.h>
+
+#include "tensor/im2col.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+TEST(Im2col, GeometryOutputs) {
+  tensor::ConvGeometry g;
+  g.in_channels = 3;
+  g.in_h = 8;
+  g.in_w = 8;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 1;
+  g.padding = 1;
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.patch_size(), 27u);
+  g.stride = 2;
+  EXPECT_EQ(g.out_h(), 4u);
+}
+
+TEST(Im2col, IdentityKernelCopiesPixels) {
+  // 1x1 kernel, no padding: im2col is the identity layout.
+  tensor::ConvGeometry g;
+  g.in_channels = 2;
+  g.in_h = 3;
+  g.in_w = 3;
+  g.kernel_h = 1;
+  g.kernel_w = 1;
+  const auto img = testing::random_tensor(tensor::Shape({2, 3, 3}), 1);
+  tensor::Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  tensor::im2col(img.raw(), g, cols);
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    EXPECT_EQ(cols[i], img[i]);
+  }
+}
+
+TEST(Im2col, KnownThreeByThreePatch) {
+  // single channel 3x3 image, 3x3 kernel with padding 1 → middle column of
+  // the output corresponds to the full image.
+  tensor::ConvGeometry g;
+  g.in_channels = 1;
+  g.in_h = 3;
+  g.in_w = 3;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.padding = 1;
+  tensor::Tensor img(tensor::Shape({1, 3, 3}),
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  tensor::Tensor cols({g.patch_size(), 9});
+  tensor::im2col(img.raw(), g, cols);
+  // Output position (1,1) (column index 4) sees the whole image.
+  for (std::size_t k = 0; k < 9; ++k) {
+    EXPECT_EQ(cols.at2(k, 4), static_cast<float>(k + 1));
+  }
+  // Output position (0,0) (column 0): kernel rows/cols hitting the padding
+  // band must be zero; e.g. patch row 0 (kh=0, kw=0) reads padding.
+  EXPECT_EQ(cols.at2(0, 0), 0.0f);
+  // Patch element (kh=1, kw=1) at output (0,0) reads pixel (0,0) = 1.
+  EXPECT_EQ(cols.at2(4, 0), 1.0f);
+}
+
+TEST(Im2col, WrongColsShapeThrows) {
+  tensor::ConvGeometry g;
+  g.in_channels = 1;
+  g.in_h = 4;
+  g.in_w = 4;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  const auto img = testing::random_tensor(tensor::Shape({1, 4, 4}), 2);
+  tensor::Tensor wrong({3, 3});
+  EXPECT_THROW(tensor::im2col(img.raw(), g, wrong), util::CheckError);
+}
+
+// Adjoint identity: <im2col(x), y> == <x, col2im(y)> for all x, y. This is
+// the property conv backward relies on.
+TEST(Im2col, Col2imIsAdjoint) {
+  tensor::ConvGeometry g;
+  g.in_channels = 2;
+  g.in_h = 5;
+  g.in_w = 6;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 2;
+  g.padding = 1;
+  const auto x = testing::random_tensor(tensor::Shape({2, 5, 6}), 3);
+  const auto y = testing::random_tensor(
+      tensor::Shape({g.patch_size(), g.out_h() * g.out_w()}), 4);
+
+  tensor::Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  tensor::im2col(x.raw(), g, cols);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+
+  tensor::Tensor x_grad({2, 5, 6});
+  tensor::col2im(y, g, x_grad.raw());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * x_grad[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Im2col, StridedNoPaddingRoundTripCounts) {
+  // col2im of all-ones counts how many patches touch each pixel.
+  tensor::ConvGeometry g;
+  g.in_channels = 1;
+  g.in_h = 4;
+  g.in_w = 4;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  g.stride = 2;
+  tensor::Tensor ones_cols({g.patch_size(), g.out_h() * g.out_w()});
+  ones_cols.fill(1.0f);
+  tensor::Tensor counts({1, 4, 4});
+  tensor::col2im(ones_cols, g, counts.raw());
+  // Non-overlapping 2x2 windows: every pixel is covered exactly once.
+  for (std::size_t i = 0; i < counts.numel(); ++i) {
+    EXPECT_EQ(counts[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace dstee

@@ -1,0 +1,182 @@
+// Cross-module integration tests: the paper's qualitative claims at
+// unit-test scale (fast versions of the bench assertions).
+#include <gtest/gtest.h>
+
+#include "data/synthetic_images.hpp"
+#include "data/synthetic_tabular.hpp"
+#include "graph/generator.hpp"
+#include "models/mlp.hpp"
+#include "models/vgg.hpp"
+#include "train/experiment.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+data::SyntheticTabularConfig tab_cfg(std::uint64_t seed) {
+  data::SyntheticTabularConfig cfg;
+  cfg.num_classes = 4;
+  cfg.features = 24;
+  cfg.train_per_class = 48;
+  cfg.test_per_class = 24;
+  cfg.class_separation = 2.5;
+  cfg.noise = 1.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+train::ClassificationConfig exp_cfg(train::MethodKind method, double sparsity,
+                                    std::uint64_t seed) {
+  train::ClassificationConfig cfg;
+  cfg.method = method;
+  cfg.sparsity = sparsity;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  cfg.dst.delta_t = 3;
+  cfg.dst.c = 5e-3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+double run_method(train::MethodKind method, double sparsity,
+                  std::uint64_t seed, double* exploration = nullptr) {
+  const data::SyntheticTabularDataset train_set(
+      tab_cfg(77), data::SyntheticTabularDataset::Split::kTrain);
+  const data::SyntheticTabularDataset test_set(
+      tab_cfg(77), data::SyntheticTabularDataset::Split::kTest);
+  util::Rng rng(seed);
+  models::MlpConfig mcfg;
+  mcfg.in_features = 24;
+  mcfg.hidden = {64, 64};
+  mcfg.out_features = 4;
+  models::Mlp model(mcfg, rng);
+  const auto result = train::run_classification(
+      model, nullptr, train_set, test_set, exp_cfg(method, sparsity, seed));
+  if (exploration != nullptr) *exploration = result.exploration_rate;
+  return result.best_test_accuracy;
+}
+
+TEST(Integration, DstEeCoverageExceedsRigLCoverage) {
+  // Mechanism claim of the paper: the UCB bonus yields strictly more weight
+  // coverage than greedy gradient growth under the same budget.
+  double r_rigl = 0.0, r_ee = 0.0;
+  run_method(train::MethodKind::kRigl, 0.9, 5, &r_rigl);
+  run_method(train::MethodKind::kDstEe, 0.9, 5, &r_ee);
+  EXPECT_GT(r_ee, r_rigl);
+}
+
+TEST(Integration, DynamicMethodsTrainAtExtremeSparsity) {
+  // At 98% sparsity the model must still learn (paper trains at 98%).
+  const double acc = run_method(train::MethodKind::kDstEe, 0.98, 6);
+  EXPECT_GT(acc, 0.3);  // chance is 0.25
+}
+
+TEST(Integration, DstEeAveragesAtLeastAsWellAsSet) {
+  // Averaged over seeds, DST-EE ≥ SET (paper's Table I ordering). Averaging
+  // keeps this robust at unit-test scale.
+  double ee = 0.0, set = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ee += run_method(train::MethodKind::kDstEe, 0.9, seed);
+    set += run_method(train::MethodKind::kSet, 0.9, seed);
+  }
+  EXPECT_GE(ee, set - 0.02 * 3);  // allow tiny noise margin
+}
+
+TEST(Integration, VggTrainsOnSyntheticImages) {
+  data::SyntheticImageConfig icfg;
+  icfg.num_classes = 4;
+  icfg.image_size = 8;
+  icfg.train_per_class = 12;
+  icfg.test_per_class = 6;
+  icfg.seed = 5;
+  const data::SyntheticImageDataset train_set(
+      icfg, data::SyntheticImageDataset::Split::kTrain);
+  const data::SyntheticImageDataset test_set(
+      icfg, data::SyntheticImageDataset::Split::kTest);
+  util::Rng rng(9);
+  models::VggConfig vcfg;
+  vcfg.depth = 11;
+  vcfg.in_channels = 3;
+  vcfg.image_size = 8;
+  vcfg.num_classes = 4;
+  vcfg.width_multiplier = 0.125;
+  models::Vgg model(vcfg, rng);
+
+  train::ClassificationConfig cfg;
+  cfg.method = train::MethodKind::kDstEe;
+  cfg.sparsity = 0.8;
+  cfg.epochs = 3;
+  cfg.batch_size = 16;
+  cfg.dst.delta_t = 2;
+  cfg.lr = 0.05;
+  const auto result =
+      train::run_classification(model, nullptr, train_set, test_set, cfg);
+  EXPECT_NEAR(result.achieved_sparsity, 0.8, 0.05);
+  EXPECT_FALSE(result.history.empty());
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss + 1.0);
+}
+
+TEST(Integration, GnnDstEeSurvivesExtremeSparsityBetterThanAdmm) {
+  // Table IV's headline: at 98% sparsity prune-from-dense collapses on the
+  // ia-email-like graph while DST-EE holds up.
+  const auto g = graph::generate_power_law(graph::ia_email_config(0.15, 7));
+  const auto features = graph::structural_features(g, 24, 7);
+  const auto split = graph::split_links(g, 0.2, 7);
+
+  auto run = [&](train::LinkMethod method) {
+    util::Rng rng(31);
+    models::GnnConfig gcfg;
+    gcfg.in_features = 24;
+    gcfg.hidden = 48;
+    gcfg.embedding = 24;
+    models::GnnLinkPredictor model(g, gcfg, rng);
+    train::LinkConfig cfg;
+    cfg.method = method;
+    cfg.sparsity = 0.98;
+    cfg.epochs = 50;
+    cfg.admm_epochs_each = 20;
+    cfg.dst.delta_t = 2;
+    cfg.dst.c = 1e-2;
+    return train::run_link_prediction(model, features, split, cfg)
+        .best_test_accuracy;
+  };
+  const double ee = run(train::LinkMethod::kDstEe);
+  const double admm = run(train::LinkMethod::kPruneFromDense);
+  // DST-EE must at least match a coin flip and must not collapse below the
+  // ADMM-pruned model (the paper's Table IV shows it far ahead at 98%).
+  EXPECT_GE(ee, 0.5);
+  EXPECT_GE(ee, admm - 0.05);
+}
+
+TEST(Integration, ConvergenceLossTrendsDownOverRounds) {
+  // Proposition 1 sanity: average loss decreases across mask-update rounds.
+  const data::SyntheticTabularDataset train_set(
+      tab_cfg(88), data::SyntheticTabularDataset::Split::kTrain);
+  const data::SyntheticTabularDataset test_set(
+      tab_cfg(88), data::SyntheticTabularDataset::Split::kTest);
+  util::Rng rng(10);
+  models::MlpConfig mcfg;
+  mcfg.in_features = 24;
+  mcfg.hidden = {64};
+  mcfg.out_features = 4;
+  models::Mlp model(mcfg, rng);
+  train::ClassificationConfig cfg = exp_cfg(train::MethodKind::kDstEe, 0.9, 10);
+  cfg.epochs = 8;
+  const auto result =
+      train::run_classification(model, nullptr, train_set, test_set, cfg);
+  // First-epoch loss vs last-epoch loss.
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Integration, FailureInjectionWrongInputShapeSurfacesCleanly) {
+  util::Rng rng(11);
+  models::MlpConfig mcfg;
+  models::Mlp model(mcfg, rng);
+  tensor::Tensor wrong({2, 3});
+  EXPECT_THROW(model.forward(wrong), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dstee

@@ -1,0 +1,162 @@
+// Loss function tests: values, gradients, numerical stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({4, 10});  // all zeros → uniform softmax
+  std::vector<std::size_t> labels{0, 3, 7, 9};
+  const double l = loss.forward(logits, labels);
+  EXPECT_NEAR(l, std::log(10.0), 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3});
+  logits[0] = 20.0f;  // class 0 dominant
+  const std::vector<std::size_t> labels{0};
+  EXPECT_LT(loss.forward(logits, labels), 1e-6);
+  const std::vector<std::size_t> wrong{2};
+  EXPECT_GT(loss.forward(logits, wrong), 10.0);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Tensor logits(tensor::Shape({1, 2}), {1.0f, 2.0f});
+  const std::vector<std::size_t> labels{1};
+  loss.forward(logits, labels);
+  const auto grad = loss.backward();
+  const double p0 = std::exp(1.0) / (std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(grad[0], p0, 1e-5);
+  EXPECT_NEAR(grad[1], (1.0 - p0) - 1.0, 1e-5);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifferences) {
+  nn::SoftmaxCrossEntropy loss;
+  auto logits = testing::random_tensor(tensor::Shape({3, 5}), 1);
+  const std::vector<std::size_t> labels{4, 0, 2};
+  loss.forward(logits, labels);
+  const auto grad = loss.backward();
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float eps = 1e-2f;
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double plus = loss.forward(logits, labels);
+    logits[i] = saved - eps;
+    const double minus = loss.forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (plus - minus) / (2.0 * eps), 5e-3) << "index " << i;
+  }
+}
+
+TEST(CrossEntropy, ProbabilitiesSumToOne) {
+  nn::SoftmaxCrossEntropy loss;
+  const auto logits = testing::random_tensor(tensor::Shape({4, 7}), 2, 3.0f);
+  const std::vector<std::size_t> labels{0, 1, 2, 3};
+  loss.forward(logits, labels);
+  const auto& probs = loss.probabilities();
+  for (std::size_t n = 0; n < 4; ++n) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) row += probs[n * 7 + c];
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(CrossEntropy, StableUnderLargeLogits) {
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Tensor logits(tensor::Shape({1, 2}), {1000.0f, -1000.0f});
+  const std::vector<std::size_t> labels{0};
+  const double l = loss.forward(logits, labels);
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3});
+  const std::vector<std::size_t> labels{3};
+  EXPECT_THROW(loss.forward(logits, labels), util::CheckError);
+}
+
+TEST(CrossEntropy, BatchSizeMismatchThrows) {
+  nn::SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({2, 3});
+  const std::vector<std::size_t> labels{0};
+  EXPECT_THROW(loss.forward(logits, labels), util::CheckError);
+}
+
+TEST(Bce, MatchesClosedForm) {
+  nn::BCEWithLogits loss;
+  tensor::Tensor logits(tensor::Shape({2}), {0.0f, 0.0f});
+  const std::vector<float> targets{1.0f, 0.0f};
+  EXPECT_NEAR(loss.forward(logits, targets), std::log(2.0), 1e-6);
+}
+
+TEST(Bce, StableForExtremeLogits) {
+  nn::BCEWithLogits loss;
+  tensor::Tensor logits(tensor::Shape({2}), {500.0f, -500.0f});
+  const std::vector<float> targets{1.0f, 0.0f};
+  const double l = loss.forward(logits, targets);
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, 0.0, 1e-6);
+}
+
+TEST(Bce, GradientMatchesFiniteDifferences) {
+  nn::BCEWithLogits loss;
+  auto logits = testing::random_tensor(tensor::Shape({6}), 3);
+  const std::vector<float> targets{1, 0, 1, 1, 0, 0};
+  loss.forward(logits, targets);
+  const auto grad = loss.backward();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const float eps = 1e-3f;
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double plus = loss.forward(logits, targets);
+    logits[i] = saved - eps;
+    const double minus = loss.forward(logits, targets);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (plus - minus) / (2.0 * eps), 1e-4);
+  }
+}
+
+TEST(Bce, RejectsNonBinaryTargets) {
+  nn::BCEWithLogits loss;
+  tensor::Tensor logits({1});
+  const std::vector<float> targets{0.5f};
+  EXPECT_THROW(loss.forward(logits, targets), util::CheckError);
+}
+
+TEST(Bce, AcceptsColumnVectorLogits) {
+  nn::BCEWithLogits loss;
+  tensor::Tensor logits({3, 1});
+  const std::vector<float> targets{1, 0, 1};
+  EXPECT_NO_THROW(loss.forward(logits, targets));
+  EXPECT_EQ(loss.backward().shape(), logits.shape());
+}
+
+TEST(Mse, ValueAndGradient) {
+  nn::MeanSquaredError loss;
+  tensor::Tensor pred(tensor::Shape({2}), {1.0f, 3.0f});
+  tensor::Tensor target(tensor::Shape({2}), {0.0f, 1.0f});
+  EXPECT_NEAR(loss.forward(pred, target), (1.0 + 4.0) / 2.0, 1e-6);
+  const auto grad = loss.backward();
+  EXPECT_NEAR(grad[0], 2.0f * 1.0f / 2.0f, 1e-6);
+  EXPECT_NEAR(grad[1], 2.0f * 2.0f / 2.0f, 1e-6);
+}
+
+TEST(Mse, ShapeMismatchThrows) {
+  nn::MeanSquaredError loss;
+  tensor::Tensor a({2}), b({3});
+  EXPECT_THROW(loss.forward(a, b), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dstee

@@ -1,0 +1,98 @@
+// Unit tests for matmul kernels, checked against a naive reference.
+#include <gtest/gtest.h>
+
+#include "tensor/matmul.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+tensor::Tensor naive_matmul(const tensor::Tensor& a, const tensor::Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  tensor::Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(Matmul, SmallKnownProduct) {
+  tensor::Tensor a(tensor::Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  tensor::Tensor b(tensor::Shape({3, 2}), {7, 8, 9, 10, 11, 12});
+  const auto c = tensor::matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Matmul, MatchesNaiveOnRandom) {
+  const auto a = testing::random_tensor(tensor::Shape({17, 23}), 1);
+  const auto b = testing::random_tensor(tensor::Shape({23, 11}), 2);
+  EXPECT_TRUE(tensor::matmul(a, b).allclose(naive_matmul(a, b), 1e-3f));
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  tensor::Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(tensor::matmul(a, b), util::CheckError);
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  const auto a = testing::random_tensor(tensor::Shape({7, 13}), 3);
+  const auto b = testing::random_tensor(tensor::Shape({5, 13}), 4);
+  const auto expect = naive_matmul(a, tensor::transpose(b));
+  EXPECT_TRUE(tensor::matmul_nt(a, b).allclose(expect, 1e-3f));
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  const auto a = testing::random_tensor(tensor::Shape({13, 7}), 5);
+  const auto b = testing::random_tensor(tensor::Shape({13, 5}), 6);
+  const auto expect = naive_matmul(tensor::transpose(a), b);
+  EXPECT_TRUE(tensor::matmul_tn(a, b).allclose(expect, 1e-3f));
+}
+
+TEST(Matmul, AccumulateAddsIntoC) {
+  const auto a = testing::random_tensor(tensor::Shape({4, 6}), 7);
+  const auto b = testing::random_tensor(tensor::Shape({6, 3}), 8);
+  tensor::Tensor c({4, 3});
+  c.fill(1.0f);
+  tensor::matmul_accumulate(a, b, c);
+  auto expect = naive_matmul(a, b);
+  for (std::size_t i = 0; i < expect.numel(); ++i) expect[i] += 1.0f;
+  EXPECT_TRUE(c.allclose(expect, 1e-3f));
+}
+
+TEST(Matmul, AccumulateShapeChecks) {
+  tensor::Tensor a({2, 3}), b({3, 4}), c({2, 5});
+  EXPECT_THROW(tensor::matmul_accumulate(a, b, c), util::CheckError);
+}
+
+TEST(Matmul, TransposeRoundTrip) {
+  const auto a = testing::random_tensor(tensor::Shape({5, 9}), 9);
+  EXPECT_TRUE(tensor::transpose(tensor::transpose(a)).equals(a));
+}
+
+TEST(Matmul, ZeroRowsSkipped) {
+  // gemm's zero-skip fast path must not change results.
+  tensor::Tensor a(tensor::Shape({2, 2}), {0, 0, 1, 2});
+  tensor::Tensor b(tensor::Shape({2, 2}), {3, 4, 5, 6});
+  const auto c = tensor::matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 0.0f);
+  EXPECT_EQ(c.at2(1, 0), 13.0f);
+}
+
+TEST(Matmul, RankChecks) {
+  tensor::Tensor a({4}), b({4, 2});
+  EXPECT_THROW(tensor::matmul(a, b), util::CheckError);
+  EXPECT_THROW(tensor::transpose(a), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dstee

@@ -1,0 +1,115 @@
+// Unit tests for elementwise tensor ops and reductions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+tensor::Tensor t2(std::initializer_list<float> v) {
+  return tensor::Tensor(tensor::Shape({v.size()}), std::vector<float>(v));
+}
+
+TEST(Ops, AddSubMulDiv) {
+  const auto a = t2({1, 2, 3});
+  const auto b = t2({4, 5, 6});
+  EXPECT_TRUE(tensor::add(a, b).equals(t2({5, 7, 9})));
+  EXPECT_TRUE(tensor::sub(b, a).equals(t2({3, 3, 3})));
+  EXPECT_TRUE(tensor::mul(a, b).equals(t2({4, 10, 18})));
+  EXPECT_TRUE(tensor::div(b, a).allclose(t2({4, 2.5, 2})));
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const auto a = t2({1, 2});
+  tensor::Tensor b({3});
+  EXPECT_THROW(tensor::add(a, b), util::CheckError);
+  EXPECT_THROW(tensor::mul(a, b), util::CheckError);
+}
+
+TEST(Ops, InplaceVariants) {
+  auto a = t2({1, 2, 3});
+  tensor::add_inplace(a, t2({1, 1, 1}));
+  EXPECT_TRUE(a.equals(t2({2, 3, 4})));
+  tensor::sub_inplace(a, t2({1, 1, 1}));
+  EXPECT_TRUE(a.equals(t2({1, 2, 3})));
+  tensor::mul_inplace(a, t2({2, 2, 2}));
+  EXPECT_TRUE(a.equals(t2({2, 4, 6})));
+}
+
+TEST(Ops, Axpy) {
+  auto a = t2({1, 1, 1});
+  tensor::axpy_inplace(a, 2.0f, t2({1, 2, 3}));
+  EXPECT_TRUE(a.equals(t2({3, 5, 7})));
+}
+
+TEST(Ops, ScalarOps) {
+  const auto a = t2({1, 2});
+  EXPECT_TRUE(tensor::add_scalar(a, 1.0f).equals(t2({2, 3})));
+  EXPECT_TRUE(tensor::mul_scalar(a, 3.0f).equals(t2({3, 6})));
+  auto b = t2({2, 4});
+  tensor::mul_scalar_inplace(b, 0.5f);
+  EXPECT_TRUE(b.equals(t2({1, 2})));
+}
+
+TEST(Ops, AbsSignMap) {
+  const auto a = t2({-2, 0, 3});
+  EXPECT_TRUE(tensor::abs(a).equals(t2({2, 0, 3})));
+  EXPECT_TRUE(tensor::sign(a).equals(t2({-1, 0, 1})));
+  const auto sq = tensor::map(a, [](float x) { return x * x; });
+  EXPECT_TRUE(sq.equals(t2({4, 0, 9})));
+  auto b = t2({1, 2, 3});
+  tensor::map_inplace(b, [](float x) { return x + 1; });
+  EXPECT_TRUE(b.equals(t2({2, 3, 4})));
+}
+
+TEST(Ops, Reductions) {
+  const auto a = t2({1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(tensor::sum(a), 6.0);
+  EXPECT_DOUBLE_EQ(tensor::mean(a), 1.5);
+  EXPECT_EQ(tensor::max_value(a), 4.0f);
+  EXPECT_EQ(tensor::min_value(a), -2.0f);
+  EXPECT_EQ(tensor::argmax(a), 3u);
+  EXPECT_DOUBLE_EQ(tensor::squared_norm(a), 1 + 4 + 9 + 16);
+  EXPECT_NEAR(tensor::norm(a), std::sqrt(30.0), 1e-9);
+}
+
+TEST(Ops, ArgmaxFirstOnTies) {
+  EXPECT_EQ(tensor::argmax(t2({1, 3, 3, 2})), 1u);
+}
+
+TEST(Ops, CountNonzero) {
+  const auto a = t2({0, 1e-6f, -1, 0});
+  EXPECT_EQ(tensor::count_nonzero(a), 2u);
+  EXPECT_EQ(tensor::count_nonzero(a, 1e-5f), 1u);
+}
+
+TEST(Ops, ArgmaxRows) {
+  tensor::Tensor m(tensor::Shape({2, 3}), {1, 5, 2, 9, 0, 3});
+  const auto idx = tensor::argmax_rows(m);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+  EXPECT_THROW(tensor::argmax_rows(t2({1, 2})), util::CheckError);
+}
+
+TEST(Ops, HasNonfinite) {
+  auto a = t2({1, 2, 3});
+  EXPECT_FALSE(tensor::has_nonfinite(a));
+  a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(tensor::has_nonfinite(a));
+  a[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(tensor::has_nonfinite(a));
+}
+
+TEST(Ops, EmptyReductionsThrow) {
+  tensor::Tensor empty(tensor::Shape({0}));
+  EXPECT_THROW(tensor::mean(empty), util::CheckError);
+  EXPECT_THROW(tensor::max_value(empty), util::CheckError);
+  EXPECT_THROW(tensor::argmax(empty), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dstee

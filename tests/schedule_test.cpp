@@ -1,0 +1,119 @@
+// UpdateSchedule (ΔT / α_t) tests.
+#include <gtest/gtest.h>
+
+#include "methods/schedule.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+methods::UpdateScheduleConfig base_config() {
+  methods::UpdateScheduleConfig cfg;
+  cfg.delta_t = 100;
+  cfg.total_iterations = 1000;
+  cfg.stop_fraction = 0.75;
+  cfg.initial_drop_fraction = 0.3;
+  return cfg;
+}
+
+TEST(Schedule, FiresOnMultiplesOfDeltaT) {
+  methods::UpdateSchedule s(base_config());
+  EXPECT_FALSE(s.is_update_step(0));  // no gradients yet
+  EXPECT_FALSE(s.is_update_step(99));
+  EXPECT_TRUE(s.is_update_step(100));
+  EXPECT_TRUE(s.is_update_step(700));
+  EXPECT_FALSE(s.is_update_step(701));
+}
+
+TEST(Schedule, StopsAfterStopFraction) {
+  methods::UpdateSchedule s(base_config());
+  EXPECT_EQ(s.stop_iteration(), 750u);
+  EXPECT_FALSE(s.is_update_step(800));
+  EXPECT_FALSE(s.is_update_step(900));
+}
+
+TEST(Schedule, StopFractionOneRunsToEnd) {
+  auto cfg = base_config();
+  cfg.stop_fraction = 1.0;
+  methods::UpdateSchedule s(cfg);
+  EXPECT_TRUE(s.is_update_step(900));
+  EXPECT_FALSE(s.is_update_step(1000));  // t == T_end excluded
+}
+
+TEST(Schedule, CosineDecayEndpoints) {
+  methods::UpdateSchedule s(base_config());
+  EXPECT_NEAR(s.drop_fraction(0), 0.3, 1e-12);
+  EXPECT_NEAR(s.drop_fraction(750), 0.0, 1e-12);
+  EXPECT_NEAR(s.drop_fraction(375), 0.15, 1e-12);
+}
+
+TEST(Schedule, ConstantDecay) {
+  auto cfg = base_config();
+  cfg.decay = methods::DropFractionDecay::kConstant;
+  methods::UpdateSchedule s(cfg);
+  EXPECT_DOUBLE_EQ(s.drop_fraction(0), 0.3);
+  EXPECT_DOUBLE_EQ(s.drop_fraction(700), 0.3);
+}
+
+TEST(Schedule, LinearDecay) {
+  auto cfg = base_config();
+  cfg.decay = methods::DropFractionDecay::kLinear;
+  methods::UpdateSchedule s(cfg);
+  EXPECT_NEAR(s.drop_fraction(0), 0.3, 1e-12);
+  EXPECT_NEAR(s.drop_fraction(375), 0.15, 1e-12);
+  EXPECT_NEAR(s.drop_fraction(750), 0.0, 1e-12);
+}
+
+TEST(Schedule, NumRoundsCountsFirings) {
+  methods::UpdateSchedule s(base_config());
+  // updates at 100..700 inclusive (750 stop) → 7 rounds
+  EXPECT_EQ(s.num_rounds(), 7u);
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < 1000; ++t) {
+    if (s.is_update_step(t)) ++counted;
+  }
+  EXPECT_EQ(counted, s.num_rounds());
+}
+
+TEST(Schedule, InvalidConfigsThrow) {
+  auto cfg = base_config();
+  cfg.delta_t = 0;
+  EXPECT_THROW(methods::UpdateSchedule{cfg}, util::CheckError);
+  cfg = base_config();
+  cfg.total_iterations = 0;
+  EXPECT_THROW(methods::UpdateSchedule{cfg}, util::CheckError);
+  cfg = base_config();
+  cfg.initial_drop_fraction = 0.0;
+  EXPECT_THROW(methods::UpdateSchedule{cfg}, util::CheckError);
+  cfg = base_config();
+  cfg.stop_fraction = 0.0;
+  EXPECT_THROW(methods::UpdateSchedule{cfg}, util::CheckError);
+}
+
+TEST(Schedule, DecayNamesRoundTrip) {
+  EXPECT_EQ(methods::to_string(methods::DropFractionDecay::kCosine),
+            "cosine");
+  EXPECT_EQ(methods::to_string(methods::DropFractionDecay::kConstant),
+            "constant");
+  EXPECT_EQ(methods::to_string(methods::DropFractionDecay::kLinear),
+            "linear");
+}
+
+class ScheduleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScheduleSweep, RoundCountMatchesBruteForceAtVariousDeltaT) {
+  auto cfg = base_config();
+  cfg.delta_t = GetParam();
+  methods::UpdateSchedule s(cfg);
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < cfg.total_iterations; ++t) {
+    if (s.is_update_step(t)) ++counted;
+  }
+  EXPECT_EQ(counted, s.num_rounds());
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaTGrid, ScheduleSweep,
+                         ::testing::Values(1, 7, 50, 100, 333, 999));
+
+}  // namespace
+}  // namespace dstee

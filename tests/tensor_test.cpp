@@ -1,0 +1,179 @@
+// Unit tests for Shape and Tensor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dstee {
+namespace {
+
+TEST(Shape, RankAndNumel) {
+  tensor::Shape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s.dim(1), 3u);
+}
+
+TEST(Shape, ScalarShape) {
+  tensor::Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, StridesRowMajor) {
+  tensor::Shape s({2, 3, 4});
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12u);
+  EXPECT_EQ(strides[1], 4u);
+  EXPECT_EQ(strides[2], 1u);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(tensor::Shape({2, 3}), tensor::Shape({2, 3}));
+  EXPECT_NE(tensor::Shape({2, 3}), tensor::Shape({3, 2}));
+  EXPECT_EQ(tensor::Shape({64, 3, 3, 3}).to_string(), "[64, 3, 3, 3]");
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  tensor::Shape s({2});
+  EXPECT_THROW(s.dim(1), util::CheckError);
+}
+
+TEST(Tensor, DefaultIsScalarZero) {
+  tensor::Tensor t;
+  EXPECT_EQ(t.numel(), 1u);
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  tensor::Tensor t({3, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructWithValues) {
+  tensor::Tensor t(tensor::Shape({2, 2}), {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, ConstructWithWrongCountThrows) {
+  EXPECT_THROW(tensor::Tensor(tensor::Shape({2, 2}), {1, 2, 3}),
+               util::CheckError);
+}
+
+TEST(Tensor, FromVector) {
+  const auto t = tensor::Tensor::from_vector({5, 6, 7});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.numel(), 3u);
+  EXPECT_EQ(t[2], 7.0f);
+}
+
+TEST(Tensor, FullOnesZeros) {
+  const auto ones = tensor::Tensor::ones(tensor::Shape({2, 2}));
+  const auto zeros = tensor::Tensor::zeros(tensor::Shape({2, 2}));
+  EXPECT_EQ(ones[3], 1.0f);
+  EXPECT_EQ(zeros[3], 0.0f);
+  const auto like = tensor::Tensor::zeros_like(ones);
+  EXPECT_EQ(like.shape(), ones.shape());
+}
+
+TEST(Tensor, At4Indexing) {
+  tensor::Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  // flat index: ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t[119], 9.0f);
+}
+
+TEST(Tensor, CheckedAccessThrows) {
+  tensor::Tensor t({2, 2});
+  EXPECT_THROW(t.at(4), util::CheckError);
+  EXPECT_THROW(t.at2(2, 0), util::CheckError);
+  tensor::Tensor r1({4});
+  EXPECT_THROW(r1.at2(0, 0), util::CheckError);
+}
+
+TEST(Tensor, Fill) {
+  tensor::Tensor t({3});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  tensor::Tensor t(tensor::Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const auto r = t.reshaped(tensor::Shape({3, 2}));
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped(tensor::Shape({4, 2})), util::CheckError);
+}
+
+TEST(Tensor, ReshapeInPlace) {
+  tensor::Tensor t({4});
+  t.reshape_in_place(tensor::Shape({2, 2}));
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_THROW(t.reshape_in_place(tensor::Shape({5})), util::CheckError);
+}
+
+TEST(Tensor, EqualsAndAllclose) {
+  tensor::Tensor a(tensor::Shape({2}), {1.0f, 2.0f});
+  tensor::Tensor b(tensor::Shape({2}), {1.0f, 2.0f});
+  tensor::Tensor c(tensor::Shape({2}), {1.0f, 2.00001f});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_TRUE(a.allclose(c, 1e-3f));
+  EXPECT_FALSE(a.allclose(c, 1e-7f));
+  tensor::Tensor d({3});
+  EXPECT_FALSE(a.allclose(d));
+}
+
+TEST(Tensor, ToStringTruncates) {
+  tensor::Tensor t({100});
+  const auto s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(Init, KaimingStdMatchesFanIn) {
+  tensor::Tensor w({256, 64});  // fan_in = 64 → std = sqrt(2/64) = 0.1767
+  util::Rng rng(3);
+  tensor::fill_kaiming_normal(w, rng);
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    sum_sq += static_cast<double>(w[i]) * w[i];
+  }
+  const double stddev = std::sqrt(sum_sq / static_cast<double>(w.numel()));
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 64.0), 0.01);
+}
+
+TEST(Init, XavierBounds) {
+  tensor::Tensor w({32, 32});
+  util::Rng rng(4);
+  tensor::fill_xavier_uniform(w, rng);
+  const float bound = std::sqrt(6.0f / 64.0f);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), bound);
+  }
+}
+
+TEST(Init, FanComputation) {
+  EXPECT_EQ(tensor::fan_in_of(tensor::Shape({10, 20})), 20u);
+  EXPECT_EQ(tensor::fan_out_of(tensor::Shape({10, 20})), 10u);
+  EXPECT_EQ(tensor::fan_in_of(tensor::Shape({16, 8, 3, 3})), 72u);
+  EXPECT_EQ(tensor::fan_out_of(tensor::Shape({16, 8, 3, 3})), 144u);
+  EXPECT_THROW(tensor::fan_in_of(tensor::Shape({5})), util::CheckError);
+}
+
+TEST(Init, UniformFillRespectsBounds) {
+  tensor::Tensor t({1000});
+  util::Rng rng(5);
+  tensor::fill_uniform(t, rng, -0.5f, 0.5f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.5f);
+  }
+}
+
+}  // namespace
+}  // namespace dstee

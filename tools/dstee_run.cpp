@@ -1,0 +1,172 @@
+// dstee_run — command-line experiment runner.
+//
+// Runs a single sparse-training experiment chosen entirely by flags, prints
+// per-epoch progress and a summary, and optionally writes a checkpoint.
+//
+//   ./build/tools/dstee_run --model vgg19 --method dst-ee --sparsity 0.95 \
+//       --epochs 16 --seed 3 --checkpoint out/run.bin
+//
+// See --help for the full flag set.
+#include <iostream>
+
+#include "data/synthetic_images.hpp"
+#include "data/synthetic_tabular.hpp"
+#include "models/mlp.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
+#include "train/checkpoint.hpp"
+#include "train/experiment.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace dstee {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "dstee_run — train one model with one sparse-training method on a "
+      "synthetic dataset and report accuracy / sparsity / FLOPs.");
+  args.add_flag("model", "vgg19 | resnet50 | mlp", "mlp")
+      .add_flag("method",
+                "dense | snip | grasp | synflow | magnitude | random | str | "
+                "sis | deepr | set | rigl | rigl-itop | mest | snfs | dsr | "
+                "dst-ee | gap",
+                "dst-ee")
+      .add_flag("sparsity", "global sparsity in [0,1)", "0.9")
+      .add_flag("distribution", "erk | er | uniform", "erk")
+      .add_flag("epochs", "training epochs", "16")
+      .add_flag("batch", "minibatch size", "32")
+      .add_flag("lr", "peak learning rate (cosine annealed)", "0.08")
+      .add_flag("delta-t", "iterations between mask updates", "8")
+      .add_flag("alpha", "initial drop fraction", "0.2")
+      .add_flag("c", "DST-EE exploration coefficient", "1e-3")
+      .add_flag("eps", "DST-EE epsilon", "0.1")
+      .add_flag("classes", "number of classes in the synthetic task", "8")
+      .add_flag("image-size", "image resolution (vgg19/resnet50)", "12")
+      .add_flag("width", "model width multiplier", "0.1")
+      .add_flag("seed", "random seed", "1")
+      .add_flag("checkpoint", "path to save final weights (optional)", "");
+  if (!args.parse(argc, argv)) return 0;
+
+  train::ClassificationConfig cfg;
+  cfg.method = train::parse_method(args.get_string("method"));
+  cfg.sparsity = args.get_double("sparsity");
+  cfg.distribution =
+      sparse::parse_distribution(args.get_string("distribution"));
+  cfg.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  cfg.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+  cfg.lr = args.get_double("lr");
+  cfg.dst.delta_t = static_cast<std::size_t>(args.get_int("delta-t"));
+  cfg.dst.drop_fraction = args.get_double("alpha");
+  cfg.dst.c = args.get_double("c");
+  cfg.dst.eps = args.get_double("eps");
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  if (cfg.method == train::MethodKind::kDense) cfg.sparsity = 0.0;
+
+  const std::string model_kind = args.get_string("model");
+  util::Rng rng(cfg.seed);
+  train::ClassificationResult result;
+  std::unique_ptr<nn::Module> model;
+
+  if (model_kind == "mlp") {
+    data::SyntheticTabularConfig dcfg;
+    dcfg.num_classes = static_cast<std::size_t>(args.get_int("classes"));
+    dcfg.features = 32;
+    dcfg.train_per_class = 96;
+    dcfg.test_per_class = 32;
+    dcfg.seed = cfg.seed;
+    const data::SyntheticTabularDataset train_set(
+        dcfg, data::SyntheticTabularDataset::Split::kTrain);
+    const data::SyntheticTabularDataset test_set(
+        dcfg, data::SyntheticTabularDataset::Split::kTest);
+    models::MlpConfig mcfg;
+    mcfg.in_features = 32;
+    mcfg.hidden = {128, 128};
+    mcfg.out_features = dcfg.num_classes;
+    auto mlp = std::make_unique<models::Mlp>(mcfg, rng);
+    const auto fm = mlp->flops_model();
+    result = train::run_classification(*mlp, &fm, train_set, test_set, cfg);
+    model = std::move(mlp);
+  } else {
+    data::SyntheticImageConfig dcfg;
+    dcfg.num_classes = static_cast<std::size_t>(args.get_int("classes"));
+    dcfg.image_size = static_cast<std::size_t>(args.get_int("image-size"));
+    dcfg.train_per_class = 60;
+    dcfg.test_per_class = 25;
+    dcfg.signal = 0.9;
+    dcfg.spatial_noise = 1.0;
+    dcfg.pixel_noise = 0.8;
+    dcfg.seed = cfg.seed;
+    const data::SyntheticImageDataset train_set(
+        dcfg, data::SyntheticImageDataset::Split::kTrain);
+    const data::SyntheticImageDataset test_set(
+        dcfg, data::SyntheticImageDataset::Split::kTest);
+    const double width = args.get_double("width");
+    if (model_kind == "vgg19") {
+      models::VggConfig vcfg;
+      vcfg.depth = 19;
+      vcfg.image_size = dcfg.image_size;
+      vcfg.num_classes = dcfg.num_classes;
+      vcfg.width_multiplier = width;
+      auto vgg = std::make_unique<models::Vgg>(vcfg, rng);
+      const auto fm = vgg->flops_model();
+      result =
+          train::run_classification(*vgg, &fm, train_set, test_set, cfg);
+      model = std::move(vgg);
+    } else if (model_kind == "resnet50") {
+      models::ResNetConfig rcfg;
+      rcfg.depth = 50;
+      rcfg.image_size = dcfg.image_size;
+      rcfg.num_classes = dcfg.num_classes;
+      rcfg.width_multiplier = width;
+      auto resnet = std::make_unique<models::ResNet>(rcfg, rng);
+      const auto fm = resnet->flops_model();
+      result =
+          train::run_classification(*resnet, &fm, train_set, test_set, cfg);
+      model = std::move(resnet);
+    } else {
+      util::fail("unknown model: " + model_kind +
+                 " (expected mlp | vgg19 | resnet50)");
+    }
+  }
+
+  std::cout << "method: " << train::to_string(cfg.method)
+            << "   model: " << model_kind << "\n";
+  for (const auto& epoch : result.history) {
+    std::cout << "  epoch " << epoch.epoch + 1 << ": loss "
+              << util::format_fixed(epoch.train_loss, 4) << ", test acc "
+              << util::format_fixed(epoch.test_accuracy * 100, 2)
+              << "%, lr " << util::format_fixed(epoch.lr, 4) << "\n";
+  }
+  std::cout << "\nbest accuracy:      "
+            << util::format_fixed(result.best_test_accuracy * 100, 2)
+            << "%\nachieved sparsity:  "
+            << util::format_fixed(result.achieved_sparsity * 100, 2)
+            << "%\nexploration rate R: "
+            << util::format_fixed(result.exploration_rate, 3)
+            << "\ntrain FLOPs:        "
+            << util::format_multiple(result.train_flops_multiple)
+            << " of dense\ninference FLOPs:    "
+            << util::format_multiple(result.inference_flops_multiple)
+            << " of dense\n";
+
+  const std::string ckpt = args.get_string("checkpoint");
+  if (!ckpt.empty()) {
+    train::save_checkpoint(ckpt, *model);
+    std::cout << "checkpoint written: " << ckpt << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dstee
+
+int main(int argc, char** argv) {
+  try {
+    return dstee::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
