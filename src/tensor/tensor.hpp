@@ -8,6 +8,13 @@
 // sparse::FlopsModel, mirroring the paper's accounting.
 #pragma once
 
+// std::span below is C++20; failing here turns ~30 cascading template
+// errors on older-standard builds into one actionable diagnostic.
+#if (defined(_MSVC_LANG) && _MSVC_LANG < 202002L) || \
+    (!defined(_MSVC_LANG) && __cplusplus < 202002L)
+#error "dstee requires C++20 (std::span): compile with -std=c++20 or newer"
+#endif
+
 #include <cstddef>
 #include <span>
 #include <string>

@@ -1,0 +1,111 @@
+// Unit tests for util::CsvWriter covering the header-documented contract:
+// parent-directory creation, RFC 4180 escaping, truncate-on-open, and
+// CheckError when the path cannot be opened.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace dstee {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  // ctest -j runs each TEST_F as a separate process in the same working
+  // directory, so the scratch dir must be unique per test.
+  CsvWriterTest()
+      : root_(std::string("csv_test_out_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()) {
+  }
+
+  void SetUp() override { fs::remove_all(root_); }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string path(const std::string& rel) const {
+    return (root_ / rel).string();
+  }
+
+  const fs::path root_;
+};
+
+TEST_F(CsvWriterTest, CreatesNestedParentDirectories) {
+  // The documented use case: bench binaries write under bench_results/...
+  // without creating the directory themselves.
+  const std::string out = path("bench_results/nested/run.csv");
+  util::CsvWriter w(out, {"epoch", "acc"});
+  w.write_row({"1", "0.5"});
+  w.flush();
+  EXPECT_TRUE(fs::exists(out));
+  EXPECT_EQ(read_file(out), "epoch,acc\n1,0.5\n");
+}
+
+TEST_F(CsvWriterTest, EscapesCommasQuotesAndNewlines) {
+  EXPECT_EQ(util::csv_escape("plain"), "plain");
+  EXPECT_EQ(util::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(util::csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(util::csv_escape("cr\rlf"), "\"cr\rlf\"");
+  EXPECT_EQ(util::csv_escape(""), "");
+}
+
+TEST_F(CsvWriterTest, WritesRfc4180QuotedFieldsToDisk) {
+  const std::string out = path("escaped.csv");
+  util::CsvWriter w(out, {"name", "note"});
+  w.write_row({"a,b", "said \"ok\""});
+  w.write_row({"multi\nline", "plain"});
+  w.flush();
+  EXPECT_EQ(read_file(out),
+            "name,note\n"
+            "\"a,b\",\"said \"\"ok\"\"\"\n"
+            "\"multi\nline\",plain\n");
+}
+
+TEST_F(CsvWriterTest, ThrowsCheckErrorWhenPathIsUnopenable) {
+  // A path that names an existing directory can never be opened as a file.
+  fs::create_directories(path("taken"));
+  EXPECT_THROW(util::CsvWriter(path("taken"), {"col"}), util::CheckError);
+  // A "parent" that is a regular file makes directory creation impossible.
+  { std::ofstream(path("blocker")) << "x"; }
+  EXPECT_THROW(util::CsvWriter(path("blocker/out.csv"), {"col"}),
+               util::CheckError);
+}
+
+TEST_F(CsvWriterTest, TruncatesExistingFileOnOpen) {
+  const std::string out = path("trunc.csv");
+  {
+    util::CsvWriter w(out, {"a", "b"});
+    w.write_row({"1", "2"});
+    w.write_row({"3", "4"});
+    w.flush();
+  }
+  util::CsvWriter w(out, {"a", "b"});
+  w.flush();
+  EXPECT_EQ(read_file(out), "a,b\n");
+}
+
+TEST_F(CsvWriterTest, CountsDataRowsExcludingHeader) {
+  util::CsvWriter w(path("count.csv"), {"x"});
+  EXPECT_EQ(w.rows_written(), 0u);
+  w.write_row({"1"});
+  w.write_row({"2"});
+  EXPECT_EQ(w.rows_written(), 2u);
+  EXPECT_THROW(w.write_row({"too", "wide"}), util::CheckError);
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+}  // namespace
+}  // namespace dstee

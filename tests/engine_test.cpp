@@ -137,7 +137,9 @@ TEST(Engine, CountersAccumulateOnlyActivePositions) {
     for (std::size_t i = 0; i < counter.numel(); ++i) {
       // After init (N=M) plus one round (N+=M'), a currently-active element
       // must have counter >= 1.
-      if (mask[i] != 0.0f) EXPECT_GE(counter[i], 1.0f);
+      if (mask[i] != 0.0f) {
+        EXPECT_GE(counter[i], 1.0f);
+      }
     }
   }
 }

@@ -141,7 +141,9 @@ TEST_P(TopKProperties, SelectionDominatesComplement) {
     min_sel = std::min(min_sel, values[i]);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (!chosen[i]) EXPECT_LE(values[i], min_sel);
+    if (!chosen[i]) {
+      EXPECT_LE(values[i], min_sel);
+    }
   }
   // bottom-k is top-k of the negated tensor.
   const auto bottom = tensor::bottomk_indices(values, k);

@@ -219,8 +219,10 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
 }
 
+// Each test uses its own scratch dir: ctest -j runs every TEST as a
+// separate process in the same working directory.
 TEST(Csv, WritesHeaderAndRows) {
-  const std::string path = "test_csv_out/rows.csv";
+  const std::string path = "test_csv_out_rows/rows.csv";
   {
     util::CsvWriter w(path, {"method", "acc"});
     w.write_row({"DST-EE", "93.84"});
@@ -234,13 +236,13 @@ TEST(Csv, WritesHeaderAndRows) {
   EXPECT_EQ(line, "method,acc");
   std::getline(in, line);
   EXPECT_EQ(line, "DST-EE,93.84");
-  std::filesystem::remove_all("test_csv_out");
+  std::filesystem::remove_all("test_csv_out_rows");
 }
 
 TEST(Csv, RejectsWrongWidth) {
-  util::CsvWriter w("test_csv_out/w.csv", {"a", "b"});
+  util::CsvWriter w("test_csv_out_width/w.csv", {"a", "b"});
   EXPECT_THROW(w.write_row({"only-one"}), util::CheckError);
-  std::filesystem::remove_all("test_csv_out");
+  std::filesystem::remove_all("test_csv_out_width");
 }
 
 TEST(Table, RendersAlignedCells) {

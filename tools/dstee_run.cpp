@@ -3,8 +3,9 @@
 // Runs a single sparse-training experiment chosen entirely by flags, prints
 // per-epoch progress and a summary, and optionally writes a checkpoint.
 //
-//   ./build/tools/dstee_run --model vgg19 --method dst-ee --sparsity 0.95 \
-//       --epochs 16 --seed 3 --checkpoint out/run.bin
+//   ./build/tools/dstee_run --model vgg19 --method dst-ee
+//       --sparsity 0.95 --epochs 16 --seed 3 --checkpoint out/run.bin
+// (one command; join the lines when copying)
 //
 // See --help for the full flag set.
 #include <iostream>
