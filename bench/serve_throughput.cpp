@@ -1,0 +1,127 @@
+// serve_throughput — dense eval forward vs. compiled-CSR forward.
+//
+// The deployment claim of the sparse-training story: once the topology is
+// fixed, inference cost should track density. This bench sweeps sparsity
+// (50–95%) × batch size on an MLP workload and reports rows/second for the
+// dense training-stack forward and the serve::CompiledNet CSR forward,
+// plus the speedup. Rows land in bench_results/serve_throughput.csv.
+//
+// DSTEE_SCALE scales the model width; DSTEE_SERVE_MIN_TIME (seconds, default
+// 0.15) controls per-cell measurement time.
+#include "bench_common.hpp"
+#include "models/mlp.hpp"
+#include "serve/compiled_net.hpp"
+#include "sparse/sparse_model.hpp"
+#include "tensor/init.hpp"
+
+namespace dstee {
+namespace {
+
+/// Rows/second of `fn` (which consumes `rows` rows per call), time-boxed.
+double measure_rows_per_s(const std::function<void()>& fn, std::size_t rows,
+                          double min_seconds) {
+  fn();  // warmup
+  util::Timer timer;
+  std::size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.seconds() < min_seconds);
+  return static_cast<double>(rows * iters) / timer.seconds();
+}
+
+int run() {
+  const bench::BenchEnv env = bench::BenchEnv::resolve();
+  const double min_time = util::env_double("DSTEE_SERVE_MIN_TIME", 0.15);
+
+  models::MlpConfig mcfg;
+  mcfg.in_features = env.scaled(256, 32);
+  mcfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
+  mcfg.out_features = 10;
+
+  const std::vector<double> sparsities = {0.5, 0.8, 0.9, 0.95};
+  const std::vector<std::size_t> batches = {1, 8, 32};
+
+  std::cout << "serve_throughput: MLP " << mcfg.in_features << " -> "
+            << mcfg.hidden[0] << " -> " << mcfg.hidden[1] << " -> "
+            << mcfg.out_features << ", dense eval forward vs compiled CSR\n\n";
+
+  util::Table table({"sparsity", "batch", "dense rows/s", "csr rows/s",
+                     "speedup", "density"});
+  util::CsvWriter csv("bench_results/serve_throughput.csv",
+                      {"sparsity", "batch", "dense_rows_per_s",
+                       "csr_rows_per_s", "speedup", "nnz", "density"});
+
+  bool csr_wins_at_90 = true;
+  bool csr_monotone = true;
+  double prev_csr_rate_b32 = 0.0;
+
+  for (const double sparsity : sparsities) {
+    util::Rng rng(17);
+    models::Mlp model(mcfg, rng);
+    sparse::SparseModel smodel(model, sparsity,
+                               sparse::DistributionKind::kErk, rng);
+    model.set_training(false);
+    const serve::CompiledNet net =
+        serve::CompiledNet::compile(model, &smodel);
+
+    for (const std::size_t batch : batches) {
+      tensor::Tensor x({batch, mcfg.in_features});
+      util::Rng xrng(batch);
+      tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+
+      // Correctness gate before timing anything.
+      util::check(net.forward(x).allclose(model.forward(x), 1e-3f),
+                  "compiled forward diverged from dense eval forward");
+
+      const double dense_rate = measure_rows_per_s(
+          [&] { model.forward(x); }, batch, min_time);
+      const double csr_rate = measure_rows_per_s(
+          [&] { net.forward(x); }, batch, min_time);
+      const double speedup = csr_rate / dense_rate;
+
+      if (sparsity >= 0.9 && speedup <= 1.0) csr_wins_at_90 = false;
+      if (batch == 32) {
+        if (prev_csr_rate_b32 > 0.0 && csr_rate < prev_csr_rate_b32 * 0.8) {
+          csr_monotone = false;  // higher sparsity should not serve slower
+        }
+        prev_csr_rate_b32 = csr_rate;
+      }
+
+      table.add_row({util::format_fixed(sparsity, 2), std::to_string(batch),
+                     util::format_fixed(dense_rate, 0),
+                     util::format_fixed(csr_rate, 0),
+                     util::format_fixed(speedup, 2) + "x",
+                     util::format_fixed(net.density() * 100.0, 1) + "%"});
+      csv.write_row({util::format_fixed(sparsity, 4), std::to_string(batch),
+                     util::format_fixed(dense_rate, 1),
+                     util::format_fixed(csr_rate, 1),
+                     util::format_fixed(speedup, 3),
+                     std::to_string(net.total_nnz()),
+                     util::format_fixed(net.density(), 4)});
+    }
+  }
+  csv.flush();
+
+  std::cout << table.render() << "\n";
+  bench::shape_check(
+      "compiled CSR beats dense eval forward at >=90% sparsity",
+      csr_wins_at_90);
+  bench::shape_check(
+      "CSR throughput does not degrade as sparsity rises (batch 32)",
+      csr_monotone);
+  std::cout << "\ncsv: bench_results/serve_throughput.csv\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dstee
+
+int main() {
+  try {
+    return dstee::run();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

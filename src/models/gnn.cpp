@@ -113,6 +113,12 @@ void GnnLinkPredictor::collect_parameters(std::vector<nn::Parameter*>& out) {
   out.push_back(&decoder_bias_);
 }
 
+void GnnLinkPredictor::collect_state_buffers(
+    std::vector<tensor::Tensor*>& out) {
+  layer1_.collect_state_buffers(out);
+  layer2_.collect_state_buffers(out);
+}
+
 void GnnLinkPredictor::set_training(bool training) {
   Module::set_training(training);
   layer1_.set_training(training);

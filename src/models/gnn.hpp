@@ -66,6 +66,7 @@ class GnnLinkPredictor : public nn::Module {
       const std::vector<graph::LabeledPair>& pairs);
 
   void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  void collect_state_buffers(std::vector<tensor::Tensor*>& out) override;
   void set_training(bool training) override;
   std::string name() const override { return "gnn_link_predictor"; }
 

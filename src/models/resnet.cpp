@@ -93,6 +93,11 @@ void ResidualBlock::collect_parameters(std::vector<nn::Parameter*>& out) {
   if (shortcut_) shortcut_->collect_parameters(out);
 }
 
+void ResidualBlock::collect_state_buffers(std::vector<tensor::Tensor*>& out) {
+  main_.collect_state_buffers(out);
+  if (shortcut_) shortcut_->collect_state_buffers(out);
+}
+
 void ResidualBlock::set_training(bool training) {
   Module::set_training(training);
   main_.set_training(training);

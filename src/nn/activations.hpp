@@ -47,6 +47,8 @@ class LeakyReLU : public Module {
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override { return "leaky_relu"; }
 
+  float slope() const { return slope_; }
+
  private:
   float slope_;
   tensor::Tensor cached_input_;

@@ -177,6 +177,13 @@ void BatchNorm::collect_parameters(std::vector<Parameter*>& out) {
   out.push_back(&beta_);
 }
 
+void BatchNorm::collect_state_buffers(std::vector<tensor::Tensor*>& out) {
+  // Running statistics are what eval mode (and any compiled deployment)
+  // actually uses — a checkpoint without them loses the trained model.
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
 std::string BatchNorm::name() const {
   return (rank4_ ? "batchnorm2d(" : "batchnorm1d(") +
          std::to_string(channels_) + ")";

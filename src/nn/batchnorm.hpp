@@ -19,11 +19,19 @@ class BatchNorm : public Module {
   tensor::Tensor forward(const tensor::Tensor& x) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_state_buffers(std::vector<tensor::Tensor*>& out) override;
   std::string name() const override;
 
   std::size_t channels() const { return channels_; }
   const tensor::Tensor& running_mean() const { return running_mean_; }
   const tensor::Tensor& running_var() const { return running_var_; }
+
+  /// Read-only affine/epsilon access for eval-mode compilation (the serve
+  /// compiler folds eval BN into a per-channel scale/shift).
+  const Parameter& gamma() const { return gamma_; }
+  const Parameter& beta() const { return beta_; }
+  double eps() const { return eps_; }
+  bool is_rank4() const { return rank4_; }
 
  private:
   std::size_t channels_;

@@ -27,6 +27,7 @@ class Linear : public Module {
 
   Parameter& weight() { return weight_; }
   const Parameter& weight() const { return weight_; }
+  bool has_bias() const { return bias_.has_value(); }
   /// Requires with_bias = true at construction.
   Parameter& bias();
 

@@ -6,9 +6,19 @@ void Module::collect_parameters(std::vector<Parameter*>& out) {
   (void)out;  // leaf modules without parameters add nothing
 }
 
+void Module::collect_state_buffers(std::vector<tensor::Tensor*>& out) {
+  (void)out;  // most layers carry no persistent non-parameter state
+}
+
 std::vector<Parameter*> Module::parameters() {
   std::vector<Parameter*> out;
   collect_parameters(out);
+  return out;
+}
+
+std::vector<tensor::Tensor*> Module::state_buffers() {
+  std::vector<tensor::Tensor*> out;
+  collect_state_buffers(out);
   return out;
 }
 

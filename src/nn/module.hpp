@@ -42,6 +42,11 @@ class Module {
   /// to `out`. Pointers remain valid for the module's lifetime.
   virtual void collect_parameters(std::vector<Parameter*>& out);
 
+  /// Appends non-trainable state tensors that checkpoints must persist
+  /// (batch-norm running statistics today). Containers recurse like
+  /// collect_parameters; stateless layers keep the no-op default.
+  virtual void collect_state_buffers(std::vector<tensor::Tensor*>& out);
+
   /// Switches between training and inference behaviour (batch-norm,
   /// dropout). Containers forward the flag to children.
   virtual void set_training(bool training) { training_ = training; }
@@ -52,6 +57,9 @@ class Module {
 
   /// Convenience: all parameters of this subtree.
   std::vector<Parameter*> parameters();
+
+  /// Convenience: all persistent state buffers of this subtree.
+  std::vector<tensor::Tensor*> state_buffers();
 
   /// Zeroes every parameter gradient in this subtree.
   void zero_grad();

@@ -14,6 +14,9 @@ class MaxPool2d : public Module {
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
 
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
  private:
   std::size_t kernel_;
   std::size_t stride_;
@@ -29,6 +32,8 @@ class AvgPool2d : public Module {
   tensor::Tensor forward(const tensor::Tensor& x) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   std::string name() const override;
+
+  std::size_t kernel() const { return kernel_; }
 
  private:
   std::size_t kernel_;

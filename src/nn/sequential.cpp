@@ -27,6 +27,10 @@ void Sequential::collect_parameters(std::vector<Parameter*>& out) {
   for (auto& child : children_) child->collect_parameters(out);
 }
 
+void Sequential::collect_state_buffers(std::vector<tensor::Tensor*>& out) {
+  for (auto& child : children_) child->collect_state_buffers(out);
+}
+
 void Sequential::set_training(bool training) {
   Module::set_training(training);
   for (auto& child : children_) child->set_training(training);

@@ -28,6 +28,7 @@ class Sequential : public Module {
   tensor::Tensor forward(const tensor::Tensor& x) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_state_buffers(std::vector<tensor::Tensor*>& out) override;
   void set_training(bool training) override;
   std::string name() const override;
 

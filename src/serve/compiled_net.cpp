@@ -1,0 +1,447 @@
+#include "serve/compiled_net.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "train/checkpoint.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace dstee::serve {
+
+namespace {
+
+/// CSR Linear: y = spmm(x) + bias, with optional folded BN scale/shift.
+class SpmmOp final : public EvalOp {
+ public:
+  SpmmOp(sparse::CsrMatrix csr, tensor::Tensor bias, bool has_bias,
+         std::size_t threads)
+      : csr_(std::move(csr)),
+        bias_(std::move(bias)),
+        has_bias_(has_bias),
+        threads_(threads) {}
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    tensor::Tensor y = csr_.spmm(x, threads_);
+    if (has_bias_) {
+      const std::size_t out = csr_.rows();
+      for (std::size_t n = 0; n < y.dim(0); ++n) {
+        float* row = y.raw() + n * out;
+        for (std::size_t j = 0; j < out; ++j) row[j] += bias_[j];
+      }
+    }
+    return y;
+  }
+
+  /// Absorbs y ← y·scale + shift (per output row) into the CSR values and
+  /// bias, removing the batch-norm op entirely.
+  void fold_scale_shift(const std::vector<float>& scale,
+                        const std::vector<float>& shift) {
+    csr_.scale_rows(scale);
+    tensor::Tensor folded({csr_.rows()});
+    for (std::size_t r = 0; r < csr_.rows(); ++r) {
+      folded[r] = (has_bias_ ? bias_[r] * scale[r] : 0.0f) + shift[r];
+    }
+    bias_ = std::move(folded);
+    has_bias_ = true;
+    folded_bn_ = true;
+  }
+
+  std::string describe() const override {
+    return "spmm(" + std::to_string(csr_.rows()) + "x" +
+           std::to_string(csr_.cols()) +
+           ", nnz=" + std::to_string(csr_.nnz()) + ", density=" +
+           util::format_fixed(csr_.density() * 100.0, 1) + "%" +
+           (folded_bn_ ? ", +bn" : "") + ")";
+  }
+
+  const sparse::CsrMatrix& csr() const { return csr_; }
+
+ private:
+  sparse::CsrMatrix csr_;
+  tensor::Tensor bias_;
+  bool has_bias_;
+  std::size_t threads_;
+  bool folded_bn_ = false;
+};
+
+/// Eval-mode batch-norm not adjacent to a Linear: y = x·scale + shift per
+/// channel, over [N, C] or [N, C, H, W].
+class ScaleShiftOp final : public EvalOp {
+ public:
+  ScaleShiftOp(std::vector<float> scale, std::vector<float> shift, bool rank4)
+      : scale_(std::move(scale)), shift_(std::move(shift)), rank4_(rank4) {}
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    const std::size_t c = scale_.size();
+    if (rank4_) {
+      util::check(x.rank() == 4 && x.dim(1) == c,
+                  "scale_shift expects [N, C, H, W]");
+    } else {
+      util::check(x.rank() == 2 && x.dim(1) == c,
+                  "scale_shift expects [N, C]");
+    }
+    const std::size_t sp = rank4_ ? x.dim(2) * x.dim(3) : 1;
+    tensor::Tensor y(x.shape());
+    for (std::size_t n = 0; n < x.dim(0); ++n) {
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float* src = x.raw() + (n * c + ch) * sp;
+        float* dst = y.raw() + (n * c + ch) * sp;
+        for (std::size_t i = 0; i < sp; ++i) {
+          dst[i] = src[i] * scale_[ch] + shift_[ch];
+        }
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "scale_shift(" + std::to_string(scale_.size()) + ")";
+  }
+
+ private:
+  std::vector<float> scale_;
+  std::vector<float> shift_;
+  bool rank4_;
+};
+
+class ActivationOp final : public EvalOp {
+ public:
+  enum class Kind { kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+  explicit ActivationOp(Kind kind, float slope = 0.0f)
+      : kind_(kind), slope_(slope) {}
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    tensor::Tensor y(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      const float v = x[i];
+      switch (kind_) {
+        case Kind::kRelu:
+          y[i] = v > 0.0f ? v : 0.0f;
+          break;
+        case Kind::kLeakyRelu:
+          y[i] = v > 0.0f ? v : slope_ * v;
+          break;
+        case Kind::kSigmoid:
+          y[i] = 1.0f / (1.0f + std::exp(-v));
+          break;
+        case Kind::kTanh:
+          y[i] = std::tanh(v);
+          break;
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    switch (kind_) {
+      case Kind::kRelu:
+        return "relu";
+      case Kind::kLeakyRelu:
+        return "leaky_relu";
+      case Kind::kSigmoid:
+        return "sigmoid";
+      case Kind::kTanh:
+        return "tanh";
+    }
+    return "activation";
+  }
+
+ private:
+  Kind kind_;
+  float slope_;
+};
+
+class FlattenOp final : public EvalOp {
+ public:
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() >= 1, "flatten expects a batched tensor");
+    const std::size_t batch = x.dim(0);
+    return x.reshaped(tensor::Shape({batch, x.numel() / batch}));
+  }
+  std::string describe() const override { return "flatten"; }
+};
+
+class MaxPoolOp final : public EvalOp {
+ public:
+  MaxPoolOp(std::size_t kernel, std::size_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() == 4, "maxpool expects [N, C, H, W]");
+    const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
+                      iw = x.dim(3);
+    util::check(ih >= kernel_ && iw >= kernel_,
+                "maxpool input smaller than window");
+    const std::size_t oh = (ih - kernel_) / stride_ + 1;
+    const std::size_t ow = (iw - kernel_) / stride_ + 1;
+    tensor::Tensor y({batch, ch, oh, ow});
+    std::size_t out_i = 0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t c = 0; c < ch; ++c) {
+        const float* plane = x.raw() + (n * ch + c) * ih * iw;
+        for (std::size_t y0 = 0; y0 < oh; ++y0) {
+          for (std::size_t x0 = 0; x0 < ow; ++x0) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const float v =
+                    plane[(y0 * stride_ + ky) * iw + (x0 * stride_ + kx)];
+                if (v > best) best = v;
+              }
+            }
+            y[out_i++] = best;
+          }
+        }
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "maxpool(k" + std::to_string(kernel_) + ",s" +
+           std::to_string(stride_) + ")";
+  }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+};
+
+class AvgPoolOp final : public EvalOp {
+ public:
+  explicit AvgPoolOp(std::size_t kernel) : kernel_(kernel) {}
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() == 4, "avgpool expects [N, C, H, W]");
+    const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
+                      iw = x.dim(3);
+    util::check(ih >= kernel_ && iw >= kernel_,
+                "avgpool input smaller than window");
+    const std::size_t oh = (ih - kernel_) / kernel_ + 1;
+    const std::size_t ow = (iw - kernel_) / kernel_ + 1;
+    const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+    tensor::Tensor y({batch, ch, oh, ow});
+    std::size_t out_i = 0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t c = 0; c < ch; ++c) {
+        const float* plane = x.raw() + (n * ch + c) * ih * iw;
+        for (std::size_t y0 = 0; y0 < oh; ++y0) {
+          for (std::size_t x0 = 0; x0 < ow; ++x0) {
+            float acc = 0.0f;
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                acc += plane[(y0 * kernel_ + ky) * iw + (x0 * kernel_ + kx)];
+              }
+            }
+            y[out_i++] = acc * inv;
+          }
+        }
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "avgpool(k" + std::to_string(kernel_) + ")";
+  }
+
+ private:
+  std::size_t kernel_;
+};
+
+class GlobalAvgPoolOp final : public EvalOp {
+ public:
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() == 4, "global_avg_pool expects [N, C, H, W]");
+    const std::size_t batch = x.dim(0), ch = x.dim(1);
+    const std::size_t sp = x.dim(2) * x.dim(3);
+    const float inv = 1.0f / static_cast<float>(sp);
+    tensor::Tensor y({batch, ch});
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t c = 0; c < ch; ++c) {
+        const float* plane = x.raw() + (n * ch + c) * sp;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < sp; ++i) acc += plane[i];
+        y[n * ch + c] = acc * inv;
+      }
+    }
+    return y;
+  }
+  std::string describe() const override { return "global_avg_pool"; }
+};
+
+/// Eval-mode BN as per-channel affine constants.
+void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
+                    std::vector<float>& shift) {
+  const std::size_t c = bn.channels();
+  scale.resize(c);
+  shift.resize(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    const double inv_std =
+        1.0 / std::sqrt(static_cast<double>(bn.running_var()[i]) + bn.eps());
+    const double s = static_cast<double>(bn.gamma().value[i]) * inv_std;
+    scale[i] = static_cast<float>(s);
+    shift[i] = static_cast<float>(
+        static_cast<double>(bn.beta().value[i]) -
+        static_cast<double>(bn.running_mean()[i]) * s);
+  }
+}
+
+}  // namespace
+
+CompiledNet CompiledNet::compile(nn::Sequential& model,
+                                 const sparse::SparseModel* state,
+                                 const CompileOptions& options) {
+  // Weight → mask lookup so each Linear deploys its trained topology.
+  std::unordered_map<const nn::Parameter*, const sparse::MaskedParameter*>
+      masked;
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < state->num_layers(); ++i) {
+      const sparse::MaskedParameter& layer = state->layer(i);
+      masked.emplace(&layer.param(), &layer);
+    }
+  }
+
+  CompiledNet net;
+  // Passed through verbatim: CsrMatrix::spmm treats 0 as "use hardware
+  // concurrency", and that contract is part of CompileOptions' docs.
+  const std::size_t threads = options.intra_op_threads;
+
+  auto lower = [&](auto&& self, nn::Module& module) -> void {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) {
+      for (std::size_t i = 0; i < seq->size(); ++i) self(self, seq->child(i));
+      return;
+    }
+    if (auto* linear = dynamic_cast<nn::Linear*>(&module)) {
+      const auto it = masked.find(&linear->weight());
+      sparse::CsrMatrix csr =
+          it != masked.end()
+              ? sparse::CsrMatrix::from_masked(*it->second)
+              : sparse::CsrMatrix::from_dense(linear->weight().value,
+                                              options.dense_eps);
+      net.total_nnz_ += csr.nnz();
+      net.total_weights_ += csr.rows() * csr.cols();
+      ++net.sparse_ops_;
+      tensor::Tensor bias;
+      if (linear->has_bias()) bias = linear->bias().value;
+      net.ops_.push_back(std::make_unique<SpmmOp>(
+          std::move(csr), std::move(bias), linear->has_bias(), threads));
+      return;
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(&module)) {
+      std::vector<float> scale, shift;
+      bn_scale_shift(*bn, scale, shift);
+      // BN directly after a Linear collapses into the CSR values/bias.
+      if (!bn->is_rank4() && !net.ops_.empty()) {
+        if (auto* spmm = dynamic_cast<SpmmOp*>(net.ops_.back().get());
+            spmm != nullptr && spmm->csr().rows() == bn->channels()) {
+          spmm->fold_scale_shift(scale, shift);
+          return;
+        }
+      }
+      net.ops_.push_back(std::make_unique<ScaleShiftOp>(
+          std::move(scale), std::move(shift), bn->is_rank4()));
+      return;
+    }
+    if (dynamic_cast<nn::Dropout*>(&module) != nullptr) {
+      ++net.elided_;  // inverted dropout is the identity at eval time
+      return;
+    }
+    if (dynamic_cast<nn::ReLU*>(&module) != nullptr) {
+      net.ops_.push_back(
+          std::make_unique<ActivationOp>(ActivationOp::Kind::kRelu));
+      return;
+    }
+    if (auto* leaky = dynamic_cast<nn::LeakyReLU*>(&module)) {
+      net.ops_.push_back(std::make_unique<ActivationOp>(
+          ActivationOp::Kind::kLeakyRelu, leaky->slope()));
+      return;
+    }
+    if (dynamic_cast<nn::Sigmoid*>(&module) != nullptr) {
+      net.ops_.push_back(
+          std::make_unique<ActivationOp>(ActivationOp::Kind::kSigmoid));
+      return;
+    }
+    if (dynamic_cast<nn::Tanh*>(&module) != nullptr) {
+      net.ops_.push_back(
+          std::make_unique<ActivationOp>(ActivationOp::Kind::kTanh));
+      return;
+    }
+    if (dynamic_cast<nn::Flatten*>(&module) != nullptr) {
+      net.ops_.push_back(std::make_unique<FlattenOp>());
+      return;
+    }
+    if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&module)) {
+      net.ops_.push_back(
+          std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride()));
+      return;
+    }
+    if (auto* pool = dynamic_cast<nn::AvgPool2d*>(&module)) {
+      net.ops_.push_back(std::make_unique<AvgPoolOp>(pool->kernel()));
+      return;
+    }
+    if (dynamic_cast<nn::GlobalAvgPool*>(&module) != nullptr) {
+      net.ops_.push_back(std::make_unique<GlobalAvgPoolOp>());
+      return;
+    }
+    util::fail("CompiledNet: unsupported layer '" + module.name() +
+               "' (conv deployment lowers to CSR over im2col patches — a "
+               "ROADMAP follow-up)");
+  };
+  lower(lower, model);
+
+  util::check(!net.ops_.empty(),
+              "CompiledNet: model lowered to an empty op list");
+  if (auto* first = dynamic_cast<SpmmOp*>(net.ops_.front().get())) {
+    net.input_features_ = first->csr().cols();
+  }
+  return net;
+}
+
+CompiledNet CompiledNet::from_checkpoint(const std::string& path,
+                                         nn::Sequential& model,
+                                         sparse::SparseModel* state,
+                                         const CompileOptions& options) {
+  train::load_checkpoint(path, model, state);
+  return compile(model, state, options);
+}
+
+tensor::Tensor CompiledNet::forward(const tensor::Tensor& x) const {
+  // ops_ is non-empty (checked at compile), so run the first op straight
+  // off `x` — Tensor has value semantics and seeding a loop variable with
+  // `h = x` would deep-copy the whole input batch on every request.
+  tensor::Tensor h = ops_.front()->run(x);
+  for (std::size_t i = 1; i < ops_.size(); ++i) h = ops_[i]->run(h);
+  return h;
+}
+
+double CompiledNet::density() const {
+  return total_weights_ > 0
+             ? static_cast<double>(total_nnz_) /
+                   static_cast<double>(total_weights_)
+             : 0.0;
+}
+
+std::string CompiledNet::summary() const {
+  std::string out = "CompiledNet: " + std::to_string(ops_.size()) + " ops, " +
+                    std::to_string(total_nnz_) + "/" +
+                    std::to_string(total_weights_) + " weights (density " +
+                    util::format_fixed(density() * 100.0, 1) + "%), " +
+                    std::to_string(elided_) + " elided\n";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + ops_[i]->describe() + "\n";
+  }
+  return out;
+}
+
+}  // namespace dstee::serve

@@ -1,0 +1,106 @@
+// CompiledNet: lowers a trained model to an immutable eval-only op list.
+//
+// Training modules (nn::Module) cache activations, mutate running stats and
+// are therefore neither const nor thread-safe. Deployment needs the
+// opposite: a fixed topology executed concurrently by many worker threads.
+// compile() walks a Sequential tree once and emits one EvalOp per layer:
+//
+//   Linear (+ mask)  → CSR SpMM (CsrMatrix::spmm) + dense bias
+//   BatchNorm (eval) → per-channel scale/shift; folded INTO the preceding
+//                      CSR op when one directly precedes it
+//   Dropout          → elided (inverted dropout is identity at eval)
+//   ReLU/LeakyReLU/Sigmoid/Tanh, Flatten, Max/Avg/GlobalAvgPool
+//                    → stateless eval ops
+//
+// Conv2d is intentionally unsupported (CSR-over-im2col deployment is a
+// ROADMAP follow-up); compile() fails loudly rather than silently falling
+// back to dense.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sparse_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::serve {
+
+/// One compiled inference operation. run() is const and touches no shared
+/// mutable state, so a single op instance may execute on many threads.
+class EvalOp {
+ public:
+  virtual ~EvalOp() = default;
+  virtual tensor::Tensor run(const tensor::Tensor& x) const = 0;
+  /// Short description for CompiledNet::summary(), e.g. "spmm(128x32, ...)".
+  virtual std::string describe() const = 0;
+};
+
+/// Knobs for compile().
+struct CompileOptions {
+  /// |w| threshold when no mask is available: entries with |w| <= eps are
+  /// not stored. 0 keeps every nonzero, which exactly reproduces a masked
+  /// model saved by dstee_run (masked weights are stored as 0).
+  float dense_eps = 0.0f;
+  /// Row-parallel threads inside each SpMM (see CsrMatrix::spmm; 0 means
+  /// hardware concurrency). Keep at 1 when an InferenceServer provides
+  /// request-level parallelism. Workers are spawned per spmm call, so >1
+  /// only pays off for large layers / big batches where the kernel
+  /// dominates thread-start cost (a persistent intra-op pool is a ROADMAP
+  /// follow-up).
+  std::size_t intra_op_threads = 1;
+};
+
+/// An immutable, thread-safe inference program compiled from a model.
+class CompiledNet {
+ public:
+  /// Lowers `model` (recursing through nested Sequentials). When `state`
+  /// is non-null, each Linear weight that has a mask in `state` is
+  /// converted with from_masked (faithful topology deployment); other
+  /// weights fall back to from_dense(options.dense_eps).
+  static CompiledNet compile(nn::Sequential& model,
+                             const sparse::SparseModel* state = nullptr,
+                             const CompileOptions& options = {});
+
+  /// load_checkpoint into `model` (and `state` when non-null), then
+  /// compile. The one-call path from a training artifact to a servable
+  /// engine.
+  static CompiledNet from_checkpoint(const std::string& path,
+                                     nn::Sequential& model,
+                                     sparse::SparseModel* state = nullptr,
+                                     const CompileOptions& options = {});
+
+  /// Runs the op list in order. `x` is [batch, ...] matching the model's
+  /// training-time input layout. Thread-safe: may be called concurrently.
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+
+  std::size_t num_ops() const { return ops_.size(); }
+  std::size_t num_sparse_ops() const { return sparse_ops_; }
+  std::size_t num_elided() const { return elided_; }
+
+  /// Stored nonzeros / total weight slots across all CSR ops.
+  std::size_t total_nnz() const { return total_nnz_; }
+  std::size_t total_weights() const { return total_weights_; }
+  double density() const;
+
+  /// Input feature count when the first op determines it (CSR first), else
+  /// 0 (e.g. Flatten-first nets accept any shape that flattens correctly).
+  std::size_t input_features() const { return input_features_; }
+
+  /// One line per op, for logs and the serve CLI.
+  std::string summary() const;
+
+ private:
+  CompiledNet() = default;
+
+  std::vector<std::unique_ptr<EvalOp>> ops_;
+  std::size_t sparse_ops_ = 0;
+  std::size_t elided_ = 0;
+  std::size_t total_nnz_ = 0;
+  std::size_t total_weights_ = 0;
+  std::size_t input_features_ = 0;
+};
+
+}  // namespace dstee::serve

@@ -1,0 +1,155 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace dstee::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration millis_duration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+double millis_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const CompiledNet& net, ServerConfig config)
+    : net_(&net), config_(config) {
+  util::check(config_.num_threads >= 1, "server requires >= 1 worker thread");
+  util::check(config_.max_batch >= 1, "server requires max_batch >= 1");
+  util::check(config_.max_delay_ms >= 0.0,
+              "server max_delay_ms must be non-negative");
+  util::check(config_.queue_capacity >= config_.max_batch,
+              "queue_capacity must be >= max_batch");
+  workers_.reserve(config_.num_threads);
+  for (std::size_t t = 0; t < config_.num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
+  util::check(input.rank() == 1,
+              "submit expects a rank-1 [features] sample");
+  if (net_->input_features() != 0) {
+    util::check(input.numel() == net_->input_features(),
+                "sample has " + std::to_string(input.numel()) +
+                    " features, net expects " +
+                    std::to_string(net_->input_features()));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [&] {
+    return stopping_ || queue_.size() < config_.queue_capacity;
+  });
+  util::check(!stopping_, "submit on a shut-down server");
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = Clock::now();
+  std::future<tensor::Tensor> result = req.result.get_future();
+  queue_.push_back(std::move(req));
+  queue_cv_.notify_one();
+  return result;
+}
+
+std::vector<InferenceServer::Request> InferenceServer::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // stopping and fully drained
+
+    // Micro-batch window: fill up to max_batch, but never keep the head
+    // request waiting past its delay budget. The deadline is recomputed
+    // from the CURRENT head each pass — another worker may have drained
+    // the queue and a newer request become head, with a fresh window.
+    // During shutdown flush at once.
+    while (!stopping_ && !queue_.empty() &&
+           queue_.size() < config_.max_batch) {
+      const Clock::time_point deadline =
+          queue_.front().enqueued + millis_duration(config_.max_delay_ms);
+      if (Clock::now() >= deadline) break;  // head's window expired: flush
+      queue_cv_.wait_until(lock, deadline);
+    }
+    if (queue_.empty()) continue;
+
+    // Requests in one tensor must agree on feature count; heterogeneous
+    // traffic simply splits into per-shape batches.
+    std::vector<Request> batch;
+    const std::size_t features = queue_.front().input.numel();
+    while (!queue_.empty() && batch.size() < config_.max_batch &&
+           queue_.front().input.numel() == features) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    space_cv_.notify_all();
+    return batch;
+  }
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch = next_batch();
+    if (batch.empty()) return;
+
+    const std::size_t b = batch.size();
+    const std::size_t features = batch[0].input.numel();
+    tensor::Tensor x({b, features});
+    for (std::size_t i = 0; i < b; ++i) {
+      float* dst = x.raw() + i * features;
+      const float* src = batch[i].input.raw();
+      for (std::size_t j = 0; j < features; ++j) dst[j] = src[j];
+    }
+
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(b);
+    std::size_t fulfilled = 0;  // promises already satisfied by set_value
+    try {
+      const tensor::Tensor y = net_->forward(x);
+      util::check(y.rank() >= 1 && y.dim(0) == b && y.numel() % b == 0,
+                  "compiled forward returned a non-batched result");
+      const std::size_t out = y.numel() / b;
+      const Clock::time_point done = Clock::now();
+      for (std::size_t i = 0; i < b; ++i) {
+        tensor::Tensor row({out});
+        const float* src = y.raw() + i * out;
+        for (std::size_t j = 0; j < out; ++j) row[j] = src[j];
+        batch[i].result.set_value(std::move(row));
+        ++fulfilled;
+        latencies_ms.push_back(millis_between(batch[i].enqueued, done));
+      }
+    } catch (...) {
+      // Settle only the promises that have not been fulfilled yet —
+      // set_exception on a satisfied promise would itself throw and take
+      // the whole worker (and process) down.
+      const std::exception_ptr error = std::current_exception();
+      for (std::size_t i = fulfilled; i < b; ++i) {
+        batch[i].result.set_exception(error);
+      }
+      continue;  // failed batches do not pollute latency stats
+    }
+    stats_.record_batch(latencies_ms);
+  }
+}
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace dstee::serve

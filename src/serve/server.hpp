@@ -1,0 +1,85 @@
+// InferenceServer: fixed-size thread pool + micro-batching request queue.
+//
+// Clients submit single samples and get a future for the result row. Worker
+// threads coalesce queued requests into [batch, features] tensors — a batch
+// flushes when it reaches `max_batch` OR when the oldest queued request has
+// waited `max_delay_ms` — and run them through a shared CompiledNet (whose
+// forward is const and thread-safe). Batching amortizes the CSR traversal
+// across requests; the delay bound keeps tail latency under control at low
+// load. The queue applies backpressure: submit() blocks while
+// `queue_capacity` requests are already waiting.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/compiled_net.hpp"
+#include "serve/stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::serve {
+
+struct ServerConfig {
+  std::size_t num_threads = 2;     ///< worker (batch-executing) threads
+  std::size_t max_batch = 16;      ///< flush when this many requests queue
+  double max_delay_ms = 2.0;       ///< flush when the head waits this long
+  std::size_t queue_capacity = 4096;  ///< submit() blocks beyond this
+};
+
+/// Multi-threaded micro-batching front-end over one CompiledNet.
+class InferenceServer {
+ public:
+  /// `net` must outlive the server. Workers start immediately.
+  InferenceServer(const CompiledNet& net, ServerConfig config);
+
+  /// Stops accepting work, drains the queue, joins workers.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one sample (rank-1 [features]) and returns a future for its
+  /// output row (rank-1). Blocks while the queue is full; throws
+  /// CheckError after shutdown() or on a shape mismatch the net can detect
+  /// up front.
+  std::future<tensor::Tensor> submit(tensor::Tensor input);
+
+  /// Idempotent: rejects new submissions, lets workers drain what is
+  /// already queued, then joins them.
+  void shutdown();
+
+  /// Aggregate latency/throughput counters since construction.
+  StatsSnapshot stats() const { return stats_.snapshot(); }
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    tensor::Tensor input;
+    std::promise<tensor::Tensor> result;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  /// Pops the next micro-batch (requests of equal feature count, up to
+  /// max_batch, honoring the delay window). Empty result means shutdown.
+  std::vector<Request> next_batch();
+
+  const CompiledNet* net_;
+  ServerConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< signals work / shutdown
+  std::condition_variable space_cv_;  ///< signals queue room
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dstee::serve

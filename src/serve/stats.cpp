@@ -1,0 +1,94 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace dstee::serve {
+
+double percentile(const std::vector<double>& sorted_ascending, double q) {
+  util::check(q >= 0.0 && q <= 1.0, "percentile rank must be in [0, 1]");
+  if (sorted_ascending.empty()) return 0.0;
+  const double pos =
+      q * static_cast<double>(sorted_ascending.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_ascending.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_ascending[lo] * (1.0 - frac) + sorted_ascending[hi] * frac;
+}
+
+void ServerStats::record_batch(
+    const std::vector<double>& request_latencies_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  requests_ += request_latencies_ms.size();
+  for (const double latency : request_latencies_ms) {
+    if (latencies_ms_.size() < kMaxLatencySamples) {
+      latencies_ms_.push_back(latency);
+    } else {
+      latencies_ms_[next_slot_] = latency;
+      next_slot_ = (next_slot_ + 1) % kMaxLatencySamples;
+    }
+  }
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::vector<double> sorted;
+  StatsSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = latencies_ms_;
+    s.requests = requests_;
+    s.batches = batches_;
+    s.elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (s.elapsed_seconds > 0.0) {
+    s.throughput_rps = static_cast<double>(s.requests) / s.elapsed_seconds;
+  }
+  if (s.batches > 0) {
+    s.mean_batch_size =
+        static_cast<double>(s.requests) / static_cast<double>(s.batches);
+  }
+  if (!sorted.empty()) {
+    double sum = 0.0;
+    for (const double v : sorted) sum += v;
+    s.latency_mean_ms = sum / static_cast<double>(sorted.size());
+    s.latency_p50_ms = percentile(sorted, 0.50);
+    s.latency_p95_ms = percentile(sorted, 0.95);
+    s.latency_p99_ms = percentile(sorted, 0.99);
+    s.latency_max_ms = sorted.back();
+  }
+  return s;
+}
+
+void ServerStats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_ms_.clear();
+  next_slot_ = 0;
+  requests_ = 0;
+  batches_ = 0;
+  start_ = Clock::now();
+}
+
+std::string StatsSnapshot::to_string() const {
+  std::string out;
+  out += "requests:        " + std::to_string(requests) + "\n";
+  out += "batches:         " + std::to_string(batches) + "\n";
+  out += "mean batch size: " + util::format_fixed(mean_batch_size, 2) + "\n";
+  out += "elapsed:         " + util::format_fixed(elapsed_seconds, 3) + " s\n";
+  out += "throughput:      " + util::format_fixed(throughput_rps, 1) +
+         " req/s\n";
+  out += "latency mean:    " + util::format_fixed(latency_mean_ms, 3) +
+         " ms\n";
+  out += "latency p50:     " + util::format_fixed(latency_p50_ms, 3) + " ms\n";
+  out += "latency p95:     " + util::format_fixed(latency_p95_ms, 3) + " ms\n";
+  out += "latency p99:     " + util::format_fixed(latency_p99_ms, 3) + " ms\n";
+  out += "latency max:     " + util::format_fixed(latency_max_ms, 3) + " ms\n";
+  return out;
+}
+
+}  // namespace dstee::serve

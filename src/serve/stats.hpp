@@ -1,0 +1,72 @@
+// Serving metrics: per-request latency and aggregate throughput.
+//
+// Worker threads record one entry per completed request under a mutex; a
+// snapshot() sorts a copy of the latency samples and derives percentiles,
+// so recording stays O(1) on the hot path and readers never block workers
+// for long.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dstee::serve {
+
+/// Point-in-time aggregate view of a server's traffic.
+struct StatsSnapshot {
+  std::size_t requests = 0;       ///< completed requests
+  std::size_t batches = 0;        ///< forward passes executed
+  double elapsed_seconds = 0.0;   ///< since construction / reset
+  double throughput_rps = 0.0;    ///< requests / elapsed
+  double mean_batch_size = 0.0;   ///< requests / batches
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string to_string() const;
+};
+
+/// Linear-interpolated percentile of an ASCENDING-sorted sample set;
+/// `q` in [0, 1]. Returns 0 for an empty sample. Exposed for tests.
+double percentile(const std::vector<double>& sorted_ascending, double q);
+
+/// Thread-safe latency/throughput recorder shared by server workers.
+///
+/// Request/batch counters are exact. Latency samples live in a bounded
+/// ring holding the most recent `kMaxLatencySamples` requests, so a
+/// long-running server neither grows without bound nor pays ever-larger
+/// percentile sorts — latency stats are over the recent window, counts
+/// and throughput over the full lifetime.
+class ServerStats {
+ public:
+  static constexpr std::size_t kMaxLatencySamples = 1u << 16;
+
+  ServerStats() : start_(Clock::now()) {}
+
+  /// Records one executed micro-batch and the end-to-end latency (queue
+  /// wait + compute) of each request it contained.
+  void record_batch(const std::vector<double>& request_latencies_ms);
+
+  /// Aggregates everything recorded so far.
+  StatsSnapshot snapshot() const;
+
+  /// Clears samples and restarts the throughput clock.
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu_;
+  std::vector<double> latencies_ms_;  ///< ring, capped at kMaxLatencySamples
+  std::size_t next_slot_ = 0;         ///< ring write position once full
+  std::size_t requests_ = 0;
+  std::size_t batches_ = 0;
+  Clock::time_point start_;
+};
+
+}  // namespace dstee::serve

@@ -1,6 +1,7 @@
 #include "sparse/csr.hpp"
 
 #include <cmath>
+#include <thread>
 
 #include "util/check.hpp"
 
@@ -9,6 +10,12 @@ namespace dstee::sparse {
 CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
   util::check(dense.rank() == 2, "CSR conversion requires a rank-2 tensor");
   CsrMatrix m(dense.dim(0), dense.dim(1));
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < dense.numel(); ++i) {
+    if (std::fabs(dense[i]) > eps) ++nnz;
+  }
+  m.col_idx_.reserve(nnz);
+  m.values_.reserve(nnz);
   for (std::size_t r = 0; r < m.rows_; ++r) {
     for (std::size_t c = 0; c < m.cols_; ++c) {
       const float v = dense[r * m.cols_ + c];
@@ -28,6 +35,9 @@ CsrMatrix CsrMatrix::from_masked(const MaskedParameter& param) {
               "CSR conversion requires a rank-2 parameter");
   const tensor::Tensor& mask = param.mask().tensor();
   CsrMatrix m(dense.dim(0), dense.dim(1));
+  const std::size_t nnz = param.mask().num_active();
+  m.col_idx_.reserve(nnz);
+  m.values_.reserve(nnz);
   for (std::size_t r = 0; r < m.rows_; ++r) {
     for (std::size_t c = 0; c < m.cols_; ++c) {
       const std::size_t i = r * m.cols_ + c;
@@ -60,22 +70,63 @@ tensor::Tensor CsrMatrix::matvec(const tensor::Tensor& x) const {
 }
 
 tensor::Tensor CsrMatrix::matmul_nt(const tensor::Tensor& x) const {
+  return spmm(x, 1);
+}
+
+tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
+                               std::size_t num_threads) const {
   util::check(x.rank() == 2 && x.dim(1) == cols_,
-              "matmul_nt expects [batch, cols]");
+              "spmm expects [batch, cols]");
   const std::size_t batch = x.dim(0);
   tensor::Tensor y({batch, rows_});
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* xn = x.raw() + n * cols_;
-    float* yn = y.raw() + n * rows_;
-    for (std::size_t r = 0; r < rows_; ++r) {
-      float acc = 0.0f;
-      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        acc += values_[k] * xn[col_idx_[k]];
+
+  // One worker computes output rows [r0, r1) for every batch sample: the
+  // chunk's values/col_idx stream stays hot across samples and each Y
+  // element has exactly one writer.
+  auto run_rows = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* xn = x.raw() + n * cols_;
+      float* yn = y.raw() + n * rows_;
+      for (std::size_t r = r0; r < r1; ++r) {
+        float acc = 0.0f;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          acc += values_[k] * xn[col_idx_[k]];
+        }
+        yn[r] = acc;
       }
-      yn[r] = acc;
+    }
+  };
+
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<std::size_t>(1, rows_));
+  if (num_threads <= 1 || rows_ == 0) {
+    run_rows(0, rows_);
+    return y;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  const std::size_t chunk = (rows_ + num_threads - 1) / num_threads;
+  for (std::size_t t = 1; t < num_threads; ++t) {
+    const std::size_t r0 = std::min(rows_, t * chunk);
+    const std::size_t r1 = std::min(rows_, r0 + chunk);
+    if (r0 < r1) workers.emplace_back(run_rows, r0, r1);
+  }
+  run_rows(0, std::min(rows_, chunk));
+  for (auto& w : workers) w.join();
+  return y;
+}
+
+void CsrMatrix::scale_rows(std::span<const float> scale) {
+  util::check(scale.size() == rows_,
+              "scale_rows requires one factor per row");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      values_[k] *= scale[r];
     }
   }
-  return y;
 }
 
 tensor::Tensor CsrMatrix::to_dense() const {

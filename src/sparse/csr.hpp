@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "sparse/masked_parameter.hpp"
@@ -37,8 +38,24 @@ class CsrMatrix {
   tensor::Tensor matvec(const tensor::Tensor& x) const;
 
   /// Y = X·Aᵀ for X[batch, cols] → Y[batch, rows] — the sparse Linear
-  /// forward (weights stored [out, in] as in nn::Linear).
+  /// forward (weights stored [out, in] as in nn::Linear). Equivalent to
+  /// spmm(x, 1); kept for call sites that predate the batched kernel.
   tensor::Tensor matmul_nt(const tensor::Tensor& x) const;
+
+  /// Batched SpMM: Y = X·Aᵀ for X[batch, cols] → Y[batch, rows].
+  ///
+  /// The loop nest is row-parallel: output rows are split into contiguous
+  /// chunks, each owned by one worker, so every element of Y is written by
+  /// exactly one thread and the result is bit-identical for any thread
+  /// count. `num_threads` 0 means hardware_concurrency; 1 (the default)
+  /// runs inline with no thread spawn.
+  tensor::Tensor spmm(const tensor::Tensor& x,
+                      std::size_t num_threads = 1) const;
+
+  /// Multiplies every stored value in row r by scale[r] (and bias folding
+  /// callers adjust their bias separately). Used to fold an eval-mode
+  /// batch-norm into the preceding sparse Linear at compile time.
+  void scale_rows(std::span<const float> scale);
 
   /// Reconstructs the dense matrix (tests / round-trips).
   tensor::Tensor to_dense() const;

@@ -12,7 +12,10 @@ namespace dstee::train {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'S', 'T', 'E'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends Module::state_buffers() (batch-norm running statistics) after
+// the parameter values — v1 files silently lost them, so a reloaded BN
+// model served its init statistics in eval mode.
+constexpr std::uint32_t kVersion = 2;
 
 void write_u64(std::ofstream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -72,7 +75,8 @@ void save_checkpoint(const std::string& path, nn::Module& model,
   util::check(out.is_open(), "cannot open checkpoint for writing: " + path);
 
   const auto params = model.parameters();
-  std::uint64_t num_tensors = params.size();
+  const auto buffers = model.state_buffers();
+  std::uint64_t num_tensors = params.size() + buffers.size();
   if (state != nullptr) num_tensors += 2 * state->num_layers();
 
   out.write(kMagic, sizeof(kMagic));
@@ -82,6 +86,9 @@ void save_checkpoint(const std::string& path, nn::Module& model,
   for (std::size_t i = 0; i < params.size(); ++i) {
     write_tensor(out, "param" + std::to_string(i) + "#value",
                  params[i]->value);
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    write_tensor(out, "buffer" + std::to_string(i) + "#state", *buffers[i]);
   }
   if (state != nullptr) {
     for (std::size_t i = 0; i < state->num_layers(); ++i) {
@@ -106,10 +113,24 @@ void load_checkpoint(const std::string& path, nn::Module& model,
               "not a dstee checkpoint: " + path);
   std::uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  util::check(version == kVersion, "unsupported checkpoint version");
 
   const auto params = model.parameters();
-  std::uint64_t expected = params.size();
+  auto buffers = model.state_buffers();
+  // v1 lacked "#state" records. For models without state buffers the v1
+  // payload is byte-identical to v2, so those artifacts stay loadable;
+  // models WITH buffers (batch-norm) would come back silently wrong and
+  // are rejected.
+  if (version == 1) {
+    util::check(buffers.empty(),
+                "checkpoint version 1 predates batch-norm running-stat "
+                "persistence and cannot restore this model faithfully; "
+                "re-save with this build");
+  } else {
+    util::check(version == kVersion, "unsupported checkpoint version " +
+                                         std::to_string(version));
+  }
+
+  std::uint64_t expected = params.size() + buffers.size();
   if (state != nullptr) expected += 2 * state->num_layers();
   const std::uint64_t num_tensors = read_u64(in);
   util::check(num_tensors == expected,
@@ -121,6 +142,10 @@ void load_checkpoint(const std::string& path, nn::Module& model,
   for (std::size_t i = 0; i < params.size(); ++i) {
     read_tensor_into(in, "param" + std::to_string(i) + "#value",
                      params[i]->value);
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    read_tensor_into(in, "buffer" + std::to_string(i) + "#state",
+                     *buffers[i]);
   }
   if (state != nullptr) {
     for (std::size_t i = 0; i < state->num_layers(); ++i) {

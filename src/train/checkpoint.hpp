@@ -2,12 +2,14 @@
 // (masks + occurrence counters) to a single binary file, so a sparse
 // training run can pause/resume or ship its final topology for deployment.
 //
-// Format (little-endian, versioned):
+// Format (little-endian, versioned; v2 = current):
 //   magic "DSTE" | u32 version | u64 num_tensors
 //   per tensor: u64 name_len | name bytes | u64 rank | u64 dims[rank]
 //               | float data[numel]
-// Tensor names carry "#value" / "#mask" / "#counter" suffixes keyed by
-// parameter order, so loading validates shapes AND ordering.
+// Tensor names carry "#value" / "#state" / "#mask" / "#counter" suffixes
+// keyed by parameter/buffer order, so loading validates shapes AND
+// ordering. "#state" records (v2+) persist Module::state_buffers() —
+// batch-norm running statistics — which eval-mode inference depends on.
 #pragma once
 
 #include <string>

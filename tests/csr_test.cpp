@@ -67,6 +67,72 @@ TEST(Csr, MatmulNtMatchesDenseKernel) {
   EXPECT_TRUE(csr.matmul_nt(x).allclose(tensor::matmul_nt(x, w), 1e-4f));
 }
 
+TEST(Csr, SpmmMatchesDenseMatmulOnRandomMaskedMatrices) {
+  for (const double density : {0.05, 0.3, 0.7}) {
+    auto w = random_tensor(tensor::Shape({13, 9}), 31);
+    // Random mask at the given density.
+    util::Rng mask_rng(static_cast<std::uint64_t>(density * 1000));
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      if (mask_rng.uniform() > density) w[i] = 0.0f;
+    }
+    const auto x = random_tensor(tensor::Shape({6, 9}), 33);
+    const auto csr = sparse::CsrMatrix::from_dense(w);
+    const auto expected = tensor::matmul_nt(x, w);
+    EXPECT_TRUE(csr.spmm(x).allclose(expected, 1e-4f))
+        << "density " << density;
+  }
+}
+
+TEST(Csr, SpmmHandlesEmptyRowsAndFullyDense) {
+  // Row 1 is entirely masked; the result row must be exactly zero.
+  tensor::Tensor w(tensor::Shape({3, 4}),
+                   {1, -2, 0, 3, 0, 0, 0, 0, 4, 5, 6, 7});
+  const auto x = random_tensor(tensor::Shape({5, 4}), 41);
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto y = csr.spmm(x);
+  for (std::size_t n = 0; n < 5; ++n) EXPECT_EQ(y[n * 3 + 1], 0.0f);
+  EXPECT_TRUE(y.allclose(tensor::matmul_nt(x, w), 1e-4f));
+
+  // Fully dense matrix: CSR must agree with the dense kernel too.
+  const auto d = random_tensor(tensor::Shape({7, 6}), 43);
+  const auto xd = random_tensor(tensor::Shape({4, 6}), 44);
+  EXPECT_EQ(sparse::CsrMatrix::from_dense(d).nnz(), 42u);
+  EXPECT_TRUE(sparse::CsrMatrix::from_dense(d).spmm(xd).allclose(
+      tensor::matmul_nt(xd, d), 1e-4f));
+}
+
+TEST(Csr, SpmmIsThreadCountInvariant) {
+  // Row-parallel chunks write disjoint outputs, so any thread count must
+  // produce bit-identical results (0 = hardware concurrency).
+  const auto w = random_tensor(tensor::Shape({33, 17}), 51);
+  const auto x = random_tensor(tensor::Shape({9, 17}), 52);
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto serial = csr.spmm(x, 1);
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{5}, std::size_t{64}}) {
+    EXPECT_TRUE(csr.spmm(x, threads).equals(serial))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Csr, SpmmShapeChecks) {
+  const auto w = random_tensor(tensor::Shape({3, 4}), 61);
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  EXPECT_THROW(csr.spmm(random_tensor(tensor::Shape({2, 5}), 62)),
+               util::CheckError);
+  EXPECT_THROW(csr.spmm(random_tensor(tensor::Shape({4}), 63)),
+               util::CheckError);
+}
+
+TEST(Csr, ScaleRowsScalesStoredValuesOnly) {
+  tensor::Tensor w(tensor::Shape({2, 3}), {1, 0, 2, 0, 3, 0});
+  auto csr = sparse::CsrMatrix::from_dense(w);
+  csr.scale_rows(std::vector<float>{2.0f, -1.0f});
+  tensor::Tensor expected(tensor::Shape({2, 3}), {2, 0, 4, 0, -3, 0});
+  EXPECT_TRUE(csr.to_dense().equals(expected));
+  EXPECT_THROW(csr.scale_rows(std::vector<float>{1.0f}), util::CheckError);
+}
+
 TEST(Csr, ShapeChecks) {
   const auto w = random_tensor(tensor::Shape({3, 4}), 6);
   const auto csr = sparse::CsrMatrix::from_dense(w);

@@ -1,0 +1,360 @@
+// Serving-path tests: CompiledNet lowering (CSR SpMM, BN folding, dropout
+// elision), the micro-batching InferenceServer (flush-on-full,
+// flush-on-timeout, concurrency, shutdown semantics) and the checkpoint →
+// CompiledNet round trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "methods/dst_engine.hpp"
+#include "models/mlp.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/losses.hpp"
+#include "nn/pooling.hpp"
+#include "optim/optimizer.hpp"
+#include "serve/compiled_net.hpp"
+#include "serve/server.hpp"
+#include "sparse/sparse_model.hpp"
+#include "tensor/init.hpp"
+#include "test_helpers.hpp"
+#include "train/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+using testing::random_tensor;
+
+models::MlpConfig small_cfg(bool batch_norm = false, double dropout = 0.0) {
+  models::MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {24, 16};
+  cfg.out_features = 5;
+  cfg.batch_norm = batch_norm;
+  cfg.dropout = dropout;
+  return cfg;
+}
+
+/// Builds a sparse MLP, runs a few training-mode batches so batch-norm
+/// running statistics move off their init, and switches to eval.
+struct CompiledHarness {
+  explicit CompiledHarness(double sparsity, bool batch_norm = false,
+                           double dropout = 0.0, std::uint64_t seed = 3)
+      : rng(seed),
+        model(small_cfg(batch_norm, dropout), rng),
+        smodel(model, sparsity, sparse::DistributionKind::kErk, rng) {
+    for (int i = 0; i < 3; ++i) {
+      model.forward(random_tensor(tensor::Shape({8, 12}), 100 + i));
+    }
+    model.set_training(false);
+  }
+
+  util::Rng rng;
+  models::Mlp model;
+  sparse::SparseModel smodel;
+};
+
+TEST(CompiledNet, MatchesDenseEvalForward) {
+  CompiledHarness h(0.9);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto x = random_tensor(tensor::Shape({6, 12}), 7);
+  EXPECT_TRUE(net.forward(x).allclose(h.model.forward(x), 1e-4f));
+  EXPECT_EQ(net.total_nnz(), h.smodel.total_active());
+  EXPECT_EQ(net.input_features(), 12u);
+}
+
+TEST(CompiledNet, MatchesDenseWithBatchNormAndDropout) {
+  CompiledHarness h(0.8, /*batch_norm=*/true, /*dropout=*/0.25);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 9);
+  EXPECT_TRUE(net.forward(x).allclose(h.model.forward(x), 1e-4f));
+  // Dropout layers disappear; BN folds into the preceding spmm, so the op
+  // list is exactly linear+relu pairs plus the head: 3 spmm + 2 relu.
+  EXPECT_EQ(net.num_elided(), 2u);
+  EXPECT_EQ(net.num_ops(), 5u);
+  EXPECT_EQ(net.num_sparse_ops(), 3u);
+}
+
+TEST(CompiledNet, StandaloneBatchNormLowersToScaleShift) {
+  util::Rng rng(5);
+  nn::Sequential seq;
+  auto& bn = seq.emplace<nn::BatchNorm1d>(6);
+  seq.emplace<nn::Tanh>();
+  // Move running stats off init so the test is not trivially identity.
+  seq.forward(random_tensor(tensor::Shape({16, 6}), 21));
+  seq.set_training(false);
+  (void)bn;
+
+  const auto net = serve::CompiledNet::compile(seq);
+  EXPECT_EQ(net.num_ops(), 2u);  // scale_shift + tanh, nothing folded
+  const auto x = random_tensor(tensor::Shape({4, 6}), 22);
+  EXPECT_TRUE(net.forward(x).allclose(seq.forward(x), 1e-4f));
+}
+
+TEST(CompiledNet, DenseFallbackWithoutSparseState) {
+  CompiledHarness h(0.9);
+  // No SparseModel passed: zeros in the masked weights still encode the
+  // topology, so the compiled net is identical.
+  const auto net = serve::CompiledNet::compile(h.model);
+  const auto x = random_tensor(tensor::Shape({3, 12}), 11);
+  EXPECT_TRUE(net.forward(x).allclose(h.model.forward(x), 1e-4f));
+  EXPECT_LE(net.total_nnz(), h.smodel.total_active());
+}
+
+TEST(CompiledNet, PoolingAndFlattenMatchTrainingLayers) {
+  // The serve pool ops re-implement the nn forward loops statelessly;
+  // this equivalence test pins them together so a future edit to either
+  // side cannot silently desynchronize train-time and serve-time shapes.
+  nn::Sequential seq;
+  seq.emplace<nn::MaxPool2d>(2);
+  seq.emplace<nn::AvgPool2d>(2);
+  seq.emplace<nn::GlobalAvgPool>();
+  seq.emplace<nn::LeakyReLU>(0.1f);
+  seq.set_training(false);
+
+  const auto x = random_tensor(tensor::Shape({3, 4, 16, 16}), 71);
+  const auto net = serve::CompiledNet::compile(seq);
+  EXPECT_EQ(net.num_ops(), 4u);
+  EXPECT_TRUE(net.forward(x).allclose(seq.forward(x), 1e-6f));
+
+  nn::Sequential flat;
+  flat.emplace<nn::Flatten>();
+  flat.emplace<nn::Sigmoid>();
+  flat.set_training(false);
+  const auto xf = random_tensor(tensor::Shape({2, 3, 5, 5}), 72);
+  EXPECT_TRUE(serve::CompiledNet::compile(flat).forward(xf).allclose(
+      flat.forward(xf), 1e-6f));
+}
+
+TEST(CompiledNet, RejectsUnsupportedLayers) {
+  util::Rng rng(6);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+  seq.set_training(false);
+  EXPECT_THROW(serve::CompiledNet::compile(seq), util::CheckError);
+}
+
+TEST(ServerStats, PercentilesAreInterpolated) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(serve::percentile({}, 0.5), 0.0);
+  EXPECT_THROW(serve::percentile(sorted, 1.5), util::CheckError);
+}
+
+TEST(Server, FlushOnFullBatch) {
+  CompiledHarness h(0.5);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 60000.0;  // never flush on time — only on fill
+  serve::InferenceServer server(net, cfg);
+
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 40 + i)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.batches, 1u);  // one full micro-batch, no timeout needed
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 4.0);
+}
+
+TEST(Server, FlushOnTimeout) {
+  CompiledHarness h(0.5);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 64;       // far more than we submit
+  cfg.max_delay_ms = 5.0;   // so only the deadline can flush
+  serve::InferenceServer server(net, cfg);
+
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 50 + i)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);  // must not hang
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(Server, ConcurrentClientsGetTheirOwnAnswers) {
+  CompiledHarness h(0.8);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 0.5;
+  serve::InferenceServer server(net, cfg);
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 20;
+  std::atomic<std::size_t> mismatches{0};
+
+  auto client = [&](std::size_t id) {
+    for (std::size_t i = 0; i < kPerClient; ++i) {
+      const auto x =
+          random_tensor(tensor::Shape({12}), 1000 + id * kPerClient + i);
+      // Reference through the same compiled net, single-threaded: the CSR
+      // row reduction order is batch-independent, so results must agree to
+      // float round-off regardless of how requests get batched.
+      const auto expected =
+          net.forward(x.reshaped(tensor::Shape({1, 12})));
+      const auto got = server.submit(x).get();
+      if (got.numel() != 5 ||
+          !got.allclose(expected.reshaped(tensor::Shape({5})), 1e-6f)) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+  server.shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(server.stats().requests, kClients * kPerClient);
+}
+
+TEST(Server, ShutdownDrainsPendingRequests) {
+  CompiledHarness h(0.5);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 10000.0;  // only shutdown can flush the tail
+  serve::InferenceServer server(net, cfg);
+
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 11; ++i) {  // not a multiple of max_batch
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 60 + i)));
+  }
+  server.shutdown();
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);
+  EXPECT_EQ(server.stats().requests, 11u);
+  EXPECT_THROW(server.submit(random_tensor(tensor::Shape({12}), 99)),
+               util::CheckError);
+}
+
+TEST(Server, RejectsWrongFeatureCount) {
+  CompiledHarness h(0.5);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::InferenceServer server(net, {});
+  EXPECT_THROW(server.submit(random_tensor(tensor::Shape({7}), 1)),
+               util::CheckError);
+  EXPECT_THROW(server.submit(random_tensor(tensor::Shape({2, 12}), 1)),
+               util::CheckError);
+}
+
+// --- checkpoint → CompiledNet round trip -------------------------------
+
+TEST(ServeCheckpoint, TrainedMlpRoundTripsThroughDisk) {
+  // Own scratch dir: gap_checkpoint_test remove_all()s test_ckpt/, and
+  // ctest -j runs both binaries concurrently in the same cwd.
+  const std::string path = "serve_ckpt/serve_roundtrip.bin";
+  models::MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {16};
+  cfg.out_features = 4;
+
+  util::Rng rng(31);
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel smodel(model, 0.8, sparse::DistributionKind::kErk,
+                             rng);
+  optim::Sgd::Config scfg;
+  scfg.lr = 0.05;
+  optim::Sgd optimizer(model.parameters(), scfg);
+
+  methods::DstEngineConfig ecfg;
+  ecfg.schedule.delta_t = 5;
+  ecfg.schedule.total_iterations = 40;
+  ecfg.schedule.initial_drop_fraction = 0.3;
+  ecfg.drop = std::make_unique<methods::MagnitudeDrop>();
+  ecfg.grow = std::make_unique<methods::DstEeGrow>(methods::DstEeGrow::Config{});
+  methods::DstEngine engine(smodel, optimizer, std::move(ecfg),
+                            rng.fork("engine"));
+
+  // A real (if tiny) DST training loop on random data.
+  nn::SoftmaxCrossEntropy loss;
+  for (std::size_t it = 1; it <= 40; ++it) {
+    const auto x = random_tensor(tensor::Shape({16, 8}), 200 + it);
+    std::vector<std::size_t> labels(16);
+    for (std::size_t i = 0; i < 16; ++i) labels[i] = (it + i) % 4;
+    model.zero_grad();
+    loss.forward(model.forward(x), labels);
+    model.backward(loss.backward());
+    engine.maybe_update(it, 0.05);
+    smodel.apply_masks_to_grads();
+    optimizer.step();
+    smodel.apply_masks_to_values();
+  }
+  model.set_training(false);
+
+  const auto in_memory = serve::CompiledNet::compile(model, &smodel);
+  train::save_checkpoint(path, model, &smodel);
+
+  // Fresh architecture, different init, different topology — everything
+  // must come from the file.
+  util::Rng rng2(99);
+  models::Mlp loaded(cfg, rng2);
+  sparse::SparseModel loaded_state(loaded, 0.8,
+                                   sparse::DistributionKind::kErk, rng2);
+  const auto from_disk = serve::CompiledNet::from_checkpoint(
+      path, loaded, &loaded_state);
+
+  EXPECT_EQ(from_disk.total_nnz(), in_memory.total_nnz());
+  const auto x = random_tensor(tensor::Shape({10, 8}), 77);
+  const auto expected = in_memory.forward(x);
+  const auto actual = from_disk.forward(x);
+  EXPECT_TRUE(actual.allclose(expected, 1e-7f));  // identical logits
+  // And both still match the eval-mode dense model.
+  EXPECT_TRUE(actual.allclose(model.forward(x), 1e-4f));
+}
+
+TEST(ServeCheckpoint, BatchNormRunningStatsSurviveTheRoundTrip) {
+  // Regression: checkpoint v1 persisted only parameters, so gamma/beta
+  // came back but running mean/var stayed at init and a reloaded BN model
+  // silently served the wrong affine constants.
+  const std::string path = "serve_ckpt/serve_bn_roundtrip.bin";
+  CompiledHarness h(0.8, /*batch_norm=*/true);  // ctor moves running stats
+  const auto in_memory = serve::CompiledNet::compile(h.model, &h.smodel);
+  train::save_checkpoint(path, h.model, &h.smodel);
+
+  CompiledHarness loaded(0.8, /*batch_norm=*/true, 0.0, /*seed=*/123);
+  const auto from_disk =
+      serve::CompiledNet::from_checkpoint(path, loaded.model,
+                                          &loaded.smodel);
+
+  // The loaded module tree itself must carry the saved running stats
+  // (two BN layers × {mean, var}).
+  const auto saved = h.model.state_buffers();
+  const auto restored = loaded.model.state_buffers();
+  ASSERT_EQ(saved.size(), 4u);
+  ASSERT_EQ(restored.size(), 4u);
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_TRUE(restored[i]->allclose(*saved[i], 1e-7f));
+  }
+  const auto x = random_tensor(tensor::Shape({9, 12}), 88);
+  EXPECT_TRUE(from_disk.forward(x).allclose(in_memory.forward(x), 1e-7f));
+  EXPECT_TRUE(from_disk.forward(x).allclose(h.model.forward(x), 1e-4f));
+}
+
+}  // namespace
+}  // namespace dstee
