@@ -153,6 +153,28 @@ void BM_CsrMatvec(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrMatvec)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
 
+// CSR-over-im2col conv kernel (serve::CompiledNet's ConvOp hot loop):
+// one image's patch matrix against a masked [Cout, Cin·K·K] weight.
+void BM_CsrSpmmCols(benchmark::State& state) {
+  const std::size_t in_ch = 64, out_ch = 128, k = 3, res = 16;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  auto w = random_tensor(tensor::Shape({out_ch, in_ch * k * k}), 26);
+  util::Rng rng(27);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(density)) w[i] = 0.0f;
+  }
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto cols =
+      random_tensor(tensor::Shape({in_ch * k * k, res * res}), 28);
+  tensor::Tensor out({out_ch, res * res});
+  for (auto _ : state) {
+    csr.spmm_cols_into(cols, out.raw());
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.counters["density"] = csr.density();
+}
+BENCHMARK(BM_CsrSpmmCols)->Arg(5)->Arg(10)->Arg(50)->Arg(100);
+
 void BM_EngineUpdateRound(benchmark::State& state) {
   util::Rng rng(15);
   models::MlpConfig cfg;

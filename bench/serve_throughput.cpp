@@ -2,14 +2,17 @@
 //
 // The deployment claim of the sparse-training story: once the topology is
 // fixed, inference cost should track density. This bench sweeps sparsity
-// (50–95%) × batch size on an MLP workload and reports rows/second for the
-// dense training-stack forward and the serve::CompiledNet CSR forward,
-// plus the speedup. Rows land in bench_results/serve_throughput.csv.
+// (50–95%) × batch size on an MLP workload (CSR SpMM) and a VGG-style conv
+// workload (CSR-over-im2col SpMM) and reports rows/second for the dense
+// training-stack forward and the serve::CompiledNet CSR forward, plus the
+// speedup. Rows land in bench_results/serve_throughput.csv with a
+// `workload` column.
 //
 // DSTEE_SCALE scales the model width; DSTEE_SERVE_MIN_TIME (seconds, default
 // 0.15) controls per-cell measurement time.
 #include "bench_common.hpp"
 #include "models/mlp.hpp"
+#include "models/vgg.hpp"
 #include "serve/compiled_net.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
@@ -30,6 +33,55 @@ double measure_rows_per_s(const std::function<void()>& fn, std::size_t rows,
   return static_cast<double>(rows * iters) / timer.seconds();
 }
 
+struct SweepFlags {
+  bool csr_wins_at_90 = true;
+  bool csr_monotone = true;
+};
+
+/// One (model, sparsity) × batches sweep: correctness gate, then timing.
+void sweep_batches(nn::Sequential& model, const serve::CompiledNet& net,
+                   const tensor::Shape& sample_shape, double sparsity,
+                   const std::vector<std::size_t>& batches,
+                   const std::string& workload, double min_time,
+                   util::Table& table, util::CsvWriter& csv,
+                   SweepFlags& flags, double& prev_csr_rate_tail) {
+  for (const std::size_t batch : batches) {
+    tensor::Tensor x{sample_shape.prepended(batch)};
+    util::Rng xrng(batch);
+    tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+
+    // Correctness gate before timing anything.
+    util::check(net.forward(x).allclose(model.forward(x), 1e-3f),
+                "compiled forward diverged from dense eval forward");
+
+    const double dense_rate =
+        measure_rows_per_s([&] { model.forward(x); }, batch, min_time);
+    const double csr_rate =
+        measure_rows_per_s([&] { net.forward(x); }, batch, min_time);
+    const double speedup = csr_rate / dense_rate;
+
+    if (sparsity >= 0.9 && speedup <= 1.0) flags.csr_wins_at_90 = false;
+    if (batch == batches.back()) {
+      if (prev_csr_rate_tail > 0.0 && csr_rate < prev_csr_rate_tail * 0.8) {
+        flags.csr_monotone = false;  // higher sparsity must not serve slower
+      }
+      prev_csr_rate_tail = csr_rate;
+    }
+
+    table.add_row({workload, util::format_fixed(sparsity, 2),
+                   std::to_string(batch), util::format_fixed(dense_rate, 0),
+                   util::format_fixed(csr_rate, 0),
+                   util::format_fixed(speedup, 2) + "x",
+                   util::format_fixed(net.density() * 100.0, 1) + "%"});
+    csv.write_row({workload, util::format_fixed(sparsity, 4),
+                   std::to_string(batch), util::format_fixed(dense_rate, 1),
+                   util::format_fixed(csr_rate, 1),
+                   util::format_fixed(speedup, 3),
+                   std::to_string(net.total_nnz()),
+                   util::format_fixed(net.density(), 4)});
+  }
+}
+
 int run() {
   const bench::BenchEnv env = bench::BenchEnv::resolve();
   const double min_time = util::env_double("DSTEE_SERVE_MIN_TIME", 0.15);
@@ -39,24 +91,29 @@ int run() {
   mcfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
   mcfg.out_features = 10;
 
-  const std::vector<double> sparsities = {0.5, 0.8, 0.9, 0.95};
-  const std::vector<std::size_t> batches = {1, 8, 32};
+  models::VggConfig vcfg;
+  vcfg.depth = 11;
+  vcfg.image_size = 16;
+  vcfg.num_classes = 10;
+  vcfg.width_multiplier = 0.25 * env.scale;
 
-  std::cout << "serve_throughput: MLP " << mcfg.in_features << " -> "
+  std::cout << "serve_throughput: dense eval forward vs compiled CSR\n"
+            << "  mlp workload:  " << mcfg.in_features << " -> "
             << mcfg.hidden[0] << " -> " << mcfg.hidden[1] << " -> "
-            << mcfg.out_features << ", dense eval forward vs compiled CSR\n\n";
+            << mcfg.out_features << "\n"
+            << "  conv workload: VGG-11 @ " << vcfg.image_size << "x"
+            << vcfg.image_size << ", width x"
+            << util::format_fixed(vcfg.width_multiplier, 2) << "\n\n";
 
-  util::Table table({"sparsity", "batch", "dense rows/s", "csr rows/s",
-                     "speedup", "density"});
+  util::Table table({"workload", "sparsity", "batch", "dense rows/s",
+                     "csr rows/s", "speedup", "density"});
   util::CsvWriter csv("bench_results/serve_throughput.csv",
-                      {"sparsity", "batch", "dense_rows_per_s",
+                      {"workload", "sparsity", "batch", "dense_rows_per_s",
                        "csr_rows_per_s", "speedup", "nnz", "density"});
 
-  bool csr_wins_at_90 = true;
-  bool csr_monotone = true;
-  double prev_csr_rate_b32 = 0.0;
-
-  for (const double sparsity : sparsities) {
+  SweepFlags mlp_flags;
+  double prev_rate = 0.0;
+  for (const double sparsity : {0.5, 0.8, 0.9, 0.95}) {
     util::Rng rng(17);
     models::Mlp model(mcfg, rng);
     sparse::SparseModel smodel(model, sparsity,
@@ -64,52 +121,45 @@ int run() {
     model.set_training(false);
     const serve::CompiledNet net =
         serve::CompiledNet::compile(model, &smodel);
+    sweep_batches(model, net, tensor::Shape({mcfg.in_features}), sparsity,
+                  {1, 8, 32}, "mlp", min_time, table, csv, mlp_flags,
+                  prev_rate);
+  }
 
-    for (const std::size_t batch : batches) {
-      tensor::Tensor x({batch, mcfg.in_features});
-      util::Rng xrng(batch);
-      tensor::fill_normal(x, xrng, 0.0f, 1.0f);
-
-      // Correctness gate before timing anything.
-      util::check(net.forward(x).allclose(model.forward(x), 1e-3f),
-                  "compiled forward diverged from dense eval forward");
-
-      const double dense_rate = measure_rows_per_s(
-          [&] { model.forward(x); }, batch, min_time);
-      const double csr_rate = measure_rows_per_s(
-          [&] { net.forward(x); }, batch, min_time);
-      const double speedup = csr_rate / dense_rate;
-
-      if (sparsity >= 0.9 && speedup <= 1.0) csr_wins_at_90 = false;
-      if (batch == 32) {
-        if (prev_csr_rate_b32 > 0.0 && csr_rate < prev_csr_rate_b32 * 0.8) {
-          csr_monotone = false;  // higher sparsity should not serve slower
-        }
-        prev_csr_rate_b32 = csr_rate;
-      }
-
-      table.add_row({util::format_fixed(sparsity, 2), std::to_string(batch),
-                     util::format_fixed(dense_rate, 0),
-                     util::format_fixed(csr_rate, 0),
-                     util::format_fixed(speedup, 2) + "x",
-                     util::format_fixed(net.density() * 100.0, 1) + "%"});
-      csv.write_row({util::format_fixed(sparsity, 4), std::to_string(batch),
-                     util::format_fixed(dense_rate, 1),
-                     util::format_fixed(csr_rate, 1),
-                     util::format_fixed(speedup, 3),
-                     std::to_string(net.total_nnz()),
-                     util::format_fixed(net.density(), 4)});
-    }
+  SweepFlags conv_flags;
+  prev_rate = 0.0;
+  const tensor::Shape image({3, vcfg.image_size, vcfg.image_size});
+  for (const double sparsity : {0.5, 0.9, 0.95}) {
+    util::Rng rng(23);
+    models::Vgg model(vcfg, rng);
+    sparse::SparseModel smodel(model, sparsity,
+                               sparse::DistributionKind::kErk, rng);
+    // Move BN running stats off init so folding is exercised for real.
+    tensor::Tensor warm({4, 3, vcfg.image_size, vcfg.image_size});
+    util::Rng wrng(5);
+    tensor::fill_normal(warm, wrng, 0.0f, 1.0f);
+    model.forward(warm);
+    model.set_training(false);
+    const serve::CompiledNet net =
+        serve::CompiledNet::compile(model, &smodel);
+    sweep_batches(model, net, image, sparsity, {1, 8}, "conv", min_time,
+                  table, csv, conv_flags, prev_rate);
   }
   csv.flush();
 
   std::cout << table.render() << "\n";
   bench::shape_check(
-      "compiled CSR beats dense eval forward at >=90% sparsity",
-      csr_wins_at_90);
+      "compiled CSR beats dense eval forward at >=90% sparsity (mlp)",
+      mlp_flags.csr_wins_at_90);
   bench::shape_check(
-      "CSR throughput does not degrade as sparsity rises (batch 32)",
-      csr_monotone);
+      "CSR throughput does not degrade as sparsity rises (mlp, batch 32)",
+      mlp_flags.csr_monotone);
+  bench::shape_check(
+      "compiled CSR conv beats dense eval forward at >=90% sparsity",
+      conv_flags.csr_wins_at_90);
+  bench::shape_check(
+      "CSR conv throughput does not degrade as sparsity rises (batch 8)",
+      conv_flags.csr_monotone);
   std::cout << "\ncsv: bench_results/serve_throughput.csv\n";
   return 0;
 }

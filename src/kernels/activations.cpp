@@ -1,0 +1,64 @@
+#include "kernels/activations.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dstee::kernels {
+
+tensor::Tensor relu(const tensor::Tensor& x, tensor::Tensor* mask) {
+  tensor::Tensor y(x.shape());
+  if (mask != nullptr) {
+    *mask = tensor::Tensor(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      const bool pos = x[i] > 0.0f;
+      (*mask)[i] = pos ? 1.0f : 0.0f;
+      y[i] = pos ? x[i] : 0.0f;
+    }
+    return y;
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+tensor::Tensor add_relu(const tensor::Tensor& a, const tensor::Tensor& b,
+                        tensor::Tensor* mask) {
+  util::check(a.shape() == b.shape(),
+              "residual branches disagree: " + a.shape().to_string() +
+                  " vs " + b.shape().to_string());
+  tensor::Tensor y(a.shape());
+  if (mask != nullptr) *mask = tensor::Tensor(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const float s = a[i] + b[i];
+    const bool pos = s > 0.0f;
+    if (mask != nullptr) (*mask)[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? s : 0.0f;
+  }
+  return y;
+}
+
+tensor::Tensor leaky_relu(const tensor::Tensor& x, float slope) {
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+  }
+  return y;
+}
+
+tensor::Tensor sigmoid(const tensor::Tensor& x) {
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  return y;
+}
+
+tensor::Tensor tanh(const tensor::Tensor& x) {
+  tensor::Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  return y;
+}
+
+}  // namespace dstee::kernels

@@ -1,0 +1,33 @@
+// Stateless elementwise activation kernels.
+//
+// One implementation serves both sides of the codebase: nn/ training
+// layers call these from forward() (caching whatever backward needs), and
+// serve/ eval ops call them directly — so train-time and serve-time
+// numerics cannot drift apart.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::kernels {
+
+/// y = max(x, 0). When `mask` is non-null it is resized to x's shape and
+/// filled with 1 where x > 0 (the backward mask nn::ReLU caches).
+tensor::Tensor relu(const tensor::Tensor& x, tensor::Tensor* mask = nullptr);
+
+/// y = relu(a + b) — the residual join (ResidualBlock::forward at train
+/// time, the compiled add+ReLU graph node at serve time). `a` and `b`
+/// must agree in shape; when `mask` is non-null it receives 1 where
+/// a + b > 0 (the backward mask ResidualBlock caches).
+tensor::Tensor add_relu(const tensor::Tensor& a, const tensor::Tensor& b,
+                        tensor::Tensor* mask = nullptr);
+
+/// y = x > 0 ? x : slope·x.
+tensor::Tensor leaky_relu(const tensor::Tensor& x, float slope);
+
+/// y = 1 / (1 + e^{-x}).
+tensor::Tensor sigmoid(const tensor::Tensor& x);
+
+/// y = tanh(x).
+tensor::Tensor tanh(const tensor::Tensor& x);
+
+}  // namespace dstee::kernels

@@ -1,0 +1,59 @@
+#include "kernels/conv.hpp"
+
+#include "tensor/matmul.hpp"
+#include "util/check.hpp"
+
+namespace dstee::kernels {
+
+tensor::Tensor conv2d_forward(const tensor::Tensor& x,
+                              const tensor::Tensor& w2d, std::size_t kernel,
+                              std::size_t stride, std::size_t padding,
+                              const float* bias) {
+  util::check(x.rank() == 4, "conv2d_forward expects [N, C, H, W]");
+  util::check(w2d.rank() == 2, "conv2d_forward expects a [Cout, Cin*K*K] "
+                               "weight view");
+  const std::size_t batch = x.dim(0), in_ch = x.dim(1);
+  util::check(x.dim(2) + 2 * padding >= kernel &&
+                  x.dim(3) + 2 * padding >= kernel,
+              "conv2d input smaller than kernel");
+  tensor::ConvGeometry g;
+  g.in_channels = in_ch;
+  g.in_h = x.dim(2);
+  g.in_w = x.dim(3);
+  g.kernel_h = kernel;
+  g.kernel_w = kernel;
+  g.stride = stride;
+  g.padding = padding;
+  util::check(w2d.dim(1) == g.patch_size(),
+              "conv2d weight columns must equal Cin*K*K");
+  const std::size_t out_ch = w2d.dim(0);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+
+  tensor::Tensor y({batch, out_ch, oh, ow});
+  tensor::Tensor cols({g.patch_size(), oh * ow});
+  const std::size_t image_elems = in_ch * g.in_h * g.in_w;
+  const std::size_t out_image_elems = out_ch * oh * ow;
+  for (std::size_t n = 0; n < batch; ++n) {
+    tensor::im2col(x.raw() + n * image_elems, g, cols);
+    const tensor::Tensor out2d = tensor::matmul(w2d, cols);  // [Cout, oh*ow]
+    float* dst = y.raw() + n * out_image_elems;
+    for (std::size_t i = 0; i < out_image_elems; ++i) dst[i] = out2d[i];
+  }
+  if (bias != nullptr) add_channel_bias(y, bias);
+  return y;
+}
+
+void add_channel_bias(tensor::Tensor& y, const float* bias) {
+  util::check(y.rank() == 4, "add_channel_bias expects [N, C, H, W]");
+  const std::size_t batch = y.dim(0), ch = y.dim(1);
+  const std::size_t sp = y.dim(2) * y.dim(3);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      float* plane = y.raw() + (n * ch + c) * sp;
+      const float b = bias[c];
+      for (std::size_t i = 0; i < sp; ++i) plane[i] += b;
+    }
+  }
+}
+
+}  // namespace dstee::kernels

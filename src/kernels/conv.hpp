@@ -1,0 +1,25 @@
+// Dense conv2d forward kernel: per-image im2col followed by a lowered
+// matmul. nn::Conv2d::forward delegates here; the serve/ runtime uses the
+// same im2col with a CSR SpMM instead of the dense matmul, so the patch
+// layout is defined in exactly one place (tensor/im2col.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/im2col.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::kernels {
+
+/// y[N, Cout, Ho, Wo] = conv(x[N, Cin, H, W], w2d) + bias.
+/// `w2d` is the weight viewed as [Cout, Cin·K·K]; `bias` is an optional
+/// [Cout] pointer (nullptr = no bias).
+tensor::Tensor conv2d_forward(const tensor::Tensor& x,
+                              const tensor::Tensor& w2d, std::size_t kernel,
+                              std::size_t stride, std::size_t padding,
+                              const float* bias);
+
+/// Adds `bias[c]` to every element of channel plane c, over [N, C, H·W].
+void add_channel_bias(tensor::Tensor& y, const float* bias);
+
+}  // namespace dstee::kernels

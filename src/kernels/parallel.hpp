@@ -1,0 +1,46 @@
+// Chunked data-parallel fan-out shared by the row-parallel CSR SpMM and
+// the image-parallel conv op: one place owns the ceil-div partitioning,
+// range clamping, main-thread-runs-first-chunk and join logic. A template
+// (not std::function) so the single-threaded serving default pays no
+// type-erasure cost on the kernel hot path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dstee::kernels {
+
+/// Splits [0, n) into contiguous chunks across `threads` workers and runs
+/// `fn(begin, end)` once per non-empty chunk; the calling thread executes
+/// the first chunk itself. `threads` 0 means hardware concurrency, and the
+/// worker count never exceeds n (so n <= 1 always runs inline with no
+/// spawn). fn is invoked once per worker, so per-worker scratch can live
+/// inside it. The caller guarantees chunk independence (every output
+/// element written by exactly one chunk), which makes results
+/// bit-identical for any thread count.
+template <typename Fn>
+void parallel_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, n));
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    const std::size_t b0 = std::min(n, t * chunk);
+    const std::size_t b1 = std::min(n, b0 + chunk);
+    if (b0 < b1) workers.emplace_back([&fn, b0, b1] { fn(b0, b1); });
+  }
+  fn(0, std::min(n, chunk));
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace dstee::kernels

@@ -1,0 +1,102 @@
+#include "kernels/pool.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dstee::kernels {
+
+tensor::Tensor maxpool2d(const tensor::Tensor& x, std::size_t kernel,
+                         std::size_t stride,
+                         std::vector<std::size_t>* argmax) {
+  util::check(kernel > 0 && stride > 0,
+              "maxpool kernel and stride must be positive");
+  util::check(x.rank() == 4, "maxpool expects [N, C, H, W]");
+  util::check(x.dim(2) >= kernel && x.dim(3) >= kernel,
+              "maxpool input smaller than window");
+  const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
+                    iw = x.dim(3);
+  const std::size_t oh = (ih - kernel) / stride + 1;
+  const std::size_t ow = (iw - kernel) / stride + 1;
+  if (argmax != nullptr) argmax->assign(batch * ch * oh * ow, 0);
+
+  tensor::Tensor y({batch, ch, oh, ow});
+  std::size_t out_i = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const std::size_t plane_base = (n * ch + c) * ih * iw;
+      const float* plane = x.raw() + plane_base;
+      for (std::size_t y0 = 0; y0 < oh; ++y0) {
+        for (std::size_t x0 = 0; x0 < ow; ++x0) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              const std::size_t iy = y0 * stride + ky;
+              const std::size_t ix = x0 * stride + kx;
+              const float v = plane[iy * iw + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * iw + ix;
+              }
+            }
+          }
+          y[out_i] = best;
+          if (argmax != nullptr) (*argmax)[out_i] = best_idx;
+          ++out_i;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel) {
+  util::check(kernel > 0, "avgpool kernel must be positive");
+  util::check(x.rank() == 4, "avgpool expects [N, C, H, W]");
+  const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
+                    iw = x.dim(3);
+  util::check(ih >= kernel && iw >= kernel,
+              "avgpool input smaller than window");
+  const std::size_t oh = ih / kernel, ow = iw / kernel;
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+
+  tensor::Tensor y({batch, ch, oh, ow});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* plane = x.raw() + (n * ch + c) * ih * iw;
+      float* out_plane = y.raw() + (n * ch + c) * oh * ow;
+      for (std::size_t y0 = 0; y0 < oh; ++y0) {
+        for (std::size_t x0 = 0; x0 < ow; ++x0) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              acc += plane[(y0 * kernel + ky) * iw + (x0 * kernel + kx)];
+            }
+          }
+          out_plane[y0 * ow + x0] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+tensor::Tensor global_avg_pool(const tensor::Tensor& x) {
+  util::check(x.rank() == 4, "global_avg_pool expects [N, C, H, W]");
+  const std::size_t batch = x.dim(0), ch = x.dim(1);
+  const std::size_t sp = x.dim(2) * x.dim(3);
+  const float inv = 1.0f / static_cast<float>(sp);
+  tensor::Tensor y({batch, ch});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* plane = x.raw() + (n * ch + c) * sp;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < sp; ++i) acc += plane[i];
+      y[n * ch + c] = acc * inv;
+    }
+  }
+  return y;
+}
+
+}  // namespace dstee::kernels

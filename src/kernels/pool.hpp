@@ -1,0 +1,29 @@
+// Stateless spatial pooling kernels over NCHW tensors.
+//
+// nn/ pooling layers call these from forward() (max pooling optionally
+// records the argmax indices its backward scatters into), and serve/ eval
+// ops call them without any cache — the same loop nest either way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dstee::kernels {
+
+/// Max pooling with a square window: [N, C, H, W] → [N, C, Ho, Wo] with
+/// Ho = (H - kernel)/stride + 1. When `argmax` is non-null it receives one
+/// flat input index per output element (the train-time backward cache).
+tensor::Tensor maxpool2d(const tensor::Tensor& x, std::size_t kernel,
+                         std::size_t stride,
+                         std::vector<std::size_t>* argmax = nullptr);
+
+/// Average pooling with a square window and stride == kernel:
+/// [N, C, H, W] → [N, C, H/kernel, W/kernel].
+tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel);
+
+/// Global average pooling: [N, C, H, W] → [N, C].
+tensor::Tensor global_avg_pool(const tensor::Tensor& x);
+
+}  // namespace dstee::kernels

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/flatten.hpp"
@@ -56,20 +57,9 @@ ResidualBlock::ResidualBlock(std::size_t in_ch, std::size_t mid_ch,
 }
 
 tensor::Tensor ResidualBlock::forward(const tensor::Tensor& x) {
-  tensor::Tensor a = main_.forward(x);
-  tensor::Tensor b = shortcut_ ? shortcut_->forward(x) : x;
-  util::check(a.shape() == b.shape(),
-              "residual branches disagree: " + a.shape().to_string() +
-                  " vs " + b.shape().to_string());
-  tensor::Tensor s = tensor::add(a, b);
-  cached_relu_mask_ = tensor::Tensor(s.shape());
-  tensor::Tensor y(s.shape());
-  for (std::size_t i = 0; i < s.numel(); ++i) {
-    const bool pos = s[i] > 0.0f;
-    cached_relu_mask_[i] = pos ? 1.0f : 0.0f;
-    y[i] = pos ? s[i] : 0.0f;
-  }
-  return y;
+  const tensor::Tensor a = main_.forward(x);
+  return kernels::add_relu(a, shortcut_ ? shortcut_->forward(x) : x,
+                           &cached_relu_mask_);
 }
 
 tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_out) {

@@ -35,6 +35,14 @@ class ResidualBlock : public nn::Module {
   void set_training(bool training) override;
   std::string name() const override;
 
+  /// Branch access for eval-time compilation (serve::CompiledNet lowers a
+  /// block into main/shortcut op chains joined by a fused add+ReLU node).
+  nn::Sequential& main_path() { return main_; }
+  /// nullptr when the block uses the identity shortcut.
+  nn::Sequential* shortcut_path() {
+    return shortcut_ ? &*shortcut_ : nullptr;
+  }
+
  private:
   nn::Sequential main_;
   std::optional<nn::Sequential> shortcut_;

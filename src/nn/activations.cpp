@@ -1,20 +1,12 @@
 #include "nn/activations.hpp"
 
-#include <cmath>
-
+#include "kernels/activations.hpp"
 #include "util/check.hpp"
 
 namespace dstee::nn {
 
 tensor::Tensor ReLU::forward(const tensor::Tensor& x) {
-  cached_mask_ = tensor::Tensor(x.shape());
-  tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    const bool pos = x[i] > 0.0f;
-    cached_mask_[i] = pos ? 1.0f : 0.0f;
-    y[i] = pos ? x[i] : 0.0f;
-  }
-  return y;
+  return kernels::relu(x, &cached_mask_);
 }
 
 tensor::Tensor ReLU::backward(const tensor::Tensor& grad_out) {
@@ -28,10 +20,7 @@ tensor::Tensor ReLU::backward(const tensor::Tensor& grad_out) {
 }
 
 tensor::Tensor Sigmoid::forward(const tensor::Tensor& x) {
-  tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-  }
+  tensor::Tensor y = kernels::sigmoid(x);
   cached_output_ = y;
   return y;
 }
@@ -48,8 +37,7 @@ tensor::Tensor Sigmoid::backward(const tensor::Tensor& grad_out) {
 }
 
 tensor::Tensor Tanh::forward(const tensor::Tensor& x) {
-  tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  tensor::Tensor y = kernels::tanh(x);
   cached_output_ = y;
   return y;
 }
@@ -67,11 +55,7 @@ tensor::Tensor Tanh::backward(const tensor::Tensor& grad_out) {
 
 tensor::Tensor LeakyReLU::forward(const tensor::Tensor& x) {
   cached_input_ = x;
-  tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = x[i] > 0.0f ? x[i] : slope_ * x[i];
-  }
-  return y;
+  return kernels::leaky_relu(x, slope_);
 }
 
 tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_out) {

@@ -1,5 +1,6 @@
 #include "nn/conv2d.hpp"
 
+#include "kernels/conv.hpp"
 #include "tensor/init.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
@@ -44,38 +45,12 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& x) {
   util::check(x.rank() == 4 && x.dim(1) == in_channels_,
               "conv2d forward expects [N, " + std::to_string(in_channels_) +
                   ", H, W], got " + x.shape().to_string());
-  util::check(x.dim(2) + 2 * padding_ >= kernel_ &&
-                  x.dim(3) + 2 * padding_ >= kernel_,
-              "conv2d input smaller than kernel");
   cached_input_ = x;
-  const std::size_t batch = x.dim(0);
-  const auto g = geometry(x.dim(2), x.dim(3));
-  const std::size_t oh = g.out_h(), ow = g.out_w();
-
   // Weight viewed as [Cout, Cin·K·K] for the lowered matmul.
-  const tensor::Tensor w2d =
-      weight_.value.reshaped(tensor::Shape({out_channels_, g.patch_size()}));
-
-  tensor::Tensor y({batch, out_channels_, oh, ow});
-  tensor::Tensor cols({g.patch_size(), oh * ow});
-  const std::size_t image_elems = in_channels_ * x.dim(2) * x.dim(3);
-  const std::size_t out_image_elems = out_channels_ * oh * ow;
-  for (std::size_t n = 0; n < batch; ++n) {
-    tensor::im2col(x.raw() + n * image_elems, g, cols);
-    const tensor::Tensor out2d = tensor::matmul(w2d, cols);  // [Cout, oh*ow]
-    float* dst = y.raw() + n * out_image_elems;
-    for (std::size_t i = 0; i < out_image_elems; ++i) dst[i] = out2d[i];
-  }
-  if (bias_) {
-    for (std::size_t n = 0; n < batch; ++n) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        float* plane = y.raw() + (n * out_channels_ + c) * oh * ow;
-        const float b = bias_->value[c];
-        for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += b;
-      }
-    }
-  }
-  return y;
+  const tensor::Tensor w2d = weight_.value.reshaped(
+      tensor::Shape({out_channels_, in_channels_ * kernel_ * kernel_}));
+  return kernels::conv2d_forward(x, w2d, kernel_, stride_, padding_,
+                                 bias_ ? bias_->value.raw() : nullptr);
 }
 
 tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
@@ -123,6 +98,11 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
   tensor::add_inplace(
       weight_.grad, grad_w2d.reshaped(weight_.value.shape()));
   return grad_x;
+}
+
+Parameter& Conv2d::bias() {
+  util::check(bias_.has_value(), "conv2d built without bias");
+  return *bias_;
 }
 
 void Conv2d::collect_parameters(std::vector<Parameter*>& out) {

@@ -30,6 +30,9 @@ class Conv2d : public Module {
 
   Parameter& weight() { return weight_; }
   const Parameter& weight() const { return weight_; }
+  bool has_bias() const { return bias_.has_value(); }
+  /// Requires with_bias = true at construction.
+  Parameter& bias();
 
  private:
   tensor::ConvGeometry geometry(std::size_t in_h, std::size_t in_w) const;

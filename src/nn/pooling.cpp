@@ -1,7 +1,6 @@
 #include "nn/pooling.hpp"
 
-#include <limits>
-
+#include "kernels/pool.hpp"
 #include "util/check.hpp"
 
 namespace dstee::nn {
@@ -12,45 +11,8 @@ MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
 }
 
 tensor::Tensor MaxPool2d::forward(const tensor::Tensor& x) {
-  util::check(x.rank() == 4, "maxpool2d expects [N, C, H, W]");
-  util::check(x.dim(2) >= kernel_ && x.dim(3) >= kernel_,
-              "maxpool2d input smaller than window");
-  const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
-                    iw = x.dim(3);
-  const std::size_t oh = (ih - kernel_) / stride_ + 1;
-  const std::size_t ow = (iw - kernel_) / stride_ + 1;
   cached_in_shape_ = x.shape();
-  cached_argmax_.assign(batch * ch * oh * ow, 0);
-
-  tensor::Tensor y({batch, ch, oh, ow});
-  std::size_t out_i = 0;
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      const float* plane = x.raw() + (n * ch + c) * ih * iw;
-      const std::size_t plane_base = (n * ch + c) * ih * iw;
-      for (std::size_t y0 = 0; y0 < oh; ++y0) {
-        for (std::size_t x0 = 0; x0 < ow; ++x0) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::size_t best_idx = 0;
-          for (std::size_t ky = 0; ky < kernel_; ++ky) {
-            for (std::size_t kx = 0; kx < kernel_; ++kx) {
-              const std::size_t iy = y0 * stride_ + ky;
-              const std::size_t ix = x0 * stride_ + kx;
-              const float v = plane[iy * iw + ix];
-              if (v > best) {
-                best = v;
-                best_idx = plane_base + iy * iw + ix;
-              }
-            }
-          }
-          y[out_i] = best;
-          cached_argmax_[out_i] = best_idx;
-          ++out_i;
-        }
-      }
-    }
-  }
-  return y;
+  return kernels::maxpool2d(x, kernel_, stride_, &cached_argmax_);
 }
 
 tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_out) {
@@ -73,34 +35,8 @@ AvgPool2d::AvgPool2d(std::size_t kernel) : kernel_(kernel) {
 }
 
 tensor::Tensor AvgPool2d::forward(const tensor::Tensor& x) {
-  util::check(x.rank() == 4, "avgpool2d expects [N, C, H, W]");
-  const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
-                    iw = x.dim(3);
-  util::check(ih >= kernel_ && iw >= kernel_,
-              "avgpool2d input smaller than window");
-  const std::size_t oh = ih / kernel_, ow = iw / kernel_;
   cached_in_shape_ = x.shape();
-  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
-
-  tensor::Tensor y({batch, ch, oh, ow});
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      const float* plane = x.raw() + (n * ch + c) * ih * iw;
-      float* out_plane = y.raw() + (n * ch + c) * oh * ow;
-      for (std::size_t y0 = 0; y0 < oh; ++y0) {
-        for (std::size_t x0 = 0; x0 < ow; ++x0) {
-          float acc = 0.0f;
-          for (std::size_t ky = 0; ky < kernel_; ++ky) {
-            for (std::size_t kx = 0; kx < kernel_; ++kx) {
-              acc += plane[(y0 * kernel_ + ky) * iw + (x0 * kernel_ + kx)];
-            }
-          }
-          out_plane[y0 * ow + x0] = acc * inv;
-        }
-      }
-    }
-  }
-  return y;
+  return kernels::avgpool2d(x, kernel_);
 }
 
 tensor::Tensor AvgPool2d::backward(const tensor::Tensor& grad_out) {
@@ -137,21 +73,8 @@ std::string AvgPool2d::name() const {
 }
 
 tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& x) {
-  util::check(x.rank() == 4, "global_avg_pool expects [N, C, H, W]");
-  const std::size_t batch = x.dim(0), ch = x.dim(1);
-  const std::size_t sp = x.dim(2) * x.dim(3);
   cached_in_shape_ = x.shape();
-  tensor::Tensor y({batch, ch});
-  const float inv = 1.0f / static_cast<float>(sp);
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      const float* plane = x.raw() + (n * ch + c) * sp;
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < sp; ++i) acc += plane[i];
-      y[n * ch + c] = acc * inv;
-    }
-  }
-  return y;
+  return kernels::global_avg_pool(x);
 }
 
 tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_out) {

@@ -1,33 +1,86 @@
 #include "serve/compiled_net.hpp"
 
 #include <cmath>
-#include <limits>
 #include <unordered_map>
 #include <utility>
 
+#include "kernels/activations.hpp"
+#include "kernels/conv.hpp"
+#include "kernels/parallel.hpp"
+#include "kernels/pool.hpp"
+#include "models/resnet.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/dropout.hpp"
 #include "nn/flatten.hpp"
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
+#include "sparse/flops.hpp"
 #include "train/checkpoint.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace dstee::serve {
 
+tensor::Tensor EvalOp::run(const tensor::Tensor& x) const {
+  (void)x;
+  util::fail("EvalOp: unary run() on an op of arity " +
+             std::to_string(arity()));
+}
+
+tensor::Tensor EvalOp::run2(const tensor::Tensor& a,
+                            const tensor::Tensor& b) const {
+  (void)a;
+  (void)b;
+  util::fail("EvalOp: binary run2() on an op of arity " +
+             std::to_string(arity()));
+}
+
 namespace {
 
+/// Common state of the CSR-backed ops (Linear and Conv2d lowerings): the
+/// weight matrix, the bias, and eval-BN folding into both.
+class CsrOp : public EvalOp {
+ public:
+  CsrOp(sparse::CsrMatrix csr, tensor::Tensor bias, bool has_bias)
+      : csr_(std::move(csr)), bias_(std::move(bias)), has_bias_(has_bias) {}
+
+  /// Absorbs y ← y·scale + shift (per output row/channel) into the CSR
+  /// values and bias, removing the batch-norm op entirely.
+  void fold_scale_shift(const std::vector<float>& scale,
+                        const std::vector<float>& shift) {
+    csr_.scale_rows(scale);
+    tensor::Tensor folded({csr_.rows()});
+    for (std::size_t r = 0; r < csr_.rows(); ++r) {
+      folded[r] = (has_bias_ ? bias_[r] * scale[r] : 0.0f) + shift[r];
+    }
+    bias_ = std::move(folded);
+    has_bias_ = true;
+    folded_bn_ = true;
+  }
+
+  const sparse::CsrMatrix& csr() const { return csr_; }
+
+ protected:
+  std::string csr_suffix() const {
+    return "nnz=" + std::to_string(csr_.nnz()) + ", density=" +
+           util::format_fixed(csr_.density() * 100.0, 1) + "%" +
+           (folded_bn_ ? ", +bn" : "") + ")";
+  }
+
+  sparse::CsrMatrix csr_;
+  tensor::Tensor bias_;
+  bool has_bias_;
+  bool folded_bn_ = false;
+};
+
 /// CSR Linear: y = spmm(x) + bias, with optional folded BN scale/shift.
-class SpmmOp final : public EvalOp {
+class SpmmOp final : public CsrOp {
  public:
   SpmmOp(sparse::CsrMatrix csr, tensor::Tensor bias, bool has_bias,
          std::size_t threads)
-      : csr_(std::move(csr)),
-        bias_(std::move(bias)),
-        has_bias_(has_bias),
-        threads_(threads) {}
+      : CsrOp(std::move(csr), std::move(bias), has_bias), threads_(threads) {}
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
     tensor::Tensor y = csr_.spmm(x, threads_);
@@ -41,40 +94,159 @@ class SpmmOp final : public EvalOp {
     return y;
   }
 
-  /// Absorbs y ← y·scale + shift (per output row) into the CSR values and
-  /// bias, removing the batch-norm op entirely.
-  void fold_scale_shift(const std::vector<float>& scale,
-                        const std::vector<float>& shift) {
-    csr_.scale_rows(scale);
-    tensor::Tensor folded({csr_.rows()});
-    for (std::size_t r = 0; r < csr_.rows(); ++r) {
-      folded[r] = (has_bias_ ? bias_[r] * scale[r] : 0.0f) + shift[r];
-    }
-    bias_ = std::move(folded);
-    has_bias_ = true;
-    folded_bn_ = true;
+  std::string describe() const override {
+    return "spmm(" + std::to_string(csr_.rows()) + "x" +
+           std::to_string(csr_.cols()) + ", " + csr_suffix();
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), csr_.rows()});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    return sparse::linear_nnz_flops(csr_.nnz(), in.dim(0));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    return sparse::linear_nnz_flops(csr_.rows() * csr_.cols(), in.dim(0));
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+/// CSR conv: per-image im2col, then Y = W_csr · cols over the patch
+/// matrix, with optional folded BN and bias. The CSR matrix holds the
+/// masked weight viewed as [Cout, Cin·K·K] — the exact lowering
+/// nn::Conv2d uses densely, so a masked checkpoint deploys its trained
+/// topology bit-for-bit.
+class ConvOp final : public CsrOp {
+ public:
+  ConvOp(sparse::CsrMatrix csr, std::size_t in_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, tensor::Tensor bias,
+         bool has_bias, std::size_t threads)
+      : CsrOp(std::move(csr), std::move(bias), has_bias),
+        in_channels_(in_channels),
+        kernel_(kernel),
+        stride_(stride),
+        padding_(padding),
+        threads_(threads) {
+    util::check(csr_.cols() == in_channels_ * kernel_ * kernel_,
+                "conv CSR columns must equal Cin*K*K");
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    const tensor::ConvGeometry g = geometry(x);
+    const std::size_t batch = x.dim(0);
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t out_ch = csr_.rows();
+    tensor::Tensor y({batch, out_ch, oh, ow});
+    const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
+    const std::size_t out_image_elems = out_ch * oh * ow;
+
+    // Intra-op parallelism splits the batch: images are independent, so
+    // every output element has exactly one writer and the result is
+    // bit-identical for any thread count. Per-worker im2col scratch keeps
+    // run() const and thread-safe. A single image always runs inline
+    // (row-level splitting is the NUMA/sharding follow-up).
+    kernels::parallel_chunks(batch, threads_, [&](std::size_t n0,
+                                                  std::size_t n1) {
+      tensor::Tensor cols({g.patch_size(), oh * ow});
+      for (std::size_t n = n0; n < n1; ++n) {
+        tensor::im2col(x.raw() + n * image_elems, g, cols);
+        csr_.spmm_cols_into(cols, y.raw() + n * out_image_elems);
+      }
+    });
+    if (has_bias_) kernels::add_channel_bias(y, bias_.raw());
+    return y;
   }
 
   std::string describe() const override {
-    return "spmm(" + std::to_string(csr_.rows()) + "x" +
-           std::to_string(csr_.cols()) +
-           ", nnz=" + std::to_string(csr_.nnz()) + ", density=" +
-           util::format_fixed(csr_.density() * 100.0, 1) + "%" +
-           (folded_bn_ ? ", +bn" : "") + ")";
+    return "spconv(" + std::to_string(in_channels_) + "->" +
+           std::to_string(csr_.rows()) + ", k" + std::to_string(kernel_) +
+           ", s" + std::to_string(stride_) + ", p" +
+           std::to_string(padding_) + ", " + csr_suffix();
   }
 
-  const sparse::CsrMatrix& csr() const { return csr_; }
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = geometry_for(in.dim(2), in.dim(3));
+    return tensor::Shape({in.dim(0), csr_.rows(), g.out_h(), g.out_w()});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = geometry_for(in.dim(2), in.dim(3));
+    return sparse::conv_nnz_flops(csr_.nnz(), g.out_h(), g.out_w(),
+                                  in.dim(0));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = geometry_for(in.dim(2), in.dim(3));
+    return sparse::conv_nnz_flops(csr_.rows() * csr_.cols(), g.out_h(),
+                                  g.out_w(), in.dim(0));
+  }
 
  private:
-  sparse::CsrMatrix csr_;
-  tensor::Tensor bias_;
-  bool has_bias_;
+  tensor::ConvGeometry geometry_for(std::size_t in_h,
+                                    std::size_t in_w) const {
+    // Checked here (not just in run()) so shape/FLOPs propagation through
+    // out_shape()/flops() fails cleanly instead of underflowing out_h().
+    util::check(in_h + 2 * padding_ >= kernel_ &&
+                    in_w + 2 * padding_ >= kernel_,
+                "spconv input smaller than kernel");
+    tensor::ConvGeometry g;
+    g.in_channels = in_channels_;
+    g.in_h = in_h;
+    g.in_w = in_w;
+    g.kernel_h = kernel_;
+    g.kernel_w = kernel_;
+    g.stride = stride_;
+    g.padding = padding_;
+    return g;
+  }
+
+  tensor::ConvGeometry geometry(const tensor::Tensor& x) const {
+    util::check(x.rank() == 4 && x.dim(1) == in_channels_,
+                "spconv expects [N, " + std::to_string(in_channels_) +
+                    ", H, W], got " + x.shape().to_string());
+    return geometry_for(x.dim(2), x.dim(3));
+  }
+
+  std::size_t in_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
   std::size_t threads_;
-  bool folded_bn_ = false;
 };
 
-/// Eval-mode batch-norm not adjacent to a Linear: y = x·scale + shift per
-/// channel, over [N, C] or [N, C, H, W].
+/// Residual join: y = a + b, optionally through ReLU — the lowering of
+/// models::ResidualBlock's add-then-activate tail.
+class AddOp final : public EvalOp {
+ public:
+  explicit AddOp(bool relu) : relu_(relu) {}
+
+  std::size_t arity() const override { return 2; }
+
+  tensor::Tensor run2(const tensor::Tensor& a,
+                      const tensor::Tensor& b) const override {
+    if (relu_) return kernels::add_relu(a, b);
+    util::check(a.shape() == b.shape(),
+                "residual add branches disagree: " + a.shape().to_string() +
+                    " vs " + b.shape().to_string());
+    tensor::Tensor y(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i) y[i] = a[i] + b[i];
+    return y;
+  }
+
+  std::string describe() const override {
+    return relu_ ? "add_relu" : "add";
+  }
+
+ private:
+  bool relu_;
+};
+
+/// Eval-mode batch-norm not adjacent to a Linear/Conv2d: y = x·scale +
+/// shift per channel, over [N, C] or [N, C, H, W].
 class ScaleShiftOp final : public EvalOp {
  public:
   ScaleShiftOp(std::vector<float> scale, std::vector<float> shift, bool rank4)
@@ -121,25 +293,17 @@ class ActivationOp final : public EvalOp {
       : kind_(kind), slope_(slope) {}
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    tensor::Tensor y(x.shape());
-    for (std::size_t i = 0; i < x.numel(); ++i) {
-      const float v = x[i];
-      switch (kind_) {
-        case Kind::kRelu:
-          y[i] = v > 0.0f ? v : 0.0f;
-          break;
-        case Kind::kLeakyRelu:
-          y[i] = v > 0.0f ? v : slope_ * v;
-          break;
-        case Kind::kSigmoid:
-          y[i] = 1.0f / (1.0f + std::exp(-v));
-          break;
-        case Kind::kTanh:
-          y[i] = std::tanh(v);
-          break;
-      }
+    switch (kind_) {
+      case Kind::kRelu:
+        return kernels::relu(x);
+      case Kind::kLeakyRelu:
+        return kernels::leaky_relu(x, slope_);
+      case Kind::kSigmoid:
+        return kernels::sigmoid(x);
+      case Kind::kTanh:
+        return kernels::tanh(x);
     }
-    return y;
+    util::fail("unreachable activation kind");
   }
 
   std::string describe() const override {
@@ -169,6 +333,9 @@ class FlattenOp final : public EvalOp {
     return x.reshaped(tensor::Shape({batch, x.numel() / batch}));
   }
   std::string describe() const override { return "flatten"; }
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), in.numel() / in.dim(0)});
+  }
 };
 
 class MaxPoolOp final : public EvalOp {
@@ -177,39 +344,21 @@ class MaxPoolOp final : public EvalOp {
       : kernel_(kernel), stride_(stride) {}
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    util::check(x.rank() == 4, "maxpool expects [N, C, H, W]");
-    const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
-                      iw = x.dim(3);
-    util::check(ih >= kernel_ && iw >= kernel_,
-                "maxpool input smaller than window");
-    const std::size_t oh = (ih - kernel_) / stride_ + 1;
-    const std::size_t ow = (iw - kernel_) / stride_ + 1;
-    tensor::Tensor y({batch, ch, oh, ow});
-    std::size_t out_i = 0;
-    for (std::size_t n = 0; n < batch; ++n) {
-      for (std::size_t c = 0; c < ch; ++c) {
-        const float* plane = x.raw() + (n * ch + c) * ih * iw;
-        for (std::size_t y0 = 0; y0 < oh; ++y0) {
-          for (std::size_t x0 = 0; x0 < ow; ++x0) {
-            float best = -std::numeric_limits<float>::infinity();
-            for (std::size_t ky = 0; ky < kernel_; ++ky) {
-              for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                const float v =
-                    plane[(y0 * stride_ + ky) * iw + (x0 * stride_ + kx)];
-                if (v > best) best = v;
-              }
-            }
-            y[out_i++] = best;
-          }
-        }
-      }
-    }
-    return y;
+    return kernels::maxpool2d(x, kernel_, stride_);
   }
 
   std::string describe() const override {
     return "maxpool(k" + std::to_string(kernel_) + ",s" +
            std::to_string(stride_) + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    util::check(in.rank() == 4 && in.dim(2) >= kernel_ &&
+                    in.dim(3) >= kernel_,
+                "maxpool input smaller than window");
+    return tensor::Shape({in.dim(0), in.dim(1),
+                          (in.dim(2) - kernel_) / stride_ + 1,
+                          (in.dim(3) - kernel_) / stride_ + 1});
   }
 
  private:
@@ -222,37 +371,19 @@ class AvgPoolOp final : public EvalOp {
   explicit AvgPoolOp(std::size_t kernel) : kernel_(kernel) {}
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    util::check(x.rank() == 4, "avgpool expects [N, C, H, W]");
-    const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
-                      iw = x.dim(3);
-    util::check(ih >= kernel_ && iw >= kernel_,
-                "avgpool input smaller than window");
-    const std::size_t oh = (ih - kernel_) / kernel_ + 1;
-    const std::size_t ow = (iw - kernel_) / kernel_ + 1;
-    const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
-    tensor::Tensor y({batch, ch, oh, ow});
-    std::size_t out_i = 0;
-    for (std::size_t n = 0; n < batch; ++n) {
-      for (std::size_t c = 0; c < ch; ++c) {
-        const float* plane = x.raw() + (n * ch + c) * ih * iw;
-        for (std::size_t y0 = 0; y0 < oh; ++y0) {
-          for (std::size_t x0 = 0; x0 < ow; ++x0) {
-            float acc = 0.0f;
-            for (std::size_t ky = 0; ky < kernel_; ++ky) {
-              for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                acc += plane[(y0 * kernel_ + ky) * iw + (x0 * kernel_ + kx)];
-              }
-            }
-            y[out_i++] = acc * inv;
-          }
-        }
-      }
-    }
-    return y;
+    return kernels::avgpool2d(x, kernel_);
   }
 
   std::string describe() const override {
     return "avgpool(k" + std::to_string(kernel_) + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    util::check(in.rank() == 4 && in.dim(2) >= kernel_ &&
+                    in.dim(3) >= kernel_,
+                "avgpool input smaller than window");
+    return tensor::Shape({in.dim(0), in.dim(1), in.dim(2) / kernel_,
+                          in.dim(3) / kernel_});
   }
 
  private:
@@ -262,22 +393,12 @@ class AvgPoolOp final : public EvalOp {
 class GlobalAvgPoolOp final : public EvalOp {
  public:
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    util::check(x.rank() == 4, "global_avg_pool expects [N, C, H, W]");
-    const std::size_t batch = x.dim(0), ch = x.dim(1);
-    const std::size_t sp = x.dim(2) * x.dim(3);
-    const float inv = 1.0f / static_cast<float>(sp);
-    tensor::Tensor y({batch, ch});
-    for (std::size_t n = 0; n < batch; ++n) {
-      for (std::size_t c = 0; c < ch; ++c) {
-        const float* plane = x.raw() + (n * ch + c) * sp;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < sp; ++i) acc += plane[i];
-        y[n * ch + c] = acc * inv;
-      }
-    }
-    return y;
+    return kernels::global_avg_pool(x);
   }
   std::string describe() const override { return "global_avg_pool"; }
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), in.dim(1)});
+  }
 };
 
 /// Eval-mode BN as per-channel affine constants.
@@ -302,7 +423,8 @@ void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
 CompiledNet CompiledNet::compile(nn::Sequential& model,
                                  const sparse::SparseModel* state,
                                  const CompileOptions& options) {
-  // Weight → mask lookup so each Linear deploys its trained topology.
+  // Weight → mask lookup so each Linear/Conv2d deploys its trained
+  // topology.
   std::unordered_map<const nn::Parameter*, const sparse::MaskedParameter*>
       masked;
   if (state != nullptr) {
@@ -317,40 +439,99 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
   // concurrency", and that contract is part of CompileOptions' docs.
   const std::size_t threads = options.intra_op_threads;
 
+  // `cursor` is the node producing the current value (kInputId before the
+  // first op). `fold_candidate` is the id of a CSR node a directly
+  // following eval-BN may fold into; it is invalidated by anything that
+  // could give that node a second consumer (chain boundaries of residual
+  // branches) or by any intervening op.
+  std::size_t cursor = kInputId;
+  std::size_t fold_candidate = kInputId;
+
+  auto emit = [&](std::unique_ptr<EvalOp> op, std::vector<std::size_t> in) {
+    net.nodes_.push_back(OpNode{std::move(op), std::move(in)});
+    cursor = net.nodes_.size() - 1;
+    fold_candidate = kInputId;
+    return cursor;
+  };
+
+  auto csr_for = [&](const nn::Parameter& weight) {
+    const auto it = masked.find(&weight);
+    sparse::CsrMatrix csr =
+        it != masked.end()
+            ? sparse::CsrMatrix::from_masked(*it->second)
+            : sparse::CsrMatrix::from_dense(weight.value, options.dense_eps);
+    net.total_nnz_ += csr.nnz();
+    net.total_weights_ += csr.rows() * csr.cols();
+    ++net.sparse_ops_;
+    return csr;
+  };
+
   auto lower = [&](auto&& self, nn::Module& module) -> void {
     if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) {
       for (std::size_t i = 0; i < seq->size(); ++i) self(self, seq->child(i));
       return;
     }
+    if (auto* block = dynamic_cast<models::ResidualBlock*>(&module)) {
+      const std::size_t entry = cursor;
+      fold_candidate = kInputId;  // entry gains a consumer: never fold into it
+      self(self, block->main_path());
+      const std::size_t main_tail = cursor;
+      std::size_t shortcut_tail = entry;
+      if (nn::Sequential* shortcut = block->shortcut_path()) {
+        cursor = entry;
+        fold_candidate = kInputId;
+        self(self, *shortcut);
+        shortcut_tail = cursor;
+      }
+      emit(std::make_unique<AddOp>(/*relu=*/true),
+           {main_tail, shortcut_tail});
+      ++net.residual_joins_;
+      return;
+    }
     if (auto* linear = dynamic_cast<nn::Linear*>(&module)) {
-      const auto it = masked.find(&linear->weight());
-      sparse::CsrMatrix csr =
-          it != masked.end()
-              ? sparse::CsrMatrix::from_masked(*it->second)
-              : sparse::CsrMatrix::from_dense(linear->weight().value,
-                                              options.dense_eps);
-      net.total_nnz_ += csr.nnz();
-      net.total_weights_ += csr.rows() * csr.cols();
-      ++net.sparse_ops_;
       tensor::Tensor bias;
       if (linear->has_bias()) bias = linear->bias().value;
-      net.ops_.push_back(std::make_unique<SpmmOp>(
-          std::move(csr), std::move(bias), linear->has_bias(), threads));
+      emit(std::make_unique<SpmmOp>(csr_for(linear->weight()),
+                                    std::move(bias), linear->has_bias(),
+                                    threads),
+           {cursor});
+      fold_candidate = cursor;
+      return;
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&module)) {
+      tensor::Tensor bias;
+      if (conv->has_bias()) bias = conv->bias().value;
+      emit(std::make_unique<ConvOp>(csr_for(conv->weight()),
+                                    conv->in_channels(), conv->kernel(),
+                                    conv->stride(), conv->padding(),
+                                    std::move(bias), conv->has_bias(),
+                                    threads),
+           {cursor});
+      fold_candidate = cursor;
       return;
     }
     if (auto* bn = dynamic_cast<nn::BatchNorm*>(&module)) {
       std::vector<float> scale, shift;
       bn_scale_shift(*bn, scale, shift);
-      // BN directly after a Linear collapses into the CSR values/bias.
-      if (!bn->is_rank4() && !net.ops_.empty()) {
-        if (auto* spmm = dynamic_cast<SpmmOp*>(net.ops_.back().get());
-            spmm != nullptr && spmm->csr().rows() == bn->channels()) {
-          spmm->fold_scale_shift(scale, shift);
-          return;
+      // BN directly after a Linear/Conv2d collapses into the CSR
+      // values/bias of that node — but only when the node was emitted by
+      // the immediately preceding module of the SAME chain, so a residual
+      // entry shared with the skip path is never mutated.
+      if (fold_candidate != kInputId && fold_candidate == cursor) {
+        if (auto* csr_op =
+                dynamic_cast<CsrOp*>(net.nodes_[cursor].op.get());
+            csr_op != nullptr && csr_op->csr().rows() == bn->channels()) {
+          const bool conv_like =
+              dynamic_cast<ConvOp*>(csr_op) != nullptr;
+          if (conv_like == bn->is_rank4()) {
+            csr_op->fold_scale_shift(scale, shift);
+            return;
+          }
         }
       }
-      net.ops_.push_back(std::make_unique<ScaleShiftOp>(
-          std::move(scale), std::move(shift), bn->is_rank4()));
+      emit(std::make_unique<ScaleShiftOp>(std::move(scale), std::move(shift),
+                                          bn->is_rank4()),
+           {cursor});
       return;
     }
     if (dynamic_cast<nn::Dropout*>(&module) != nullptr) {
@@ -358,51 +539,57 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
       return;
     }
     if (dynamic_cast<nn::ReLU*>(&module) != nullptr) {
-      net.ops_.push_back(
-          std::make_unique<ActivationOp>(ActivationOp::Kind::kRelu));
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kRelu),
+           {cursor});
       return;
     }
     if (auto* leaky = dynamic_cast<nn::LeakyReLU*>(&module)) {
-      net.ops_.push_back(std::make_unique<ActivationOp>(
-          ActivationOp::Kind::kLeakyRelu, leaky->slope()));
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kLeakyRelu,
+                                          leaky->slope()),
+           {cursor});
       return;
     }
     if (dynamic_cast<nn::Sigmoid*>(&module) != nullptr) {
-      net.ops_.push_back(
-          std::make_unique<ActivationOp>(ActivationOp::Kind::kSigmoid));
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kSigmoid),
+           {cursor});
       return;
     }
     if (dynamic_cast<nn::Tanh*>(&module) != nullptr) {
-      net.ops_.push_back(
-          std::make_unique<ActivationOp>(ActivationOp::Kind::kTanh));
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kTanh),
+           {cursor});
       return;
     }
     if (dynamic_cast<nn::Flatten*>(&module) != nullptr) {
-      net.ops_.push_back(std::make_unique<FlattenOp>());
+      emit(std::make_unique<FlattenOp>(), {cursor});
       return;
     }
     if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&module)) {
-      net.ops_.push_back(
-          std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride()));
+      emit(std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride()),
+           {cursor});
       return;
     }
     if (auto* pool = dynamic_cast<nn::AvgPool2d*>(&module)) {
-      net.ops_.push_back(std::make_unique<AvgPoolOp>(pool->kernel()));
+      emit(std::make_unique<AvgPoolOp>(pool->kernel()), {cursor});
       return;
     }
     if (dynamic_cast<nn::GlobalAvgPool*>(&module) != nullptr) {
-      net.ops_.push_back(std::make_unique<GlobalAvgPoolOp>());
+      emit(std::make_unique<GlobalAvgPoolOp>(), {cursor});
       return;
     }
-    util::fail("CompiledNet: unsupported layer '" + module.name() +
-               "' (conv deployment lowers to CSR over im2col patches — a "
-               "ROADMAP follow-up)");
+    util::fail("CompiledNet: unsupported layer '" + module.name() + "'");
   };
   lower(lower, model);
 
-  util::check(!net.ops_.empty(),
-              "CompiledNet: model lowered to an empty op list");
-  if (auto* first = dynamic_cast<SpmmOp*>(net.ops_.front().get())) {
+  util::check(!net.nodes_.empty(),
+              "CompiledNet: model lowered to an empty op graph");
+  net.use_counts_.assign(net.nodes_.size(), 0);
+  for (const OpNode& node : net.nodes_) {
+    for (const std::size_t in : node.inputs) {
+      if (in != kInputId) ++net.use_counts_[in];
+    }
+  }
+  if (auto* first = dynamic_cast<SpmmOp*>(net.nodes_.front().op.get());
+      first != nullptr && net.nodes_.front().inputs.front() == kInputId) {
     net.input_features_ = first->csr().cols();
   }
   return net;
@@ -417,12 +604,27 @@ CompiledNet CompiledNet::from_checkpoint(const std::string& path,
 }
 
 tensor::Tensor CompiledNet::forward(const tensor::Tensor& x) const {
-  // ops_ is non-empty (checked at compile), so run the first op straight
-  // off `x` — Tensor has value semantics and seeding a loop variable with
-  // `h = x` would deep-copy the whole input batch on every request.
-  tensor::Tensor h = ops_.front()->run(x);
-  for (std::size_t i = 1; i < ops_.size(); ++i) h = ops_[i]->run(h);
-  return h;
+  // nodes_ is non-empty (checked at compile). Intermediates are released
+  // as soon as their last consumer has run, so peak memory tracks the
+  // graph's width (2 live tensors on a residual chain), not its depth.
+  std::vector<tensor::Tensor> values(nodes_.size());
+  std::vector<std::size_t> remaining = use_counts_;
+  auto value_of = [&](std::size_t id) -> const tensor::Tensor& {
+    return id == kInputId ? x : values[id];
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const OpNode& node = nodes_[i];
+    values[i] =
+        node.inputs.size() == 2
+            ? node.op->run2(value_of(node.inputs[0]), value_of(node.inputs[1]))
+            : node.op->run(value_of(node.inputs[0]));
+    for (const std::size_t in : node.inputs) {
+      if (in != kInputId && --remaining[in] == 0) {
+        values[in] = tensor::Tensor();
+      }
+    }
+  }
+  return std::move(values.back());
 }
 
 double CompiledNet::density() const {
@@ -432,14 +634,69 @@ double CompiledNet::density() const {
              : 0.0;
 }
 
+double CompiledNet::accumulate_flops(const tensor::Shape& sample_shape,
+                                     bool dense) const {
+  // Propagate a batch-1 shape through the graph, summing each node's cost.
+  std::vector<std::size_t> dims;
+  dims.reserve(sample_shape.rank() + 1);
+  dims.push_back(1);
+  for (std::size_t i = 0; i < sample_shape.rank(); ++i) {
+    dims.push_back(sample_shape.dim(i));
+  }
+  const tensor::Shape input(dims);
+  std::vector<tensor::Shape> shapes(nodes_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const OpNode& node = nodes_[i];
+    const std::size_t src = node.inputs.front();
+    const tensor::Shape& in = src == kInputId ? input : shapes[src];
+    total += dense ? node.op->dense_flops(in) : node.op->flops(in);
+    shapes[i] = node.op->out_shape(in);
+  }
+  return total;
+}
+
+double CompiledNet::flops_per_sample(
+    const tensor::Shape& sample_shape) const {
+  return accumulate_flops(sample_shape, /*dense=*/false);
+}
+
+double CompiledNet::dense_flops_per_sample(
+    const tensor::Shape& sample_shape) const {
+  return accumulate_flops(sample_shape, /*dense=*/true);
+}
+
 std::string CompiledNet::summary() const {
-  std::string out = "CompiledNet: " + std::to_string(ops_.size()) + " ops, " +
-                    std::to_string(total_nnz_) + "/" +
+  std::string out = "CompiledNet: " + std::to_string(nodes_.size()) +
+                    " ops, " + std::to_string(total_nnz_) + "/" +
                     std::to_string(total_weights_) + " weights (density " +
                     util::format_fixed(density() * 100.0, 1) + "%), " +
-                    std::to_string(elided_) + " elided\n";
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    out += "  [" + std::to_string(i) + "] " + ops_[i]->describe() + "\n";
+                    std::to_string(elided_) + " elided";
+  if (residual_joins_ > 0) {
+    out += ", " + std::to_string(residual_joins_) + " residual joins";
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + nodes_[i].op->describe();
+    // Annotate producers whenever they are not just "the previous node" —
+    // that is where the graph deviates from a straight line.
+    const std::vector<std::size_t>& in = nodes_[i].inputs;
+    const bool straight =
+        in.size() == 1 && ((i == 0 && in[0] == kInputId) || in[0] + 1 == i);
+    if (!straight) {
+      out += " <- ";
+      for (std::size_t j = 0; j < in.size(); ++j) {
+        if (j > 0) out += ", ";
+        if (in[j] == kInputId) {
+          out += "in";
+        } else {
+          out += "[";
+          out += std::to_string(in[j]);
+          out += "]";
+        }
+      }
+    }
+    out += "\n";
   }
   return out;
 }

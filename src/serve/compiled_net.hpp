@@ -1,20 +1,25 @@
-// CompiledNet: lowers a trained model to an immutable eval-only op list.
+// CompiledNet: lowers a trained model to an immutable eval-only op graph.
 //
 // Training modules (nn::Module) cache activations, mutate running stats and
 // are therefore neither const nor thread-safe. Deployment needs the
 // opposite: a fixed topology executed concurrently by many worker threads.
-// compile() walks a Sequential tree once and emits one EvalOp per layer:
+// compile() walks a module tree once and emits one graph node per layer:
 //
 //   Linear (+ mask)  → CSR SpMM (CsrMatrix::spmm) + dense bias
+//   Conv2d (+ mask)  → per-image im2col + CSR SpMM over the patch matrix
+//                      (CsrMatrix::spmm_cols) with the masked
+//                      [Cout, Cin·K·K] weight matrix
 //   BatchNorm (eval) → per-channel scale/shift; folded INTO the preceding
-//                      CSR op when one directly precedes it
+//                      CSR linear/conv op when one directly precedes it
 //   Dropout          → elided (inverted dropout is identity at eval)
+//   ResidualBlock    → main/shortcut chains joined by a fused add+ReLU
+//                      node (the graph's only fan-out/fan-in)
 //   ReLU/LeakyReLU/Sigmoid/Tanh, Flatten, Max/Avg/GlobalAvgPool
-//                    → stateless eval ops
+//                    → stateless eval ops over the shared src/kernels/
 //
-// Conv2d is intentionally unsupported (CSR-over-im2col deployment is a
-// ROADMAP follow-up); compile() fails loudly rather than silently falling
-// back to dense.
+// The result is a small DAG rather than a straight-line op list: each node
+// names its producer(s), residual adds have two, and execution releases an
+// intermediate as soon as its last consumer has run.
 #pragma once
 
 #include <memory>
@@ -28,14 +33,44 @@
 
 namespace dstee::serve {
 
-/// One compiled inference operation. run() is const and touches no shared
-/// mutable state, so a single op instance may execute on many threads.
+/// One compiled inference operation. run()/run2() are const and touch no
+/// shared mutable state, so a single op instance may execute on many
+/// threads. Ops are unary unless arity() says otherwise.
 class EvalOp {
  public:
   virtual ~EvalOp() = default;
-  virtual tensor::Tensor run(const tensor::Tensor& x) const = 0;
+
+  /// Number of producer tensors this op consumes (1 or 2).
+  virtual std::size_t arity() const { return 1; }
+
+  /// Unary execution; default fails (binary ops don't implement it).
+  virtual tensor::Tensor run(const tensor::Tensor& x) const;
+
+  /// Binary execution; default fails (unary ops don't implement it).
+  virtual tensor::Tensor run2(const tensor::Tensor& a,
+                              const tensor::Tensor& b) const;
+
   /// Short description for CompiledNet::summary(), e.g. "spmm(128x32, ...)".
   virtual std::string describe() const = 0;
+
+  /// Output batch shape for input batch shape `in` (binary ops receive
+  /// their first producer's shape; both sides must agree anyway).
+  virtual tensor::Shape out_shape(const tensor::Shape& in) const {
+    return in;
+  }
+
+  /// FLOPs actually executed for a batch of shape `in` (CSR kernels count
+  /// stored nonzeros; stateless ops count 0, matching the analytic
+  /// FlopsModel convention).
+  virtual double flops(const tensor::Shape& in) const {
+    (void)in;
+    return 0.0;
+  }
+
+  /// FLOPs a dense execution of the same layer would need.
+  virtual double dense_flops(const tensor::Shape& in) const {
+    return flops(in);
+  }
 };
 
 /// Knobs for compile().
@@ -44,22 +79,32 @@ struct CompileOptions {
   /// not stored. 0 keeps every nonzero, which exactly reproduces a masked
   /// model saved by dstee_run (masked weights are stored as 0).
   float dense_eps = 0.0f;
-  /// Row-parallel threads inside each SpMM (see CsrMatrix::spmm; 0 means
-  /// hardware concurrency). Keep at 1 when an InferenceServer provides
-  /// request-level parallelism. Workers are spawned per spmm call, so >1
-  /// only pays off for large layers / big batches where the kernel
-  /// dominates thread-start cost (a persistent intra-op pool is a ROADMAP
-  /// follow-up).
+  /// Intra-op threads (0 means hardware concurrency): row-parallel inside
+  /// each Linear SpMM (see CsrMatrix::spmm) and image-parallel across the
+  /// batch inside each conv op (a batch-1 conv always runs inline).
+  /// Keep at 1 when an InferenceServer provides request-level
+  /// parallelism. Workers are spawned per call, so >1 only pays off for
+  /// large layers / big batches where the kernel dominates thread-start
+  /// cost (a persistent intra-op pool is a ROADMAP follow-up).
   std::size_t intra_op_threads = 1;
 };
 
 /// An immutable, thread-safe inference program compiled from a model.
 class CompiledNet {
  public:
-  /// Lowers `model` (recursing through nested Sequentials). When `state`
-  /// is non-null, each Linear weight that has a mask in `state` is
-  /// converted with from_masked (faithful topology deployment); other
-  /// weights fall back to from_dense(options.dense_eps).
+  /// Producer id meaning "the network input" in a node's input list.
+  static constexpr std::size_t kInputId = static_cast<std::size_t>(-1);
+
+  /// One graph node: an op plus the ids of the nodes feeding it.
+  struct OpNode {
+    std::unique_ptr<EvalOp> op;
+    std::vector<std::size_t> inputs;
+  };
+
+  /// Lowers `model` (recursing through nested Sequentials and residual
+  /// blocks). When `state` is non-null, each Linear/Conv2d weight that has
+  /// a mask in `state` is converted with from_masked (faithful topology
+  /// deployment); other weights fall back to from_dense(options.dense_eps).
   static CompiledNet compile(nn::Sequential& model,
                              const sparse::SparseModel* state = nullptr,
                              const CompileOptions& options = {});
@@ -72,32 +117,47 @@ class CompiledNet {
                                      sparse::SparseModel* state = nullptr,
                                      const CompileOptions& options = {});
 
-  /// Runs the op list in order. `x` is [batch, ...] matching the model's
-  /// training-time input layout. Thread-safe: may be called concurrently.
+  /// Executes the graph in topological (emission) order. `x` is
+  /// [batch, ...] matching the model's training-time input layout.
+  /// Thread-safe: may be called concurrently.
   tensor::Tensor forward(const tensor::Tensor& x) const;
 
-  std::size_t num_ops() const { return ops_.size(); }
+  std::size_t num_ops() const { return nodes_.size(); }
   std::size_t num_sparse_ops() const { return sparse_ops_; }
   std::size_t num_elided() const { return elided_; }
+  /// Residual add+ReLU joins in the graph (0 for chain models).
+  std::size_t num_residual_joins() const { return residual_joins_; }
 
-  /// Stored nonzeros / total weight slots across all CSR ops.
+  /// Stored nonzeros / total weight slots across all CSR ops (Linear AND
+  /// Conv2d — compression reporting covers the whole model).
   std::size_t total_nnz() const { return total_nnz_; }
   std::size_t total_weights() const { return total_weights_; }
   double density() const;
 
-  /// Input feature count when the first op determines it (CSR first), else
-  /// 0 (e.g. Flatten-first nets accept any shape that flattens correctly).
+  /// FLOPs per single sample of the given shape (no batch axis), counting
+  /// exactly what the CSR kernels execute / what dense eval would execute.
+  double flops_per_sample(const tensor::Shape& sample_shape) const;
+  double dense_flops_per_sample(const tensor::Shape& sample_shape) const;
+
+  /// Input feature count when the first op determines it (CSR linear
+  /// first), else 0 (conv- or Flatten-first nets accept any shape the
+  /// first op validates at run time).
   std::size_t input_features() const { return input_features_; }
 
-  /// One line per op, for logs and the serve CLI.
+  /// One line per node, for logs and the serve CLI.
   std::string summary() const;
 
  private:
   CompiledNet() = default;
 
-  std::vector<std::unique_ptr<EvalOp>> ops_;
+  double accumulate_flops(const tensor::Shape& sample_shape,
+                          bool dense) const;
+
+  std::vector<OpNode> nodes_;
+  std::vector<std::size_t> use_counts_;  ///< consumers per node (output: 0)
   std::size_t sparse_ops_ = 0;
   std::size_t elided_ = 0;
+  std::size_t residual_joins_ = 0;
   std::size_t total_nnz_ = 0;
   std::size_t total_weights_ = 0;
   std::size_t input_features_ = 0;

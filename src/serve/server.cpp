@@ -38,13 +38,17 @@ InferenceServer::InferenceServer(const CompiledNet& net, ServerConfig config)
 InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
-  util::check(input.rank() == 1,
-              "submit expects a rank-1 [features] sample");
+  util::check(input.rank() >= 1,
+              "submit expects a sample without a batch axis, e.g. "
+              "[features] or [C, H, W]");
   if (net_->input_features() != 0) {
-    util::check(input.numel() == net_->input_features(),
-                "sample has " + std::to_string(input.numel()) +
-                    " features, net expects " +
-                    std::to_string(net_->input_features()));
+    // A CSR-linear-first net pins the flat feature count; conv-first nets
+    // validate [C, H, W] inside the first op instead.
+    util::check(input.rank() == 1 &&
+                    input.numel() == net_->input_features(),
+                "sample has shape " + input.shape().to_string() +
+                    ", net expects [" +
+                    std::to_string(net_->input_features()) + "]");
   }
   std::unique_lock<std::mutex> lock(mu_);
   space_cv_.wait(lock, [&] {
@@ -80,12 +84,12 @@ std::vector<InferenceServer::Request> InferenceServer::next_batch() {
     }
     if (queue_.empty()) continue;
 
-    // Requests in one tensor must agree on feature count; heterogeneous
+    // Requests in one tensor must agree on sample shape; heterogeneous
     // traffic simply splits into per-shape batches.
     std::vector<Request> batch;
-    const std::size_t features = queue_.front().input.numel();
+    const tensor::Shape sample_shape = queue_.front().input.shape();
     while (!queue_.empty() && batch.size() < config_.max_batch &&
-           queue_.front().input.numel() == features) {
+           queue_.front().input.shape() == sample_shape) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
@@ -100,12 +104,12 @@ void InferenceServer::worker_loop() {
     if (batch.empty()) return;
 
     const std::size_t b = batch.size();
-    const std::size_t features = batch[0].input.numel();
-    tensor::Tensor x({b, features});
+    const std::size_t sample_elems = batch[0].input.numel();
+    tensor::Tensor x{batch[0].input.shape().prepended(b)};
     for (std::size_t i = 0; i < b; ++i) {
-      float* dst = x.raw() + i * features;
+      float* dst = x.raw() + i * sample_elems;
       const float* src = batch[i].input.raw();
-      for (std::size_t j = 0; j < features; ++j) dst[j] = src[j];
+      for (std::size_t j = 0; j < sample_elems; ++j) dst[j] = src[j];
     }
 
     std::vector<double> latencies_ms;

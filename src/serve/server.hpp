@@ -1,13 +1,15 @@
 // InferenceServer: fixed-size thread pool + micro-batching request queue.
 //
-// Clients submit single samples and get a future for the result row. Worker
-// threads coalesce queued requests into [batch, features] tensors — a batch
-// flushes when it reaches `max_batch` OR when the oldest queued request has
-// waited `max_delay_ms` — and run them through a shared CompiledNet (whose
-// forward is const and thread-safe). Batching amortizes the CSR traversal
-// across requests; the delay bound keeps tail latency under control at low
-// load. The queue applies backpressure: submit() blocks while
-// `queue_capacity` requests are already waiting.
+// Clients submit single samples — rank-1 [features] rows for MLPs, rank-3
+// [C, H, W] images for conv nets — and get a future for the result row.
+// Worker threads coalesce queued requests of equal sample shape into
+// [batch, ...] tensors — a batch flushes when it reaches `max_batch` OR
+// when the oldest queued request has waited `max_delay_ms` — and run them
+// through a shared CompiledNet (whose forward is const and thread-safe).
+// Batching amortizes the CSR traversal across requests; the delay bound
+// keeps tail latency under control at low load. The queue applies
+// backpressure: submit() blocks while `queue_capacity` requests are
+// already waiting.
 #pragma once
 
 #include <condition_variable>
@@ -42,10 +44,10 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueues one sample (rank-1 [features]) and returns a future for its
-  /// output row (rank-1). Blocks while the queue is full; throws
-  /// CheckError after shutdown() or on a shape mismatch the net can detect
-  /// up front.
+  /// Enqueues one sample (rank >= 1, WITHOUT a batch axis: [features] or
+  /// [C, H, W]) and returns a future for its output row (rank-1). Blocks
+  /// while the queue is full; throws CheckError after shutdown() or on a
+  /// shape mismatch the net can detect up front.
   std::future<tensor::Tensor> submit(tensor::Tensor input);
 
   /// Idempotent: rejects new submissions, lets workers drain what is
@@ -65,7 +67,7 @@ class InferenceServer {
   };
 
   void worker_loop();
-  /// Pops the next micro-batch (requests of equal feature count, up to
+  /// Pops the next micro-batch (requests of equal sample shape, up to
   /// max_batch, honoring the delay window). Empty result means shutdown.
   std::vector<Request> next_batch();
 

@@ -1,15 +1,16 @@
 #include "sparse/csr.hpp"
 
 #include <cmath>
-#include <thread>
 
+#include "kernels/parallel.hpp"
 #include "util/check.hpp"
 
 namespace dstee::sparse {
 
 CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
-  util::check(dense.rank() == 2, "CSR conversion requires a rank-2 tensor");
-  CsrMatrix m(dense.dim(0), dense.dim(1));
+  util::check(dense.rank() >= 2,
+              "CSR conversion requires a tensor of rank >= 2");
+  CsrMatrix m(dense.dim(0), dense.numel() / dense.dim(0));
   std::size_t nnz = 0;
   for (std::size_t i = 0; i < dense.numel(); ++i) {
     if (std::fabs(dense[i]) > eps) ++nnz;
@@ -31,10 +32,10 @@ CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
 
 CsrMatrix CsrMatrix::from_masked(const MaskedParameter& param) {
   const tensor::Tensor& dense = param.param().value;
-  util::check(dense.rank() == 2,
-              "CSR conversion requires a rank-2 parameter");
+  util::check(dense.rank() >= 2,
+              "CSR conversion requires a parameter of rank >= 2");
   const tensor::Tensor& mask = param.mask().tensor();
-  CsrMatrix m(dense.dim(0), dense.dim(1));
+  CsrMatrix m(dense.dim(0), dense.numel() / dense.dim(0));
   const std::size_t nnz = param.mask().num_active();
   m.col_idx_.reserve(nnz);
   m.values_.reserve(nnz);
@@ -97,26 +98,30 @@ tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
     }
   };
 
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, std::max<std::size_t>(1, rows_));
-  if (num_threads <= 1 || rows_ == 0) {
-    run_rows(0, rows_);
-    return y;
-  }
-
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads - 1);
-  const std::size_t chunk = (rows_ + num_threads - 1) / num_threads;
-  for (std::size_t t = 1; t < num_threads; ++t) {
-    const std::size_t r0 = std::min(rows_, t * chunk);
-    const std::size_t r1 = std::min(rows_, r0 + chunk);
-    if (r0 < r1) workers.emplace_back(run_rows, r0, r1);
-  }
-  run_rows(0, std::min(rows_, chunk));
-  for (auto& w : workers) w.join();
+  kernels::parallel_chunks(rows_, num_threads, run_rows);
   return y;
+}
+
+tensor::Tensor CsrMatrix::spmm_cols(const tensor::Tensor& cols) const {
+  tensor::Tensor y({rows_, cols.rank() == 2 ? cols.dim(1) : 0});
+  spmm_cols_into(cols, y.raw());
+  return y;
+}
+
+void CsrMatrix::spmm_cols_into(const tensor::Tensor& cols, float* out) const {
+  util::check(cols.rank() == 2 && cols.dim(0) == cols_,
+              "spmm_cols expects [cols, n]");
+  const std::size_t n = cols.dim(1);
+  const float* b = cols.raw();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* yr = out + r * n;
+    for (std::size_t j = 0; j < n; ++j) yr[j] = 0.0f;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* br = b + col_idx_[k] * n;
+      for (std::size_t j = 0; j < n; ++j) yr[j] += v * br[j];
+    }
+  }
 }
 
 void CsrMatrix::scale_rows(std::span<const float> scale) {

@@ -20,11 +20,15 @@ namespace dstee::sparse {
 /// Compressed sparse row matrix (float values, row-major logical shape).
 class CsrMatrix {
  public:
-  /// Builds from a dense rank-2 tensor, keeping entries with |v| > eps.
+  /// Builds from a dense tensor of rank >= 2, keeping entries with
+  /// |v| > eps. dim(0) becomes the row count and the remaining axes are
+  /// flattened into columns — exactly the [Cout, Cin·K·K] view a conv
+  /// weight deploys under (rank-2 linear weights are unchanged).
   static CsrMatrix from_dense(const tensor::Tensor& dense, float eps = 0.0f);
 
   /// Builds from a masked parameter (only mask-active entries are stored,
   /// regardless of value — the faithful deployment of a sparse topology).
+  /// Accepts rank >= 2 with the same row/column flattening as from_dense.
   static CsrMatrix from_masked(const MaskedParameter& param);
 
   std::size_t rows() const { return rows_; }
@@ -51,6 +55,17 @@ class CsrMatrix {
   /// runs inline with no thread spawn.
   tensor::Tensor spmm(const tensor::Tensor& x,
                       std::size_t num_threads = 1) const;
+
+  /// Y = A·B for dense B[cols, n] (row-major) → Y[rows, n]: the CSR kernel
+  /// over an im2col patch matrix, whose columns are output positions. Each
+  /// stored entry streams one contiguous B row, so the inner loop stays
+  /// unit-stride for any sparsity pattern.
+  tensor::Tensor spmm_cols(const tensor::Tensor& cols) const;
+
+  /// spmm_cols writing into caller-owned storage of rows()·cols.dim(1)
+  /// floats — the per-image conv path, which writes straight into the
+  /// [N, Cout, Ho, Wo] output tensor without an intermediate.
+  void spmm_cols_into(const tensor::Tensor& cols, float* out) const;
 
   /// Multiplies every stored value in row r by scale[r] (and bias folding
   /// callers adjust their bias separately). Used to fold an eval-mode

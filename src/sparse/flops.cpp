@@ -97,4 +97,14 @@ double FlopsModel::training_flops_with_dense_grad(
   return sparse_step * (every - 1.0) / every + dense_grad_step / every;
 }
 
+double linear_nnz_flops(std::size_t nnz, std::size_t batch) {
+  return 2.0 * static_cast<double>(nnz) * static_cast<double>(batch);
+}
+
+double conv_nnz_flops(std::size_t nnz, std::size_t out_h, std::size_t out_w,
+                      std::size_t batch) {
+  return 2.0 * static_cast<double>(nnz) *
+         static_cast<double>(out_h * out_w) * static_cast<double>(batch);
+}
+
 }  // namespace dstee::sparse

@@ -61,4 +61,17 @@ class FlopsModel {
   std::vector<LayerCost> layers_;
 };
 
+/// nnz-aware kernel costs for the *deployed* (CSR) execution path, used by
+/// serve::CompiledNet to report honest per-model FLOPs. Unlike FlopsModel
+/// — which scales analytic dense costs by a density — these count exactly
+/// the multiply-adds the CSR kernels perform for the stored nonzeros.
+
+/// One sparse Linear forward: 2·nnz FLOPs per sample.
+double linear_nnz_flops(std::size_t nnz, std::size_t batch = 1);
+
+/// One CSR-over-im2col conv forward: every stored weight participates in
+/// one MAC per output position, so 2·nnz·Ho·Wo FLOPs per sample.
+double conv_nnz_flops(std::size_t nnz, std::size_t out_h, std::size_t out_w,
+                      std::size_t batch = 1);
+
 }  // namespace dstee::sparse

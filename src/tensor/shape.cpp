@@ -17,6 +17,14 @@ std::size_t Shape::numel() const {
   return n;
 }
 
+Shape Shape::prepended(std::size_t extent) const {
+  std::vector<std::size_t> dims;
+  dims.reserve(dims_.size() + 1);
+  dims.push_back(extent);
+  dims.insert(dims.end(), dims_.begin(), dims_.end());
+  return Shape(std::move(dims));
+}
+
 std::vector<std::size_t> Shape::strides() const {
   std::vector<std::size_t> s(dims_.size(), 1);
   for (std::size_t i = dims_.size(); i-- > 1;) {

@@ -25,6 +25,11 @@ class Shape {
 
   const std::vector<std::size_t>& dims() const { return dims_; }
 
+  /// This shape with `extent` prepended as a new leading axis — the
+  /// "[batch] + sample dims" construction used wherever single samples
+  /// are stacked into a batch tensor.
+  Shape prepended(std::size_t extent) const;
+
   /// Row-major strides (in elements) for this shape.
   std::vector<std::size_t> strides() const;
 

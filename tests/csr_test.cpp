@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "models/mlp.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/sparse_model.hpp"
+#include "tensor/im2col.hpp"
 #include "tensor/matmul.hpp"
 #include "test_helpers.hpp"
 #include "util/check.hpp"
@@ -182,6 +184,84 @@ TEST_P(CsrDensitySweep, SparseForwardMatchesMaskedDenseMlp) {
 
 INSTANTIATE_TEST_SUITE_P(Densities, CsrDensitySweep,
                          ::testing::Values(0.0, 0.5, 0.9, 0.98));
+
+TEST(Csr, FromDenseFlattensHigherRanksRowMajor) {
+  // A conv weight [Cout, Cin, K, K] converts as [Cout, Cin·K·K] — the same
+  // 2-d view nn::Conv2d lowers to for its matmul.
+  const auto w = random_tensor(tensor::Shape({5, 3, 2, 2}), 31);
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  EXPECT_EQ(csr.rows(), 5u);
+  EXPECT_EQ(csr.cols(), 12u);
+  EXPECT_TRUE(csr.to_dense().equals(w.reshaped(tensor::Shape({5, 12}))));
+}
+
+TEST(Csr, SpmmColsMatchesDenseMatmul) {
+  // Y = A·B over a column-per-position patch matrix, vs the dense kernel.
+  util::Rng rng(7);
+  tensor::Tensor a = random_tensor(tensor::Shape({6, 9}), 41);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    if ((i * 2654435761u) % 10 < 7) a[i] = 0.0f;  // ~70% sparse
+  }
+  const auto csr = sparse::CsrMatrix::from_dense(a);
+  const auto b = random_tensor(tensor::Shape({9, 13}), 42);
+  const auto expected = tensor::matmul(a, b);
+  EXPECT_TRUE(csr.spmm_cols(b).allclose(expected, 1e-5f));
+
+  // The into-variant writes the same values into caller storage.
+  tensor::Tensor out({6, 13});
+  csr.spmm_cols_into(b, out.raw());
+  EXPECT_TRUE(out.allclose(expected, 1e-5f));
+}
+
+TEST(Csr, SpmmColsShapeChecks) {
+  const auto csr =
+      sparse::CsrMatrix::from_dense(random_tensor(tensor::Shape({3, 4}), 1));
+  EXPECT_THROW(csr.spmm_cols(random_tensor(tensor::Shape({5, 2}), 2)),
+               util::CheckError);
+  EXPECT_THROW(csr.spmm_cols(random_tensor(tensor::Shape({4}), 3)),
+               util::CheckError);
+}
+
+TEST(Csr, Im2colSpmmMatchesDenseConvReference) {
+  // The serve-side conv lowering (im2col + spmm_cols with the masked
+  // [Cout, Cin·K·K] matrix) must reproduce nn::Conv2d's dense forward on
+  // the same masked weights, across stride/padding variants.
+  struct Variant {
+    std::size_t kernel, stride, padding;
+  };
+  for (const Variant v : {Variant{3, 1, 1}, Variant{3, 2, 0},
+                          Variant{5, 2, 2}, Variant{1, 1, 0}}) {
+    util::Rng rng(100 + v.kernel * 10 + v.stride);
+    nn::Conv2d conv(3, 6, v.kernel, v.stride, v.padding, rng);
+    // Mask ~60% of the weights to zero (stored-zero topology).
+    auto& w = conv.weight().value;
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      if ((i * 2654435761u) % 10 < 6) w[i] = 0.0f;
+    }
+    conv.set_training(false);
+    const auto x = random_tensor(tensor::Shape({2, 3, 9, 9}), 55);
+    const auto expected = conv.forward(x);
+
+    const auto csr = sparse::CsrMatrix::from_dense(w);
+    tensor::ConvGeometry g;
+    g.in_channels = 3;
+    g.in_h = 9;
+    g.in_w = 9;
+    g.kernel_h = v.kernel;
+    g.kernel_w = v.kernel;
+    g.stride = v.stride;
+    g.padding = v.padding;
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    tensor::Tensor y({2, 6, oh, ow});
+    tensor::Tensor cols({g.patch_size(), oh * ow});
+    for (std::size_t n = 0; n < 2; ++n) {
+      tensor::im2col(x.raw() + n * 3 * 9 * 9, g, cols);
+      csr.spmm_cols_into(cols, y.raw() + n * 6 * oh * ow);
+    }
+    EXPECT_TRUE(y.allclose(expected, 1e-4f))
+        << "k" << v.kernel << " s" << v.stride << " p" << v.padding;
+  }
+}
 
 TEST(Csr, StackValidatesChaining) {
   std::vector<sparse::CsrMatrix> layers;

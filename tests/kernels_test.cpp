@@ -1,0 +1,145 @@
+// src/kernels/ tests: the stateless compute kernels shared by nn/ forward
+// paths and serve/ eval ops, checked against hand-computed references.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "kernels/activations.hpp"
+#include "kernels/conv.hpp"
+#include "kernels/parallel.hpp"
+#include "kernels/pool.hpp"
+#include "nn/conv2d.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+using testing::random_tensor;
+
+TEST(Kernels, ReluMatchesReferenceAndFillsMask) {
+  const tensor::Tensor x(tensor::Shape({2, 3}), {-1, 0, 2, 3, -4, 5});
+  tensor::Tensor mask;
+  const auto y = kernels::relu(x, &mask);
+  EXPECT_TRUE(y.equals(
+      tensor::Tensor(tensor::Shape({2, 3}), {0, 0, 2, 3, 0, 5})));
+  EXPECT_TRUE(mask.equals(
+      tensor::Tensor(tensor::Shape({2, 3}), {0, 0, 1, 1, 0, 1})));
+  // Mask-less path computes the same activation.
+  EXPECT_TRUE(kernels::relu(x).equals(y));
+}
+
+TEST(Kernels, AddReluFusesSumAndClampWithMask) {
+  const tensor::Tensor a(tensor::Shape({4}), {1.0f, -2.0f, 3.0f, -1.0f});
+  const tensor::Tensor b(tensor::Shape({4}), {-2.0f, 1.0f, 2.0f, 1.5f});
+  tensor::Tensor mask;
+  const auto y = kernels::add_relu(a, b, &mask);
+  EXPECT_TRUE(y.equals(tensor::Tensor(tensor::Shape({4}), {0, 0, 5, 0.5f})));
+  EXPECT_TRUE(mask.equals(tensor::Tensor(tensor::Shape({4}), {0, 0, 1, 1})));
+  EXPECT_TRUE(kernels::add_relu(a, b).equals(y));
+  EXPECT_THROW(
+      kernels::add_relu(a, random_tensor(tensor::Shape({2, 2}), 1)),
+      util::CheckError);
+}
+
+TEST(Kernels, LeakyReluSigmoidTanhMatchReference) {
+  const tensor::Tensor x(tensor::Shape({4}), {-2.0f, -0.5f, 0.0f, 1.5f});
+  const auto leaky = kernels::leaky_relu(x, 0.1f);
+  EXPECT_NEAR(leaky[0], -0.2f, 1e-6f);
+  EXPECT_NEAR(leaky[3], 1.5f, 1e-6f);
+  const auto sig = kernels::sigmoid(x);
+  const auto th = kernels::tanh(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sig[i], 1.0f / (1.0f + std::exp(-x[i])), 1e-6f);
+    EXPECT_NEAR(th[i], std::tanh(x[i]), 1e-6f);
+  }
+}
+
+TEST(Kernels, MaxPoolSelectsWindowMaximaAndArgmax) {
+  // One 1×1×4×4 plane with known maxima per 2×2 window.
+  const tensor::Tensor x(tensor::Shape({1, 1, 4, 4}),
+                         {1, 2, 3, 4,
+                          5, 6, 7, 8,
+                          9, 1, 2, 3,
+                          4, 5, 6, 7});
+  std::vector<std::size_t> argmax;
+  const auto y = kernels::maxpool2d(x, 2, 2, &argmax);
+  EXPECT_TRUE(y.equals(tensor::Tensor(tensor::Shape({1, 1, 2, 2}),
+                                      {6, 8, 9, 7})));
+  EXPECT_EQ(argmax, (std::vector<std::size_t>{5, 7, 8, 15}));
+  // Overlapping windows (stride 1).
+  const auto y1 = kernels::maxpool2d(x, 2, 1);
+  EXPECT_EQ(y1.shape(), tensor::Shape({1, 1, 3, 3}));
+  EXPECT_FLOAT_EQ(y1[0], 6.0f);
+}
+
+TEST(Kernels, AvgAndGlobalPoolMatchReference) {
+  const tensor::Tensor x(tensor::Shape({1, 2, 2, 2}),
+                         {1, 2, 3, 4, 10, 20, 30, 40});
+  const auto avg = kernels::avgpool2d(x, 2);
+  EXPECT_TRUE(
+      avg.equals(tensor::Tensor(tensor::Shape({1, 2, 1, 1}), {2.5f, 25.0f})));
+  const auto gap = kernels::global_avg_pool(x);
+  EXPECT_TRUE(
+      gap.equals(tensor::Tensor(tensor::Shape({1, 2}), {2.5f, 25.0f})));
+}
+
+TEST(Kernels, PoolShapeChecks) {
+  EXPECT_THROW(kernels::maxpool2d(random_tensor(tensor::Shape({2, 3}), 1), 2,
+                                  2),
+               util::CheckError);
+  EXPECT_THROW(
+      kernels::avgpool2d(random_tensor(tensor::Shape({1, 1, 3, 3}), 2), 4),
+      util::CheckError);
+  EXPECT_THROW(
+      kernels::global_avg_pool(random_tensor(tensor::Shape({4, 4}), 3)),
+      util::CheckError);
+}
+
+TEST(Kernels, Conv2dForwardMatchesModuleForward) {
+  // The kernel IS nn::Conv2d's forward; cross-check through the public
+  // module anyway so a future divergence in either wrapper is caught.
+  util::Rng rng(9);
+  nn::Conv2d conv(2, 5, 3, 2, 1, rng, /*with_bias=*/true);
+  conv.bias().value[2] = 0.7f;
+  const auto x = random_tensor(tensor::Shape({3, 2, 7, 7}), 10);
+  const auto expected = conv.forward(x);
+
+  const auto w2d =
+      conv.weight().value.reshaped(tensor::Shape({5, 2 * 3 * 3}));
+  const auto y =
+      kernels::conv2d_forward(x, w2d, 3, 2, 1, conv.bias().value.raw());
+  EXPECT_TRUE(y.allclose(expected, 1e-6f));
+}
+
+TEST(Kernels, AddChannelBiasBroadcastsPerPlane) {
+  tensor::Tensor y(tensor::Shape({1, 2, 1, 2}), {1, 2, 3, 4});
+  const float bias[2] = {10.0f, 20.0f};
+  kernels::add_channel_bias(y, bias);
+  EXPECT_TRUE(y.equals(
+      tensor::Tensor(tensor::Shape({1, 2, 1, 2}), {11, 12, 23, 24})));
+}
+
+TEST(Kernels, ParallelChunksCoversRangeExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{16}, std::size_t{0}}) {
+    std::vector<std::atomic<int>> hits(13);
+    kernels::parallel_chunks(13, threads, [&](std::size_t b0,
+                                              std::size_t b1) {
+      for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  // Empty range still invokes fn once with an empty chunk.
+  bool called = false;
+  kernels::parallel_chunks(0, 4, [&](std::size_t b0, std::size_t b1) {
+    called = true;
+    EXPECT_EQ(b0, b1);
+  });
+  EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace dstee

@@ -12,15 +12,19 @@
 
 #include "methods/dst_engine.hpp"
 #include "models/mlp.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/flatten.hpp"
+#include "nn/linear.hpp"
 #include "nn/losses.hpp"
 #include "nn/pooling.hpp"
 #include "optim/optimizer.hpp"
 #include "serve/compiled_net.hpp"
 #include "serve/server.hpp"
+#include "sparse/flops.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
 #include "test_helpers.hpp"
@@ -108,37 +112,228 @@ TEST(CompiledNet, DenseFallbackWithoutSparseState) {
   EXPECT_LE(net.total_nnz(), h.smodel.total_active());
 }
 
-TEST(CompiledNet, PoolingAndFlattenMatchTrainingLayers) {
-  // The serve pool ops re-implement the nn forward loops statelessly;
-  // this equivalence test pins them together so a future edit to either
-  // side cannot silently desynchronize train-time and serve-time shapes.
-  nn::Sequential seq;
-  seq.emplace<nn::MaxPool2d>(2);
-  seq.emplace<nn::AvgPool2d>(2);
-  seq.emplace<nn::GlobalAvgPool>();
-  seq.emplace<nn::LeakyReLU>(0.1f);
-  seq.set_training(false);
+// nn/ and serve/ share the stateless kernels in src/kernels/, so there is
+// no separate pooling/activation equivalence test pinning the two sides —
+// the conv/VGG/ResNet end-to-end comparisons below cover composition.
 
-  const auto x = random_tensor(tensor::Shape({3, 4, 16, 16}), 71);
-  const auto net = serve::CompiledNet::compile(seq);
-  EXPECT_EQ(net.num_ops(), 4u);
-  EXPECT_TRUE(net.forward(x).allclose(seq.forward(x), 1e-6f));
-
-  nn::Sequential flat;
-  flat.emplace<nn::Flatten>();
-  flat.emplace<nn::Sigmoid>();
-  flat.set_training(false);
-  const auto xf = random_tensor(tensor::Shape({2, 3, 5, 5}), 72);
-  EXPECT_TRUE(serve::CompiledNet::compile(flat).forward(xf).allclose(
-      flat.forward(xf), 1e-6f));
-}
+/// A layer the compiler has no lowering for.
+struct UnloweredModule final : nn::Module {
+  tensor::Tensor forward(const tensor::Tensor& x) override { return x; }
+  tensor::Tensor backward(const tensor::Tensor& g) override { return g; }
+  std::string name() const override { return "unlowered_test_module"; }
+};
 
 TEST(CompiledNet, RejectsUnsupportedLayers) {
-  util::Rng rng(6);
   nn::Sequential seq;
-  seq.emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+  seq.emplace<UnloweredModule>();
   seq.set_training(false);
   EXPECT_THROW(serve::CompiledNet::compile(seq), util::CheckError);
+}
+
+// --- conv lowering: CSR over im2col patches -----------------------------
+
+/// Conv chains across stride/padding/bias/BN variants must reproduce the
+/// eval-mode dense forward.
+TEST(CompiledNet, ConvChainMatchesDenseEval) {
+  struct Variant {
+    std::size_t kernel, stride, padding;
+    bool bias, batch_norm;
+  };
+  const Variant variants[] = {
+      {3, 1, 1, false, false}, {3, 2, 0, true, false},
+      {5, 2, 2, false, true},  {1, 1, 0, true, true},
+  };
+  for (const Variant& v : variants) {
+    util::Rng rng(7 + v.kernel + v.stride);
+    nn::Sequential seq;
+    seq.emplace<nn::Conv2d>(3, 6, v.kernel, v.stride, v.padding, rng,
+                            v.bias);
+    if (v.batch_norm) seq.emplace<nn::BatchNorm2d>(6);
+    seq.emplace<nn::ReLU>();
+    seq.emplace<nn::Conv2d>(6, 4, 3, 1, 1, rng, v.bias);
+    if (v.batch_norm) seq.emplace<nn::BatchNorm2d>(4);
+    seq.emplace<nn::GlobalAvgPool>();
+    // Move BN running stats off init before eval.
+    seq.forward(random_tensor(tensor::Shape({6, 3, 11, 11}), 80));
+    seq.set_training(false);
+
+    const auto net = serve::CompiledNet::compile(seq);
+    const auto x = random_tensor(tensor::Shape({3, 3, 11, 11}), 81);
+    EXPECT_TRUE(net.forward(x).allclose(seq.forward(x), 1e-4f))
+        << "k" << v.kernel << " s" << v.stride << " p" << v.padding
+        << " bias=" << v.bias << " bn=" << v.batch_norm;
+    // Eval-BN folds into the conv CSR: op count is unchanged by BN.
+    EXPECT_EQ(net.num_ops(), 4u);
+    EXPECT_EQ(net.num_sparse_ops(), 2u);
+  }
+}
+
+TEST(CompiledNet, ConvIntraOpThreadsAreBitIdentical) {
+  util::Rng rng(15);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(3, 6, 3, 1, 1, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::Conv2d>(6, 4, 3, 2, 1, rng);
+  seq.set_training(false);
+
+  const auto serial = serve::CompiledNet::compile(seq);
+  serve::CompileOptions threaded_opts;
+  threaded_opts.intra_op_threads = 3;
+  const auto threaded = serve::CompiledNet::compile(seq, nullptr,
+                                                    threaded_opts);
+  // Image-parallel conv gives every output element exactly one writer, so
+  // any thread count must produce identical bits (batch 7 does not divide
+  // evenly across 3 workers on purpose).
+  const auto x = random_tensor(tensor::Shape({7, 3, 9, 9}), 16);
+  EXPECT_TRUE(threaded.forward(x).equals(serial.forward(x)));
+}
+
+TEST(CompiledNet, ConvMaskedTopologyDeploysFaithfully) {
+  util::Rng rng(12);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::GlobalAvgPool>();
+  seq.emplace<nn::Linear>(8, 5, rng);
+  sparse::SparseModel smodel(seq, 0.8, sparse::DistributionKind::kErk, rng);
+  seq.set_training(false);
+
+  const auto net = serve::CompiledNet::compile(seq, &smodel);
+  // Conv nnz now counts toward the model totals (not just Linear).
+  EXPECT_EQ(net.total_nnz(), smodel.total_active());
+  EXPECT_EQ(net.total_weights(), smodel.total_weights());
+  const auto x = random_tensor(tensor::Shape({2, 3, 7, 7}), 13);
+  EXPECT_TRUE(net.forward(x).allclose(seq.forward(x), 1e-4f));
+}
+
+TEST(CompiledNet, FlopsPerSampleCountsConvNnz) {
+  util::Rng rng(19);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+  sparse::SparseModel smodel(seq, 0.5, sparse::DistributionKind::kUniform,
+                             rng);
+  seq.set_training(false);
+  const auto net = serve::CompiledNet::compile(seq, &smodel);
+
+  // 6x6 input, k3 s1 p1 → 6x6 output positions; 2 FLOPs per stored weight
+  // per position.
+  const tensor::Shape sample({3, 6, 6});
+  EXPECT_DOUBLE_EQ(net.flops_per_sample(sample),
+                   sparse::conv_nnz_flops(net.total_nnz(), 6, 6));
+  EXPECT_DOUBLE_EQ(net.dense_flops_per_sample(sample),
+                   sparse::conv_nnz_flops(8 * 3 * 3 * 3, 6, 6));
+  EXPECT_LT(net.flops_per_sample(sample),
+            net.dense_flops_per_sample(sample));
+}
+
+TEST(CompiledNet, VggCompilesAndMatchesDenseEval) {
+  models::VggConfig cfg;
+  cfg.depth = 11;
+  cfg.image_size = 8;
+  cfg.num_classes = 5;
+  cfg.width_multiplier = 0.08;  // tiny stages, full topology
+  util::Rng rng(3);
+  models::Vgg vgg(cfg, rng);
+  sparse::SparseModel smodel(vgg, 0.9, sparse::DistributionKind::kErk, rng);
+  vgg.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 90));
+  vgg.set_training(false);
+
+  const auto net = serve::CompiledNet::compile(vgg, &smodel);
+  EXPECT_EQ(net.total_nnz(), smodel.total_active());
+  EXPECT_EQ(net.num_residual_joins(), 0u);
+  const auto x = random_tensor(tensor::Shape({3, 3, 8, 8}), 91);
+  EXPECT_TRUE(net.forward(x).allclose(vgg.forward(x), 1e-4f));
+}
+
+// --- residual op-graph --------------------------------------------------
+
+TEST(CompiledNet, ResNetCompilesAndMatchesDenseEval) {
+  for (const int depth : {18, 50}) {
+    models::ResNetConfig cfg;
+    cfg.depth = depth;
+    cfg.image_size = 8;
+    cfg.num_classes = 4;
+    cfg.width_multiplier = 0.07;
+    util::Rng rng(4);
+    models::ResNet resnet(cfg, rng);
+    sparse::SparseModel smodel(resnet, 0.85, sparse::DistributionKind::kErk,
+                               rng);
+    resnet.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 92));
+    resnet.set_training(false);
+
+    const auto net = serve::CompiledNet::compile(resnet, &smodel);
+    // One add+ReLU join per residual block: 8 blocks for depth 18, 16 for
+    // depth 50 ({3,4,6,3} bottleneck).
+    EXPECT_EQ(net.num_residual_joins(), depth == 18 ? 8u : 16u);
+    EXPECT_EQ(net.total_nnz(), smodel.total_active());
+    const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 93);
+    EXPECT_TRUE(net.forward(x).allclose(resnet.forward(x), 1e-4f))
+        << "depth " << depth;
+  }
+}
+
+TEST(ServeCheckpoint, ResNetRoundTripsThroughDisk) {
+  const std::string path = "serve_ckpt/serve_resnet_roundtrip.bin";
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+
+  util::Rng rng(41);
+  models::ResNet resnet(cfg, rng);
+  sparse::SparseModel smodel(resnet, 0.85, sparse::DistributionKind::kErk,
+                             rng);
+  resnet.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 94));
+  resnet.set_training(false);
+
+  const auto in_memory = serve::CompiledNet::compile(resnet, &smodel);
+  train::save_checkpoint(path, resnet, &smodel);
+
+  // Fresh init, fresh topology — everything must come from the file,
+  // including conv masks and BN running statistics.
+  util::Rng rng2(77);
+  models::ResNet loaded(cfg, rng2);
+  sparse::SparseModel loaded_state(loaded, 0.85,
+                                   sparse::DistributionKind::kErk, rng2);
+  const auto from_disk =
+      serve::CompiledNet::from_checkpoint(path, loaded, &loaded_state);
+
+  EXPECT_EQ(from_disk.total_nnz(), in_memory.total_nnz());
+  const auto x = random_tensor(tensor::Shape({3, 3, 8, 8}), 95);
+  EXPECT_TRUE(from_disk.forward(x).allclose(in_memory.forward(x), 1e-7f));
+  EXPECT_TRUE(from_disk.forward(x).allclose(resnet.forward(x), 1e-4f));
+}
+
+TEST(Server, ServesConvSamplesBatchedByShape) {
+  util::Rng rng(21);
+  nn::Sequential seq;
+  seq.emplace<nn::Conv2d>(3, 4, 3, 1, 1, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::GlobalAvgPool>();
+  seq.set_training(false);
+  const auto net = serve::CompiledNet::compile(seq);
+
+  serve::ServerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 0.5;
+  serve::InferenceServer server(net, cfg);
+
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({3, 6, 6}), 200 + i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const auto x = random_tensor(tensor::Shape({3, 6, 6}), 200 + i);
+    const auto expected =
+        net.forward(x.reshaped(tensor::Shape({1, 3, 6, 6})));
+    EXPECT_TRUE(futures[static_cast<std::size_t>(i)].get().allclose(
+        expected.reshaped(tensor::Shape({4})), 1e-6f));
+  }
+  server.shutdown();
+  EXPECT_EQ(server.stats().requests, 8u);
 }
 
 TEST(ServerStats, PercentilesAreInterpolated) {

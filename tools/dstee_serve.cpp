@@ -1,27 +1,37 @@
 // dstee_serve — sparse inference server + closed-loop load generator.
 //
-// Compiles an MLP into a CSR CompiledNet, starts an InferenceServer
-// (thread pool + micro-batching queue), drives it with closed-loop client
-// threads, and reports latency percentiles and throughput.
+// Compiles an MLP, VGG or ResNet into a CSR CompiledNet (Linear → SpMM,
+// Conv2d → im2col + SpMM over patches, residual adds as graph joins),
+// starts an InferenceServer (thread pool + micro-batching queue), drives
+// it with closed-loop client threads, and reports latency percentiles and
+// throughput.
 //
 //   # serve a checkpoint trained by dstee_run (same architecture flags):
 //   ./build/tools/dstee_run --model mlp --sparsity 0.95 --checkpoint m.bin
 //   ./build/tools/dstee_serve --checkpoint m.bin --in 32 --hidden 128,128
 //       --out 8 --clients 8 --requests 4000
+//   # serve a VGG-19 checkpoint (conv layers deploy as CSR over im2col):
+//   ./build/tools/dstee_run --model vgg19 --sparsity 0.9 --checkpoint v.bin
+//   ./build/tools/dstee_serve --model vgg19 --checkpoint v.bin
+//       --image-size 12 --classes 8 --width 0.1
 //   # or serve a randomly-initialized sparse topology (no checkpoint):
-//   ./build/tools/dstee_serve --sparsity 0.9 --requests 2000
+//   ./build/tools/dstee_serve --model resnet18 --sparsity 0.9
 // (join wrapped lines when copying; see --help for the full flag set)
 #include <atomic>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "models/mlp.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
 #include "serve/compiled_net.hpp"
 #include "serve/server.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
+#include "train/checkpoint.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
@@ -42,18 +52,78 @@ std::vector<std::size_t> parse_hidden(const std::string& text) {
   return sizes;
 }
 
+/// A servable model: the module tree plus the shapes the load generator
+/// needs (per-sample input shape, output feature count).
+struct ServeModel {
+  std::unique_ptr<nn::Sequential> module;
+  tensor::Shape sample_shape;
+  std::size_t out_features = 0;
+};
+
+ServeModel build_model(const util::ArgParser& args, bool smoke,
+                       util::Rng& rng) {
+  const std::string kind = args.get_string("model");
+  ServeModel m;
+  if (kind == "mlp") {
+    models::MlpConfig mcfg;
+    mcfg.in_features = static_cast<std::size_t>(args.get_int("in"));
+    mcfg.hidden = parse_hidden(args.get_string("hidden"));
+    mcfg.out_features = static_cast<std::size_t>(args.get_int("out"));
+    mcfg.batch_norm = args.get_bool("batch-norm");
+    if (smoke) mcfg.hidden = {32, 32};
+    m.module = std::make_unique<models::Mlp>(mcfg, rng);
+    m.sample_shape = tensor::Shape({mcfg.in_features});
+    m.out_features = mcfg.out_features;
+    return m;
+  }
+  const std::size_t image_size =
+      smoke ? 8 : static_cast<std::size_t>(args.get_int("image-size"));
+  const std::size_t classes =
+      static_cast<std::size_t>(args.get_int("classes"));
+  const double width = args.get_double("width");
+  if (kind == "vgg19") {
+    models::VggConfig vcfg;
+    vcfg.depth = 19;
+    vcfg.image_size = image_size;
+    vcfg.num_classes = classes;
+    vcfg.width_multiplier = width;
+    m.module = std::make_unique<models::Vgg>(vcfg, rng);
+  } else if (kind == "resnet18" || kind == "resnet50") {
+    models::ResNetConfig rcfg;
+    rcfg.depth = kind == "resnet18" ? 18 : 50;
+    rcfg.image_size = image_size;
+    rcfg.num_classes = classes;
+    rcfg.width_multiplier = width;
+    m.module = std::make_unique<models::ResNet>(rcfg, rng);
+  } else {
+    util::fail("unknown model: " + kind +
+               " (expected mlp | vgg19 | resnet18 | resnet50)");
+  }
+  m.sample_shape = tensor::Shape({3, image_size, image_size});
+  m.out_features = classes;
+  return m;
+}
+
+tensor::Tensor batched(const tensor::Shape& sample, std::size_t batch) {
+  return tensor::Tensor{sample.prepended(batch)};
+}
+
 int run(int argc, const char* const* argv) {
   util::ArgParser args(
-      "dstee_serve — compile a (sparse) MLP to CSR ops and serve it with a "
-      "micro-batching thread pool under closed-loop load.");
-  args.add_flag("checkpoint",
+      "dstee_serve — compile a (sparse) MLP/VGG/ResNet to CSR ops and serve "
+      "it with a micro-batching thread pool under closed-loop load.");
+  args.add_flag("model", "mlp | vgg19 | resnet18 | resnet50", "mlp")
+      .add_flag("checkpoint",
                 "dstee_run checkpoint to load (empty = random weights with "
                 "a fresh random sparse topology)",
                 "")
-      .add_flag("in", "input features", "32")
-      .add_flag("hidden", "comma-separated hidden sizes", "128,128")
-      .add_flag("out", "output classes", "8")
+      .add_flag("in", "input features (mlp)", "32")
+      .add_flag("hidden", "comma-separated hidden sizes (mlp)", "128,128")
+      .add_flag("out", "output classes (mlp)", "8")
       .add_flag("batch-norm", "build the MLP with batch-norm", "false")
+      .add_flag("image-size", "input resolution (vgg/resnet)", "12")
+      .add_flag("classes", "output classes (vgg/resnet)", "8")
+      .add_flag("width", "width multiplier (vgg/resnet)", "0.1")
       .add_flag("sparsity", "topology sparsity when no checkpoint", "0.9")
       .add_flag("threads", "server worker threads", "2")
       .add_flag("max-batch", "micro-batch flush size", "16")
@@ -69,44 +139,63 @@ int run(int argc, const char* const* argv) {
   if (!args.parse(argc, argv)) return 0;
 
   const bool smoke = args.get_bool("smoke");
-
-  models::MlpConfig mcfg;
-  mcfg.in_features = static_cast<std::size_t>(args.get_int("in"));
-  mcfg.hidden = parse_hidden(args.get_string("hidden"));
-  mcfg.out_features = static_cast<std::size_t>(args.get_int("out"));
-  mcfg.batch_norm = args.get_bool("batch-norm");
-  if (smoke) mcfg.hidden = {32, 32};
-
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
-  models::Mlp model(mcfg, rng);
-  model.set_training(false);
+  ServeModel m = build_model(args, smoke, rng);
+  std::string ckpt = args.get_string("checkpoint");
+
+  // Randomly-initialized conv nets carry batch-norm: push a few
+  // training-mode batches through so running statistics move off init and
+  // eval-BN folding is non-trivial. Pointless (and skipped) when a
+  // checkpoint will overwrite every parameter and BN buffer anyway.
+  if (ckpt.empty() && m.sample_shape.rank() == 3) {
+    util::Rng warm_rng(rng.fork("bn-warmup"));
+    for (int i = 0; i < 2; ++i) {
+      tensor::Tensor warm = batched(m.sample_shape, 4);
+      tensor::fill_normal(warm, warm_rng, 0.0f, 1.0f);
+      m.module->forward(warm);
+    }
+  }
+  m.module->set_training(false);
 
   serve::CompileOptions copts;
   copts.intra_op_threads =
       static_cast<std::size_t>(args.get_int("intra-threads"));
 
-  const std::string ckpt = args.get_string("checkpoint");
   std::optional<sparse::SparseModel> smodel;
+  if (ckpt.empty()) {
+    smodel.emplace(*m.module, args.get_double("sparsity"),
+                   sparse::DistributionKind::kErk, rng);
+    if (smoke && m.sample_shape.rank() == 3) {
+      // Smoke for conv models exercises the full artifact path: write the
+      // random-topology model out as a checkpoint and serve THAT.
+      ckpt = "serve_smoke_" + args.get_string("model") + ".bin";
+      train::save_checkpoint(ckpt, *m.module, &*smodel);
+    }
+  }
   serve::CompiledNet net = [&] {
     if (!ckpt.empty()) {
       // dstee_run saves parameter values only; masked weights are stored
       // as exact zeros, so dense_eps=0 recovers the trained topology.
-      return serve::CompiledNet::from_checkpoint(ckpt, model, nullptr,
-                                                 copts);
+      return serve::CompiledNet::from_checkpoint(
+          ckpt, *m.module, smodel ? &*smodel : nullptr, copts);
     }
-    smodel.emplace(model, args.get_double("sparsity"),
-                   sparse::DistributionKind::kErk, rng);
-    return serve::CompiledNet::compile(model, &*smodel, copts);
+    return serve::CompiledNet::compile(*m.module, &*smodel, copts);
   }();
   std::cout << net.summary();
+  const double sp_flops = net.flops_per_sample(m.sample_shape);
+  const double dn_flops = net.dense_flops_per_sample(m.sample_shape);
+  std::cout << "flops/sample: " << util::format_fixed(sp_flops, 0)
+            << " sparse vs " << util::format_fixed(dn_flops, 0)
+            << " dense (" << util::format_fixed(dn_flops / sp_flops, 1)
+            << "x compression)\n";
 
   // Sanity: the compiled program must reproduce the eval-mode dense
   // forward. Cheap, and turns --smoke into a real correctness gate.
   {
-    tensor::Tensor probe({4, mcfg.in_features});
+    tensor::Tensor probe = batched(m.sample_shape, 4);
     util::Rng probe_rng(rng.fork("probe"));
     tensor::fill_normal(probe, probe_rng, 0.0f, 1.0f);
-    const tensor::Tensor dense_out = model.forward(probe);
+    const tensor::Tensor dense_out = m.module->forward(probe);
     const tensor::Tensor compiled_out = net.forward(probe);
     util::check(compiled_out.allclose(dense_out, 1e-4f),
                 "compiled forward diverged from dense eval forward");
@@ -138,11 +227,11 @@ int run(int argc, const char* const* argv) {
     util::Rng crng(static_cast<std::uint64_t>(args.get_int("seed")) + 1000 +
                    client_id);
     while (next.fetch_add(1) < total_requests) {
-      tensor::Tensor sample({mcfg.in_features});
+      tensor::Tensor sample(m.sample_shape);
       tensor::fill_normal(sample, crng, 0.0f, 1.0f);
       try {
         const tensor::Tensor out = server.submit(std::move(sample)).get();
-        if (out.numel() != mcfg.out_features) failures.fetch_add(1);
+        if (out.numel() != m.out_features) failures.fetch_add(1);
       } catch (const std::exception&) {
         failures.fetch_add(1);
       }
