@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "kernels/parallel.hpp"
 #include "methods/drop_policy.hpp"
 #include "methods/dst_engine.hpp"
 #include "methods/grow_policy.hpp"
@@ -174,6 +175,41 @@ void BM_CsrSpmmCols(benchmark::State& state) {
   state.counters["density"] = csr.density();
 }
 BENCHMARK(BM_CsrSpmmCols)->Arg(5)->Arg(10)->Arg(50)->Arg(100);
+
+// Fan-out mechanism overhead: the persistent runtime pool vs the retired
+// per-call thread spawn, on a body small enough that dispatch dominates —
+// the regime every batch<=8 serving SpMM lives in.
+void BM_FanoutPool(benchmark::State& state) {
+  const auto chunks = static_cast<std::size_t>(state.range(0));
+  std::vector<float> data(4096, 1.0f);
+  std::vector<float> sums(chunks + 1, 0.0f);
+  for (auto _ : state) {
+    runtime::default_pool().run_chunks(
+        data.size(), chunks, [&](std::size_t b0, std::size_t b1) {
+          float acc = 0.0f;
+          for (std::size_t i = b0; i < b1; ++i) acc += data[i];
+          sums[b0 / ((data.size() + chunks - 1) / chunks)] = acc;
+        });
+    benchmark::DoNotOptimize(sums.data());
+  }
+}
+BENCHMARK(BM_FanoutPool)->Arg(2)->Arg(4);
+
+void BM_FanoutSpawn(benchmark::State& state) {
+  const auto chunks = static_cast<std::size_t>(state.range(0));
+  std::vector<float> data(4096, 1.0f);
+  std::vector<float> sums(chunks + 1, 0.0f);
+  for (auto _ : state) {
+    kernels::spawn_chunks(
+        data.size(), chunks, [&](std::size_t b0, std::size_t b1) {
+          float acc = 0.0f;
+          for (std::size_t i = b0; i < b1; ++i) acc += data[i];
+          sums[b0 / ((data.size() + chunks - 1) / chunks)] = acc;
+        });
+    benchmark::DoNotOptimize(sums.data());
+  }
+}
+BENCHMARK(BM_FanoutSpawn)->Arg(2)->Arg(4);
 
 void BM_EngineUpdateRound(benchmark::State& state) {
   util::Rng rng(15);

@@ -1,4 +1,5 @@
-// serve_throughput — dense eval forward vs. compiled-CSR forward.
+// serve_throughput — dense eval forward vs. compiled-CSR forward, plus
+// the runtime-pool scaling story.
 //
 // The deployment claim of the sparse-training story: once the topology is
 // fixed, inference cost should track density. This bench sweeps sparsity
@@ -8,12 +9,25 @@
 // speedup. Rows land in bench_results/serve_throughput.csv with a
 // `workload` column.
 //
+// Two runtime sweeps follow: (1) intra-op SpMM on the persistent pool vs
+// the retired per-call thread spawn at small batches, where spawn
+// latency dominates the kernel — the reason the pool exists; (2)
+// InferenceServer aggregate throughput across shard counts (replicated
+// CompiledNets, round-robin routing). Both land in
+// bench_results/serve_scaling.csv.
+//
 // DSTEE_SCALE scales the model width; DSTEE_SERVE_MIN_TIME (seconds, default
 // 0.15) controls per-cell measurement time.
+#include <atomic>
+#include <cmath>
+#include <future>
+
 #include "bench_common.hpp"
+#include "kernels/parallel.hpp"
 #include "models/mlp.hpp"
 #include "models/vgg.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/server.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
 
@@ -79,6 +93,164 @@ void sweep_batches(nn::Sequential& model, const serve::CompiledNet& net,
                    util::format_fixed(speedup, 3),
                    std::to_string(net.total_nnz()),
                    util::format_fixed(net.density(), 4)});
+  }
+}
+
+/// SpMM through the persistent pool vs. the retired per-call spawn, at
+/// the small batches where a server actually lives. The spawn baseline
+/// reproduces CsrMatrix::spmm's exact loop over the public CSR arrays so
+/// only the fan-out mechanism differs.
+void sweep_intra_op_pool(double min_time, util::CsvWriter& csv) {
+  const std::size_t n = 512;
+  const std::size_t intra = 4;
+  util::Rng rng(29);
+  tensor::Tensor w({n, n});
+  tensor::fill_normal(w, rng, 0.0f, 1.0f);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(0.1)) w[i] = 0.0f;
+  }
+  const sparse::CsrMatrix csr = sparse::CsrMatrix::from_dense(w);
+
+  auto spawn_spmm = [&](const tensor::Tensor& x) {
+    const std::size_t batch = x.dim(0);
+    tensor::Tensor y({batch, csr.rows()});
+    kernels::spawn_chunks(csr.rows(), intra, [&](std::size_t r0,
+                                                 std::size_t r1) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float* xn = x.raw() + b * csr.cols();
+        float* yn = y.raw() + b * csr.rows();
+        for (std::size_t r = r0; r < r1; ++r) {
+          float acc = 0.0f;
+          for (std::size_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1];
+               ++k) {
+            acc += csr.values()[k] * xn[csr.col_idx()[k]];
+          }
+          yn[r] = acc;
+        }
+      }
+    });
+    return y;
+  };
+
+  std::cout << "intra-op fan-out: persistent pool vs per-call spawn "
+            << "(512x512 @ 90% sparse, " << intra << " chunks)\n";
+  util::Table table({"batch", "spawn rows/s", "pool rows/s", "speedup"});
+  double speedup_product = 1.0;
+  std::size_t cells = 0;
+  for (const std::size_t batch : {1u, 2u, 4u, 8u}) {
+    tensor::Tensor x({batch, n});
+    util::Rng xrng(100 + batch);
+    tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+    // Correctness first: both fan-outs must agree bit-for-bit.
+    util::check(
+        csr.spmm(x, runtime::IntraOp{intra, nullptr}).equals(spawn_spmm(x)),
+        "pool and spawn SpMM diverged");
+    const double spawn_rate =
+        measure_rows_per_s([&] { spawn_spmm(x); }, batch, min_time);
+    const double pool_rate = measure_rows_per_s(
+        [&] { csr.spmm(x, runtime::IntraOp{intra, nullptr}); }, batch,
+        min_time);
+    const double speedup = pool_rate / spawn_rate;
+    speedup_product *= speedup;
+    ++cells;
+    table.add_row({std::to_string(batch), util::format_fixed(spawn_rate, 0),
+                   util::format_fixed(pool_rate, 0),
+                   util::format_fixed(speedup, 2) + "x"});
+    csv.write_row({"intra_op", "1", std::to_string(intra),
+                   std::to_string(batch), util::format_fixed(spawn_rate, 1),
+                   util::format_fixed(pool_rate, 1),
+                   util::format_fixed(speedup, 3)});
+  }
+  std::cout << table.render() << "\n";
+  const double mean_speedup =
+      std::pow(speedup_product, 1.0 / static_cast<double>(cells));
+  bench::shape_check(
+      "persistent pool beats per-call spawn at batch <= 8 (geomean)",
+      mean_speedup > 1.0);
+}
+
+/// Closed-loop aggregate throughput of the sharded InferenceServer. Each
+/// shard owns a replica and its own worker; shards are the scaling knob.
+double measure_server_rps(const serve::CompiledNet& net,
+                          const tensor::Shape& sample_shape,
+                          std::size_t shards, std::size_t clients,
+                          double seconds, serve::StatsSnapshot& out_stats) {
+  serve::ServerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.num_shards = shards;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 0.2;
+  serve::InferenceServer server(net, cfg);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  auto client = [&](std::size_t id) {
+    util::Rng crng(900 + id);
+    while (!stop.load(std::memory_order_relaxed)) {
+      tensor::Tensor sample(sample_shape);
+      tensor::fill_normal(sample, crng, 0.0f, 1.0f);
+      server.submit(std::move(sample)).get();
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client, c);
+  while (wall.seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.seconds();
+  server.shutdown();
+  out_stats = server.stats();
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+void sweep_shards(const bench::BenchEnv& env, double min_time,
+                  util::CsvWriter& csv) {
+  models::MlpConfig cfg;
+  cfg.in_features = env.scaled(256, 32);
+  cfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
+  cfg.out_features = 10;
+  util::Rng rng(41);
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel smodel(model, 0.9, sparse::DistributionKind::kErk,
+                             rng);
+  model.set_training(false);
+  const serve::CompiledNet net = serve::CompiledNet::compile(model, &smodel);
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const double seconds = std::max(0.3, min_time * 3.0);
+  const std::size_t clients = 8;
+
+  std::cout << "sharded serving: aggregate closed-loop throughput ("
+            << clients << " clients, 1 worker/shard, " << hw
+            << " hw threads)\n";
+  util::Table table({"shards", "req/s", "p50 ms", "p99 ms", "queue peak"});
+  double rps_1 = 0.0, rps_n = 0.0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    serve::StatsSnapshot stats;
+    const double rps = measure_server_rps(
+        net, tensor::Shape({cfg.in_features}), shards, clients, seconds,
+        stats);
+    if (shards == 1) rps_1 = rps;
+    rps_n = rps;
+    table.add_row({std::to_string(shards), util::format_fixed(rps, 0),
+                   util::format_fixed(stats.latency_p50_ms, 3),
+                   util::format_fixed(stats.latency_p99_ms, 3),
+                   std::to_string(stats.queue_peak)});
+    csv.write_row({"shards", std::to_string(shards), "1", "-",
+                   util::format_fixed(rps_1, 1), util::format_fixed(rps, 1),
+                   util::format_fixed(shards == 1 ? 1.0 : rps / rps_1, 3)});
+  }
+  std::cout << table.render() << "\n";
+  if (hw >= 2) {
+    bench::shape_check(
+        "2 shards beat 1 shard in aggregate throughput (multi-core)",
+        rps_n > rps_1);
+  } else {
+    std::cout << "[skip] shard-scaling check needs >= 2 hardware threads\n";
   }
 }
 
@@ -148,6 +320,16 @@ int run() {
   csv.flush();
 
   std::cout << table.render() << "\n";
+
+  // Runtime-pool scaling sweeps (pool vs spawn, shard replicas).
+  util::CsvWriter scaling_csv(
+      "bench_results/serve_scaling.csv",
+      {"sweep", "shards", "intra_op", "batch", "baseline_rows_per_s",
+       "rows_per_s", "speedup"});
+  sweep_intra_op_pool(min_time, scaling_csv);
+  sweep_shards(env, min_time, scaling_csv);
+  scaling_csv.flush();
+
   bench::shape_check(
       "compiled CSR beats dense eval forward at >=90% sparsity (mlp)",
       mlp_flags.csr_wins_at_90);

@@ -6,58 +6,84 @@
 
 namespace dstee::kernels {
 
-tensor::Tensor relu(const tensor::Tensor& x, tensor::Tensor* mask) {
+namespace {
+
+/// Elementwise chunks smaller than this run inline even when the caller
+/// asked for intra-op parallelism: the fan-out wake costs more than the
+/// loop itself.
+constexpr std::size_t kElemGrain = 1u << 12;
+
+}  // namespace
+
+tensor::Tensor relu(const tensor::Tensor& x, tensor::Tensor* mask,
+                    const runtime::IntraOp& intra) {
   tensor::Tensor y(x.shape());
-  if (mask != nullptr) {
-    *mask = tensor::Tensor(x.shape());
-    for (std::size_t i = 0; i < x.numel(); ++i) {
-      const bool pos = x[i] > 0.0f;
-      (*mask)[i] = pos ? 1.0f : 0.0f;
-      y[i] = pos ? x[i] : 0.0f;
-    }
-    return y;
-  }
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
-  }
+  if (mask != nullptr) *mask = tensor::Tensor(x.shape());
+  runtime::intra_chunks(
+      intra, x.numel(), kElemGrain,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const bool pos = x[i] > 0.0f;
+          if (mask != nullptr) (*mask)[i] = pos ? 1.0f : 0.0f;
+          y[i] = pos ? x[i] : 0.0f;
+        }
+      });
   return y;
 }
 
 tensor::Tensor add_relu(const tensor::Tensor& a, const tensor::Tensor& b,
-                        tensor::Tensor* mask) {
+                        tensor::Tensor* mask, const runtime::IntraOp& intra) {
   util::check(a.shape() == b.shape(),
               "residual branches disagree: " + a.shape().to_string() +
                   " vs " + b.shape().to_string());
   tensor::Tensor y(a.shape());
   if (mask != nullptr) *mask = tensor::Tensor(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) {
-    const float s = a[i] + b[i];
-    const bool pos = s > 0.0f;
-    if (mask != nullptr) (*mask)[i] = pos ? 1.0f : 0.0f;
-    y[i] = pos ? s : 0.0f;
-  }
+  runtime::intra_chunks(
+      intra, a.numel(), kElemGrain,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float s = a[i] + b[i];
+          const bool pos = s > 0.0f;
+          if (mask != nullptr) (*mask)[i] = pos ? 1.0f : 0.0f;
+          y[i] = pos ? s : 0.0f;
+        }
+      });
   return y;
 }
 
-tensor::Tensor leaky_relu(const tensor::Tensor& x, float slope) {
+tensor::Tensor leaky_relu(const tensor::Tensor& x, float slope,
+                          const runtime::IntraOp& intra) {
   tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
-  }
+  runtime::intra_chunks(
+      intra, x.numel(), kElemGrain,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+        }
+      });
   return y;
 }
 
-tensor::Tensor sigmoid(const tensor::Tensor& x) {
+tensor::Tensor sigmoid(const tensor::Tensor& x,
+                       const runtime::IntraOp& intra) {
   tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-  }
+  runtime::intra_chunks(
+      intra, x.numel(), kElemGrain,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+        }
+      });
   return y;
 }
 
-tensor::Tensor tanh(const tensor::Tensor& x) {
+tensor::Tensor tanh(const tensor::Tensor& x, const runtime::IntraOp& intra) {
   tensor::Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  runtime::intra_chunks(
+      intra, x.numel(), kElemGrain,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) y[i] = std::tanh(x[i]);
+      });
   return y;
 }
 

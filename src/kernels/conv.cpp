@@ -8,7 +8,8 @@ namespace dstee::kernels {
 tensor::Tensor conv2d_forward(const tensor::Tensor& x,
                               const tensor::Tensor& w2d, std::size_t kernel,
                               std::size_t stride, std::size_t padding,
-                              const float* bias) {
+                              const float* bias,
+                              const runtime::IntraOp& intra) {
   util::check(x.rank() == 4, "conv2d_forward expects [N, C, H, W]");
   util::check(w2d.rank() == 2, "conv2d_forward expects a [Cout, Cin*K*K] "
                                "weight view");
@@ -30,15 +31,19 @@ tensor::Tensor conv2d_forward(const tensor::Tensor& x,
   const std::size_t oh = g.out_h(), ow = g.out_w();
 
   tensor::Tensor y({batch, out_ch, oh, ow});
-  tensor::Tensor cols({g.patch_size(), oh * ow});
   const std::size_t image_elems = in_ch * g.in_h * g.in_w;
   const std::size_t out_image_elems = out_ch * oh * ow;
-  for (std::size_t n = 0; n < batch; ++n) {
-    tensor::im2col(x.raw() + n * image_elems, g, cols);
-    const tensor::Tensor out2d = tensor::matmul(w2d, cols);  // [Cout, oh*ow]
-    float* dst = y.raw() + n * out_image_elems;
-    for (std::size_t i = 0; i < out_image_elems; ++i) dst[i] = out2d[i];
-  }
+  // Batch-parallel: per-chunk im2col scratch, each image writes its own
+  // output slab exactly once.
+  runtime::intra_chunks(intra, batch, [&](std::size_t n0, std::size_t n1) {
+    tensor::Tensor cols({g.patch_size(), oh * ow});
+    for (std::size_t n = n0; n < n1; ++n) {
+      tensor::im2col(x.raw() + n * image_elems, g, cols);
+      const tensor::Tensor out2d = tensor::matmul(w2d, cols);  // [Cout, ohw]
+      float* dst = y.raw() + n * out_image_elems;
+      for (std::size_t i = 0; i < out_image_elems; ++i) dst[i] = out2d[i];
+    }
+  });
   if (bias != nullptr) add_channel_bias(y, bias);
   return y;
 }

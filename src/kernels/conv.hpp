@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "runtime/pool.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/tensor.hpp"
 
@@ -13,11 +14,15 @@ namespace dstee::kernels {
 
 /// y[N, Cout, Ho, Wo] = conv(x[N, Cin, H, W], w2d) + bias.
 /// `w2d` is the weight viewed as [Cout, Cin·K·K]; `bias` is an optional
-/// [Cout] pointer (nullptr = no bias).
+/// [Cout] pointer (nullptr = no bias). `intra` splits the batch across
+/// the runtime pool (images are independent, so every output element has
+/// exactly one writer and results are bit-identical for any chunk
+/// count); the default runs inline.
 tensor::Tensor conv2d_forward(const tensor::Tensor& x,
                               const tensor::Tensor& w2d, std::size_t kernel,
                               std::size_t stride, std::size_t padding,
-                              const float* bias);
+                              const float* bias,
+                              const runtime::IntraOp& intra = {});
 
 /// Adds `bias[c]` to every element of channel plane c, over [N, C, H·W].
 void add_channel_bias(tensor::Tensor& y, const float* bias);

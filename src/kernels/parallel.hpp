@@ -1,8 +1,11 @@
 // Chunked data-parallel fan-out shared by the row-parallel CSR SpMM and
-// the image-parallel conv op: one place owns the ceil-div partitioning,
-// range clamping, main-thread-runs-first-chunk and join logic. A template
-// (not std::function) so the single-threaded serving default pays no
-// type-erasure cost on the kernel hot path.
+// the image-parallel conv op. parallel_chunks is now a thin shim over the
+// persistent runtime::Pool (src/runtime/pool.hpp) — workers start once
+// per process instead of being spawned and joined inside every kernel
+// call. The partitioning contract is unchanged: ceil-div contiguous
+// chunks, the calling thread runs the first chunk, fn is invoked once per
+// non-empty chunk, and chunk independence (every output element written
+// by exactly one chunk) keeps results bit-identical for any thread count.
 #pragma once
 
 #include <algorithm>
@@ -11,18 +14,28 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/pool.hpp"
+
 namespace dstee::kernels {
 
-/// Splits [0, n) into contiguous chunks across `threads` workers and runs
-/// `fn(begin, end)` once per non-empty chunk; the calling thread executes
-/// the first chunk itself. `threads` 0 means hardware concurrency, and the
-/// worker count never exceeds n (so n <= 1 always runs inline with no
-/// spawn). fn is invoked once per worker, so per-worker scratch can live
-/// inside it. The caller guarantees chunk independence (every output
-/// element written by exactly one chunk), which makes results
-/// bit-identical for any thread count.
+/// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` once per
+/// non-empty chunk on the process-wide runtime::Pool. `threads` 0 means
+/// pool-wide (the pool sizes itself to hardware concurrency), and the
+/// chunk count never exceeds n (so n <= 1 always runs inline). Kernels
+/// that accept a runtime::IntraOp call the pool directly; this shim keeps
+/// the historical entry point for callers without a policy to thread.
 template <typename Fn>
 void parallel_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
+  runtime::default_pool().run_chunks(n, threads, std::forward<Fn>(fn));
+}
+
+/// The RETIRED per-call fan-out: spawns and joins std::threads inside the
+/// call, paying thread-start latency every time. Kept only as the
+/// baseline the serving benches compare the persistent pool against (and
+/// to document what parallel_chunks used to cost); do not use it on hot
+/// paths.
+template <typename Fn>
+void spawn_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }

@@ -6,9 +6,23 @@
 
 namespace dstee::kernels {
 
+namespace {
+
+/// Minimum output elements one chunk should own; converted to a grain in
+/// plane units per call so small feature maps run inline.
+constexpr std::size_t kPlaneElemGrain = 1u << 10;
+
+std::size_t plane_grain(std::size_t out_elems_per_plane) {
+  return std::max<std::size_t>(
+      1, kPlaneElemGrain / std::max<std::size_t>(1, out_elems_per_plane));
+}
+
+}  // namespace
+
 tensor::Tensor maxpool2d(const tensor::Tensor& x, std::size_t kernel,
                          std::size_t stride,
-                         std::vector<std::size_t>* argmax) {
+                         std::vector<std::size_t>* argmax,
+                         const runtime::IntraOp& intra) {
   util::check(kernel > 0 && stride > 0,
               "maxpool kernel and stride must be positive");
   util::check(x.rank() == 4, "maxpool expects [N, C, H, W]");
@@ -21,11 +35,14 @@ tensor::Tensor maxpool2d(const tensor::Tensor& x, std::size_t kernel,
   if (argmax != nullptr) argmax->assign(batch * ch * oh * ow, 0);
 
   tensor::Tensor y({batch, ch, oh, ow});
-  std::size_t out_i = 0;
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      const std::size_t plane_base = (n * ch + c) * ih * iw;
+  // Plane-parallel over the flattened N·C dimension: each plane owns its
+  // output (and argmax) slab exclusively.
+  runtime::intra_chunks(intra, batch * ch, plane_grain(oh * ow),
+                        [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t plane_base = p * ih * iw;
       const float* plane = x.raw() + plane_base;
+      std::size_t out_i = p * oh * ow;
       for (std::size_t y0 = 0; y0 < oh; ++y0) {
         for (std::size_t x0 = 0; x0 < ow; ++x0) {
           float best = -std::numeric_limits<float>::infinity();
@@ -47,11 +64,12 @@ tensor::Tensor maxpool2d(const tensor::Tensor& x, std::size_t kernel,
         }
       }
     }
-  }
+  });
   return y;
 }
 
-tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel) {
+tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel,
+                         const runtime::IntraOp& intra) {
   util::check(kernel > 0, "avgpool kernel must be positive");
   util::check(x.rank() == 4, "avgpool expects [N, C, H, W]");
   const std::size_t batch = x.dim(0), ch = x.dim(1), ih = x.dim(2),
@@ -62,10 +80,11 @@ tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel) {
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
 
   tensor::Tensor y({batch, ch, oh, ow});
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      const float* plane = x.raw() + (n * ch + c) * ih * iw;
-      float* out_plane = y.raw() + (n * ch + c) * oh * ow;
+  runtime::intra_chunks(intra, batch * ch, plane_grain(oh * ow),
+                        [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* plane = x.raw() + p * ih * iw;
+      float* out_plane = y.raw() + p * oh * ow;
       for (std::size_t y0 = 0; y0 < oh; ++y0) {
         for (std::size_t x0 = 0; x0 < ow; ++x0) {
           float acc = 0.0f;
@@ -78,24 +97,28 @@ tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
-tensor::Tensor global_avg_pool(const tensor::Tensor& x) {
+tensor::Tensor global_avg_pool(const tensor::Tensor& x,
+                               const runtime::IntraOp& intra) {
   util::check(x.rank() == 4, "global_avg_pool expects [N, C, H, W]");
   const std::size_t batch = x.dim(0), ch = x.dim(1);
   const std::size_t sp = x.dim(2) * x.dim(3);
   const float inv = 1.0f / static_cast<float>(sp);
   tensor::Tensor y({batch, ch});
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      const float* plane = x.raw() + (n * ch + c) * sp;
+  // Grain in input elements: global pooling reads sp per output value.
+  runtime::intra_chunks(intra, batch * ch,
+                        std::max<std::size_t>(1, kPlaneElemGrain / sp),
+                        [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* plane = x.raw() + p * sp;
       float acc = 0.0f;
       for (std::size_t i = 0; i < sp; ++i) acc += plane[i];
-      y[n * ch + c] = acc * inv;
+      y[p] = acc * inv;
     }
-  }
+  });
   return y;
 }
 

@@ -2,12 +2,17 @@
 //
 // nn/ pooling layers call these from forward() (max pooling optionally
 // records the argmax indices its backward scatters into), and serve/ eval
-// ops call them without any cache — the same loop nest either way.
+// ops call them without any cache — the same loop nest either way. Every
+// kernel accepts a runtime::IntraOp that splits the N·C plane dimension
+// across the persistent runtime pool; planes are independent, so each
+// output element has exactly one writer and results are bit-identical for
+// any chunk count. The default policy runs inline.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "runtime/pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dstee::kernels {
@@ -17,13 +22,16 @@ namespace dstee::kernels {
 /// flat input index per output element (the train-time backward cache).
 tensor::Tensor maxpool2d(const tensor::Tensor& x, std::size_t kernel,
                          std::size_t stride,
-                         std::vector<std::size_t>* argmax = nullptr);
+                         std::vector<std::size_t>* argmax = nullptr,
+                         const runtime::IntraOp& intra = {});
 
 /// Average pooling with a square window and stride == kernel:
 /// [N, C, H, W] → [N, C, H/kernel, W/kernel].
-tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel);
+tensor::Tensor avgpool2d(const tensor::Tensor& x, std::size_t kernel,
+                         const runtime::IntraOp& intra = {});
 
 /// Global average pooling: [N, C, H, W] → [N, C].
-tensor::Tensor global_avg_pool(const tensor::Tensor& x);
+tensor::Tensor global_avg_pool(const tensor::Tensor& x,
+                               const runtime::IntraOp& intra = {});
 
 }  // namespace dstee::kernels

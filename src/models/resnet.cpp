@@ -59,7 +59,8 @@ ResidualBlock::ResidualBlock(std::size_t in_ch, std::size_t mid_ch,
 tensor::Tensor ResidualBlock::forward(const tensor::Tensor& x) {
   const tensor::Tensor a = main_.forward(x);
   return kernels::add_relu(a, shortcut_ ? shortcut_->forward(x) : x,
-                           &cached_relu_mask_);
+                           &cached_relu_mask_,
+                           runtime::training_intra());
 }
 
 tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_out) {

@@ -6,7 +6,8 @@
 namespace dstee::nn {
 
 tensor::Tensor ReLU::forward(const tensor::Tensor& x) {
-  return kernels::relu(x, &cached_mask_);
+  return kernels::relu(x, &cached_mask_,
+                       runtime::training_intra());
 }
 
 tensor::Tensor ReLU::backward(const tensor::Tensor& grad_out) {
@@ -20,7 +21,8 @@ tensor::Tensor ReLU::backward(const tensor::Tensor& grad_out) {
 }
 
 tensor::Tensor Sigmoid::forward(const tensor::Tensor& x) {
-  tensor::Tensor y = kernels::sigmoid(x);
+  tensor::Tensor y = kernels::sigmoid(
+      x, runtime::training_intra());
   cached_output_ = y;
   return y;
 }
@@ -37,7 +39,8 @@ tensor::Tensor Sigmoid::backward(const tensor::Tensor& grad_out) {
 }
 
 tensor::Tensor Tanh::forward(const tensor::Tensor& x) {
-  tensor::Tensor y = kernels::tanh(x);
+  tensor::Tensor y = kernels::tanh(
+      x, runtime::training_intra());
   cached_output_ = y;
   return y;
 }
@@ -55,7 +58,8 @@ tensor::Tensor Tanh::backward(const tensor::Tensor& grad_out) {
 
 tensor::Tensor LeakyReLU::forward(const tensor::Tensor& x) {
   cached_input_ = x;
-  return kernels::leaky_relu(x, slope_);
+  return kernels::leaky_relu(
+      x, slope_, runtime::training_intra());
 }
 
 tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_out) {

@@ -46,11 +46,15 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& x) {
               "conv2d forward expects [N, " + std::to_string(in_channels_) +
                   ", H, W], got " + x.shape().to_string());
   cached_input_ = x;
-  // Weight viewed as [Cout, Cin·K·K] for the lowered matmul.
+  // Weight viewed as [Cout, Cin·K·K] for the lowered matmul. Training
+  // forwards share the process runtime pool; the chunk count comes from
+  // runtime::intra_op_default() (serial unless configured).
   const tensor::Tensor w2d = weight_.value.reshaped(
       tensor::Shape({out_channels_, in_channels_ * kernel_ * kernel_}));
-  return kernels::conv2d_forward(x, w2d, kernel_, stride_, padding_,
-                                 bias_ ? bias_->value.raw() : nullptr);
+  return kernels::conv2d_forward(
+      x, w2d, kernel_, stride_, padding_,
+      bias_ ? bias_->value.raw() : nullptr,
+      runtime::training_intra());
 }
 
 tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {

@@ -12,7 +12,8 @@ MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
 
 tensor::Tensor MaxPool2d::forward(const tensor::Tensor& x) {
   cached_in_shape_ = x.shape();
-  return kernels::maxpool2d(x, kernel_, stride_, &cached_argmax_);
+  return kernels::maxpool2d(x, kernel_, stride_, &cached_argmax_,
+                            runtime::training_intra());
 }
 
 tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_out) {
@@ -36,7 +37,8 @@ AvgPool2d::AvgPool2d(std::size_t kernel) : kernel_(kernel) {
 
 tensor::Tensor AvgPool2d::forward(const tensor::Tensor& x) {
   cached_in_shape_ = x.shape();
-  return kernels::avgpool2d(x, kernel_);
+  return kernels::avgpool2d(x, kernel_,
+                            runtime::training_intra());
 }
 
 tensor::Tensor AvgPool2d::backward(const tensor::Tensor& grad_out) {
@@ -74,7 +76,8 @@ std::string AvgPool2d::name() const {
 
 tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& x) {
   cached_in_shape_ = x.shape();
-  return kernels::global_avg_pool(x);
+  return kernels::global_avg_pool(
+      x, runtime::training_intra());
 }
 
 tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_out) {

@@ -6,7 +6,7 @@
 
 #include "kernels/activations.hpp"
 #include "kernels/conv.hpp"
-#include "kernels/parallel.hpp"
+#include "runtime/pool.hpp"
 #include "kernels/pool.hpp"
 #include "models/resnet.hpp"
 #include "nn/activations.hpp"
@@ -79,11 +79,15 @@ class CsrOp : public EvalOp {
 class SpmmOp final : public CsrOp {
  public:
   SpmmOp(sparse::CsrMatrix csr, tensor::Tensor bias, bool has_bias,
-         std::size_t threads)
-      : CsrOp(std::move(csr), std::move(bias), has_bias), threads_(threads) {}
+         runtime::IntraOp intra)
+      : CsrOp(std::move(csr), std::move(bias), has_bias), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<SpmmOp>(*this);
+  }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    tensor::Tensor y = csr_.spmm(x, threads_);
+    tensor::Tensor y = csr_.spmm(x, intra_);
     if (has_bias_) {
       const std::size_t out = csr_.rows();
       for (std::size_t n = 0; n < y.dim(0); ++n) {
@@ -112,7 +116,7 @@ class SpmmOp final : public CsrOp {
   }
 
  private:
-  std::size_t threads_;
+  runtime::IntraOp intra_;
 };
 
 /// CSR conv: per-image im2col, then Y = W_csr · cols over the patch
@@ -124,15 +128,19 @@ class ConvOp final : public CsrOp {
  public:
   ConvOp(sparse::CsrMatrix csr, std::size_t in_channels, std::size_t kernel,
          std::size_t stride, std::size_t padding, tensor::Tensor bias,
-         bool has_bias, std::size_t threads)
+         bool has_bias, runtime::IntraOp intra)
       : CsrOp(std::move(csr), std::move(bias), has_bias),
         in_channels_(in_channels),
         kernel_(kernel),
         stride_(stride),
         padding_(padding),
-        threads_(threads) {
+        intra_(intra) {
     util::check(csr_.cols() == in_channels_ * kernel_ * kernel_,
                 "conv CSR columns must equal Cin*K*K");
+  }
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<ConvOp>(*this);
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
@@ -144,13 +152,14 @@ class ConvOp final : public CsrOp {
     const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
     const std::size_t out_image_elems = out_ch * oh * ow;
 
-    // Intra-op parallelism splits the batch: images are independent, so
-    // every output element has exactly one writer and the result is
-    // bit-identical for any thread count. Per-worker im2col scratch keeps
-    // run() const and thread-safe. A single image always runs inline
-    // (row-level splitting is the NUMA/sharding follow-up).
-    kernels::parallel_chunks(batch, threads_, [&](std::size_t n0,
-                                                  std::size_t n1) {
+    // Intra-op parallelism splits the batch on the persistent runtime
+    // pool: images are independent, so every output element has exactly
+    // one writer and the result is bit-identical for any chunk count.
+    // Per-chunk im2col scratch keeps run() const and thread-safe. A
+    // single image always runs inline (row-level splitting is the
+    // NUMA/sharding follow-up).
+    runtime::intra_chunks(intra_, batch, [&](std::size_t n0,
+                                             std::size_t n1) {
       tensor::Tensor cols({g.patch_size(), oh * ow});
       for (std::size_t n = n0; n < n1; ++n) {
         tensor::im2col(x.raw() + n * image_elems, g, cols);
@@ -215,20 +224,24 @@ class ConvOp final : public CsrOp {
   std::size_t kernel_;
   std::size_t stride_;
   std::size_t padding_;
-  std::size_t threads_;
+  runtime::IntraOp intra_;
 };
 
 /// Residual join: y = a + b, optionally through ReLU — the lowering of
 /// models::ResidualBlock's add-then-activate tail.
 class AddOp final : public EvalOp {
  public:
-  explicit AddOp(bool relu) : relu_(relu) {}
+  AddOp(bool relu, runtime::IntraOp intra) : relu_(relu), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<AddOp>(*this);
+  }
 
   std::size_t arity() const override { return 2; }
 
   tensor::Tensor run2(const tensor::Tensor& a,
                       const tensor::Tensor& b) const override {
-    if (relu_) return kernels::add_relu(a, b);
+    if (relu_) return kernels::add_relu(a, b, nullptr, intra_);
     util::check(a.shape() == b.shape(),
                 "residual add branches disagree: " + a.shape().to_string() +
                     " vs " + b.shape().to_string());
@@ -243,6 +256,7 @@ class AddOp final : public EvalOp {
 
  private:
   bool relu_;
+  runtime::IntraOp intra_;
 };
 
 /// Eval-mode batch-norm not adjacent to a Linear/Conv2d: y = x·scale +
@@ -251,6 +265,10 @@ class ScaleShiftOp final : public EvalOp {
  public:
   ScaleShiftOp(std::vector<float> scale, std::vector<float> shift, bool rank4)
       : scale_(std::move(scale)), shift_(std::move(shift)), rank4_(rank4) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<ScaleShiftOp>(*this);
+  }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
     const std::size_t c = scale_.size();
@@ -289,19 +307,23 @@ class ActivationOp final : public EvalOp {
  public:
   enum class Kind { kRelu, kLeakyRelu, kSigmoid, kTanh };
 
-  explicit ActivationOp(Kind kind, float slope = 0.0f)
-      : kind_(kind), slope_(slope) {}
+  explicit ActivationOp(Kind kind, runtime::IntraOp intra, float slope = 0.0f)
+      : kind_(kind), slope_(slope), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<ActivationOp>(*this);
+  }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
     switch (kind_) {
       case Kind::kRelu:
-        return kernels::relu(x);
+        return kernels::relu(x, nullptr, intra_);
       case Kind::kLeakyRelu:
-        return kernels::leaky_relu(x, slope_);
+        return kernels::leaky_relu(x, slope_, intra_);
       case Kind::kSigmoid:
-        return kernels::sigmoid(x);
+        return kernels::sigmoid(x, intra_);
       case Kind::kTanh:
-        return kernels::tanh(x);
+        return kernels::tanh(x, intra_);
     }
     util::fail("unreachable activation kind");
   }
@@ -323,10 +345,15 @@ class ActivationOp final : public EvalOp {
  private:
   Kind kind_;
   float slope_;
+  runtime::IntraOp intra_;
 };
 
 class FlattenOp final : public EvalOp {
  public:
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<FlattenOp>(*this);
+  }
+
   tensor::Tensor run(const tensor::Tensor& x) const override {
     util::check(x.rank() >= 1, "flatten expects a batched tensor");
     const std::size_t batch = x.dim(0);
@@ -340,11 +367,15 @@ class FlattenOp final : public EvalOp {
 
 class MaxPoolOp final : public EvalOp {
  public:
-  MaxPoolOp(std::size_t kernel, std::size_t stride)
-      : kernel_(kernel), stride_(stride) {}
+  MaxPoolOp(std::size_t kernel, std::size_t stride, runtime::IntraOp intra)
+      : kernel_(kernel), stride_(stride), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<MaxPoolOp>(*this);
+  }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    return kernels::maxpool2d(x, kernel_, stride_);
+    return kernels::maxpool2d(x, kernel_, stride_, nullptr, intra_);
   }
 
   std::string describe() const override {
@@ -364,14 +395,20 @@ class MaxPoolOp final : public EvalOp {
  private:
   std::size_t kernel_;
   std::size_t stride_;
+  runtime::IntraOp intra_;
 };
 
 class AvgPoolOp final : public EvalOp {
  public:
-  explicit AvgPoolOp(std::size_t kernel) : kernel_(kernel) {}
+  AvgPoolOp(std::size_t kernel, runtime::IntraOp intra)
+      : kernel_(kernel), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<AvgPoolOp>(*this);
+  }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    return kernels::avgpool2d(x, kernel_);
+    return kernels::avgpool2d(x, kernel_, intra_);
   }
 
   std::string describe() const override {
@@ -388,17 +425,27 @@ class AvgPoolOp final : public EvalOp {
 
  private:
   std::size_t kernel_;
+  runtime::IntraOp intra_;
 };
 
 class GlobalAvgPoolOp final : public EvalOp {
  public:
+  explicit GlobalAvgPoolOp(runtime::IntraOp intra) : intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone() const override {
+    return std::make_unique<GlobalAvgPoolOp>(*this);
+  }
+
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    return kernels::global_avg_pool(x);
+    return kernels::global_avg_pool(x, intra_);
   }
   std::string describe() const override { return "global_avg_pool"; }
   tensor::Shape out_shape(const tensor::Shape& in) const override {
     return tensor::Shape({in.dim(0), in.dim(1)});
   }
+
+ private:
+  runtime::IntraOp intra_;
 };
 
 /// Eval-mode BN as per-channel affine constants.
@@ -435,9 +482,11 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
   }
 
   CompiledNet net;
-  // Passed through verbatim: CsrMatrix::spmm treats 0 as "use hardware
-  // concurrency", and that contract is part of CompileOptions' docs.
-  const std::size_t threads = options.intra_op_threads;
+  // Passed through verbatim: the runtime treats 0 as "pool-wide", and
+  // that contract is part of CompileOptions' docs. Every op shares the
+  // one policy (chunk count + executing pool).
+  const runtime::IntraOp intra{options.intra_op_threads,
+                               options.intra_op_pool};
 
   // `cursor` is the node producing the current value (kInputId before the
   // first op). `fold_candidate` is the id of a CSR node a directly
@@ -483,7 +532,7 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
         self(self, *shortcut);
         shortcut_tail = cursor;
       }
-      emit(std::make_unique<AddOp>(/*relu=*/true),
+      emit(std::make_unique<AddOp>(/*relu=*/true, intra),
            {main_tail, shortcut_tail});
       ++net.residual_joins_;
       return;
@@ -493,7 +542,7 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
       if (linear->has_bias()) bias = linear->bias().value;
       emit(std::make_unique<SpmmOp>(csr_for(linear->weight()),
                                     std::move(bias), linear->has_bias(),
-                                    threads),
+                                    intra),
            {cursor});
       fold_candidate = cursor;
       return;
@@ -505,7 +554,7 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
                                     conv->in_channels(), conv->kernel(),
                                     conv->stride(), conv->padding(),
                                     std::move(bias), conv->has_bias(),
-                                    threads),
+                                    intra),
            {cursor});
       fold_candidate = cursor;
       return;
@@ -539,23 +588,24 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
       return;
     }
     if (dynamic_cast<nn::ReLU*>(&module) != nullptr) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kRelu),
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kRelu, intra),
            {cursor});
       return;
     }
     if (auto* leaky = dynamic_cast<nn::LeakyReLU*>(&module)) {
       emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kLeakyRelu,
-                                          leaky->slope()),
+                                          intra, leaky->slope()),
            {cursor});
       return;
     }
     if (dynamic_cast<nn::Sigmoid*>(&module) != nullptr) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kSigmoid),
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kSigmoid,
+                                          intra),
            {cursor});
       return;
     }
     if (dynamic_cast<nn::Tanh*>(&module) != nullptr) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kTanh),
+      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kTanh, intra),
            {cursor});
       return;
     }
@@ -564,16 +614,17 @@ CompiledNet CompiledNet::compile(nn::Sequential& model,
       return;
     }
     if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&module)) {
-      emit(std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride()),
+      emit(std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride(),
+                                       intra),
            {cursor});
       return;
     }
     if (auto* pool = dynamic_cast<nn::AvgPool2d*>(&module)) {
-      emit(std::make_unique<AvgPoolOp>(pool->kernel()), {cursor});
+      emit(std::make_unique<AvgPoolOp>(pool->kernel(), intra), {cursor});
       return;
     }
     if (dynamic_cast<nn::GlobalAvgPool*>(&module) != nullptr) {
-      emit(std::make_unique<GlobalAvgPoolOp>(), {cursor});
+      emit(std::make_unique<GlobalAvgPoolOp>(intra), {cursor});
       return;
     }
     util::fail("CompiledNet: unsupported layer '" + module.name() + "'");
@@ -625,6 +676,22 @@ tensor::Tensor CompiledNet::forward(const tensor::Tensor& x) const {
     }
   }
   return std::move(values.back());
+}
+
+CompiledNet CompiledNet::clone() const {
+  CompiledNet copy;
+  copy.nodes_.reserve(nodes_.size());
+  for (const OpNode& node : nodes_) {
+    copy.nodes_.push_back(OpNode{node.op->clone(), node.inputs});
+  }
+  copy.use_counts_ = use_counts_;
+  copy.sparse_ops_ = sparse_ops_;
+  copy.elided_ = elided_;
+  copy.residual_joins_ = residual_joins_;
+  copy.total_nnz_ = total_nnz_;
+  copy.total_weights_ = total_weights_;
+  copy.input_features_ = input_features_;
+  return copy;
 }
 
 double CompiledNet::density() const {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "nn/sequential.hpp"
+#include "runtime/pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/tensor.hpp"
@@ -39,6 +40,11 @@ namespace dstee::serve {
 class EvalOp {
  public:
   virtual ~EvalOp() = default;
+
+  /// Deep copy — the basis of CompiledNet::clone(), which replica shards
+  /// use to own their weights (a NUMA prerequisite: each group touches
+  /// only its own CSR arrays).
+  virtual std::unique_ptr<EvalOp> clone() const = 0;
 
   /// Number of producer tensors this op consumes (1 or 2).
   virtual std::size_t arity() const { return 1; }
@@ -79,14 +85,18 @@ struct CompileOptions {
   /// not stored. 0 keeps every nonzero, which exactly reproduces a masked
   /// model saved by dstee_run (masked weights are stored as 0).
   float dense_eps = 0.0f;
-  /// Intra-op threads (0 means hardware concurrency): row-parallel inside
-  /// each Linear SpMM (see CsrMatrix::spmm) and image-parallel across the
-  /// batch inside each conv op (a batch-1 conv always runs inline).
-  /// Keep at 1 when an InferenceServer provides request-level
-  /// parallelism. Workers are spawned per call, so >1 only pays off for
-  /// large layers / big batches where the kernel dominates thread-start
-  /// cost (a persistent intra-op pool is a ROADMAP follow-up).
+  /// Intra-op chunk count (0 means pool-wide): row-parallel inside each
+  /// Linear SpMM (see CsrMatrix::spmm), image-parallel across the batch
+  /// inside each conv op (a batch-1 conv always runs inline), and
+  /// plane-/element-parallel inside the pooling and activation ops. Work
+  /// executes on the persistent runtime pool — no per-call thread spawns
+  /// — so >1 pays off even at small batches. Keep at 1 when an
+  /// InferenceServer with many worker threads already saturates the
+  /// machine with request-level parallelism.
   std::size_t intra_op_threads = 1;
+  /// Pool executing the intra-op chunks; nullptr = the process-wide
+  /// runtime::default_pool(). Tests inject their own Pool here.
+  runtime::Pool* intra_op_pool = nullptr;
 };
 
 /// An immutable, thread-safe inference program compiled from a model.
@@ -121,6 +131,11 @@ class CompiledNet {
   /// [batch, ...] matching the model's training-time input layout.
   /// Thread-safe: may be called concurrently.
   tensor::Tensor forward(const tensor::Tensor& x) const;
+
+  /// Deep copy: every op (CSR arrays, biases, folded constants) is
+  /// duplicated, so the replica shares no memory with the source.
+  /// InferenceServer builds one replica per shard from this.
+  CompiledNet clone() const;
 
   std::size_t num_ops() const { return nodes_.size(); }
   std::size_t num_sparse_ops() const { return sparse_ops_; }

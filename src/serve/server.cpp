@@ -22,85 +22,126 @@ double millis_between(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 InferenceServer::InferenceServer(const CompiledNet& net, ServerConfig config)
-    : net_(&net), config_(config) {
+    : config_(config), input_features_(net.input_features()) {
   util::check(config_.num_threads >= 1, "server requires >= 1 worker thread");
+  util::check(config_.num_shards >= 1, "server requires >= 1 shard");
   util::check(config_.max_batch >= 1, "server requires max_batch >= 1");
   util::check(config_.max_delay_ms >= 0.0,
               "server max_delay_ms must be non-negative");
   util::check(config_.queue_capacity >= config_.max_batch,
               "queue_capacity must be >= max_batch");
-  workers_.reserve(config_.num_threads);
-  for (std::size_t t = 0; t < config_.num_threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (s == 0) {
+      shard->net = &net;  // the source net serves shard 0 directly
+    } else {
+      shard->replica = std::make_unique<CompiledNet>(net.clone());
+      shard->net = shard->replica.get();
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Workers start only after every shard exists: a worker never observes a
+  // half-built shards_ vector.
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->workers.reserve(config_.num_threads);
+    for (std::size_t t = 0; t < config_.num_threads; ++t) {
+      s->workers.emplace_back([this, s] { worker_loop(*s); });
+    }
   }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
+InferenceServer::Shard& InferenceServer::route(
+    const tensor::Shape& sample_shape) {
+  if (shards_.size() == 1) return *shards_[0];
+  // FNV-1a over the dims picks the shape's cursor bucket.
+  std::size_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < sample_shape.rank(); ++i) {
+    h ^= sample_shape.dim(i) + 1;
+    h *= 1099511628211ull;
+  }
+  std::atomic<std::size_t>& cursor = route_cursors_[h % kRouteBuckets];
+  return *shards_[cursor.fetch_add(1, std::memory_order_relaxed) %
+                  shards_.size()];
+}
+
 std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
   util::check(input.rank() >= 1,
               "submit expects a sample without a batch axis, e.g. "
               "[features] or [C, H, W]");
-  if (net_->input_features() != 0) {
+  if (input_features_ != 0) {
     // A CSR-linear-first net pins the flat feature count; conv-first nets
     // validate [C, H, W] inside the first op instead.
-    util::check(input.rank() == 1 &&
-                    input.numel() == net_->input_features(),
+    util::check(input.rank() == 1 && input.numel() == input_features_,
                 "sample has shape " + input.shape().to_string() +
-                    ", net expects [" +
-                    std::to_string(net_->input_features()) + "]");
+                    ", net expects [" + std::to_string(input_features_) +
+                    "]");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [&] {
-    return stopping_ || queue_.size() < config_.queue_capacity;
-  });
-  util::check(!stopping_, "submit on a shut-down server");
+  Shard& shard = route(input.shape());
+  std::unique_lock<std::mutex> lock(shard.mu);
+  if (!shard.stopping && shard.queue.size() >= config_.queue_capacity) {
+    // Backpressure stall: the wait itself is part of the serving story,
+    // so it is measured and surfaced instead of silently absorbed.
+    const Clock::time_point blocked_from = Clock::now();
+    shard.space_cv.wait(lock, [&] {
+      return shard.stopping || shard.queue.size() < config_.queue_capacity;
+    });
+    shard.stats.record_blocked_ms(
+        millis_between(blocked_from, Clock::now()));
+  }
+  util::check(!shard.stopping, "submit on a shut-down server");
   Request req;
   req.input = std::move(input);
   req.enqueued = Clock::now();
   std::future<tensor::Tensor> result = req.result.get_future();
-  queue_.push_back(std::move(req));
-  queue_cv_.notify_one();
+  shard.queue.push_back(std::move(req));
+  shard.stats.record_queue_depth(shard.queue.size());
+  shard.queue_cv.notify_one();
   return result;
 }
 
-std::vector<InferenceServer::Request> InferenceServer::next_batch() {
-  std::unique_lock<std::mutex> lock(mu_);
+std::vector<InferenceServer::Request> InferenceServer::next_batch(
+    Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return {};  // stopping and fully drained
+    shard.queue_cv.wait(lock,
+                        [&] { return shard.stopping || !shard.queue.empty(); });
+    if (shard.queue.empty()) return {};  // stopping and fully drained
 
     // Micro-batch window: fill up to max_batch, but never keep the head
     // request waiting past its delay budget. The deadline is recomputed
     // from the CURRENT head each pass — another worker may have drained
     // the queue and a newer request become head, with a fresh window.
     // During shutdown flush at once.
-    while (!stopping_ && !queue_.empty() &&
-           queue_.size() < config_.max_batch) {
+    while (!shard.stopping && !shard.queue.empty() &&
+           shard.queue.size() < config_.max_batch) {
       const Clock::time_point deadline =
-          queue_.front().enqueued + millis_duration(config_.max_delay_ms);
+          shard.queue.front().enqueued + millis_duration(config_.max_delay_ms);
       if (Clock::now() >= deadline) break;  // head's window expired: flush
-      queue_cv_.wait_until(lock, deadline);
+      shard.queue_cv.wait_until(lock, deadline);
     }
-    if (queue_.empty()) continue;
+    if (shard.queue.empty()) continue;
 
     // Requests in one tensor must agree on sample shape; heterogeneous
     // traffic simply splits into per-shape batches.
     std::vector<Request> batch;
-    const tensor::Shape sample_shape = queue_.front().input.shape();
-    while (!queue_.empty() && batch.size() < config_.max_batch &&
-           queue_.front().input.shape() == sample_shape) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    const tensor::Shape sample_shape = shard.queue.front().input.shape();
+    while (!shard.queue.empty() && batch.size() < config_.max_batch &&
+           shard.queue.front().input.shape() == sample_shape) {
+      batch.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
     }
-    space_cv_.notify_all();
+    shard.space_cv.notify_all();
     return batch;
   }
 }
 
-void InferenceServer::worker_loop() {
+void InferenceServer::worker_loop(Shard& shard) {
   for (;;) {
-    std::vector<Request> batch = next_batch();
+    std::vector<Request> batch = next_batch(shard);
     if (batch.empty()) return;
 
     const std::size_t b = batch.size();
@@ -116,7 +157,7 @@ void InferenceServer::worker_loop() {
     latencies_ms.reserve(b);
     std::size_t fulfilled = 0;  // promises already satisfied by set_value
     try {
-      const tensor::Tensor y = net_->forward(x);
+      const tensor::Tensor y = shard.net->forward(x);
       util::check(y.rank() >= 1 && y.dim(0) == b && y.numel() % b == 0,
                   "compiled forward returned a non-batched result");
       const std::size_t out = y.numel() / b;
@@ -139,21 +180,37 @@ void InferenceServer::worker_loop() {
       }
       continue;  // failed batches do not pollute latency stats
     }
-    stats_.record_batch(latencies_ms);
+    shard.stats.record_batch(latencies_ms);
   }
 }
 
 void InferenceServer::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stopping = true;
+    }
+    shard->queue_cv.notify_all();
+    shard->space_cv.notify_all();
   }
-  queue_cv_.notify_all();
-  space_cv_.notify_all();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  for (auto& shard : shards_) {
+    for (auto& worker : shard->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    shard->workers.clear();
   }
-  workers_.clear();
+}
+
+StatsSnapshot InferenceServer::stats() const {
+  std::vector<const ServerStats*> groups;
+  groups.reserve(shards_.size());
+  for (const auto& shard : shards_) groups.push_back(&shard->stats);
+  return ServerStats::aggregate(groups);
+}
+
+StatsSnapshot InferenceServer::shard_stats(std::size_t shard) const {
+  util::check(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->stats.snapshot();
 }
 
 }  // namespace dstee::serve

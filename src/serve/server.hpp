@@ -1,20 +1,32 @@
-// InferenceServer: fixed-size thread pool + micro-batching request queue.
+// InferenceServer: sharded worker groups + micro-batching request queues.
 //
 // Clients submit single samples — rank-1 [features] rows for MLPs, rank-3
 // [C, H, W] images for conv nets — and get a future for the result row.
-// Worker threads coalesce queued requests of equal sample shape into
-// [batch, ...] tensors — a batch flushes when it reaches `max_batch` OR
-// when the oldest queued request has waited `max_delay_ms` — and run them
-// through a shared CompiledNet (whose forward is const and thread-safe).
-// Batching amortizes the CSR traversal across requests; the delay bound
-// keeps tail latency under control at low load. The queue applies
-// backpressure: submit() blocks while `queue_capacity` requests are
-// already waiting.
+// The server runs `num_shards` independent worker GROUPS. Each group owns
+// a full replica of the compiled network (cloned once at construction, so
+// groups share no weight memory — the first step toward NUMA-pinned
+// shards), its own request queue, and `num_threads` worker threads.
+// Requests route to groups round-robin PER SAMPLE SHAPE, so heterogeneous
+// traffic spreads every shape across all groups instead of pinning one
+// shape to one queue.
+//
+// Within a group, workers coalesce queued requests of equal sample shape
+// into [batch, ...] tensors — a batch flushes when it reaches `max_batch`
+// OR when the oldest queued request has waited `max_delay_ms` — and run
+// them through the group's CompiledNet (whose forward is const and
+// thread-safe). Batching amortizes the CSR traversal across requests; the
+// delay bound keeps tail latency under control at low load. Each group
+// queue applies backpressure: submit() blocks while `queue_capacity`
+// requests are already waiting there, and the stall time is recorded in
+// that group's stats.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -26,19 +38,21 @@
 namespace dstee::serve {
 
 struct ServerConfig {
-  std::size_t num_threads = 2;     ///< worker (batch-executing) threads
-  std::size_t max_batch = 16;      ///< flush when this many requests queue
-  double max_delay_ms = 2.0;       ///< flush when the head waits this long
-  std::size_t queue_capacity = 4096;  ///< submit() blocks beyond this
+  std::size_t num_threads = 2;   ///< batch-executing threads PER shard
+  std::size_t num_shards = 1;    ///< replica worker groups
+  std::size_t max_batch = 16;    ///< flush when this many requests queue
+  double max_delay_ms = 2.0;     ///< flush when the head waits this long
+  std::size_t queue_capacity = 4096;  ///< per-shard; submit() blocks beyond
 };
 
-/// Multi-threaded micro-batching front-end over one CompiledNet.
+/// Multi-threaded micro-batching front-end over replicated CompiledNets.
 class InferenceServer {
  public:
-  /// `net` must outlive the server. Workers start immediately.
+  /// `net` must outlive the server (shard 0 serves it directly; shards
+  /// 1.. serve clones built here). Workers start immediately.
   InferenceServer(const CompiledNet& net, ServerConfig config);
 
-  /// Stops accepting work, drains the queue, joins workers.
+  /// Stops accepting work, drains the queues, joins workers.
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -46,16 +60,21 @@ class InferenceServer {
 
   /// Enqueues one sample (rank >= 1, WITHOUT a batch axis: [features] or
   /// [C, H, W]) and returns a future for its output row (rank-1). Blocks
-  /// while the queue is full; throws CheckError after shutdown() or on a
-  /// shape mismatch the net can detect up front.
+  /// while the routed shard's queue is full; throws CheckError after
+  /// shutdown() or on a shape mismatch the net can detect up front.
   std::future<tensor::Tensor> submit(tensor::Tensor input);
 
   /// Idempotent: rejects new submissions, lets workers drain what is
   /// already queued, then joins them.
   void shutdown();
 
-  /// Aggregate latency/throughput counters since construction.
-  StatsSnapshot stats() const { return stats_.snapshot(); }
+  /// Server-wide counters aggregated across all shards.
+  StatsSnapshot stats() const;
+
+  /// One shard's counters (routing balance, per-group tails).
+  StatsSnapshot shard_stats(std::size_t shard) const;
+
+  std::size_t num_shards() const { return shards_.size(); }
 
   const ServerConfig& config() const { return config_; }
 
@@ -66,22 +85,41 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
-  /// Pops the next micro-batch (requests of equal sample shape, up to
-  /// max_batch, honoring the delay window). Empty result means shutdown.
-  std::vector<Request> next_batch();
+  /// One worker group: a replica, a queue, its workers and stats.
+  struct Shard {
+    const CompiledNet* net = nullptr;      ///< executes batches
+    std::unique_ptr<CompiledNet> replica;  ///< owned clone (null on shard 0)
 
-  const CompiledNet* net_;
+    std::mutex mu;
+    std::condition_variable queue_cv;  ///< signals work / shutdown
+    std::condition_variable space_cv;  ///< signals queue room
+    std::deque<Request> queue;
+    bool stopping = false;
+
+    ServerStats stats;
+    std::vector<std::thread> workers;
+  };
+
+  /// Round-robin-by-shape routing target for the next request.
+  Shard& route(const tensor::Shape& sample_shape);
+
+  void worker_loop(Shard& shard);
+  /// Pops the next micro-batch from `shard` (requests of equal sample
+  /// shape, up to max_batch, honoring the delay window). Empty result
+  /// means shutdown.
+  std::vector<Request> next_batch(Shard& shard);
+
   ServerConfig config_;
+  std::size_t input_features_ = 0;  ///< from the source net, for validation
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  ///< signals work / shutdown
-  std::condition_variable space_cv_;  ///< signals queue room
-  std::deque<Request> queue_;
-  bool stopping_ = false;
-
-  ServerStats stats_;
-  std::vector<std::thread> workers_;
+  /// Round-robin cursors, one per shape hash bucket: routing costs one
+  /// relaxed fetch_add — no global lock, no allocation — so concurrent
+  /// submitters never serialize before reaching their shard queue. Two
+  /// shapes landing in one bucket share a cursor, which still rotates
+  /// fairly; it just coarsens "per shape" to "per bucket".
+  static constexpr std::size_t kRouteBuckets = 64;
+  std::array<std::atomic<std::size_t>, kRouteBuckets> route_cursors_{};
 };
 
 }  // namespace dstee::serve

@@ -34,18 +34,29 @@ void ServerStats::record_batch(
   }
 }
 
-StatsSnapshot ServerStats::snapshot() const {
-  std::vector<double> sorted;
+void ServerStats::record_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_peak_ = std::max(queue_peak_, depth);
+}
+
+void ServerStats::record_blocked_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_ms_ += ms;
+}
+
+StatsSnapshot ServerStats::finalize(std::size_t requests,
+                                    std::size_t batches,
+                                    double elapsed_seconds,
+                                    std::vector<double> samples,
+                                    std::size_t queue_peak,
+                                    double blocked_ms) {
   StatsSnapshot s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    sorted = latencies_ms_;
-    s.requests = requests_;
-    s.batches = batches_;
-    s.elapsed_seconds =
-        std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-  std::sort(sorted.begin(), sorted.end());
+  s.requests = requests;
+  s.batches = batches;
+  s.elapsed_seconds = elapsed_seconds;
+  s.queue_peak = queue_peak;
+  s.blocked_ms = blocked_ms;
+  std::sort(samples.begin(), samples.end());
   if (s.elapsed_seconds > 0.0) {
     s.throughput_rps = static_cast<double>(s.requests) / s.elapsed_seconds;
   }
@@ -53,16 +64,55 @@ StatsSnapshot ServerStats::snapshot() const {
     s.mean_batch_size =
         static_cast<double>(s.requests) / static_cast<double>(s.batches);
   }
-  if (!sorted.empty()) {
+  if (!samples.empty()) {
     double sum = 0.0;
-    for (const double v : sorted) sum += v;
-    s.latency_mean_ms = sum / static_cast<double>(sorted.size());
-    s.latency_p50_ms = percentile(sorted, 0.50);
-    s.latency_p95_ms = percentile(sorted, 0.95);
-    s.latency_p99_ms = percentile(sorted, 0.99);
-    s.latency_max_ms = sorted.back();
+    for (const double v : samples) sum += v;
+    s.latency_mean_ms = sum / static_cast<double>(samples.size());
+    s.latency_p50_ms = percentile(samples, 0.50);
+    s.latency_p95_ms = percentile(samples, 0.95);
+    s.latency_p99_ms = percentile(samples, 0.99);
+    s.latency_p999_ms = percentile(samples, 0.999);
+    s.latency_max_ms = samples.back();
   }
   return s;
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::vector<double> samples;
+  std::size_t requests = 0, batches = 0, queue_peak = 0;
+  double blocked_ms = 0.0, elapsed = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples = latencies_ms_;
+    requests = requests_;
+    batches = batches_;
+    queue_peak = queue_peak_;
+    blocked_ms = blocked_ms_;
+    elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  return finalize(requests, batches, elapsed, std::move(samples), queue_peak,
+                  blocked_ms);
+}
+
+StatsSnapshot ServerStats::aggregate(
+    const std::vector<const ServerStats*>& groups) {
+  std::vector<double> samples;
+  std::size_t requests = 0, batches = 0, queue_peak = 0;
+  double blocked_ms = 0.0, elapsed = 0.0;
+  for (const ServerStats* group : groups) {
+    std::lock_guard<std::mutex> lock(group->mu_);
+    samples.insert(samples.end(), group->latencies_ms_.begin(),
+                   group->latencies_ms_.end());
+    requests += group->requests_;
+    batches += group->batches_;
+    queue_peak = std::max(queue_peak, group->queue_peak_);
+    blocked_ms += group->blocked_ms_;
+    elapsed = std::max(
+        elapsed,
+        std::chrono::duration<double>(Clock::now() - group->start_).count());
+  }
+  return finalize(requests, batches, elapsed, std::move(samples), queue_peak,
+                  blocked_ms);
 }
 
 void ServerStats::reset() {
@@ -71,6 +121,8 @@ void ServerStats::reset() {
   next_slot_ = 0;
   requests_ = 0;
   batches_ = 0;
+  queue_peak_ = 0;
+  blocked_ms_ = 0.0;
   start_ = Clock::now();
 }
 
@@ -87,7 +139,11 @@ std::string StatsSnapshot::to_string() const {
   out += "latency p50:     " + util::format_fixed(latency_p50_ms, 3) + " ms\n";
   out += "latency p95:     " + util::format_fixed(latency_p95_ms, 3) + " ms\n";
   out += "latency p99:     " + util::format_fixed(latency_p99_ms, 3) + " ms\n";
+  out += "latency p99.9:   " + util::format_fixed(latency_p999_ms, 3) +
+         " ms\n";
   out += "latency max:     " + util::format_fixed(latency_max_ms, 3) + " ms\n";
+  out += "queue peak:      " + std::to_string(queue_peak) + "\n";
+  out += "blocked in submit: " + util::format_fixed(blocked_ms, 3) + " ms\n";
   return out;
 }
 

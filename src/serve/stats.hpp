@@ -3,7 +3,8 @@
 // Worker threads record one entry per completed request under a mutex; a
 // snapshot() sorts a copy of the latency samples and derives percentiles,
 // so recording stays O(1) on the hot path and readers never block workers
-// for long.
+// for long. A sharded server keeps one ServerStats per worker group and
+// derives the server-wide view with aggregate().
 #pragma once
 
 #include <chrono>
@@ -14,7 +15,7 @@
 
 namespace dstee::serve {
 
-/// Point-in-time aggregate view of a server's traffic.
+/// Point-in-time aggregate view of a server's (or one shard's) traffic.
 struct StatsSnapshot {
   std::size_t requests = 0;       ///< completed requests
   std::size_t batches = 0;        ///< forward passes executed
@@ -25,7 +26,10 @@ struct StatsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
   double latency_max_ms = 0.0;
+  std::size_t queue_peak = 0;     ///< queue-depth high-water mark
+  double blocked_ms = 0.0;        ///< total submit() backpressure wait
 
   /// Multi-line human-readable report.
   std::string to_string() const;
@@ -52,8 +56,21 @@ class ServerStats {
   /// wait + compute) of each request it contained.
   void record_batch(const std::vector<double>& request_latencies_ms);
 
+  /// Records the queue depth observed right after an enqueue; keeps the
+  /// high-water mark.
+  void record_queue_depth(std::size_t depth);
+
+  /// Adds one submit() backpressure stall to the blocked-time total.
+  void record_blocked_ms(double ms);
+
   /// Aggregates everything recorded so far.
   StatsSnapshot snapshot() const;
+
+  /// Server-wide view over per-shard recorders: counts and blocked time
+  /// sum, queue peak is the max across groups, elapsed is the longest
+  /// clock, and percentiles are computed over the union of the groups'
+  /// latency windows.
+  static StatsSnapshot aggregate(const std::vector<const ServerStats*>& groups);
 
   /// Clears samples and restarts the throughput clock.
   void reset();
@@ -61,11 +78,18 @@ class ServerStats {
  private:
   using Clock = std::chrono::steady_clock;
 
+  static StatsSnapshot finalize(std::size_t requests, std::size_t batches,
+                                double elapsed_seconds,
+                                std::vector<double> samples,
+                                std::size_t queue_peak, double blocked_ms);
+
   mutable std::mutex mu_;
   std::vector<double> latencies_ms_;  ///< ring, capped at kMaxLatencySamples
   std::size_t next_slot_ = 0;         ///< ring write position once full
   std::size_t requests_ = 0;
   std::size_t batches_ = 0;
+  std::size_t queue_peak_ = 0;
+  double blocked_ms_ = 0.0;
   Clock::time_point start_;
 };
 

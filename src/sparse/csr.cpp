@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "kernels/parallel.hpp"
 #include "util/check.hpp"
 
 namespace dstee::sparse {
@@ -75,7 +74,7 @@ tensor::Tensor CsrMatrix::matmul_nt(const tensor::Tensor& x) const {
 }
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
-                               std::size_t num_threads) const {
+                               const runtime::IntraOp& intra) const {
   util::check(x.rank() == 2 && x.dim(1) == cols_,
               "spmm expects [batch, cols]");
   const std::size_t batch = x.dim(0);
@@ -98,8 +97,13 @@ tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
     }
   };
 
-  kernels::parallel_chunks(rows_, num_threads, run_rows);
+  runtime::intra_chunks(intra, rows_, run_rows);
   return y;
+}
+
+tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
+                               std::size_t num_threads) const {
+  return spmm(x, runtime::IntraOp{num_threads, nullptr});
 }
 
 tensor::Tensor CsrMatrix::spmm_cols(const tensor::Tensor& cols) const {

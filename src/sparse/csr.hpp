@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/pool.hpp"
 #include "sparse/masked_parameter.hpp"
 #include "tensor/tensor.hpp"
 
@@ -51,10 +52,15 @@ class CsrMatrix {
   /// The loop nest is row-parallel: output rows are split into contiguous
   /// chunks, each owned by one worker, so every element of Y is written by
   /// exactly one thread and the result is bit-identical for any thread
-  /// count. `num_threads` 0 means hardware_concurrency; 1 (the default)
-  /// runs inline with no thread spawn.
+  /// count. `intra` picks the chunk count and the executing
+  /// runtime::Pool; the default ({1, nullptr}) runs inline and never
+  /// touches a pool.
   tensor::Tensor spmm(const tensor::Tensor& x,
-                      std::size_t num_threads = 1) const;
+                      const runtime::IntraOp& intra = {}) const;
+
+  /// Chunk-count-only overload (threads 0 = pool-wide on the process
+  /// default pool) for call sites without a pool to inject.
+  tensor::Tensor spmm(const tensor::Tensor& x, std::size_t num_threads) const;
 
   /// Y = A·B for dense B[cols, n] (row-major) → Y[rows, n]: the CSR kernel
   /// over an im2col patch matrix, whose columns are output positions. Each

@@ -123,6 +123,9 @@ TEST(Kernels, AddChannelBiasBroadcastsPerPlane) {
 }
 
 TEST(Kernels, ParallelChunksCoversRangeExactlyOnce) {
+  // parallel_chunks is now a shim over the persistent runtime pool; the
+  // historical contract (coverage, clamping, empty-range call) must hold
+  // unchanged.
   for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
                                     std::size_t{16}, std::size_t{0}}) {
     std::vector<std::atomic<int>> hits(13);
@@ -139,6 +142,20 @@ TEST(Kernels, ParallelChunksCoversRangeExactlyOnce) {
     EXPECT_EQ(b0, b1);
   });
   EXPECT_TRUE(called);
+}
+
+TEST(Kernels, SpawnChunksBaselineKeepsTheSameContract) {
+  // The retired per-call-spawn fan-out stays available as the bench
+  // baseline; it must partition exactly like the pool path so the two
+  // are comparable.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{16}, std::size_t{0}}) {
+    std::vector<std::atomic<int>> hits(13);
+    kernels::spawn_chunks(13, threads, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
 }
 
 }  // namespace

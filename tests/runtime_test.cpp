@@ -1,0 +1,243 @@
+// src/runtime/ tests: pool lifecycle, the run_chunks/parallel_for fan-out
+// contract (coverage, exceptions, nesting, concurrent submitters), and
+// bit-identical kernel results across thread counts — the determinism
+// guarantee every parallel kernel in the codebase leans on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "kernels/conv.hpp"
+#include "kernels/pool.hpp"
+#include "nn/conv2d.hpp"
+#include "runtime/pool.hpp"
+#include "sparse/csr.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace dstee {
+namespace {
+
+using testing::random_tensor;
+
+TEST(RuntimePool, RunChunksCoversRangeExactlyOnce) {
+  runtime::Pool pool(3);
+  for (const std::size_t chunks : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{16}, std::size_t{0}}) {
+    std::vector<std::atomic<int>> hits(13);
+    pool.run_chunks(13, chunks, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  // Empty range still invokes fn once with an empty chunk.
+  bool called = false;
+  pool.run_chunks(0, 4, [&](std::size_t b0, std::size_t b1) {
+    called = true;
+    EXPECT_EQ(b0, b1);
+  });
+  EXPECT_TRUE(called);
+}
+
+TEST(RuntimePool, ZeroWorkerPoolRunsEverythingInline) {
+  runtime::Pool pool(0);
+  const std::thread::id me = std::this_thread::get_id();
+  std::vector<int> hits(9, 0);  // plain ints: no other thread may touch them
+  pool.run_chunks(9, 4, [&](std::size_t b0, std::size_t b1) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+    for (std::size_t i = b0; i < b1; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });  // inline on a zero-worker pool
+  EXPECT_TRUE(ran);
+}
+
+TEST(RuntimePool, LifecycleSurvivesRepeatedConstructionAndIdleDestruction) {
+  for (int round = 0; round < 5; ++round) {
+    runtime::Pool pool(2);
+    if (round % 2 == 0) continue;  // destroy while fully idle
+    std::atomic<int> sum{0};
+    pool.run_chunks(100, 0, [&](std::size_t b0, std::size_t b1) {
+      sum.fetch_add(static_cast<int>(b1 - b0));
+    });
+    EXPECT_EQ(sum.load(), 100);
+  }
+}
+
+TEST(RuntimePool, ParallelForRespectsGrain) {
+  runtime::Pool pool(3);
+  std::atomic<int> chunks{0};
+  // 10 items at grain 8 → one chunk despite 3 workers being available.
+  pool.parallel_for(10, 8, [&](std::size_t, std::size_t) {
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+  // Grain 1 fans out across workers + caller, bounded by the pool width.
+  chunks = 0;
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, 1, [&](std::size_t b0, std::size_t b1) {
+    chunks.fetch_add(1);
+    for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 4);  // workers() + 1
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RuntimePool, ExceptionsPropagateFromAnyChunkAndPoolSurvives) {
+  runtime::Pool pool(2);
+  // A pool-executed chunk throws.
+  EXPECT_THROW(
+      pool.run_chunks(9, 3,
+                      [&](std::size_t b0, std::size_t) {
+                        if (b0 >= 6) throw std::runtime_error("worker chunk");
+                      }),
+      std::runtime_error);
+  // The caller's own chunk throws.
+  EXPECT_THROW(
+      pool.run_chunks(9, 3,
+                      [&](std::size_t b0, std::size_t) {
+                        if (b0 == 0) throw std::runtime_error("caller chunk");
+                      }),
+      std::runtime_error);
+  // The pool is fully usable afterwards.
+  std::atomic<int> sum{0};
+  pool.run_chunks(10, 3, [&](std::size_t b0, std::size_t b1) {
+    sum.fetch_add(static_cast<int>(b1 - b0));
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(RuntimePool, ConcurrentSubmittersEachGetCorrectResults) {
+  runtime::Pool pool(3);
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kRounds = 25;
+  std::atomic<std::size_t> wrong{0};
+  auto submitter = [&](std::size_t id) {
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      const std::size_t n = 17 + id * 7 + round;
+      std::vector<std::atomic<int>> hits(n);
+      pool.run_chunks(n, 4, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
+      });
+      for (const auto& h : hits) {
+        if (h.load() != 1) wrong.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < kSubmitters; ++id) {
+    threads.emplace_back(submitter, id);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+}
+
+TEST(RuntimePool, NestedParallelRegionsRunInlineWithoutDeadlock) {
+  runtime::Pool pool(2);
+  std::vector<std::atomic<int>> hits(6 * 8);
+  // Outer fan-out saturates the pool; inner regions (from pool workers
+  // AND from the caller mid-region) must complete inline instead of
+  // waiting for workers that are already busy.
+  pool.run_chunks(6, 6, [&](std::size_t o0, std::size_t o1) {
+    for (std::size_t outer = o0; outer < o1; ++outer) {
+      pool.run_chunks(8, 4, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t inner = i0; inner < i1; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RuntimePool, DetachedSubmitRunsEveryTask) {
+  runtime::Pool pool(2);
+  constexpr int kTasks = 64;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(RuntimePool, DefaultPoolIsAProcessSingleton) {
+  EXPECT_EQ(&runtime::default_pool(), &runtime::default_pool());
+  EXPECT_GE(runtime::default_parallelism(), 1u);
+  EXPECT_EQ(runtime::default_pool().workers(),
+            runtime::default_parallelism() - 1);
+}
+
+// --- determinism: parallel kernels are bit-identical across thread
+// counts, the contract the serving layer's correctness rests on ----------
+
+TEST(RuntimeDeterminism, SpmmBitIdenticalAcrossThreadCountsAndPools) {
+  util::Rng rng(3);
+  auto w = random_tensor(tensor::Shape({64, 48}), 31);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(0.1)) w[i] = 0.0f;
+  }
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto x = random_tensor(tensor::Shape({7, 48}), 32);
+
+  const auto serial = csr.spmm(x);
+  runtime::Pool own_pool(3);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{5},
+                                    std::size_t{0}}) {
+    EXPECT_TRUE(csr.spmm(x, runtime::IntraOp{threads, nullptr})
+                    .equals(serial));
+    EXPECT_TRUE(csr.spmm(x, runtime::IntraOp{threads, &own_pool})
+                    .equals(serial));
+  }
+}
+
+TEST(RuntimeDeterminism, ConvAndPoolKernelsBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(5);
+  nn::Conv2d conv(3, 5, 3, 1, 1, rng, /*with_bias=*/true);
+  const auto w2d =
+      conv.weight().value.reshaped(tensor::Shape({5, 3 * 3 * 3}));
+  const auto x = random_tensor(tensor::Shape({5, 3, 9, 9}), 33);
+
+  const auto serial = kernels::conv2d_forward(x, w2d, 3, 1, 1,
+                                              conv.bias().value.raw());
+  runtime::Pool own_pool(2);
+  for (const runtime::IntraOp intra :
+       {runtime::IntraOp{3, nullptr}, runtime::IntraOp{0, &own_pool}}) {
+    EXPECT_TRUE(kernels::conv2d_forward(x, w2d, 3, 1, 1,
+                                        conv.bias().value.raw(), intra)
+                    .equals(serial));
+    EXPECT_TRUE(kernels::maxpool2d(x, 3, 3, nullptr, intra)
+                    .equals(kernels::maxpool2d(x, 3, 3)));
+    EXPECT_TRUE(kernels::avgpool2d(x, 3, intra)
+                    .equals(kernels::avgpool2d(x, 3)));
+    EXPECT_TRUE(kernels::global_avg_pool(x, intra)
+                    .equals(kernels::global_avg_pool(x)));
+  }
+}
+
+TEST(RuntimeDeterminism, TrainingForwardBitIdenticalAcrossIntraOpDefault) {
+  util::Rng rng(9);
+  nn::Conv2d conv(2, 4, 3, 1, 1, rng, /*with_bias=*/true);
+  const auto x = random_tensor(tensor::Shape({6, 2, 8, 8}), 34);
+
+  runtime::set_intra_op_default(1);
+  const auto serial = conv.forward(x);
+  runtime::set_intra_op_default(3);
+  const auto threaded = conv.forward(x);
+  runtime::set_intra_op_default(1);  // restore for other tests
+  EXPECT_TRUE(threaded.equals(serial));
+}
+
+}  // namespace
+}  // namespace dstee

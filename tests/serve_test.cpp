@@ -336,6 +336,124 @@ TEST(Server, ServesConvSamplesBatchedByShape) {
   EXPECT_EQ(server.stats().requests, 8u);
 }
 
+TEST(CompiledNet, CloneSharesNoStateAndMatchesBitForBit) {
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto replica = net.clone();
+  EXPECT_EQ(replica.num_ops(), net.num_ops());
+  EXPECT_EQ(replica.total_nnz(), net.total_nnz());
+  EXPECT_EQ(replica.input_features(), net.input_features());
+  const auto x = random_tensor(tensor::Shape({5, 12}), 61);
+  EXPECT_TRUE(replica.forward(x).equals(net.forward(x)));
+}
+
+TEST(CompiledNet, ResNetCloneMatchesBitForBit) {
+  // Clone must deep-copy the residual op graph (binary joins, shared
+  // producers), not just chain nets.
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+  util::Rng rng(6);
+  models::ResNet resnet(cfg, rng);
+  resnet.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 96));
+  resnet.set_training(false);
+  const auto net = serve::CompiledNet::compile(resnet);
+  const auto replica = net.clone();
+  const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 97);
+  EXPECT_TRUE(replica.forward(x).equals(net.forward(x)));
+}
+
+TEST(Server, ShardedAnswersBitIdenticalToSingleShard) {
+  CompiledHarness h(0.8);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  // Shard replicas and the per-shape routing must be invisible to
+  // clients: the CSR row reduction is batch-independent, so every shard
+  // count returns identical bits for the same sample.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    serve::ServerConfig cfg;
+    cfg.num_threads = 2;
+    cfg.num_shards = shards;
+    cfg.max_batch = 4;
+    cfg.max_delay_ms = 0.5;
+    serve::InferenceServer server(net, cfg);
+    std::vector<std::future<tensor::Tensor>> futures;
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(
+          server.submit(random_tensor(tensor::Shape({12}), 500 + i)));
+    }
+    for (int i = 0; i < 12; ++i) {
+      const auto x = random_tensor(tensor::Shape({12}), 500 + i);
+      const auto expected = net.forward(x.reshaped(tensor::Shape({1, 12})));
+      EXPECT_TRUE(futures[static_cast<std::size_t>(i)].get().equals(
+          expected.reshaped(tensor::Shape({5}))))
+          << "shards=" << shards << " request " << i;
+    }
+    server.shutdown();
+    EXPECT_EQ(server.stats().requests, 12u);
+  }
+}
+
+TEST(Server, ShardStatsSumToAggregateAndRoutingSpreadsLoad) {
+  CompiledHarness h(0.5);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.num_shards = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 0.5;
+  serve::InferenceServer server(net, cfg);
+  EXPECT_EQ(server.num_shards(), 2u);
+
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 700 + i)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);
+  server.shutdown();
+
+  const auto total = server.stats();
+  EXPECT_EQ(total.requests, 16u);
+  std::size_t sum = 0, batches = 0;
+  for (std::size_t s = 0; s < server.num_shards(); ++s) {
+    const auto ss = server.shard_stats(s);
+    sum += ss.requests;
+    batches += ss.batches;
+    // Round-robin-by-shape: one shape, so the split is exactly even.
+    EXPECT_EQ(ss.requests, 8u);
+    EXPECT_GE(ss.queue_peak, 1u);
+    EXPECT_GE(ss.blocked_ms, 0.0);
+  }
+  EXPECT_EQ(sum, total.requests);
+  EXPECT_EQ(batches, total.batches);
+  EXPECT_GE(total.queue_peak, 1u);
+  EXPECT_THROW(server.shard_stats(2), util::CheckError);
+}
+
+TEST(Server, BackpressureBlockedTimeIsRecorded) {
+  CompiledHarness h(0.5);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 1;  // every enqueue beyond the first must wait
+  cfg.max_delay_ms = 0.0;
+  serve::InferenceServer server(net, cfg);
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 800 + i)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 32u);
+  EXPECT_EQ(stats.queue_peak, 1u);   // capacity bound was respected
+  EXPECT_GE(stats.blocked_ms, 0.0);  // stall counter wired through
+}
+
 TEST(ServerStats, PercentilesAreInterpolated) {
   const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(serve::percentile(sorted, 0.0), 1.0);

@@ -1,10 +1,13 @@
-// dstee_serve — sparse inference server + closed-loop load generator.
+// dstee_serve — sparse inference server + load generator.
 //
 // Compiles an MLP, VGG or ResNet into a CSR CompiledNet (Linear → SpMM,
 // Conv2d → im2col + SpMM over patches, residual adds as graph joins),
-// starts an InferenceServer (thread pool + micro-batching queue), drives
-// it with closed-loop client threads, and reports latency percentiles and
-// throughput.
+// starts an InferenceServer (sharded replica worker groups + per-group
+// micro-batching queues; intra-op work runs on the persistent runtime
+// pool), drives it with either closed-loop client threads or an
+// open-loop Poisson arrival process (--arrival-rate), and reports
+// latency percentiles (p50/p99/p99.9 in open-loop mode), queue peaks,
+// backpressure-blocked time, and throughput.
 //
 //   # serve a checkpoint trained by dstee_run (same architecture flags):
 //   ./build/tools/dstee_run --model mlp --sparsity 0.95 --checkpoint m.bin
@@ -18,8 +21,14 @@
 //   ./build/tools/dstee_serve --model resnet18 --sparsity 0.9
 // (join wrapped lines when copying; see --help for the full flag set)
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -125,13 +134,22 @@ int run(int argc, const char* const* argv) {
       .add_flag("classes", "output classes (vgg/resnet)", "8")
       .add_flag("width", "width multiplier (vgg/resnet)", "0.1")
       .add_flag("sparsity", "topology sparsity when no checkpoint", "0.9")
-      .add_flag("threads", "server worker threads", "2")
+      .add_flag("threads", "server worker threads per shard", "2")
+      .add_flag("shards", "replica worker groups (round-robin routing)",
+                "1")
       .add_flag("max-batch", "micro-batch flush size", "16")
       .add_flag("max-delay-ms", "micro-batch flush deadline", "2.0")
-      .add_flag("intra-threads", "row-parallel threads inside each SpMM",
+      .add_flag("intra-op",
+                "intra-op chunks per kernel on the runtime pool (0 = "
+                "pool-wide)",
                 "1")
       .add_flag("clients", "closed-loop client threads", "4")
-      .add_flag("requests", "total requests across all clients", "2000")
+      .add_flag("requests",
+                "total requests (across clients, or open-loop arrivals)",
+                "2000")
+      .add_flag("arrival-rate",
+                "open-loop Poisson arrivals per second (0 = closed loop)",
+                "0")
       .add_flag("seed", "random seed", "1")
       .add_flag("smoke",
                 "tiny self-checking run for CI (overrides load knobs)",
@@ -159,7 +177,7 @@ int run(int argc, const char* const* argv) {
 
   serve::CompileOptions copts;
   copts.intra_op_threads =
-      static_cast<std::size_t>(args.get_int("intra-threads"));
+      static_cast<std::size_t>(args.get_int("intra-op"));
 
   std::optional<sparse::SparseModel> smodel;
   if (ckpt.empty()) {
@@ -204,12 +222,16 @@ int run(int argc, const char* const* argv) {
 
   serve::ServerConfig scfg;
   scfg.num_threads = static_cast<std::size_t>(args.get_int("threads"));
+  scfg.num_shards = static_cast<std::size_t>(args.get_int("shards"));
   scfg.max_batch = static_cast<std::size_t>(args.get_int("max-batch"));
   scfg.max_delay_ms = args.get_double("max-delay-ms");
+  const double arrival_rate = args.get_double("arrival-rate");
   std::size_t clients = static_cast<std::size_t>(args.get_int("clients"));
   std::size_t total_requests =
       static_cast<std::size_t>(args.get_int("requests"));
   if (smoke) {
+    // Smoke shrinks the load but keeps --shards/--arrival-rate, so the
+    // sharded and open-loop paths get their own CI smokes.
     scfg.num_threads = 2;
     scfg.max_batch = 8;
     scfg.max_delay_ms = 1.0;
@@ -217,40 +239,132 @@ int run(int argc, const char* const* argv) {
     total_requests = 64;
   }
   util::check(clients >= 1, "need at least one client");
+  util::check(arrival_rate >= 0.0, "arrival rate must be non-negative");
 
   serve::InferenceServer server(net, scfg);
-  std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> failures{0};
   util::Timer wall;
+  double offered_rps = 0.0;
 
-  auto client = [&](std::size_t client_id) {
-    util::Rng crng(static_cast<std::uint64_t>(args.get_int("seed")) + 1000 +
-                   client_id);
-    while (next.fetch_add(1) < total_requests) {
+  if (arrival_rate > 0.0) {
+    // Open-loop (Poisson) load: arrivals follow a rate process that does
+    // NOT wait for completions, so queueing delay lands in the latency
+    // tail instead of silently throttling the offered load the way a
+    // closed loop does. The main thread dispatches on exponential
+    // inter-arrival gaps while a reaper thread consumes futures
+    // concurrently, so reaping never delays an arrival. submit() can
+    // still block when a shard queue hits capacity — that stall is the
+    // finite-buffer reality, and it is measured and reported as
+    // backpressure-blocked time.
+    util::Rng arrivals(
+        static_cast<std::uint64_t>(args.get_int("seed")) + 4242);
+    std::mutex fmu;
+    std::condition_variable fcv;
+    std::deque<std::future<tensor::Tensor>> inflight;
+    bool dispatch_done = false;
+    std::thread reaper([&] {
+      for (;;) {
+        std::future<tensor::Tensor> f;
+        {
+          std::unique_lock<std::mutex> lock(fmu);
+          fcv.wait(lock, [&] { return dispatch_done || !inflight.empty(); });
+          if (inflight.empty()) return;  // dispatch done and drained
+          f = std::move(inflight.front());
+          inflight.pop_front();
+        }
+        try {
+          if (f.get().numel() != m.out_features) failures.fetch_add(1);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point next_arrival = Clock::now();
+    for (std::size_t i = 0; i < total_requests; ++i) {
+      const double gap_s =
+          -std::log(1.0 - arrivals.uniform()) / arrival_rate;
+      next_arrival += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(gap_s));
+      std::this_thread::sleep_until(next_arrival);  // no-op when behind
       tensor::Tensor sample(m.sample_shape);
-      tensor::fill_normal(sample, crng, 0.0f, 1.0f);
+      tensor::fill_normal(sample, arrivals, 0.0f, 1.0f);
       try {
-        const tensor::Tensor out = server.submit(std::move(sample)).get();
-        if (out.numel() != m.out_features) failures.fetch_add(1);
+        std::future<tensor::Tensor> f = server.submit(std::move(sample));
+        {
+          std::lock_guard<std::mutex> lock(fmu);
+          inflight.push_back(std::move(f));
+        }
+        fcv.notify_one();
       } catch (const std::exception&) {
         failures.fetch_add(1);
       }
     }
-  };
-  std::vector<std::thread> pool;
-  for (std::size_t c = 1; c < clients; ++c) pool.emplace_back(client, c);
-  client(0);
-  for (auto& t : pool) t.join();
+    offered_rps = static_cast<double>(total_requests) / wall.seconds();
+    {
+      std::lock_guard<std::mutex> lock(fmu);
+      dispatch_done = true;
+    }
+    fcv.notify_all();
+    reaper.join();
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto client = [&](std::size_t client_id) {
+      util::Rng crng(static_cast<std::uint64_t>(args.get_int("seed")) +
+                     1000 + client_id);
+      while (next.fetch_add(1) < total_requests) {
+        tensor::Tensor sample(m.sample_shape);
+        tensor::fill_normal(sample, crng, 0.0f, 1.0f);
+        try {
+          const tensor::Tensor out = server.submit(std::move(sample)).get();
+          if (out.numel() != m.out_features) failures.fetch_add(1);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    for (std::size_t c = 1; c < clients; ++c) pool.emplace_back(client, c);
+    client(0);
+    for (auto& t : pool) t.join();
+  }
   const double wall_s = wall.seconds();
   server.shutdown();
 
   const serve::StatsSnapshot stats = server.stats();
-  std::cout << "\n--- load generator (" << clients << " closed-loop clients) "
-            << "---\n"
-            << stats.to_string() << "client-side throughput: "
-            << util::format_fixed(
-                   static_cast<double>(stats.requests) / wall_s, 1)
-            << " req/s\n";
+  if (arrival_rate > 0.0) {
+    std::cout << "\n--- load generator (open-loop Poisson, "
+              << util::format_fixed(arrival_rate, 1) << " req/s offered) "
+              << "---\n"
+              << stats.to_string() << "offered rate:    "
+              << util::format_fixed(offered_rps, 1)
+              << " req/s (achieved dispatch)\n"
+              << "tail latency:    p50 "
+              << util::format_fixed(stats.latency_p50_ms, 3) << " ms | p99 "
+              << util::format_fixed(stats.latency_p99_ms, 3)
+              << " ms | p99.9 "
+              << util::format_fixed(stats.latency_p999_ms, 3) << " ms\n";
+  } else {
+    std::cout << "\n--- load generator (" << clients
+              << " closed-loop clients) ---\n"
+              << stats.to_string() << "client-side throughput: "
+              << util::format_fixed(
+                     static_cast<double>(stats.requests) / wall_s, 1)
+              << " req/s\n";
+  }
+  if (server.num_shards() > 1) {
+    std::cout << "\nper-shard (" << server.num_shards()
+              << " replica groups, round-robin-by-shape routing):\n";
+    for (std::size_t sh = 0; sh < server.num_shards(); ++sh) {
+      const serve::StatsSnapshot ss = server.shard_stats(sh);
+      std::cout << "  shard " << sh << ": " << ss.requests << " reqs in "
+                << ss.batches << " batches (mean "
+                << util::format_fixed(ss.mean_batch_size, 2) << "), p99 "
+                << util::format_fixed(ss.latency_p99_ms, 3)
+                << " ms, queue peak " << ss.queue_peak << ", blocked "
+                << util::format_fixed(ss.blocked_ms, 3) << " ms\n";
+    }
+  }
 
   util::check(failures.load() == 0, std::to_string(failures.load()) +
                                         " requests failed or returned a "
