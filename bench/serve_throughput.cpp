@@ -26,7 +26,9 @@
 #include "kernels/parallel.hpp"
 #include "models/mlp.hpp"
 #include "models/vgg.hpp"
+#include "nn/conv2d.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/passes.hpp"
 #include "serve/server.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
@@ -167,6 +169,151 @@ void sweep_intra_op_pool(double min_time, util::CsvWriter& csv) {
   bench::shape_check(
       "persistent pool beats per-call spawn at batch <= 8 (geomean)",
       mean_speedup > 1.0);
+}
+
+/// Row-range partitioning (serve::PartitionRows): the ROADMAP's second
+/// sharding step. The heaviest CSR ops split into k cost-balanced row
+/// slices executed as one fan-out on the runtime pool, so a single
+/// sample's biggest layers run on several workers at once — the batch-1
+/// latency lever replication alone cannot pull. Two workloads:
+///
+///   partition_layer  the largest conv of a 90%-sparse VGG-19-at-width
+///                    profile on its own, batch 1 — the acceptance metric
+///   partition        a full 90%-sparse VGG-19, batch 1..8
+///
+/// k=1 rows are the unpartitioned baseline; every partitioned program is
+/// gated bit-identical to it before timing.
+void sweep_partition(const bench::BenchEnv& env, double min_time,
+                     util::CsvWriter& csv) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::vector<std::size_t> ways = {1, 2, 4};
+
+  auto partitioned = [&](nn::Sequential& model,
+                         const sparse::SparseModel& smodel,
+                         const tensor::Shape& sample, std::size_t k,
+                         double threshold) {
+    serve::Compiler compiler;
+    if (k >= 2) {
+      serve::PartitionRowsOptions popts;
+      popts.ways = k;
+      popts.min_cost_share = threshold;
+      popts.sample_shape = sample;
+      compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+    }
+    return compiler.compile(model, &smodel);
+  };
+
+  // --- largest layer alone, batch 1 ------------------------------------
+  // VGG-19's heaviest op at this width profile: a 3x3 conv over the
+  // widest stage, 90% sparse.
+  const std::size_t ch = env.scaled(128, 32);
+  util::Rng rng(53);
+  nn::Sequential layer;
+  layer.emplace<nn::Conv2d>(ch, ch, 3, 1, 1, rng);
+  sparse::SparseModel layer_state(layer, 0.9,
+                                  sparse::DistributionKind::kUniform, rng);
+  layer.set_training(false);
+  const tensor::Shape layer_sample({ch, 8, 8});
+  tensor::Tensor lx{layer_sample.prepended(1)};
+  util::Rng lrng(54);
+  tensor::fill_normal(lx, lrng, 0.0f, 1.0f);
+
+  std::cout << "row-range partitioning: largest layer (spconv " << ch
+            << "->" << ch << " k3 @ 8x8, 90% sparse), batch 1, " << hw
+            << " hw threads\n";
+  util::Table layer_table({"partitions", "rows/s", "speedup"});
+  double layer_base = 0.0, layer_best = 0.0;
+  tensor::Tensor layer_ref;
+  for (const std::size_t k : ways) {
+    const serve::CompiledNet net =
+        partitioned(layer, layer_state, layer_sample, k, 0.0);
+    if (k == 1) {
+      layer_ref = net.forward(lx);
+    } else {
+      util::check(net.forward(lx).equals(layer_ref),
+                  "partitioned layer diverged from unpartitioned");
+    }
+    const double rate =
+        measure_rows_per_s([&] { net.forward(lx); }, 1, min_time);
+    if (k == 1) layer_base = rate;
+    layer_best = std::max(layer_best, rate);
+    layer_table.add_row({std::to_string(k), util::format_fixed(rate, 0),
+                         util::format_fixed(rate / layer_base, 2) + "x"});
+    csv.write_row({"partition_layer", std::to_string(k), "-", "1",
+                   util::format_fixed(layer_base, 1),
+                   util::format_fixed(rate, 1),
+                   util::format_fixed(rate / layer_base, 3)});
+  }
+  std::cout << layer_table.render() << "\n";
+
+  // --- whole VGG-19 ------------------------------------------------------
+  models::VggConfig vcfg;
+  vcfg.depth = 19;
+  vcfg.image_size = 16;
+  vcfg.num_classes = 10;
+  vcfg.width_multiplier = 0.25 * env.scale;
+  util::Rng vrng(57);
+  models::Vgg vgg(vcfg, vrng);
+  sparse::SparseModel vgg_state(vgg, 0.9, sparse::DistributionKind::kErk,
+                                vrng);
+  tensor::Tensor warm({2, 3, vcfg.image_size, vcfg.image_size});
+  util::Rng wrng(58);
+  tensor::fill_normal(warm, wrng, 0.0f, 1.0f);
+  vgg.forward(warm);  // move BN stats off init so folding is non-trivial
+  vgg.set_training(false);
+  const tensor::Shape vgg_sample({3, vcfg.image_size, vcfg.image_size});
+
+  std::cout << "row-range partitioning: VGG-19 @ "
+            << vcfg.image_size << "x" << vcfg.image_size << " width x"
+            << util::format_fixed(vcfg.width_multiplier, 2)
+            << ", 90% sparse (split ops with >=10% FLOPs share)\n";
+  util::Table net_table({"partitions", "batch", "rows/s", "speedup"});
+  double net_base_b1 = 0.0, net_best_b1 = 0.0;
+  const serve::CompiledNet vgg_baseline =
+      partitioned(vgg, vgg_state, vgg_sample, 1, 0.10);
+  for (const std::size_t k : ways) {
+    const serve::CompiledNet net =
+        k == 1 ? vgg_baseline.clone()
+               : partitioned(vgg, vgg_state, vgg_sample, k, 0.10);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+      tensor::Tensor x{vgg_sample.prepended(batch)};
+      util::Rng xrng(60 + batch);
+      tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+      util::check(net.forward(x).equals(vgg_baseline.forward(x)),
+                  "partitioned VGG diverged from unpartitioned");
+      const double rate =
+          measure_rows_per_s([&] { net.forward(x); }, batch, min_time);
+      double base = rate;
+      if (batch == 1) {
+        if (k == 1) net_base_b1 = rate;
+        base = net_base_b1;
+        net_best_b1 = std::max(net_best_b1, rate);
+      }
+      net_table.add_row({std::to_string(k), std::to_string(batch),
+                         util::format_fixed(rate, 0),
+                         batch == 1
+                             ? util::format_fixed(rate / base, 2) + "x"
+                             : "-"});
+      csv.write_row({"partition", std::to_string(k), "-",
+                     std::to_string(batch),
+                     batch == 1 ? util::format_fixed(net_base_b1, 1) : "-",
+                     util::format_fixed(rate, 1),
+                     batch == 1 ? util::format_fixed(rate / base, 3) : "-"});
+    }
+  }
+  std::cout << net_table.render() << "\n";
+
+  if (hw >= 2) {
+    bench::shape_check(
+        "partitioning (k in {2,4}) improves batch-1 largest-layer latency",
+        layer_best > layer_base);
+    bench::shape_check(
+        "partitioning (k in {2,4}) improves batch-1 VGG-19 latency",
+        net_best_b1 > net_base_b1);
+  } else {
+    std::cout << "[skip] partition speedup checks need >= 2 hw threads\n";
+  }
 }
 
 /// Closed-loop aggregate throughput of the sharded InferenceServer. Each
@@ -321,12 +468,14 @@ int run() {
 
   std::cout << table.render() << "\n";
 
-  // Runtime-pool scaling sweeps (pool vs spawn, shard replicas).
+  // Runtime scaling sweeps (pool vs spawn, row-range partitions, shard
+  // replicas). For the partition rows, `shards` holds the partition count.
   util::CsvWriter scaling_csv(
       "bench_results/serve_scaling.csv",
       {"sweep", "shards", "intra_op", "batch", "baseline_rows_per_s",
        "rows_per_s", "speedup"});
   sweep_intra_op_pool(min_time, scaling_csv);
+  sweep_partition(env, min_time, scaling_csv);
   sweep_shards(env, min_time, scaling_csv);
   scaling_csv.flush();
 

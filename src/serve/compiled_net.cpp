@@ -1,649 +1,17 @@
 #include "serve/compiled_net.hpp"
 
-#include <cmath>
-#include <unordered_map>
 #include <utility>
 
-#include "kernels/activations.hpp"
-#include "kernels/conv.hpp"
-#include "runtime/pool.hpp"
-#include "kernels/pool.hpp"
-#include "models/resnet.hpp"
-#include "nn/activations.hpp"
-#include "nn/batchnorm.hpp"
-#include "nn/conv2d.hpp"
-#include "nn/dropout.hpp"
-#include "nn/flatten.hpp"
-#include "nn/linear.hpp"
-#include "nn/pooling.hpp"
-#include "sparse/flops.hpp"
+#include "serve/passes.hpp"
 #include "train/checkpoint.hpp"
-#include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace dstee::serve {
 
-tensor::Tensor EvalOp::run(const tensor::Tensor& x) const {
-  (void)x;
-  util::fail("EvalOp: unary run() on an op of arity " +
-             std::to_string(arity()));
-}
-
-tensor::Tensor EvalOp::run2(const tensor::Tensor& a,
-                            const tensor::Tensor& b) const {
-  (void)a;
-  (void)b;
-  util::fail("EvalOp: binary run2() on an op of arity " +
-             std::to_string(arity()));
-}
-
-namespace {
-
-/// Common state of the CSR-backed ops (Linear and Conv2d lowerings): the
-/// weight matrix, the bias, and eval-BN folding into both.
-class CsrOp : public EvalOp {
- public:
-  CsrOp(sparse::CsrMatrix csr, tensor::Tensor bias, bool has_bias)
-      : csr_(std::move(csr)), bias_(std::move(bias)), has_bias_(has_bias) {}
-
-  /// Absorbs y ← y·scale + shift (per output row/channel) into the CSR
-  /// values and bias, removing the batch-norm op entirely.
-  void fold_scale_shift(const std::vector<float>& scale,
-                        const std::vector<float>& shift) {
-    csr_.scale_rows(scale);
-    tensor::Tensor folded({csr_.rows()});
-    for (std::size_t r = 0; r < csr_.rows(); ++r) {
-      folded[r] = (has_bias_ ? bias_[r] * scale[r] : 0.0f) + shift[r];
-    }
-    bias_ = std::move(folded);
-    has_bias_ = true;
-    folded_bn_ = true;
-  }
-
-  const sparse::CsrMatrix& csr() const { return csr_; }
-
- protected:
-  std::string csr_suffix() const {
-    return "nnz=" + std::to_string(csr_.nnz()) + ", density=" +
-           util::format_fixed(csr_.density() * 100.0, 1) + "%" +
-           (folded_bn_ ? ", +bn" : "") + ")";
-  }
-
-  sparse::CsrMatrix csr_;
-  tensor::Tensor bias_;
-  bool has_bias_;
-  bool folded_bn_ = false;
-};
-
-/// CSR Linear: y = spmm(x) + bias, with optional folded BN scale/shift.
-class SpmmOp final : public CsrOp {
- public:
-  SpmmOp(sparse::CsrMatrix csr, tensor::Tensor bias, bool has_bias,
-         runtime::IntraOp intra)
-      : CsrOp(std::move(csr), std::move(bias), has_bias), intra_(intra) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<SpmmOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    tensor::Tensor y = csr_.spmm(x, intra_);
-    if (has_bias_) {
-      const std::size_t out = csr_.rows();
-      for (std::size_t n = 0; n < y.dim(0); ++n) {
-        float* row = y.raw() + n * out;
-        for (std::size_t j = 0; j < out; ++j) row[j] += bias_[j];
-      }
-    }
-    return y;
-  }
-
-  std::string describe() const override {
-    return "spmm(" + std::to_string(csr_.rows()) + "x" +
-           std::to_string(csr_.cols()) + ", " + csr_suffix();
-  }
-
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    return tensor::Shape({in.dim(0), csr_.rows()});
-  }
-
-  double flops(const tensor::Shape& in) const override {
-    return sparse::linear_nnz_flops(csr_.nnz(), in.dim(0));
-  }
-
-  double dense_flops(const tensor::Shape& in) const override {
-    return sparse::linear_nnz_flops(csr_.rows() * csr_.cols(), in.dim(0));
-  }
-
- private:
-  runtime::IntraOp intra_;
-};
-
-/// CSR conv: per-image im2col, then Y = W_csr · cols over the patch
-/// matrix, with optional folded BN and bias. The CSR matrix holds the
-/// masked weight viewed as [Cout, Cin·K·K] — the exact lowering
-/// nn::Conv2d uses densely, so a masked checkpoint deploys its trained
-/// topology bit-for-bit.
-class ConvOp final : public CsrOp {
- public:
-  ConvOp(sparse::CsrMatrix csr, std::size_t in_channels, std::size_t kernel,
-         std::size_t stride, std::size_t padding, tensor::Tensor bias,
-         bool has_bias, runtime::IntraOp intra)
-      : CsrOp(std::move(csr), std::move(bias), has_bias),
-        in_channels_(in_channels),
-        kernel_(kernel),
-        stride_(stride),
-        padding_(padding),
-        intra_(intra) {
-    util::check(csr_.cols() == in_channels_ * kernel_ * kernel_,
-                "conv CSR columns must equal Cin*K*K");
-  }
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<ConvOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    const tensor::ConvGeometry g = geometry(x);
-    const std::size_t batch = x.dim(0);
-    const std::size_t oh = g.out_h(), ow = g.out_w();
-    const std::size_t out_ch = csr_.rows();
-    tensor::Tensor y({batch, out_ch, oh, ow});
-    const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
-    const std::size_t out_image_elems = out_ch * oh * ow;
-
-    // Intra-op parallelism splits the batch on the persistent runtime
-    // pool: images are independent, so every output element has exactly
-    // one writer and the result is bit-identical for any chunk count.
-    // Per-chunk im2col scratch keeps run() const and thread-safe. A
-    // single image always runs inline (row-level splitting is the
-    // NUMA/sharding follow-up).
-    runtime::intra_chunks(intra_, batch, [&](std::size_t n0,
-                                             std::size_t n1) {
-      tensor::Tensor cols({g.patch_size(), oh * ow});
-      for (std::size_t n = n0; n < n1; ++n) {
-        tensor::im2col(x.raw() + n * image_elems, g, cols);
-        csr_.spmm_cols_into(cols, y.raw() + n * out_image_elems);
-      }
-    });
-    if (has_bias_) kernels::add_channel_bias(y, bias_.raw());
-    return y;
-  }
-
-  std::string describe() const override {
-    return "spconv(" + std::to_string(in_channels_) + "->" +
-           std::to_string(csr_.rows()) + ", k" + std::to_string(kernel_) +
-           ", s" + std::to_string(stride_) + ", p" +
-           std::to_string(padding_) + ", " + csr_suffix();
-  }
-
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    const tensor::ConvGeometry g = geometry_for(in.dim(2), in.dim(3));
-    return tensor::Shape({in.dim(0), csr_.rows(), g.out_h(), g.out_w()});
-  }
-
-  double flops(const tensor::Shape& in) const override {
-    const tensor::ConvGeometry g = geometry_for(in.dim(2), in.dim(3));
-    return sparse::conv_nnz_flops(csr_.nnz(), g.out_h(), g.out_w(),
-                                  in.dim(0));
-  }
-
-  double dense_flops(const tensor::Shape& in) const override {
-    const tensor::ConvGeometry g = geometry_for(in.dim(2), in.dim(3));
-    return sparse::conv_nnz_flops(csr_.rows() * csr_.cols(), g.out_h(),
-                                  g.out_w(), in.dim(0));
-  }
-
- private:
-  tensor::ConvGeometry geometry_for(std::size_t in_h,
-                                    std::size_t in_w) const {
-    // Checked here (not just in run()) so shape/FLOPs propagation through
-    // out_shape()/flops() fails cleanly instead of underflowing out_h().
-    util::check(in_h + 2 * padding_ >= kernel_ &&
-                    in_w + 2 * padding_ >= kernel_,
-                "spconv input smaller than kernel");
-    tensor::ConvGeometry g;
-    g.in_channels = in_channels_;
-    g.in_h = in_h;
-    g.in_w = in_w;
-    g.kernel_h = kernel_;
-    g.kernel_w = kernel_;
-    g.stride = stride_;
-    g.padding = padding_;
-    return g;
-  }
-
-  tensor::ConvGeometry geometry(const tensor::Tensor& x) const {
-    util::check(x.rank() == 4 && x.dim(1) == in_channels_,
-                "spconv expects [N, " + std::to_string(in_channels_) +
-                    ", H, W], got " + x.shape().to_string());
-    return geometry_for(x.dim(2), x.dim(3));
-  }
-
-  std::size_t in_channels_;
-  std::size_t kernel_;
-  std::size_t stride_;
-  std::size_t padding_;
-  runtime::IntraOp intra_;
-};
-
-/// Residual join: y = a + b, optionally through ReLU — the lowering of
-/// models::ResidualBlock's add-then-activate tail.
-class AddOp final : public EvalOp {
- public:
-  AddOp(bool relu, runtime::IntraOp intra) : relu_(relu), intra_(intra) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<AddOp>(*this);
-  }
-
-  std::size_t arity() const override { return 2; }
-
-  tensor::Tensor run2(const tensor::Tensor& a,
-                      const tensor::Tensor& b) const override {
-    if (relu_) return kernels::add_relu(a, b, nullptr, intra_);
-    util::check(a.shape() == b.shape(),
-                "residual add branches disagree: " + a.shape().to_string() +
-                    " vs " + b.shape().to_string());
-    tensor::Tensor y(a.shape());
-    for (std::size_t i = 0; i < a.numel(); ++i) y[i] = a[i] + b[i];
-    return y;
-  }
-
-  std::string describe() const override {
-    return relu_ ? "add_relu" : "add";
-  }
-
- private:
-  bool relu_;
-  runtime::IntraOp intra_;
-};
-
-/// Eval-mode batch-norm not adjacent to a Linear/Conv2d: y = x·scale +
-/// shift per channel, over [N, C] or [N, C, H, W].
-class ScaleShiftOp final : public EvalOp {
- public:
-  ScaleShiftOp(std::vector<float> scale, std::vector<float> shift, bool rank4)
-      : scale_(std::move(scale)), shift_(std::move(shift)), rank4_(rank4) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<ScaleShiftOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    const std::size_t c = scale_.size();
-    if (rank4_) {
-      util::check(x.rank() == 4 && x.dim(1) == c,
-                  "scale_shift expects [N, C, H, W]");
-    } else {
-      util::check(x.rank() == 2 && x.dim(1) == c,
-                  "scale_shift expects [N, C]");
-    }
-    const std::size_t sp = rank4_ ? x.dim(2) * x.dim(3) : 1;
-    tensor::Tensor y(x.shape());
-    for (std::size_t n = 0; n < x.dim(0); ++n) {
-      for (std::size_t ch = 0; ch < c; ++ch) {
-        const float* src = x.raw() + (n * c + ch) * sp;
-        float* dst = y.raw() + (n * c + ch) * sp;
-        for (std::size_t i = 0; i < sp; ++i) {
-          dst[i] = src[i] * scale_[ch] + shift_[ch];
-        }
-      }
-    }
-    return y;
-  }
-
-  std::string describe() const override {
-    return "scale_shift(" + std::to_string(scale_.size()) + ")";
-  }
-
- private:
-  std::vector<float> scale_;
-  std::vector<float> shift_;
-  bool rank4_;
-};
-
-class ActivationOp final : public EvalOp {
- public:
-  enum class Kind { kRelu, kLeakyRelu, kSigmoid, kTanh };
-
-  explicit ActivationOp(Kind kind, runtime::IntraOp intra, float slope = 0.0f)
-      : kind_(kind), slope_(slope), intra_(intra) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<ActivationOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    switch (kind_) {
-      case Kind::kRelu:
-        return kernels::relu(x, nullptr, intra_);
-      case Kind::kLeakyRelu:
-        return kernels::leaky_relu(x, slope_, intra_);
-      case Kind::kSigmoid:
-        return kernels::sigmoid(x, intra_);
-      case Kind::kTanh:
-        return kernels::tanh(x, intra_);
-    }
-    util::fail("unreachable activation kind");
-  }
-
-  std::string describe() const override {
-    switch (kind_) {
-      case Kind::kRelu:
-        return "relu";
-      case Kind::kLeakyRelu:
-        return "leaky_relu";
-      case Kind::kSigmoid:
-        return "sigmoid";
-      case Kind::kTanh:
-        return "tanh";
-    }
-    return "activation";
-  }
-
- private:
-  Kind kind_;
-  float slope_;
-  runtime::IntraOp intra_;
-};
-
-class FlattenOp final : public EvalOp {
- public:
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<FlattenOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    util::check(x.rank() >= 1, "flatten expects a batched tensor");
-    const std::size_t batch = x.dim(0);
-    return x.reshaped(tensor::Shape({batch, x.numel() / batch}));
-  }
-  std::string describe() const override { return "flatten"; }
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    return tensor::Shape({in.dim(0), in.numel() / in.dim(0)});
-  }
-};
-
-class MaxPoolOp final : public EvalOp {
- public:
-  MaxPoolOp(std::size_t kernel, std::size_t stride, runtime::IntraOp intra)
-      : kernel_(kernel), stride_(stride), intra_(intra) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<MaxPoolOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    return kernels::maxpool2d(x, kernel_, stride_, nullptr, intra_);
-  }
-
-  std::string describe() const override {
-    return "maxpool(k" + std::to_string(kernel_) + ",s" +
-           std::to_string(stride_) + ")";
-  }
-
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    util::check(in.rank() == 4 && in.dim(2) >= kernel_ &&
-                    in.dim(3) >= kernel_,
-                "maxpool input smaller than window");
-    return tensor::Shape({in.dim(0), in.dim(1),
-                          (in.dim(2) - kernel_) / stride_ + 1,
-                          (in.dim(3) - kernel_) / stride_ + 1});
-  }
-
- private:
-  std::size_t kernel_;
-  std::size_t stride_;
-  runtime::IntraOp intra_;
-};
-
-class AvgPoolOp final : public EvalOp {
- public:
-  AvgPoolOp(std::size_t kernel, runtime::IntraOp intra)
-      : kernel_(kernel), intra_(intra) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<AvgPoolOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    return kernels::avgpool2d(x, kernel_, intra_);
-  }
-
-  std::string describe() const override {
-    return "avgpool(k" + std::to_string(kernel_) + ")";
-  }
-
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    util::check(in.rank() == 4 && in.dim(2) >= kernel_ &&
-                    in.dim(3) >= kernel_,
-                "avgpool input smaller than window");
-    return tensor::Shape({in.dim(0), in.dim(1), in.dim(2) / kernel_,
-                          in.dim(3) / kernel_});
-  }
-
- private:
-  std::size_t kernel_;
-  runtime::IntraOp intra_;
-};
-
-class GlobalAvgPoolOp final : public EvalOp {
- public:
-  explicit GlobalAvgPoolOp(runtime::IntraOp intra) : intra_(intra) {}
-
-  std::unique_ptr<EvalOp> clone() const override {
-    return std::make_unique<GlobalAvgPoolOp>(*this);
-  }
-
-  tensor::Tensor run(const tensor::Tensor& x) const override {
-    return kernels::global_avg_pool(x, intra_);
-  }
-  std::string describe() const override { return "global_avg_pool"; }
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    return tensor::Shape({in.dim(0), in.dim(1)});
-  }
-
- private:
-  runtime::IntraOp intra_;
-};
-
-/// Eval-mode BN as per-channel affine constants.
-void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
-                    std::vector<float>& shift) {
-  const std::size_t c = bn.channels();
-  scale.resize(c);
-  shift.resize(c);
-  for (std::size_t i = 0; i < c; ++i) {
-    const double inv_std =
-        1.0 / std::sqrt(static_cast<double>(bn.running_var()[i]) + bn.eps());
-    const double s = static_cast<double>(bn.gamma().value[i]) * inv_std;
-    scale[i] = static_cast<float>(s);
-    shift[i] = static_cast<float>(
-        static_cast<double>(bn.beta().value[i]) -
-        static_cast<double>(bn.running_mean()[i]) * s);
-  }
-}
-
-}  // namespace
-
 CompiledNet CompiledNet::compile(nn::Sequential& model,
                                  const sparse::SparseModel* state,
                                  const CompileOptions& options) {
-  // Weight → mask lookup so each Linear/Conv2d deploys its trained
-  // topology.
-  std::unordered_map<const nn::Parameter*, const sparse::MaskedParameter*>
-      masked;
-  if (state != nullptr) {
-    for (std::size_t i = 0; i < state->num_layers(); ++i) {
-      const sparse::MaskedParameter& layer = state->layer(i);
-      masked.emplace(&layer.param(), &layer);
-    }
-  }
-
-  CompiledNet net;
-  // Passed through verbatim: the runtime treats 0 as "pool-wide", and
-  // that contract is part of CompileOptions' docs. Every op shares the
-  // one policy (chunk count + executing pool).
-  const runtime::IntraOp intra{options.intra_op_threads,
-                               options.intra_op_pool};
-
-  // `cursor` is the node producing the current value (kInputId before the
-  // first op). `fold_candidate` is the id of a CSR node a directly
-  // following eval-BN may fold into; it is invalidated by anything that
-  // could give that node a second consumer (chain boundaries of residual
-  // branches) or by any intervening op.
-  std::size_t cursor = kInputId;
-  std::size_t fold_candidate = kInputId;
-
-  auto emit = [&](std::unique_ptr<EvalOp> op, std::vector<std::size_t> in) {
-    net.nodes_.push_back(OpNode{std::move(op), std::move(in)});
-    cursor = net.nodes_.size() - 1;
-    fold_candidate = kInputId;
-    return cursor;
-  };
-
-  auto csr_for = [&](const nn::Parameter& weight) {
-    const auto it = masked.find(&weight);
-    sparse::CsrMatrix csr =
-        it != masked.end()
-            ? sparse::CsrMatrix::from_masked(*it->second)
-            : sparse::CsrMatrix::from_dense(weight.value, options.dense_eps);
-    net.total_nnz_ += csr.nnz();
-    net.total_weights_ += csr.rows() * csr.cols();
-    ++net.sparse_ops_;
-    return csr;
-  };
-
-  auto lower = [&](auto&& self, nn::Module& module) -> void {
-    if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) {
-      for (std::size_t i = 0; i < seq->size(); ++i) self(self, seq->child(i));
-      return;
-    }
-    if (auto* block = dynamic_cast<models::ResidualBlock*>(&module)) {
-      const std::size_t entry = cursor;
-      fold_candidate = kInputId;  // entry gains a consumer: never fold into it
-      self(self, block->main_path());
-      const std::size_t main_tail = cursor;
-      std::size_t shortcut_tail = entry;
-      if (nn::Sequential* shortcut = block->shortcut_path()) {
-        cursor = entry;
-        fold_candidate = kInputId;
-        self(self, *shortcut);
-        shortcut_tail = cursor;
-      }
-      emit(std::make_unique<AddOp>(/*relu=*/true, intra),
-           {main_tail, shortcut_tail});
-      ++net.residual_joins_;
-      return;
-    }
-    if (auto* linear = dynamic_cast<nn::Linear*>(&module)) {
-      tensor::Tensor bias;
-      if (linear->has_bias()) bias = linear->bias().value;
-      emit(std::make_unique<SpmmOp>(csr_for(linear->weight()),
-                                    std::move(bias), linear->has_bias(),
-                                    intra),
-           {cursor});
-      fold_candidate = cursor;
-      return;
-    }
-    if (auto* conv = dynamic_cast<nn::Conv2d*>(&module)) {
-      tensor::Tensor bias;
-      if (conv->has_bias()) bias = conv->bias().value;
-      emit(std::make_unique<ConvOp>(csr_for(conv->weight()),
-                                    conv->in_channels(), conv->kernel(),
-                                    conv->stride(), conv->padding(),
-                                    std::move(bias), conv->has_bias(),
-                                    intra),
-           {cursor});
-      fold_candidate = cursor;
-      return;
-    }
-    if (auto* bn = dynamic_cast<nn::BatchNorm*>(&module)) {
-      std::vector<float> scale, shift;
-      bn_scale_shift(*bn, scale, shift);
-      // BN directly after a Linear/Conv2d collapses into the CSR
-      // values/bias of that node — but only when the node was emitted by
-      // the immediately preceding module of the SAME chain, so a residual
-      // entry shared with the skip path is never mutated.
-      if (fold_candidate != kInputId && fold_candidate == cursor) {
-        if (auto* csr_op =
-                dynamic_cast<CsrOp*>(net.nodes_[cursor].op.get());
-            csr_op != nullptr && csr_op->csr().rows() == bn->channels()) {
-          const bool conv_like =
-              dynamic_cast<ConvOp*>(csr_op) != nullptr;
-          if (conv_like == bn->is_rank4()) {
-            csr_op->fold_scale_shift(scale, shift);
-            return;
-          }
-        }
-      }
-      emit(std::make_unique<ScaleShiftOp>(std::move(scale), std::move(shift),
-                                          bn->is_rank4()),
-           {cursor});
-      return;
-    }
-    if (dynamic_cast<nn::Dropout*>(&module) != nullptr) {
-      ++net.elided_;  // inverted dropout is the identity at eval time
-      return;
-    }
-    if (dynamic_cast<nn::ReLU*>(&module) != nullptr) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kRelu, intra),
-           {cursor});
-      return;
-    }
-    if (auto* leaky = dynamic_cast<nn::LeakyReLU*>(&module)) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kLeakyRelu,
-                                          intra, leaky->slope()),
-           {cursor});
-      return;
-    }
-    if (dynamic_cast<nn::Sigmoid*>(&module) != nullptr) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kSigmoid,
-                                          intra),
-           {cursor});
-      return;
-    }
-    if (dynamic_cast<nn::Tanh*>(&module) != nullptr) {
-      emit(std::make_unique<ActivationOp>(ActivationOp::Kind::kTanh, intra),
-           {cursor});
-      return;
-    }
-    if (dynamic_cast<nn::Flatten*>(&module) != nullptr) {
-      emit(std::make_unique<FlattenOp>(), {cursor});
-      return;
-    }
-    if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&module)) {
-      emit(std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride(),
-                                       intra),
-           {cursor});
-      return;
-    }
-    if (auto* pool = dynamic_cast<nn::AvgPool2d*>(&module)) {
-      emit(std::make_unique<AvgPoolOp>(pool->kernel(), intra), {cursor});
-      return;
-    }
-    if (dynamic_cast<nn::GlobalAvgPool*>(&module) != nullptr) {
-      emit(std::make_unique<GlobalAvgPoolOp>(intra), {cursor});
-      return;
-    }
-    util::fail("CompiledNet: unsupported layer '" + module.name() + "'");
-  };
-  lower(lower, model);
-
-  util::check(!net.nodes_.empty(),
-              "CompiledNet: model lowered to an empty op graph");
-  net.use_counts_.assign(net.nodes_.size(), 0);
-  for (const OpNode& node : net.nodes_) {
-    for (const std::size_t in : node.inputs) {
-      if (in != kInputId) ++net.use_counts_[in];
-    }
-  }
-  if (auto* first = dynamic_cast<SpmmOp*>(net.nodes_.front().op.get());
-      first != nullptr && net.nodes_.front().inputs.front() == kInputId) {
-    net.input_features_ = first->csr().cols();
-  }
-  return net;
+  return Compiler(options).compile(model, state);
 }
 
 CompiledNet CompiledNet::from_checkpoint(const std::string& path,
@@ -654,43 +22,30 @@ CompiledNet CompiledNet::from_checkpoint(const std::string& path,
   return compile(model, state, options);
 }
 
-tensor::Tensor CompiledNet::forward(const tensor::Tensor& x) const {
-  // nodes_ is non-empty (checked at compile). Intermediates are released
-  // as soon as their last consumer has run, so peak memory tracks the
-  // graph's width (2 live tensors on a residual chain), not its depth.
-  std::vector<tensor::Tensor> values(nodes_.size());
-  std::vector<std::size_t> remaining = use_counts_;
-  auto value_of = [&](std::size_t id) -> const tensor::Tensor& {
-    return id == kInputId ? x : values[id];
-  };
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const OpNode& node = nodes_[i];
-    values[i] =
-        node.inputs.size() == 2
-            ? node.op->run2(value_of(node.inputs[0]), value_of(node.inputs[1]))
-            : node.op->run(value_of(node.inputs[0]));
-    for (const std::size_t in : node.inputs) {
-      if (in != kInputId && --remaining[in] == 0) {
-        values[in] = tensor::Tensor();
-      }
-    }
-  }
-  return std::move(values.back());
+CompiledNet CompiledNet::bind(Plan&& plan, const CompileOptions& options) {
+  CompiledNet net;
+  // Counters first: Executor::bind consumes the plan's weights.
+  net.sparse_ops_ = plan.sparse_ops;
+  net.elided_ = plan.elided;
+  net.residual_joins_ = plan.residual_joins;
+  net.partitioned_ops_ = plan.partitioned_ops;
+  net.total_nnz_ = plan.total_nnz;
+  net.total_weights_ = plan.total_weights;
+  net.exec_ = Executor::bind(
+      std::move(plan),
+      runtime::IntraOp{options.intra_op_threads, options.intra_op_pool});
+  return net;
 }
 
 CompiledNet CompiledNet::clone() const {
   CompiledNet copy;
-  copy.nodes_.reserve(nodes_.size());
-  for (const OpNode& node : nodes_) {
-    copy.nodes_.push_back(OpNode{node.op->clone(), node.inputs});
-  }
-  copy.use_counts_ = use_counts_;
+  copy.exec_ = exec_.clone();
   copy.sparse_ops_ = sparse_ops_;
   copy.elided_ = elided_;
   copy.residual_joins_ = residual_joins_;
+  copy.partitioned_ops_ = partitioned_ops_;
   copy.total_nnz_ = total_nnz_;
   copy.total_weights_ = total_weights_;
-  copy.input_features_ = input_features_;
   return copy;
 }
 
@@ -701,40 +56,18 @@ double CompiledNet::density() const {
              : 0.0;
 }
 
-double CompiledNet::accumulate_flops(const tensor::Shape& sample_shape,
-                                     bool dense) const {
-  // Propagate a batch-1 shape through the graph, summing each node's cost.
-  std::vector<std::size_t> dims;
-  dims.reserve(sample_shape.rank() + 1);
-  dims.push_back(1);
-  for (std::size_t i = 0; i < sample_shape.rank(); ++i) {
-    dims.push_back(sample_shape.dim(i));
-  }
-  const tensor::Shape input(dims);
-  std::vector<tensor::Shape> shapes(nodes_.size());
-  double total = 0.0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const OpNode& node = nodes_[i];
-    const std::size_t src = node.inputs.front();
-    const tensor::Shape& in = src == kInputId ? input : shapes[src];
-    total += dense ? node.op->dense_flops(in) : node.op->flops(in);
-    shapes[i] = node.op->out_shape(in);
-  }
-  return total;
-}
-
 double CompiledNet::flops_per_sample(
     const tensor::Shape& sample_shape) const {
-  return accumulate_flops(sample_shape, /*dense=*/false);
+  return exec_.accumulate_flops(sample_shape, /*dense=*/false);
 }
 
 double CompiledNet::dense_flops_per_sample(
     const tensor::Shape& sample_shape) const {
-  return accumulate_flops(sample_shape, /*dense=*/true);
+  return exec_.accumulate_flops(sample_shape, /*dense=*/true);
 }
 
 std::string CompiledNet::summary() const {
-  std::string out = "CompiledNet: " + std::to_string(nodes_.size()) +
+  std::string out = "CompiledNet: " + std::to_string(exec_.num_ops()) +
                     " ops, " + std::to_string(total_nnz_) + "/" +
                     std::to_string(total_weights_) + " weights (density " +
                     util::format_fixed(density() * 100.0, 1) + "%), " +
@@ -742,29 +75,12 @@ std::string CompiledNet::summary() const {
   if (residual_joins_ > 0) {
     out += ", " + std::to_string(residual_joins_) + " residual joins";
   }
-  out += "\n";
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    out += "  [" + std::to_string(i) + "] " + nodes_[i].op->describe();
-    // Annotate producers whenever they are not just "the previous node" —
-    // that is where the graph deviates from a straight line.
-    const std::vector<std::size_t>& in = nodes_[i].inputs;
-    const bool straight =
-        in.size() == 1 && ((i == 0 && in[0] == kInputId) || in[0] + 1 == i);
-    if (!straight) {
-      out += " <- ";
-      for (std::size_t j = 0; j < in.size(); ++j) {
-        if (j > 0) out += ", ";
-        if (in[j] == kInputId) {
-          out += "in";
-        } else {
-          out += "[";
-          out += std::to_string(in[j]);
-          out += "]";
-        }
-      }
-    }
-    out += "\n";
+  if (partitioned_ops_ > 0) {
+    out += ", " + std::to_string(partitioned_ops_) + " partitioned (" +
+           std::to_string(num_parallel_groups()) + " parallel groups)";
   }
+  out += "\n";
+  out += exec_.describe_ops();
   return out;
 }
 

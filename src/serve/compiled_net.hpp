@@ -1,85 +1,37 @@
-// CompiledNet: lowers a trained model to an immutable eval-only op graph.
+// CompiledNet: the thin serving facade over the staged serve compiler.
 //
-// Training modules (nn::Module) cache activations, mutate running stats and
-// are therefore neither const nor thread-safe. Deployment needs the
-// opposite: a fixed topology executed concurrently by many worker threads.
-// compile() walks a module tree once and emits one graph node per layer:
+// Training modules (nn::Module) cache activations, mutate running stats
+// and are therefore neither const nor thread-safe. Deployment needs the
+// opposite: a fixed topology executed concurrently by many worker
+// threads. Compilation is three explicit stages (see plan.hpp):
 //
-//   Linear (+ mask)  → CSR SpMM (CsrMatrix::spmm) + dense bias
-//   Conv2d (+ mask)  → per-image im2col + CSR SpMM over the patch matrix
-//                      (CsrMatrix::spmm_cols) with the masked
-//                      [Cout, Cin·K·K] weight matrix
-//   BatchNorm (eval) → per-channel scale/shift; folded INTO the preceding
-//                      CSR linear/conv op when one directly precedes it
-//   Dropout          → elided (inverted dropout is identity at eval)
-//   ResidualBlock    → main/shortcut chains joined by a fused add+ReLU
-//                      node (the graph's only fan-out/fan-in)
-//   ReLU/LeakyReLU/Sigmoid/Tanh, Flatten, Max/Avg/GlobalAvgPool
-//                    → stateless eval ops over the shared src/kernels/
+//   lower()    nn::Sequential + SparseModel → Plan IR (one node per
+//              module; Linear → CSR SpMM, Conv2d → CSR over im2col,
+//              eval-BN → scale/shift, residual blocks → add+ReLU joins)
+//   passes     serve::Compiler's pipeline — ElideDropout, FoldBatchNorm,
+//              FreeAfterLastUse by default; PartitionRows on request
+//   bind()     Executor fixes weights + the runtime::IntraOp policy
 //
-// The result is a small DAG rather than a straight-line op list: each node
-// names its producer(s), residual adds have two, and execution releases an
-// intermediate as soon as its last consumer has run.
+// CompiledNet wraps the bound Executor with model-level bookkeeping
+// (nnz/FLOPs/density, input validation data) so InferenceServer,
+// dstee_serve and the checkpoint path keep their one-call workflow:
+// CompiledNet::compile() runs the default Compiler pipeline and is
+// bit-identical to the pre-redesign monolithic compiler.
 #pragma once
 
-#include <memory>
+#include <cstddef>
 #include <string>
-#include <vector>
 
 #include "nn/sequential.hpp"
 #include "runtime/pool.hpp"
-#include "sparse/csr.hpp"
+#include "serve/executor.hpp"
+#include "serve/plan.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dstee::serve {
 
-/// One compiled inference operation. run()/run2() are const and touch no
-/// shared mutable state, so a single op instance may execute on many
-/// threads. Ops are unary unless arity() says otherwise.
-class EvalOp {
- public:
-  virtual ~EvalOp() = default;
-
-  /// Deep copy — the basis of CompiledNet::clone(), which replica shards
-  /// use to own their weights (a NUMA prerequisite: each group touches
-  /// only its own CSR arrays).
-  virtual std::unique_ptr<EvalOp> clone() const = 0;
-
-  /// Number of producer tensors this op consumes (1 or 2).
-  virtual std::size_t arity() const { return 1; }
-
-  /// Unary execution; default fails (binary ops don't implement it).
-  virtual tensor::Tensor run(const tensor::Tensor& x) const;
-
-  /// Binary execution; default fails (unary ops don't implement it).
-  virtual tensor::Tensor run2(const tensor::Tensor& a,
-                              const tensor::Tensor& b) const;
-
-  /// Short description for CompiledNet::summary(), e.g. "spmm(128x32, ...)".
-  virtual std::string describe() const = 0;
-
-  /// Output batch shape for input batch shape `in` (binary ops receive
-  /// their first producer's shape; both sides must agree anyway).
-  virtual tensor::Shape out_shape(const tensor::Shape& in) const {
-    return in;
-  }
-
-  /// FLOPs actually executed for a batch of shape `in` (CSR kernels count
-  /// stored nonzeros; stateless ops count 0, matching the analytic
-  /// FlopsModel convention).
-  virtual double flops(const tensor::Shape& in) const {
-    (void)in;
-    return 0.0;
-  }
-
-  /// FLOPs a dense execution of the same layer would need.
-  virtual double dense_flops(const tensor::Shape& in) const {
-    return flops(in);
-  }
-};
-
-/// Knobs for compile().
+/// Knobs for compile()/Compiler.
 struct CompileOptions {
   /// |w| threshold when no mask is available: entries with |w| <= eps are
   /// not stored. 0 keeps every nonzero, which exactly reproduces a masked
@@ -92,10 +44,12 @@ struct CompileOptions {
   /// executes on the persistent runtime pool — no per-call thread spawns
   /// — so >1 pays off even at small batches. Keep at 1 when an
   /// InferenceServer with many worker threads already saturates the
-  /// machine with request-level parallelism.
+  /// machine with request-level parallelism. PartitionRows slice groups
+  /// fan out on the pool regardless of this count.
   std::size_t intra_op_threads = 1;
-  /// Pool executing the intra-op chunks; nullptr = the process-wide
-  /// runtime::default_pool(). Tests inject their own Pool here.
+  /// Pool executing the intra-op chunks and partition-group fan-outs;
+  /// nullptr = the process-wide runtime::default_pool(). Tests inject
+  /// their own Pool here.
   runtime::Pool* intra_op_pool = nullptr;
 };
 
@@ -103,17 +57,12 @@ struct CompileOptions {
 class CompiledNet {
  public:
   /// Producer id meaning "the network input" in a node's input list.
-  static constexpr std::size_t kInputId = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kInputId = Plan::kInputId;
 
-  /// One graph node: an op plus the ids of the nodes feeding it.
-  struct OpNode {
-    std::unique_ptr<EvalOp> op;
-    std::vector<std::size_t> inputs;
-  };
-
-  /// Lowers `model` (recursing through nested Sequentials and residual
-  /// blocks). When `state` is non-null, each Linear/Conv2d weight that has
-  /// a mask in `state` is converted with from_masked (faithful topology
+  /// Lowers `model` and runs the DEFAULT pass pipeline (use
+  /// serve::Compiler directly to customize passes — e.g. PartitionRows).
+  /// When `state` is non-null, each Linear/Conv2d weight that has a mask
+  /// in `state` is converted with from_masked (faithful topology
   /// deployment); other weights fall back to from_dense(options.dense_eps).
   static CompiledNet compile(nn::Sequential& model,
                              const sparse::SparseModel* state = nullptr,
@@ -127,21 +76,36 @@ class CompiledNet {
                                      sparse::SparseModel* state = nullptr,
                                      const CompileOptions& options = {});
 
+  /// Binds an already-finished plan (weights move out of it) under the
+  /// given options. serve::Compiler::bind() is the usual entry point.
+  static CompiledNet bind(Plan&& plan, const CompileOptions& options);
+
   /// Executes the graph in topological (emission) order. `x` is
   /// [batch, ...] matching the model's training-time input layout.
   /// Thread-safe: may be called concurrently.
-  tensor::Tensor forward(const tensor::Tensor& x) const;
+  tensor::Tensor forward(const tensor::Tensor& x) const {
+    return exec_.forward(x);
+  }
 
   /// Deep copy: every op (CSR arrays, biases, folded constants) is
-  /// duplicated, so the replica shares no memory with the source.
-  /// InferenceServer builds one replica per shard from this.
+  /// duplicated — a matrix shared by a partition group is copied once —
+  /// so the replica shares no memory with the source. InferenceServer
+  /// builds one replica per shard from this.
   CompiledNet clone() const;
 
-  std::size_t num_ops() const { return nodes_.size(); }
+  const Executor& executor() const { return exec_; }
+
+  std::size_t num_ops() const { return exec_.num_ops(); }
   std::size_t num_sparse_ops() const { return sparse_ops_; }
   std::size_t num_elided() const { return elided_; }
   /// Residual add+ReLU joins in the graph (0 for chain models).
   std::size_t num_residual_joins() const { return residual_joins_; }
+  /// CSR nodes PartitionRows split into row-range slice groups.
+  std::size_t num_partitioned_ops() const { return partitioned_ops_; }
+  /// Slice groups the executor fans out in parallel.
+  std::size_t num_parallel_groups() const {
+    return exec_.num_parallel_groups();
+  }
 
   /// Stored nonzeros / total weight slots across all CSR ops (Linear AND
   /// Conv2d — compression reporting covers the whole model).
@@ -157,7 +121,7 @@ class CompiledNet {
   /// Input feature count when the first op determines it (CSR linear
   /// first), else 0 (conv- or Flatten-first nets accept any shape the
   /// first op validates at run time).
-  std::size_t input_features() const { return input_features_; }
+  std::size_t input_features() const { return exec_.input_features(); }
 
   /// One line per node, for logs and the serve CLI.
   std::string summary() const;
@@ -165,17 +129,13 @@ class CompiledNet {
  private:
   CompiledNet() = default;
 
-  double accumulate_flops(const tensor::Shape& sample_shape,
-                          bool dense) const;
-
-  std::vector<OpNode> nodes_;
-  std::vector<std::size_t> use_counts_;  ///< consumers per node (output: 0)
+  Executor exec_;
   std::size_t sparse_ops_ = 0;
   std::size_t elided_ = 0;
   std::size_t residual_joins_ = 0;
+  std::size_t partitioned_ops_ = 0;
   std::size_t total_nnz_ = 0;
   std::size_t total_weights_ = 0;
-  std::size_t input_features_ = 0;
 };
 
 }  // namespace dstee::serve

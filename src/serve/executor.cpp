@@ -1,0 +1,952 @@
+#include "serve/executor.hpp"
+
+#include <utility>
+
+#include "kernels/activations.hpp"
+#include "kernels/conv.hpp"
+#include "kernels/pool.hpp"
+#include "sparse/flops.hpp"
+#include "tensor/im2col.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace dstee::serve {
+
+std::shared_ptr<const sparse::CsrMatrix> CloneContext::dup(
+    const std::shared_ptr<const sparse::CsrMatrix>& csr) {
+  auto it = copies_.find(csr.get());
+  if (it == copies_.end()) {
+    it = copies_.emplace(csr.get(),
+                         std::make_shared<const sparse::CsrMatrix>(*csr))
+             .first;
+  }
+  return it->second;
+}
+
+tensor::Tensor EvalOp::run(const tensor::Tensor& x) const {
+  (void)x;
+  util::fail("EvalOp: unary run() on an op of arity " +
+             std::to_string(arity()));
+}
+
+tensor::Tensor EvalOp::run2(const tensor::Tensor& a,
+                            const tensor::Tensor& b) const {
+  (void)a;
+  (void)b;
+  util::fail("EvalOp: binary run2() on an op of arity " +
+             std::to_string(arity()));
+}
+
+tensor::Tensor EvalOp::run_many(
+    const std::vector<const tensor::Tensor*>& xs) const {
+  (void)xs;
+  util::fail("EvalOp: run_many() on an op of arity " +
+             std::to_string(arity()));
+}
+
+namespace {
+
+/// Common state of the CSR-backed ops: shared weights, bias, and the
+/// folded-BN marker (folding itself happens at the plan level, before
+/// binding — see serve::FoldBatchNorm).
+class CsrOp : public EvalOp {
+ public:
+  CsrOp(std::shared_ptr<const sparse::CsrMatrix> csr, tensor::Tensor bias,
+        bool has_bias, bool folded_bn)
+      : csr_(std::move(csr)),
+        bias_(std::move(bias)),
+        has_bias_(has_bias),
+        folded_bn_(folded_bn) {}
+
+  const sparse::CsrMatrix& csr() const { return *csr_; }
+
+ protected:
+  std::string csr_suffix() const {
+    return "nnz=" + std::to_string(csr_->nnz()) + ", density=" +
+           util::format_fixed(csr_->density() * 100.0, 1) + "%" +
+           (folded_bn_ ? ", +bn" : "") + ")";
+  }
+
+  std::shared_ptr<const sparse::CsrMatrix> csr_;
+  tensor::Tensor bias_;
+  bool has_bias_;
+  bool folded_bn_;
+};
+
+/// CSR Linear: y = spmm(x) + bias, with optional folded BN scale/shift.
+class SpmmOp final : public CsrOp {
+ public:
+  SpmmOp(std::shared_ptr<const sparse::CsrMatrix> csr, tensor::Tensor bias,
+         bool has_bias, bool folded_bn, runtime::IntraOp intra)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+        intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    auto copy = std::make_unique<SpmmOp>(*this);
+    copy->csr_ = ctx.dup(csr_);
+    return copy;
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    tensor::Tensor y = csr_->spmm(x, intra_);
+    if (has_bias_) {
+      const std::size_t out = csr_->rows();
+      for (std::size_t n = 0; n < y.dim(0); ++n) {
+        float* row = y.raw() + n * out;
+        for (std::size_t j = 0; j < out; ++j) row[j] += bias_[j];
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "spmm(" + std::to_string(csr_->rows()) + "x" +
+           std::to_string(csr_->cols()) + ", " + csr_suffix();
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), csr_->rows()});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    return sparse::linear_nnz_flops(csr_->nnz(), in.dim(0));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    return sparse::linear_nnz_flops(csr_->rows() * csr_->cols(), in.dim(0));
+  }
+
+ private:
+  runtime::IntraOp intra_;
+};
+
+/// Conv geometry shared by the conv-shaped ops.
+tensor::ConvGeometry conv_geometry_for(std::size_t in_channels,
+                                       std::size_t kernel, std::size_t stride,
+                                       std::size_t padding, std::size_t in_h,
+                                       std::size_t in_w) {
+  // Checked here (not just in run()) so shape/FLOPs propagation through
+  // out_shape()/flops() fails cleanly instead of underflowing out_h().
+  util::check(in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+              "spconv input smaller than kernel");
+  tensor::ConvGeometry g;
+  g.in_channels = in_channels;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.kernel_h = kernel;
+  g.kernel_w = kernel;
+  g.stride = stride;
+  g.padding = padding;
+  return g;
+}
+
+/// CSR conv: per-image im2col, then Y = W_csr · cols over the patch
+/// matrix, with optional folded BN and bias. The CSR matrix holds the
+/// masked weight viewed as [Cout, Cin·K·K] — the exact lowering
+/// nn::Conv2d uses densely, so a masked checkpoint deploys its trained
+/// topology bit-for-bit.
+class ConvOp final : public CsrOp {
+ public:
+  ConvOp(std::shared_ptr<const sparse::CsrMatrix> csr,
+         std::size_t in_channels, std::size_t kernel, std::size_t stride,
+         std::size_t padding, tensor::Tensor bias, bool has_bias,
+         bool folded_bn, runtime::IntraOp intra)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+        in_channels_(in_channels),
+        kernel_(kernel),
+        stride_(stride),
+        padding_(padding),
+        intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    auto copy = std::make_unique<ConvOp>(*this);
+    copy->csr_ = ctx.dup(csr_);
+    return copy;
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    const tensor::ConvGeometry g = geometry(x);
+    const std::size_t batch = x.dim(0);
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t out_ch = csr_->rows();
+    tensor::Tensor y({batch, out_ch, oh, ow});
+    const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
+    const std::size_t out_image_elems = out_ch * oh * ow;
+
+    // Intra-op parallelism splits the batch on the persistent runtime
+    // pool: images are independent, so every output element has exactly
+    // one writer and the result is bit-identical for any chunk count.
+    // Per-chunk im2col scratch keeps run() const and thread-safe. A
+    // single image always runs inline (PartitionRows is the row-level
+    // alternative for batch-1 latency).
+    runtime::intra_chunks(intra_, batch, [&](std::size_t n0,
+                                             std::size_t n1) {
+      tensor::Tensor cols({g.patch_size(), oh * ow});
+      for (std::size_t n = n0; n < n1; ++n) {
+        tensor::im2col(x.raw() + n * image_elems, g, cols);
+        csr_->spmm_cols_into(cols, y.raw() + n * out_image_elems);
+      }
+    });
+    if (has_bias_) kernels::add_channel_bias(y, bias_.raw());
+    return y;
+  }
+
+  std::string describe() const override {
+    return "spconv(" + std::to_string(in_channels_) + "->" +
+           std::to_string(csr_->rows()) + ", k" + std::to_string(kernel_) +
+           ", s" + std::to_string(stride_) + ", p" +
+           std::to_string(padding_) + ", " + csr_suffix();
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = conv_geometry_for(
+        in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
+    return tensor::Shape({in.dim(0), csr_->rows(), g.out_h(), g.out_w()});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = conv_geometry_for(
+        in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
+    return sparse::conv_nnz_flops(csr_->nnz(), g.out_h(), g.out_w(),
+                                  in.dim(0));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = conv_geometry_for(
+        in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
+    return sparse::conv_nnz_flops(csr_->rows() * csr_->cols(), g.out_h(),
+                                  g.out_w(), in.dim(0));
+  }
+
+ private:
+  tensor::ConvGeometry geometry(const tensor::Tensor& x) const {
+    util::check(x.rank() == 4 && x.dim(1) == in_channels_,
+                "spconv expects [N, " + std::to_string(in_channels_) +
+                    ", H, W], got " + x.shape().to_string());
+    return conv_geometry_for(in_channels_, kernel_, stride_, padding_,
+                             x.dim(2), x.dim(3));
+  }
+
+  std::size_t in_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  runtime::IntraOp intra_;
+};
+
+/// Materialized im2col: [N, C, H, W] → the patch buffer [N, Cin·K·K,
+/// OH, OW] every row slice of a partitioned conv reads. Emitted only by
+/// PartitionRows, so the patches are computed once per batch instead of
+/// once per slice.
+class Im2colOp final : public EvalOp {
+ public:
+  Im2colOp(std::size_t in_channels, std::size_t kernel, std::size_t stride,
+           std::size_t padding, runtime::IntraOp intra)
+      : in_channels_(in_channels),
+        kernel_(kernel),
+        stride_(stride),
+        padding_(padding),
+        intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<Im2colOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() == 4 && x.dim(1) == in_channels_,
+                "im2col expects [N, " + std::to_string(in_channels_) +
+                    ", H, W], got " + x.shape().to_string());
+    const tensor::ConvGeometry g = conv_geometry_for(
+        in_channels_, kernel_, stride_, padding_, x.dim(2), x.dim(3));
+    const std::size_t batch = x.dim(0);
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t patch = g.patch_size();
+    tensor::Tensor cols({batch, patch, oh, ow});
+    const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
+    const std::size_t cols_elems = patch * oh * ow;
+    runtime::intra_chunks(intra_, batch, [&](std::size_t n0,
+                                             std::size_t n1) {
+      for (std::size_t n = n0; n < n1; ++n) {
+        // Straight into the shared batch buffer — no per-image scratch.
+        tensor::im2col(x.raw() + n * image_elems, g,
+                       cols.raw() + n * cols_elems);
+      }
+    });
+    return cols;
+  }
+
+  std::string describe() const override {
+    return "im2col(" + std::to_string(in_channels_) + "ch, k" +
+           std::to_string(kernel_) + ", s" + std::to_string(stride_) +
+           ", p" + std::to_string(padding_) + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    const tensor::ConvGeometry g = conv_geometry_for(
+        in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
+    return tensor::Shape(
+        {in.dim(0), g.patch_size(), g.out_h(), g.out_w()});
+  }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  runtime::IntraOp intra_;
+};
+
+/// Rows [row_begin, row_end) of a partitioned CSR linear: the slice view
+/// is zero-copy over the shared parent matrix; the bias was sliced at the
+/// plan level. Slice kernels run inline — the partition group fan-out IS
+/// the parallelism.
+class RowSliceSpmmOp final : public CsrOp {
+ public:
+  RowSliceSpmmOp(std::shared_ptr<const sparse::CsrMatrix> csr,
+                 std::size_t row_begin, std::size_t row_end,
+                 tensor::Tensor bias, bool has_bias, bool folded_bn)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+        row_begin_(row_begin),
+        row_end_(row_end) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    auto copy = std::make_unique<RowSliceSpmmOp>(*this);
+    copy->csr_ = ctx.dup(csr_);
+    return copy;
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    const sparse::CsrRowSlice slice = csr_->row_slice(row_begin_, row_end_);
+    tensor::Tensor y = slice.spmm(x);
+    if (has_bias_) {
+      const std::size_t out = slice.rows();
+      for (std::size_t n = 0; n < y.dim(0); ++n) {
+        float* row = y.raw() + n * out;
+        for (std::size_t j = 0; j < out; ++j) row[j] += bias_[j];
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "row_slice(" + std::to_string(row_begin_) + ":" +
+           std::to_string(row_end_) + " of " + std::to_string(csr_->rows()) +
+           ", " +
+           "nnz=" +
+           std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
+           (folded_bn_ ? ", +bn" : "") + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), row_end_ - row_begin_});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    return sparse::linear_nnz_flops(
+        csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(0));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    return sparse::linear_nnz_flops(
+        (row_end_ - row_begin_) * csr_->cols(), in.dim(0));
+  }
+
+ private:
+  std::size_t row_begin_;
+  std::size_t row_end_;
+};
+
+/// Output channels [row_begin, row_end) of a partitioned conv, reading
+/// the shared Im2colOp patch buffer [N, P, OH, OW] — the patches are
+/// computed once and every slice streams them.
+class RowSliceConvOp final : public CsrOp {
+ public:
+  RowSliceConvOp(std::shared_ptr<const sparse::CsrMatrix> csr,
+                 std::size_t row_begin, std::size_t row_end,
+                 tensor::Tensor bias, bool has_bias, bool folded_bn)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+        row_begin_(row_begin),
+        row_end_(row_end) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    auto copy = std::make_unique<RowSliceConvOp>(*this);
+    copy->csr_ = ctx.dup(csr_);
+    return copy;
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() == 4 && x.dim(1) == csr_->cols(),
+                "conv row_slice expects the [N, Cin*K*K, OH, OW] patch "
+                "buffer, got " +
+                    x.shape().to_string());
+    const sparse::CsrRowSlice slice = csr_->row_slice(row_begin_, row_end_);
+    const std::size_t batch = x.dim(0);
+    const std::size_t oh = x.dim(2), ow = x.dim(3);
+    const std::size_t positions = oh * ow;
+    const std::size_t patch = csr_->cols();
+    tensor::Tensor y({batch, slice.rows(), oh, ow});
+    for (std::size_t n = 0; n < batch; ++n) {
+      slice.spmm_cols_into(x.raw() + n * patch * positions, positions,
+                           y.raw() + n * slice.rows() * positions);
+    }
+    if (has_bias_) kernels::add_channel_bias(y, bias_.raw());
+    return y;
+  }
+
+  std::string describe() const override {
+    return "row_slice(" + std::to_string(row_begin_) + ":" +
+           std::to_string(row_end_) + " of " + std::to_string(csr_->rows()) +
+           ", conv, nnz=" +
+           std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
+           (folded_bn_ ? ", +bn" : "") + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape(
+        {in.dim(0), row_end_ - row_begin_, in.dim(2), in.dim(3)});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    return sparse::conv_nnz_flops(
+        csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(2), in.dim(3),
+        in.dim(0));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    return sparse::conv_nnz_flops((row_end_ - row_begin_) * csr_->cols(),
+                                  in.dim(2), in.dim(3), in.dim(0));
+  }
+
+ private:
+  std::size_t row_begin_;
+  std::size_t row_end_;
+};
+
+/// Joins partition slices along axis 1 (features / channels): the slices
+/// of one group produce contiguous row ranges, so the join is a straight
+/// block copy per sample.
+class ConcatChannelsOp final : public EvalOp {
+ public:
+  explicit ConcatChannelsOp(std::size_t total_channels)
+      : total_channels_(total_channels) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<ConcatChannelsOp>(*this);
+  }
+
+  std::size_t arity() const override { return 0; }  // variadic
+
+  tensor::Tensor run2(const tensor::Tensor& a,
+                      const tensor::Tensor& b) const override {
+    return run_many({&a, &b});
+  }
+
+  tensor::Tensor run_many(
+      const std::vector<const tensor::Tensor*>& xs) const override {
+    util::check(xs.size() >= 2, "concat needs >= 2 inputs");
+    const tensor::Tensor& first = *xs.front();
+    const std::size_t batch = first.dim(0);
+    const std::size_t spatial =
+        first.rank() == 4 ? first.dim(2) * first.dim(3) : 1;
+    std::size_t channels = 0;
+    for (const tensor::Tensor* x : xs) {
+      util::check(x->rank() == first.rank() && x->dim(0) == batch,
+                  "concat inputs disagree on batch/rank");
+      channels += x->dim(1);
+    }
+    util::check(channels == total_channels_,
+                "concat produced " + std::to_string(channels) +
+                    " channels, expected " +
+                    std::to_string(total_channels_));
+    tensor::Tensor y(first.rank() == 4
+                         ? tensor::Shape({batch, channels, first.dim(2),
+                                          first.dim(3)})
+                         : tensor::Shape({batch, channels}));
+    for (std::size_t n = 0; n < batch; ++n) {
+      float* dst = y.raw() + n * channels * spatial;
+      for (const tensor::Tensor* x : xs) {
+        const std::size_t block = x->dim(1) * spatial;
+        const float* src = x->raw() + n * block;
+        for (std::size_t i = 0; i < block; ++i) dst[i] = src[i];
+        dst += block;
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "concat(" + std::to_string(total_channels_) + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    std::vector<std::size_t> dims = in.dims();
+    dims[1] = total_channels_;
+    return tensor::Shape(dims);
+  }
+
+ private:
+  std::size_t total_channels_;
+};
+
+/// Residual join: y = a + b, optionally through ReLU — the lowering of
+/// models::ResidualBlock's add-then-activate tail.
+class AddOp final : public EvalOp {
+ public:
+  AddOp(bool relu, runtime::IntraOp intra) : relu_(relu), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<AddOp>(*this);
+  }
+
+  std::size_t arity() const override { return 2; }
+
+  tensor::Tensor run2(const tensor::Tensor& a,
+                      const tensor::Tensor& b) const override {
+    if (relu_) return kernels::add_relu(a, b, nullptr, intra_);
+    util::check(a.shape() == b.shape(),
+                "residual add branches disagree: " + a.shape().to_string() +
+                    " vs " + b.shape().to_string());
+    tensor::Tensor y(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i) y[i] = a[i] + b[i];
+    return y;
+  }
+
+  std::string describe() const override {
+    return relu_ ? "add_relu" : "add";
+  }
+
+ private:
+  bool relu_;
+  runtime::IntraOp intra_;
+};
+
+/// Eval-mode batch-norm not folded into a CSR op: y = x·scale + shift per
+/// channel, over [N, C] or [N, C, H, W].
+class ScaleShiftOp final : public EvalOp {
+ public:
+  ScaleShiftOp(std::vector<float> scale, std::vector<float> shift, bool rank4)
+      : scale_(std::move(scale)), shift_(std::move(shift)), rank4_(rank4) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<ScaleShiftOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    const std::size_t c = scale_.size();
+    if (rank4_) {
+      util::check(x.rank() == 4 && x.dim(1) == c,
+                  "scale_shift expects [N, C, H, W]");
+    } else {
+      util::check(x.rank() == 2 && x.dim(1) == c,
+                  "scale_shift expects [N, C]");
+    }
+    const std::size_t sp = rank4_ ? x.dim(2) * x.dim(3) : 1;
+    tensor::Tensor y(x.shape());
+    for (std::size_t n = 0; n < x.dim(0); ++n) {
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float* src = x.raw() + (n * c + ch) * sp;
+        float* dst = y.raw() + (n * c + ch) * sp;
+        for (std::size_t i = 0; i < sp; ++i) {
+          dst[i] = src[i] * scale_[ch] + shift_[ch];
+        }
+      }
+    }
+    return y;
+  }
+
+  std::string describe() const override {
+    return "scale_shift(" + std::to_string(scale_.size()) + ")";
+  }
+
+ private:
+  std::vector<float> scale_;
+  std::vector<float> shift_;
+  bool rank4_;
+};
+
+class ActivationOp final : public EvalOp {
+ public:
+  explicit ActivationOp(ActKind kind, runtime::IntraOp intra,
+                        float slope = 0.0f)
+      : kind_(kind), slope_(slope), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<ActivationOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    switch (kind_) {
+      case ActKind::kRelu:
+        return kernels::relu(x, nullptr, intra_);
+      case ActKind::kLeakyRelu:
+        return kernels::leaky_relu(x, slope_, intra_);
+      case ActKind::kSigmoid:
+        return kernels::sigmoid(x, intra_);
+      case ActKind::kTanh:
+        return kernels::tanh(x, intra_);
+    }
+    util::fail("unreachable activation kind");
+  }
+
+  std::string describe() const override {
+    switch (kind_) {
+      case ActKind::kRelu:
+        return "relu";
+      case ActKind::kLeakyRelu:
+        return "leaky_relu";
+      case ActKind::kSigmoid:
+        return "sigmoid";
+      case ActKind::kTanh:
+        return "tanh";
+    }
+    return "activation";
+  }
+
+ private:
+  ActKind kind_;
+  float slope_;
+  runtime::IntraOp intra_;
+};
+
+/// Eval-time dropout when ElideDropout was disabled: inverted dropout is
+/// the identity at inference, but the node stays visible in summaries.
+class IdentityDropoutOp final : public EvalOp {
+ public:
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<IdentityDropoutOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override { return x; }
+  std::string describe() const override { return "dropout(identity)"; }
+};
+
+class FlattenOp final : public EvalOp {
+ public:
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<FlattenOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    util::check(x.rank() >= 1, "flatten expects a batched tensor");
+    const std::size_t batch = x.dim(0);
+    return x.reshaped(tensor::Shape({batch, x.numel() / batch}));
+  }
+  std::string describe() const override { return "flatten"; }
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), in.numel() / in.dim(0)});
+  }
+};
+
+class MaxPoolOp final : public EvalOp {
+ public:
+  MaxPoolOp(std::size_t kernel, std::size_t stride, runtime::IntraOp intra)
+      : kernel_(kernel), stride_(stride), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<MaxPoolOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    return kernels::maxpool2d(x, kernel_, stride_, nullptr, intra_);
+  }
+
+  std::string describe() const override {
+    return "maxpool(k" + std::to_string(kernel_) + ",s" +
+           std::to_string(stride_) + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    util::check(in.rank() == 4 && in.dim(2) >= kernel_ &&
+                    in.dim(3) >= kernel_,
+                "maxpool input smaller than window");
+    return tensor::Shape({in.dim(0), in.dim(1),
+                          (in.dim(2) - kernel_) / stride_ + 1,
+                          (in.dim(3) - kernel_) / stride_ + 1});
+  }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  runtime::IntraOp intra_;
+};
+
+class AvgPoolOp final : public EvalOp {
+ public:
+  AvgPoolOp(std::size_t kernel, runtime::IntraOp intra)
+      : kernel_(kernel), intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<AvgPoolOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    return kernels::avgpool2d(x, kernel_, intra_);
+  }
+
+  std::string describe() const override {
+    return "avgpool(k" + std::to_string(kernel_) + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    util::check(in.rank() == 4 && in.dim(2) >= kernel_ &&
+                    in.dim(3) >= kernel_,
+                "avgpool input smaller than window");
+    return tensor::Shape({in.dim(0), in.dim(1), in.dim(2) / kernel_,
+                          in.dim(3) / kernel_});
+  }
+
+ private:
+  std::size_t kernel_;
+  runtime::IntraOp intra_;
+};
+
+class GlobalAvgPoolOp final : public EvalOp {
+ public:
+  explicit GlobalAvgPoolOp(runtime::IntraOp intra) : intra_(intra) {}
+
+  std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
+    (void)ctx;
+    return std::make_unique<GlobalAvgPoolOp>(*this);
+  }
+
+  tensor::Tensor run(const tensor::Tensor& x) const override {
+    return kernels::global_avg_pool(x, intra_);
+  }
+  std::string describe() const override { return "global_avg_pool"; }
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape({in.dim(0), in.dim(1)});
+  }
+
+ private:
+  runtime::IntraOp intra_;
+};
+
+std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra) {
+  switch (op.kind) {
+    case PlanOpKind::kSpmm:
+      return std::make_unique<SpmmOp>(std::move(op.csr), std::move(op.bias),
+                                      op.has_bias, op.folded_bn, intra);
+    case PlanOpKind::kConv:
+      return std::make_unique<ConvOp>(std::move(op.csr), op.in_channels,
+                                      op.kernel, op.stride, op.padding,
+                                      std::move(op.bias), op.has_bias,
+                                      op.folded_bn, intra);
+    case PlanOpKind::kIm2col:
+      return std::make_unique<Im2colOp>(op.in_channels, op.kernel, op.stride,
+                                        op.padding, intra);
+    case PlanOpKind::kRowSlice:
+      if (op.conv_slice) {
+        return std::make_unique<RowSliceConvOp>(
+            std::move(op.csr), op.row_begin, op.row_end, std::move(op.bias),
+            op.has_bias, op.folded_bn);
+      }
+      return std::make_unique<RowSliceSpmmOp>(
+          std::move(op.csr), op.row_begin, op.row_end, std::move(op.bias),
+          op.has_bias, op.folded_bn);
+    case PlanOpKind::kConcatChannels: {
+      // Total channels = sum of slice row counts, known statically.
+      return std::make_unique<ConcatChannelsOp>(op.row_end - op.row_begin);
+    }
+    case PlanOpKind::kScaleShift:
+      return std::make_unique<ScaleShiftOp>(std::move(op.scale),
+                                            std::move(op.shift), op.rank4);
+    case PlanOpKind::kActivation:
+      return std::make_unique<ActivationOp>(op.act, intra, op.slope);
+    case PlanOpKind::kDropout:
+      return std::make_unique<IdentityDropoutOp>();
+    case PlanOpKind::kFlatten:
+      return std::make_unique<FlattenOp>();
+    case PlanOpKind::kMaxPool:
+      return std::make_unique<MaxPoolOp>(op.pool_kernel, op.pool_stride,
+                                         intra);
+    case PlanOpKind::kAvgPool:
+      return std::make_unique<AvgPoolOp>(op.pool_kernel, intra);
+    case PlanOpKind::kGlobalAvgPool:
+      return std::make_unique<GlobalAvgPoolOp>(intra);
+    case PlanOpKind::kAdd:
+      return std::make_unique<AddOp>(op.relu_after_add, intra);
+  }
+  util::fail("unreachable plan op kind");
+}
+
+}  // namespace
+
+Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra) {
+  plan.validate();
+  Executor exec;
+  exec.intra_ = intra;
+  exec.nodes_.reserve(plan.ops.size());
+  exec.group_start_.assign(plan.ops.size(), 0);
+
+  // Input validation data, read off the plan before binding moves the
+  // weights: a CSR linear head fixes the feature count whether it is
+  // whole (kSpmm) or the first slice of a partitioned linear.
+  {
+    const PlanOp& head = plan.ops.front();
+    const bool linear_head =
+        head.kind == PlanOpKind::kSpmm ||
+        (head.kind == PlanOpKind::kRowSlice && !head.conv_slice);
+    if (linear_head && head.inputs.front() == Plan::kInputId) {
+      exec.input_features_ = head.csr->cols();
+    }
+  }
+
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    PlanOp& op = plan.ops[i];
+    // A concat node carries its total channel count through row_begin/
+    // row_end of its sources; compute it before the csr pointers move.
+    if (op.kind == PlanOpKind::kConcatChannels) {
+      std::size_t total = 0;
+      for (const std::size_t in : op.inputs) {
+        total += plan.ops[in].row_end - plan.ops[in].row_begin;
+      }
+      op.row_begin = 0;
+      op.row_end = total;
+    }
+    // Record parallel slice groups before binding (bind moves fields).
+    if (op.kind == PlanOpKind::kRowSlice &&
+        op.partition_group != PlanOp::kNoGroup &&
+        (i == 0 || plan.ops[i - 1].kind != PlanOpKind::kRowSlice ||
+         plan.ops[i - 1].partition_group != op.partition_group)) {
+      Group g;
+      g.first = i;
+      g.count = 1;
+      for (std::size_t j = i + 1;
+           j < plan.ops.size() &&
+           plan.ops[j].kind == PlanOpKind::kRowSlice &&
+           plan.ops[j].partition_group == op.partition_group;
+           ++j) {
+        ++g.count;
+      }
+      if (g.count > 1) {
+        exec.groups_.push_back(g);
+        exec.group_start_[i] = exec.groups_.size();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    PlanOp& op = plan.ops[i];
+    std::vector<std::size_t> inputs = op.inputs;
+    exec.nodes_.push_back(OpNode{bind_op(op, intra), std::move(inputs)});
+  }
+  exec.release_after_ = std::move(plan.release_after);
+  return exec;
+}
+
+const Executor::OpNode& Executor::node(std::size_t i) const {
+  util::check(i < nodes_.size(), "executor node index out of range");
+  return nodes_[i];
+}
+
+void Executor::run_node(std::size_t i, std::vector<tensor::Tensor>& values,
+                        const tensor::Tensor& x) const {
+  const OpNode& node = nodes_[i];
+  auto value_of = [&](std::size_t id) -> const tensor::Tensor& {
+    return id == kInputId ? x : values[id];
+  };
+  if (node.inputs.size() == 1) {
+    values[i] = node.op->run(value_of(node.inputs[0]));
+  } else if (node.inputs.size() == 2) {
+    values[i] = node.op->run2(value_of(node.inputs[0]),
+                              value_of(node.inputs[1]));
+  } else {
+    std::vector<const tensor::Tensor*> xs;
+    xs.reserve(node.inputs.size());
+    for (const std::size_t in : node.inputs) xs.push_back(&value_of(in));
+    values[i] = node.op->run_many(xs);
+  }
+}
+
+tensor::Tensor Executor::forward(const tensor::Tensor& x) const {
+  // nodes_ is non-empty (checked at bind). Intermediates are released per
+  // the FreeAfterLastUse annotation, so peak memory tracks the graph's
+  // width; without the pass everything stays live until return.
+  std::vector<tensor::Tensor> values(nodes_.size());
+  auto release = [&](std::size_t i) {
+    if (release_after_.empty()) return;
+    for (const std::size_t id : release_after_[i]) {
+      values[id] = tensor::Tensor();
+    }
+  };
+  for (std::size_t i = 0; i < nodes_.size();) {
+    if (group_start_[i] != 0) {
+      // A partition group: sibling row slices of one split, each writing
+      // its own values[] slot — one fan-out on the pool executes them
+      // concurrently, the point of PartitionRows. Releases wait until the
+      // whole group is done (a shared patch buffer must outlive every
+      // slice).
+      const Group& g = groups_[group_start_[i] - 1];
+      runtime::pool_of(intra_).run_chunks(
+          g.count, g.count, [&](std::size_t b0, std::size_t b1) {
+            for (std::size_t j = b0; j < b1; ++j) {
+              run_node(g.first + j, values, x);
+            }
+          });
+      for (std::size_t j = 0; j < g.count; ++j) release(g.first + j);
+      i += g.count;
+      continue;
+    }
+    run_node(i, values, x);
+    release(i);
+    ++i;
+  }
+  return std::move(values.back());
+}
+
+Executor Executor::clone() const {
+  Executor copy;
+  CloneContext ctx;
+  copy.nodes_.reserve(nodes_.size());
+  for (const OpNode& node : nodes_) {
+    copy.nodes_.push_back(OpNode{node.op->clone(ctx), node.inputs});
+  }
+  copy.release_after_ = release_after_;
+  copy.groups_ = groups_;
+  copy.group_start_ = group_start_;
+  copy.intra_ = intra_;
+  copy.input_features_ = input_features_;
+  return copy;
+}
+
+double Executor::accumulate_flops(const tensor::Shape& sample_shape,
+                                  bool dense) const {
+  // Propagate a batch-1 shape through the graph, summing each node's cost.
+  std::vector<std::size_t> dims;
+  dims.reserve(sample_shape.rank() + 1);
+  dims.push_back(1);
+  for (std::size_t i = 0; i < sample_shape.rank(); ++i) {
+    dims.push_back(sample_shape.dim(i));
+  }
+  const tensor::Shape input(dims);
+  std::vector<tensor::Shape> shapes(nodes_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const OpNode& node = nodes_[i];
+    const std::size_t src = node.inputs.front();
+    const tensor::Shape& in = src == kInputId ? input : shapes[src];
+    total += dense ? node.op->dense_flops(in) : node.op->flops(in);
+    shapes[i] = node.op->out_shape(in);
+  }
+  return total;
+}
+
+std::string Executor::describe_ops() const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + nodes_[i].op->describe();
+    append_producers(out, i, nodes_[i].inputs);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dstee::serve

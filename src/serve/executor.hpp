@@ -1,0 +1,161 @@
+// Executor: binds a finished Plan to runnable EvalOps.
+//
+// The third stage of the serve compiler (see plan.hpp for the overview):
+// Executor::bind() consumes a Plan — weights move out of the plan nodes
+// into ops — and fixes the execution policy (runtime::IntraOp). The
+// result is the immutable, thread-safe program CompiledNet serves:
+// forward() walks the ops in topological order, releases intermediates
+// according to the plan's FreeAfterLastUse annotation, and runs every
+// PartitionRows slice group as one fan-out on the runtime pool so a
+// single sample's heaviest layers execute on several workers at once.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/pool.hpp"
+#include "serve/plan.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::serve {
+
+/// Weight-duplication memo for Executor::clone(): a CSR matrix shared by
+/// several ops (a PartitionRows group viewing one parent) is deep-copied
+/// exactly once per replica, so clones share no memory with the source
+/// (the NUMA prerequisite) but keep intra-replica sharing intact.
+struct CloneContext {
+  std::shared_ptr<const sparse::CsrMatrix> dup(
+      const std::shared_ptr<const sparse::CsrMatrix>& csr);
+
+ private:
+  std::unordered_map<const sparse::CsrMatrix*,
+                     std::shared_ptr<const sparse::CsrMatrix>>
+      copies_;
+};
+
+/// One compiled inference operation. run()/run2()/run_many() are const
+/// and touch no shared mutable state, so a single op instance may execute
+/// on many threads. Ops are unary unless arity() says otherwise.
+class EvalOp {
+ public:
+  virtual ~EvalOp() = default;
+
+  /// Deep copy through `ctx` — the basis of Executor::clone(), which
+  /// replica shards use to own their weights.
+  virtual std::unique_ptr<EvalOp> clone(CloneContext& ctx) const = 0;
+
+  /// Number of producer tensors this op consumes (1, 2, or more for the
+  /// concat join of a partition group).
+  virtual std::size_t arity() const { return 1; }
+
+  /// Unary execution; default fails (non-unary ops don't implement it).
+  virtual tensor::Tensor run(const tensor::Tensor& x) const;
+
+  /// Binary execution; default fails (non-binary ops don't implement it).
+  virtual tensor::Tensor run2(const tensor::Tensor& a,
+                              const tensor::Tensor& b) const;
+
+  /// N-ary execution; default fails (only concat joins implement it).
+  virtual tensor::Tensor run_many(
+      const std::vector<const tensor::Tensor*>& xs) const;
+
+  /// Short description for summaries, e.g. "spmm(128x32, ...)".
+  virtual std::string describe() const = 0;
+
+  /// Output batch shape for input batch shape `in` (non-unary ops receive
+  /// their first producer's shape).
+  virtual tensor::Shape out_shape(const tensor::Shape& in) const {
+    return in;
+  }
+
+  /// FLOPs actually executed for a batch of shape `in` (CSR kernels count
+  /// stored nonzeros; stateless ops count 0, matching the analytic
+  /// FlopsModel convention).
+  virtual double flops(const tensor::Shape& in) const {
+    (void)in;
+    return 0.0;
+  }
+
+  /// FLOPs a dense execution of the same layer would need.
+  virtual double dense_flops(const tensor::Shape& in) const {
+    return flops(in);
+  }
+};
+
+/// An immutable, thread-safe bound program: the op graph plus the
+/// execution policy. CompiledNet wraps one of these with model-level
+/// bookkeeping; tests may also drive an Executor directly.
+class Executor {
+ public:
+  /// Producer id meaning "the network input" in a node's input list.
+  static constexpr std::size_t kInputId = Plan::kInputId;
+
+  /// Empty executor — a placeholder until bind() assigns a real one
+  /// (CompiledNet's member lives through this state during construction).
+  Executor() = default;
+
+  /// One graph node: an op plus the ids of the nodes feeding it.
+  struct OpNode {
+    std::unique_ptr<EvalOp> op;
+    std::vector<std::size_t> inputs;
+  };
+
+  /// Binds `plan` (consumed: weights move into the ops) under the given
+  /// intra-op policy. Partition slice groups always fan out on the
+  /// policy's pool; the slices themselves run their kernels inline.
+  static Executor bind(Plan&& plan, const runtime::IntraOp& intra);
+
+  /// Executes the graph in topological (emission) order. `x` is
+  /// [batch, ...]; thread-safe, may be called concurrently.
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+
+  /// Deep copy: every op (CSR arrays, biases, folded constants) is
+  /// duplicated (shared partition weights once per replica), so the
+  /// replica shares no memory with the source.
+  Executor clone() const;
+
+  std::size_t num_ops() const { return nodes_.size(); }
+  const OpNode& node(std::size_t i) const;
+
+  /// PartitionRows slice groups the executor fans out in parallel.
+  std::size_t num_parallel_groups() const { return groups_.size(); }
+
+  /// Feature count demanded by a leading input-consuming CSR linear op
+  /// (0 when the first op accepts any shape it can validate at run time).
+  std::size_t input_features() const { return input_features_; }
+
+  /// Sums per-node (dense_)flops for a batch-1 sample of `sample_shape`.
+  double accumulate_flops(const tensor::Shape& sample_shape,
+                          bool dense) const;
+
+  /// One "  [i] describe()" line per node, annotated with non-straight
+  /// producers — the body of CompiledNet::summary().
+  std::string describe_ops() const;
+
+ private:
+  /// A run of consecutive sibling row-slice nodes executed as one pool
+  /// fan-out.
+  struct Group {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+
+  void run_node(std::size_t i, std::vector<tensor::Tensor>& values,
+                const tensor::Tensor& x) const;
+
+  std::vector<OpNode> nodes_;
+  /// release_after_[i]: values to free once node i (or its group) ran.
+  /// Empty when FreeAfterLastUse did not run — keep everything live.
+  std::vector<std::vector<std::size_t>> release_after_;
+  std::vector<Group> groups_;
+  /// group_start_[i] is 1 + index into groups_ when node i opens a group,
+  /// else 0.
+  std::vector<std::size_t> group_start_;
+  runtime::IntraOp intra_{};
+  std::size_t input_features_ = 0;
+};
+
+}  // namespace dstee::serve

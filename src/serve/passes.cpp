@@ -1,0 +1,277 @@
+#include "serve/passes.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dstee::serve {
+
+namespace {
+
+/// Remaps node ids after erasing node `erased`: consumers of the erased
+/// node are rewired to `target` (its single producer), ids above shift
+/// down by one.
+void rewire_after_erase(Plan& plan, std::size_t erased, std::size_t target) {
+  for (PlanOp& op : plan.ops) {
+    for (std::size_t& in : op.inputs) {
+      if (in == Plan::kInputId) continue;
+      if (in == erased) {
+        in = target;
+      } else if (in > erased) {
+        --in;
+      }
+    }
+  }
+}
+
+/// The FreeAfterLastUse computation, shared so structural passes can keep
+/// an existing annotation fresh after inserting/erasing nodes.
+void recompute_release(Plan& plan) {
+  plan.release_after.assign(plan.ops.size(), {});
+  std::vector<std::size_t> last(plan.ops.size(), Plan::kInputId);
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    for (const std::size_t in : plan.ops[i].inputs) {
+      if (in != Plan::kInputId) last[in] = i;
+    }
+  }
+  for (std::size_t id = 0; id + 1 < plan.ops.size(); ++id) {
+    if (last[id] != Plan::kInputId) {
+      plan.release_after[last[id]].push_back(id);
+    }
+  }
+}
+
+void refresh_release_if_present(Plan& plan) {
+  if (!plan.release_after.empty()) recompute_release(plan);
+}
+
+}  // namespace
+
+void ElideDropout::run(Plan& plan) const {
+  std::size_t i = 0;
+  while (i < plan.ops.size()) {
+    if (plan.ops[i].kind != PlanOpKind::kDropout) {
+      ++i;
+      continue;
+    }
+    const std::size_t target = plan.ops[i].inputs.front();
+    util::check(i + 1 < plan.ops.size() || target != Plan::kInputId,
+                "cannot elide a dropout that is the whole plan");
+    plan.ops.erase(plan.ops.begin() + static_cast<std::ptrdiff_t>(i));
+    rewire_after_erase(plan, i, target);
+    ++plan.elided;
+  }
+  refresh_release_if_present(plan);
+  plan.validate();
+}
+
+void FoldBatchNorm::run(Plan& plan) const {
+  std::size_t i = 0;
+  while (i < plan.ops.size()) {
+    PlanOp& bn = plan.ops[i];
+    if (bn.kind != PlanOpKind::kScaleShift) {
+      ++i;
+      continue;
+    }
+    const std::size_t src = bn.inputs.front();
+    bool fold = src != Plan::kInputId;
+    if (fold) {
+      const PlanOp& producer = plan.ops[src];
+      const bool conv_like = producer.kind == PlanOpKind::kConv;
+      fold = (producer.kind == PlanOpKind::kSpmm || conv_like) &&
+             producer.csr->rows() == bn.scale.size() &&
+             conv_like == bn.rank4 && plan.use_counts()[src] == 1;
+    }
+    if (!fold) {
+      ++i;
+      continue;
+    }
+    // Absorb y ← y·scale + shift (per output row/channel) into the CSR
+    // values and bias, removing the batch-norm node entirely. The fold
+    // mutates a fresh copy of the matrix, never the shared original:
+    // plans are value types (tests copy them to compare before/after a
+    // pass), and an in-place scale through the shared_ptr would corrupt
+    // every copy while only this plan gets the matching bias.
+    PlanOp& producer = plan.ops[src];
+    producer.csr = std::make_shared<sparse::CsrMatrix>(*producer.csr);
+    producer.csr->scale_rows(bn.scale);
+    tensor::Tensor folded({producer.csr->rows()});
+    for (std::size_t r = 0; r < producer.csr->rows(); ++r) {
+      folded[r] =
+          (producer.has_bias ? producer.bias[r] * bn.scale[r] : 0.0f) +
+          bn.shift[r];
+    }
+    producer.bias = std::move(folded);
+    producer.has_bias = true;
+    producer.folded_bn = true;
+    plan.ops.erase(plan.ops.begin() + static_cast<std::ptrdiff_t>(i));
+    rewire_after_erase(plan, i, src);
+  }
+  refresh_release_if_present(plan);
+  plan.validate();
+}
+
+void FreeAfterLastUse::run(Plan& plan) const {
+  recompute_release(plan);
+  plan.validate();
+}
+
+PartitionRows::PartitionRows(PartitionRowsOptions options)
+    : options_(std::move(options)) {
+  util::check(options_.ways >= 2, "partition_rows requires ways >= 2");
+  util::check(options_.min_cost_share >= 0.0 &&
+                  options_.min_cost_share <= 1.0,
+              "partition_rows cost share must be in [0, 1]");
+}
+
+void PartitionRows::run(Plan& plan) const {
+  // Per-node cost: executed FLOPs for the configured sample shape, else
+  // stored-nonzero count (exact for Linear; a faithful proxy for conv,
+  // whose per-position cost also scales with nnz).
+  std::vector<double> cost(plan.ops.size(), 0.0);
+  if (options_.sample_shape.rank() > 0) {
+    const std::vector<Plan::NodeCost> costs =
+        plan.annotate(options_.sample_shape);
+    for (std::size_t i = 0; i < costs.size(); ++i) cost[i] = costs[i].flops;
+  } else {
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+      const PlanOp& op = plan.ops[i];
+      if (op.kind == PlanOpKind::kSpmm || op.kind == PlanOpKind::kConv) {
+        cost[i] = static_cast<double>(op.csr->nnz());
+      }
+    }
+  }
+  double total = 0.0;
+  for (const double c : cost) total += c;
+
+  std::size_t next_group = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (op.partition_group != PlanOp::kNoGroup) {
+      next_group = std::max(next_group, op.partition_group + 1);
+    }
+  }
+
+  // Descending ids: splitting node i inserts nodes after i, so every
+  // not-yet-visited candidate (id < i) and its cost stay valid.
+  for (std::size_t i = plan.ops.size(); i-- > 0;) {
+    const PlanOp& op = plan.ops[i];
+    const bool csr_node =
+        op.kind == PlanOpKind::kSpmm || op.kind == PlanOpKind::kConv;
+    if (!csr_node || total <= 0.0) continue;
+    if (cost[i] / total < options_.min_cost_share) continue;
+    if (op.csr->rows() < options_.ways) continue;
+
+    PlanOp original = std::move(plan.ops[i]);
+    const bool is_conv = original.kind == PlanOpKind::kConv;
+    const std::vector<std::size_t> bounds =
+        original.csr->balanced_row_splits(options_.ways);
+
+    std::vector<PlanOp> repl;
+    repl.reserve(options_.ways + 2);
+    if (is_conv) {
+      // Hoist im2col out of the slices: patches are computed once into a
+      // shared buffer every slice streams.
+      PlanOp im;
+      im.kind = PlanOpKind::kIm2col;
+      im.inputs = original.inputs;
+      im.in_channels = original.in_channels;
+      im.kernel = original.kernel;
+      im.stride = original.stride;
+      im.padding = original.padding;
+      repl.push_back(std::move(im));
+    }
+    const std::size_t patches_id = i;  // new id of the im2col node
+    for (std::size_t j = 0; j < options_.ways; ++j) {
+      PlanOp slice;
+      slice.kind = PlanOpKind::kRowSlice;
+      slice.conv_slice = is_conv;
+      slice.inputs =
+          is_conv ? std::vector<std::size_t>{patches_id} : original.inputs;
+      slice.csr = original.csr;  // zero-copy: all slices view one matrix
+      slice.row_begin = bounds[j];
+      slice.row_end = bounds[j + 1];
+      if (original.has_bias) {
+        tensor::Tensor b({bounds[j + 1] - bounds[j]});
+        for (std::size_t r = bounds[j]; r < bounds[j + 1]; ++r) {
+          b[r - bounds[j]] = original.bias[r];
+        }
+        slice.bias = std::move(b);
+      }
+      slice.has_bias = original.has_bias;
+      slice.folded_bn = original.folded_bn;
+      if (is_conv) {
+        slice.in_channels = original.in_channels;
+        slice.kernel = original.kernel;
+        slice.stride = original.stride;
+        slice.padding = original.padding;
+      }
+      slice.partition_group = next_group;
+      repl.push_back(std::move(slice));
+    }
+    PlanOp concat;
+    concat.kind = PlanOpKind::kConcatChannels;
+    const std::size_t first_slice = i + (is_conv ? 1 : 0);
+    for (std::size_t j = 0; j < options_.ways; ++j) {
+      concat.inputs.push_back(first_slice + j);
+    }
+    repl.push_back(std::move(concat));
+    ++next_group;
+
+    const std::size_t inserted = repl.size();
+    const std::size_t concat_id = i + inserted - 1;
+    // Splice the replacement sequence in place of node i and remap every
+    // later node: the old node's value is now the concat's.
+    plan.ops.erase(plan.ops.begin() + static_cast<std::ptrdiff_t>(i));
+    plan.ops.insert(plan.ops.begin() + static_cast<std::ptrdiff_t>(i),
+                    std::make_move_iterator(repl.begin()),
+                    std::make_move_iterator(repl.end()));
+    for (std::size_t j = concat_id + 1; j < plan.ops.size(); ++j) {
+      for (std::size_t& in : plan.ops[j].inputs) {
+        if (in == Plan::kInputId || in < i) continue;
+        in = in == i ? concat_id : in + inserted - 1;
+      }
+    }
+    ++plan.partitioned_ops;
+  }
+  refresh_release_if_present(plan);
+  plan.validate();
+}
+
+Compiler::Compiler(CompileOptions options) : options_(options) {
+  // The default pipeline reproduces the pre-redesign monolithic compiler
+  // exactly; appended passes run after it.
+  passes_.push_back(std::make_unique<ElideDropout>());
+  passes_.push_back(std::make_unique<FoldBatchNorm>());
+  passes_.push_back(std::make_unique<FreeAfterLastUse>());
+}
+
+Compiler& Compiler::add_pass(std::unique_ptr<Pass> pass) {
+  util::check(pass != nullptr, "add_pass requires a pass");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Compiler& Compiler::clear_passes() {
+  passes_.clear();
+  return *this;
+}
+
+Plan Compiler::plan(nn::Sequential& model,
+                    const sparse::SparseModel* state) const {
+  Plan p = lower(model, state, options_.dense_eps);
+  for (const std::unique_ptr<Pass>& pass : passes_) pass->run(p);
+  return p;
+}
+
+CompiledNet Compiler::compile(nn::Sequential& model,
+                              const sparse::SparseModel* state) const {
+  Plan p = plan(model, state);
+  return bind(std::move(p));
+}
+
+CompiledNet Compiler::bind(Plan&& plan) const {
+  return CompiledNet::bind(std::move(plan), options_);
+}
+
+}  // namespace dstee::serve

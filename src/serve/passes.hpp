@@ -1,0 +1,142 @@
+// Plan passes + the pass-manager Compiler.
+//
+// Every optimization the old monolithic CompiledNet::compile() hard-coded
+// is now a named, individually-testable rewrite over the Plan IR:
+//
+//   ElideDropout      removes kDropout nodes (inverted dropout is the
+//                     identity at eval time)
+//   FoldBatchNorm     absorbs a kScaleShift into the CSR values/bias of
+//                     the single CSR producer feeding it
+//   FreeAfterLastUse  annotates each node with the intermediates that die
+//                     after it, so the executor releases tensors eagerly
+//   PartitionRows     splits the row range of any CSR node whose cost
+//                     share exceeds a threshold into cost-balanced
+//                     RowSlice sub-ops joined by a concat node — the
+//                     row-range sharding step: one sample's heaviest
+//                     layers execute in parallel across the runtime pool
+//
+// Compiler runs the default pipeline (the first three, preserving the
+// monolith's behavior bit-for-bit) and lets callers append passes:
+//
+//   serve::Compiler compiler(options);
+//   compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+//   serve::Plan plan = compiler.plan(model, &smodel);   // inspect / dump
+//   serve::CompiledNet net = compiler.bind(std::move(plan));
+//
+// Structural passes keep the FreeAfterLastUse annotation fresh: any pass
+// that inserts or erases nodes recomputes existing release lists.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/compiled_net.hpp"
+#include "serve/plan.hpp"
+
+namespace dstee::serve {
+
+/// One named rewrite over a Plan. Passes are stateless beyond their
+/// construction-time options; run() may assume and must preserve
+/// Plan::validate().
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  virtual void run(Plan& plan) const = 0;
+};
+
+/// Removes kDropout nodes (identity at eval) and counts them as elided.
+class ElideDropout final : public Pass {
+ public:
+  std::string name() const override { return "elide_dropout"; }
+  void run(Plan& plan) const override;
+};
+
+/// Folds a kScaleShift whose single-consumer producer is a matching CSR
+/// node into that node's values/bias. A producer shared with a residual
+/// skip path has two consumers and is never mutated — the same guard the
+/// monolithic compiler enforced through its emission cursor.
+class FoldBatchNorm final : public Pass {
+ public:
+  std::string name() const override { return "fold_batch_norm"; }
+  void run(Plan& plan) const override;
+};
+
+/// Computes Plan::release_after: each intermediate is freed right after
+/// its last consumer, so forward-pass peak memory tracks the graph's
+/// width (2 live tensors on a residual chain), not its depth.
+class FreeAfterLastUse final : public Pass {
+ public:
+  std::string name() const override { return "free_after_last_use"; }
+  void run(Plan& plan) const override;
+};
+
+/// Knobs for PartitionRows.
+struct PartitionRowsOptions {
+  /// Number of row-range slices per split node (k >= 2).
+  std::size_t ways = 2;
+  /// Split a CSR node when its share of the plan's executed FLOPs (or of
+  /// total nnz when no sample_shape is given) reaches this fraction.
+  double min_cost_share = 0.25;
+  /// Sample shape (no batch axis) used to compute per-node FLOPs shares;
+  /// rank 0 falls back to nnz shares (exact for Linear, a proxy for conv
+  /// whose per-position cost still scales with nnz).
+  tensor::Shape sample_shape{};
+};
+
+/// Splits the heaviest CSR nodes into `ways` cost-balanced row-range
+/// slices (CsrMatrix::balanced_row_splits — equal stored-nonzero work per
+/// slice, per Parger et al.'s cost-proportional balancing) joined by a
+/// concat node. A split conv additionally hoists its im2col into a shared
+/// patch-buffer node so the patches are computed once, not once per
+/// slice. The executor runs each slice group as one fan-out on the
+/// runtime pool; results match the unpartitioned program bit-for-bit
+/// because row slicing preserves every per-row reduction order.
+class PartitionRows final : public Pass {
+ public:
+  explicit PartitionRows(PartitionRowsOptions options = {});
+  std::string name() const override { return "partition_rows"; }
+  void run(Plan& plan) const override;
+
+ private:
+  PartitionRowsOptions options_;
+};
+
+/// The serve pass manager: lowering + an ordered pass pipeline + binding.
+/// Default-constructed pipelines reproduce the pre-redesign compiler
+/// exactly (elide_dropout, fold_batch_norm, free_after_last_use).
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {});
+
+  /// Appends a pass; returns *this for chaining.
+  Compiler& add_pass(std::unique_ptr<Pass> pass);
+
+  /// Drops every pass (a raw lowering pipeline, for tests/debugging).
+  Compiler& clear_passes();
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const {
+    return passes_;
+  }
+
+  const CompileOptions& options() const { return options_; }
+
+  /// Lowers `model` and runs the pipeline; the returned plan is final and
+  /// inspectable (Plan::dump) and can be handed to bind().
+  Plan plan(nn::Sequential& model,
+            const sparse::SparseModel* state = nullptr) const;
+
+  /// plan() + bind(): the one-call compile.
+  CompiledNet compile(nn::Sequential& model,
+                      const sparse::SparseModel* state = nullptr) const;
+
+  /// Binds an already-finished plan under this compiler's options.
+  CompiledNet bind(Plan&& plan) const;
+
+ private:
+  CompileOptions options_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace dstee::serve

@@ -1,0 +1,183 @@
+// Plan IR: the typed, inspectable middle stage of the serve compiler.
+//
+// The serve stack used to lower, optimize and bind in one monolithic
+// CompiledNet::compile(): BN folding, dropout elision and the
+// free-after-last-use policy were hard-coded into the module walk, so
+// there was no seam where a new graph optimization (row-range
+// partitioning, NUMA placement) could be inserted or tested on its own.
+// The redesign splits compilation into three explicit stages:
+//
+//   Lowering (this file)  nn::Sequential + SparseModel → Plan, one PlanOp
+//                         per module, weights converted to CSR, no
+//                         optimization decisions at all
+//   Passes (passes.hpp)   named rewrites over the Plan — FoldBatchNorm,
+//                         ElideDropout, FreeAfterLastUse, PartitionRows —
+//                         composed by serve::Compiler
+//   Executor              binds a finished Plan to EvalOps + a
+//   (executor.hpp)        runtime::IntraOp policy; CompiledNet stays the
+//                         thin serving facade over the bound program
+//
+// A PlanOp is a plain tagged struct, not a virtual hierarchy: passes
+// pattern-match on `kind` and rewrite vectors in place, the way graph IRs
+// do it (compare the MXNet executor's node-attribute graph). Each node
+// names its producers by id; Plan::annotate() propagates a sample shape
+// through the DAG to attach per-node shapes, executed FLOPs and cost
+// shares — the signal PartitionRows balances against, and what
+// `dstee_serve --dump-plan` prints.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sparse_model.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dstee::serve {
+
+/// Node kinds a Plan can hold. Lowering emits the module-shaped subset;
+/// kIm2col / kRowSlice / kConcatChannels only appear once PartitionRows
+/// has rewritten a CSR node into cost-balanced row-range sub-ops.
+enum class PlanOpKind {
+  kSpmm,            ///< CSR Linear: Y = X·Wᵀ + b
+  kConv,            ///< CSR conv: per-image im2col + SpMM over patches
+  kIm2col,          ///< materialized patch matrix [N, Cin·K·K, OH, OW]
+  kScaleShift,      ///< eval-mode batch-norm as per-channel affine
+  kActivation,      ///< ReLU / LeakyReLU / Sigmoid / Tanh
+  kDropout,         ///< identity at eval; removed by ElideDropout
+  kFlatten,         ///< [N, ...] → [N, features]
+  kMaxPool,         ///< 2-d max pooling
+  kAvgPool,         ///< 2-d average pooling
+  kGlobalAvgPool,   ///< [N, C, H, W] → [N, C]
+  kAdd,             ///< residual join: a + b, optionally through ReLU
+  kRowSlice,        ///< rows [row_begin, row_end) of a partitioned CSR op
+  kConcatChannels,  ///< joins row slices along axis 1 (features/channels)
+};
+
+/// Short lowercase name for dumps ("spmm", "row_slice", ...).
+const char* to_string(PlanOpKind kind);
+
+enum class ActKind { kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// One plan node. Which fields are meaningful depends on `kind` (see the
+/// member comments); everything else stays at its default. Weights are
+/// held through shared_ptr so a kRowSlice node views its source matrix
+/// zero-copy instead of duplicating nonzeros per partition.
+struct PlanOp {
+  static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
+  PlanOpKind kind = PlanOpKind::kSpmm;
+  /// Producer node ids (Plan::kInputId = the network input). Unary ops
+  /// have one entry, kAdd has two, kConcatChannels one per slice.
+  std::vector<std::size_t> inputs;
+
+  // kSpmm / kConv / kRowSlice ------------------------------------------
+  std::shared_ptr<sparse::CsrMatrix> csr;  ///< weights (shared with slices)
+  tensor::Tensor bias;                     ///< per output row/channel
+  bool has_bias = false;
+  bool folded_bn = false;  ///< FoldBatchNorm absorbed a BN into this node
+
+  // kConv / kIm2col / conv-sliced kRowSlice ----------------------------
+  std::size_t in_channels = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  // kScaleShift --------------------------------------------------------
+  std::vector<float> scale;
+  std::vector<float> shift;
+  bool rank4 = false;  ///< BatchNorm2d ([N,C,H,W]) vs BatchNorm1d ([N,C])
+
+  // kActivation --------------------------------------------------------
+  ActKind act = ActKind::kRelu;
+  float slope = 0.0f;  ///< LeakyReLU negative slope
+
+  // kDropout -----------------------------------------------------------
+  double rate = 0.0;  ///< training-time drop probability (dump only)
+
+  // kMaxPool / kAvgPool ------------------------------------------------
+  std::size_t pool_kernel = 0;
+  std::size_t pool_stride = 0;
+
+  // kAdd ---------------------------------------------------------------
+  bool relu_after_add = false;
+
+  // kRowSlice ----------------------------------------------------------
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  bool conv_slice = false;  ///< input is a kIm2col patch buffer
+  /// Slices created by one PartitionRows split share a group id; the
+  /// executor runs each group as one fan-out on the runtime pool.
+  std::size_t partition_group = kNoGroup;
+};
+
+/// The compile-time program: a DAG of PlanOps in topological (emission)
+/// order, plus the model-wide counters lowering gathered and the
+/// annotations passes attach. Value-semantic: tests copy plans freely to
+/// compare before/after a pass.
+struct Plan {
+  /// Producer id meaning "the network input".
+  static constexpr std::size_t kInputId = static_cast<std::size_t>(-1);
+
+  std::vector<PlanOp> ops;
+
+  /// release_after[i] lists node ids whose intermediate may be freed once
+  /// op i has run — the FreeAfterLastUse annotation. Empty (no pass run)
+  /// means the executor keeps every intermediate until the forward ends.
+  std::vector<std::vector<std::size_t>> release_after;
+
+  // Model-wide counters (lowering fills them; passes update elided /
+  // partitioned).
+  std::size_t sparse_ops = 0;
+  std::size_t elided = 0;
+  std::size_t residual_joins = 0;
+  std::size_t total_nnz = 0;
+  std::size_t total_weights = 0;
+  std::size_t partitioned_ops = 0;
+
+  std::size_t size() const { return ops.size(); }
+
+  /// Consumer count per node (the network output has none).
+  std::vector<std::size_t> use_counts() const;
+
+  /// Per-node cost annotation for a batch-1 sample of the given shape
+  /// (no batch axis): output shape, executed FLOPs, dense-equivalent
+  /// FLOPs, and this node's share of the plan's total executed FLOPs.
+  struct NodeCost {
+    tensor::Shape out_shape;
+    double flops = 0.0;
+    double dense_flops = 0.0;
+    double share = 0.0;
+  };
+  std::vector<NodeCost> annotate(const tensor::Shape& sample_shape) const;
+
+  /// Human-readable plan listing: one line per node with kind, config,
+  /// nnz, and — when `sample_shape` is given — output shape, FLOPs and
+  /// cost share. Partitioned nodes show their row range and group.
+  std::string dump(const tensor::Shape* sample_shape = nullptr) const;
+
+  /// Structural invariants: producer ids precede consumers, arities match
+  /// kinds, release lists (when present) reference valid ids. Throws
+  /// util::CheckError on violation; passes call this after rewriting.
+  void validate() const;
+};
+
+/// Appends "  <- in, [3]" to `out` when node `index`'s producers deviate
+/// from "the previous node" — the edge-annotation format shared by
+/// Plan::dump and Executor::describe_ops.
+void append_producers(std::string& out, std::size_t index,
+                      const std::vector<std::size_t>& inputs);
+
+/// Lowering: walks the module tree (recursing through nested Sequentials
+/// and residual blocks) and emits one PlanOp per module — including
+/// dropout and standalone batch-norm nodes; folding and elision are
+/// passes, not lowering decisions. When `state` is non-null, weights with
+/// a mask deploy via CsrMatrix::from_masked (faithful topology); others
+/// fall back to from_dense(dense_eps).
+Plan lower(nn::Sequential& model, const sparse::SparseModel* state = nullptr,
+           float dense_eps = 0.0f);
+
+}  // namespace dstee::serve

@@ -1,10 +1,78 @@
 #include "sparse/csr.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
 
 namespace dstee::sparse {
+
+double CsrRowSlice::density() const {
+  const double total = static_cast<double>(rows_) * static_cast<double>(cols_);
+  return total > 0.0 ? static_cast<double>(nnz()) / total : 0.0;
+}
+
+tensor::Tensor CsrRowSlice::spmm(const tensor::Tensor& x,
+                                 const runtime::IntraOp& intra) const {
+  tensor::Tensor y({x.rank() == 2 ? x.dim(0) : 0, rows_});
+  spmm_into(x, y.raw(), intra);
+  return y;
+}
+
+void CsrRowSlice::spmm_into(const tensor::Tensor& x, float* out,
+                            const runtime::IntraOp& intra) const {
+  util::check(x.rank() == 2 && x.dim(1) == cols_,
+              "spmm expects [batch, cols]");
+  const std::size_t batch = x.dim(0);
+
+  // One worker computes output rows [r0, r1) for every batch sample: the
+  // chunk's values/col_idx stream stays hot across samples and each
+  // output element has exactly one writer.
+  auto run_rows = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* xn = x.raw() + n * cols_;
+      float* yn = out + n * rows_;
+      for (std::size_t r = r0; r < r1; ++r) {
+        float acc = 0.0f;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          acc += values_[k] * xn[col_idx_[k]];
+        }
+        yn[r] = acc;
+      }
+    }
+  };
+
+  runtime::intra_chunks(intra, rows_, run_rows);
+}
+
+void CsrRowSlice::spmm_cols_into(const float* b, std::size_t n,
+                                 float* out) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* yr = out + r * n;
+    for (std::size_t j = 0; j < n; ++j) yr[j] = 0.0f;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* br = b + col_idx_[k] * n;
+      for (std::size_t j = 0; j < n; ++j) yr[j] += v * br[j];
+    }
+  }
+}
+
+CsrRowSlice CsrRowSlice::row_slice(std::size_t r0, std::size_t r1) const {
+  util::check(r0 <= r1 && r1 <= rows_,
+              "row_slice requires 0 <= r0 <= r1 <= rows");
+  return CsrRowSlice(row_ptr_ + r0, col_idx_, values_, r1 - r0, cols_);
+}
+
+tensor::Tensor CsrRowSlice::to_dense() const {
+  tensor::Tensor dense({rows_, cols_});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense[r * cols_ + col_idx_[k]] = values_[k];
+    }
+  }
+  return dense;
+}
 
 CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
   util::check(dense.rank() >= 2,
@@ -75,30 +143,9 @@ tensor::Tensor CsrMatrix::matmul_nt(const tensor::Tensor& x) const {
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
                                const runtime::IntraOp& intra) const {
-  util::check(x.rank() == 2 && x.dim(1) == cols_,
-              "spmm expects [batch, cols]");
-  const std::size_t batch = x.dim(0);
-  tensor::Tensor y({batch, rows_});
-
-  // One worker computes output rows [r0, r1) for every batch sample: the
-  // chunk's values/col_idx stream stays hot across samples and each Y
-  // element has exactly one writer.
-  auto run_rows = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t n = 0; n < batch; ++n) {
-      const float* xn = x.raw() + n * cols_;
-      float* yn = y.raw() + n * rows_;
-      for (std::size_t r = r0; r < r1; ++r) {
-        float acc = 0.0f;
-        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-          acc += values_[k] * xn[col_idx_[k]];
-        }
-        yn[r] = acc;
-      }
-    }
-  };
-
-  runtime::intra_chunks(intra, rows_, run_rows);
-  return y;
+  // The batched SpMM *is* the full-range slice: one loop nest serves the
+  // whole matrix and every PartitionRows sub-range bit-identically.
+  return row_slice(0, rows_).spmm(x, intra);
 }
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
@@ -115,17 +162,41 @@ tensor::Tensor CsrMatrix::spmm_cols(const tensor::Tensor& cols) const {
 void CsrMatrix::spmm_cols_into(const tensor::Tensor& cols, float* out) const {
   util::check(cols.rank() == 2 && cols.dim(0) == cols_,
               "spmm_cols expects [cols, n]");
-  const std::size_t n = cols.dim(1);
-  const float* b = cols.raw();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    float* yr = out + r * n;
-    for (std::size_t j = 0; j < n; ++j) yr[j] = 0.0f;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      const float* br = b + col_idx_[k] * n;
-      for (std::size_t j = 0; j < n; ++j) yr[j] += v * br[j];
+  row_slice(0, rows_).spmm_cols_into(cols.raw(), cols.dim(1), out);
+}
+
+CsrRowSlice CsrMatrix::row_slice(std::size_t r0, std::size_t r1) const {
+  util::check(r0 <= r1 && r1 <= rows_,
+              "row_slice requires 0 <= r0 <= r1 <= rows");
+  return CsrRowSlice(row_ptr_.data() + r0, col_idx_.data(), values_.data(),
+                     r1 - r0, cols_);
+}
+
+std::vector<std::size_t> CsrMatrix::balanced_row_splits(
+    std::size_t ways) const {
+  util::check(ways >= 1 && ways <= rows_,
+              "balanced_row_splits requires 1 <= ways <= rows");
+  std::vector<std::size_t> bounds(ways + 1, 0);
+  bounds[ways] = rows_;
+  const std::size_t total = nnz();
+  for (std::size_t j = 1; j < ways; ++j) {
+    // Boundary whose prefix nnz lands nearest the j-th equal share
+    // (lower_bound alone can overshoot badly past a heavy row).
+    const std::size_t target = (total * j + ways / 2) / ways;
+    std::size_t b = static_cast<std::size_t>(
+        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target) -
+        row_ptr_.begin());
+    if (b > 0 && (b > rows_ ||
+                  target - row_ptr_[b - 1] <= row_ptr_[b] - target)) {
+      --b;
     }
+    // Every range keeps at least one row, even when all nonzeros pile
+    // into a few rows (a range may then own zero nonzeros, never zero
+    // rows — the slice kernels handle empty rows already).
+    b = std::clamp(b, j, rows_ - (ways - j));
+    bounds[j] = std::max(b, bounds[j - 1] + 1);
   }
+  return bounds;
 }
 
 void CsrMatrix::scale_rows(std::span<const float> scale) {

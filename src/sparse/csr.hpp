@@ -18,6 +18,62 @@
 
 namespace dstee::sparse {
 
+class CsrMatrix;
+
+/// Zero-copy view over a contiguous row range [r0, r1) of a CsrMatrix.
+///
+/// The view borrows the parent's arrays (row_ptr entries stay absolute
+/// offsets into the parent's col_idx/values), so constructing one costs
+/// three pointers and slicing never touches the nonzeros. The parent must
+/// outlive every view; serve::PartitionRows keeps the parent alive through
+/// shared ownership. Row-parallel kernels on a slice follow the same
+/// one-writer-per-output contract as the parent's, so results are
+/// bit-identical to running the parent over the same rows.
+class CsrRowSlice {
+ public:
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return row_ptr_[rows_] - row_ptr_[0]; }
+
+  /// Density of the slice in [0, 1].
+  double density() const;
+
+  /// Batched SpMM over the slice: Y = X·A[r0:r1)ᵀ for X[batch, cols] →
+  /// Y[batch, rows()]. Same row-parallel chunking contract as
+  /// CsrMatrix::spmm (which is implemented as the full-range slice).
+  tensor::Tensor spmm(const tensor::Tensor& x,
+                      const runtime::IntraOp& intra = {}) const;
+
+  /// spmm writing into caller storage of batch·rows() floats.
+  void spmm_into(const tensor::Tensor& x, float* out,
+                 const runtime::IntraOp& intra = {}) const;
+
+  /// Y = A[r0:r1)·B for a dense patch matrix B[cols, n] given as a raw
+  /// row-major pointer, writing rows()·n floats to `out` — the partitioned
+  /// conv path over a shared im2col buffer.
+  void spmm_cols_into(const float* b, std::size_t n, float* out) const;
+
+  /// Slice of a slice: rows [r0, r1) of THIS view (still zero-copy into
+  /// the original parent).
+  CsrRowSlice row_slice(std::size_t r0, std::size_t r1) const;
+
+  /// Materializes the slice densely (tests / debugging).
+  tensor::Tensor to_dense() const;
+
+ private:
+  friend class CsrMatrix;
+  CsrRowSlice(const std::size_t* row_ptr, const std::size_t* col_idx,
+              const float* values, std::size_t rows, std::size_t cols)
+      : row_ptr_(row_ptr), col_idx_(col_idx), values_(values), rows_(rows),
+        cols_(cols) {}
+
+  const std::size_t* row_ptr_;  ///< rows_+1 absolute offsets (parent-based)
+  const std::size_t* col_idx_;  ///< parent base pointer
+  const float* values_;         ///< parent base pointer
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
 /// Compressed sparse row matrix (float values, row-major logical shape).
 class CsrMatrix {
  public:
@@ -72,6 +128,17 @@ class CsrMatrix {
   /// floats — the per-image conv path, which writes straight into the
   /// [N, Cout, Ho, Wo] output tensor without an intermediate.
   void spmm_cols_into(const tensor::Tensor& cols, float* out) const;
+
+  /// Zero-copy view over rows [r0, r1) (r0 <= r1 <= rows()); this matrix
+  /// must outlive the view. The row-range unit of serve::PartitionRows.
+  CsrRowSlice row_slice(std::size_t r0, std::size_t r1) const;
+
+  /// Cost-balanced row partition: `ways`+1 non-decreasing boundaries
+  /// (first 0, last rows()) splitting the rows into `ways` contiguous
+  /// ranges of roughly equal stored-nonzero count — equal *work*, not
+  /// equal row count, since every CSR kernel's per-row cost is its nnz.
+  /// Each range keeps at least one row (requires ways <= rows()).
+  std::vector<std::size_t> balanced_row_splits(std::size_t ways) const;
 
   /// Multiplies every stored value in row r by scale[r] (and bias folding
   /// callers adjust their bias separately). Used to fold an eval-mode

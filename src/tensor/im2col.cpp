@@ -9,7 +9,11 @@ void im2col(const float* image, const ConvGeometry& g, Tensor& cols) {
   util::check(cols.rank() == 2 && cols.dim(0) == g.patch_size() &&
                   cols.dim(1) == oh * ow,
               "im2col output tensor has wrong shape");
-  float* out = cols.raw();
+  im2col(image, g, cols.raw());
+}
+
+void im2col(const float* image, const ConvGeometry& g, float* out) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t out_cols = oh * ow;
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     const float* img_c = image + c * g.in_h * g.in_w;

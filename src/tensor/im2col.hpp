@@ -37,6 +37,12 @@ struct ConvGeometry {
 /// is materialized as zeros.
 void im2col(const float* image, const ConvGeometry& g, Tensor& cols);
 
+/// im2col writing into caller-owned storage of patch_size·out_h·out_w
+/// floats — the batched patch-buffer path (serve Im2colOp writes each
+/// image's patches straight into the shared [N, P, OH, OW] tensor, no
+/// per-image scratch or relocation copy).
+void im2col(const float* image, const ConvGeometry& g, float* cols);
+
 /// Adjoint of im2col: scatters `cols[patch_size, out_h*out_w]` back into the
 /// image gradient buffer (accumulating).
 void col2im(const Tensor& cols, const ConvGeometry& g, float* image_grad);

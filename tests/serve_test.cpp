@@ -23,6 +23,8 @@
 #include "nn/pooling.hpp"
 #include "optim/optimizer.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/passes.hpp"
+#include "serve/plan.hpp"
 #include "serve/server.hpp"
 #include "sparse/flops.hpp"
 #include "sparse/sparse_model.hpp"
@@ -667,6 +669,324 @@ TEST(ServeCheckpoint, BatchNormRunningStatsSurviveTheRoundTrip) {
   const auto x = random_tensor(tensor::Shape({9, 12}), 88);
   EXPECT_TRUE(from_disk.forward(x).allclose(in_memory.forward(x), 1e-7f));
   EXPECT_TRUE(from_disk.forward(x).allclose(h.model.forward(x), 1e-4f));
+}
+
+// --- Plan / pass pipeline ----------------------------------------------
+
+std::size_t count_kind(const serve::Plan& plan, serve::PlanOpKind kind) {
+  std::size_t n = 0;
+  for (const serve::PlanOp& op : plan.ops) {
+    if (op.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(Compiler, DefaultPipelineMatchesFacadeBitForBit) {
+  // CompiledNet::compile is a thin facade over Compiler's default
+  // pipeline; an explicitly constructed Compiler must produce the same
+  // program down to the bits — the equivalence contract of the redesign.
+  CompiledHarness h(0.85, /*batch_norm=*/true, /*dropout=*/0.25);
+  const auto facade = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto staged = serve::Compiler().compile(h.model, &h.smodel);
+  EXPECT_EQ(staged.num_ops(), facade.num_ops());
+  EXPECT_EQ(staged.num_elided(), facade.num_elided());
+  EXPECT_EQ(staged.total_nnz(), facade.total_nnz());
+  const auto x = random_tensor(tensor::Shape({6, 12}), 301);
+  EXPECT_TRUE(staged.forward(x).equals(facade.forward(x)));
+  EXPECT_TRUE(staged.forward(x).allclose(h.model.forward(x), 1e-4f));
+}
+
+TEST(Compiler, LoweringEmitsOneNodePerModule) {
+  // Lowering takes no optimization decisions: dropout and batch-norm
+  // appear as their own nodes until the passes rewrite them.
+  CompiledHarness h(0.8, /*batch_norm=*/true, /*dropout=*/0.25);
+  serve::Plan raw = serve::lower(h.model, &h.smodel);
+  EXPECT_EQ(count_kind(raw, serve::PlanOpKind::kDropout), 2u);
+  EXPECT_EQ(count_kind(raw, serve::PlanOpKind::kScaleShift), 2u);
+  EXPECT_EQ(count_kind(raw, serve::PlanOpKind::kSpmm), 3u);
+  EXPECT_EQ(raw.elided, 0u);
+  EXPECT_TRUE(raw.release_after.empty());
+}
+
+TEST(Passes, ElideDropoutRemovesEvalIdentityNodes) {
+  CompiledHarness h(0.8, /*batch_norm=*/false, /*dropout=*/0.25);
+  serve::Plan plan = serve::lower(h.model, &h.smodel);
+  const std::size_t dropouts =
+      count_kind(plan, serve::PlanOpKind::kDropout);
+  ASSERT_GT(dropouts, 0u);
+  const std::size_t before = plan.size();
+  serve::ElideDropout().run(plan);
+  EXPECT_EQ(count_kind(plan, serve::PlanOpKind::kDropout), 0u);
+  EXPECT_EQ(plan.size(), before - dropouts);
+  EXPECT_EQ(plan.elided, dropouts);
+}
+
+TEST(Passes, FoldBatchNormRequiresAdjacentSingleConsumerCsr) {
+  util::Rng rng(91);
+  nn::Sequential foldable;
+  foldable.emplace<nn::Linear>(6, 4, rng);
+  foldable.emplace<nn::BatchNorm1d>(4);
+  nn::Sequential unfoldable;  // ReLU between Linear and BN blocks the fold
+  unfoldable.emplace<nn::Linear>(6, 4, rng);
+  unfoldable.emplace<nn::ReLU>();
+  unfoldable.emplace<nn::BatchNorm1d>(4);
+  for (nn::Sequential* seq : {&foldable, &unfoldable}) {
+    seq->forward(random_tensor(tensor::Shape({16, 6}), 92));
+    seq->set_training(false);
+  }
+
+  serve::Plan unfolded = serve::lower(foldable);
+  serve::Plan fold_plan = unfolded;  // plans are value types
+  serve::FoldBatchNorm().run(fold_plan);
+  EXPECT_EQ(fold_plan.size(), 1u);
+  EXPECT_TRUE(fold_plan.ops[0].folded_bn);
+  EXPECT_TRUE(fold_plan.ops[0].has_bias);
+  // The fold must not reach through the shared weights into the copy:
+  // binding the untouched plan still reproduces the dense forward.
+  {
+    EXPECT_EQ(unfolded.size(), 2u);
+    const auto x = random_tensor(tensor::Shape({4, 6}), 96);
+    const auto net =
+        serve::CompiledNet::bind(std::move(unfolded), serve::CompileOptions{});
+    EXPECT_TRUE(net.forward(x).allclose(foldable.forward(x), 1e-4f));
+  }
+
+  serve::Plan keep_plan = serve::lower(unfoldable);
+  const std::size_t before = keep_plan.size();
+  serve::FoldBatchNorm().run(keep_plan);
+  EXPECT_EQ(keep_plan.size(), before);  // nothing adjacent to fold into
+  EXPECT_EQ(count_kind(keep_plan, serve::PlanOpKind::kScaleShift), 1u);
+
+  // Both variants still reproduce the dense eval forward when bound.
+  const auto x = random_tensor(tensor::Shape({5, 6}), 93);
+  EXPECT_TRUE(serve::Compiler()
+                  .compile(foldable)
+                  .forward(x)
+                  .allclose(foldable.forward(x), 1e-4f));
+  EXPECT_TRUE(serve::Compiler()
+                  .compile(unfoldable)
+                  .forward(x)
+                  .allclose(unfoldable.forward(x), 1e-4f));
+}
+
+TEST(Passes, FreeAfterLastUseReleasesEachIntermediateOnce) {
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+  util::Rng rng(94);
+  models::ResNet resnet(cfg, rng);
+  resnet.forward(random_tensor(tensor::Shape({2, 3, 8, 8}), 95));
+  resnet.set_training(false);
+
+  serve::Compiler compiler;
+  serve::Plan plan = compiler.plan(resnet);
+  ASSERT_EQ(plan.release_after.size(), plan.size());
+  std::vector<std::size_t> released_at(plan.size(),
+                                       serve::Plan::kInputId);
+  for (std::size_t i = 0; i < plan.release_after.size(); ++i) {
+    for (const std::size_t id : plan.release_after[i]) {
+      EXPECT_EQ(released_at[id], serve::Plan::kInputId)
+          << "node " << id << " released twice";
+      released_at[id] = i;
+    }
+  }
+  // Every intermediate except the output dies exactly once, no earlier
+  // than its last consumer.
+  const std::vector<std::size_t> uses = plan.use_counts();
+  for (std::size_t id = 0; id + 1 < plan.size(); ++id) {
+    if (uses[id] == 0) continue;
+    ASSERT_NE(released_at[id], serve::Plan::kInputId) << "node " << id;
+    for (std::size_t i = released_at[id] + 1; i < plan.size(); ++i) {
+      for (const std::size_t in : plan.ops[i].inputs) {
+        EXPECT_NE(in, id) << "node " << id << " read after release";
+      }
+    }
+  }
+}
+
+TEST(Compiler, ClearPassesStillServesCorrectAnswers) {
+  // A raw lowering pipeline (no elision, no folding, no release lists)
+  // binds to a larger but equivalent program.
+  CompiledHarness h(0.8, /*batch_norm=*/true, /*dropout=*/0.25);
+  serve::Compiler raw;
+  raw.clear_passes();
+  const auto net = raw.compile(h.model, &h.smodel);
+  const auto standard = serve::CompiledNet::compile(h.model, &h.smodel);
+  EXPECT_GT(net.num_ops(), standard.num_ops());
+  EXPECT_EQ(net.num_elided(), 0u);
+  const auto x = random_tensor(tensor::Shape({4, 12}), 302);
+  EXPECT_TRUE(net.forward(x).allclose(h.model.forward(x), 1e-4f));
+}
+
+// --- PartitionRows ------------------------------------------------------
+
+serve::Compiler partition_compiler(std::size_t ways,
+                                   tensor::Shape sample_shape,
+                                   double threshold = 0.0) {
+  serve::Compiler compiler;
+  serve::PartitionRowsOptions popts;
+  popts.ways = ways;
+  popts.min_cost_share = threshold;
+  popts.sample_shape = std::move(sample_shape);
+  compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+  return compiler;
+}
+
+TEST(PartitionRows, MlpMatchesUnpartitionedForK2AndK4) {
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 401);
+  const auto expected = baseline.forward(x);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto net = partition_compiler(k, tensor::Shape({12}))
+                         .compile(h.model, &h.smodel);
+    EXPECT_GT(net.num_partitioned_ops(), 0u) << "k=" << k;
+    EXPECT_EQ(net.num_parallel_groups(), net.num_partitioned_ops());
+    EXPECT_EQ(net.total_nnz(), baseline.total_nnz());
+    // Submit-time input validation survives partitioning the first
+    // linear: the leading row slice still fixes the feature count.
+    EXPECT_EQ(net.input_features(), 12u);
+    // Row slicing preserves every per-row reduction order: bit-identical,
+    // comfortably inside the 1e-6 contract.
+    const auto got = net.forward(x);
+    EXPECT_TRUE(got.allclose(expected, 1e-6f)) << "k=" << k;
+    EXPECT_TRUE(got.equals(expected)) << "k=" << k;
+  }
+}
+
+TEST(PartitionRows, VggMatchesUnpartitionedForK2AndK4) {
+  models::VggConfig cfg;
+  cfg.depth = 11;
+  cfg.image_size = 8;
+  cfg.num_classes = 5;
+  cfg.width_multiplier = 0.08;
+  util::Rng rng(402);
+  models::Vgg vgg(cfg, rng);
+  sparse::SparseModel smodel(vgg, 0.9, sparse::DistributionKind::kErk, rng);
+  vgg.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 403));
+  vgg.set_training(false);
+
+  const auto baseline = serve::CompiledNet::compile(vgg, &smodel);
+  const auto x = random_tensor(tensor::Shape({3, 3, 8, 8}), 404);
+  const auto expected = baseline.forward(x);
+  const tensor::Shape sample({3, 8, 8});
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto net = partition_compiler(k, sample).compile(vgg, &smodel);
+    EXPECT_GT(net.num_partitioned_ops(), 0u) << "k=" << k;
+    const auto got = net.forward(x);
+    EXPECT_TRUE(got.allclose(expected, 1e-6f)) << "k=" << k;
+    EXPECT_TRUE(got.equals(expected)) << "k=" << k;
+  }
+}
+
+TEST(PartitionRows, ResNetMatchesUnpartitionedThroughCheckpoint) {
+  // The full loop: train-shaped artifact → disk → staged compiler with
+  // PartitionRows → same answers as the unpartitioned facade.
+  const std::string path = "serve_ckpt/partition_resnet_roundtrip.bin";
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+  util::Rng rng(405);
+  models::ResNet resnet(cfg, rng);
+  sparse::SparseModel smodel(resnet, 0.85, sparse::DistributionKind::kErk,
+                             rng);
+  resnet.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 406));
+  resnet.set_training(false);
+  const auto baseline = serve::CompiledNet::compile(resnet, &smodel);
+  train::save_checkpoint(path, resnet, &smodel);
+
+  util::Rng rng2(407);
+  models::ResNet loaded(cfg, rng2);
+  sparse::SparseModel loaded_state(loaded, 0.85,
+                                   sparse::DistributionKind::kErk, rng2);
+  train::load_checkpoint(path, loaded, &loaded_state);
+  const tensor::Shape sample({3, 8, 8});
+  const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 408);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto net =
+        partition_compiler(k, sample).compile(loaded, &loaded_state);
+    EXPECT_GT(net.num_partitioned_ops(), 0u) << "k=" << k;
+    EXPECT_TRUE(net.forward(x).allclose(baseline.forward(x), 1e-6f))
+        << "k=" << k;
+  }
+}
+
+TEST(PartitionRows, PartitionedCloneSharesNoStateAndMatches) {
+  CompiledHarness h(0.9);
+  const auto net =
+      partition_compiler(3, tensor::Shape({12})).compile(h.model, &h.smodel);
+  ASSERT_GT(net.num_parallel_groups(), 0u);
+  const auto replica = net.clone();
+  EXPECT_EQ(replica.num_ops(), net.num_ops());
+  EXPECT_EQ(replica.num_parallel_groups(), net.num_parallel_groups());
+  const auto x = random_tensor(tensor::Shape({4, 12}), 409);
+  EXPECT_TRUE(replica.forward(x).equals(net.forward(x)));
+}
+
+TEST(PartitionRows, GroupsRunIdenticallyAcrossPools) {
+  // The slice-group fan-out must be invisible to results: a zero-worker
+  // pool (inline), a private 3-worker pool, and the process default all
+  // produce the same bits.
+  CompiledHarness h(0.9);
+  const auto x = random_tensor(tensor::Shape({3, 12}), 410);
+  tensor::Tensor expected;
+  bool have_expected = false;
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{3}}) {
+    runtime::Pool pool(workers);
+    serve::CompileOptions opts;
+    opts.intra_op_pool = &pool;
+    serve::Compiler compiler(opts);
+    serve::PartitionRowsOptions popts;
+    popts.ways = 2;
+    popts.min_cost_share = 0.0;
+    popts.sample_shape = tensor::Shape({12});
+    compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+    const auto net = compiler.compile(h.model, &h.smodel);
+    const auto got = net.forward(x);
+    if (!have_expected) {
+      expected = got;
+      have_expected = true;
+    } else {
+      EXPECT_TRUE(got.equals(expected)) << "workers=" << workers;
+    }
+  }
+  const auto default_pool_net =
+      partition_compiler(2, tensor::Shape({12})).compile(h.model, &h.smodel);
+  EXPECT_TRUE(default_pool_net.forward(x).equals(expected));
+}
+
+TEST(PartitionRows, ThresholdSkipsLightNodes) {
+  // At a 90% share threshold nothing qualifies: the pass is a no-op and
+  // the program stays byte-for-byte the default pipeline's.
+  CompiledHarness h(0.8);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto net = partition_compiler(2, tensor::Shape({12}), 0.9)
+                       .compile(h.model, &h.smodel);
+  EXPECT_EQ(net.num_partitioned_ops(), 0u);
+  EXPECT_EQ(net.num_ops(), baseline.num_ops());
+  const auto x = random_tensor(tensor::Shape({6, 12}), 411);
+  EXPECT_TRUE(net.forward(x).equals(baseline.forward(x)));
+}
+
+TEST(Plan, DumpAnnotatesCostsAndPartitions) {
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  auto compiler = partition_compiler(2, tensor::Shape({12}));
+  serve::Plan plan = compiler.plan(h.model, &h.smodel);
+  plan.validate();
+  const tensor::Shape sample({12});
+  const std::string dump = plan.dump(&sample);
+  EXPECT_NE(dump.find("row_slice"), std::string::npos);
+  EXPECT_NE(dump.find("concat"), std::string::npos);
+  EXPECT_NE(dump.find("group"), std::string::npos);
+  EXPECT_NE(dump.find("%)"), std::string::npos);  // cost shares
+  EXPECT_NE(dump.find("partitioned"), std::string::npos);
+  // The plan is still bindable after inspection.
+  const auto net = compiler.bind(std::move(plan));
+  EXPECT_GT(net.num_parallel_groups(), 0u);
 }
 
 }  // namespace

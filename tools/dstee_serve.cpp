@@ -1,13 +1,20 @@
 // dstee_serve — sparse inference server + load generator.
 //
-// Compiles an MLP, VGG or ResNet into a CSR CompiledNet (Linear → SpMM,
-// Conv2d → im2col + SpMM over patches, residual adds as graph joins),
-// starts an InferenceServer (sharded replica worker groups + per-group
+// Compiles an MLP, VGG or ResNet through the staged serve compiler
+// (lower → pass pipeline → bind; Linear → CSR SpMM, Conv2d → im2col +
+// SpMM over patches, residual adds as graph joins), starts an
+// InferenceServer (sharded replica worker groups + per-group
 // micro-batching queues; intra-op work runs on the persistent runtime
 // pool), drives it with either closed-loop client threads or an
 // open-loop Poisson arrival process (--arrival-rate), and reports
 // latency percentiles (p50/p99/p99.9 in open-loop mode), queue peaks,
 // backpressure-blocked time, and throughput.
+//
+// --partition-rows K appends the PartitionRows pass: the heaviest CSR
+// nodes split into K cost-balanced row-range slices executed in parallel
+// on the runtime pool (batch-1 latency lever). --dump-plan prints the
+// post-pass plan (op, shape, nnz, FLOPs share, partition annotations)
+// and exits without serving.
 //
 //   # serve a checkpoint trained by dstee_run (same architecture flags):
 //   ./build/tools/dstee_run --model mlp --sparsity 0.95 --checkpoint m.bin
@@ -37,6 +44,8 @@
 #include "models/resnet.hpp"
 #include "models/vgg.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/passes.hpp"
+#include "serve/plan.hpp"
 #include "serve/server.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
@@ -143,6 +152,17 @@ int run(int argc, const char* const* argv) {
                 "intra-op chunks per kernel on the runtime pool (0 = "
                 "pool-wide)",
                 "1")
+      .add_flag("partition-rows",
+                "split the heaviest CSR ops into this many cost-balanced "
+                "row-range slices run in parallel (0/1 = off)",
+                "0")
+      .add_flag("partition-threshold",
+                "FLOPs share above which a CSR op is partitioned",
+                "0.25")
+      .add_flag("dump-plan",
+                "print the post-pass compile plan (shapes, nnz, FLOPs "
+                "shares, partitions) and exit without serving",
+                "false")
       .add_flag("clients", "closed-loop client threads", "4")
       .add_flag("requests",
                 "total requests (across clients, or open-loop arrivals)",
@@ -190,15 +210,32 @@ int run(int argc, const char* const* argv) {
       train::save_checkpoint(ckpt, *m.module, &*smodel);
     }
   }
-  serve::CompiledNet net = [&] {
-    if (!ckpt.empty()) {
-      // dstee_run saves parameter values only; masked weights are stored
-      // as exact zeros, so dense_eps=0 recovers the trained topology.
-      return serve::CompiledNet::from_checkpoint(
-          ckpt, *m.module, smodel ? &*smodel : nullptr, copts);
-    }
-    return serve::CompiledNet::compile(*m.module, &*smodel, copts);
-  }();
+  // The staged compiler: default pipeline (elide dropout, fold BN, free
+  // after last use), plus PartitionRows when requested.
+  serve::Compiler compiler(copts);
+  const std::size_t partition_ways =
+      static_cast<std::size_t>(args.get_int("partition-rows"));
+  if (partition_ways >= 2) {
+    serve::PartitionRowsOptions popts;
+    popts.ways = partition_ways;
+    popts.min_cost_share = args.get_double("partition-threshold");
+    popts.sample_shape = m.sample_shape;
+    compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+  }
+
+  if (!ckpt.empty()) {
+    // dstee_run saves parameter values only; masked weights are stored
+    // as exact zeros, so dense_eps=0 recovers the trained topology.
+    train::load_checkpoint(ckpt, *m.module, smodel ? &*smodel : nullptr);
+  }
+  serve::Plan plan = compiler.plan(*m.module, smodel ? &*smodel : nullptr);
+  if (args.get_bool("dump-plan")) {
+    // Inspection mode: print the post-pass plan and stop before binding.
+    std::cout << plan.dump(&m.sample_shape);
+    std::cout << "PLAN OK\n";
+    return 0;
+  }
+  serve::CompiledNet net = compiler.bind(std::move(plan));
   std::cout << net.summary();
   const double sp_flops = net.flops_per_sample(m.sample_shape);
   const double dn_flops = net.dense_flops_per_sample(m.sample_shape);
@@ -256,8 +293,15 @@ int run(int argc, const char* const* argv) {
     // still block when a shard queue hits capacity — that stall is the
     // finite-buffer reality, and it is measured and reported as
     // backpressure-blocked time.
-    util::Rng arrivals(
-        static_cast<std::uint64_t>(args.get_int("seed")) + 4242);
+    //
+    // Two named streams rooted directly at --seed: the inter-arrival gap
+    // sequence must be a pure function of the seed — not entangled with
+    // how many draws model construction or payload synthesis consumed —
+    // so the same offered-load trace reproduces across machines, models
+    // and payload changes.
+    util::Rng openloop_root(static_cast<std::uint64_t>(args.get_int("seed")));
+    util::Rng gap_rng = openloop_root.fork("poisson-arrivals");
+    util::Rng payload_rng = openloop_root.fork("openloop-payload");
     std::mutex fmu;
     std::condition_variable fcv;
     std::deque<std::future<tensor::Tensor>> inflight;
@@ -283,12 +327,12 @@ int run(int argc, const char* const* argv) {
     Clock::time_point next_arrival = Clock::now();
     for (std::size_t i = 0; i < total_requests; ++i) {
       const double gap_s =
-          -std::log(1.0 - arrivals.uniform()) / arrival_rate;
+          -std::log(1.0 - gap_rng.uniform()) / arrival_rate;
       next_arrival += std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double>(gap_s));
       std::this_thread::sleep_until(next_arrival);  // no-op when behind
       tensor::Tensor sample(m.sample_shape);
-      tensor::fill_normal(sample, arrivals, 0.0f, 1.0f);
+      tensor::fill_normal(sample, payload_rng, 0.0f, 1.0f);
       try {
         std::future<tensor::Tensor> f = server.submit(std::move(sample));
         {
