@@ -5,7 +5,7 @@
 
 #include <memory>
 
-#include "kernels/parallel.hpp"
+#include "spawn_chunks.hpp"
 #include "methods/drop_policy.hpp"
 #include "methods/dst_engine.hpp"
 #include "methods/grow_policy.hpp"
@@ -200,7 +200,7 @@ void BM_FanoutSpawn(benchmark::State& state) {
   std::vector<float> data(4096, 1.0f);
   std::vector<float> sums(chunks + 1, 0.0f);
   for (auto _ : state) {
-    kernels::spawn_chunks(
+    bench::spawn_chunks(
         data.size(), chunks, [&](std::size_t b0, std::size_t b1) {
           float acc = 0.0f;
           for (std::size_t i = b0; i < b1; ++i) acc += data[i];

@@ -23,7 +23,7 @@
 #include <future>
 
 #include "bench_common.hpp"
-#include "kernels/parallel.hpp"
+#include "spawn_chunks.hpp"
 #include "models/mlp.hpp"
 #include "models/vgg.hpp"
 #include "nn/conv2d.hpp"
@@ -116,7 +116,7 @@ void sweep_intra_op_pool(double min_time, util::CsvWriter& csv) {
   auto spawn_spmm = [&](const tensor::Tensor& x) {
     const std::size_t batch = x.dim(0);
     tensor::Tensor y({batch, csr.rows()});
-    kernels::spawn_chunks(csr.rows(), intra, [&](std::size_t r0,
+    bench::spawn_chunks(csr.rows(), intra, [&](std::size_t r0,
                                                  std::size_t r1) {
       for (std::size_t b = 0; b < batch; ++b) {
         const float* xn = x.raw() + b * csr.cols();

@@ -1,0 +1,45 @@
+// The RETIRED per-call fan-out: spawns and joins std::threads inside the
+// call, paying thread-start latency every time. It lives in bench/ (not
+// src/) because it exists only as the baseline the serving benches compare
+// the persistent runtime::Pool against — library code must never spawn raw
+// threads (tools/dstee_lint's raw-thread rule enforces exactly that), and
+// serve_throughput's sweep_intra_op_pool equality gate pins that this
+// baseline partitions ranges bit-identically to Pool::run_chunks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dstee::bench {
+
+/// Splits [0, n) into ceil-div contiguous chunks, spawns one std::thread
+/// per non-first chunk, runs the first chunk on the caller, joins. Same
+/// partitioning contract as runtime::Pool::run_chunks (threads 0 =
+/// hardware concurrency, chunk count never exceeds n, fn once per
+/// non-empty chunk).
+template <typename Fn>
+void spawn_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, n));
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    const std::size_t b0 = std::min(n, t * chunk);
+    const std::size_t b1 = std::min(n, b0 + chunk);
+    if (b0 < b1) workers.emplace_back([&fn, b0, b1] { fn(b0, b1); });
+  }
+  fn(0, std::min(n, chunk));
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace dstee::bench

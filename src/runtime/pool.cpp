@@ -1,5 +1,8 @@
 #include "runtime/pool.hpp"
 
+#include <atomic>
+#include <thread>
+
 #include "util/env.hpp"
 
 namespace dstee::runtime {
@@ -25,7 +28,7 @@ Pool::Pool(std::size_t num_workers) {
 
 Pool::~Pool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
     stop_ = true;
   }
   idle_cv_.notify_all();
@@ -52,12 +55,13 @@ void Pool::enqueue(std::function<void()> task) {
   // The tiny window where pending_ > 0 but the queue push is still in
   // flight only costs a woken worker one yield-and-retry.
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
     ++pending_;
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[w]->mu);
-    queues_[w]->tasks.push_back(std::move(task));
+    WorkerQueue& q = *queues_[w];
+    util::MutexLock lock(q.mu);
+    q.tasks.push_back(std::move(task));
   }
   idle_cv_.notify_one();
 }
@@ -68,7 +72,7 @@ bool Pool::try_pop(std::size_t home, std::function<void()>& out) {
   const std::size_t count = queues_.size();
   for (std::size_t i = 0; i < count; ++i) {
     WorkerQueue& q = *queues_[(home + i) % count];
-    std::lock_guard<std::mutex> lock(q.mu);
+    util::MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -82,8 +86,8 @@ void Pool::worker_loop(std::size_t index) {
   tl_worker_pool = this;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(idle_mu_);
-      idle_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+      util::UniqueLock lock(idle_mu_);
+      while (!stop_ && pending_ == 0) idle_cv_.wait(lock);
       if (pending_ == 0) return;  // stop_ set and everything drained
     }
     std::function<void()> task;
@@ -94,7 +98,7 @@ void Pool::worker_loop(std::size_t index) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(idle_mu_);
+      util::MutexLock lock(idle_mu_);
       --pending_;
     }
     task();

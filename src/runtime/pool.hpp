@@ -1,7 +1,7 @@
 // Persistent intra-op thread pool shared by every parallel kernel.
 //
 // The retired execution model spawned std::threads inside each SpMM/conv
-// call (see kernels::spawn_chunks), paying thread-start latency per call —
+// call (see bench/spawn_chunks.hpp), paying thread-start latency per call —
 // fine for huge batches, ruinous for the serving hot path where a batch-8
 // SpMM finishes in tens of microseconds. This pool starts its workers
 // once; a parallel region only pays a queue push and a condition-variable
@@ -10,7 +10,7 @@
 // Structure: fixed workers, one task deque per worker (submissions
 // round-robin across them; an idle worker steals from its peers), and a
 // single idle mutex/cv pair workers sleep on. Fan-out happens through
-// run_chunks(), which keeps kernels::parallel_chunks' contract exactly:
+// run_chunks(), which keeps the historical parallel_chunks contract:
 // [0, n) splits into ceil-div contiguous chunks, the calling thread runs
 // the first chunk itself, fn is invoked once per non-empty chunk (so
 // per-chunk scratch lives inside it), and the caller guarantees chunk
@@ -26,16 +26,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dstee::runtime {
 
@@ -46,20 +47,26 @@ namespace detail {
 /// All state is guarded by `mu`, so the error is visible to the waiter the
 /// moment `remaining` hits zero.
 struct FanLatch {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t remaining = 0;
-  std::exception_ptr error;
+  /// `tasks` = chunk tasks that will call finish() exactly once each.
+  explicit FanLatch(std::size_t tasks) : remaining(tasks) {}
+
+  util::Mutex mu;
+  util::CondVar cv;
+  std::size_t remaining DSTEE_GUARDED_BY(mu);
+  std::exception_ptr error DSTEE_GUARDED_BY(mu);
 
   void finish(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     if (e && !error) error = std::move(e);
     if (--remaining == 0) cv.notify_one();
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining == 0; });
+  /// Blocks until every task finished; returns the first error (null if
+  /// all tasks succeeded).
+  std::exception_ptr wait() {
+    util::UniqueLock lock(mu);
+    while (remaining != 0) cv.wait(lock);
+    return error;
   }
 };
 
@@ -88,7 +95,7 @@ class Pool {
   /// the task runs inline before submit() returns.
   void submit(std::function<void()> task);
 
-  /// The parallel_chunks contract on pool workers: splits [0, n) into
+  /// The chunked fan-out contract on pool workers: splits [0, n) into
   /// `chunks` ceil-div contiguous chunks (0 = workers()+1, never more
   /// than n), runs fn(begin, end) once per non-empty chunk with the
   /// calling thread taking the first chunk, and returns when every chunk
@@ -103,14 +110,13 @@ class Pool {
       return;
     }
     const std::size_t chunk = (n + chunks - 1) / chunks;
-    detail::FanLatch latch;
     // Chunks 1.. go to the pool; count first so the latch never hits zero
     // before every submission is in flight.
     std::size_t tasks = 0;
     for (std::size_t t = 1; t < chunks; ++t) {
       if (std::min(n, t * chunk) < n) ++tasks;
     }
-    latch.remaining = tasks;
+    detail::FanLatch latch(tasks);
     for (std::size_t t = 1; t < chunks; ++t) {
       const std::size_t b0 = std::min(n, t * chunk);
       const std::size_t b1 = std::min(n, b0 + chunk);
@@ -133,9 +139,9 @@ class Pool {
     }
     // Always drain before rethrowing: the tasks reference fn and latch on
     // this stack frame.
-    latch.wait();
+    const std::exception_ptr task_error = latch.wait();
     if (caller_error) std::rethrow_exception(caller_error);
-    if (latch.error) std::rethrow_exception(latch.error);
+    if (task_error) std::rethrow_exception(task_error);
   }
 
   /// Pool-wide data-parallel loop with a minimum grain: uses at most
@@ -153,8 +159,8 @@ class Pool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mu;
+    std::deque<std::function<void()>> tasks DSTEE_GUARDED_BY(mu);
   };
 
   /// True when the calling thread is one of THIS pool's workers.
@@ -163,16 +169,19 @@ class Pool {
   bool try_pop(std::size_t home, std::function<void()>& out);
   void worker_loop(std::size_t index);
 
+  // queues_/threads_ are sized in the constructor and structurally
+  // immutable afterwards (only each queue's guarded deque mutates), so
+  // the vectors themselves need no lock.
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
-  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> next_queue_{0};  ///< lock-free round-robin cursor
 
   // Workers sleep here; pending_/stop_ are guarded by idle_mu_ so wakeups
   // are never lost.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
+  util::Mutex idle_mu_;
+  util::CondVar idle_cv_;
+  std::size_t pending_ DSTEE_GUARDED_BY(idle_mu_) = 0;
+  bool stop_ DSTEE_GUARDED_BY(idle_mu_) = false;
 };
 
 /// Process-wide parallelism budget: DSTEE_RUNTIME_THREADS when set, else

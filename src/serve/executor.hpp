@@ -26,6 +26,12 @@ namespace dstee::serve {
 /// several ops (a PartitionRows group viewing one parent) is deep-copied
 /// exactly once per replica, so clones share no memory with the source
 /// (the NUMA prerequisite) but keep intra-replica sharing intact.
+///
+/// Concurrency: NOT thread-safe, and deliberately unannotated — a
+/// CloneContext lives on one thread's stack for the duration of a single
+/// clone() walk and is never shared. Cloning different replicas
+/// concurrently is safe because each walk owns its own context; the
+/// source ops are only read.
 struct CloneContext {
   std::shared_ptr<const sparse::CsrMatrix> dup(
       const std::shared_ptr<const sparse::CsrMatrix>& csr);
@@ -88,6 +94,15 @@ class EvalOp {
 /// An immutable, thread-safe bound program: the op graph plus the
 /// execution policy. CompiledNet wraps one of these with model-level
 /// bookkeeping; tests may also drive an Executor directly.
+///
+/// Concurrency: every member is written exactly once, inside bind() (or
+/// clone(), which builds a fresh instance) BEFORE the executor is
+/// published to serving threads; forward()/run_node() only read them.
+/// That lock-free-by-construction discipline is why no member carries a
+/// DSTEE_GUARDED_BY: there is no mutex because there is no mutation. Any
+/// future mutable state (op-level caches, hot-swapped weights) must add
+/// a util::Mutex + annotations, or an atomic with a comment, so the
+/// clang -Werror=thread-safety CI gate keeps proving the invariant.
 class Executor {
  public:
   /// Producer id meaning "the network input" in a node's input list.

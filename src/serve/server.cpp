@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <future>
 
 #include "util/check.hpp"
 
@@ -81,14 +83,15 @@ std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
                     "]");
   }
   Shard& shard = route(input.shape());
-  std::unique_lock<std::mutex> lock(shard.mu);
+  util::UniqueLock lock(shard.mu);
   if (!shard.stopping && shard.queue.size() >= config_.queue_capacity) {
     // Backpressure stall: the wait itself is part of the serving story,
     // so it is measured and surfaced instead of silently absorbed.
     const Clock::time_point blocked_from = Clock::now();
-    shard.space_cv.wait(lock, [&] {
-      return shard.stopping || shard.queue.size() < config_.queue_capacity;
-    });
+    while (!shard.stopping &&
+           shard.queue.size() >= config_.queue_capacity) {
+      shard.space_cv.wait(lock);
+    }
     shard.stats.record_blocked_ms(
         millis_between(blocked_from, Clock::now()));
   }
@@ -105,10 +108,9 @@ std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
 
 std::vector<InferenceServer::Request> InferenceServer::next_batch(
     Shard& shard) {
-  std::unique_lock<std::mutex> lock(shard.mu);
+  util::UniqueLock lock(shard.mu);
   for (;;) {
-    shard.queue_cv.wait(lock,
-                        [&] { return shard.stopping || !shard.queue.empty(); });
+    while (!shard.stopping && shard.queue.empty()) shard.queue_cv.wait(lock);
     if (shard.queue.empty()) return {};  // stopping and fully drained
 
     // Micro-batch window: fill up to max_batch, but never keep the head
@@ -187,7 +189,7 @@ void InferenceServer::worker_loop(Shard& shard) {
 void InferenceServer::shutdown() {
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       shard->stopping = true;
     }
     shard->queue_cv.notify_all();

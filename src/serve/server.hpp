@@ -23,17 +23,17 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/compiled_net.hpp"
 #include "serve/stats.hpp"
 #include "tensor/tensor.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dstee::serve {
 
@@ -86,17 +86,25 @@ class InferenceServer {
   };
 
   /// One worker group: a replica, a queue, its workers and stats.
+  /// Lock discipline: `mu` guards the queue and the stopping flag; the
+  /// net/replica pointers are immutable after construction; `stats` is
+  /// internally synchronized; `workers` is touched only by the
+  /// constructing/joining thread (never by the workers themselves).
   struct Shard {
     const CompiledNet* net = nullptr;      ///< executes batches
     std::unique_ptr<CompiledNet> replica;  ///< owned clone (null on shard 0)
 
-    std::mutex mu;
-    std::condition_variable queue_cv;  ///< signals work / shutdown
-    std::condition_variable space_cv;  ///< signals queue room
-    std::deque<Request> queue;
-    bool stopping = false;
+    util::Mutex mu;
+    util::CondVar queue_cv;  ///< signals work / shutdown
+    util::CondVar space_cv;  ///< signals queue room
+    std::deque<Request> queue DSTEE_GUARDED_BY(mu);
+    bool stopping DSTEE_GUARDED_BY(mu) = false;
 
     ServerStats stats;
+    // Shard workers ARE the serving inter-op layer (long-lived batchers,
+    // not pool tasks): constructed in the InferenceServer ctor, joined in
+    // shutdown(), never touched in between.
+    // dstee-lint: allow(raw-thread) -- the one sanctioned spawn site
     std::vector<std::thread> workers;
   };
 

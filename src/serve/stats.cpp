@@ -21,9 +21,9 @@ double percentile(const std::vector<double>& sorted_ascending, double q) {
 
 void ServerStats::record_batch(
     const std::vector<double>& request_latencies_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  requests_ += request_latencies_ms.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(request_latencies_ms.size(), std::memory_order_relaxed);
+  util::MutexLock lock(mu_);
   for (const double latency : request_latencies_ms) {
     if (latencies_ms_.size() < kMaxLatencySamples) {
       latencies_ms_.push_back(latency);
@@ -35,13 +35,16 @@ void ServerStats::record_batch(
 }
 
 void ServerStats::record_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_peak_ = std::max(queue_peak_, depth);
+  // Relaxed max-CAS: never blocks, never blocked by a snapshot.
+  std::size_t seen = queue_peak_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_peak_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
 }
 
 void ServerStats::record_blocked_ms(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  blocked_ms_ += ms;
+  blocked_us_.fetch_add(static_cast<std::int64_t>(ms * 1000.0),
+                        std::memory_order_relaxed);
 }
 
 StatsSnapshot ServerStats::finalize(std::size_t requests,
@@ -79,19 +82,21 @@ StatsSnapshot ServerStats::finalize(std::size_t requests,
 
 StatsSnapshot ServerStats::snapshot() const {
   std::vector<double> samples;
-  std::size_t requests = 0, batches = 0, queue_peak = 0;
-  double blocked_ms = 0.0, elapsed = 0.0;
+  double elapsed = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // The lock covers only the sample-window copy and the clock base;
+    // counter reads below are lock-free and never stall a worker.
+    util::MutexLock lock(mu_);
     samples = latencies_ms_;
-    requests = requests_;
-    batches = batches_;
-    queue_peak = queue_peak_;
-    blocked_ms = blocked_ms_;
     elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
   }
-  return finalize(requests, batches, elapsed, std::move(samples), queue_peak,
-                  blocked_ms);
+  return finalize(requests_.load(std::memory_order_relaxed),
+                  batches_.load(std::memory_order_relaxed), elapsed,
+                  std::move(samples),
+                  queue_peak_.load(std::memory_order_relaxed),
+                  static_cast<double>(
+                      blocked_us_.load(std::memory_order_relaxed)) /
+                      1000.0);
 }
 
 StatsSnapshot ServerStats::aggregate(
@@ -100,13 +105,16 @@ StatsSnapshot ServerStats::aggregate(
   std::size_t requests = 0, batches = 0, queue_peak = 0;
   double blocked_ms = 0.0, elapsed = 0.0;
   for (const ServerStats* group : groups) {
-    std::lock_guard<std::mutex> lock(group->mu_);
+    requests += group->requests_.load(std::memory_order_relaxed);
+    batches += group->batches_.load(std::memory_order_relaxed);
+    queue_peak = std::max(
+        queue_peak, group->queue_peak_.load(std::memory_order_relaxed));
+    blocked_ms += static_cast<double>(
+                      group->blocked_us_.load(std::memory_order_relaxed)) /
+                  1000.0;
+    util::MutexLock lock(group->mu_);
     samples.insert(samples.end(), group->latencies_ms_.begin(),
                    group->latencies_ms_.end());
-    requests += group->requests_;
-    batches += group->batches_;
-    queue_peak = std::max(queue_peak, group->queue_peak_);
-    blocked_ms += group->blocked_ms_;
     elapsed = std::max(
         elapsed,
         std::chrono::duration<double>(Clock::now() - group->start_).count());
@@ -116,13 +124,16 @@ StatsSnapshot ServerStats::aggregate(
 }
 
 void ServerStats::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Counter stores and the ring clear are not one atomic transaction; a
+  // reset concurrent with recording may keep a stray tick. reset() is a
+  // bench/test convenience, not a serving-path operation.
+  requests_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  queue_peak_.store(0, std::memory_order_relaxed);
+  blocked_us_.store(0, std::memory_order_relaxed);
+  util::MutexLock lock(mu_);
   latencies_ms_.clear();
   next_slot_ = 0;
-  requests_ = 0;
-  batches_ = 0;
-  queue_peak_ = 0;
-  blocked_ms_ = 0.0;
   start_ = Clock::now();
 }
 

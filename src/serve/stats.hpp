@@ -1,17 +1,33 @@
 // Serving metrics: per-request latency and aggregate throughput.
 //
-// Worker threads record one entry per completed request under a mutex; a
-// snapshot() sorts a copy of the latency samples and derives percentiles,
-// so recording stays O(1) on the hot path and readers never block workers
-// for long. A sharded server keeps one ServerStats per worker group and
-// derives the server-wide view with aggregate().
+// Synchronization contract (two tiers, encoded in the annotations below):
+//  - COUNTERS (requests, batches, queue peak, blocked time) are relaxed
+//    atomics. Recording them is lock-free and snapshot()/aggregate()
+//    readers never block a worker recording a counter — the guarantee
+//    backpressure accounting relies on.
+//  - LATENCY SAMPLES live in a bounded ring guarded by `mu_`. A worker
+//    finishing a batch and a reader copying the window for percentile
+//    sorting share that mutex briefly (the copy is O(window), the sort
+//    happens outside the lock), so sample recording can block on a
+//    concurrent snapshot — by design, and only for the window copy.
+// Counters and samples are therefore not mutually consistent to the
+// request: a snapshot may see a counter tick whose latency sample is not
+// in the window yet. Percentiles are over the recent window anyway, so
+// the skew is invisible in practice.
+//
+// A sharded server keeps one ServerStats per worker group and derives the
+// server-wide view with aggregate().
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <mutex>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dstee::serve {
 
@@ -57,10 +73,11 @@ class ServerStats {
   void record_batch(const std::vector<double>& request_latencies_ms);
 
   /// Records the queue depth observed right after an enqueue; keeps the
-  /// high-water mark.
+  /// high-water mark. Lock-free (relaxed max-CAS).
   void record_queue_depth(std::size_t depth);
 
   /// Adds one submit() backpressure stall to the blocked-time total.
+  /// Lock-free (relaxed add, microsecond resolution).
   void record_blocked_ms(double ms);
 
   /// Aggregates everything recorded so far.
@@ -83,14 +100,21 @@ class ServerStats {
                                 std::vector<double> samples,
                                 std::size_t queue_peak, double blocked_ms);
 
-  mutable std::mutex mu_;
-  std::vector<double> latencies_ms_;  ///< ring, capped at kMaxLatencySamples
-  std::size_t next_slot_ = 0;         ///< ring write position once full
-  std::size_t requests_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t queue_peak_ = 0;
-  double blocked_ms_ = 0.0;
-  Clock::time_point start_;
+  // Latency ring: guarded. Copying the window is the only work readers do
+  // under the lock.
+  mutable util::Mutex mu_;
+  std::vector<double> latencies_ms_
+      DSTEE_GUARDED_BY(mu_);  ///< ring, capped at kMaxLatencySamples
+  std::size_t next_slot_ DSTEE_GUARDED_BY(mu_) = 0;  ///< ring slot once full
+  Clock::time_point start_ DSTEE_GUARDED_BY(mu_);    ///< reset() clock base
+
+  // Counters: lock-free by design (see file comment). Monotonic except
+  // across reset(), which is documented as racy-but-benign when called
+  // concurrently with recording.
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> queue_peak_{0};
+  std::atomic<std::int64_t> blocked_us_{0};  ///< integral microseconds
 };
 
 }  // namespace dstee::serve

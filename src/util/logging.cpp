@@ -3,9 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 
 #include "util/string_util.hpp"
+#include "util/sync.hpp"
 
 namespace dstee::util {
 
@@ -21,8 +21,11 @@ std::atomic<LogLevel>& level_storage() {
   return level;
 }
 
-std::mutex& log_mutex() {
-  static std::mutex m;
+// Serializes whole log lines onto std::cerr. The guarded resource is the
+// stream (external state), so there is no member to GUARDED_BY here.
+Mutex& log_mutex() {
+  // dstee-lint: allow(unguarded-mutex) -- protects std::cerr, not a member
+  static Mutex m;
   return m;
 }
 
@@ -57,7 +60,7 @@ LogLevel parse_log_level(std::string_view text) {
 
 void log_message(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(log_mutex());
+  MutexLock lock(log_mutex());
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
 }
 

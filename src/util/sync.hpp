@@ -1,0 +1,107 @@
+// Annotated synchronization primitives: zero-overhead wrappers over
+// std::mutex / std::condition_variable that Clang Thread Safety Analysis
+// can see.
+//
+// The standard types carry no capability attributes, so a std::mutex
+// member is invisible to the analysis — GUARDED_BY(some_std_mutex) is
+// rejected outright. Wrapping (never subclassing — the std types are not
+// polymorphic) gives every lock site a capability the compiler tracks
+// while compiling to exactly the std calls: Mutex is a std::mutex,
+// MutexLock is a std::lock_guard, UniqueLock is a std::unique_lock, and
+// CondVar is a std::condition_variable waiting on the UniqueLock's inner
+// lock. tools/dstee_lint enforces that library code declares util::Mutex
+// rather than std::mutex, so new synchronization is analyzable by
+// construction.
+//
+// Condition-variable waits and the analysis: CondVar::wait releases and
+// reacquires the mutex internally, but always returns with it held, so
+// from the caller's (static) point of view the capability is held
+// continuously across the wait — which is exactly the guarantee guarded
+// data relies on. Write waits as explicit loops,
+//
+//   util::UniqueLock lock(mu_);
+//   while (!ready_) cv_.wait(lock);
+//
+// not with a predicate lambda: the analysis checks lambda bodies as
+// separate functions that do not inherit the caller's lock set, so a
+// predicate reading guarded state would (falsely) trip the analysis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace dstee::util {
+
+/// std::mutex with a capability attribute. Same size, same codegen.
+class DSTEE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DSTEE_ACQUIRE() { mu_.lock(); }
+  bool try_lock() DSTEE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() DSTEE_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard) the analysis understands.
+class DSTEE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DSTEE_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() DSTEE_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+/// Scoped lock (std::unique_lock) for condition-variable waits.
+class DSTEE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DSTEE_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() DSTEE_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over util::Mutex/UniqueLock. Waits return with
+/// the lock held (see the file comment for how that interacts with the
+/// analysis); notify_* never require the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dstee::util

@@ -1,0 +1,76 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros expand to Clang's capability attributes when the code is
+// compiled by Clang (where `-Wthread-safety` turns lock discipline into a
+// compile-time proof) and to nothing everywhere else, so GCC/MSVC builds
+// are byte-identical. The `clang-tsa` CMake preset and the matching CI
+// job build with `-Werror=thread-safety`, which makes a violated
+// annotation a build break instead of a comment that drifted.
+//
+// Usage conventions (see README "Correctness tooling"):
+//  - Every mutex is a util::Mutex (util/sync.hpp) — the raw std::mutex is
+//    invisible to the analysis, and tools/dstee_lint flags it.
+//  - Every member a mutex protects carries DSTEE_GUARDED_BY(mu). Members
+//    that are intentionally lock-free (atomics, immutable-after-ctor
+//    pointers) carry a comment saying so instead, and the absence of an
+//    annotation is a reviewed decision, not an oversight.
+//  - Functions that must be called with a lock held are annotated
+//    DSTEE_REQUIRES(mu); functions that must NOT hold it (because they
+//    take it themselves) may add DSTEE_EXCLUDES(mu) where deadlock risk
+//    is real.
+//  - DSTEE_NO_THREAD_SAFETY_ANALYSIS is a last resort and is banned in
+//    src/runtime/ and src/serve/ (the CI gate builds those with zero
+//    suppressions).
+#pragma once
+
+#if defined(__clang__)
+#define DSTEE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DSTEE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability, e.g. a mutex wrapper.
+#define DSTEE_CAPABILITY(x) DSTEE_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define DSTEE_SCOPED_CAPABILITY DSTEE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define DSTEE_GUARDED_BY(x) DSTEE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose POINTEE is protected by `x` (the pointer itself
+/// may be read freely).
+#define DSTEE_PT_GUARDED_BY(x) DSTEE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// does not release them).
+#define DSTEE_REQUIRES(...) \
+  DSTEE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define DSTEE_ACQUIRE(...) \
+  DSTEE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define DSTEE_RELEASE(...) \
+  DSTEE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the return value
+/// meaning "acquired".
+#define DSTEE_TRY_ACQUIRE(...) \
+  DSTEE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (anti-deadlock).
+#define DSTEE_EXCLUDES(...) DSTEE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, by contract) that the capability is held.
+#define DSTEE_ASSERT_CAPABILITY(x) \
+  DSTEE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the capability `x`.
+#define DSTEE_RETURN_CAPABILITY(x) DSTEE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis. Banned in src/runtime/ and
+/// src/serve/ — the CI thread-safety gate covers them suppression-free.
+#define DSTEE_NO_THREAD_SAFETY_ANALYSIS \
+  DSTEE_THREAD_ANNOTATION_(no_thread_safety_analysis)

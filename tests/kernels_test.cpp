@@ -8,8 +8,8 @@
 
 #include "kernels/activations.hpp"
 #include "kernels/conv.hpp"
-#include "kernels/parallel.hpp"
 #include "kernels/pool.hpp"
+#include "runtime/pool.hpp"
 #include "nn/conv2d.hpp"
 #include "test_helpers.hpp"
 #include "util/check.hpp"
@@ -122,40 +122,29 @@ TEST(Kernels, AddChannelBiasBroadcastsPerPlane) {
       tensor::Tensor(tensor::Shape({1, 2, 1, 2}), {11, 12, 23, 24})));
 }
 
-TEST(Kernels, ParallelChunksCoversRangeExactlyOnce) {
-  // parallel_chunks is now a shim over the persistent runtime pool; the
-  // historical contract (coverage, clamping, empty-range call) must hold
-  // unchanged.
+TEST(Kernels, PoolFanoutCoversRangeExactlyOnce) {
+  // The kernels::parallel_chunks shim is retired — kernels take a
+  // runtime::IntraOp and fan out on its pool (tools/dstee_lint's
+  // kernel-intraop rule keeps it that way). The historical chunking
+  // contract (coverage, clamping, empty-range call) lives on the pool and
+  // must hold unchanged for every chunk count kernels pass through.
   for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
                                     std::size_t{16}, std::size_t{0}}) {
     std::vector<std::atomic<int>> hits(13);
-    kernels::parallel_chunks(13, threads, [&](std::size_t b0,
-                                              std::size_t b1) {
-      for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
-    });
+    runtime::default_pool().run_chunks(
+        13, threads, [&](std::size_t b0, std::size_t b1) {
+          for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
+        });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
   // Empty range still invokes fn once with an empty chunk.
   bool called = false;
-  kernels::parallel_chunks(0, 4, [&](std::size_t b0, std::size_t b1) {
-    called = true;
-    EXPECT_EQ(b0, b1);
-  });
+  runtime::default_pool().run_chunks(
+      0, 4, [&](std::size_t b0, std::size_t b1) {
+        called = true;
+        EXPECT_EQ(b0, b1);
+      });
   EXPECT_TRUE(called);
-}
-
-TEST(Kernels, SpawnChunksBaselineKeepsTheSameContract) {
-  // The retired per-call-spawn fan-out stays available as the bench
-  // baseline; it must partition exactly like the pool path so the two
-  // are comparable.
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
-                                    std::size_t{16}, std::size_t{0}}) {
-    std::vector<std::atomic<int>> hits(13);
-    kernels::spawn_chunks(13, threads, [&](std::size_t b0, std::size_t b1) {
-      for (std::size_t i = b0; i < b1; ++i) hits[i].fetch_add(1);
-    });
-    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-  }
 }
 
 }  // namespace

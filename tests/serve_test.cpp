@@ -466,6 +466,48 @@ TEST(ServerStats, PercentilesAreInterpolated) {
   EXPECT_THROW(serve::percentile(sorted, 1.5), util::CheckError);
 }
 
+TEST(ServerStats, SnapshotAndAggregateNeverBlockCounterRecording) {
+  // Regression for the documented contract (stats.hpp): counter recording
+  // is lock-free, so hammering aggregate()/snapshot() from a reader while
+  // workers record concurrently must neither race (this test runs under
+  // the TSan CI job) nor lose a count. Latency samples share a brief
+  // mutex with the window copy by design; counts must still be exact.
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kBatchesPerWriter = 500;
+  serve::ServerStats group_a, group_b;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      serve::ServerStats& target = (w % 2 == 0) ? group_a : group_b;
+      while (!go.load()) std::this_thread::yield();
+      for (std::size_t i = 0; i < kBatchesPerWriter; ++i) {
+        target.record_batch({1.0, 2.0});
+        target.record_queue_depth(w * kBatchesPerWriter + i);
+        target.record_blocked_ms(0.5);
+      }
+    });
+  }
+  go.store(true);
+  // Reader loop overlapping the writers: every intermediate view must be
+  // internally sane (monotonic-ish counts, derived fields finite).
+  for (int spin = 0; spin < 200; ++spin) {
+    const auto agg = serve::ServerStats::aggregate({&group_a, &group_b});
+    EXPECT_GE(agg.requests, agg.batches);  // 2 requests per batch
+    EXPECT_GE(agg.blocked_ms, 0.0);
+    const auto snap = group_a.snapshot();
+    EXPECT_LE(snap.requests, kWriters * kBatchesPerWriter * 2);
+  }
+  for (auto& t : writers) t.join();
+  const auto final_agg = serve::ServerStats::aggregate({&group_a, &group_b});
+  EXPECT_EQ(final_agg.batches, kWriters * kBatchesPerWriter);
+  EXPECT_EQ(final_agg.requests, kWriters * kBatchesPerWriter * 2);
+  EXPECT_EQ(final_agg.queue_peak, kWriters * kBatchesPerWriter - 1);
+  EXPECT_NEAR(final_agg.blocked_ms,
+              0.5 * static_cast<double>(kWriters * kBatchesPerWriter), 1e-6);
+  EXPECT_GT(final_agg.latency_p50_ms, 0.0);
+}
+
 TEST(Server, FlushOnFullBatch) {
   CompiledHarness h(0.5);
   const auto net = serve::CompiledNet::compile(h.model, &h.smodel);

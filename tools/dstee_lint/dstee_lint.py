@@ -1,0 +1,399 @@
+#!/usr/bin/env python3
+"""dstee_lint: project-specific static checks the compiler cannot express.
+
+Clang Thread Safety Analysis (src/util/thread_annotations.hpp + the
+`clang-tsa` preset) proves lock DISCIPLINE — that guarded members are only
+touched with the right mutex held. This lint enforces the repo invariants
+that sit a level above the type system:
+
+  raw-thread       No raw std::thread in library code. Threads live in
+                   src/runtime/ (the pool) or serve's worker groups;
+                   everything else fans out through runtime::IntraOp.
+                   bench/ and tests/ are load generators and out of scope.
+  unguarded-mutex  (a) No naked std::mutex / std::condition_variable —
+                   use util::Mutex / util::CondVar so the thread-safety
+                   analysis can see the capability (src/util/sync.hpp is
+                   the one definition site). (b) Every util::Mutex
+                   declaration must have at least one DSTEE_GUARDED_BY /
+                   DSTEE_REQUIRES / ... user in the same file; a mutex
+                   protecting nothing nameable takes a waiver comment.
+  evalop-clone     Every leaf serve::EvalOp subclass overrides clone() —
+                   a clone-less op silently shares weights across replica
+                   shards, defeating replica isolation.
+  kernel-intraop   src/kernels/ never reads runtime::default_pool() or
+                   intra_op_default() directly; kernels accept a
+                   runtime::IntraOp so the caller owns placement policy.
+  include-hygiene  Concurrency symbols (std::mutex, std::thread,
+                   std::atomic, ...) require a DIRECT include of their
+                   header — the concurrency surface must state its
+                   dependencies, not inherit them — and duplicate
+                   includes are flagged.
+  unbuilt-source   (only with --compile-commands) every .cpp under src/
+                   appears in compile_commands.json, catching sources
+                   dropped from the build.
+
+Waivers: append `// dstee-lint: allow(<rule>)` (ideally with a reason
+after ` -- `) to the offending line, or put it on its own line directly
+above. Waivers are the documented escape hatch; src/runtime/ and
+src/serve/ lock state must instead be annotated for real.
+
+Usage:
+  dstee_lint.py [--root REPO] [--compile-commands build/compile_commands.json]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "raw-thread": "raw std::thread outside src/runtime/",
+    "unguarded-mutex": "naked std::mutex or util::Mutex with no annotation user",
+    "evalop-clone": "EvalOp subclass without a clone() override",
+    "kernel-intraop": "kernel reads the process pool instead of IntraOp",
+    "include-hygiene": "concurrency symbol without its direct #include",
+    "unbuilt-source": "src/ .cpp missing from compile_commands.json",
+}
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# Symbols whose use demands a direct include (concurrency surface only —
+# deliberately narrow so the rule stays high-signal).
+INCLUDE_MAP = [
+    (re.compile(r"\bstd::(mutex|lock_guard|unique_lock|scoped_lock|recursive_mutex|timed_mutex)\b"), "mutex"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"), "condition_variable"),
+    (re.compile(r"\bstd::(thread|this_thread)\b"), "thread"),
+    (re.compile(r"\bstd::atomic\b"), "atomic"),
+    (re.compile(r"\bstd::(future|promise|async|shared_future)\b"), "future"),
+]
+
+WAIVER_RE = re.compile(r"//\s*dstee-lint:\s*allow\(([a-z\-,\s]+)\)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines so
+    line numbers survive. Good enough for token scans; not a C++ parser."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def waived_lines(raw_lines: list[str]) -> dict[int, set[str]]:
+    """1-based line -> set of waived rule names. A waiver covers its own
+    line and the line directly below it (the standalone-comment-above
+    form)."""
+    waived: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        waived.setdefault(idx, set()).update(rules)
+        waived.setdefault(idx + 1, set()).update(rules)
+    return waived
+
+
+class FileScan:
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.stripped = strip_comments_and_strings(self.raw)
+        self.lines = self.stripped.splitlines()
+        self.waived = waived_lines(self.raw_lines)
+
+    def is_waived(self, line: int, rule: str) -> bool:
+        return rule in self.waived.get(line, set())
+
+
+def scan_raw_thread(fs: FileScan, findings: list[Finding]) -> None:
+    if fs.rel.startswith("src/runtime/"):
+        return
+    pat = re.compile(r"\bstd::thread\b(?!\s*::)")
+    for ln, line in enumerate(fs.lines, start=1):
+        if pat.search(line) and not fs.is_waived(ln, "raw-thread"):
+            findings.append(Finding(
+                fs.path, ln, "raw-thread",
+                "raw std::thread in library code; use runtime::Pool / "
+                "runtime::IntraOp (threads live in src/runtime/ only)"))
+
+
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|mutable\s+)*(?:dstee::)?(?:util::)?Mutex\s+(\w+)\s*[;{=]")
+NAKED_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?)\b")
+ANNOTATION_USER_RE = (
+    r"DSTEE_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
+    r"TRY_ACQUIRE|EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY)\("
+    r"[^)]*\b{name}\b")
+
+
+def scan_unguarded_mutex(fs: FileScan, findings: list[Finding]) -> None:
+    if fs.rel == "src/util/sync.hpp":
+        return  # the one place allowed to name the std types
+    for ln, line in enumerate(fs.lines, start=1):
+        m = NAKED_RE.search(line)
+        if m and "#include" not in line and not fs.is_waived(ln, "unguarded-mutex"):
+            findings.append(Finding(
+                fs.path, ln, "unguarded-mutex",
+                f"naked std::{m.group(1)} is invisible to thread-safety "
+                "analysis; use util::Mutex / util::CondVar (util/sync.hpp)"))
+    for ln, line in enumerate(fs.lines, start=1):
+        m = MUTEX_DECL_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        user = re.compile(ANNOTATION_USER_RE.format(name=re.escape(name)))
+        if user.search(fs.stripped):
+            continue
+        if fs.is_waived(ln, "unguarded-mutex"):
+            continue
+        findings.append(Finding(
+            fs.path, ln, "unguarded-mutex",
+            f"util::Mutex '{name}' has no DSTEE_GUARDED_BY/DSTEE_REQUIRES "
+            "user in this file; annotate what it protects or add a "
+            "dstee-lint waiver with the reason"))
+
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(\w+)(\s+final)?\s*:\s*((?:public|private|protected)?\s*[\w:]+"
+    r"(?:\s*,\s*(?:public|private|protected)?\s*[\w:]+)*)\s*\{")
+
+
+def scan_evalop_clone(scans: list[FileScan], findings: list[Finding]) -> None:
+    classes = {}  # name -> (fs, line, final, bases, body)
+    for fs in scans:
+        if not fs.rel.startswith("src/serve/"):
+            continue
+        for m in CLASS_RE.finditer(fs.stripped):
+            name = m.group(1)
+            is_final = bool(m.group(2))
+            bases = [b.strip().split()[-1].split("::")[-1]
+                     for b in m.group(3).split(",")]
+            # Body: from the opening brace to its match.
+            depth, i = 0, m.end() - 1
+            start = i
+            while i < len(fs.stripped):
+                if fs.stripped[i] == "{":
+                    depth += 1
+                elif fs.stripped[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            body = fs.stripped[start:i + 1]
+            line = fs.stripped[:m.start()].count("\n") + 1
+            classes[name] = (fs, line, is_final, bases, body)
+
+    def in_hierarchy(name: str, seen=None) -> bool:
+        if name == "EvalOp":
+            return True
+        if name not in classes:
+            return False
+        seen = seen or set()
+        if name in seen:
+            return False
+        seen.add(name)
+        return any(in_hierarchy(b, seen) for b in classes[name][3])
+
+    derived_from = {b for (_, _, _, bases, _) in classes.values() for b in bases}
+    for name, (fs, line, is_final, bases, body) in classes.items():
+        if name == "EvalOp" or not in_hierarchy(name):
+            continue
+        is_leaf = is_final or name not in derived_from
+        if not is_leaf:
+            continue  # abstract intermediates (e.g. CsrOp) need no clone
+        if re.search(r"\bclone\s*\(", body):
+            continue
+        if fs.is_waived(line, "evalop-clone"):
+            continue
+        findings.append(Finding(
+            fs.path, line, "evalop-clone",
+            f"EvalOp subclass '{name}' does not override clone(); replica "
+            "shards would silently share its state"))
+
+
+def scan_kernel_intraop(fs: FileScan, findings: list[Finding]) -> None:
+    if not fs.rel.startswith("src/kernels/"):
+        return
+    pat = re.compile(r"\b(default_pool|intra_op_default)\s*\(")
+    for ln, line in enumerate(fs.lines, start=1):
+        m = pat.search(line)
+        if m and not fs.is_waived(ln, "kernel-intraop"):
+            findings.append(Finding(
+                fs.path, ln, "kernel-intraop",
+                f"kernel reads runtime::{m.group(1)}() directly; accept a "
+                "runtime::IntraOp parameter so callers own the policy"))
+
+
+def scan_include_hygiene(fs: FileScan, findings: list[Finding]) -> None:
+    includes = {}
+    for ln, line in enumerate(fs.raw_lines, start=1):
+        m = re.match(r'\s*#\s*include\s*([<"][^>"]+[>"])', line)
+        if m:
+            if m.group(1) in includes and not fs.is_waived(ln, "include-hygiene"):
+                findings.append(Finding(
+                    fs.path, ln, "include-hygiene",
+                    f"duplicate #include {m.group(1)}"))
+            includes.setdefault(m.group(1), ln)
+    for pat, header in INCLUDE_MAP:
+        m = pat.search(fs.stripped)
+        if not m:
+            continue
+        if f"<{header}>" in includes:
+            continue
+        ln = fs.stripped[:m.start()].count("\n") + 1
+        if fs.is_waived(ln, "include-hygiene"):
+            continue
+        findings.append(Finding(
+            fs.path, ln, "include-hygiene",
+            f"uses {m.group(0)} without a direct #include <{header}>"))
+
+
+def scan_unbuilt_sources(root: Path, compile_commands: Path,
+                         findings: list[Finding]) -> None:
+    try:
+        entries = json.loads(compile_commands.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        findings.append(Finding(compile_commands, 1, "unbuilt-source",
+                                f"cannot read compile_commands.json: {e}"))
+        return
+    built = set()
+    for entry in entries:
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(entry["directory"]) / f
+        try:
+            built.add(f.resolve())
+        except OSError:
+            pass
+    for path in sorted((root / "src").rglob("*.cpp")):
+        if path.resolve() not in built:
+            findings.append(Finding(
+                path, 1, "unbuilt-source",
+                "not listed in compile_commands.json — dropped from the "
+                "build?"))
+
+
+def collect_files(root: Path) -> list[Path]:
+    files = []
+    for sub in ("src", "tools"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            # The lint's own known-bad fixtures are linted with
+            # --root fixtures/ by the selftest, never as tree sources.
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("tools/dstee_lint/fixtures/"):
+                continue
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[2],
+                    help="repository root (default: this script's repo)")
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="compile_commands.json for the unbuilt-source rule")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:18} {desc}")
+        return 0
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"dstee_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    scans = [FileScan(p, root) for p in collect_files(root)]
+    for fs in scans:
+        scan_raw_thread(fs, findings)
+        scan_unguarded_mutex(fs, findings)
+        scan_kernel_intraop(fs, findings)
+        scan_include_hygiene(fs, findings)
+    scan_evalop_clone(scans, findings)
+    if args.compile_commands is not None:
+        scan_unbuilt_sources(root, args.compile_commands, findings)
+
+    for f in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(f)
+    if findings:
+        print(f"dstee_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"dstee_lint: clean ({len(scans)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

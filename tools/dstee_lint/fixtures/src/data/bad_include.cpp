@@ -1,0 +1,15 @@
+// Fixture for [include-hygiene]: std::atomic used without a direct
+// #include <atomic>, plus a duplicate #include line.
+#include <cstddef>
+#include <cstddef>
+
+namespace dstee::data {
+
+struct Counter {
+  // <atomic> arrives only transitively (here: not at all) — flagged.
+  void bump();
+};
+
+inline int probe(std::atomic<int>* c) { return c->load(); }
+
+}  // namespace dstee::data

@@ -1,0 +1,15 @@
+// Fixture: a kernel reading runtime::default_pool() (and the
+// intra_op_default() knob) directly instead of accepting a
+// runtime::IntraOp — both call sites must trigger [kernel-intraop].
+// (Fixtures are linted, never compiled, so no declarations needed.)
+#include <cstddef>
+
+namespace dstee::kernels {
+
+void bad_kernel() {
+  auto& pool = runtime::default_pool();
+  (void)pool;
+  (void)runtime::intra_op_default();
+}
+
+}  // namespace dstee::kernels

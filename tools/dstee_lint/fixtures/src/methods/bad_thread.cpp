@@ -1,0 +1,13 @@
+// Fixture: raw std::thread in library code (outside src/runtime/) must
+// trigger [raw-thread]. The direct <thread> include keeps the
+// include-hygiene rule quiet so this file isolates exactly one rule.
+#include <thread>
+
+namespace dstee::methods {
+
+void bad_fanout() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace dstee::methods

@@ -1,0 +1,12 @@
+// Fixture: std::thread INSIDE src/runtime/ is the sanctioned spawn site —
+// no finding expected.
+#include <thread>
+
+namespace dstee::runtime {
+
+void ok_fanout() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace dstee::runtime

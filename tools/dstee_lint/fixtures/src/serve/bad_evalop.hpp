@@ -1,0 +1,41 @@
+// Fixture for [evalop-clone]: every LEAF EvalOp subclass must override
+// clone(). The hierarchy below exercises all the shapes the rule must
+// distinguish:
+//   EvalOp            base — exempt
+//   MidOp             intermediate with derivers, no clone — exempt
+//   LeafWithClone     leaf overriding clone — clean
+//   LeafNoClone       leaf (final, transitively via MidOp) missing clone — FLAGGED
+//   DirectNoClone     leaf deriving EvalOp directly, missing clone — FLAGGED
+#pragma once
+
+#include <memory>
+
+namespace dstee::serve {
+
+class EvalOp {
+ public:
+  virtual ~EvalOp() = default;
+  virtual std::unique_ptr<EvalOp> clone() const = 0;
+};
+
+class MidOp : public EvalOp {
+ public:
+  int shared_config = 0;
+};
+
+class LeafWithClone final : public MidOp {
+ public:
+  std::unique_ptr<EvalOp> clone() const override;
+};
+
+class LeafNoClone final : public MidOp {
+ public:
+  int state = 0;
+};
+
+class DirectNoClone final : public EvalOp {
+ public:
+  int state = 0;
+};
+
+}  // namespace dstee::serve

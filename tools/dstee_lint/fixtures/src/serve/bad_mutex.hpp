@@ -1,0 +1,20 @@
+// Fixture: two [unguarded-mutex] shapes —
+//  (a) a naked std::mutex member, invisible to thread-safety analysis;
+//  (b) a util::Mutex with no DSTEE_GUARDED_BY/DSTEE_REQUIRES user in the
+//      file, i.e. a lock protecting nothing nameable.
+#pragma once
+
+#include <mutex>
+
+#include "util/sync.hpp"
+
+namespace dstee::serve {
+
+class BadMutexHolder {
+ private:
+  std::mutex naked_mu_;
+  util::Mutex orphan_mu_;
+  int value_ = 0;
+};
+
+}  // namespace dstee::serve

@@ -1,0 +1,16 @@
+// Fixture: a util::Mutex with a DSTEE_GUARDED_BY user in the same file is
+// the blessed pattern — no finding expected.
+#pragma once
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dstee::serve {
+
+class OkMutexHolder {
+ private:
+  util::Mutex mu_;
+  int value_ DSTEE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dstee::serve

@@ -1,0 +1,19 @@
+// Fixture: the waiver comment silences a finding on the next line (and a
+// same-line waiver silences its own line) — no finding expected.
+#include <thread>
+
+#include "util/sync.hpp"
+
+namespace dstee::serve {
+
+void waived_spawn() {
+  // dstee-lint: allow(raw-thread) -- fixture for the comment-above form
+  std::thread t([] {});
+  t.join();
+}
+
+void waived_inline() {
+  util::Mutex local_mu;  // dstee-lint: allow(unguarded-mutex) -- fixture
+}
+
+}  // namespace dstee::serve

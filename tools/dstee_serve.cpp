@@ -30,12 +30,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -53,6 +51,7 @@
 #include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace dstee {
@@ -302,16 +301,21 @@ int run(int argc, const char* const* argv) {
     util::Rng openloop_root(static_cast<std::uint64_t>(args.get_int("seed")));
     util::Rng gap_rng = openloop_root.fork("poisson-arrivals");
     util::Rng payload_rng = openloop_root.fork("openloop-payload");
-    std::mutex fmu;
-    std::condition_variable fcv;
+    // Guards the function-local inflight queue of this load generator.
+    // dstee-lint: allow(unguarded-mutex) -- local lock, not a member
+    util::Mutex fmu;
+    util::CondVar fcv;
     std::deque<std::future<tensor::Tensor>> inflight;
     bool dispatch_done = false;
+    // The server's own threads all live on runtime::Pool or
+    // InferenceServer workers; this is the load-generator client side.
+    // dstee-lint: allow(raw-thread) -- load-gen client, not library code
     std::thread reaper([&] {
       for (;;) {
         std::future<tensor::Tensor> f;
         {
-          std::unique_lock<std::mutex> lock(fmu);
-          fcv.wait(lock, [&] { return dispatch_done || !inflight.empty(); });
+          util::UniqueLock lock(fmu);
+          while (!dispatch_done && inflight.empty()) fcv.wait(lock);
           if (inflight.empty()) return;  // dispatch done and drained
           f = std::move(inflight.front());
           inflight.pop_front();
@@ -336,7 +340,7 @@ int run(int argc, const char* const* argv) {
       try {
         std::future<tensor::Tensor> f = server.submit(std::move(sample));
         {
-          std::lock_guard<std::mutex> lock(fmu);
+          util::MutexLock lock(fmu);
           inflight.push_back(std::move(f));
         }
         fcv.notify_one();
@@ -346,7 +350,7 @@ int run(int argc, const char* const* argv) {
     }
     offered_rps = static_cast<double>(total_requests) / wall.seconds();
     {
-      std::lock_guard<std::mutex> lock(fmu);
+      util::MutexLock lock(fmu);
       dispatch_done = true;
     }
     fcv.notify_all();
@@ -367,6 +371,7 @@ int run(int argc, const char* const* argv) {
         }
       }
     };
+    // dstee-lint: allow(raw-thread) -- closed-loop load-gen clients.
     std::vector<std::thread> pool;
     for (std::size_t c = 1; c < clients; ++c) pool.emplace_back(client, c);
     client(0);
