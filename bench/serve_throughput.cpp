@@ -28,7 +28,9 @@
 #include "models/vgg.hpp"
 #include "nn/conv2d.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/delta.hpp"
 #include "serve/passes.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
@@ -401,6 +403,173 @@ void sweep_shards(const bench::BenchEnv& env, double min_time,
   }
 }
 
+/// One faked DST step on every layer of `state` — the delta payload the
+/// hot-swap sweep publishes mid-run.
+void hotswap_step(sparse::SparseModel& state) {
+  for (std::size_t l = 0; l < state.num_layers(); ++l) {
+    sparse::MaskedParameter& layer = state.layer(l);
+    const std::vector<std::size_t> active = layer.mask().active_indices();
+    const std::vector<std::size_t> inactive = layer.mask().inactive_indices();
+    util::check(active.size() >= 2 && !inactive.empty(),
+                "hotswap sweep model has no sparse headroom");
+    layer.mask().deactivate(active[0]);
+    layer.mask().activate(inactive[0]);
+    layer.param().value[inactive[0]] = 0.125f;
+    layer.param().value[active[1]] += 0.25f;
+    layer.apply_mask_to_value();
+  }
+}
+
+/// Tail latency under a mid-run hot swap: the same open-loop arrival
+/// stream measured once without a swap (baseline) and once with a
+/// sparse-delta swap published halfway through. The gate is the
+/// zero-downtime claim in latency form: the swap window's p99 stays
+/// within 2x of the steady-state p99 (plus a small absolute floor for
+/// timer noise on the tiny scaled-down model).
+void sweep_hotswap(const bench::BenchEnv& env, double min_time,
+                   util::CsvWriter& csv) {
+  models::MlpConfig cfg;
+  cfg.in_features = env.scaled(256, 32);
+  cfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
+  cfg.out_features = 10;
+  const tensor::Shape sample_shape({cfg.in_features});
+  constexpr std::uint64_t kSeed = 43;
+  constexpr std::size_t kShards = 2;
+
+  const auto make_registry = [&](serve::ModelRegistry& registry) {
+    util::Rng rng(kSeed);
+    auto module = std::make_unique<models::Mlp>(cfg, rng);
+    auto state = std::make_unique<sparse::SparseModel>(
+        *module, 0.9, sparse::DistributionKind::kErk, rng);
+    module->set_training(false);
+    serve::ModelOptions mopts;
+    mopts.server.num_threads = 1;
+    mopts.server.num_shards = kShards;
+    mopts.server.max_batch = 8;
+    mopts.server.max_delay_ms = 0.2;
+    registry.add_model("m", std::move(module), std::move(state),
+                       std::move(mopts));
+  };
+
+  // The delta: the registry's model (a pure function of the seed),
+  // reconstructed out-of-band and advanced one DST step.
+  const serve::CheckpointDelta delta = [&] {
+    util::Rng brng(kSeed);
+    models::Mlp base(cfg, brng);
+    sparse::SparseModel base_state(base, 0.9,
+                                   sparse::DistributionKind::kErk, brng);
+    util::Rng nrng(kSeed);
+    models::Mlp next(cfg, nrng);
+    sparse::SparseModel next_state(next, 0.9,
+                                   sparse::DistributionKind::kErk, nrng);
+    hotswap_step(next_state);
+    return serve::make_delta(base, &base_state, next, &next_state);
+  }();
+
+  // Calibrate the arrival rate to half of closed-loop capacity so the
+  // open-loop phases run loaded but un-saturated — a saturated queue
+  // would make p99 a function of overload, not of the swap.
+  const double calibrated_rps = [&] {
+    serve::ModelRegistry registry;
+    make_registry(registry);
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> done{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        util::Rng crng(700 + c);
+        while (!stop.load(std::memory_order_relaxed)) {
+          tensor::Tensor sample(sample_shape);
+          tensor::fill_normal(sample, crng, 0.0f, 1.0f);
+          registry.submit("m", std::move(sample)).get();
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    util::Timer timer;
+    while (timer.seconds() < std::max(0.15, min_time)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop.store(true);
+    for (auto& t : clients) t.join();
+    const double elapsed = timer.seconds();
+    registry.shutdown();
+    return static_cast<double>(done.load()) / elapsed;
+  }();
+
+  const double seconds = std::max(0.4, min_time * 3.0);
+  const double rate = std::max(50.0, calibrated_rps * 0.5);
+  const std::size_t total =
+      std::max<std::size_t>(200, static_cast<std::size_t>(rate * seconds));
+  const double interval_s = seconds / static_cast<double>(total);
+
+  // One open-loop phase: fixed-interval arrivals; when `swap` is set, a
+  // control-plane thread publishes the delta at the halfway arrival.
+  const auto run_phase = [&](bool swap, serve::StatsSnapshot& stats,
+                             serve::SwapReport& report) {
+    serve::ModelRegistry registry;
+    make_registry(registry);
+    std::vector<std::future<tensor::Tensor>> futures;
+    futures.reserve(total);
+    std::thread swapper;
+    util::Rng arng(800);
+    util::Timer wall;
+    for (std::size_t i = 0; i < total; ++i) {
+      const double due = static_cast<double>(i) * interval_s;
+      while (wall.seconds() < due) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      if (swap && i == total / 2) {
+        swapper = std::thread(
+            [&] { report = registry.apply_delta("m", delta); });
+      }
+      tensor::Tensor sample(sample_shape);
+      tensor::fill_normal(sample, arng, 0.0f, 1.0f);
+      futures.push_back(registry.submit("m", std::move(sample)));
+    }
+    for (auto& f : futures) f.get();
+    if (swapper.joinable()) swapper.join();
+    registry.shutdown();
+    stats = registry.stats("m");
+  };
+
+  serve::StatsSnapshot base_stats, swap_stats;
+  serve::SwapReport unused, report;
+  run_phase(false, base_stats, unused);
+  run_phase(true, swap_stats, report);
+  const double base_p99 = base_stats.latency_p99_ms;
+  const double swap_p99 = swap_stats.latency_p99_ms;
+
+  std::cout << "hot swap under open-loop load (" << kShards << " shards, "
+            << util::format_fixed(rate, 0) << " req/s, " << total
+            << " requests/phase)\n";
+  util::Table table({"phase", "completed", "p50 ms", "p99 ms", "swaps"});
+  table.add_row({"no swap", std::to_string(base_stats.requests),
+                 util::format_fixed(base_stats.latency_p50_ms, 3),
+                 util::format_fixed(base_p99, 3),
+                 std::to_string(base_stats.swap_count)});
+  table.add_row({"swap mid-run", std::to_string(swap_stats.requests),
+                 util::format_fixed(swap_stats.latency_p50_ms, 3),
+                 util::format_fixed(swap_p99, 3),
+                 std::to_string(swap_stats.swap_count)});
+  std::cout << table.render() << "\n";
+  // For the hotswap row the rate columns hold p99 ms (baseline, swap) and
+  // `speedup` their ratio — same column reuse as the partition rows.
+  csv.write_row({"hotswap", std::to_string(kShards), "1", "-",
+                 util::format_fixed(base_p99, 3),
+                 util::format_fixed(swap_p99, 3),
+                 util::format_fixed(base_p99 > 0.0 ? swap_p99 / base_p99 : 1.0,
+                                    3)});
+
+  bench::shape_check("hot swap drops nothing (every arrival completed)",
+                     swap_stats.requests == total);
+  bench::shape_check("delta swap patched the plan without a full recompile",
+                     swap_stats.swap_count == 1 && !report.full_recompile &&
+                         report.patched_weight_nodes > 0);
+  bench::shape_check("p99 with a mid-run swap stays within 2x of baseline",
+                     swap_p99 <= base_p99 * 2.0 + 2.0);
+}
+
 int run() {
   const bench::BenchEnv env = bench::BenchEnv::resolve();
   const double min_time = util::env_double("DSTEE_SERVE_MIN_TIME", 0.15);
@@ -477,6 +646,7 @@ int run() {
   sweep_intra_op_pool(min_time, scaling_csv);
   sweep_partition(env, min_time, scaling_csv);
   sweep_shards(env, min_time, scaling_csv);
+  sweep_hotswap(env, min_time, scaling_csv);
   scaling_csv.flush();
 
   bench::shape_check(

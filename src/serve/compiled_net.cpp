@@ -49,6 +49,19 @@ CompiledNet CompiledNet::clone() const {
   return copy;
 }
 
+CompiledNet CompiledNet::clone_shared(
+    const std::unordered_set<const sparse::CsrMatrix*>& shared) const {
+  CompiledNet copy;
+  copy.exec_ = exec_.clone_shared(shared);
+  copy.sparse_ops_ = sparse_ops_;
+  copy.elided_ = elided_;
+  copy.residual_joins_ = residual_joins_;
+  copy.partitioned_ops_ = partitioned_ops_;
+  copy.total_nnz_ = total_nnz_;
+  copy.total_weights_ = total_weights_;
+  return copy;
+}
+
 double CompiledNet::density() const {
   return total_weights_ > 0
              ? static_cast<double>(total_nnz_) /

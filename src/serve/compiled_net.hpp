@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_set>
 
 #include "nn/sequential.hpp"
 #include "runtime/pool.hpp"
@@ -92,6 +93,14 @@ class CompiledNet {
   /// so the replica shares no memory with the source. InferenceServer
   /// builds one replica per shard from this.
   CompiledNet clone() const;
+
+  /// clone() that keeps the matrices in `shared` by reference instead of
+  /// copying. The delta hot-swap path builds each shard's new replica
+  /// with the delta-touched matrices fresh and everything else shared
+  /// with the version it replaces — a deliberate, bounded relaxation of
+  /// full replica isolation that makes patch swaps O(touched weights).
+  CompiledNet clone_shared(
+      const std::unordered_set<const sparse::CsrMatrix*>& shared) const;
 
   const Executor& executor() const { return exec_; }
 

@@ -1,0 +1,602 @@
+#include "serve/delta.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "util/check.hpp"
+
+namespace dstee::serve {
+
+namespace {
+
+// Same magic as train/checkpoint.cpp: a delta is version 3 of the one
+// dstee checkpoint family, so both loaders can recognize — and cleanly
+// reject — each other's files.
+constexpr char kMagic[4] = {'D', 'S', 'T', 'E'};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (std::size_t byte = 0; byte < sizeof(v); ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_float(std::uint64_t& h, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv_mix(h, bits);
+}
+
+void fnv_mix_tensor(std::uint64_t& h, const tensor::Tensor& t) {
+  fnv_mix(h, t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i) fnv_mix_float(h, t[i]);
+}
+
+bool tensors_differ(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.numel() != b.numel()) return true;
+  return std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)) != 0;
+}
+
+// --- binary helpers (little-endian on every platform we build for, the
+// same assumption train/checkpoint.cpp makes) --------------------------
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f32(std::ofstream& out, float v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  util::check(in.good(), "delta file truncated");
+  return v;
+}
+
+float read_f32(std::ifstream& in) {
+  float v = 0.0f;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  util::check(in.good(), "delta file truncated");
+  return v;
+}
+
+void write_pairs(std::ofstream& out,
+                 const std::vector<std::pair<std::size_t, float>>& pairs) {
+  write_u64(out, pairs.size());
+  for (const auto& [idx, value] : pairs) {
+    write_u64(out, idx);
+    write_f32(out, value);
+  }
+}
+
+std::vector<std::pair<std::size_t, float>> read_pairs(std::ifstream& in) {
+  std::vector<std::pair<std::size_t, float>> pairs(read_u64(in));
+  for (auto& [idx, value] : pairs) {
+    idx = read_u64(in);
+    value = read_f32(in);
+  }
+  return pairs;
+}
+
+void write_dense(std::ofstream& out,
+                 const std::vector<DenseTensorDelta>& tensors) {
+  write_u64(out, tensors.size());
+  for (const DenseTensorDelta& d : tensors) {
+    write_u64(out, d.index);
+    write_u64(out, d.values.size());
+    for (const float v : d.values) write_f32(out, v);
+  }
+}
+
+std::vector<DenseTensorDelta> read_dense(std::ifstream& in) {
+  std::vector<DenseTensorDelta> tensors(read_u64(in));
+  for (DenseTensorDelta& d : tensors) {
+    d.index = read_u64(in);
+    d.values.resize(read_u64(in));
+    for (float& v : d.values) v = read_f32(in);
+  }
+  return tensors;
+}
+
+/// param pointer → masked-layer index, the lookup both the diff and the
+/// patch side key sparse updates on.
+std::unordered_map<const nn::Parameter*, std::size_t> masked_layers(
+    const sparse::SparseModel* state) {
+  std::unordered_map<const nn::Parameter*, std::size_t> map;
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < state->num_layers(); ++i) {
+      map.emplace(&state->layer(i).param(), i);
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+std::uint64_t model_state_hash(nn::Module& model,
+                               const sparse::SparseModel* state) {
+  std::uint64_t h = kFnvOffset;
+  for (const nn::Parameter* p : model.parameters()) {
+    fnv_mix_tensor(h, p->value);
+  }
+  for (const tensor::Tensor* b : model.state_buffers()) {
+    fnv_mix_tensor(h, *b);
+  }
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < state->num_layers(); ++i) {
+      const std::vector<std::size_t> active =
+          state->layer(i).mask().active_indices();
+      fnv_mix(h, active.size());
+      for (const std::size_t idx : active) fnv_mix(h, idx);
+    }
+  }
+  return h;
+}
+
+CheckpointDelta make_delta(nn::Module& base,
+                           const sparse::SparseModel* base_state,
+                           nn::Module& next,
+                           const sparse::SparseModel* next_state) {
+  const std::vector<nn::Parameter*> bp = base.parameters();
+  const std::vector<nn::Parameter*> np = next.parameters();
+  util::check(bp.size() == np.size(),
+              "make_delta: models differ in parameter count");
+  const std::vector<tensor::Tensor*> bb = base.state_buffers();
+  const std::vector<tensor::Tensor*> nb = next.state_buffers();
+  util::check(bb.size() == nb.size(),
+              "make_delta: models differ in state-buffer count");
+  util::check((base_state == nullptr) == (next_state == nullptr),
+              "make_delta: both or neither model must carry sparse state");
+  if (base_state != nullptr) {
+    util::check(base_state->num_layers() == next_state->num_layers(),
+                "make_delta: sparse layer count mismatch");
+  }
+
+  const auto base_masked = masked_layers(base_state);
+  const auto next_masked = masked_layers(next_state);
+
+  CheckpointDelta delta;
+  delta.base_hash = model_state_hash(base, base_state);
+  delta.result_hash = model_state_hash(next, next_state);
+
+  for (std::size_t p = 0; p < bp.size(); ++p) {
+    util::check(bp[p]->value.shape() == np[p]->value.shape(),
+                "make_delta: parameter " + std::to_string(p) +
+                    " changed shape — not an incremental update");
+    const auto bit = base_masked.find(bp[p]);
+    const auto nit = next_masked.find(np[p]);
+    util::check((bit == base_masked.end()) == (nit == next_masked.end()),
+                "make_delta: parameter " + std::to_string(p) +
+                    " is masked in only one model");
+    if (bit != base_masked.end()) {
+      util::check(bit->second == nit->second,
+                  "make_delta: masked layer order differs between models");
+      const sparse::MaskedParameter& bl = base_state->layer(bit->second);
+      const sparse::MaskedParameter& nl = next_state->layer(nit->second);
+      SparseLayerDelta section;
+      section.layer = bit->second;
+      const std::size_t n = bl.numel();
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool was = bl.mask().is_active(j);
+        const bool is = nl.mask().is_active(j);
+        if (was && !is) {
+          section.removed.push_back(j);
+        } else if (!was && is) {
+          section.added.emplace_back(j, nl.param().value[j]);
+        } else if (was && is &&
+                   bl.param().value[j] != nl.param().value[j]) {
+          section.changed.emplace_back(j, nl.param().value[j]);
+        }
+      }
+      if (!section.removed.empty() || !section.added.empty() ||
+          !section.changed.empty()) {
+        delta.sparse_layers.push_back(std::move(section));
+      }
+    } else if (tensors_differ(bp[p]->value, np[p]->value)) {
+      DenseTensorDelta d;
+      d.index = p;
+      d.values.assign(np[p]->value.raw(),
+                      np[p]->value.raw() + np[p]->value.numel());
+      delta.dense_params.push_back(std::move(d));
+    }
+  }
+
+  for (std::size_t b = 0; b < bb.size(); ++b) {
+    util::check(bb[b]->numel() == nb[b]->numel(),
+                "make_delta: state buffer " + std::to_string(b) +
+                    " changed shape");
+    if (tensors_differ(*bb[b], *nb[b])) {
+      DenseTensorDelta d;
+      d.index = b;
+      d.values.assign(nb[b]->raw(), nb[b]->raw() + nb[b]->numel());
+      delta.state_buffers.push_back(std::move(d));
+    }
+  }
+  return delta;
+}
+
+void save_delta(const std::string& path, const CheckpointDelta& delta) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  util::check(out.is_open(), "cannot open delta for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, CheckpointDelta::kVersion);
+  write_u64(out, delta.base_hash);
+  write_u64(out, delta.result_hash);
+  write_u64(out, delta.sparse_layers.size());
+  for (const SparseLayerDelta& section : delta.sparse_layers) {
+    write_u64(out, section.layer);
+    write_u64(out, section.removed.size());
+    for (const std::size_t idx : section.removed) write_u64(out, idx);
+    write_pairs(out, section.added);
+    write_pairs(out, section.changed);
+  }
+  write_dense(out, delta.dense_params);
+  write_dense(out, delta.state_buffers);
+  out.flush();
+  util::check(out.good(), "delta write failed: " + path);
+}
+
+CheckpointDelta load_delta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  util::check(in.is_open(), "cannot open delta for reading: " + path);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  util::check(in.good() && std::equal(magic, magic + 4, kMagic),
+              "not a dstee checkpoint/delta file: " + path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  util::check(in.good(), "delta file truncated");
+  util::check(version != 1 && version != 2,
+              "checkpoint " + path + " is a FULL checkpoint (v" +
+                  std::to_string(version) +
+                  "), not a sparse delta; load it with "
+                  "train::load_checkpoint");
+  util::check(version == CheckpointDelta::kVersion,
+              "unsupported delta version " + std::to_string(version));
+
+  CheckpointDelta delta;
+  delta.base_hash = read_u64(in);
+  delta.result_hash = read_u64(in);
+  delta.sparse_layers.resize(read_u64(in));
+  for (SparseLayerDelta& section : delta.sparse_layers) {
+    section.layer = read_u64(in);
+    section.removed.resize(read_u64(in));
+    for (std::size_t& idx : section.removed) idx = read_u64(in);
+    section.added = read_pairs(in);
+    section.changed = read_pairs(in);
+  }
+  delta.dense_params = read_dense(in);
+  delta.state_buffers = read_dense(in);
+  return delta;
+}
+
+void apply_delta(const CheckpointDelta& delta, nn::Module& model,
+                 sparse::SparseModel* state) {
+  const std::uint64_t have = model_state_hash(model, state);
+  util::check(
+      have == delta.base_hash,
+      "delta base mismatch: this delta was built against base state " +
+          std::to_string(delta.base_hash) + " but the model hashes to " +
+          std::to_string(have) +
+          " — apply the delta to the exact checkpoint it was made from");
+
+  for (const SparseLayerDelta& section : delta.sparse_layers) {
+    util::check(state != nullptr,
+                "delta carries sparse layer updates but the model has no "
+                "SparseModel state");
+    util::check(section.layer < state->num_layers(),
+                "delta sparse layer index out of range");
+    sparse::MaskedParameter& layer = state->layer(section.layer);
+    const std::size_t n = layer.numel();
+    for (const std::size_t idx : section.removed) {
+      util::check(idx < n && layer.mask().is_active(idx),
+                  "delta removes an inactive position (corrupt delta?)");
+      layer.mask().deactivate(idx);
+    }
+    for (const auto& [idx, value] : section.added) {
+      util::check(idx < n && !layer.mask().is_active(idx),
+                  "delta grows an already-active position (corrupt delta?)");
+      layer.mask().activate(idx);
+      layer.param().value[idx] = value;
+    }
+    for (const auto& [idx, value] : section.changed) {
+      util::check(idx < n && layer.mask().is_active(idx),
+                  "delta changes an inactive position (corrupt delta?)");
+      layer.param().value[idx] = value;
+    }
+    layer.apply_mask_to_value();
+  }
+
+  const std::vector<nn::Parameter*> params = model.parameters();
+  for (const DenseTensorDelta& d : delta.dense_params) {
+    util::check(d.index < params.size(), "delta parameter index out of range");
+    tensor::Tensor& value = params[d.index]->value;
+    util::check(d.values.size() == value.numel(),
+                "delta parameter size mismatch");
+    std::copy(d.values.begin(), d.values.end(), value.raw());
+  }
+  const std::vector<tensor::Tensor*> buffers = model.state_buffers();
+  for (const DenseTensorDelta& d : delta.state_buffers) {
+    util::check(d.index < buffers.size(), "delta buffer index out of range");
+    util::check(d.values.size() == buffers[d.index]->numel(),
+                "delta buffer size mismatch");
+    std::copy(d.values.begin(), d.values.end(), buffers[d.index]->raw());
+  }
+
+  const std::uint64_t got = model_state_hash(model, state);
+  util::check(got == delta.result_hash,
+              "delta application did not reproduce the expected result "
+              "state (corrupt delta file?)");
+}
+
+namespace {
+
+/// Rebuilt weight node: the CSR matrix and bias exactly as a full
+/// recompile (lower + FoldBatchNorm) would produce them.
+struct RebuiltWeights {
+  std::shared_ptr<sparse::CsrMatrix> csr;
+  tensor::Tensor bias;
+  bool has_bias = false;
+};
+
+}  // namespace
+
+PlanPatch apply_delta_to_plan(const Plan& base_plan,
+                              const CheckpointDelta& delta,
+                              nn::Sequential& model,
+                              const sparse::SparseModel* state,
+                              float dense_eps) {
+  PlanPatch out;
+  out.plan = base_plan;
+
+  LoweredModules mods = collect_lowered_modules(model);
+  const std::vector<nn::Parameter*> params = model.parameters();
+  const std::vector<tensor::Tensor*> buffers = model.state_buffers();
+  std::unordered_map<const nn::Parameter*, std::size_t> param_index;
+  for (std::size_t i = 0; i < params.size(); ++i) param_index[params[i]] = i;
+  std::unordered_map<const tensor::Tensor*, std::size_t> buffer_index;
+  for (std::size_t i = 0; i < buffers.size(); ++i) buffer_index[buffers[i]] = i;
+  const auto masked = masked_layers(state);
+
+  std::unordered_set<std::size_t> touched_layers;
+  for (const SparseLayerDelta& s : delta.sparse_layers) {
+    touched_layers.insert(s.layer);
+  }
+  std::unordered_set<std::size_t> touched_params;
+  for (const DenseTensorDelta& d : delta.dense_params) {
+    touched_params.insert(d.index);
+  }
+  std::unordered_set<std::size_t> touched_buffers;
+  for (const DenseTensorDelta& d : delta.state_buffers) {
+    touched_buffers.insert(d.index);
+  }
+
+  // Attribute every touched tensor to a lowered module; anything left
+  // over has no plan node to patch and forces a full recompile.
+  std::unordered_set<std::size_t> accounted_params, accounted_buffers;
+  std::unordered_set<std::size_t> covered_layers;
+
+  struct SparseSite {
+    const nn::Parameter* weight = nullptr;
+    bool touched = false;
+  };
+  std::vector<SparseSite> sites(mods.sparse.size());
+  for (std::size_t s = 0; s < mods.sparse.size(); ++s) {
+    nn::Parameter* weight = nullptr;
+    nn::Parameter* bias = nullptr;
+    if (auto* linear = dynamic_cast<nn::Linear*>(mods.sparse[s])) {
+      weight = &linear->weight();
+      if (linear->has_bias()) bias = &linear->bias();
+    } else if (auto* conv = dynamic_cast<nn::Conv2d*>(mods.sparse[s])) {
+      weight = &conv->weight();
+      if (conv->has_bias()) bias = &conv->bias();
+    }
+    util::check(weight != nullptr, "collect_lowered_modules inconsistency");
+    sites[s].weight = weight;
+    bool touched = false;
+    const std::size_t wi = param_index.at(weight);
+    accounted_params.insert(wi);
+    if (touched_params.count(wi) > 0) touched = true;
+    const auto mit = masked.find(weight);
+    if (mit != masked.end()) {
+      covered_layers.insert(mit->second);
+      if (touched_layers.count(mit->second) > 0) touched = true;
+    }
+    if (bias != nullptr) {
+      const std::size_t bi = param_index.at(bias);
+      accounted_params.insert(bi);
+      if (touched_params.count(bi) > 0) touched = true;
+    }
+    sites[s].touched = touched;
+  }
+
+  std::vector<char> bn_touched(mods.bns.size(), 0);
+  for (std::size_t b = 0; b < mods.bns.size(); ++b) {
+    const nn::BatchNorm& bn = *mods.bns[b];
+    bool touched = false;
+    for (const nn::Parameter* p : {&bn.gamma(), &bn.beta()}) {
+      const std::size_t pi = param_index.at(p);
+      accounted_params.insert(pi);
+      if (touched_params.count(pi) > 0) touched = true;
+    }
+    for (const tensor::Tensor* buf : {&bn.running_mean(), &bn.running_var()}) {
+      const auto it = buffer_index.find(buf);
+      if (it != buffer_index.end()) {
+        accounted_buffers.insert(it->second);
+        if (touched_buffers.count(it->second) > 0) touched = true;
+      }
+    }
+    bn_touched[b] = touched ? 1 : 0;
+  }
+
+  for (const std::size_t p : touched_params) {
+    if (accounted_params.count(p) == 0) out.needs_full_recompile = true;
+  }
+  for (const std::size_t b : touched_buffers) {
+    if (accounted_buffers.count(b) == 0) out.needs_full_recompile = true;
+  }
+  for (const std::size_t l : touched_layers) {
+    if (covered_layers.count(l) == 0) out.needs_full_recompile = true;
+  }
+  if (out.needs_full_recompile) return out;
+
+  // Rebuilds ordinal `s`'s weights exactly as lower() (+ FoldBatchNorm
+  // when `folded`) would: fresh from_masked/from_dense, then the fold
+  // arithmetic on the fresh copy.
+  auto rebuild = [&](std::size_t s, bool folded,
+                     std::size_t bn_ordinal) -> RebuiltWeights {
+    RebuiltWeights r;
+    const nn::Parameter& weight = *sites[s].weight;
+    const auto mit = masked.find(&weight);
+    r.csr = std::make_shared<sparse::CsrMatrix>(
+        mit != masked.end()
+            ? sparse::CsrMatrix::from_masked(state->layer(mit->second))
+            : sparse::CsrMatrix::from_dense(weight.value, dense_eps));
+    if (auto* linear = dynamic_cast<nn::Linear*>(mods.sparse[s])) {
+      r.has_bias = linear->has_bias();
+      if (r.has_bias) r.bias = linear->bias().value;
+    } else if (auto* conv = dynamic_cast<nn::Conv2d*>(mods.sparse[s])) {
+      r.has_bias = conv->has_bias();
+      if (r.has_bias) r.bias = conv->bias().value;
+    }
+    if (folded) {
+      util::check(bn_ordinal < mods.bns.size(),
+                  "folded node lost its batch-norm provenance");
+      std::vector<float> scale, shift;
+      bn_scale_shift(*mods.bns[bn_ordinal], scale, shift);
+      util::check(r.csr->rows() == scale.size(),
+                  "delta re-fold: BN channel count mismatch");
+      r.csr->scale_rows(scale);
+      tensor::Tensor folded_bias({r.csr->rows()});
+      for (std::size_t row = 0; row < r.csr->rows(); ++row) {
+        folded_bias[row] =
+            (r.has_bias ? r.bias[row] * scale[row] : 0.0f) + shift[row];
+      }
+      r.bias = std::move(folded_bias);
+      r.has_bias = true;
+    }
+    return r;
+  };
+
+  Plan& plan = out.plan;
+  std::size_t i = 0;
+  while (i < plan.ops.size()) {
+    PlanOp& op = plan.ops[i];
+    if (op.kind == PlanOpKind::kSpmm || op.kind == PlanOpKind::kConv) {
+      ++out.total_weight_nodes;
+      const std::size_t s = op.sparse_ordinal;
+      if (s == PlanOp::kNoOrdinal || s >= sites.size()) {
+        out.needs_full_recompile = true;
+        break;
+      }
+      const bool refold =
+          op.folded_bn &&
+          (op.bn_ordinal >= mods.bns.size() || bn_touched[op.bn_ordinal] != 0);
+      if (sites[s].touched || refold) {
+        RebuiltWeights r = rebuild(s, op.folded_bn, op.bn_ordinal);
+        op.csr = std::move(r.csr);
+        op.bias = std::move(r.bias);
+        op.has_bias = r.has_bias;
+        ++out.patched_weight_nodes;
+      }
+      ++i;
+      continue;
+    }
+    if (op.kind == PlanOpKind::kRowSlice) {
+      // One PartitionRows group = one weight unit: consecutive slices
+      // sharing a partition_group (and their common source matrix).
+      std::size_t j = i;
+      while (j < plan.ops.size() &&
+             plan.ops[j].kind == PlanOpKind::kRowSlice &&
+             plan.ops[j].partition_group == op.partition_group) {
+        ++j;
+      }
+      const std::size_t count = j - i;
+      ++out.total_weight_nodes;
+      const std::size_t s = op.sparse_ordinal;
+      if (s == PlanOp::kNoOrdinal || s >= sites.size()) {
+        out.needs_full_recompile = true;
+        break;
+      }
+      const bool refold =
+          op.folded_bn &&
+          (op.bn_ordinal >= mods.bns.size() || bn_touched[op.bn_ordinal] != 0);
+      if (sites[s].touched || refold) {
+        RebuiltWeights r = rebuild(s, op.folded_bn, op.bn_ordinal);
+        // Re-split against the rebuilt matrix, exactly as PartitionRows
+        // would on a full recompile with the same `ways`.
+        const std::vector<std::size_t> bounds =
+            r.csr->balanced_row_splits(count);
+        for (std::size_t k = 0; k < count; ++k) {
+          PlanOp& slice = plan.ops[i + k];
+          slice.csr = r.csr;  // all slices view the one rebuilt matrix
+          slice.row_begin = bounds[k];
+          slice.row_end = bounds[k + 1];
+          slice.has_bias = r.has_bias;
+          if (r.has_bias) {
+            tensor::Tensor b({bounds[k + 1] - bounds[k]});
+            for (std::size_t row = bounds[k]; row < bounds[k + 1]; ++row) {
+              b[row - bounds[k]] = r.bias[row];
+            }
+            slice.bias = std::move(b);
+          }
+        }
+        ++out.patched_weight_nodes;
+      }
+      i = j;
+      continue;
+    }
+    if (op.kind == PlanOpKind::kScaleShift &&
+        op.bn_ordinal != PlanOp::kNoOrdinal &&
+        op.bn_ordinal < mods.bns.size() && bn_touched[op.bn_ordinal] != 0) {
+      bn_scale_shift(*mods.bns[op.bn_ordinal], op.scale, op.shift);
+      ++out.patched_scale_shifts;
+    }
+    ++i;
+  }
+
+  if (out.needs_full_recompile) {
+    out.plan = base_plan;  // hand back the pristine base
+    out.patched_weight_nodes = 0;
+    out.patched_scale_shifts = 0;
+    return out;
+  }
+
+  if (out.patched_weight_nodes > 0) {
+    // Refresh the model-wide nnz counter: distinct matrices only (a
+    // partition group shares one).
+    std::unordered_set<const sparse::CsrMatrix*> seen;
+    std::size_t nnz = 0;
+    for (const PlanOp& op : plan.ops) {
+      if (op.csr != nullptr && seen.insert(op.csr.get()).second) {
+        nnz += op.csr->nnz();
+      }
+    }
+    plan.total_nnz = nnz;
+  }
+  return out;
+}
+
+}  // namespace dstee::serve

@@ -1,0 +1,127 @@
+// Checkpoint delta format v3 + the Plan-level ApplyDelta patch path.
+//
+// The source paper's DST loop only moves a small fraction of mask
+// positions and values between grow/prune steps, so a freshly-trained
+// topology is naturally expressible as a SPARSE DELTA against the
+// checkpoint currently being served: per layer, the mask positions that
+// were pruned (removed), the positions that were grown (added, with
+// their values), and the surviving positions whose values changed —
+// plus full replacements for the small dense tensors (biases, BN
+// affine/running stats) that drift every step. A delta is keyed by a
+// hash of the base model state, so applying it to the wrong base fails
+// loudly instead of serving silently-corrupt weights.
+//
+// On disk a delta is version 3 of the dstee checkpoint family (same
+// magic); train::load_checkpoint rejects delta files with a pointer
+// here, and load_delta() rejects full checkpoints symmetrically.
+//
+// The serving half re-uses the PR 5 compiler seam: a Plan retained from
+// compilation shares its CsrMatrix instances with the bound executor,
+// so apply_delta_to_plan() can copy that plan, rebuild ONLY the nodes
+// whose provenance ordinals (PlanOp::sparse_ordinal / bn_ordinal) the
+// delta touched — re-folding BN and re-splitting PartitionRows groups
+// exactly as a full recompile would — and leave every untouched node
+// pointing at the very matrices the outgoing version serves. Binding
+// the patched plan then yields a new version that is bit-identical to a
+// full recompile (pinned by serve_test) at a fraction of the work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "nn/sequential.hpp"
+#include "serve/plan.hpp"
+#include "sparse/sparse_model.hpp"
+
+namespace dstee::serve {
+
+/// One sparse layer's incremental update. `layer` indexes the
+/// SparseModel's masked layers; positions are flat indices into the
+/// weight tensor.
+struct SparseLayerDelta {
+  std::size_t layer = 0;
+  std::vector<std::size_t> removed;  ///< pruned: mask 1 → 0
+  /// grown: mask 0 → 1, with the new value.
+  std::vector<std::pair<std::size_t, float>> added;
+  /// still active, value changed.
+  std::vector<std::pair<std::size_t, float>> changed;
+};
+
+/// Full replacement for one small dense tensor, addressed by its
+/// position in Module::parameters() / state_buffers().
+struct DenseTensorDelta {
+  std::size_t index = 0;
+  std::vector<float> values;
+};
+
+/// An incremental checkpoint: everything that moved between a base
+/// model state and its successor.
+struct CheckpointDelta {
+  static constexpr std::uint32_t kVersion = 3;
+
+  std::uint64_t base_hash = 0;    ///< model_state_hash of the base
+  std::uint64_t result_hash = 0;  ///< ... of the state after application
+  std::vector<SparseLayerDelta> sparse_layers;
+  std::vector<DenseTensorDelta> dense_params;   ///< non-sparse parameters
+  std::vector<DenseTensorDelta> state_buffers;  ///< BN running stats etc.
+
+  bool empty() const {
+    return sparse_layers.empty() && dense_params.empty() &&
+           state_buffers.empty();
+  }
+};
+
+/// FNV-1a over parameter values, state buffers and mask topologies —
+/// the identity a delta is keyed by. DST step counters are deliberately
+/// excluded: they never influence serving.
+std::uint64_t model_state_hash(nn::Module& model,
+                               const sparse::SparseModel* state);
+
+/// Diffs `next` against `base` (identical architectures; both walked in
+/// parameters()/state_buffers() order). Masked layers diff incrementally;
+/// everything else becomes a full dense replacement when any value moved.
+CheckpointDelta make_delta(nn::Module& base,
+                           const sparse::SparseModel* base_state,
+                           nn::Module& next,
+                           const sparse::SparseModel* next_state);
+
+void save_delta(const std::string& path, const CheckpointDelta& delta);
+
+/// Rejects full checkpoints (v1/v2) with a pointer to load_checkpoint.
+CheckpointDelta load_delta(const std::string& path);
+
+/// Applies `delta` to `model`/`state` in place. Fails with a clear
+/// base-hash message when `model` is not the delta's base, and verifies
+/// the resulting state hashes to `result_hash`.
+void apply_delta(const CheckpointDelta& delta, nn::Module& model,
+                 sparse::SparseModel* state);
+
+/// Result of the plan-level patch.
+struct PlanPatch {
+  Plan plan;                     ///< base plan with touched nodes rebuilt
+  std::size_t patched_weight_nodes = 0;  ///< CSR units rebuilt
+  std::size_t total_weight_nodes = 0;    ///< CSR units in the plan
+  std::size_t patched_scale_shifts = 0;  ///< standalone BN nodes updated
+  /// Set when a touched tensor could not be attributed to a plan node
+  /// (missing provenance, unsupported layout): the returned plan is the
+  /// unpatched base and the caller must recompile from scratch.
+  bool needs_full_recompile = false;
+};
+
+/// Rebuilds only the delta-touched nodes of `base_plan` from
+/// `model`/`state`, which must ALREADY have the delta applied. A CSR
+/// unit is one kSpmm/kConv node or one PartitionRows slice group (the
+/// group re-splits against the rebuilt matrix); folded BN re-folds
+/// through the node's bn_ordinal. Untouched nodes keep their CsrMatrix
+/// pointers — the zero-copy seam the hot-swap replica path shares with
+/// the outgoing version.
+PlanPatch apply_delta_to_plan(const Plan& base_plan,
+                              const CheckpointDelta& delta,
+                              nn::Sequential& model,
+                              const sparse::SparseModel* state,
+                              float dense_eps = 0.0f);
+
+}  // namespace dstee::serve

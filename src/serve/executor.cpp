@@ -14,6 +14,7 @@ namespace dstee::serve {
 
 std::shared_ptr<const sparse::CsrMatrix> CloneContext::dup(
     const std::shared_ptr<const sparse::CsrMatrix>& csr) {
+  if (share_ != nullptr && share_->count(csr.get()) > 0) return csr;
   auto it = copies_.find(csr.get());
   if (it == copies_.end()) {
     it = copies_.emplace(csr.get(),
@@ -903,8 +904,18 @@ tensor::Tensor Executor::forward(const tensor::Tensor& x) const {
 }
 
 Executor Executor::clone() const {
-  Executor copy;
   CloneContext ctx;
+  return clone_with(ctx);
+}
+
+Executor Executor::clone_shared(
+    const std::unordered_set<const sparse::CsrMatrix*>& shared) const {
+  CloneContext ctx(&shared);
+  return clone_with(ctx);
+}
+
+Executor Executor::clone_with(CloneContext& ctx) const {
+  Executor copy;
   copy.nodes_.reserve(nodes_.size());
   for (const OpNode& node : nodes_) {
     copy.nodes_.push_back(OpNode{node.op->clone(ctx), node.inputs});

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/pool.hpp"
@@ -27,12 +28,23 @@ namespace dstee::serve {
 /// exactly once per replica, so clones share no memory with the source
 /// (the NUMA prerequisite) but keep intra-replica sharing intact.
 ///
+/// A context may carry a SHARE SET: matrices in it are handed through
+/// untouched instead of copied. The delta hot-swap path uses this to
+/// build a new version's replica that shares every weight the delta did
+/// not touch with the outgoing version — a deliberate, bounded exception
+/// to full replica isolation (see CompiledNet::clone_shared).
+///
 /// Concurrency: NOT thread-safe, and deliberately unannotated — a
 /// CloneContext lives on one thread's stack for the duration of a single
 /// clone() walk and is never shared. Cloning different replicas
 /// concurrently is safe because each walk owns its own context; the
 /// source ops are only read.
 struct CloneContext {
+  CloneContext() = default;
+  explicit CloneContext(
+      const std::unordered_set<const sparse::CsrMatrix*>* share)
+      : share_(share) {}
+
   std::shared_ptr<const sparse::CsrMatrix> dup(
       const std::shared_ptr<const sparse::CsrMatrix>& csr);
 
@@ -40,6 +52,7 @@ struct CloneContext {
   std::unordered_map<const sparse::CsrMatrix*,
                      std::shared_ptr<const sparse::CsrMatrix>>
       copies_;
+  const std::unordered_set<const sparse::CsrMatrix*>* share_ = nullptr;
 };
 
 /// One compiled inference operation. run()/run2()/run_many() are const
@@ -132,6 +145,11 @@ class Executor {
   /// replica shares no memory with the source.
   Executor clone() const;
 
+  /// clone() that hands matrices in `shared` through by reference instead
+  /// of copying — the delta hot-swap replica path.
+  Executor clone_shared(
+      const std::unordered_set<const sparse::CsrMatrix*>& shared) const;
+
   std::size_t num_ops() const { return nodes_.size(); }
   const OpNode& node(std::size_t i) const;
 
@@ -160,6 +178,9 @@ class Executor {
 
   void run_node(std::size_t i, std::vector<tensor::Tensor>& values,
                 const tensor::Tensor& x) const;
+
+  /// Shared body of clone()/clone_shared().
+  Executor clone_with(CloneContext& ctx) const;
 
   std::vector<OpNode> nodes_;
   /// release_after_[i]: values to free once node i (or its group) ran.

@@ -105,6 +105,7 @@ void FoldBatchNorm::run(Plan& plan) const {
     producer.bias = std::move(folded);
     producer.has_bias = true;
     producer.folded_bn = true;
+    producer.bn_ordinal = bn.bn_ordinal;  // provenance for delta re-fold
     plan.ops.erase(plan.ops.begin() + static_cast<std::ptrdiff_t>(i));
     rewire_after_erase(plan, i, src);
   }
@@ -200,6 +201,8 @@ void PartitionRows::run(Plan& plan) const {
       }
       slice.has_bias = original.has_bias;
       slice.folded_bn = original.folded_bn;
+      slice.sparse_ordinal = original.sparse_ordinal;
+      slice.bn_ordinal = original.bn_ordinal;
       if (is_conv) {
         slice.in_channels = original.in_channels;
         slice.kernel = original.kernel;

@@ -67,24 +67,6 @@ const char* to_string(ActKind act) {
   return "?";
 }
 
-/// Eval-mode BN as per-channel affine constants (the same arithmetic the
-/// monolithic compiler used, so folding stays bit-identical).
-void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
-                    std::vector<float>& shift) {
-  const std::size_t c = bn.channels();
-  scale.resize(c);
-  shift.resize(c);
-  for (std::size_t i = 0; i < c; ++i) {
-    const double inv_std =
-        1.0 / std::sqrt(static_cast<double>(bn.running_var()[i]) + bn.eps());
-    const double s = static_cast<double>(bn.gamma().value[i]) * inv_std;
-    scale[i] = static_cast<float>(s);
-    shift[i] = static_cast<float>(
-        static_cast<double>(bn.beta().value[i]) -
-        static_cast<double>(bn.running_mean()[i]) * s);
-  }
-}
-
 tensor::ConvGeometry conv_geometry(const PlanOp& op, std::size_t in_h,
                                    std::size_t in_w) {
   util::check(in_h + 2 * op.padding >= op.kernel &&
@@ -106,6 +88,25 @@ std::size_t slice_nnz(const PlanOp& op) {
 }
 
 }  // namespace
+
+// The same arithmetic the monolithic compiler used, so folding — and the
+// delta re-fold path, which must be bit-identical to a full recompile —
+// never drifts from standalone kScaleShift evaluation.
+void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
+                    std::vector<float>& shift) {
+  const std::size_t c = bn.channels();
+  scale.resize(c);
+  shift.resize(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    const double inv_std =
+        1.0 / std::sqrt(static_cast<double>(bn.running_var()[i]) + bn.eps());
+    const double s = static_cast<double>(bn.gamma().value[i]) * inv_std;
+    scale[i] = static_cast<float>(s);
+    shift[i] = static_cast<float>(
+        static_cast<double>(bn.beta().value[i]) -
+        static_cast<double>(bn.running_mean()[i]) * s);
+  }
+}
 
 std::vector<std::size_t> Plan::use_counts() const {
   std::vector<std::size_t> counts(ops.size(), 0);
@@ -411,6 +412,7 @@ Plan lower(nn::Sequential& model, const sparse::SparseModel* state,
 
   Plan plan;
   std::size_t cursor = Plan::kInputId;
+  std::size_t bn_count = 0;  // bn_ordinal source (see collect_lowered_modules)
 
   auto emit = [&](PlanOp op) {
     plan.ops.push_back(std::move(op));
@@ -458,6 +460,7 @@ Plan lower(nn::Sequential& model, const sparse::SparseModel* state,
       op.kind = PlanOpKind::kSpmm;
       op.inputs = {cursor};
       op.csr = csr_for(linear->weight());
+      op.sparse_ordinal = plan.sparse_ops - 1;
       if (linear->has_bias()) op.bias = linear->bias().value;
       op.has_bias = linear->has_bias();
       emit(std::move(op));
@@ -468,6 +471,7 @@ Plan lower(nn::Sequential& model, const sparse::SparseModel* state,
       op.kind = PlanOpKind::kConv;
       op.inputs = {cursor};
       op.csr = csr_for(conv->weight());
+      op.sparse_ordinal = plan.sparse_ops - 1;
       util::check(op.csr->cols() ==
                       conv->in_channels() * conv->kernel() * conv->kernel(),
                   "conv CSR columns must equal Cin*K*K");
@@ -486,6 +490,7 @@ Plan lower(nn::Sequential& model, const sparse::SparseModel* state,
       op.inputs = {cursor};
       bn_scale_shift(*bn, op.scale, op.shift);
       op.rank4 = bn->is_rank4();
+      op.bn_ordinal = bn_count++;
       emit(std::move(op));
       return;
     }
@@ -556,6 +561,37 @@ Plan lower(nn::Sequential& model, const sparse::SparseModel* state,
   util::check(!plan.ops.empty(), "model lowered to an empty plan");
   plan.validate();
   return plan;
+}
+
+LoweredModules collect_lowered_modules(nn::Sequential& model) {
+  // MUST mirror lower_module's recursion order exactly: the ordinals it
+  // hands out are the provenance keys stored in PlanOps. Pinned by the
+  // delta round-trip tests (bit-identical patch vs full recompile).
+  LoweredModules out;
+  auto walk = [&](auto&& self, nn::Module& module) -> void {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) {
+      for (std::size_t i = 0; i < seq->size(); ++i) self(self, seq->child(i));
+      return;
+    }
+    if (auto* block = dynamic_cast<models::ResidualBlock*>(&module)) {
+      self(self, block->main_path());
+      if (nn::Sequential* shortcut = block->shortcut_path()) {
+        self(self, *shortcut);
+      }
+      return;
+    }
+    if (dynamic_cast<nn::Linear*>(&module) != nullptr ||
+        dynamic_cast<nn::Conv2d*>(&module) != nullptr) {
+      out.sparse.push_back(&module);
+      return;
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(&module)) {
+      out.bns.push_back(bn);
+      return;
+    }
+  };
+  walk(walk, model);
+  return out;
 }
 
 }  // namespace dstee::serve

@@ -36,6 +36,10 @@
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
 
+namespace dstee::nn {
+class BatchNorm;
+}  // namespace dstee::nn
+
 namespace dstee::serve {
 
 /// Node kinds a Plan can hold. Lowering emits the module-shaped subset;
@@ -112,6 +116,17 @@ struct PlanOp {
   /// Slices created by one PartitionRows split share a group id; the
   /// executor runs each group as one fan-out on the runtime pool.
   std::size_t partition_group = kNoGroup;
+
+  // Provenance (delta patching) ----------------------------------------
+  static constexpr std::size_t kNoOrdinal = static_cast<std::size_t>(-1);
+  /// For kSpmm/kConv (and the kRowSlice sub-ops PartitionRows derives
+  /// from them): index of the originating Linear/Conv2d in lowering
+  /// order — the key serve::ApplyDelta uses to rebuild only the nodes a
+  /// checkpoint delta touched. Matches collect_lowered_modules().
+  std::size_t sparse_ordinal = kNoOrdinal;
+  /// For kScaleShift (and, after FoldBatchNorm, the CSR node that
+  /// absorbed it): index of the originating BatchNorm in lowering order.
+  std::size_t bn_ordinal = kNoOrdinal;
 };
 
 /// The compile-time program: a DAG of PlanOps in topological (emission)
@@ -179,5 +194,26 @@ void append_producers(std::string& out, std::size_t index,
 /// fall back to from_dense(dense_eps).
 Plan lower(nn::Sequential& model, const sparse::SparseModel* state = nullptr,
            float dense_eps = 0.0f);
+
+/// The modules lowering draws serve-relevant state from, in lowering
+/// order: `sparse[i]` is the Linear/Conv2d whose weights became the
+/// PlanOp(s) with sparse_ordinal i, `bns[i]` the BatchNorm behind
+/// bn_ordinal i. Delta patching (serve/delta.*) re-reads weights through
+/// this index instead of re-walking the whole tree.
+struct LoweredModules {
+  std::vector<nn::Module*> sparse;  ///< nn::Linear or nn::Conv2d
+  std::vector<nn::BatchNorm*> bns;
+};
+
+/// Walks `model` in exactly lower()'s order (nested Sequentials in
+/// child order; residual blocks main path, then shortcut) and collects
+/// the ordinal-indexed modules.
+LoweredModules collect_lowered_modules(nn::Sequential& model);
+
+/// Eval-mode batch-norm as a per-channel affine: scale = γ/√(σ²+ε),
+/// shift = β − μ·scale (double-precision intermediates). Shared by
+/// lowering, FoldBatchNorm and the delta re-fold path.
+void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
+                    std::vector<float>& shift);
 
 }  // namespace dstee::serve

@@ -1,0 +1,277 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "train/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace dstee::serve {
+
+std::size_t autoscale_target(const AutoscalerConfig& config,
+                             std::size_t active,
+                             double mean_queue_per_shard, double p99_ms,
+                             std::size_t& low_streak) {
+  const std::size_t min_shards = std::max<std::size_t>(1, config.min_shards);
+  const std::size_t max_shards = std::max(config.max_shards, min_shards);
+  const auto clamped = [&](std::size_t n) {
+    return std::clamp(n, min_shards, max_shards);
+  };
+  const bool hot =
+      mean_queue_per_shard >= config.queue_high ||
+      (config.p99_high_ms > 0.0 && p99_ms >= config.p99_high_ms);
+  if (hot) {
+    low_streak = 0;
+    return clamped(active + 1);
+  }
+  const bool cold = mean_queue_per_shard <= config.queue_low &&
+                    (config.p99_high_ms <= 0.0 || p99_ms < config.p99_high_ms);
+  if (!cold) {
+    low_streak = 0;
+    return clamped(active);
+  }
+  if (++low_streak < std::max<std::size_t>(1, config.shrink_patience)) {
+    return clamped(active);
+  }
+  low_streak = 0;
+  return clamped(active > 1 ? active - 1 : 1);
+}
+
+ModelRegistry::~ModelRegistry() { shutdown(); }
+
+void ModelRegistry::add_model(const std::string& name,
+                              std::unique_ptr<nn::Sequential> module,
+                              std::unique_ptr<sparse::SparseModel> state,
+                              ModelOptions options) {
+  util::check(!name.empty(), "ModelRegistry: model name must not be empty");
+  util::check(module != nullptr,
+              "ModelRegistry: model '" + name + "' has no module");
+
+  auto slot = std::make_unique<Slot>(std::move(options));
+  if (slot->options.partition_ways >= 2) {
+    PartitionRowsOptions popts;
+    popts.ways = slot->options.partition_ways;
+    popts.min_cost_share = slot->options.partition_min_cost_share;
+    slot->compiler.add_pass(std::make_unique<PartitionRows>(popts));
+  }
+  slot->module = std::move(module);
+  slot->state = std::move(state);
+
+  std::shared_ptr<const CompiledNet> net;
+  {
+    util::MutexLock lock(slot->mu);
+    net = recompile(*slot);
+  }
+  slot->server =
+      std::make_unique<InferenceServer>(net, slot->options.server);
+
+  util::MutexLock lock(mu_);
+  for (const auto& existing : slots_) {
+    util::check(existing->name != name,
+                "ModelRegistry: duplicate model name '" + name + "'");
+  }
+  slot->name = name;
+  slots_.push_back(std::move(slot));
+  if (slots_.back()->options.autoscaler.enabled) start_autoscaler();
+}
+
+std::future<tensor::Tensor> ModelRegistry::submit(const std::string& name,
+                                                  tensor::Tensor input) {
+  return find(name).server->submit(std::move(input));
+}
+
+std::optional<std::future<tensor::Tensor>> ModelRegistry::try_submit(
+    const std::string& name, tensor::Tensor input) {
+  return find(name).server->try_submit(std::move(input));
+}
+
+SwapReport ModelRegistry::apply_delta(const std::string& name,
+                                      const CheckpointDelta& delta) {
+  Slot& slot = find(name);
+  util::MutexLock lock(slot.mu);
+
+  // Mutate the source-of-truth model first; this throws (mutating
+  // nothing) when the delta's base hash does not match.
+  serve::apply_delta(delta, *slot.module, slot.state.get());
+
+  PlanPatch patch =
+      apply_delta_to_plan(slot.base_plan, delta, *slot.module,
+                          slot.state.get(), slot.options.compile.dense_eps);
+
+  SwapReport report;
+  report.total_weight_nodes = patch.total_weight_nodes;
+  std::shared_ptr<const CompiledNet> net;
+  std::unordered_set<const sparse::CsrMatrix*> untouched;
+  if (patch.needs_full_recompile) {
+    report.full_recompile = true;
+    net = recompile(slot);
+  } else {
+    report.patched_weight_nodes = patch.patched_weight_nodes;
+    report.patched_scale_shifts = patch.patched_scale_shifts;
+    // Matrices present in BOTH the old and the patched plan were not
+    // rebuilt: shard replicas may keep sharing them with the outgoing
+    // version (see CompiledNet::clone_shared).
+    std::unordered_set<const sparse::CsrMatrix*> old_matrices;
+    for (const PlanOp& op : slot.base_plan.ops) {
+      if (op.csr != nullptr) old_matrices.insert(op.csr.get());
+    }
+    for (const PlanOp& op : patch.plan.ops) {
+      if (op.csr != nullptr && old_matrices.count(op.csr.get()) > 0) {
+        untouched.insert(op.csr.get());
+      }
+    }
+    slot.base_plan = std::move(patch.plan);
+    Plan bound = slot.base_plan;  // the copy keeps the seam alive
+    net = std::make_shared<const CompiledNet>(
+        slot.compiler.bind(std::move(bound)));
+    slot.hash = delta.result_hash;
+  }
+
+  if (!untouched.empty()) {
+    slot.server->swap(net, [&net, &untouched](std::size_t shard) {
+      if (shard == 0) return net;
+      return std::make_shared<const CompiledNet>(
+          net->clone_shared(untouched));
+    });
+  } else {
+    slot.server->swap(net);
+  }
+  report.swap_epoch = slot.server->swap_epoch();
+  return report;
+}
+
+void ModelRegistry::swap_model(const std::string& name,
+                               const std::string& checkpoint_path) {
+  Slot& slot = find(name);
+  util::MutexLock lock(slot.mu);
+  train::load_checkpoint(checkpoint_path, *slot.module, slot.state.get());
+  slot.server->swap(recompile(slot));
+}
+
+std::size_t ModelRegistry::scale_model(const std::string& name,
+                                       std::size_t shards) {
+  return find(name).server->scale_to(shards);
+}
+
+StatsSnapshot ModelRegistry::stats(const std::string& name) const {
+  return find(name).server->stats();
+}
+
+std::size_t ModelRegistry::num_active_shards(const std::string& name) const {
+  return find(name).server->num_active_shards();
+}
+
+std::size_t ModelRegistry::queue_depth(const std::string& name) const {
+  return find(name).server->queue_depth();
+}
+
+std::uint64_t ModelRegistry::state_hash(const std::string& name) const {
+  Slot& slot = find(name);
+  util::MutexLock lock(slot.mu);
+  return slot.hash;
+}
+
+std::vector<std::string> ModelRegistry::model_names() const {
+  util::MutexLock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& slot : slots_) names.push_back(slot->name);
+  return names;
+}
+
+std::size_t ModelRegistry::num_models() const {
+  util::MutexLock lock(mu_);
+  return slots_.size();
+}
+
+bool ModelRegistry::has_model(const std::string& name) const {
+  util::MutexLock lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->name == name) return true;
+  }
+  return false;
+}
+
+void ModelRegistry::shutdown() {
+  {
+    util::MutexLock lock(as_mu_);
+    as_stop_ = true;
+  }
+  as_cv_.notify_all();
+  if (autoscaler_.joinable()) autoscaler_.join();
+  util::MutexLock lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->server != nullptr) slot->server->shutdown();
+  }
+}
+
+ModelRegistry::Slot& ModelRegistry::find(const std::string& name) const {
+  util::MutexLock lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->name == name) return *slot;
+  }
+  util::fail("ModelRegistry: unknown model '" + name + "'");
+}
+
+std::shared_ptr<const CompiledNet> ModelRegistry::recompile(Slot& slot) {
+  slot.base_plan = slot.compiler.plan(*slot.module, slot.state.get());
+  slot.hash = model_state_hash(*slot.module, slot.state.get());
+  Plan bound = slot.base_plan;  // the copy keeps the seam alive
+  return std::make_shared<const CompiledNet>(
+      slot.compiler.bind(std::move(bound)));
+}
+
+void ModelRegistry::start_autoscaler() {
+  if (autoscaler_.joinable()) return;
+  // dstee-lint: allow(raw-thread) -- registry-owned poller, joined in shutdown
+  autoscaler_ = std::thread([this] { autoscale_loop(); });
+}
+
+void ModelRegistry::autoscale_loop() {
+  for (;;) {
+    double interval_ms = 50.0;
+    std::vector<Slot*> scaled;
+    {
+      util::MutexLock lock(mu_);
+      for (const auto& slot : slots_) {
+        if (slot->options.autoscaler.enabled) {
+          scaled.push_back(slot.get());
+          interval_ms =
+              std::min(interval_ms, slot->options.autoscaler.interval_ms);
+        }
+      }
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(1.0, interval_ms)));
+    {
+      util::UniqueLock lock(as_mu_);
+      while (!as_stop_ && std::chrono::steady_clock::now() < deadline) {
+        as_cv_.wait_until(lock, deadline);
+      }
+      if (as_stop_) return;
+    }
+    for (Slot* slot : scaled) {
+      AutoscalerConfig cfg = slot->options.autoscaler;
+      if (cfg.max_shards == 0) cfg.max_shards = slot->server->num_shards();
+      const std::size_t active = slot->server->num_active_shards();
+      const double mean_queue =
+          static_cast<double>(slot->server->queue_depth()) /
+          static_cast<double>(std::max<std::size_t>(1, active));
+      const double p99 = cfg.p99_high_ms > 0.0
+                             ? slot->server->stats().latency_p99_ms
+                             : 0.0;
+      const std::size_t target =
+          autoscale_target(cfg, active, mean_queue, p99, slot->low_streak);
+      if (target != active) slot->server->scale_to(target);
+    }
+  }
+}
+
+}  // namespace dstee::serve

@@ -1,0 +1,205 @@
+// ModelRegistry: multi-tenant serving over the shared runtime pool.
+//
+// One process serves N named models, each behind its own InferenceServer
+// (M shard worker groups, micro-batching queues) while every compiled
+// net's intra-op work lands on the one process-wide runtime::Pool — the
+// paper's deployment story scaled from "a model" to "a fleet".
+//
+// The registry owns, per model: the training-side module + SparseModel
+// (the mutable source of truth deltas apply to), the Compiler pipeline
+// it was compiled with, the retained base Plan (the PR 5 seam: it shares
+// CsrMatrix instances with the currently-bound version), and the server.
+//
+// ZERO-DOWNTIME UPDATES
+//   apply_delta(name, delta)  checks the delta's base hash against the
+//       model, applies it, patches ONLY the touched plan nodes
+//       (apply_delta_to_plan), binds the patched plan and RCU-publishes
+//       it into the model's server. Replicas for shards 1.. are built
+//       with clone_shared: delta-touched matrices fresh, everything else
+//       shared — a patch swap does O(touched weights) work, not O(model).
+//   swap_model(name, checkpoint)  the full-recompile path for when no
+//       delta is available (or a delta declared needs_full_recompile).
+// Both run under the slot's swap lock; serving never pauses (workers
+// capture a version per micro-batch, see server.hpp).
+//
+// AUTOSCALING: an optional background thread polls each model's queue
+// depth and p99 and grows/shrinks the server's active shard count
+// between min/max bounds (autoscale_target is the pure, unit-testable
+// policy). Scaling only moves the routing bound — shard slots and their
+// warm replicas are pre-built, so reaction time is one poll interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "serve/delta.hpp"
+#include "serve/passes.hpp"
+#include "serve/server.hpp"
+#include "sparse/sparse_model.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dstee::serve {
+
+/// Queue-depth / p99-driven shard scaling policy knobs.
+struct AutoscalerConfig {
+  bool enabled = false;
+  double interval_ms = 50.0;  ///< poll period
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 0;  ///< 0 = the server's max_shards
+  /// Grow when mean queued requests per active shard reaches this.
+  double queue_high = 8.0;
+  /// Shrink candidate when mean queue per shard is at or below this.
+  double queue_low = 1.0;
+  /// Also grow when the aggregate p99 reaches this (0 disables the
+  /// latency signal).
+  double p99_high_ms = 0.0;
+  /// Consecutive cold polls required before shrinking by one — scaling
+  /// down is cheap to undo but thrashing wastes warm queues.
+  std::size_t shrink_patience = 3;
+};
+
+/// The pure scaling decision: returns the target active shard count for
+/// one poll. `low_streak` is the caller-kept consecutive-cold counter
+/// (reset on any hot or neutral poll). Grows by one on a hot signal,
+/// shrinks by one after `shrink_patience` cold polls, else holds.
+/// `max_shards` must already be resolved (non-zero).
+std::size_t autoscale_target(const AutoscalerConfig& config,
+                             std::size_t active,
+                             double mean_queue_per_shard, double p99_ms,
+                             std::size_t& low_streak);
+
+/// What a hot swap did, for logs and tests.
+struct SwapReport {
+  bool full_recompile = false;  ///< delta fell back to a fresh plan()
+  std::size_t patched_weight_nodes = 0;
+  std::size_t total_weight_nodes = 0;
+  std::size_t patched_scale_shifts = 0;
+  std::size_t swap_epoch = 0;  ///< server swap count after this swap
+};
+
+/// Per-model serving + compilation options for ModelRegistry::add_model.
+struct ModelOptions {
+  ServerConfig server;
+  CompileOptions compile;
+  /// >= 2 appends a PartitionRows pass with this many ways.
+  std::size_t partition_ways = 0;
+  double partition_min_cost_share = 0.25;
+  AutoscalerConfig autoscaler;
+};
+
+/// Multi-tenant model registry with zero-downtime hot swap.
+///
+/// Thread-safety: add_model/apply_delta/swap_model/scale_model may be
+/// called concurrently with each other and with submit/try_submit from
+/// any number of threads. Models cannot be removed — slots live until
+/// shutdown(), so references handed out internally stay valid.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers `name`, taking ownership of the module and its sparse
+  /// state (`state` may be null for dense models; when non-null it must
+  /// be built over `*module`). Compiles, retains the plan, starts the
+  /// model's server. Throws on duplicate or empty name.
+  void add_model(const std::string& name,
+                 std::unique_ptr<nn::Sequential> module,
+                 std::unique_ptr<sparse::SparseModel> state,
+                 ModelOptions options = {});
+
+  /// Blocking submit to `name`'s server (see InferenceServer::submit).
+  std::future<tensor::Tensor> submit(const std::string& name,
+                                     tensor::Tensor input);
+
+  /// Admission-controlled submit: nullopt when the model sheds the
+  /// request (per-model queue quota, counted in its shed_total).
+  std::optional<std::future<tensor::Tensor>> try_submit(
+      const std::string& name, tensor::Tensor input);
+
+  /// Applies a sparse delta to `name` in place and hot-swaps the served
+  /// version, rebuilding only the delta-touched plan nodes. Fails (and
+  /// changes nothing) when the delta's base hash does not match the
+  /// model's current state.
+  SwapReport apply_delta(const std::string& name,
+                         const CheckpointDelta& delta);
+
+  /// Full-recompile hot swap from a full (v1/v2) checkpoint file.
+  void swap_model(const std::string& name,
+                  const std::string& checkpoint_path);
+
+  /// Manual scaling (also what the autoscaler calls); returns the new
+  /// active count.
+  std::size_t scale_model(const std::string& name, std::size_t shards);
+
+  StatsSnapshot stats(const std::string& name) const;
+  std::size_t num_active_shards(const std::string& name) const;
+  std::size_t queue_depth(const std::string& name) const;
+  /// The model's current state hash (what a delta's base_hash must be).
+  std::uint64_t state_hash(const std::string& name) const;
+
+  std::vector<std::string> model_names() const;
+  std::size_t num_models() const;
+  bool has_model(const std::string& name) const;
+
+  /// Stops the autoscaler and shuts every model's server down.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+ private:
+  struct Slot {
+    explicit Slot(ModelOptions opts)
+        : options(std::move(opts)), compiler(options.compile) {}
+
+    std::string name;  ///< immutable after add_model publishes the slot
+    const ModelOptions options;
+    std::unique_ptr<nn::Sequential> module;
+    std::unique_ptr<sparse::SparseModel> state;
+    Compiler compiler;  ///< pipeline the model was (re)compiled with
+
+    /// Guards the mutable model state + retained plan + hash during
+    /// swaps; submits never take it.
+    mutable util::Mutex mu;
+    /// The PR 5 seam: shares CsrMatrix instances with the bound version.
+    Plan base_plan DSTEE_GUARDED_BY(mu);
+    std::uint64_t hash DSTEE_GUARDED_BY(mu) = 0;
+
+    std::unique_ptr<InferenceServer> server;  ///< set once in add_model
+    std::size_t low_streak = 0;  ///< autoscaler thread only
+  };
+
+  /// Name lookup; throws CheckError on unknown names. The returned slot
+  /// is pointer-stable (slots are never removed).
+  Slot& find(const std::string& name) const;
+
+  /// Compiles the slot's current model state, retains the plan under
+  /// slot.mu and returns the bound net.
+  std::shared_ptr<const CompiledNet> recompile(Slot& slot)
+      DSTEE_REQUIRES(slot.mu);
+
+  void autoscale_loop();
+  void start_autoscaler();
+
+  mutable util::Mutex mu_;  ///< guards the slot vector (append-only)
+  std::vector<std::unique_ptr<Slot>> slots_ DSTEE_GUARDED_BY(mu_);
+
+  util::Mutex as_mu_;
+  bool as_stop_ DSTEE_GUARDED_BY(as_mu_) = false;
+  util::CondVar as_cv_;  ///< wakes the autoscaler for prompt shutdown
+  // The autoscaler is a long-lived poller owned by the registry,
+  // started at most once and joined in shutdown().
+  // dstee-lint: allow(raw-thread) -- registry-owned poller, joined in shutdown
+  std::thread autoscaler_;
+};
+
+}  // namespace dstee::serve

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -24,7 +25,13 @@ double millis_between(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 InferenceServer::InferenceServer(const CompiledNet& net, ServerConfig config)
-    : config_(config), input_features_(net.input_features()) {
+    : InferenceServer(util::borrow(net), config) {}
+
+InferenceServer::InferenceServer(std::shared_ptr<const CompiledNet> net,
+                                 ServerConfig config)
+    : config_(config) {
+  util::check(net != nullptr, "server requires a non-null net");
+  input_features_ = net->input_features();
   util::check(config_.num_threads >= 1, "server requires >= 1 worker thread");
   util::check(config_.num_shards >= 1, "server requires >= 1 shard");
   util::check(config_.max_batch >= 1, "server requires max_batch >= 1");
@@ -32,17 +39,22 @@ InferenceServer::InferenceServer(const CompiledNet& net, ServerConfig config)
               "server max_delay_ms must be non-negative");
   util::check(config_.queue_capacity >= config_.max_batch,
               "queue_capacity must be >= max_batch");
-  shards_.reserve(config_.num_shards);
-  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+  if (config_.max_shards == 0) config_.max_shards = config_.num_shards;
+  util::check(config_.max_shards >= config_.num_shards,
+              "max_shards must be >= num_shards");
+  util::check(config_.queue_quota <= config_.queue_capacity,
+              "queue_quota must be <= queue_capacity");
+  shards_.reserve(config_.max_shards);
+  for (std::size_t s = 0; s < config_.max_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     if (s == 0) {
-      shard->net = &net;  // the source net serves shard 0 directly
+      shard->net.store(net);  // the source net serves shard 0 directly
     } else {
-      shard->replica = std::make_unique<CompiledNet>(net.clone());
-      shard->net = shard->replica.get();
+      shard->net.store(std::make_shared<const CompiledNet>(net->clone()));
     }
     shards_.push_back(std::move(shard));
   }
+  active_shards_.store(config_.num_shards, std::memory_order_release);
   // Workers start only after every shard exists: a worker never observes a
   // half-built shards_ vector.
   for (auto& shard : shards_) {
@@ -58,7 +70,8 @@ InferenceServer::~InferenceServer() { shutdown(); }
 
 InferenceServer::Shard& InferenceServer::route(
     const tensor::Shape& sample_shape) {
-  if (shards_.size() == 1) return *shards_[0];
+  const std::size_t active = active_shards_.load(std::memory_order_acquire);
+  if (active == 1) return *shards_[0];
   // FNV-1a over the dims picks the shape's cursor bucket.
   std::size_t h = 1469598103934665603ull;
   for (std::size_t i = 0; i < sample_shape.rank(); ++i) {
@@ -66,11 +79,10 @@ InferenceServer::Shard& InferenceServer::route(
     h *= 1099511628211ull;
   }
   std::atomic<std::size_t>& cursor = route_cursors_[h % kRouteBuckets];
-  return *shards_[cursor.fetch_add(1, std::memory_order_relaxed) %
-                  shards_.size()];
+  return *shards_[cursor.fetch_add(1, std::memory_order_relaxed) % active];
 }
 
-std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
+void InferenceServer::validate_sample(const tensor::Tensor& input) const {
   util::check(input.rank() >= 1,
               "submit expects a sample without a batch axis, e.g. "
               "[features] or [C, H, W]");
@@ -82,6 +94,22 @@ std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
                     ", net expects [" + std::to_string(input_features_) +
                     "]");
   }
+}
+
+std::future<tensor::Tensor> InferenceServer::enqueue(Shard& shard,
+                                                     tensor::Tensor input) {
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = Clock::now();
+  std::future<tensor::Tensor> result = req.result.get_future();
+  shard.queue.push_back(std::move(req));
+  shard.stats.record_queue_depth(shard.queue.size());
+  shard.queue_cv.notify_one();
+  return result;
+}
+
+std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
+  validate_sample(input);
   Shard& shard = route(input.shape());
   util::UniqueLock lock(shard.mu);
   if (!shard.stopping && shard.queue.size() >= config_.queue_capacity) {
@@ -96,14 +124,70 @@ std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
         millis_between(blocked_from, Clock::now()));
   }
   util::check(!shard.stopping, "submit on a shut-down server");
-  Request req;
-  req.input = std::move(input);
-  req.enqueued = Clock::now();
-  std::future<tensor::Tensor> result = req.result.get_future();
-  shard.queue.push_back(std::move(req));
-  shard.stats.record_queue_depth(shard.queue.size());
-  shard.queue_cv.notify_one();
-  return result;
+  return enqueue(shard, std::move(input));
+}
+
+std::optional<std::future<tensor::Tensor>> InferenceServer::try_submit(
+    tensor::Tensor input) {
+  validate_sample(input);
+  Shard& shard = route(input.shape());
+  const std::size_t quota =
+      config_.queue_quota > 0 ? config_.queue_quota : config_.queue_capacity;
+  util::UniqueLock lock(shard.mu);
+  util::check(!shard.stopping, "try_submit on a shut-down server");
+  if (shard.queue.size() >= quota) {
+    shard.stats.record_shed();
+    return std::nullopt;
+  }
+  return enqueue(shard, std::move(input));
+}
+
+void InferenceServer::swap(std::shared_ptr<const CompiledNet> net,
+                           const ReplicaFactory& factory) {
+  util::check(net != nullptr, "swap requires a non-null net");
+  util::check(net->input_features() == input_features_,
+              "swap: replacement net expects a different input shape");
+  util::MutexLock lock(swap_mu_);
+  // Publish into every SLOT, parked ones included: a later scale_to()
+  // grow must hand out the current version, not a stale one.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_ptr<const CompiledNet> version;
+    if (factory) {
+      version = factory(s);
+      util::check(version != nullptr, "swap: replica factory returned null");
+    } else if (s == 0) {
+      version = net;
+    } else {
+      version = std::make_shared<const CompiledNet>(net->clone());
+    }
+    shards_[s]->net.store(std::move(version));
+  }
+  ++swap_epoch_;
+  // One tick per swap (not per replica): aggregate() then reports the
+  // number of version publications, see stats.hpp.
+  shards_[0]->stats.record_swap();
+}
+
+std::size_t InferenceServer::scale_to(std::size_t shards) {
+  std::size_t target = shards;
+  if (target < 1) target = 1;
+  if (target > shards_.size()) target = shards_.size();
+  active_shards_.store(target, std::memory_order_release);
+  return target;
+}
+
+std::size_t InferenceServer::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    depth += shard->queue.size();
+  }
+  return depth;
+}
+
+std::size_t InferenceServer::swap_epoch() const {
+  util::MutexLock lock(swap_mu_);
+  return swap_epoch_;
 }
 
 std::vector<InferenceServer::Request> InferenceServer::next_batch(
@@ -159,7 +243,12 @@ void InferenceServer::worker_loop(Shard& shard) {
     latencies_ms.reserve(b);
     std::size_t fulfilled = 0;  // promises already satisfied by set_value
     try {
-      const tensor::Tensor y = shard.net->forward(x);
+      // RCU read side: capture the shard's current version once for the
+      // whole micro-batch. A concurrent swap() retargets the NEXT batch;
+      // this one finishes on the version it captured, and the captured
+      // shared_ptr keeps that version alive until the batch is done.
+      const std::shared_ptr<const CompiledNet> net = shard.net.load();
+      const tensor::Tensor y = net->forward(x);
       util::check(y.rank() >= 1 && y.dim(0) == b && y.numel() % b == 0,
                   "compiled forward returned a non-batched result");
       const std::size_t out = y.numel() / b;

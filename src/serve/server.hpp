@@ -1,37 +1,59 @@
-// InferenceServer: sharded worker groups + micro-batching request queues.
+// InferenceServer: sharded worker groups + micro-batching request queues,
+// with RCU-style zero-downtime hot swap of the served network.
 //
 // Clients submit single samples — rank-1 [features] rows for MLPs, rank-3
 // [C, H, W] images for conv nets — and get a future for the result row.
-// The server runs `num_shards` independent worker GROUPS. Each group owns
-// a full replica of the compiled network (cloned once at construction, so
-// groups share no weight memory — the first step toward NUMA-pinned
-// shards), its own request queue, and `num_threads` worker threads.
-// Requests route to groups round-robin PER SAMPLE SHAPE, so heterogeneous
-// traffic spreads every shape across all groups instead of pinning one
-// shape to one queue.
+// The server runs up to `max_shards` independent worker GROUPS. Each
+// group holds a versioned replica of the compiled network in a
+// util::RcuCell (shard 0 serves the published net itself, shards 1..
+// serve clones built at construction/swap time), its own request queue,
+// and `num_threads` worker threads. Requests route to the first
+// `active_shards` groups round-robin PER SAMPLE SHAPE, so heterogeneous
+// traffic spreads every shape across the active groups instead of
+// pinning one shape to one queue.
+//
+// HOT SWAP: swap() publishes a new CompiledNet version into every
+// shard's RcuCell. A worker captures the version pointer once per
+// micro-batch, so in-flight batches finish on the version they captured,
+// the next batch picks up the new one, and the old version is destroyed
+// when its last reference drops — no drain, no pause, no dropped
+// requests. The optional replica factory lets a delta-patched swap build
+// each shard's replica off to the side (sharing untouched weights)
+// instead of full-cloning.
+//
+// ADMISSION CONTROL: submit() applies backpressure — it blocks while
+// `queue_capacity` requests are already waiting on the routed shard, and
+// the stall is recorded in that shard's stats. try_submit() never
+// blocks: beyond the per-shard `queue_quota` (capacity when 0) the
+// request is shed and counted in `shed_total`.
+//
+// SCALING: shard slots are pre-built up to `max_shards`; scale_to()
+// changes only how many of them receive new traffic (an atomic routing
+// bound), so growing or shrinking a model's serving capacity is
+// wait-free and parked shards simply drain and idle until re-activated.
 //
 // Within a group, workers coalesce queued requests of equal sample shape
 // into [batch, ...] tensors — a batch flushes when it reaches `max_batch`
 // OR when the oldest queued request has waited `max_delay_ms` — and run
 // them through the group's CompiledNet (whose forward is const and
 // thread-safe). Batching amortizes the CSR traversal across requests; the
-// delay bound keeps tail latency under control at low load. Each group
-// queue applies backpressure: submit() blocks while `queue_capacity`
-// requests are already waiting there, and the stall time is recorded in
-// that group's stats.
+// delay bound keeps tail latency under control at low load.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "serve/compiled_net.hpp"
 #include "serve/stats.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rcu.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -39,18 +61,35 @@ namespace dstee::serve {
 
 struct ServerConfig {
   std::size_t num_threads = 2;   ///< batch-executing threads PER shard
-  std::size_t num_shards = 1;    ///< replica worker groups
+  std::size_t num_shards = 1;    ///< initially ACTIVE replica worker groups
   std::size_t max_batch = 16;    ///< flush when this many requests queue
   double max_delay_ms = 2.0;     ///< flush when the head waits this long
   std::size_t queue_capacity = 4096;  ///< per-shard; submit() blocks beyond
+  std::size_t max_shards = 0;    ///< scaling headroom; 0 = num_shards
+  std::size_t queue_quota = 0;   ///< try_submit() sheds beyond this; 0 =
+                                 ///< shed only at queue_capacity
 };
 
 /// Multi-threaded micro-batching front-end over replicated CompiledNets.
 class InferenceServer {
  public:
-  /// `net` must outlive the server (shard 0 serves it directly; shards
-  /// 1.. serve clones built here). Workers start immediately.
+  /// Builds each shard's replica for a new version being swapped in;
+  /// called once per shard (including shard 0). Lets ApplyDelta-style
+  /// swaps share untouched weights with the outgoing version instead of
+  /// full-cloning. Must return a non-null net of identical architecture.
+  using ReplicaFactory =
+      std::function<std::shared_ptr<const CompiledNet>(std::size_t shard)>;
+
+  /// `net` must outlive the server (it is borrowed, not owned; shard 0
+  /// serves it directly and shards 1.. serve clones built here). Workers
+  /// start immediately.
   InferenceServer(const CompiledNet& net, ServerConfig config);
+
+  /// Shared-ownership variant: the server keeps the net alive for as
+  /// long as any shard or in-flight batch references it — required for
+  /// hot swap, where the caller may drop its reference after swap().
+  InferenceServer(std::shared_ptr<const CompiledNet> net,
+                  ServerConfig config);
 
   /// Stops accepting work, drains the queues, joins workers.
   ~InferenceServer();
@@ -64,6 +103,37 @@ class InferenceServer {
   /// shutdown() or on a shape mismatch the net can detect up front.
   std::future<tensor::Tensor> submit(tensor::Tensor input);
 
+  /// Admission-controlled submit: never blocks. Returns nullopt — and
+  /// counts one shed on the routed shard — when that shard already has
+  /// `queue_quota` (or queue_capacity, whichever bounds first) requests
+  /// waiting. Throws after shutdown(), like submit().
+  std::optional<std::future<tensor::Tensor>> try_submit(tensor::Tensor input);
+
+  /// Publishes `net` as the serving version on every shard slot (active
+  /// and parked). In-flight batches finish on the version they captured;
+  /// requests already queued and all later submits run on the new one.
+  /// `factory`, when set, builds each shard's replica (otherwise shard 0
+  /// serves `net` itself and shards 1.. full clones of it). The new net
+  /// must report the same input_features() as the one served so far.
+  void swap(std::shared_ptr<const CompiledNet> net,
+            const ReplicaFactory& factory = nullptr);
+
+  /// Sets how many shard slots receive new traffic, clamped to
+  /// [1, max_shards]. Returns the resulting active count. Shrinking
+  /// parks the tail shards: they drain their queues and idle, keeping
+  /// their replica warm for a later grow.
+  std::size_t scale_to(std::size_t shards);
+
+  std::size_t num_active_shards() const {
+    return active_shards_.load(std::memory_order_acquire);
+  }
+
+  /// Total queued (not yet batched) requests across all shard slots.
+  std::size_t queue_depth() const;
+
+  /// Number of swap() publications so far.
+  std::size_t swap_epoch() const;
+
   /// Idempotent: rejects new submissions, lets workers drain what is
   /// already queued, then joins them.
   void shutdown();
@@ -74,6 +144,8 @@ class InferenceServer {
   /// One shard's counters (routing balance, per-group tails).
   StatsSnapshot shard_stats(std::size_t shard) const;
 
+  /// Shard SLOTS (the scaling ceiling); see num_active_shards() for how
+  /// many currently receive traffic.
   std::size_t num_shards() const { return shards_.size(); }
 
   const ServerConfig& config() const { return config_; }
@@ -85,14 +157,14 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  /// One worker group: a replica, a queue, its workers and stats.
-  /// Lock discipline: `mu` guards the queue and the stopping flag; the
-  /// net/replica pointers are immutable after construction; `stats` is
-  /// internally synchronized; `workers` is touched only by the
-  /// constructing/joining thread (never by the workers themselves).
+  /// One worker group: a versioned replica, a queue, workers and stats.
+  /// Lock discipline: `mu` guards the queue and the stopping flag; `net`
+  /// is an RcuCell (workers capture a version per batch, swap publishes
+  /// new ones); `stats` is internally synchronized; `workers` is touched
+  /// only by the constructing/joining thread (never by the workers
+  /// themselves).
   struct Shard {
-    const CompiledNet* net = nullptr;      ///< executes batches
-    std::unique_ptr<CompiledNet> replica;  ///< owned clone (null on shard 0)
+    util::RcuCell<CompiledNet> net;  ///< current version for this shard
 
     util::Mutex mu;
     util::CondVar queue_cv;  ///< signals work / shutdown
@@ -108,8 +180,16 @@ class InferenceServer {
     std::vector<std::thread> workers;
   };
 
-  /// Round-robin-by-shape routing target for the next request.
+  /// Round-robin-by-shape routing target for the next request, over the
+  /// currently active shards.
   Shard& route(const tensor::Shape& sample_shape);
+
+  /// Shared tail of submit()/try_submit(): enqueue (caller holds
+  /// shard.mu) and hand back the future.
+  std::future<tensor::Tensor> enqueue(Shard& shard, tensor::Tensor input)
+      DSTEE_REQUIRES(shard.mu);
+
+  void validate_sample(const tensor::Tensor& input) const;
 
   void worker_loop(Shard& shard);
   /// Pops the next micro-batch from `shard` (requests of equal sample
@@ -120,6 +200,15 @@ class InferenceServer {
   ServerConfig config_;
   std::size_t input_features_ = 0;  ///< from the source net, for validation
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Routing bound: shards_[0 .. active) receive new traffic. Release
+  /// store in scale_to(), acquire load in route().
+  std::atomic<std::size_t> active_shards_{1};
+
+  /// Serializes swap() publications so every shard observes versions in
+  /// the same order (workers only ever load).
+  mutable util::Mutex swap_mu_;
+  std::size_t swap_epoch_ DSTEE_GUARDED_BY(swap_mu_) = 0;
 
   /// Round-robin cursors, one per shape hash bucket: routing costs one
   /// relaxed fetch_add — no global lock, no allocation — so concurrent

@@ -47,18 +47,30 @@ void ServerStats::record_blocked_ms(double ms) {
                         std::memory_order_relaxed);
 }
 
+void ServerStats::record_shed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::record_swap() {
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
 StatsSnapshot ServerStats::finalize(std::size_t requests,
                                     std::size_t batches,
                                     double elapsed_seconds,
                                     std::vector<double> samples,
                                     std::size_t queue_peak,
-                                    double blocked_ms) {
+                                    double blocked_ms,
+                                    std::size_t shed_total,
+                                    std::size_t swap_count) {
   StatsSnapshot s;
   s.requests = requests;
   s.batches = batches;
   s.elapsed_seconds = elapsed_seconds;
   s.queue_peak = queue_peak;
   s.blocked_ms = blocked_ms;
+  s.shed_total = shed_total;
+  s.swap_count = swap_count;
   std::sort(samples.begin(), samples.end());
   if (s.elapsed_seconds > 0.0) {
     s.throughput_rps = static_cast<double>(s.requests) / s.elapsed_seconds;
@@ -96,19 +108,24 @@ StatsSnapshot ServerStats::snapshot() const {
                   queue_peak_.load(std::memory_order_relaxed),
                   static_cast<double>(
                       blocked_us_.load(std::memory_order_relaxed)) /
-                      1000.0);
+                      1000.0,
+                  shed_.load(std::memory_order_relaxed),
+                  swaps_.load(std::memory_order_relaxed));
 }
 
 StatsSnapshot ServerStats::aggregate(
     const std::vector<const ServerStats*>& groups) {
   std::vector<double> samples;
   std::size_t requests = 0, batches = 0, queue_peak = 0;
+  std::size_t shed = 0, swaps = 0;
   double blocked_ms = 0.0, elapsed = 0.0;
   for (const ServerStats* group : groups) {
     requests += group->requests_.load(std::memory_order_relaxed);
     batches += group->batches_.load(std::memory_order_relaxed);
     queue_peak = std::max(
         queue_peak, group->queue_peak_.load(std::memory_order_relaxed));
+    shed += group->shed_.load(std::memory_order_relaxed);
+    swaps += group->swaps_.load(std::memory_order_relaxed);
     blocked_ms += static_cast<double>(
                       group->blocked_us_.load(std::memory_order_relaxed)) /
                   1000.0;
@@ -120,7 +137,7 @@ StatsSnapshot ServerStats::aggregate(
         std::chrono::duration<double>(Clock::now() - group->start_).count());
   }
   return finalize(requests, batches, elapsed, std::move(samples), queue_peak,
-                  blocked_ms);
+                  blocked_ms, shed, swaps);
 }
 
 void ServerStats::reset() {
@@ -131,6 +148,8 @@ void ServerStats::reset() {
   batches_.store(0, std::memory_order_relaxed);
   queue_peak_.store(0, std::memory_order_relaxed);
   blocked_us_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  swaps_.store(0, std::memory_order_relaxed);
   util::MutexLock lock(mu_);
   latencies_ms_.clear();
   next_slot_ = 0;
@@ -155,6 +174,8 @@ std::string StatsSnapshot::to_string() const {
   out += "latency max:     " + util::format_fixed(latency_max_ms, 3) + " ms\n";
   out += "queue peak:      " + std::to_string(queue_peak) + "\n";
   out += "blocked in submit: " + util::format_fixed(blocked_ms, 3) + " ms\n";
+  out += "shed (admission):  " + std::to_string(shed_total) + "\n";
+  out += "hot swaps:       " + std::to_string(swap_count) + "\n";
   return out;
 }
 

@@ -46,6 +46,8 @@ struct StatsSnapshot {
   double latency_max_ms = 0.0;
   std::size_t queue_peak = 0;     ///< queue-depth high-water mark
   double blocked_ms = 0.0;        ///< total submit() backpressure wait
+  std::size_t shed_total = 0;     ///< admission-control rejects (try_submit)
+  std::size_t swap_count = 0;     ///< hot-swap versions published
 
   /// Multi-line human-readable report.
   std::string to_string() const;
@@ -80,6 +82,15 @@ class ServerStats {
   /// Lock-free (relaxed add, microsecond resolution).
   void record_blocked_ms(double ms);
 
+  /// Counts one request rejected by admission control (a try_submit()
+  /// that found the routed queue at its quota). Lock-free (relaxed add).
+  void record_shed();
+
+  /// Counts one hot-swap publication. A sharded server records this once
+  /// per swap on its first shard's recorder, so the aggregate view counts
+  /// swaps, not per-replica publishes. Lock-free (relaxed add).
+  void record_swap();
+
   /// Aggregates everything recorded so far.
   StatsSnapshot snapshot() const;
 
@@ -98,7 +109,9 @@ class ServerStats {
   static StatsSnapshot finalize(std::size_t requests, std::size_t batches,
                                 double elapsed_seconds,
                                 std::vector<double> samples,
-                                std::size_t queue_peak, double blocked_ms);
+                                std::size_t queue_peak, double blocked_ms,
+                                std::size_t shed_total,
+                                std::size_t swap_count);
 
   // Latency ring: guarded. Copying the window is the only work readers do
   // under the lock.
@@ -115,6 +128,8 @@ class ServerStats {
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> queue_peak_{0};
   std::atomic<std::int64_t> blocked_us_{0};  ///< integral microseconds
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> swaps_{0};
 };
 
 }  // namespace dstee::serve

@@ -1,0 +1,342 @@
+// ModelRegistry tests: multi-tenant serving, RCU hot swap under load
+// (zero dropped requests, outputs from exactly one version), sparse
+// delta end-to-end, admission control, manual scaling and the pure
+// autoscaler policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/mlp.hpp"
+#include "serve/compiled_net.hpp"
+#include "serve/delta.hpp"
+#include "serve/registry.hpp"
+#include "sparse/sparse_model.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace dstee {
+namespace {
+
+using testing::random_tensor;
+
+models::MlpConfig reg_cfg() {
+  models::MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {24, 16};
+  cfg.out_features = 5;
+  return cfg;
+}
+
+/// A model + sparse state, a pure function of the seed: build it twice
+/// and you get bit-identical twins — the property the hot-swap tests use
+/// to construct deltas and expected outputs out-of-band.
+struct SeededModel {
+  explicit SeededModel(std::uint64_t seed)
+      : rng(seed), model(reg_cfg(), rng),
+        state(model, 0.9, sparse::DistributionKind::kErk, rng) {
+    model.set_training(false);
+  }
+
+  /// Transfers ownership of a freshly built twin into the registry.
+  static void add_to(serve::ModelRegistry& registry, const std::string& name,
+                     std::uint64_t seed, serve::ModelOptions options = {}) {
+    util::Rng rng(seed);
+    auto module = std::make_unique<models::Mlp>(reg_cfg(), rng);
+    auto state = std::make_unique<sparse::SparseModel>(
+        *module, 0.9, sparse::DistributionKind::kErk, rng);
+    module->set_training(false);
+    registry.add_model(name, std::move(module), std::move(state),
+                       std::move(options));
+  }
+
+  util::Rng rng;
+  models::Mlp model;
+  sparse::SparseModel state;
+};
+
+/// One faked DST step on every layer: flip a mask position each way and
+/// jitter a couple of surviving values.
+void perturb(sparse::SparseModel& state) {
+  for (std::size_t l = 0; l < state.num_layers(); ++l) {
+    sparse::MaskedParameter& layer = state.layer(l);
+    const std::vector<std::size_t> active = layer.mask().active_indices();
+    const std::vector<std::size_t> inactive = layer.mask().inactive_indices();
+    ASSERT_GE(active.size(), 3u);
+    ASSERT_GE(inactive.size(), 1u);
+    layer.mask().deactivate(active[0]);
+    layer.mask().activate(inactive[0]);
+    layer.param().value[inactive[0]] = 0.125f;
+    layer.param().value[active[1]] += 0.25f;
+    layer.param().value[active[2]] -= 0.125f;
+    layer.apply_mask_to_value();
+  }
+}
+
+/// The delta from seed `seed`'s state to its perturbed successor.
+serve::CheckpointDelta step_delta(std::uint64_t seed) {
+  SeededModel base(seed);
+  SeededModel next(seed);
+  perturb(next.state);
+  return serve::make_delta(base.model, &base.state, next.model,
+                           &next.state);
+}
+
+/// What the model of seed `seed` (optionally perturbed) answers for
+/// `sample`, as the rank-1 row the server hands back.
+tensor::Tensor expected_row(std::uint64_t seed, const tensor::Tensor& sample,
+                            bool perturbed) {
+  SeededModel m(seed);
+  if (perturbed) perturb(m.state);
+  const auto net = serve::CompiledNet::compile(m.model, &m.state);
+  const tensor::Tensor out =
+      net.forward(sample.reshaped(tensor::Shape({1, 12})));
+  return out.reshaped(tensor::Shape({out.numel()}));
+}
+
+TEST(Registry, ServesTwoModelsTheirOwnAnswers) {
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "a", 5);
+  SeededModel::add_to(registry, "b", 6);
+  EXPECT_EQ(registry.num_models(), 2u);
+  EXPECT_TRUE(registry.has_model("a"));
+  EXPECT_FALSE(registry.has_model("c"));
+
+  const auto x = random_tensor(tensor::Shape({12}), 7);
+  const tensor::Tensor got_a = registry.submit("a", x).get();
+  const tensor::Tensor got_b = registry.submit("b", x).get();
+  EXPECT_TRUE(got_a.equals(expected_row(5, x, false)));
+  EXPECT_TRUE(got_b.equals(expected_row(6, x, false)));
+  EXPECT_FALSE(got_a.equals(got_b));
+  registry.shutdown();
+}
+
+TEST(Registry, UnknownAndDuplicateNamesThrow) {
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "a", 5);
+  EXPECT_THROW(registry.submit("nope", random_tensor(tensor::Shape({12}), 1)),
+               util::CheckError);
+  EXPECT_THROW(registry.stats("nope"), util::CheckError);
+  EXPECT_THROW(SeededModel::add_to(registry, "a", 9), util::CheckError);
+  util::Rng rng(1);
+  EXPECT_THROW(registry.add_model(
+                   "", std::make_unique<models::Mlp>(reg_cfg(), rng), nullptr),
+               util::CheckError);
+}
+
+TEST(Registry, HotSwapUnderLoadDropsNothingAndServesExactlyOneVersion) {
+  // The acceptance test for zero-downtime swap: concurrent submitters
+  // hammer one model with a fixed sample while the main thread applies a
+  // sparse delta. EVERY submitted request must complete, and every
+  // answer must be bit-identical to the output of exactly one of the two
+  // versions — never a blend, never an error.
+  constexpr std::uint64_t kSeed = 21;
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kWarmup = 5;    // per client, before the swap
+  constexpr std::size_t kAfter = 40;    // per client, after swap starts
+
+  serve::ModelOptions mopts;
+  mopts.server.num_threads = 2;
+  mopts.server.num_shards = 2;
+  mopts.server.max_batch = 8;
+  mopts.server.max_delay_ms = 0.2;
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "m", kSeed, mopts);
+
+  const auto x = random_tensor(tensor::Shape({12}), 9);
+  const tensor::Tensor v0 = expected_row(kSeed, x, false);
+  const tensor::Tensor v1 = expected_row(kSeed, x, true);
+  ASSERT_FALSE(v0.equals(v1));  // the step must actually move the output
+
+  std::atomic<std::size_t> v0_seen{0}, v1_seen{0}, other_seen{0};
+  std::atomic<std::size_t> completed{0};
+  const auto classify = [&](const tensor::Tensor& row) {
+    completed.fetch_add(1);
+    if (row.equals(v0)) {
+      v0_seen.fetch_add(1);
+    } else if (row.equals(v1)) {
+      v1_seen.fetch_add(1);
+    } else {
+      other_seen.fetch_add(1);
+    }
+  };
+
+  std::atomic<std::size_t> warmed{0};
+  std::atomic<bool> swapped{false};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t i = 0; i < kWarmup; ++i) {
+        classify(registry.submit("m", x).get());
+      }
+      warmed.fetch_add(1);
+      while (!swapped.load()) std::this_thread::yield();
+      for (std::size_t i = 0; i < kAfter; ++i) {
+        classify(registry.submit("m", x).get());
+      }
+    });
+  }
+  while (warmed.load() < kClients) std::this_thread::yield();
+  const serve::SwapReport report =
+      registry.apply_delta("m", step_delta(kSeed));
+  swapped.store(true);
+  for (auto& t : clients) t.join();
+  registry.shutdown();
+
+  EXPECT_FALSE(report.full_recompile);
+  EXPECT_EQ(report.patched_weight_nodes, 3u);  // every layer stepped
+  EXPECT_EQ(report.swap_epoch, 1u);
+  EXPECT_EQ(completed.load(), kClients * (kWarmup + kAfter));
+  EXPECT_EQ(other_seen.load(), 0u);  // no blended / torn outputs, ever
+  EXPECT_GE(v0_seen.load(), kClients * kWarmup);  // pre-swap answers
+  EXPECT_GE(v1_seen.load(), kClients * kAfter);   // post-swap answers
+  const serve::StatsSnapshot s = registry.stats("m");
+  EXPECT_EQ(s.requests, completed.load());
+  EXPECT_EQ(s.swap_count, 1u);
+}
+
+TEST(Registry, DeltaSwapUpdatesStateHashAndAnswers) {
+  constexpr std::uint64_t kSeed = 33;
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "m", kSeed);
+
+  const serve::CheckpointDelta delta = step_delta(kSeed);
+  EXPECT_EQ(registry.state_hash("m"), delta.base_hash);
+
+  const auto x = random_tensor(tensor::Shape({12}), 3);
+  EXPECT_TRUE(registry.submit("m", x).get().equals(
+      expected_row(kSeed, x, false)));
+
+  const serve::SwapReport report = registry.apply_delta("m", delta);
+  EXPECT_FALSE(report.full_recompile);
+  EXPECT_EQ(registry.state_hash("m"), delta.result_hash);
+  EXPECT_TRUE(registry.submit("m", x).get().equals(
+      expected_row(kSeed, x, true)));
+
+  // The same delta cannot apply twice: the base moved.
+  EXPECT_THROW(registry.apply_delta("m", delta), util::CheckError);
+  registry.shutdown();
+}
+
+TEST(Registry, AdmissionControlShedsBeyondQuota) {
+  serve::ModelOptions mopts;
+  mopts.server.num_threads = 1;
+  mopts.server.max_batch = 64;
+  mopts.server.max_delay_ms = 1000.0;  // the queue builds, nothing flushes
+  mopts.server.queue_quota = 4;
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "m", 5, mopts);
+
+  std::vector<std::future<tensor::Tensor>> accepted;
+  std::size_t shed = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto f = registry.try_submit("m", random_tensor(tensor::Shape({12}), i));
+    if (f) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 1u);  // quota 4 cannot absorb a burst of 20
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().numel(), 5u);  // everything accepted completes
+  }
+  registry.shutdown();
+  const serve::StatsSnapshot s = registry.stats("m");
+  EXPECT_EQ(s.shed_total, shed);
+  EXPECT_EQ(s.requests + s.shed_total, 20u);  // no request vanished
+}
+
+TEST(Registry, ScaleModelClampsAndKeepsServing) {
+  serve::ModelOptions mopts;
+  mopts.server.num_shards = 1;
+  mopts.server.max_shards = 3;
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "m", 5, mopts);
+  EXPECT_EQ(registry.num_active_shards("m"), 1u);
+
+  EXPECT_EQ(registry.scale_model("m", 2), 2u);
+  EXPECT_EQ(registry.scale_model("m", 99), 3u);  // clamped to max_shards
+  const auto x = random_tensor(tensor::Shape({12}), 4);
+  EXPECT_TRUE(registry.submit("m", x).get().equals(
+      expected_row(5, x, false)));  // grown shards serve the same version
+  EXPECT_EQ(registry.scale_model("m", 0), 1u);  // clamped to one
+  EXPECT_TRUE(registry.submit("m", x).get().equals(
+      expected_row(5, x, false)));
+  registry.shutdown();
+}
+
+TEST(Registry, AutoscaleTargetPolicy) {
+  serve::AutoscalerConfig cfg;
+  cfg.min_shards = 1;
+  cfg.max_shards = 4;
+  cfg.queue_high = 8.0;
+  cfg.queue_low = 1.0;
+  cfg.shrink_patience = 3;
+  std::size_t streak = 0;
+
+  // Hot queue grows by one and resets the cold streak.
+  streak = 2;
+  EXPECT_EQ(serve::autoscale_target(cfg, 2, 10.0, 0.0, streak), 3u);
+  EXPECT_EQ(streak, 0u);
+  // Growth clamps at max_shards.
+  EXPECT_EQ(serve::autoscale_target(cfg, 4, 50.0, 0.0, streak), 4u);
+  // Neutral load holds and resets the streak.
+  streak = 2;
+  EXPECT_EQ(serve::autoscale_target(cfg, 2, 4.0, 0.0, streak), 2u);
+  EXPECT_EQ(streak, 0u);
+  // Cold polls shrink only after the patience threshold.
+  EXPECT_EQ(serve::autoscale_target(cfg, 3, 0.0, 0.0, streak), 3u);
+  EXPECT_EQ(serve::autoscale_target(cfg, 3, 0.0, 0.0, streak), 3u);
+  EXPECT_EQ(serve::autoscale_target(cfg, 3, 0.0, 0.0, streak), 2u);
+  EXPECT_EQ(streak, 0u);
+  // Shrink clamps at min_shards.
+  streak = 2;
+  EXPECT_EQ(serve::autoscale_target(cfg, 1, 0.0, 0.0, streak), 1u);
+  // The p99 signal grows even when the queue looks calm.
+  cfg.p99_high_ms = 5.0;
+  streak = 0;
+  EXPECT_EQ(serve::autoscale_target(cfg, 2, 0.0, 9.0, streak), 3u);
+  // ... and a calm p99 below the bound still allows queue-based shrink.
+  streak = 2;
+  EXPECT_EQ(serve::autoscale_target(cfg, 3, 0.0, 1.0, streak), 2u);
+}
+
+TEST(Registry, AutoscalerGrowsUnderQueueBuildup) {
+  serve::ModelOptions mopts;
+  mopts.server.num_threads = 1;
+  mopts.server.num_shards = 1;
+  mopts.server.max_shards = 3;
+  mopts.server.max_batch = 64;
+  mopts.server.max_delay_ms = 50.0;  // slow flush: the queue builds
+  mopts.autoscaler.enabled = true;
+  mopts.autoscaler.interval_ms = 5.0;
+  mopts.autoscaler.queue_high = 2.0;
+  // Never shrink back during the test: the watcher loop below must be able
+  // to observe the grown state no matter how the polls interleave.
+  mopts.autoscaler.shrink_patience = 100000;
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "m", 5, mopts);
+
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(
+        registry.submit("m", random_tensor(tensor::Shape({12}), i)));
+  }
+  // The poller needs a couple of intervals to observe the depth and grow.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (registry.num_active_shards("m") < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(registry.num_active_shards("m"), 2u);
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);
+  registry.shutdown();
+}
+
+}  // namespace
+}  // namespace dstee

@@ -23,6 +23,7 @@
 #include "nn/pooling.hpp"
 #include "optim/optimizer.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/delta.hpp"
 #include "serve/passes.hpp"
 #include "serve/plan.hpp"
 #include "serve/server.hpp"
@@ -485,6 +486,8 @@ TEST(ServerStats, SnapshotAndAggregateNeverBlockCounterRecording) {
         target.record_batch({1.0, 2.0});
         target.record_queue_depth(w * kBatchesPerWriter + i);
         target.record_blocked_ms(0.5);
+        target.record_shed();
+        if (i % 10 == 0) target.record_swap();
       }
     });
   }
@@ -495,6 +498,7 @@ TEST(ServerStats, SnapshotAndAggregateNeverBlockCounterRecording) {
     const auto agg = serve::ServerStats::aggregate({&group_a, &group_b});
     EXPECT_GE(agg.requests, agg.batches);  // 2 requests per batch
     EXPECT_GE(agg.blocked_ms, 0.0);
+    EXPECT_LE(agg.swap_count, agg.shed_total + 1);  // 1 swap per 10 sheds
     const auto snap = group_a.snapshot();
     EXPECT_LE(snap.requests, kWriters * kBatchesPerWriter * 2);
   }
@@ -506,6 +510,8 @@ TEST(ServerStats, SnapshotAndAggregateNeverBlockCounterRecording) {
   EXPECT_NEAR(final_agg.blocked_ms,
               0.5 * static_cast<double>(kWriters * kBatchesPerWriter), 1e-6);
   EXPECT_GT(final_agg.latency_p50_ms, 0.0);
+  EXPECT_EQ(final_agg.shed_total, kWriters * kBatchesPerWriter);
+  EXPECT_EQ(final_agg.swap_count, kWriters * (kBatchesPerWriter / 10));
 }
 
 TEST(Server, FlushOnFullBatch) {
@@ -1029,6 +1035,236 @@ TEST(Plan, DumpAnnotatesCostsAndPartitions) {
   // The plan is still bindable after inspection.
   const auto net = compiler.bind(std::move(plan));
   EXPECT_GT(net.num_parallel_groups(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint delta format v3 + the plan-level ApplyDelta patch path.
+
+/// One faked DST step touching ONLY `layer_idx`: flip one mask position
+/// each way and jitter a few surviving values. Confining the edit to a
+/// single layer is what lets the tests assert the patch rebuilds just
+/// that layer's plan node.
+void perturb_layer(sparse::SparseModel& state, std::size_t layer_idx) {
+  sparse::MaskedParameter& layer = state.layer(layer_idx);
+  const std::vector<std::size_t> active = layer.mask().active_indices();
+  const std::vector<std::size_t> inactive = layer.mask().inactive_indices();
+  ASSERT_GE(active.size(), 4u);
+  ASSERT_GE(inactive.size(), 1u);
+  layer.mask().deactivate(active[0]);
+  layer.mask().activate(inactive[0]);
+  layer.param().value[inactive[0]] = 0.125f;
+  for (std::size_t k = 1; k < 4; ++k) {
+    layer.param().value[active[k]] += 0.25f * static_cast<float>(k);
+  }
+  layer.apply_mask_to_value();
+}
+
+TEST(Delta, MlpPatchBitIdenticalToFullRecompileAndSharesUntouched) {
+  CompiledHarness base(0.9, false, 0.0, 11);
+  serve::Compiler compiler;
+  serve::Plan base_plan = compiler.plan(base.model, &base.smodel);
+  serve::Plan bound = base_plan;
+  const auto base_net = compiler.bind(std::move(bound));
+
+  // Identical twin (same seed), advanced one DST step in layer 1 only.
+  CompiledHarness next(0.9, false, 0.0, 11);
+  perturb_layer(next.smodel, 1);
+  const serve::CheckpointDelta delta =
+      serve::make_delta(base.model, &base.smodel, next.model, &next.smodel);
+  ASSERT_EQ(delta.sparse_layers.size(), 1u);
+  EXPECT_EQ(delta.sparse_layers[0].layer, 1u);
+  EXPECT_EQ(delta.sparse_layers[0].removed.size(), 1u);
+  EXPECT_EQ(delta.sparse_layers[0].added.size(), 1u);
+  EXPECT_EQ(delta.sparse_layers[0].changed.size(), 3u);
+  EXPECT_TRUE(delta.dense_params.empty());  // biases did not move
+
+  // Disk round trip preserves the delta exactly.
+  const std::string path = "serve_ckpt/mlp_step.delta";
+  serve::save_delta(path, delta);
+  const serve::CheckpointDelta loaded = serve::load_delta(path);
+  EXPECT_EQ(loaded.base_hash, delta.base_hash);
+  EXPECT_EQ(loaded.result_hash, delta.result_hash);
+  ASSERT_EQ(loaded.sparse_layers.size(), 1u);
+  EXPECT_EQ(loaded.sparse_layers[0].added, delta.sparse_layers[0].added);
+  EXPECT_EQ(loaded.sparse_layers[0].changed,
+            delta.sparse_layers[0].changed);
+
+  serve::apply_delta(loaded, base.model, &base.smodel);
+  const serve::PlanPatch patch = serve::apply_delta_to_plan(
+      base_plan, loaded, base.model, &base.smodel);
+  EXPECT_FALSE(patch.needs_full_recompile);
+  EXPECT_EQ(patch.total_weight_nodes, 3u);    // 3 Linear layers
+  EXPECT_EQ(patch.patched_weight_nodes, 1u);  // only layer 1 rebuilt
+
+  // Untouched nodes keep the base plan's exact matrices (the zero-copy
+  // seam clone_shared builds on); the touched node got a fresh one.
+  const auto csr_of = [](const serve::Plan& p, std::size_t ordinal) {
+    for (const serve::PlanOp& op : p.ops) {
+      if (op.kind == serve::PlanOpKind::kSpmm &&
+          op.sparse_ordinal == ordinal) {
+        return static_cast<const sparse::CsrMatrix*>(op.csr.get());
+      }
+    }
+    return static_cast<const sparse::CsrMatrix*>(nullptr);
+  };
+  EXPECT_EQ(csr_of(patch.plan, 0), csr_of(base_plan, 0));
+  EXPECT_NE(csr_of(patch.plan, 1), csr_of(base_plan, 1));
+  EXPECT_EQ(csr_of(patch.plan, 2), csr_of(base_plan, 2));
+
+  // The patched program is BIT-identical to recompiling the updated
+  // model from scratch, and serves the perturbed model's answers.
+  serve::Plan patched_plan = patch.plan;
+  const auto patched_net = compiler.bind(std::move(patched_plan));
+  const auto full_net = compiler.compile(base.model, &base.smodel);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 77);
+  EXPECT_TRUE(patched_net.forward(x).equals(full_net.forward(x)));
+  EXPECT_TRUE(patched_net.forward(x).allclose(next.model.forward(x), 1e-4f));
+  EXPECT_EQ(patched_net.total_nnz(), base.smodel.total_active());
+}
+
+TEST(Delta, PartitionedPlanRepatchesSliceGroupsBitIdentically) {
+  CompiledHarness base(0.85, false, 0.0, 13);
+  auto compiler = partition_compiler(2, tensor::Shape({12}));
+  serve::Plan base_plan = compiler.plan(base.model, &base.smodel);
+
+  CompiledHarness next(0.85, false, 0.0, 13);
+  perturb_layer(next.smodel, 0);
+  const serve::CheckpointDelta delta =
+      serve::make_delta(base.model, &base.smodel, next.model, &next.smodel);
+
+  serve::apply_delta(delta, base.model, &base.smodel);
+  const serve::PlanPatch patch = serve::apply_delta_to_plan(
+      base_plan, delta, base.model, &base.smodel);
+  EXPECT_FALSE(patch.needs_full_recompile);
+  EXPECT_EQ(patch.total_weight_nodes, 3u);    // slice groups count once
+  EXPECT_EQ(patch.patched_weight_nodes, 1u);  // layer 0's group re-split
+
+  serve::Plan patched_plan = patch.plan;
+  const auto patched_net = compiler.bind(std::move(patched_plan));
+  const auto full_net = compiler.compile(base.model, &base.smodel);
+  const auto x = random_tensor(tensor::Shape({4, 12}), 78);
+  EXPECT_TRUE(patched_net.forward(x).equals(full_net.forward(x)));
+  EXPECT_GT(patched_net.num_parallel_groups(), 0u);
+}
+
+TEST(Delta, ResNetDeltaRefoldsBatchNormThroughCheckpoint) {
+  const std::string base_path = "serve_ckpt/delta_resnet_base.bin";
+  const std::string delta_path = "serve_ckpt/delta_resnet_step.delta";
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+
+  util::Rng rng(51);
+  models::ResNet trained(cfg, rng);
+  sparse::SparseModel trained_state(trained, 0.85,
+                                    sparse::DistributionKind::kErk, rng);
+  trained.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 97));
+  trained.set_training(false);
+  train::save_checkpoint(base_path, trained, &trained_state);
+
+  // "Next" state: the checkpoint plus one DST step on conv layer 2, a
+  // batch-norm affine nudge and a running-stat drift — the folded-BN
+  // paths a real training step would touch.
+  util::Rng rng_next(52);
+  models::ResNet next(cfg, rng_next);
+  sparse::SparseModel next_state(next, 0.85,
+                                 sparse::DistributionKind::kErk, rng_next);
+  train::load_checkpoint(base_path, next, &next_state);
+  next.set_training(false);
+  // ERK leaves the tiniest conv layers fully dense; step the first layer
+  // that actually has sparse headroom to flip a position each way.
+  std::size_t dst_layer = next_state.num_layers();
+  for (std::size_t l = 0; l < next_state.num_layers(); ++l) {
+    if (next_state.layer(l).mask().active_indices().size() >= 4 &&
+        !next_state.layer(l).mask().inactive_indices().empty()) {
+      dst_layer = l;
+      break;
+    }
+  }
+  ASSERT_LT(dst_layer, next_state.num_layers());
+  perturb_layer(next_state, dst_layer);
+  serve::LoweredModules mods = serve::collect_lowered_modules(next);
+  ASSERT_GT(mods.bns.size(), 1u);
+  const nn::BatchNorm* bn = mods.bns[1];
+  for (nn::Parameter* p : next.parameters()) {
+    if (p == &bn->gamma()) p->value[0] += 0.05f;
+  }
+  for (tensor::Tensor* b : next.state_buffers()) {
+    if (b == &bn->running_mean()) (*b)[0] += 0.01f;
+  }
+
+  // Fresh base from the checkpoint; diff, round-trip, apply, patch.
+  util::Rng rng_base(53);
+  models::ResNet base(cfg, rng_base);
+  sparse::SparseModel base_state(base, 0.85,
+                                 sparse::DistributionKind::kErk, rng_base);
+  train::load_checkpoint(base_path, base, &base_state);
+  base.set_training(false);
+  const serve::CheckpointDelta delta =
+      serve::make_delta(base, &base_state, next, &next_state);
+  EXPECT_FALSE(delta.empty());
+  serve::save_delta(delta_path, delta);
+  const serve::CheckpointDelta loaded = serve::load_delta(delta_path);
+
+  serve::Compiler compiler;
+  serve::Plan base_plan = compiler.plan(base, &base_state);
+  serve::apply_delta(loaded, base, &base_state);
+  const serve::PlanPatch patch =
+      serve::apply_delta_to_plan(base_plan, loaded, base, &base_state);
+  EXPECT_FALSE(patch.needs_full_recompile);
+  EXPECT_GT(patch.patched_weight_nodes, 0u);
+  EXPECT_LT(patch.patched_weight_nodes, patch.total_weight_nodes);
+
+  serve::Plan patched_plan = patch.plan;
+  const auto patched_net = compiler.bind(std::move(patched_plan));
+  const auto full_net = compiler.compile(base, &base_state);
+  const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 98);
+  EXPECT_TRUE(patched_net.forward(x).equals(full_net.forward(x)));
+  EXPECT_TRUE(patched_net.forward(x).allclose(next.forward(x), 1e-4f));
+}
+
+TEST(Delta, BaseHashMismatchFailsLoudlyAndMutatesNothing) {
+  CompiledHarness a(0.9, false, 0.0, 11);
+  CompiledHarness b(0.9, false, 0.0, 11);
+  perturb_layer(b.smodel, 0);
+  const serve::CheckpointDelta delta =
+      serve::make_delta(a.model, &a.smodel, b.model, &b.smodel);
+
+  // Wrong base (different seed): rejected up front.
+  CompiledHarness other(0.9, false, 0.0, 99);
+  const std::uint64_t before =
+      serve::model_state_hash(other.model, &other.smodel);
+  EXPECT_THROW(serve::apply_delta(delta, other.model, &other.smodel),
+               util::CheckError);
+  EXPECT_EQ(serve::model_state_hash(other.model, &other.smodel), before);
+
+  // Applying twice: the first moves the state to result_hash, so the
+  // second no longer matches the base.
+  serve::apply_delta(delta, a.model, &a.smodel);
+  EXPECT_EQ(serve::model_state_hash(a.model, &a.smodel), delta.result_hash);
+  EXPECT_THROW(serve::apply_delta(delta, a.model, &a.smodel),
+               util::CheckError);
+}
+
+TEST(Delta, LoadersRejectEachOthersFormats) {
+  CompiledHarness a(0.9, false, 0.0, 11);
+  CompiledHarness b(0.9, false, 0.0, 11);
+  perturb_layer(b.smodel, 0);
+  const serve::CheckpointDelta delta =
+      serve::make_delta(a.model, &a.smodel, b.model, &b.smodel);
+
+  const std::string full_path = "serve_ckpt/reject_full.bin";
+  const std::string delta_path = "serve_ckpt/reject_step.delta";
+  train::save_checkpoint(full_path, a.model, &a.smodel);
+  serve::save_delta(delta_path, delta);
+
+  // A full checkpoint is not a delta, and vice versa — both loaders
+  // reject the other's file with a pointer at the right entry point.
+  EXPECT_THROW(serve::load_delta(full_path), util::CheckError);
+  EXPECT_THROW(train::load_checkpoint(delta_path, a.model, &a.smodel),
+               util::CheckError);
 }
 
 }  // namespace

@@ -23,6 +23,12 @@ that sit a level above the type system:
   kernel-intraop   src/kernels/ never reads runtime::default_pool() or
                    intra_op_default() directly; kernels accept a
                    runtime::IntraOp so the caller owns placement policy.
+  hot-swap-rcu     No plain std::shared_ptr<const CompiledNet> MEMBERS
+                   (trailing-underscore fields). A hot-swapped version
+                   pointer read by workers while a swap publishes tears
+                   without atomics; hold it in util::RcuCell<CompiledNet>
+                   (src/util/rcu.hpp). Locals snapshotting a loaded
+                   version are fine.
   include-hygiene  Concurrency symbols (std::mutex, std::thread,
                    std::atomic, ...) require a DIRECT include of their
                    header — the concurrency surface must state its
@@ -55,6 +61,7 @@ RULES = {
     "unguarded-mutex": "naked std::mutex or util::Mutex with no annotation user",
     "evalop-clone": "EvalOp subclass without a clone() override",
     "kernel-intraop": "kernel reads the process pool instead of IntraOp",
+    "hot-swap-rcu": "shared_ptr<const CompiledNet> member outside util::RcuCell",
     "include-hygiene": "concurrency symbol without its direct #include",
     "unbuilt-source": "src/ .cpp missing from compile_commands.json",
 }
@@ -289,6 +296,28 @@ def scan_kernel_intraop(fs: FileScan, findings: list[Finding]) -> None:
                 "runtime::IntraOp parameter so callers own the policy"))
 
 
+# A hot-swap version pointer held as a plain member field. Members follow
+# the repo's trailing-underscore convention, which is what separates a
+# swappable field (must be an RcuCell) from a harmless local snapshot or a
+# function parameter.
+HOT_SWAP_MEMBER_RE = re.compile(
+    r"\bstd::shared_ptr\s*<\s*const\s+(?:serve::)?CompiledNet\s*>\s+"
+    r"(\w+_)\s*[;={]")
+
+
+def scan_hot_swap_rcu(fs: FileScan, findings: list[Finding]) -> None:
+    if fs.rel == "src/util/rcu.hpp":
+        return  # the helper itself wraps the raw atomic shared_ptr
+    for ln, line in enumerate(fs.lines, start=1):
+        m = HOT_SWAP_MEMBER_RE.search(line)
+        if m and not fs.is_waived(ln, "hot-swap-rcu"):
+            findings.append(Finding(
+                fs.path, ln, "hot-swap-rcu",
+                f"member '{m.group(1)}' holds a hot-swappable CompiledNet in "
+                "a plain shared_ptr; concurrent swap/load tears — hold it in "
+                "util::RcuCell<CompiledNet> (util/rcu.hpp)"))
+
+
 def scan_include_hygiene(fs: FileScan, findings: list[Finding]) -> None:
     includes = {}
     for ln, line in enumerate(fs.raw_lines, start=1):
@@ -381,6 +410,7 @@ def main(argv: list[str]) -> int:
         scan_raw_thread(fs, findings)
         scan_unguarded_mutex(fs, findings)
         scan_kernel_intraop(fs, findings)
+        scan_hot_swap_rcu(fs, findings)
         scan_include_hygiene(fs, findings)
     scan_evalop_clone(scans, findings)
     if args.compile_commands is not None:

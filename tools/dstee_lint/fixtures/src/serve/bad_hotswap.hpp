@@ -1,0 +1,27 @@
+// Fixture: [hot-swap-rcu] — a hot-swapped CompiledNet version held in a
+// plain shared_ptr member. A worker loading `net_` while apply_delta
+// publishes a new version races on the control block; the blessed holder
+// is util::RcuCell<CompiledNet> (src/util/rcu.hpp), shown below, which
+// stays clean. Locals snapshotting a loaded version are also fine.
+#pragma once
+
+#include "serve/compiled_net.hpp"
+#include "util/rcu.hpp"
+
+namespace dstee::serve {
+
+class BadHotSwapHolder {
+ public:
+  void use() {
+    // OK: a local snapshot of the published version — no trailing
+    // underscore, not a swappable field.
+    std::shared_ptr<const CompiledNet> snapshot = cell_.load();
+    (void)snapshot;
+  }
+
+ private:
+  std::shared_ptr<const CompiledNet> net_;  // BAD: tears under swap
+  util::RcuCell<CompiledNet> cell_;         // OK: atomic publication
+};
+
+}  // namespace dstee::serve
