@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "spawn_chunks.hpp"
+#include "kernels/activations.hpp"
+#include "kernels/epilogue.hpp"
 #include "methods/drop_policy.hpp"
 #include "methods/dst_engine.hpp"
 #include "methods/grow_policy.hpp"
@@ -153,6 +155,45 @@ void BM_CsrMatvec(benchmark::State& state) {
   state.counters["density"] = csr.density();
 }
 BENCHMARK(BM_CsrMatvec)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+// Fused epilogue vs separate activation pass: the kernel-level half of
+// the serve::FuseEpilogue story. Same SpMM, same float op order — the
+// fused variant applies ReLU in-register in the output loop, the
+// unfused one pays a second full pass over the output tensor.
+void BM_SpmmFusedRelu(benchmark::State& state) {
+  const std::size_t n = 1024;
+  auto w = random_tensor(tensor::Shape({n, n}), 31);
+  util::Rng rng(32);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(0.1)) w[i] = 0.0f;
+  }
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto x = random_tensor(tensor::Shape({1, n}), 33);
+  kernels::Epilogue ep;
+  ep.has_act = true;
+  ep.act = kernels::ActKind::kRelu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr.spmm(x, {}, ep));
+  }
+  state.counters["density"] = csr.density();
+}
+BENCHMARK(BM_SpmmFusedRelu);
+
+void BM_SpmmThenRelu(benchmark::State& state) {
+  const std::size_t n = 1024;
+  auto w = random_tensor(tensor::Shape({n, n}), 31);
+  util::Rng rng(32);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(0.1)) w[i] = 0.0f;
+  }
+  const auto csr = sparse::CsrMatrix::from_dense(w);
+  const auto x = random_tensor(tensor::Shape({1, n}), 33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::relu(csr.spmm(x)));
+  }
+  state.counters["density"] = csr.density();
+}
+BENCHMARK(BM_SpmmThenRelu);
 
 // CSR-over-im2col conv kernel (serve::CompiledNet's ConvOp hot loop):
 // one image's patch matrix against a masked [Cout, Cin·K·K] weight.

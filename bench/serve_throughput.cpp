@@ -9,12 +9,13 @@
 // speedup. Rows land in bench_results/serve_throughput.csv with a
 // `workload` column.
 //
-// Two runtime sweeps follow: (1) intra-op SpMM on the persistent pool vs
+// Runtime sweeps follow: (1) intra-op SpMM on the persistent pool vs
 // the retired per-call thread spawn at small batches, where spawn
 // latency dominates the kernel — the reason the pool exists; (2)
-// InferenceServer aggregate throughput across shard counts (replicated
-// CompiledNets, round-robin routing). Both land in
-// bench_results/serve_scaling.csv.
+// row-range partitioning; (3) epilogue fusion (fused vs unfused
+// pipelines, equals-gated); (4) InferenceServer aggregate throughput
+// across shard counts (replicated CompiledNets, round-robin routing).
+// All land in bench_results/serve_scaling.csv.
 //
 // DSTEE_SCALE scales the model width; DSTEE_SERVE_MIN_TIME (seconds, default
 // 0.15) controls per-cell measurement time.
@@ -25,6 +26,7 @@
 #include "bench_common.hpp"
 #include "spawn_chunks.hpp"
 #include "models/mlp.hpp"
+#include "models/resnet.hpp"
 #include "models/vgg.hpp"
 #include "nn/conv2d.hpp"
 #include "serve/compiled_net.hpp"
@@ -316,6 +318,115 @@ void sweep_partition(const bench::BenchEnv& env, double min_time,
   } else {
     std::cout << "[skip] partition speedup checks need >= 2 hw threads\n";
   }
+}
+
+/// Epilogue fusion (serve::FuseEpilogue): the graph-fusion step. The
+/// fused pipeline absorbs activation and residual-add nodes into the
+/// producing CSR op's kernel epilogue, so each output element is biased,
+/// added and activated in-register during the SpMM output loop instead
+/// of in separate full passes over the output tensor. Two workloads:
+///
+///   fusion_mlp     90%-sparse MLP (ReLU epilogues on the hidden SpMMs)
+///   fusion_resnet  90%-sparse ResNet-18 (conv ReLUs + residual adds)
+///
+/// Every fused program is gated bit-identical to the unfused default
+/// pipeline before timing — fusion reorders no float ops, it only
+/// removes tensor-wide passes. The fused batch-1 rate is the latency
+/// claim: small batches are memory-pass-bound, so dropping a pass shows
+/// up directly.
+void sweep_fusion(const bench::BenchEnv& env, double min_time,
+                  util::CsvWriter& csv) {
+  constexpr const char* kFusedSpec =
+      "elide-dropout,fold-bn,fuse-epilogue,free-after-last-use";
+  const std::vector<std::size_t> batches = {1, 2, 4, 8};
+
+  struct B1 {
+    double unfused = 0.0;
+    double fused = 0.0;
+  };
+  auto run_workload = [&](const std::string& workload,
+                          nn::Sequential& model,
+                          const sparse::SparseModel& smodel,
+                          const tensor::Shape& sample) {
+    const serve::CompiledNet unfused =
+        serve::CompiledNet::compile(model, &smodel);
+    serve::Compiler compiler;
+    compiler.pipeline_from_spec(kFusedSpec);
+    const serve::CompiledNet fused = compiler.compile(model, &smodel);
+    util::check(fused.num_fused_ops() > 0,
+                "fusion sweep workload produced no fused ops");
+
+    std::cout << "epilogue fusion: " << workload << " ("
+              << fused.num_fused_ops() << " fused ops, "
+              << unfused.num_ops() - fused.num_ops()
+              << " nodes removed)\n";
+    util::Table table(
+        {"batch", "unfused rows/s", "fused rows/s", "speedup"});
+    B1 b1;
+    for (const std::size_t batch : batches) {
+      tensor::Tensor x{sample.prepended(batch)};
+      util::Rng xrng(300 + batch);
+      tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+      // Equals gate: fused must match unfused bit-for-bit, not just
+      // approximately — fusion changes where ops run, never their order.
+      util::check(fused.forward(x).equals(unfused.forward(x)),
+                  "fused forward diverged from unfused");
+      const double base =
+          measure_rows_per_s([&] { unfused.forward(x); }, batch, min_time);
+      const double rate =
+          measure_rows_per_s([&] { fused.forward(x); }, batch, min_time);
+      if (batch == 1) {
+        b1.unfused = base;
+        b1.fused = rate;
+      }
+      table.add_row({std::to_string(batch), util::format_fixed(base, 0),
+                     util::format_fixed(rate, 0),
+                     util::format_fixed(rate / base, 2) + "x"});
+      csv.write_row({workload, "-", "-", std::to_string(batch),
+                     util::format_fixed(base, 1), util::format_fixed(rate, 1),
+                     util::format_fixed(rate / base, 3)});
+    }
+    std::cout << table.render() << "\n";
+    return b1;
+  };
+
+  models::MlpConfig mcfg;
+  mcfg.in_features = env.scaled(256, 32);
+  mcfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
+  mcfg.out_features = 10;
+  util::Rng mrng(61);
+  models::Mlp mlp(mcfg, mrng);
+  sparse::SparseModel mlp_state(mlp, 0.9, sparse::DistributionKind::kErk,
+                                mrng);
+  mlp.set_training(false);
+  const B1 mlp_b1 = run_workload("fusion_mlp", mlp, mlp_state,
+                                 tensor::Shape({mcfg.in_features}));
+
+  models::ResNetConfig rcfg;
+  rcfg.depth = 18;
+  rcfg.image_size = 8;
+  rcfg.num_classes = 10;
+  rcfg.width_multiplier = 0.25 * env.scale;
+  util::Rng rrng(62);
+  models::ResNet resnet(rcfg, rrng);
+  sparse::SparseModel resnet_state(resnet, 0.9,
+                                   sparse::DistributionKind::kErk, rrng);
+  tensor::Tensor warm({2, 3, rcfg.image_size, rcfg.image_size});
+  util::Rng wrng(63);
+  tensor::fill_normal(warm, wrng, 0.0f, 1.0f);
+  resnet.forward(warm);  // move BN stats off init so folding is non-trivial
+  resnet.set_training(false);
+  const B1 res_b1 = run_workload(
+      "fusion_resnet", resnet, resnet_state,
+      tensor::Shape({3, rcfg.image_size, rcfg.image_size}));
+
+  // Gate on the geomean across both workloads: one noisy cell on the
+  // tiny scaled-down models must not flip the claim.
+  const double geomean = std::sqrt((mlp_b1.fused / mlp_b1.unfused) *
+                                   (res_b1.fused / res_b1.unfused));
+  bench::shape_check(
+      "epilogue fusion improves batch-1 latency (geomean, mlp+resnet)",
+      geomean > 1.0);
 }
 
 /// Closed-loop aggregate throughput of the sharded InferenceServer. Each
@@ -637,14 +748,16 @@ int run() {
 
   std::cout << table.render() << "\n";
 
-  // Runtime scaling sweeps (pool vs spawn, row-range partitions, shard
-  // replicas). For the partition rows, `shards` holds the partition count.
+  // Runtime scaling sweeps (pool vs spawn, row-range partitions, epilogue
+  // fusion, shard replicas). For the partition rows, `shards` holds the
+  // partition count; for the fusion rows, baseline is the unfused rate.
   util::CsvWriter scaling_csv(
       "bench_results/serve_scaling.csv",
       {"sweep", "shards", "intra_op", "batch", "baseline_rows_per_s",
        "rows_per_s", "speedup"});
   sweep_intra_op_pool(min_time, scaling_csv);
   sweep_partition(env, min_time, scaling_csv);
+  sweep_fusion(env, min_time, scaling_csv);
   sweep_shards(env, min_time, scaling_csv);
   sweep_hotswap(env, min_time, scaling_csv);
   scaling_csv.flush();

@@ -2,29 +2,36 @@
 
 #include <cmath>
 
+#include "kernels/epilogue.hpp"
 #include "util/check.hpp"
 
 namespace dstee::kernels {
 
 namespace {
 
-/// Elementwise chunks smaller than this run inline even when the caller
-/// asked for intra-op parallelism: the fan-out wake costs more than the
-/// loop itself.
+/// Same small-input guard as apply_epilogue (epilogue.cpp): the
+/// mask-caching training variants below keep their own loops because the
+/// epilogue API has no backward-mask concept.
 constexpr std::size_t kElemGrain = 1u << 12;
 
 }  // namespace
 
 tensor::Tensor relu(const tensor::Tensor& x, tensor::Tensor* mask,
                     const runtime::IntraOp& intra) {
+  if (mask == nullptr) {
+    Epilogue ep;
+    ep.has_act = true;
+    ep.act = ActKind::kRelu;
+    return apply_epilogue(x, ep, intra);
+  }
   tensor::Tensor y(x.shape());
-  if (mask != nullptr) *mask = tensor::Tensor(x.shape());
+  *mask = tensor::Tensor(x.shape());
   runtime::intra_chunks(
       intra, x.numel(), kElemGrain,
       [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
           const bool pos = x[i] > 0.0f;
-          if (mask != nullptr) (*mask)[i] = pos ? 1.0f : 0.0f;
+          (*mask)[i] = pos ? 1.0f : 0.0f;
           y[i] = pos ? x[i] : 0.0f;
         }
       });
@@ -36,15 +43,22 @@ tensor::Tensor add_relu(const tensor::Tensor& a, const tensor::Tensor& b,
   util::check(a.shape() == b.shape(),
               "residual branches disagree: " + a.shape().to_string() +
                   " vs " + b.shape().to_string());
+  if (mask == nullptr) {
+    Epilogue ep;
+    ep.residual = b.raw();
+    ep.has_act = true;
+    ep.act = ActKind::kRelu;
+    return apply_epilogue(a, ep, intra);
+  }
   tensor::Tensor y(a.shape());
-  if (mask != nullptr) *mask = tensor::Tensor(a.shape());
+  *mask = tensor::Tensor(a.shape());
   runtime::intra_chunks(
       intra, a.numel(), kElemGrain,
       [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
           const float s = a[i] + b[i];
           const bool pos = s > 0.0f;
-          if (mask != nullptr) (*mask)[i] = pos ? 1.0f : 0.0f;
+          (*mask)[i] = pos ? 1.0f : 0.0f;
           y[i] = pos ? s : 0.0f;
         }
       });
@@ -53,38 +67,26 @@ tensor::Tensor add_relu(const tensor::Tensor& a, const tensor::Tensor& b,
 
 tensor::Tensor leaky_relu(const tensor::Tensor& x, float slope,
                           const runtime::IntraOp& intra) {
-  tensor::Tensor y(x.shape());
-  runtime::intra_chunks(
-      intra, x.numel(), kElemGrain,
-      [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
-        }
-      });
-  return y;
+  Epilogue ep;
+  ep.has_act = true;
+  ep.act = ActKind::kLeakyRelu;
+  ep.slope = slope;
+  return apply_epilogue(x, ep, intra);
 }
 
 tensor::Tensor sigmoid(const tensor::Tensor& x,
                        const runtime::IntraOp& intra) {
-  tensor::Tensor y(x.shape());
-  runtime::intra_chunks(
-      intra, x.numel(), kElemGrain,
-      [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-        }
-      });
-  return y;
+  Epilogue ep;
+  ep.has_act = true;
+  ep.act = ActKind::kSigmoid;
+  return apply_epilogue(x, ep, intra);
 }
 
 tensor::Tensor tanh(const tensor::Tensor& x, const runtime::IntraOp& intra) {
-  tensor::Tensor y(x.shape());
-  runtime::intra_chunks(
-      intra, x.numel(), kElemGrain,
-      [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) y[i] = std::tanh(x[i]);
-      });
-  return y;
+  Epilogue ep;
+  ep.has_act = true;
+  ep.act = ActKind::kTanh;
+  return apply_epilogue(x, ep, intra);
 }
 
 }  // namespace dstee::kernels

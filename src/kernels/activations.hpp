@@ -1,12 +1,19 @@
-// Stateless elementwise activation kernels.
+// Stateless elementwise activation kernels — thin compatibility wrappers
+// for the nn/ training forwards over the one epilogue application in
+// kernels/epilogue.hpp.
 //
-// One implementation serves both sides of the codebase: nn/ training
-// layers call these from forward() (caching whatever backward needs), and
-// serve/ eval ops call them directly — so train-time and serve-time
-// numerics cannot drift apart. Each kernel accepts a runtime::IntraOp
-// chunking the flat element range across the persistent runtime pool;
-// elementwise outputs trivially have one writer per element, so results
-// are bit-identical for any chunk count. Small tensors always run inline
+// The per-activation entry points below exist for two reasons only:
+// (a) nn/ layers cache backward masks, a training-time concept the
+// Epilogue descriptor deliberately does not model, and (b) their
+// signatures predate the epilogue API. Every mask-less call funnels
+// through kernels::apply_epilogue, so train-time and serve-time numerics
+// cannot drift apart; serve/ EvalOps must NOT call these directly
+// (enforced by the `serve-epilogue` dstee_lint rule) — they build a
+// kernels::Epilogue instead, fused into the producing kernel where the
+// plan allows it. Each kernel accepts a runtime::IntraOp chunking the
+// flat element range across the persistent runtime pool; elementwise
+// outputs trivially have one writer per element, so results are
+// bit-identical for any chunk count. Small tensors always run inline
 // regardless of the policy (fan-out would cost more than the loop).
 #pragma once
 

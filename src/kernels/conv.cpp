@@ -8,9 +8,11 @@ namespace dstee::kernels {
 tensor::Tensor conv2d_forward(const tensor::Tensor& x,
                               const tensor::Tensor& w2d, std::size_t kernel,
                               std::size_t stride, std::size_t padding,
-                              const float* bias,
+                              const Epilogue& ep,
                               const runtime::IntraOp& intra) {
   util::check(x.rank() == 4, "conv2d_forward expects [N, C, H, W]");
+  util::check(ep.residual == nullptr || ep.residual_stride > 0,
+              "conv2d fused residual requires residual_stride");
   util::check(w2d.rank() == 2, "conv2d_forward expects a [Cout, Cin*K*K] "
                                "weight view");
   const std::size_t batch = x.dim(0), in_ch = x.dim(1);
@@ -33,19 +35,46 @@ tensor::Tensor conv2d_forward(const tensor::Tensor& x,
   tensor::Tensor y({batch, out_ch, oh, ow});
   const std::size_t image_elems = in_ch * g.in_h * g.in_w;
   const std::size_t out_image_elems = out_ch * oh * ow;
+  const std::size_t positions = oh * ow;
   // Batch-parallel: per-chunk im2col scratch, each image writes its own
-  // output slab exactly once.
+  // output slab exactly once. The epilogue finishes each image block in
+  // the copy loop instead of a separate pass over y.
   runtime::intra_chunks(intra, batch, [&](std::size_t n0, std::size_t n1) {
     tensor::Tensor cols({g.patch_size(), oh * ow});
     for (std::size_t n = n0; n < n1; ++n) {
       tensor::im2col(x.raw() + n * image_elems, g, cols);
       const tensor::Tensor out2d = tensor::matmul(w2d, cols);  // [Cout, ohw]
       float* dst = y.raw() + n * out_image_elems;
-      for (std::size_t i = 0; i < out_image_elems; ++i) dst[i] = out2d[i];
+      if (ep.empty()) {
+        for (std::size_t i = 0; i < out_image_elems; ++i) dst[i] = out2d[i];
+        continue;
+      }
+      const float* res = ep.residual != nullptr
+                             ? ep.residual + n * ep.residual_stride
+                             : nullptr;
+      for (std::size_t c = 0; c < out_ch; ++c) {
+        const float bias_c = ep.bias != nullptr ? ep.bias[c] : 0.0f;
+        for (std::size_t j = 0; j < positions; ++j) {
+          const std::size_t i = c * positions + j;
+          float v = out2d[i];
+          if (ep.bias != nullptr) v += bias_c;
+          if (res != nullptr) v += res[i];
+          dst[i] = ep.activate(v);
+        }
+      }
     }
   });
-  if (bias != nullptr) add_channel_bias(y, bias);
   return y;
+}
+
+tensor::Tensor conv2d_forward(const tensor::Tensor& x,
+                              const tensor::Tensor& w2d, std::size_t kernel,
+                              std::size_t stride, std::size_t padding,
+                              const float* bias,
+                              const runtime::IntraOp& intra) {
+  Epilogue ep;
+  ep.bias = bias;
+  return conv2d_forward(x, w2d, kernel, stride, padding, ep, intra);
 }
 
 void add_channel_bias(tensor::Tensor& y, const float* bias) {

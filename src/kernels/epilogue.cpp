@@ -1,0 +1,40 @@
+#include "kernels/epilogue.hpp"
+
+#include "util/check.hpp"
+
+namespace dstee::kernels {
+
+namespace {
+
+/// Elementwise chunks smaller than this run inline even when the caller
+/// asked for intra-op parallelism: the fan-out wake costs more than the
+/// loop itself. Shared by every elementwise kernel (activations.cpp
+/// funnels through apply_epilogue), so the guard lives in one place.
+constexpr std::size_t kElemGrain = 1u << 12;
+
+}  // namespace
+
+void apply_epilogue(const float* in, float* out, std::size_t numel,
+                    const Epilogue& ep, const runtime::IntraOp& intra) {
+  util::check(ep.bias == nullptr,
+              "apply_epilogue over a flat range has no row structure for "
+              "a bias; fold the bias in the producing kernel instead");
+  const float* res = ep.residual;
+  runtime::intra_chunks(
+      intra, numel, kElemGrain, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          float v = in[i];
+          if (res != nullptr) v += res[i];
+          out[i] = ep.activate(v);
+        }
+      });
+}
+
+tensor::Tensor apply_epilogue(const tensor::Tensor& x, const Epilogue& ep,
+                              const runtime::IntraOp& intra) {
+  tensor::Tensor y(x.shape());
+  apply_epilogue(x.raw(), y.raw(), x.numel(), ep, intra);
+  return y;
+}
+
+}  // namespace dstee::kernels

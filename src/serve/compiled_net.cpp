@@ -29,6 +29,7 @@ CompiledNet CompiledNet::bind(Plan&& plan, const CompileOptions& options) {
   net.elided_ = plan.elided;
   net.residual_joins_ = plan.residual_joins;
   net.partitioned_ops_ = plan.partitioned_ops;
+  net.fused_ops_ = plan.fused_ops;
   net.total_nnz_ = plan.total_nnz;
   net.total_weights_ = plan.total_weights;
   net.exec_ = Executor::bind(
@@ -44,6 +45,7 @@ CompiledNet CompiledNet::clone() const {
   copy.elided_ = elided_;
   copy.residual_joins_ = residual_joins_;
   copy.partitioned_ops_ = partitioned_ops_;
+  copy.fused_ops_ = fused_ops_;
   copy.total_nnz_ = total_nnz_;
   copy.total_weights_ = total_weights_;
   return copy;
@@ -57,6 +59,7 @@ CompiledNet CompiledNet::clone_shared(
   copy.elided_ = elided_;
   copy.residual_joins_ = residual_joins_;
   copy.partitioned_ops_ = partitioned_ops_;
+  copy.fused_ops_ = fused_ops_;
   copy.total_nnz_ = total_nnz_;
   copy.total_weights_ = total_weights_;
   return copy;
@@ -91,6 +94,9 @@ std::string CompiledNet::summary() const {
   if (partitioned_ops_ > 0) {
     out += ", " + std::to_string(partitioned_ops_) + " partitioned (" +
            std::to_string(num_parallel_groups()) + " parallel groups)";
+  }
+  if (fused_ops_ > 0) {
+    out += ", " + std::to_string(fused_ops_) + " fused";
   }
   out += "\n";
   out += exec_.describe_ops();

@@ -52,6 +52,10 @@ struct CompileOptions {
   /// nullptr = the process-wide runtime::default_pool(). Tests inject
   /// their own Pool here.
   runtime::Pool* intra_op_pool = nullptr;
+  /// Sample shape (no batch axis) handed to shape-aware passes built
+  /// from a pipeline spec — partition_rows uses it for per-node FLOPs
+  /// shares; rank 0 falls back to nnz shares.
+  tensor::Shape sample_shape{};
 };
 
 /// An immutable, thread-safe inference program compiled from a model.
@@ -111,6 +115,8 @@ class CompiledNet {
   std::size_t num_residual_joins() const { return residual_joins_; }
   /// CSR nodes PartitionRows split into row-range slice groups.
   std::size_t num_partitioned_ops() const { return partitioned_ops_; }
+  /// CSR nodes FuseEpilogue annotated with a fused activation/residual.
+  std::size_t num_fused_ops() const { return fused_ops_; }
   /// Slice groups the executor fans out in parallel.
   std::size_t num_parallel_groups() const {
     return exec_.num_parallel_groups();
@@ -143,6 +149,7 @@ class CompiledNet {
   std::size_t elided_ = 0;
   std::size_t residual_joins_ = 0;
   std::size_t partitioned_ops_ = 0;
+  std::size_t fused_ops_ = 0;
   std::size_t total_nnz_ = 0;
   std::size_t total_weights_ = 0;
 };

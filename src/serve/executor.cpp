@@ -2,8 +2,7 @@
 
 #include <utility>
 
-#include "kernels/activations.hpp"
-#include "kernels/conv.hpp"
+#include "kernels/epilogue.hpp"
 #include "kernels/pool.hpp"
 #include "sparse/flops.hpp"
 #include "tensor/im2col.hpp"
@@ -47,39 +46,96 @@ tensor::Tensor EvalOp::run_many(
 
 namespace {
 
-/// Common state of the CSR-backed ops: shared weights, bias, and the
-/// folded-BN marker (folding itself happens at the plan level, before
-/// binding — see serve::FoldBatchNorm).
+const char* act_name(ActKind act) {
+  switch (act) {
+    case ActKind::kRelu:
+      return "relu";
+    case ActKind::kLeakyRelu:
+      return "leaky_relu";
+    case ActKind::kSigmoid:
+      return "sigmoid";
+    case ActKind::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+/// Common state of the CSR-backed ops: shared weights, bias, the
+/// folded-BN marker, and the FuseEpilogue annotation the op lowers into
+/// a kernels::Epilogue (folding and fusion both happen at the plan
+/// level, before binding — see serve::FoldBatchNorm / serve::FuseEpilogue).
 class CsrOp : public EvalOp {
  public:
   CsrOp(std::shared_ptr<const sparse::CsrMatrix> csr, tensor::Tensor bias,
-        bool has_bias, bool folded_bn)
+        bool has_bias, bool folded_bn, PlanEpilogue pe)
       : csr_(std::move(csr)),
         bias_(std::move(bias)),
         has_bias_(has_bias),
-        folded_bn_(folded_bn) {}
+        folded_bn_(folded_bn),
+        pe_(pe) {}
 
   const sparse::CsrMatrix& csr() const { return *csr_; }
 
+  /// A residual-fused CSR op consumes the residual as its second input.
+  std::size_t arity() const override { return pe_.add_residual ? 2 : 1; }
+
  protected:
+  /// The kernels::Epilogue for this op: bias plus the fused annotation,
+  /// with the residual pointer/stride supplied per call (layout is
+  /// kernel-specific — see the kernel doc comments).
+  kernels::Epilogue make_ep(const float* residual,
+                            std::size_t residual_stride) const {
+    kernels::Epilogue ep;
+    if (has_bias_) ep.bias = bias_.raw();
+    ep.residual = residual;
+    ep.residual_stride = residual_stride;
+    ep.has_act = pe_.has_act;
+    ep.act = pe_.act;
+    ep.slope = pe_.slope;
+    return ep;
+  }
+
+  /// FLOPs the fused epilogue adds on top of the sparse product — one op
+  /// per output element per fused stage, mirroring Plan::annotate.
+  double ep_flops(double out_elems) const {
+    double per_elem = 0.0;
+    if (pe_.add_residual) per_elem += 1.0;
+    if (pe_.has_act) per_elem += 1.0;
+    return per_elem * out_elems;
+  }
+
+  std::string fused_suffix() const {
+    if (pe_.empty()) return "";
+    std::string out = ", fused(";
+    if (pe_.add_residual) out += "add";
+    if (pe_.has_act) {
+      if (pe_.add_residual) out += "+";
+      out += act_name(pe_.act);
+    }
+    return out + ")";
+  }
+
   std::string csr_suffix() const {
     return "nnz=" + std::to_string(csr_->nnz()) + ", density=" +
            util::format_fixed(csr_->density() * 100.0, 1) + "%" +
-           (folded_bn_ ? ", +bn" : "") + ")";
+           (folded_bn_ ? ", +bn" : "") + fused_suffix() + ")";
   }
 
   std::shared_ptr<const sparse::CsrMatrix> csr_;
   tensor::Tensor bias_;
   bool has_bias_;
   bool folded_bn_;
+  PlanEpilogue pe_;
 };
 
-/// CSR Linear: y = spmm(x) + bias, with optional folded BN scale/shift.
+/// CSR Linear: y = act(spmm(x) + bias + residual) — bias and the fused
+/// epilogue are applied inside the SpMM output loop.
 class SpmmOp final : public CsrOp {
  public:
   SpmmOp(std::shared_ptr<const sparse::CsrMatrix> csr, tensor::Tensor bias,
-         bool has_bias, bool folded_bn, runtime::IntraOp intra)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+         bool has_bias, bool folded_bn, PlanEpilogue pe,
+         runtime::IntraOp intra)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
         intra_(intra) {}
 
   std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
@@ -89,15 +145,15 @@ class SpmmOp final : public CsrOp {
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    tensor::Tensor y = csr_->spmm(x, intra_);
-    if (has_bias_) {
-      const std::size_t out = csr_->rows();
-      for (std::size_t n = 0; n < y.dim(0); ++n) {
-        float* row = y.raw() + n * out;
-        for (std::size_t j = 0; j < out; ++j) row[j] += bias_[j];
-      }
-    }
-    return y;
+    return csr_->spmm(x, intra_, make_ep(nullptr, 0));
+  }
+
+  tensor::Tensor run2(const tensor::Tensor& x,
+                      const tensor::Tensor& residual) const override {
+    util::check(residual.rank() == 2 && residual.dim(0) == x.dim(0) &&
+                    residual.dim(1) == csr_->rows(),
+                "fused spmm residual shape mismatch");
+    return csr_->spmm(x, intra_, make_ep(residual.raw(), csr_->rows()));
   }
 
   std::string describe() const override {
@@ -110,11 +166,13 @@ class SpmmOp final : public CsrOp {
   }
 
   double flops(const tensor::Shape& in) const override {
-    return sparse::linear_nnz_flops(csr_->nnz(), in.dim(0));
+    return sparse::linear_nnz_flops(csr_->nnz(), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) * csr_->rows()));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
-    return sparse::linear_nnz_flops(csr_->rows() * csr_->cols(), in.dim(0));
+    return sparse::linear_nnz_flops(csr_->rows() * csr_->cols(), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) * csr_->rows()));
   }
 
  private:
@@ -151,8 +209,8 @@ class ConvOp final : public CsrOp {
   ConvOp(std::shared_ptr<const sparse::CsrMatrix> csr,
          std::size_t in_channels, std::size_t kernel, std::size_t stride,
          std::size_t padding, tensor::Tensor bias, bool has_bias,
-         bool folded_bn, runtime::IntraOp intra)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+         bool folded_bn, PlanEpilogue pe, runtime::IntraOp intra)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
         in_channels_(in_channels),
         kernel_(kernel),
         stride_(stride),
@@ -166,30 +224,15 @@ class ConvOp final : public CsrOp {
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    const tensor::ConvGeometry g = geometry(x);
-    const std::size_t batch = x.dim(0);
-    const std::size_t oh = g.out_h(), ow = g.out_w();
-    const std::size_t out_ch = csr_->rows();
-    tensor::Tensor y({batch, out_ch, oh, ow});
-    const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
-    const std::size_t out_image_elems = out_ch * oh * ow;
+    return run_impl(x, nullptr);
+  }
 
-    // Intra-op parallelism splits the batch on the persistent runtime
-    // pool: images are independent, so every output element has exactly
-    // one writer and the result is bit-identical for any chunk count.
-    // Per-chunk im2col scratch keeps run() const and thread-safe. A
-    // single image always runs inline (PartitionRows is the row-level
-    // alternative for batch-1 latency).
-    runtime::intra_chunks(intra_, batch, [&](std::size_t n0,
-                                             std::size_t n1) {
-      tensor::Tensor cols({g.patch_size(), oh * ow});
-      for (std::size_t n = n0; n < n1; ++n) {
-        tensor::im2col(x.raw() + n * image_elems, g, cols);
-        csr_->spmm_cols_into(cols, y.raw() + n * out_image_elems);
-      }
-    });
-    if (has_bias_) kernels::add_channel_bias(y, bias_.raw());
-    return y;
+  tensor::Tensor run2(const tensor::Tensor& x,
+                      const tensor::Tensor& residual) const override {
+    util::check(residual.rank() == 4 && residual.dim(0) == x.dim(0) &&
+                    residual.dim(1) == csr_->rows(),
+                "fused spconv residual shape mismatch");
+    return run_impl(x, residual.raw());
   }
 
   std::string describe() const override {
@@ -209,17 +252,53 @@ class ConvOp final : public CsrOp {
     const tensor::ConvGeometry g = conv_geometry_for(
         in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
     return sparse::conv_nnz_flops(csr_->nnz(), g.out_h(), g.out_w(),
-                                  in.dim(0));
+                                  in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) * csr_->rows() *
+                                        g.out_h() * g.out_w()));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
     const tensor::ConvGeometry g = conv_geometry_for(
         in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
     return sparse::conv_nnz_flops(csr_->rows() * csr_->cols(), g.out_h(),
-                                  g.out_w(), in.dim(0));
+                                  g.out_w(), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) * csr_->rows() *
+                                        g.out_h() * g.out_w()));
   }
 
  private:
+  tensor::Tensor run_impl(const tensor::Tensor& x,
+                          const float* res_base) const {
+    const tensor::ConvGeometry g = geometry(x);
+    const std::size_t batch = x.dim(0);
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t out_ch = csr_->rows();
+    tensor::Tensor y({batch, out_ch, oh, ow});
+    const std::size_t image_elems = in_channels_ * g.in_h * g.in_w;
+    const std::size_t out_image_elems = out_ch * oh * ow;
+
+    // Intra-op parallelism splits the batch on the persistent runtime
+    // pool: images are independent, so every output element has exactly
+    // one writer and the result is bit-identical for any chunk count.
+    // Per-chunk im2col scratch keeps run() const and thread-safe. A
+    // single image always runs inline (PartitionRows is the row-level
+    // alternative for batch-1 latency). Bias and the fused epilogue are
+    // applied by the kernel's per-row finish pass; the residual (laid
+    // out like y) advances per image.
+    runtime::intra_chunks(intra_, batch, [&](std::size_t n0,
+                                             std::size_t n1) {
+      tensor::Tensor cols({g.patch_size(), oh * ow});
+      for (std::size_t n = n0; n < n1; ++n) {
+        tensor::im2col(x.raw() + n * image_elems, g, cols);
+        const float* res =
+            res_base != nullptr ? res_base + n * out_image_elems : nullptr;
+        csr_->spmm_cols_into(cols, y.raw() + n * out_image_elems,
+                             make_ep(res, 0));
+      }
+    });
+    return y;
+  }
+
   tensor::ConvGeometry geometry(const tensor::Tensor& x) const {
     util::check(x.rank() == 4 && x.dim(1) == in_channels_,
                 "spconv expects [N, " + std::to_string(in_channels_) +
@@ -306,8 +385,9 @@ class RowSliceSpmmOp final : public CsrOp {
  public:
   RowSliceSpmmOp(std::shared_ptr<const sparse::CsrMatrix> csr,
                  std::size_t row_begin, std::size_t row_end,
-                 tensor::Tensor bias, bool has_bias, bool folded_bn)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+                 tensor::Tensor bias, bool has_bias, bool folded_bn,
+                 PlanEpilogue pe)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
         row_begin_(row_begin),
         row_end_(row_end) {}
 
@@ -318,16 +398,20 @@ class RowSliceSpmmOp final : public CsrOp {
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    const sparse::CsrRowSlice slice = csr_->row_slice(row_begin_, row_end_);
-    tensor::Tensor y = slice.spmm(x);
-    if (has_bias_) {
-      const std::size_t out = slice.rows();
-      for (std::size_t n = 0; n < y.dim(0); ++n) {
-        float* row = y.raw() + n * out;
-        for (std::size_t j = 0; j < out; ++j) row[j] += bias_[j];
-      }
-    }
-    return y;
+    return csr_->row_slice(row_begin_, row_end_)
+        .spmm(x, {}, make_ep(nullptr, 0));
+  }
+
+  tensor::Tensor run2(const tensor::Tensor& x,
+                      const tensor::Tensor& residual) const override {
+    // The residual edge produces the FULL output width; this slice adds
+    // its own row range — pre-offset the pointer by row_begin and keep
+    // the per-sample stride at the parent's row count.
+    util::check(residual.rank() == 2 && residual.dim(0) == x.dim(0) &&
+                    residual.dim(1) == csr_->rows(),
+                "fused row_slice residual shape mismatch");
+    return csr_->row_slice(row_begin_, row_end_)
+        .spmm(x, {}, make_ep(residual.raw() + row_begin_, csr_->rows()));
   }
 
   std::string describe() const override {
@@ -336,7 +420,7 @@ class RowSliceSpmmOp final : public CsrOp {
            ", " +
            "nnz=" +
            std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
-           (folded_bn_ ? ", +bn" : "") + ")";
+           (folded_bn_ ? ", +bn" : "") + fused_suffix() + ")";
   }
 
   tensor::Shape out_shape(const tensor::Shape& in) const override {
@@ -345,12 +429,16 @@ class RowSliceSpmmOp final : public CsrOp {
 
   double flops(const tensor::Shape& in) const override {
     return sparse::linear_nnz_flops(
-        csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(0));
+               csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) *
+                                        (row_end_ - row_begin_)));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
     return sparse::linear_nnz_flops(
-        (row_end_ - row_begin_) * csr_->cols(), in.dim(0));
+               (row_end_ - row_begin_) * csr_->cols(), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) *
+                                        (row_end_ - row_begin_)));
   }
 
  private:
@@ -365,8 +453,9 @@ class RowSliceConvOp final : public CsrOp {
  public:
   RowSliceConvOp(std::shared_ptr<const sparse::CsrMatrix> csr,
                  std::size_t row_begin, std::size_t row_end,
-                 tensor::Tensor bias, bool has_bias, bool folded_bn)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn),
+                 tensor::Tensor bias, bool has_bias, bool folded_bn,
+                 PlanEpilogue pe)
+      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
         row_begin_(row_begin),
         row_end_(row_end) {}
 
@@ -377,6 +466,54 @@ class RowSliceConvOp final : public CsrOp {
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
+    return run_impl(x, nullptr, 0);
+  }
+
+  tensor::Tensor run2(const tensor::Tensor& x,
+                      const tensor::Tensor& residual) const override {
+    // The residual edge produces the full [N, Cout, OH, OW] map; this
+    // slice adds channels [row_begin, row_end) of it.
+    util::check(residual.rank() == 4 && residual.dim(0) == x.dim(0) &&
+                    residual.dim(1) == csr_->rows() &&
+                    residual.dim(2) == x.dim(2) &&
+                    residual.dim(3) == x.dim(3),
+                "fused conv row_slice residual shape mismatch");
+    return run_impl(x, residual.raw(), csr_->rows());
+  }
+
+  std::string describe() const override {
+    return "row_slice(" + std::to_string(row_begin_) + ":" +
+           std::to_string(row_end_) + " of " + std::to_string(csr_->rows()) +
+           ", conv, nnz=" +
+           std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
+           (folded_bn_ ? ", +bn" : "") + fused_suffix() + ")";
+  }
+
+  tensor::Shape out_shape(const tensor::Shape& in) const override {
+    return tensor::Shape(
+        {in.dim(0), row_end_ - row_begin_, in.dim(2), in.dim(3)});
+  }
+
+  double flops(const tensor::Shape& in) const override {
+    return sparse::conv_nnz_flops(
+               csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(2),
+               in.dim(3), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) *
+                                        (row_end_ - row_begin_) *
+                                        in.dim(2) * in.dim(3)));
+  }
+
+  double dense_flops(const tensor::Shape& in) const override {
+    return sparse::conv_nnz_flops((row_end_ - row_begin_) * csr_->cols(),
+                                  in.dim(2), in.dim(3), in.dim(0)) +
+           ep_flops(static_cast<double>(in.dim(0) *
+                                        (row_end_ - row_begin_) *
+                                        in.dim(2) * in.dim(3)));
+  }
+
+ private:
+  tensor::Tensor run_impl(const tensor::Tensor& x, const float* res_base,
+                          std::size_t ch_total) const {
     util::check(x.rank() == 4 && x.dim(1) == csr_->cols(),
                 "conv row_slice expects the [N, Cin*K*K, OH, OW] patch "
                 "buffer, got " +
@@ -388,38 +525,19 @@ class RowSliceConvOp final : public CsrOp {
     const std::size_t patch = csr_->cols();
     tensor::Tensor y({batch, slice.rows(), oh, ow});
     for (std::size_t n = 0; n < batch; ++n) {
+      // The per-sample residual pointer addresses this slice's channel
+      // block of the full residual map.
+      const float* res =
+          res_base != nullptr
+              ? res_base + (n * ch_total + row_begin_) * positions
+              : nullptr;
       slice.spmm_cols_into(x.raw() + n * patch * positions, positions,
-                           y.raw() + n * slice.rows() * positions);
+                           y.raw() + n * slice.rows() * positions,
+                           make_ep(res, 0));
     }
-    if (has_bias_) kernels::add_channel_bias(y, bias_.raw());
     return y;
   }
 
-  std::string describe() const override {
-    return "row_slice(" + std::to_string(row_begin_) + ":" +
-           std::to_string(row_end_) + " of " + std::to_string(csr_->rows()) +
-           ", conv, nnz=" +
-           std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
-           (folded_bn_ ? ", +bn" : "") + ")";
-  }
-
-  tensor::Shape out_shape(const tensor::Shape& in) const override {
-    return tensor::Shape(
-        {in.dim(0), row_end_ - row_begin_, in.dim(2), in.dim(3)});
-  }
-
-  double flops(const tensor::Shape& in) const override {
-    return sparse::conv_nnz_flops(
-        csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(2), in.dim(3),
-        in.dim(0));
-  }
-
-  double dense_flops(const tensor::Shape& in) const override {
-    return sparse::conv_nnz_flops((row_end_ - row_begin_) * csr_->cols(),
-                                  in.dim(2), in.dim(3), in.dim(0));
-  }
-
- private:
   std::size_t row_begin_;
   std::size_t row_end_;
 };
@@ -506,13 +624,13 @@ class AddOp final : public EvalOp {
 
   tensor::Tensor run2(const tensor::Tensor& a,
                       const tensor::Tensor& b) const override {
-    if (relu_) return kernels::add_relu(a, b, nullptr, intra_);
     util::check(a.shape() == b.shape(),
                 "residual add branches disagree: " + a.shape().to_string() +
                     " vs " + b.shape().to_string());
-    tensor::Tensor y(a.shape());
-    for (std::size_t i = 0; i < a.numel(); ++i) y[i] = a[i] + b[i];
-    return y;
+    kernels::Epilogue ep;
+    ep.residual = b.raw();
+    ep.has_act = relu_;
+    return kernels::apply_epilogue(a, ep, intra_);
   }
 
   std::string describe() const override {
@@ -581,32 +699,14 @@ class ActivationOp final : public EvalOp {
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    switch (kind_) {
-      case ActKind::kRelu:
-        return kernels::relu(x, nullptr, intra_);
-      case ActKind::kLeakyRelu:
-        return kernels::leaky_relu(x, slope_, intra_);
-      case ActKind::kSigmoid:
-        return kernels::sigmoid(x, intra_);
-      case ActKind::kTanh:
-        return kernels::tanh(x, intra_);
-    }
-    util::fail("unreachable activation kind");
+    kernels::Epilogue ep;
+    ep.has_act = true;
+    ep.act = kind_;
+    ep.slope = slope_;
+    return kernels::apply_epilogue(x, ep, intra_);
   }
 
-  std::string describe() const override {
-    switch (kind_) {
-      case ActKind::kRelu:
-        return "relu";
-      case ActKind::kLeakyRelu:
-        return "leaky_relu";
-      case ActKind::kSigmoid:
-        return "sigmoid";
-      case ActKind::kTanh:
-        return "tanh";
-    }
-    return "activation";
-  }
+  std::string describe() const override { return act_name(kind_); }
 
  private:
   ActKind kind_;
@@ -735,12 +835,13 @@ std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra) {
   switch (op.kind) {
     case PlanOpKind::kSpmm:
       return std::make_unique<SpmmOp>(std::move(op.csr), std::move(op.bias),
-                                      op.has_bias, op.folded_bn, intra);
+                                      op.has_bias, op.folded_bn, op.epilogue,
+                                      intra);
     case PlanOpKind::kConv:
       return std::make_unique<ConvOp>(std::move(op.csr), op.in_channels,
                                       op.kernel, op.stride, op.padding,
                                       std::move(op.bias), op.has_bias,
-                                      op.folded_bn, intra);
+                                      op.folded_bn, op.epilogue, intra);
     case PlanOpKind::kIm2col:
       return std::make_unique<Im2colOp>(op.in_channels, op.kernel, op.stride,
                                         op.padding, intra);
@@ -748,11 +849,11 @@ std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra) {
       if (op.conv_slice) {
         return std::make_unique<RowSliceConvOp>(
             std::move(op.csr), op.row_begin, op.row_end, std::move(op.bias),
-            op.has_bias, op.folded_bn);
+            op.has_bias, op.folded_bn, op.epilogue);
       }
       return std::make_unique<RowSliceSpmmOp>(
           std::move(op.csr), op.row_begin, op.row_end, std::move(op.bias),
-          op.has_bias, op.folded_bn);
+          op.has_bias, op.folded_bn, op.epilogue);
     case PlanOpKind::kConcatChannels: {
       // Total channels = sum of slice row counts, known statically.
       return std::make_unique<ConcatChannelsOp>(op.row_end - op.row_begin);

@@ -1,0 +1,37 @@
+#include "serve/pass_util.hpp"
+
+namespace dstee::serve::detail {
+
+void rewire_after_erase(Plan& plan, std::size_t erased, std::size_t target) {
+  for (PlanOp& op : plan.ops) {
+    for (std::size_t& in : op.inputs) {
+      if (in == Plan::kInputId) continue;
+      if (in == erased) {
+        in = target;
+      } else if (in > erased) {
+        --in;
+      }
+    }
+  }
+}
+
+void recompute_release(Plan& plan) {
+  plan.release_after.assign(plan.ops.size(), {});
+  std::vector<std::size_t> last(plan.ops.size(), Plan::kInputId);
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    for (const std::size_t in : plan.ops[i].inputs) {
+      if (in != Plan::kInputId) last[in] = i;
+    }
+  }
+  for (std::size_t id = 0; id + 1 < plan.ops.size(); ++id) {
+    if (last[id] != Plan::kInputId) {
+      plan.release_after[last[id]].push_back(id);
+    }
+  }
+}
+
+void refresh_release_if_present(Plan& plan) {
+  if (!plan.release_after.empty()) recompute_release(plan);
+}
+
+}  // namespace dstee::serve::detail

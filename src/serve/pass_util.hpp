@@ -1,0 +1,25 @@
+// Shared rewrite helpers for structural plan passes (ElideDropout,
+// FoldBatchNorm, FuseEpilogue): erase-and-rewire plus keeping an existing
+// FreeAfterLastUse annotation fresh. Internal to serve/ — passes are the
+// public surface.
+#pragma once
+
+#include "serve/plan.hpp"
+
+namespace dstee::serve::detail {
+
+/// Remaps node ids after erasing node `erased`: consumers of the erased
+/// node are rewired to `target` (the node that now produces its value),
+/// ids above shift down by one.
+void rewire_after_erase(Plan& plan, std::size_t erased, std::size_t target);
+
+/// The FreeAfterLastUse computation: each intermediate is released right
+/// after its last consumer.
+void recompute_release(Plan& plan);
+
+/// recompute_release, but only when the annotation already exists —
+/// structural passes call this so a pipeline that never ran
+/// FreeAfterLastUse stays unannotated.
+void refresh_release_if_present(Plan& plan);
+
+}  // namespace dstee::serve::detail

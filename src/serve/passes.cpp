@@ -1,52 +1,19 @@
 #include "serve/passes.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
+#include "serve/fusion.hpp"
+#include "serve/pass_util.hpp"
 #include "util/check.hpp"
 
 namespace dstee::serve {
 
-namespace {
-
-/// Remaps node ids after erasing node `erased`: consumers of the erased
-/// node are rewired to `target` (its single producer), ids above shift
-/// down by one.
-void rewire_after_erase(Plan& plan, std::size_t erased, std::size_t target) {
-  for (PlanOp& op : plan.ops) {
-    for (std::size_t& in : op.inputs) {
-      if (in == Plan::kInputId) continue;
-      if (in == erased) {
-        in = target;
-      } else if (in > erased) {
-        --in;
-      }
-    }
-  }
-}
-
-/// The FreeAfterLastUse computation, shared so structural passes can keep
-/// an existing annotation fresh after inserting/erasing nodes.
-void recompute_release(Plan& plan) {
-  plan.release_after.assign(plan.ops.size(), {});
-  std::vector<std::size_t> last(plan.ops.size(), Plan::kInputId);
-  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
-    for (const std::size_t in : plan.ops[i].inputs) {
-      if (in != Plan::kInputId) last[in] = i;
-    }
-  }
-  for (std::size_t id = 0; id + 1 < plan.ops.size(); ++id) {
-    if (last[id] != Plan::kInputId) {
-      plan.release_after[last[id]].push_back(id);
-    }
-  }
-}
-
-void refresh_release_if_present(Plan& plan) {
-  if (!plan.release_after.empty()) recompute_release(plan);
-}
-
-}  // namespace
+using detail::refresh_release_if_present;
+using detail::rewire_after_erase;
 
 void ElideDropout::run(Plan& plan) const {
   std::size_t i = 0;
@@ -114,7 +81,7 @@ void FoldBatchNorm::run(Plan& plan) const {
 }
 
 void FreeAfterLastUse::run(Plan& plan) const {
-  recompute_release(plan);
+  detail::recompute_release(plan);
   plan.validate();
 }
 
@@ -172,10 +139,11 @@ void PartitionRows::run(Plan& plan) const {
     repl.reserve(options_.ways + 2);
     if (is_conv) {
       // Hoist im2col out of the slices: patches are computed once into a
-      // shared buffer every slice streams.
+      // shared buffer every slice streams. Only the primary input feeds
+      // the patch buffer — a fused residual edge belongs to the slices.
       PlanOp im;
       im.kind = PlanOpKind::kIm2col;
-      im.inputs = original.inputs;
+      im.inputs = {original.inputs.front()};
       im.in_channels = original.in_channels;
       im.kernel = original.kernel;
       im.stride = original.stride;
@@ -187,8 +155,16 @@ void PartitionRows::run(Plan& plan) const {
       PlanOp slice;
       slice.kind = PlanOpKind::kRowSlice;
       slice.conv_slice = is_conv;
-      slice.inputs =
-          is_conv ? std::vector<std::size_t>{patches_id} : original.inputs;
+      slice.inputs = is_conv
+                         ? std::vector<std::size_t>{patches_id}
+                         : std::vector<std::size_t>{original.inputs.front()};
+      // A fused epilogue splits with the node: every slice applies the
+      // annotation to its own row range, consuming the shared residual
+      // edge (its id precedes i, so it survives the remap untouched).
+      slice.epilogue = original.epilogue;
+      if (original.epilogue.add_residual) {
+        slice.inputs.push_back(original.inputs[1]);
+      }
       slice.csr = original.csr;  // zero-copy: all slices view one matrix
       slice.row_begin = bounds[j];
       slice.row_end = bounds[j + 1];
@@ -241,12 +217,150 @@ void PartitionRows::run(Plan& plan) const {
   plan.validate();
 }
 
-Compiler::Compiler(CompileOptions options) : options_(options) {
+namespace {
+
+/// Registry names are lowercased with '-' folded to '_', so spec authors
+/// may write either "fold-bn" or "fold_bn".
+std::string normalize_pass_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out.push_back(c == '-' ? '_'
+                           : static_cast<char>(std::tolower(
+                                 static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::size_t parse_pass_size(const std::string& pass,
+                            const std::string& token) {
+  try {
+    return std::stoul(token);
+  } catch (const std::exception&) {
+    util::fail("pass '" + pass + "': bad integer argument '" + token + "'");
+  }
+}
+
+double parse_pass_double(const std::string& pass, const std::string& token) {
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    util::fail("pass '" + pass + "': bad numeric argument '" + token + "'");
+  }
+}
+
+void check_no_args(const std::string& pass,
+                   const std::vector<std::string>& args) {
+  util::check(args.empty(), "pass '" + pass + "' takes no arguments");
+}
+
+/// The process-wide pass registry, seeded with every built-in pass.
+/// Unsynchronized by design: registration happens at start-up (or from
+/// the static initializer below), after which the map is only read —
+/// the same publish-then-read-only discipline as the bound Executor.
+std::unordered_map<std::string, Compiler::PassFactory>& pass_registry() {
+  static std::unordered_map<std::string, Compiler::PassFactory> registry =
+      [] {
+        std::unordered_map<std::string, Compiler::PassFactory> reg;
+        reg["elide_dropout"] = [](const std::vector<std::string>& args,
+                                  const CompileOptions&) {
+          check_no_args("elide_dropout", args);
+          return std::make_unique<ElideDropout>();
+        };
+        const auto fold_bn = [](const std::vector<std::string>& args,
+                                const CompileOptions&) {
+          check_no_args("fold_batch_norm", args);
+          return std::make_unique<FoldBatchNorm>();
+        };
+        reg["fold_batch_norm"] = fold_bn;
+        reg["fold_bn"] = fold_bn;  // spec alias
+        reg["free_after_last_use"] = [](const std::vector<std::string>& args,
+                                        const CompileOptions&) {
+          check_no_args("free_after_last_use", args);
+          return std::make_unique<FreeAfterLastUse>();
+        };
+        reg["fuse_epilogue"] = [](const std::vector<std::string>& args,
+                                  const CompileOptions&) {
+          check_no_args("fuse_epilogue", args);
+          return std::make_unique<FuseEpilogue>();
+        };
+        reg["partition_rows"] = [](const std::vector<std::string>& args,
+                                   const CompileOptions& options) {
+          util::check(args.size() <= 2,
+                      "partition_rows spec is ways[:min_cost_share]");
+          PartitionRowsOptions popts;
+          if (!args.empty()) {
+            popts.ways = parse_pass_size("partition_rows", args[0]);
+          }
+          if (args.size() >= 2) {
+            popts.min_cost_share =
+                parse_pass_double("partition_rows", args[1]);
+          }
+          popts.sample_shape = options.sample_shape;
+          return std::make_unique<PartitionRows>(popts);
+        };
+        return reg;
+      }();
+  return registry;
+}
+
+}  // namespace
+
+Compiler::Compiler(CompileOptions options) : options_(std::move(options)) {
   // The default pipeline reproduces the pre-redesign monolithic compiler
   // exactly; appended passes run after it.
   passes_.push_back(std::make_unique<ElideDropout>());
   passes_.push_back(std::make_unique<FoldBatchNorm>());
   passes_.push_back(std::make_unique<FreeAfterLastUse>());
+}
+
+void Compiler::register_pass(const std::string& name, PassFactory factory) {
+  util::check(!name.empty(), "register_pass requires a name");
+  util::check(factory != nullptr, "register_pass requires a factory");
+  pass_registry()[normalize_pass_name(name)] = std::move(factory);
+}
+
+Compiler& Compiler::pipeline_from_spec(const std::string& spec) {
+  std::vector<std::unique_ptr<Pass>> pipeline;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(start, end - start);
+    start = end + 1;
+    util::check(!token.empty(), "empty pass name in pipeline spec '" +
+                                    spec + "'");
+    // name[:arg[:arg...]]
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (p <= token.size()) {
+      std::size_t q = token.find(':', p);
+      if (q == std::string::npos) q = token.size();
+      parts.push_back(token.substr(p, q - p));
+      p = q + 1;
+    }
+    const std::string name = normalize_pass_name(parts.front());
+    const std::vector<std::string> args(parts.begin() + 1, parts.end());
+    const auto& registry = pass_registry();
+    const auto it = registry.find(name);
+    util::check(it != registry.end(),
+                "unknown pass '" + parts.front() + "' in pipeline spec");
+    std::unique_ptr<Pass> pass = it->second(args, options_);
+    util::check(pass != nullptr,
+                "pass factory for '" + name + "' returned null");
+    pipeline.push_back(std::move(pass));
+  }
+  passes_ = std::move(pipeline);
+  return *this;
+}
+
+std::string Compiler::pipeline_spec() const {
+  std::string out;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    if (!out.empty()) out += ",";
+    out += pass->name();
+  }
+  return out;
 }
 
 Compiler& Compiler::add_pass(std::unique_ptr<Pass> pass) {

@@ -15,18 +15,30 @@
 //                     row-range sharding step: one sample's heaviest
 //                     layers execute in parallel across the runtime pool
 //
+//   FuseEpilogue      absorbs activation / residual-add consumers into
+//                     the producing CSR node as a fused kernel epilogue
+//                     (serve/fusion.hpp)
+//
 // Compiler runs the default pipeline (the first three, preserving the
-// monolith's behavior bit-for-bit) and lets callers append passes:
+// monolith's behavior bit-for-bit) and lets callers append passes — or
+// build the whole pipeline from a named spec string:
 //
 //   serve::Compiler compiler(options);
 //   compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
 //   serve::Plan plan = compiler.plan(model, &smodel);   // inspect / dump
 //   serve::CompiledNet net = compiler.bind(std::move(plan));
 //
-// Structural passes keep the FreeAfterLastUse annotation fresh: any pass
-// that inserts or erases nodes recomputes existing release lists.
+//   compiler.pipeline_from_spec(
+//       "elide-dropout,fold-bn,fuse-epilogue,partition-rows:4");
+//
+// Every built-in pass is in the registry under its name() (plus the
+// spec aliases "fold-bn"/"fold_bn"); Compiler::register_pass adds custom
+// passes to the same namespace. Structural passes keep the
+// FreeAfterLastUse annotation fresh: any pass that inserts or erases
+// nodes recomputes existing release lists.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -108,7 +120,30 @@ class PartitionRows final : public Pass {
 /// exactly (elide_dropout, fold_batch_norm, free_after_last_use).
 class Compiler {
  public:
+  /// Builds a Pass from spec arguments (the ":"-separated tokens after
+  /// the pass name, may be empty) under the compiler's options.
+  using PassFactory = std::function<std::unique_ptr<Pass>(
+      const std::vector<std::string>& args, const CompileOptions& options)>;
+
   explicit Compiler(CompileOptions options = {});
+
+  /// Registers `factory` under `name` in the process-wide pass registry
+  /// (names are normalized: lowercased, '-' → '_'). Re-registering a name
+  /// replaces it. NOT thread-safe: register passes during start-up,
+  /// before compilers run concurrently — the registry is read-only after
+  /// that, like every other bind-then-serve structure here.
+  static void register_pass(const std::string& name, PassFactory factory);
+
+  /// Replaces the pipeline with the passes named in `spec`: a
+  /// comma-separated list of registry names, each optionally followed by
+  /// ":"-separated arguments — e.g.
+  /// "elide-dropout,fold-bn,fuse-epilogue,partition-rows:4:0.25".
+  /// Unknown names fail loudly. Returns *this for chaining.
+  Compiler& pipeline_from_spec(const std::string& spec);
+
+  /// The active pipeline as a comma-separated list of pass names (what
+  /// `dstee_serve --dump-plan` prints).
+  std::string pipeline_spec() const;
 
   /// Appends a pass; returns *this for chaining.
   Compiler& add_pass(std::unique_ptr<Pass> pass);

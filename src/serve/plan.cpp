@@ -87,6 +87,30 @@ std::size_t slice_nnz(const PlanOp& op) {
   return op.csr->row_slice(op.row_begin, op.row_end).nnz();
 }
 
+// FLOPs the fused epilogue adds per node: one add for the residual and
+// one op for the activation, per output element. Counted in annotate()
+// (and mirrored by the executor's accounting) so a fused plan reports
+// the epilogue work the separate kActivation/kAdd nodes used to carry.
+double epilogue_flops(const PlanOp& op, double out_elems) {
+  double per_elem = 0.0;
+  if (op.epilogue.add_residual) per_elem += 1.0;
+  if (op.epilogue.has_act) per_elem += 1.0;
+  return per_elem * out_elems;
+}
+
+// Appends ", fused(relu)" / ", fused(add+relu)" / ", fused(add)" for a
+// CSR node carrying a FuseEpilogue annotation.
+void append_fused(std::string& out, const PlanOp& op) {
+  if (op.epilogue.empty()) return;
+  out += ", fused(";
+  if (op.epilogue.add_residual) out += "add";
+  if (op.epilogue.has_act) {
+    if (op.epilogue.add_residual) out += "+";
+    out += to_string(op.epilogue.act);
+  }
+  out += ")";
+}
+
 }  // namespace
 
 // The same arithmetic the monolithic compiler used, so folding — and the
@@ -140,12 +164,16 @@ std::vector<Plan::NodeCost> Plan::annotate(
     const std::size_t batch = in.dim(0);
     NodeCost& c = costs[i];
     switch (op.kind) {
-      case PlanOpKind::kSpmm:
+      case PlanOpKind::kSpmm: {
         c.out_shape = tensor::Shape({batch, op.csr->rows()});
         c.flops = sparse::linear_nnz_flops(op.csr->nnz(), batch);
         c.dense_flops = sparse::linear_nnz_flops(
             op.csr->rows() * op.csr->cols(), batch);
+        const double ep = epilogue_flops(op, c.out_shape.numel());
+        c.flops += ep;
+        c.dense_flops += ep;
         break;
+      }
       case PlanOpKind::kConv: {
         const tensor::ConvGeometry g = conv_geometry(op, in.dim(2), in.dim(3));
         c.out_shape =
@@ -154,6 +182,9 @@ std::vector<Plan::NodeCost> Plan::annotate(
                                          batch);
         c.dense_flops = sparse::conv_nnz_flops(
             op.csr->rows() * op.csr->cols(), g.out_h(), g.out_w(), batch);
+        const double ep = epilogue_flops(op, c.out_shape.numel());
+        c.flops += ep;
+        c.dense_flops += ep;
         break;
       }
       case PlanOpKind::kIm2col: {
@@ -177,6 +208,9 @@ std::vector<Plan::NodeCost> Plan::annotate(
           c.dense_flops =
               sparse::linear_nnz_flops(rows * op.csr->cols(), batch);
         }
+        const double ep = epilogue_flops(op, c.out_shape.numel());
+        c.flops += ep;
+        c.dense_flops += ep;
         break;
       }
       case PlanOpKind::kConcatChannels: {
@@ -249,6 +283,9 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
   if (partitioned_ops > 0) {
     out += ", " + std::to_string(partitioned_ops) + " partitioned";
   }
+  if (fused_ops > 0) {
+    out += ", " + std::to_string(fused_ops) + " fused";
+  }
   out += "\n";
 
   for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -263,6 +300,7 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
                std::to_string(op.csr->cols()) +
                ", nnz=" + std::to_string(op.csr->nnz());
         if (op.folded_bn) out += ", +bn";
+        append_fused(out, op);
         out += ")";
         break;
       case PlanOpKind::kConv:
@@ -272,6 +310,7 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
                " p" + std::to_string(op.padding) +
                ", nnz=" + std::to_string(op.csr->nnz());
         if (op.folded_bn) out += ", +bn";
+        append_fused(out, op);
         out += ")";
         break;
       case PlanOpKind::kIm2col:
@@ -286,6 +325,7 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
                ", nnz=" + std::to_string(slice_nnz(op)) + ", group " +
                std::to_string(op.partition_group);
         if (op.conv_slice) out += ", conv";
+        append_fused(out, op);
         out += ")";
         break;
       case PlanOpKind::kScaleShift:
@@ -358,12 +398,22 @@ void Plan::validate() const {
     const PlanOp& op = ops[i];
     util::check(!op.inputs.empty(),
                 "plan op " + std::to_string(i) + " has no inputs");
+    // CSR nodes gain a second input (the residual edge) when FuseEpilogue
+    // absorbed a residual add into them.
+    const bool csr_kind = op.kind == PlanOpKind::kSpmm ||
+                          op.kind == PlanOpKind::kConv ||
+                          op.kind == PlanOpKind::kRowSlice;
     const std::size_t want =
         op.kind == PlanOpKind::kAdd
             ? 2
-            : op.kind == PlanOpKind::kConcatChannels ? op.inputs.size() : 1;
+            : op.kind == PlanOpKind::kConcatChannels
+                  ? op.inputs.size()
+                  : csr_kind && op.epilogue.add_residual ? 2 : 1;
     util::check(op.inputs.size() == want && want >= 1,
                 "plan op " + std::to_string(i) + " has wrong arity");
+    util::check(csr_kind || op.epilogue.empty(),
+                "plan op " + std::to_string(i) +
+                    " carries an epilogue on a non-CSR kind");
     if (op.kind == PlanOpKind::kConcatChannels) {
       util::check(op.inputs.size() >= 2, "concat needs >= 2 inputs");
     }

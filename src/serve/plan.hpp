@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/epilogue.hpp"
 #include "nn/sequential.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/sparse_model.hpp"
@@ -64,7 +65,24 @@ enum class PlanOpKind {
 /// Short lowercase name for dumps ("spmm", "row_slice", ...).
 const char* to_string(PlanOpKind kind);
 
-enum class ActKind { kRelu, kLeakyRelu, kSigmoid, kTanh };
+/// Activation kinds are the kernel layer's: the plan annotation and the
+/// fused kernels::Epilogue a bound op builds from it can never disagree.
+using ActKind = kernels::ActKind;
+
+/// Fused-epilogue annotation on a producing CSR node (kSpmm / kConv and
+/// the kRowSlice sub-ops PartitionRows derives from them). FuseEpilogue
+/// absorbs a downstream kActivation and/or residual kAdd into the node;
+/// the executor lowers this to a kernels::Epilogue applied in the
+/// kernel's output loop. Empty (the default) means the node computes the
+/// plain affine product, exactly as before fusion existed.
+struct PlanEpilogue {
+  bool add_residual = false;  ///< inputs[1] is added before activation
+  bool has_act = false;
+  ActKind act = ActKind::kRelu;
+  float slope = 0.01f;  ///< LeakyReLU negative slope
+
+  bool empty() const { return !add_residual && !has_act; }
+};
 
 /// One plan node. Which fields are meaningful depends on `kind` (see the
 /// member comments); everything else stays at its default. Weights are
@@ -83,6 +101,10 @@ struct PlanOp {
   tensor::Tensor bias;                     ///< per output row/channel
   bool has_bias = false;
   bool folded_bn = false;  ///< FoldBatchNorm absorbed a BN into this node
+  /// FuseEpilogue annotation. When `epilogue.add_residual` is set the node
+  /// gains a second input (the residual edge) — validate() accounts for
+  /// the extra arity on CSR kinds.
+  PlanEpilogue epilogue;
 
   // kConv / kIm2col / conv-sliced kRowSlice ----------------------------
   std::size_t in_channels = 0;
@@ -152,6 +174,7 @@ struct Plan {
   std::size_t total_nnz = 0;
   std::size_t total_weights = 0;
   std::size_t partitioned_ops = 0;
+  std::size_t fused_ops = 0;  ///< CSR nodes carrying a FuseEpilogue annotation
 
   std::size_t size() const { return ops.size(); }
 

@@ -13,31 +13,42 @@ double CsrRowSlice::density() const {
 }
 
 tensor::Tensor CsrRowSlice::spmm(const tensor::Tensor& x,
-                                 const runtime::IntraOp& intra) const {
+                                 const runtime::IntraOp& intra,
+                                 const kernels::Epilogue& ep) const {
   tensor::Tensor y({x.rank() == 2 ? x.dim(0) : 0, rows_});
-  spmm_into(x, y.raw(), intra);
+  spmm_into(x, y.raw(), intra, ep);
   return y;
 }
 
 void CsrRowSlice::spmm_into(const tensor::Tensor& x, float* out,
-                            const runtime::IntraOp& intra) const {
+                            const runtime::IntraOp& intra,
+                            const kernels::Epilogue& ep) const {
   util::check(x.rank() == 2 && x.dim(1) == cols_,
               "spmm expects [batch, cols]");
+  util::check(ep.residual == nullptr || ep.residual_stride > 0,
+              "spmm fused residual requires residual_stride");
   const std::size_t batch = x.dim(0);
 
   // One worker computes output rows [r0, r1) for every batch sample: the
   // chunk's values/col_idx stream stays hot across samples and each
-  // output element has exactly one writer.
+  // output element has exactly one writer. The epilogue finishes each
+  // value before the store — bias, then residual, then activation, the
+  // exact op order of the unfused node sequence it replaces.
   auto run_rows = [&](std::size_t r0, std::size_t r1) {
     for (std::size_t n = 0; n < batch; ++n) {
       const float* xn = x.raw() + n * cols_;
       float* yn = out + n * rows_;
+      const float* res =
+          ep.residual != nullptr ? ep.residual + n * ep.residual_stride
+                                 : nullptr;
       for (std::size_t r = r0; r < r1; ++r) {
         float acc = 0.0f;
         for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
           acc += values_[k] * xn[col_idx_[k]];
         }
-        yn[r] = acc;
+        if (ep.bias != nullptr) acc += ep.bias[r];
+        if (res != nullptr) acc += res[r];
+        yn[r] = ep.activate(acc);
       }
     }
   };
@@ -45,8 +56,8 @@ void CsrRowSlice::spmm_into(const tensor::Tensor& x, float* out,
   runtime::intra_chunks(intra, rows_, run_rows);
 }
 
-void CsrRowSlice::spmm_cols_into(const float* b, std::size_t n,
-                                 float* out) const {
+void CsrRowSlice::spmm_cols_into(const float* b, std::size_t n, float* out,
+                                 const kernels::Epilogue& ep) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     float* yr = out + r * n;
     for (std::size_t j = 0; j < n; ++j) yr[j] = 0.0f;
@@ -54,6 +65,19 @@ void CsrRowSlice::spmm_cols_into(const float* b, std::size_t n,
       const float v = values_[k];
       const float* br = b + col_idx_[k] * n;
       for (std::size_t j = 0; j < n; ++j) yr[j] += v * br[j];
+    }
+    if (!ep.empty()) {
+      // Finish the row while it is still in cache: bias (one value per
+      // output channel row), residual (laid out like `out`), activation.
+      const float bias = ep.bias != nullptr ? ep.bias[r] : 0.0f;
+      const float* res = ep.residual != nullptr ? ep.residual + r * n
+                                                : nullptr;
+      for (std::size_t j = 0; j < n; ++j) {
+        float v = yr[j];
+        if (ep.bias != nullptr) v += bias;
+        if (res != nullptr) v += res[j];
+        yr[j] = ep.activate(v);
+      }
     }
   }
 }
@@ -142,10 +166,11 @@ tensor::Tensor CsrMatrix::matmul_nt(const tensor::Tensor& x) const {
 }
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
-                               const runtime::IntraOp& intra) const {
+                               const runtime::IntraOp& intra,
+                               const kernels::Epilogue& ep) const {
   // The batched SpMM *is* the full-range slice: one loop nest serves the
   // whole matrix and every PartitionRows sub-range bit-identically.
-  return row_slice(0, rows_).spmm(x, intra);
+  return row_slice(0, rows_).spmm(x, intra, ep);
 }
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
@@ -159,10 +184,11 @@ tensor::Tensor CsrMatrix::spmm_cols(const tensor::Tensor& cols) const {
   return y;
 }
 
-void CsrMatrix::spmm_cols_into(const tensor::Tensor& cols, float* out) const {
+void CsrMatrix::spmm_cols_into(const tensor::Tensor& cols, float* out,
+                               const kernels::Epilogue& ep) const {
   util::check(cols.rank() == 2 && cols.dim(0) == cols_,
               "spmm_cols expects [cols, n]");
-  row_slice(0, rows_).spmm_cols_into(cols.raw(), cols.dim(1), out);
+  row_slice(0, rows_).spmm_cols_into(cols.raw(), cols.dim(1), out, ep);
 }
 
 CsrRowSlice CsrMatrix::row_slice(std::size_t r0, std::size_t r1) const {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/epilogue.hpp"
 #include "runtime/pool.hpp"
 #include "sparse/masked_parameter.hpp"
 #include "tensor/tensor.hpp"
@@ -41,17 +42,28 @@ class CsrRowSlice {
   /// Batched SpMM over the slice: Y = X·A[r0:r1)ᵀ for X[batch, cols] →
   /// Y[batch, rows()]. Same row-parallel chunking contract as
   /// CsrMatrix::spmm (which is implemented as the full-range slice).
+  /// `ep` is applied to each output value while it is still in register:
+  /// Y[n, r] = act(acc + ep.bias[r] + ep.residual[n·stride + r]) — the
+  /// fused-epilogue path. ep.bias/ep.residual are indexed by the SLICE's
+  /// local row r; a slice of a wider output pre-offsets both pointers by
+  /// its row_begin and sets ep.residual_stride to the FULL output width.
   tensor::Tensor spmm(const tensor::Tensor& x,
-                      const runtime::IntraOp& intra = {}) const;
+                      const runtime::IntraOp& intra = {},
+                      const kernels::Epilogue& ep = {}) const;
 
   /// spmm writing into caller storage of batch·rows() floats.
   void spmm_into(const tensor::Tensor& x, float* out,
-                 const runtime::IntraOp& intra = {}) const;
+                 const runtime::IntraOp& intra = {},
+                 const kernels::Epilogue& ep = {}) const;
 
   /// Y = A[r0:r1)·B for a dense patch matrix B[cols, n] given as a raw
   /// row-major pointer, writing rows()·n floats to `out` — the partitioned
-  /// conv path over a shared im2col buffer.
-  void spmm_cols_into(const float* b, std::size_t n, float* out) const;
+  /// conv path over a shared im2col buffer. `ep` finishes each output row
+  /// while it is hot: Y[r, j] = act(acc + ep.bias[r] + ep.residual[r·n +
+  /// j]) — ep.residual (when set) is laid out exactly like `out`, i.e.
+  /// already offset to this slice's block of the sample.
+  void spmm_cols_into(const float* b, std::size_t n, float* out,
+                      const kernels::Epilogue& ep = {}) const;
 
   /// Slice of a slice: rows [r0, r1) of THIS view (still zero-copy into
   /// the original parent).
@@ -110,9 +122,12 @@ class CsrMatrix {
   /// exactly one thread and the result is bit-identical for any thread
   /// count. `intra` picks the chunk count and the executing
   /// runtime::Pool; the default ({1, nullptr}) runs inline and never
-  /// touches a pool.
+  /// touches a pool. `ep` is the fused epilogue applied in the output
+  /// loop (Y[n, r] = act(acc + bias[r] + residual[n·stride + r]); the
+  /// default is the identity).
   tensor::Tensor spmm(const tensor::Tensor& x,
-                      const runtime::IntraOp& intra = {}) const;
+                      const runtime::IntraOp& intra = {},
+                      const kernels::Epilogue& ep = {}) const;
 
   /// Chunk-count-only overload (threads 0 = pool-wide on the process
   /// default pool) for call sites without a pool to inject.
@@ -126,8 +141,11 @@ class CsrMatrix {
 
   /// spmm_cols writing into caller-owned storage of rows()·cols.dim(1)
   /// floats — the per-image conv path, which writes straight into the
-  /// [N, Cout, Ho, Wo] output tensor without an intermediate.
-  void spmm_cols_into(const tensor::Tensor& cols, float* out) const;
+  /// [N, Cout, Ho, Wo] output tensor without an intermediate. `ep`
+  /// follows the CsrRowSlice::spmm_cols_into layout (bias per row,
+  /// residual laid out like `out`).
+  void spmm_cols_into(const tensor::Tensor& cols, float* out,
+                      const kernels::Epilogue& ep = {}) const;
 
   /// Zero-copy view over rows [r0, r1) (r0 <= r1 <= rows()); this matrix
   /// must outlive the view. The row-range unit of serve::PartitionRows.

@@ -24,6 +24,7 @@
 #include "optim/optimizer.hpp"
 #include "serve/compiled_net.hpp"
 #include "serve/delta.hpp"
+#include "serve/fusion.hpp"
 #include "serve/passes.hpp"
 #include "serve/plan.hpp"
 #include "serve/server.hpp"
@@ -1265,6 +1266,337 @@ TEST(Delta, LoadersRejectEachOthersFormats) {
   EXPECT_THROW(serve::load_delta(full_path), util::CheckError);
   EXPECT_THROW(train::load_checkpoint(delta_path, a.model, &a.smodel),
                util::CheckError);
+}
+
+// --- FuseEpilogue + the named pass registry -----------------------------
+
+/// The default pipeline with FuseEpilogue slotted before the release-list
+/// pass — the spec the fusion tests (and the bench sweep) run under.
+constexpr const char* kFusedSpec =
+    "elide-dropout,fold-bn,fuse-epilogue,free-after-last-use";
+
+serve::Compiler fused_compiler() {
+  serve::Compiler compiler;
+  compiler.pipeline_from_spec(kFusedSpec);
+  return compiler;
+}
+
+/// Fusion composed with PartitionRows (threshold 0 so every CSR node
+/// splits): the fused epilogues must propagate onto the row slices.
+serve::Compiler fused_partition_compiler(std::size_t ways,
+                                         tensor::Shape sample_shape) {
+  serve::CompileOptions opts;
+  opts.sample_shape = std::move(sample_shape);
+  serve::Compiler compiler(opts);
+  compiler.pipeline_from_spec(
+      "elide-dropout,fold-bn,fuse-epilogue,partition-rows:" +
+      std::to_string(ways) + ":0,free-after-last-use");
+  return compiler;
+}
+
+TEST(FuseEpilogue, MlpMatchesUnfusedThroughCheckpoint) {
+  CompiledHarness h(0.9, /*batch_norm=*/true, /*dropout=*/0.25);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto fused = fused_compiler().compile(h.model, &h.smodel);
+  // Both hidden ReLUs are absorbed into their spmm producers; the head
+  // has no activation and stays plain.
+  EXPECT_EQ(fused.num_fused_ops(), 2u);
+  EXPECT_EQ(fused.num_ops(), baseline.num_ops() - 2);
+  EXPECT_EQ(fused.total_nnz(), baseline.total_nnz());
+  const auto x = random_tensor(tensor::Shape({6, 12}), 501);
+  EXPECT_TRUE(fused.forward(x).equals(baseline.forward(x)));
+  EXPECT_TRUE(fused.forward(x).allclose(h.model.forward(x), 1e-4f));
+
+  // And through a disk round trip: serving the checkpoint fused still
+  // reproduces the unfused program bit-for-bit.
+  const std::string path = "serve_ckpt/fusion_mlp_roundtrip.bin";
+  train::save_checkpoint(path, h.model, &h.smodel);
+  CompiledHarness loaded(0.9, /*batch_norm=*/true, /*dropout=*/0.25, 99);
+  train::load_checkpoint(path, loaded.model, &loaded.smodel);
+  const auto fused_loaded =
+      fused_compiler().compile(loaded.model, &loaded.smodel);
+  EXPECT_TRUE(fused_loaded.forward(x).equals(baseline.forward(x)));
+}
+
+TEST(FuseEpilogue, Vgg19MatchesUnfusedThroughCheckpoint) {
+  const std::string path = "serve_ckpt/fusion_vgg19_roundtrip.bin";
+  models::VggConfig cfg;
+  cfg.depth = 19;
+  cfg.image_size = 8;
+  cfg.num_classes = 5;
+  cfg.width_multiplier = 0.08;
+  util::Rng rng(502);
+  models::Vgg vgg(cfg, rng);
+  sparse::SparseModel smodel(vgg, 0.9, sparse::DistributionKind::kErk, rng);
+  vgg.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 503));
+  vgg.set_training(false);
+  train::save_checkpoint(path, vgg, &smodel);
+
+  util::Rng rng2(504);
+  models::Vgg loaded(cfg, rng2);
+  sparse::SparseModel loaded_state(loaded, 0.9,
+                                   sparse::DistributionKind::kErk, rng2);
+  train::load_checkpoint(path, loaded, &loaded_state);
+  loaded.set_training(false);
+  const auto baseline = serve::CompiledNet::compile(loaded, &loaded_state);
+  const auto fused = fused_compiler().compile(loaded, &loaded_state);
+  EXPECT_GT(fused.num_fused_ops(), 0u);
+  EXPECT_LT(fused.num_ops(), baseline.num_ops());
+  const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 505);
+  EXPECT_TRUE(fused.forward(x).equals(baseline.forward(x)));
+}
+
+TEST(FuseEpilogue, ResNet18FusesResidualAddsBitIdentically) {
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+  util::Rng rng(506);
+  models::ResNet resnet(cfg, rng);
+  sparse::SparseModel smodel(resnet, 0.85, sparse::DistributionKind::kErk,
+                             rng);
+  resnet.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 507));
+  resnet.set_training(false);
+
+  // Plan-level: the add+ReLU joins are absorbed into CSR epilogues.
+  serve::Plan plain = serve::Compiler().plan(resnet, &smodel);
+  serve::Plan fused_plan = fused_compiler().plan(resnet, &smodel);
+  EXPECT_GT(fused_plan.fused_ops, 0u);
+  EXPECT_LT(count_kind(fused_plan, serve::PlanOpKind::kAdd),
+            count_kind(plain, serve::PlanOpKind::kAdd));
+  EXPECT_LT(count_kind(fused_plan, serve::PlanOpKind::kActivation),
+            count_kind(plain, serve::PlanOpKind::kActivation));
+
+  const auto baseline = serve::CompiledNet::compile(resnet, &smodel);
+  const auto fused = fused_compiler().compile(resnet, &smodel);
+  const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 508);
+  const auto expected = baseline.forward(x);
+  // IEEE float addition commutes bitwise, so fusing the add into either
+  // operand's producer preserves exact bits.
+  EXPECT_TRUE(fused.forward(x).equals(expected));
+
+  // Fused + partitioned: the residual epilogue rides onto the row slices
+  // (per-slice residual add inside the concat group).
+  const tensor::Shape sample({3, 8, 8});
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto net =
+        fused_partition_compiler(k, sample).compile(resnet, &smodel);
+    EXPECT_GT(net.num_fused_ops(), 0u) << "k=" << k;
+    EXPECT_GT(net.num_partitioned_ops(), 0u) << "k=" << k;
+    EXPECT_TRUE(net.forward(x).equals(expected)) << "k=" << k;
+  }
+}
+
+TEST(FuseEpilogue, FusedPlusPartitionedMlpMatchesForK2AndK4) {
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 509);
+  const auto expected = baseline.forward(x);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto net = fused_partition_compiler(k, tensor::Shape({12}))
+                         .compile(h.model, &h.smodel);
+    EXPECT_GT(net.num_fused_ops(), 0u) << "k=" << k;
+    EXPECT_GT(net.num_partitioned_ops(), 0u) << "k=" << k;
+    EXPECT_EQ(net.total_nnz(), baseline.total_nnz());
+    EXPECT_TRUE(net.forward(x).equals(expected)) << "k=" << k;
+  }
+}
+
+TEST(FuseEpilogue, PostFusionDeltaPatchMatchesFullRecompile) {
+  CompiledHarness base(0.9, false, 0.0, 17);
+  auto compiler = fused_compiler();
+  serve::Plan base_plan = compiler.plan(base.model, &base.smodel);
+  ASSERT_GT(base_plan.fused_ops, 0u);
+
+  CompiledHarness next(0.9, false, 0.0, 17);
+  perturb_layer(next.smodel, 1);
+  const serve::CheckpointDelta delta =
+      serve::make_delta(base.model, &base.smodel, next.model, &next.smodel);
+  serve::apply_delta(delta, base.model, &base.smodel);
+  const serve::PlanPatch patch = serve::apply_delta_to_plan(
+      base_plan, delta, base.model, &base.smodel);
+  EXPECT_FALSE(patch.needs_full_recompile);
+  EXPECT_EQ(patch.patched_weight_nodes, 1u);
+  // Fused nodes keep their provenance ordinals AND their epilogues: the
+  // patch rebuilds only weights, never the fusion annotations.
+  EXPECT_EQ(patch.plan.fused_ops, base_plan.fused_ops);
+
+  serve::Plan patched_plan = patch.plan;
+  const auto patched_net = compiler.bind(std::move(patched_plan));
+  const auto full_net = compiler.compile(base.model, &base.smodel);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 510);
+  EXPECT_TRUE(patched_net.forward(x).equals(full_net.forward(x)));
+  EXPECT_TRUE(
+      patched_net.forward(x).allclose(next.model.forward(x), 1e-4f));
+}
+
+TEST(FuseEpilogue, FusedCloneAndCloneSharedMatchBitForBit) {
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  const auto net = fused_compiler().compile(h.model, &h.smodel);
+  ASSERT_GT(net.num_fused_ops(), 0u);
+  const auto replica = net.clone();
+  EXPECT_EQ(replica.num_fused_ops(), net.num_fused_ops());
+  const auto shared_replica =
+      net.clone_shared(std::unordered_set<const sparse::CsrMatrix*>{});
+  const auto x = random_tensor(tensor::Shape({4, 12}), 511);
+  const auto expected = net.forward(x);
+  EXPECT_TRUE(replica.forward(x).equals(expected));
+  EXPECT_TRUE(shared_replica.forward(x).equals(expected));
+}
+
+std::shared_ptr<sparse::CsrMatrix> dense_csr(std::size_t rows,
+                                             std::size_t cols,
+                                             std::uint64_t seed) {
+  return std::make_shared<sparse::CsrMatrix>(sparse::CsrMatrix::from_dense(
+      random_tensor(tensor::Shape({rows, cols}), seed), 0.0f));
+}
+
+TEST(FuseEpilogue, SharedProducerActivationIsNotFused) {
+  // spmm feeds BOTH the ReLU and a residual join: fusing the ReLU would
+  // activate the raw edge the join reads. The single-consumer guard must
+  // leave the plan untouched.
+  serve::Plan plan;
+  plan.ops.resize(3);
+  plan.ops[0].kind = serve::PlanOpKind::kSpmm;
+  plan.ops[0].inputs = {serve::Plan::kInputId};
+  plan.ops[0].csr = dense_csr(4, 4, 601);
+  plan.ops[1].kind = serve::PlanOpKind::kActivation;
+  plan.ops[1].inputs = {0};
+  plan.ops[1].act = serve::ActKind::kRelu;
+  plan.ops[2].kind = serve::PlanOpKind::kAdd;
+  plan.ops[2].inputs = {0, 1};
+  plan.validate();
+
+  serve::FuseEpilogue().run(plan);
+  EXPECT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.fused_ops, 0u);
+  EXPECT_EQ(count_kind(plan, serve::PlanOpKind::kActivation), 1u);
+  EXPECT_TRUE(plan.ops[0].epilogue.empty());
+}
+
+TEST(FuseEpilogue, SharedResidualEntryIsNotFused) {
+  // The join's topologically-later entry (op1) also feeds a second join:
+  // absorbing the first add into it would hide the raw value op3 needs.
+  serve::Plan plan;
+  plan.ops.resize(4);
+  plan.ops[0].kind = serve::PlanOpKind::kSpmm;
+  plan.ops[0].inputs = {serve::Plan::kInputId};
+  plan.ops[0].csr = dense_csr(4, 4, 602);
+  plan.ops[1].kind = serve::PlanOpKind::kSpmm;
+  plan.ops[1].inputs = {0};
+  plan.ops[1].csr = dense_csr(4, 4, 603);
+  plan.ops[2].kind = serve::PlanOpKind::kAdd;
+  plan.ops[2].inputs = {1, 0};
+  plan.ops[3].kind = serve::PlanOpKind::kAdd;
+  plan.ops[3].inputs = {2, 1};
+  plan.validate();
+
+  serve::FuseEpilogue().run(plan);
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.fused_ops, 0u);
+  EXPECT_EQ(count_kind(plan, serve::PlanOpKind::kAdd), 2u);
+  EXPECT_TRUE(plan.ops[1].epilogue.empty());
+}
+
+TEST(FuseEpilogue, AnnotateCountsEpilogueFlops) {
+  // Standalone kActivation nodes carry no FLOPs in annotate(); a fused
+  // epilogue's work IS counted, on the CSR node: one FLOP per activated
+  // output element. For the 12→24→16→5 MLP at batch 1 the exact fused
+  // surplus is the two hidden widths.
+  CompiledHarness h(0.9);
+  serve::Plan plain = serve::Compiler().plan(h.model, &h.smodel);
+  serve::Plan fused = fused_compiler().plan(h.model, &h.smodel);
+  ASSERT_EQ(fused.fused_ops, 2u);
+
+  const tensor::Shape sample({12});
+  double plain_total = 0.0, fused_total = 0.0;
+  for (const auto& c : plain.annotate(sample)) plain_total += c.flops;
+  for (const auto& c : fused.annotate(sample)) fused_total += c.flops;
+  EXPECT_DOUBLE_EQ(fused_total - plain_total, 24.0 + 16.0);
+}
+
+TEST(FuseEpilogue, DumpAndSummaryAnnotateFusedNodes) {
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  auto compiler = fused_compiler();
+  serve::Plan plan = compiler.plan(h.model, &h.smodel);
+  ASSERT_GT(plan.fused_ops, 0u);
+  const tensor::Shape sample({12});
+  const std::string dump = plan.dump(&sample);
+  EXPECT_NE(dump.find("fused("), std::string::npos);
+  const auto net = compiler.bind(std::move(plan));
+  EXPECT_NE(net.summary().find("fused"), std::string::npos);
+}
+
+TEST(Compiler, PipelineSpecRoundTripsAndFailsLoudly) {
+  serve::Compiler compiler;
+  EXPECT_EQ(compiler.pipeline_spec(),
+            "elide_dropout,fold_batch_norm,free_after_last_use");
+  compiler.pipeline_from_spec(
+      "elide-dropout,fold-bn,fuse-epilogue,partition-rows:4,"
+      "free-after-last-use");
+  EXPECT_EQ(compiler.pipeline_spec(),
+            "elide_dropout,fold_batch_norm,fuse_epilogue,partition_rows,"
+            "free_after_last_use");
+  EXPECT_THROW(compiler.pipeline_from_spec("no-such-pass"),
+               util::CheckError);
+  EXPECT_THROW(compiler.pipeline_from_spec(""), util::CheckError);
+  EXPECT_THROW(compiler.pipeline_from_spec("fuse-epilogue:3"),
+               util::CheckError);  // takes no arguments
+  EXPECT_THROW(compiler.pipeline_from_spec("partition-rows:x"),
+               util::CheckError);  // bad integer
+}
+
+TEST(Compiler, SpecBuiltPartitionRowsUsesArgsAndSampleShape) {
+  CompiledHarness h(0.9);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::CompileOptions opts;
+  opts.sample_shape = tensor::Shape({12});
+  serve::Compiler compiler(opts);
+  compiler.pipeline_from_spec(
+      "elide-dropout,fold-bn,partition-rows:4:0,free-after-last-use");
+  serve::Plan plan = compiler.plan(h.model, &h.smodel);
+  ASSERT_GT(plan.partitioned_ops, 0u);
+  // ways=4 came through the spec: every partitioned node is a 4-slice
+  // group.
+  EXPECT_EQ(count_kind(plan, serve::PlanOpKind::kRowSlice),
+            4 * plan.partitioned_ops);
+  const auto net = compiler.bind(std::move(plan));
+  const auto x = random_tensor(tensor::Shape({5, 12}), 512);
+  EXPECT_TRUE(net.forward(x).equals(baseline.forward(x)));
+}
+
+TEST(Compiler, RegisterPassExtendsTheSpecNamespace) {
+  class MarkerPass final : public serve::Pass {
+   public:
+    explicit MarkerPass(std::shared_ptr<std::size_t> hits)
+        : hits_(std::move(hits)) {}
+    std::string name() const override { return "test_marker"; }
+    void run(serve::Plan&) const override { ++*hits_; }
+
+   private:
+    std::shared_ptr<std::size_t> hits_;
+  };
+  auto hits = std::make_shared<std::size_t>(0);
+  serve::Compiler::register_pass(
+      "test-marker",
+      [hits](const std::vector<std::string>& args,
+             const serve::CompileOptions&) -> std::unique_ptr<serve::Pass> {
+        EXPECT_EQ(args, (std::vector<std::string>{"7"}));
+        return std::make_unique<MarkerPass>(hits);
+      });
+
+  CompiledHarness h(0.9);
+  serve::Compiler compiler;
+  compiler.pipeline_from_spec(
+      "elide-dropout,fold-bn,test-marker:7,free-after-last-use");
+  EXPECT_EQ(compiler.pipeline_spec(),
+            "elide_dropout,fold_batch_norm,test_marker,free_after_last_use");
+  const auto net = compiler.compile(h.model, &h.smodel);
+  EXPECT_EQ(*hits, 1u);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto x = random_tensor(tensor::Shape({4, 12}), 513);
+  EXPECT_TRUE(net.forward(x).equals(baseline.forward(x)));
 }
 
 }  // namespace

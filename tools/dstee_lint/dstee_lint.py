@@ -23,6 +23,11 @@ that sit a level above the type system:
   kernel-intraop   src/kernels/ never reads runtime::default_pool() or
                    intra_op_default() directly; kernels accept a
                    runtime::IntraOp so the caller owns placement policy.
+  serve-epilogue   src/serve/ never calls the raw activation kernels
+                   (kernels::relu / add_relu / leaky_relu / sigmoid /
+                   tanh) — those are training-path compat wrappers. Eval
+                   ops compose a kernels::Epilogue and apply_epilogue so
+                   activations stay fusable into the producing CSR op.
   hot-swap-rcu     No plain std::shared_ptr<const CompiledNet> MEMBERS
                    (trailing-underscore fields). A hot-swapped version
                    pointer read by workers while a swap publishes tears
@@ -61,6 +66,7 @@ RULES = {
     "unguarded-mutex": "naked std::mutex or util::Mutex with no annotation user",
     "evalop-clone": "EvalOp subclass without a clone() override",
     "kernel-intraop": "kernel reads the process pool instead of IntraOp",
+    "serve-epilogue": "serve code calls a raw activation kernel, not Epilogue",
     "hot-swap-rcu": "shared_ptr<const CompiledNet> member outside util::RcuCell",
     "include-hygiene": "concurrency symbol without its direct #include",
     "unbuilt-source": "src/ .cpp missing from compile_commands.json",
@@ -296,6 +302,25 @@ def scan_kernel_intraop(fs: FileScan, findings: list[Finding]) -> None:
                 "runtime::IntraOp parameter so callers own the policy"))
 
 
+# Raw activation kernels are training-path compat wrappers; the serve
+# layer expresses activations as a kernels::Epilogue (fusable into the
+# producing CSR op) and applies them with apply_epilogue.
+RAW_ACT_RE = re.compile(r"\bkernels::(relu|add_relu|leaky_relu|sigmoid|tanh)\s*\(")
+
+
+def scan_serve_epilogue(fs: FileScan, findings: list[Finding]) -> None:
+    if not fs.rel.startswith("src/serve/"):
+        return
+    for ln, line in enumerate(fs.lines, start=1):
+        m = RAW_ACT_RE.search(line)
+        if m and not fs.is_waived(ln, "serve-epilogue"):
+            findings.append(Finding(
+                fs.path, ln, "serve-epilogue",
+                f"serve code calls kernels::{m.group(1)}() directly; compose "
+                "a kernels::Epilogue and use apply_epilogue so the "
+                "activation stays fusable into the producing CSR op"))
+
+
 # A hot-swap version pointer held as a plain member field. Members follow
 # the repo's trailing-underscore convention, which is what separates a
 # swappable field (must be an RcuCell) from a harmless local snapshot or a
@@ -410,6 +435,7 @@ def main(argv: list[str]) -> int:
         scan_raw_thread(fs, findings)
         scan_unguarded_mutex(fs, findings)
         scan_kernel_intraop(fs, findings)
+        scan_serve_epilogue(fs, findings)
         scan_hot_swap_rcu(fs, findings)
         scan_include_hygiene(fs, findings)
     scan_evalop_clone(scans, findings)

@@ -32,6 +32,7 @@ EXPECTED = sorted([
     ("src/serve/bad_evalop.hpp", "evalop-clone"),         # DirectNoClone
     ("src/serve/bad_mutex.hpp", "unguarded-mutex"),       # naked std::mutex
     ("src/serve/bad_mutex.hpp", "unguarded-mutex"),       # orphan util::Mutex
+    ("src/serve/bad_raw_act.cpp", "serve-epilogue"),      # raw kernels::relu
 ])
 
 FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\]")

@@ -12,9 +12,11 @@
 //
 // --partition-rows K appends the PartitionRows pass: the heaviest CSR
 // nodes split into K cost-balanced row-range slices executed in parallel
-// on the runtime pool (batch-1 latency lever). --dump-plan prints the
-// post-pass plan (op, shape, nnz, FLOPs share, partition annotations)
-// and exits without serving.
+// on the runtime pool (batch-1 latency lever). --passes SPEC rebuilds the
+// whole pipeline from the named pass registry (e.g.
+// "elide-dropout,fold-bn,fuse-epilogue,partition-rows:4"). --dump-plan
+// prints the active pipeline and the post-pass plan (op, shape, nnz,
+// FLOPs share, partition/fusion annotations) and exits without serving.
 //
 // --registry N serves a fleet of N independently-seeded sparse MLPs from
 // one ModelRegistry under mixed open-loop traffic with admission control
@@ -417,9 +419,16 @@ int run(int argc, const char* const* argv) {
       .add_flag("partition-threshold",
                 "FLOPs share above which a CSR op is partitioned",
                 "0.25")
+      .add_flag("passes",
+                "replace the pass pipeline with this comma-separated spec "
+                "(registry names, \":\"-separated args), e.g. "
+                "\"elide-dropout,fold-bn,fuse-epilogue,partition-rows:4\" "
+                "(empty = default pipeline; --partition-rows still appends)",
+                "")
       .add_flag("dump-plan",
-                "print the post-pass compile plan (shapes, nnz, FLOPs "
-                "shares, partitions) and exit without serving",
+                "print the active pass pipeline and the post-pass compile "
+                "plan (shapes, nnz, FLOPs shares, partition/fusion "
+                "annotations) and exit without serving",
                 "false")
       .add_flag("clients", "closed-loop client threads", "4")
       .add_flag("requests",
@@ -478,6 +487,9 @@ int run(int argc, const char* const* argv) {
   serve::CompileOptions copts;
   copts.intra_op_threads =
       static_cast<std::size_t>(args.get_int("intra-op"));
+  // Shape-aware passes built from a --passes spec (partition-rows) need
+  // the per-sample input shape for FLOPs-share costing.
+  copts.sample_shape = m.sample_shape;
 
   std::optional<sparse::SparseModel> smodel;
   if (ckpt.empty()) {
@@ -491,8 +503,11 @@ int run(int argc, const char* const* argv) {
     }
   }
   // The staged compiler: default pipeline (elide dropout, fold BN, free
-  // after last use), plus PartitionRows when requested.
+  // after last use), or a named-registry spec via --passes; the classic
+  // --partition-rows flags still append PartitionRows on top of either.
   serve::Compiler compiler(copts);
+  const std::string pass_spec = args.get_string("passes");
+  if (!pass_spec.empty()) compiler.pipeline_from_spec(pass_spec);
   const std::size_t partition_ways =
       static_cast<std::size_t>(args.get_int("partition-rows"));
   if (partition_ways >= 2) {
@@ -510,7 +525,9 @@ int run(int argc, const char* const* argv) {
   }
   serve::Plan plan = compiler.plan(*m.module, smodel ? &*smodel : nullptr);
   if (args.get_bool("dump-plan")) {
-    // Inspection mode: print the post-pass plan and stop before binding.
+    // Inspection mode: print the active pipeline and the post-pass plan,
+    // then stop before binding.
+    std::cout << "pipeline: " << compiler.pipeline_spec() << "\n";
     std::cout << plan.dump(&m.sample_shape);
     std::cout << "PLAN OK\n";
     return 0;
