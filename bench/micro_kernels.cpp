@@ -3,11 +3,14 @@
 // acquisition score, mask application, and a full engine update round.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <limits>
 #include <memory>
 
 #include "spawn_chunks.hpp"
 #include "kernels/activations.hpp"
 #include "kernels/epilogue.hpp"
+#include "kernels/simd/backend.hpp"
 #include "methods/drop_policy.hpp"
 #include "methods/dst_engine.hpp"
 #include "methods/grow_policy.hpp"
@@ -15,6 +18,7 @@
 #include "nn/conv2d.hpp"
 #include "optim/optimizer.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/qcsr.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/init.hpp"
 #include "tensor/matmul.hpp"
@@ -216,6 +220,141 @@ void BM_CsrSpmmCols(benchmark::State& state) {
   state.counters["density"] = csr.density();
 }
 BENCHMARK(BM_CsrSpmmCols)->Arg(5)->Arg(10)->Arg(50)->Arg(100);
+
+// Kernel-backend dispatch: the same batched SpMM under the scalar
+// reference and the AVX2 backend (and the int8-quantized variant).
+// Args are {batch, fused}: fused == 1 runs the bias+ReLU epilogue in the
+// kernel's output loop, the shape every hidden serve layer has after
+// FuseEpilogue. AVX2 cells are equals-gated against scalar before timing
+// — the backends are bit-identical by contract, so any mismatch is a
+// kernel bug, not noise — and skip cleanly on non-AVX2 hosts.
+sparse::CsrMatrix backend_bench_csr(std::size_t n, double density,
+                                    std::uint64_t seed) {
+  auto w = random_tensor(tensor::Shape({n, n}), seed);
+  util::Rng rng(seed + 1);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (!rng.bernoulli(density)) w[i] = 0.0f;
+  }
+  return sparse::CsrMatrix::from_dense(w);
+}
+
+void run_backend_spmm(benchmark::State& state,
+                      const kernels::simd::KernelBackend* backend) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  const std::size_t n = 1024;
+  const auto csr = backend_bench_csr(n, 0.1, 41);
+  const auto x = random_tensor(tensor::Shape({batch, n}), 42);
+  const auto bias = random_tensor(tensor::Shape({n}), 43);
+  kernels::Epilogue ep;
+  if (fused) {
+    ep.bias = bias.raw();
+    ep.has_act = true;
+    ep.act = kernels::ActKind::kRelu;
+  }
+  if (backend->is_simd) {
+    const auto& scalar = kernels::simd::scalar_backend();
+    if (!csr.spmm(x, {}, ep, backend).equals(csr.spmm(x, {}, ep, &scalar))) {
+      state.SkipWithError("SIMD spmm diverged from scalar reference");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr.spmm(x, {}, ep, backend));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * csr.nnz() * 2));
+  state.counters["density"] = csr.density();
+}
+
+void BM_SpmmScalar(benchmark::State& state) {
+  run_backend_spmm(state, &kernels::simd::scalar_backend());
+}
+BENCHMARK(BM_SpmmScalar)
+    ->Args({1, 0})->Args({8, 0})->Args({32, 0})->Args({8, 1});
+
+void BM_SpmmAvx2(benchmark::State& state) {
+  const auto* avx2 = kernels::simd::avx2_backend();
+  if (avx2 == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  run_backend_spmm(state, avx2);
+}
+BENCHMARK(BM_SpmmAvx2)
+    ->Args({1, 0})->Args({8, 0})->Args({32, 0})->Args({8, 1});
+
+void BM_QSpmmInt8(benchmark::State& state) {
+  // The int8 path under the process-active backend (CPUID pick or the
+  // DSTEE_KERNEL_BACKEND override) — what a quantized serve replica runs.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  const std::size_t n = 1024;
+  const auto q =
+      sparse::QCsrMatrix::quantize(backend_bench_csr(n, 0.1, 41));
+  const auto x = random_tensor(tensor::Shape({batch, n}), 42);
+  const auto bias = random_tensor(tensor::Shape({n}), 43);
+  kernels::Epilogue ep;
+  if (fused) {
+    ep.bias = bias.raw();
+    ep.has_act = true;
+    ep.act = kernels::ActKind::kRelu;
+  }
+  const auto& scalar = kernels::simd::scalar_backend();
+  if (!q.spmm(x, {}, ep).equals(q.spmm(x, {}, ep, &scalar))) {
+    state.SkipWithError("active-backend qspmm diverged from scalar");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.spmm(x, {}, ep));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * q.nnz() * 2));
+  state.counters["density"] = q.density();
+}
+BENCHMARK(BM_QSpmmInt8)
+    ->Args({1, 0})->Args({8, 0})->Args({32, 0})->Args({8, 1});
+
+// The PR's acceptance gate, self-measured: AVX2 must beat scalar by
+// >= 1.5x on the batch-8 fp32 SpMM (the vector width's bread-and-butter
+// shape). Reported as the `speedup_b8` counter; a shortfall fails the
+// bench via SkipWithError. Skips cleanly where AVX2 does not exist.
+void BM_SpmmAvx2SpeedupGate(benchmark::State& state) {
+  const auto* avx2 = kernels::simd::avx2_backend();
+  if (avx2 == nullptr) {
+    state.SkipWithError("AVX2 backend unavailable on this host");
+    return;
+  }
+  const std::size_t n = 1024;
+  const auto csr = backend_bench_csr(n, 0.1, 41);
+  const auto x = random_tensor(tensor::Shape({8, n}), 42);
+  const auto best_seconds = [&](const kernels::simd::KernelBackend* be) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < 20; ++rep) {
+        benchmark::DoNotOptimize(csr.spmm(x, {}, {}, be));
+      }
+      best = std::min(
+          best, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0).count());
+    }
+    return best;
+  };
+  (void)best_seconds(avx2);  // warm both code paths + caches
+  const double scalar_s =
+      best_seconds(&kernels::simd::scalar_backend());
+  const double avx2_s = best_seconds(avx2);
+  const double speedup = scalar_s / avx2_s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr.spmm(x, {}, {}, avx2));
+  }
+  state.counters["speedup_b8"] = speedup;
+  if (speedup < 1.5) {
+    state.SkipWithError("AVX2 spmm below the 1.5x batch-8 gate vs scalar");
+  }
+}
+BENCHMARK(BM_SpmmAvx2SpeedupGate);
 
 // Fan-out mechanism overhead: the persistent runtime pool vs the retired
 // per-call thread spawn, on a body small enough that dispatch dominates —

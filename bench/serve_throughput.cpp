@@ -13,9 +13,11 @@
 // the retired per-call thread spawn at small batches, where spawn
 // latency dominates the kernel — the reason the pool exists; (2)
 // row-range partitioning; (3) epilogue fusion (fused vs unfused
-// pipelines, equals-gated); (4) InferenceServer aggregate throughput
-// across shard counts (replicated CompiledNets, round-robin routing).
-// All land in bench_results/serve_scaling.csv.
+// pipelines, equals-gated); (4) SIMD kernel-backend dispatch and int8
+// quantized serving (equals-/top-1-gated against scalar fp32); (5)
+// InferenceServer aggregate throughput across shard counts (replicated
+// CompiledNets, round-robin routing). All land in
+// bench_results/serve_scaling.csv.
 //
 // DSTEE_SCALE scales the model width; DSTEE_SERVE_MIN_TIME (seconds, default
 // 0.15) controls per-cell measurement time.
@@ -25,6 +27,7 @@
 
 #include "bench_common.hpp"
 #include "spawn_chunks.hpp"
+#include "kernels/simd/backend.hpp"
 #include "models/mlp.hpp"
 #include "models/resnet.hpp"
 #include "models/vgg.hpp"
@@ -429,6 +432,110 @@ void sweep_fusion(const bench::BenchEnv& env, double min_time,
       geomean > 1.0);
 }
 
+/// Kernel-backend dispatch: the same 90%-sparse MLP served under every
+/// backend this host supports (rows `kernel_backend`, backend name in the
+/// shards column) and under the int8-quantized pipeline on the process
+/// default backend (rows `kernel_int8`). Backend cells are equals-gated
+/// against the scalar-bound net — backends are bit-identical by contract;
+/// int8 cells are top-1-gated, since quantization rounds the weights.
+void sweep_kernel_backend(const bench::BenchEnv& env, double min_time,
+                          util::CsvWriter& csv) {
+  models::MlpConfig cfg;
+  cfg.in_features = env.scaled(256, 32);
+  cfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
+  cfg.out_features = 10;
+  util::Rng rng(71);
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel smodel(model, 0.9, sparse::DistributionKind::kErk,
+                             rng);
+  model.set_training(false);
+
+  const auto compile_with = [&](const std::string& backend) {
+    serve::CompileOptions opts;
+    opts.kernel_backend = backend;
+    return serve::CompiledNet::compile(model, &smodel, opts);
+  };
+  const serve::CompiledNet scalar_net = compile_with("scalar");
+  const std::vector<std::size_t> batches = {1, 8, 32};
+
+  std::cout << "kernel backends: 90%-sparse MLP under every supported "
+               "backend (scalar-gated)\n";
+  util::Table table({"backend", "batch", "rows/s", "vs scalar"});
+  std::vector<double> scalar_rates(batches.size(), 0.0);
+  for (const std::string& name : kernels::simd::available_backends()) {
+    const serve::CompiledNet net =
+        name == "scalar" ? scalar_net.clone() : compile_with(name);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const std::size_t batch = batches[i];
+      tensor::Tensor x({batch, cfg.in_features});
+      util::Rng xrng(400 + batch);
+      tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+      util::check(net.forward(x).equals(scalar_net.forward(x)),
+                  "backend '" + name + "' diverged from scalar");
+      const double rate =
+          measure_rows_per_s([&] { net.forward(x); }, batch, min_time);
+      if (name == "scalar") scalar_rates[i] = rate;
+      const double speedup = rate / scalar_rates[i];
+      table.add_row({name, std::to_string(batch),
+                     util::format_fixed(rate, 0),
+                     util::format_fixed(speedup, 2) + "x"});
+      csv.write_row({"kernel_backend", name, "-", std::to_string(batch),
+                     util::format_fixed(scalar_rates[i], 1),
+                     util::format_fixed(rate, 1),
+                     util::format_fixed(speedup, 3)});
+    }
+  }
+
+  serve::Compiler quant;
+  quant.pipeline_from_spec(
+      "elide-dropout,fold-bn,fuse-epilogue,quantize:int8,"
+      "free-after-last-use");
+  const serve::CompiledNet qnet = quant.compile(model, &smodel);
+  util::check(qnet.num_quantized_ops() > 0,
+              "quantize pass produced no int8 ops");
+  const auto top1 = [](const tensor::Tensor& logits, std::size_t batch) {
+    const std::size_t classes = logits.numel() / batch;
+    std::vector<std::size_t> out(batch, 0);
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (logits[n * classes + c] > logits[n * classes + out[n]]) {
+          out[n] = c;
+        }
+      }
+    }
+    return out;
+  };
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const std::size_t batch = batches[i];
+    tensor::Tensor x({batch, cfg.in_features});
+    util::Rng xrng(400 + batch);
+    tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+    util::check(top1(qnet.forward(x), batch) ==
+                    top1(scalar_net.forward(x), batch),
+                "int8 serve changed a probe sample's top-1");
+    const double rate =
+        measure_rows_per_s([&] { qnet.forward(x); }, batch, min_time);
+    table.add_row({"int8 (" +
+                       std::string(kernels::simd::active_backend().name) +
+                       ")",
+                   std::to_string(batch), util::format_fixed(rate, 0),
+                   util::format_fixed(rate / scalar_rates[i], 2) + "x"});
+    csv.write_row({"kernel_int8", kernels::simd::active_backend().name, "-",
+                   std::to_string(batch),
+                   util::format_fixed(scalar_rates[i], 1),
+                   util::format_fixed(rate, 1),
+                   util::format_fixed(rate / scalar_rates[i], 3)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "int8 weight bytes: " << qnet.total_weight_bytes() << " vs "
+            << scalar_net.total_weight_bytes() << " fp32 ("
+            << util::format_fixed(
+                   100.0 * static_cast<double>(qnet.total_weight_bytes()) /
+                       static_cast<double>(scalar_net.total_weight_bytes()),
+                   1)
+            << "%)\n\n";
+}
+
 /// Closed-loop aggregate throughput of the sharded InferenceServer. Each
 /// shard owns a replica and its own worker; shards are the scaling knob.
 double measure_server_rps(const serve::CompiledNet& net,
@@ -758,6 +865,7 @@ int run() {
   sweep_intra_op_pool(min_time, scaling_csv);
   sweep_partition(env, min_time, scaling_csv);
   sweep_fusion(env, min_time, scaling_csv);
+  sweep_kernel_backend(env, min_time, scaling_csv);
   sweep_shards(env, min_time, scaling_csv);
   sweep_hotswap(env, min_time, scaling_csv);
   scaling_csv.flush();

@@ -1,5 +1,6 @@
 #include "kernels/epilogue.hpp"
 
+#include "kernels/simd/backend.hpp"
 #include "util/check.hpp"
 
 namespace dstee::kernels {
@@ -15,25 +16,27 @@ constexpr std::size_t kElemGrain = 1u << 12;
 }  // namespace
 
 void apply_epilogue(const float* in, float* out, std::size_t numel,
-                    const Epilogue& ep, const runtime::IntraOp& intra) {
+                    const Epilogue& ep, const runtime::IntraOp& intra,
+                    const simd::KernelBackend* backend) {
   util::check(ep.bias == nullptr,
               "apply_epilogue over a flat range has no row structure for "
               "a bias; fold the bias in the producing kernel instead");
-  const float* res = ep.residual;
+  // The chunk body dispatches to the requested (or active) kernel
+  // backend; backends are bit-identical, so the result still doesn't
+  // depend on chunk count or dispatch choice.
+  const simd::KernelBackend& be =
+      backend != nullptr ? *backend : simd::active_backend();
   runtime::intra_chunks(
       intra, numel, kElemGrain, [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          float v = in[i];
-          if (res != nullptr) v += res[i];
-          out[i] = ep.activate(v);
-        }
+        be.epilogue_range(in, out, i0, i1, ep);
       });
 }
 
 tensor::Tensor apply_epilogue(const tensor::Tensor& x, const Epilogue& ep,
-                              const runtime::IntraOp& intra) {
+                              const runtime::IntraOp& intra,
+                              const simd::KernelBackend* backend) {
   tensor::Tensor y(x.shape());
-  apply_epilogue(x.raw(), y.raw(), x.numel(), ep, intra);
+  apply_epilogue(x.raw(), y.raw(), x.numel(), ep, intra, backend);
   return y;
 }
 

@@ -26,6 +26,10 @@
 #include "runtime/pool.hpp"
 #include "tensor/tensor.hpp"
 
+namespace dstee::kernels::simd {
+struct KernelBackend;
+}  // namespace dstee::kernels::simd
+
 namespace dstee::kernels {
 
 /// Activation applied by an epilogue (and by the Plan IR's activation
@@ -87,11 +91,15 @@ struct Epilogue {
 /// count. The activation kernels in activations.hpp are thin wrappers
 /// over this (plus their training-only backward-mask variants); serve/
 /// EvalOps call it directly rather than the per-activation entry points.
+/// `backend` selects a kernel backend explicitly; nullptr uses the
+/// process-wide simd::active_backend().
 void apply_epilogue(const float* in, float* out, std::size_t numel,
-                    const Epilogue& ep, const runtime::IntraOp& intra = {});
+                    const Epilogue& ep, const runtime::IntraOp& intra = {},
+                    const simd::KernelBackend* backend = nullptr);
 
 /// Tensor convenience: returns act(x + residual) as a fresh tensor.
 tensor::Tensor apply_epilogue(const tensor::Tensor& x, const Epilogue& ep,
-                              const runtime::IntraOp& intra = {});
+                              const runtime::IntraOp& intra = {},
+                              const simd::KernelBackend* backend = nullptr);
 
 }  // namespace dstee::kernels

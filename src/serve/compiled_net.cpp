@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "kernels/simd/backend.hpp"
 #include "serve/passes.hpp"
 #include "train/checkpoint.hpp"
+#include "util/check.hpp"
 #include "util/string_util.hpp"
 
 namespace dstee::serve {
@@ -30,11 +32,24 @@ CompiledNet CompiledNet::bind(Plan&& plan, const CompileOptions& options) {
   net.residual_joins_ = plan.residual_joins;
   net.partitioned_ops_ = plan.partitioned_ops;
   net.fused_ops_ = plan.fused_ops;
+  net.quantized_ops_ = plan.quantized_ops;
   net.total_nnz_ = plan.total_nnz;
   net.total_weights_ = plan.total_weights;
+  net.total_weight_bytes_ = plan.total_weight_bytes();
+  // An empty backend name defers every kernel call to the process-wide
+  // active backend; a named one is resolved here, once, and pinned into
+  // the bound ops (unknown/unsupported names fail loudly).
+  const kernels::simd::KernelBackend* backend = nullptr;
+  if (!options.kernel_backend.empty()) {
+    backend = kernels::simd::find_backend(options.kernel_backend);
+    util::check(backend != nullptr,
+                "unknown or unsupported kernel backend '" +
+                    options.kernel_backend + "'");
+  }
   net.exec_ = Executor::bind(
       std::move(plan),
-      runtime::IntraOp{options.intra_op_threads, options.intra_op_pool});
+      runtime::IntraOp{options.intra_op_threads, options.intra_op_pool},
+      backend);
   return net;
 }
 
@@ -46,13 +61,15 @@ CompiledNet CompiledNet::clone() const {
   copy.residual_joins_ = residual_joins_;
   copy.partitioned_ops_ = partitioned_ops_;
   copy.fused_ops_ = fused_ops_;
+  copy.quantized_ops_ = quantized_ops_;
   copy.total_nnz_ = total_nnz_;
   copy.total_weights_ = total_weights_;
+  copy.total_weight_bytes_ = total_weight_bytes_;
   return copy;
 }
 
 CompiledNet CompiledNet::clone_shared(
-    const std::unordered_set<const sparse::CsrMatrix*>& shared) const {
+    const std::unordered_set<const void*>& shared) const {
   CompiledNet copy;
   copy.exec_ = exec_.clone_shared(shared);
   copy.sparse_ops_ = sparse_ops_;
@@ -60,8 +77,10 @@ CompiledNet CompiledNet::clone_shared(
   copy.residual_joins_ = residual_joins_;
   copy.partitioned_ops_ = partitioned_ops_;
   copy.fused_ops_ = fused_ops_;
+  copy.quantized_ops_ = quantized_ops_;
   copy.total_nnz_ = total_nnz_;
   copy.total_weights_ = total_weights_;
+  copy.total_weight_bytes_ = total_weight_bytes_;
   return copy;
 }
 
@@ -97,6 +116,10 @@ std::string CompiledNet::summary() const {
   }
   if (fused_ops_ > 0) {
     out += ", " + std::to_string(fused_ops_) + " fused";
+  }
+  if (quantized_ops_ > 0) {
+    out += ", " + std::to_string(quantized_ops_) + " int8 (" +
+           std::to_string(total_weight_bytes_) + " weight bytes)";
   }
   out += "\n";
   out += exec_.describe_ops();

@@ -56,6 +56,11 @@ struct CompileOptions {
   /// from a pipeline spec — partition_rows uses it for per-node FLOPs
   /// shares; rank 0 falls back to nnz shares.
   tensor::Shape sample_shape{};
+  /// Kernel backend name for every bound op ("scalar", "avx2"); empty
+  /// defers each kernel call to kernels::simd::active_backend() (CPUID
+  /// pick, overridable via DSTEE_KERNEL_BACKEND). Unknown or unsupported
+  /// names fail loudly at bind time.
+  std::string kernel_backend;
 };
 
 /// An immutable, thread-safe inference program compiled from a model.
@@ -104,7 +109,7 @@ class CompiledNet {
   /// with the version it replaces — a deliberate, bounded relaxation of
   /// full replica isolation that makes patch swaps O(touched weights).
   CompiledNet clone_shared(
-      const std::unordered_set<const sparse::CsrMatrix*>& shared) const;
+      const std::unordered_set<const void*>& shared) const;
 
   const Executor& executor() const { return exec_; }
 
@@ -117,6 +122,11 @@ class CompiledNet {
   std::size_t num_partitioned_ops() const { return partitioned_ops_; }
   /// CSR nodes FuseEpilogue annotated with a fused activation/residual.
   std::size_t num_fused_ops() const { return fused_ops_; }
+  /// CSR nodes QuantizeWeights rewrote to int8 weights.
+  std::size_t num_quantized_ops() const { return quantized_ops_; }
+  /// Weight bytes a replica streams (distinct matrices; see
+  /// Plan::total_weight_bytes) — the memory lever int8 quantization moves.
+  std::size_t total_weight_bytes() const { return total_weight_bytes_; }
   /// Slice groups the executor fans out in parallel.
   std::size_t num_parallel_groups() const {
     return exec_.num_parallel_groups();
@@ -150,8 +160,10 @@ class CompiledNet {
   std::size_t residual_joins_ = 0;
   std::size_t partitioned_ops_ = 0;
   std::size_t fused_ops_ = 0;
+  std::size_t quantized_ops_ = 0;
   std::size_t total_nnz_ = 0;
   std::size_t total_weights_ = 0;
+  std::size_t total_weight_bytes_ = 0;
 };
 
 }  // namespace dstee::serve

@@ -11,6 +11,7 @@
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
+#include "sparse/qcsr.hpp"
 #include "util/check.hpp"
 
 namespace dstee::serve {
@@ -516,7 +517,15 @@ PlanPatch apply_delta_to_plan(const Plan& base_plan,
           (op.bn_ordinal >= mods.bns.size() || bn_touched[op.bn_ordinal] != 0);
       if (sites[s].touched || refold) {
         RebuiltWeights r = rebuild(s, op.folded_bn, op.bn_ordinal);
-        op.csr = std::move(r.csr);
+        if (op.qcsr != nullptr) {
+          // A quantized node stays quantized across a patch: re-quantize
+          // the rebuilt fp32 weights, exactly what a full recompile with
+          // the same pipeline (… , quantize:int8) would produce.
+          op.qcsr = std::make_shared<sparse::QCsrMatrix>(
+              sparse::QCsrMatrix::quantize(*r.csr));
+        } else {
+          op.csr = std::move(r.csr);
+        }
         op.bias = std::move(r.bias);
         op.has_bias = r.has_bias;
         ++out.patched_weight_nodes;
@@ -546,12 +555,25 @@ PlanPatch apply_delta_to_plan(const Plan& base_plan,
       if (sites[s].touched || refold) {
         RebuiltWeights r = rebuild(s, op.folded_bn, op.bn_ordinal);
         // Re-split against the rebuilt matrix, exactly as PartitionRows
-        // would on a full recompile with the same `ways`.
+        // would on a full recompile with the same `ways` (the quantized
+        // split is identical — quantization preserves the sparsity
+        // pattern, and the splits balance stored-nonzero counts).
         const std::vector<std::size_t> bounds =
             r.csr->balanced_row_splits(count);
+        // A quantized group re-quantizes the rebuilt parent ONCE and
+        // every slice shares it, mirroring QuantizeWeights' memoization.
+        std::shared_ptr<sparse::QCsrMatrix> q;
+        if (op.qcsr != nullptr) {
+          q = std::make_shared<sparse::QCsrMatrix>(
+              sparse::QCsrMatrix::quantize(*r.csr));
+        }
         for (std::size_t k = 0; k < count; ++k) {
           PlanOp& slice = plan.ops[i + k];
-          slice.csr = r.csr;  // all slices view the one rebuilt matrix
+          if (q != nullptr) {
+            slice.qcsr = q;  // all slices view the one rebuilt matrix
+          } else {
+            slice.csr = r.csr;
+          }
           slice.row_begin = bounds[k];
           slice.row_end = bounds[k + 1];
           slice.has_bias = r.has_bias;
@@ -586,12 +608,15 @@ PlanPatch apply_delta_to_plan(const Plan& base_plan,
 
   if (out.patched_weight_nodes > 0) {
     // Refresh the model-wide nnz counter: distinct matrices only (a
-    // partition group shares one).
-    std::unordered_set<const sparse::CsrMatrix*> seen;
+    // partition group shares one), fp32 and quantized alike.
+    std::unordered_set<const void*> seen;
     std::size_t nnz = 0;
     for (const PlanOp& op : plan.ops) {
       if (op.csr != nullptr && seen.insert(op.csr.get()).second) {
         nnz += op.csr->nnz();
+      }
+      if (op.qcsr != nullptr && seen.insert(op.qcsr.get()).second) {
+        nnz += op.qcsr->nnz();
       }
     }
     plan.total_nnz = nnz;

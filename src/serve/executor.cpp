@@ -1,5 +1,6 @@
 #include "serve/executor.hpp"
 
+#include <type_traits>
 #include <utility>
 
 #include "kernels/epilogue.hpp"
@@ -18,6 +19,18 @@ std::shared_ptr<const sparse::CsrMatrix> CloneContext::dup(
   if (it == copies_.end()) {
     it = copies_.emplace(csr.get(),
                          std::make_shared<const sparse::CsrMatrix>(*csr))
+             .first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const sparse::QCsrMatrix> CloneContext::dup(
+    const std::shared_ptr<const sparse::QCsrMatrix>& qcsr) {
+  if (share_ != nullptr && share_->count(qcsr.get()) > 0) return qcsr;
+  auto it = qcopies_.find(qcsr.get());
+  if (it == qcopies_.end()) {
+    it = qcopies_.emplace(qcsr.get(),
+                          std::make_shared<const sparse::QCsrMatrix>(*qcsr))
              .first;
   }
   return it->second;
@@ -64,17 +77,31 @@ const char* act_name(ActKind act) {
 /// folded-BN marker, and the FuseEpilogue annotation the op lowers into
 /// a kernels::Epilogue (folding and fusion both happen at the plan
 /// level, before binding — see serve::FoldBatchNorm / serve::FuseEpilogue).
+///
+/// Templated over the weight type: M is sparse::CsrMatrix (fp32) or
+/// sparse::QCsrMatrix (int8 + per-row scales, from QuantizeWeights). The
+/// two expose the same kernel surface, so one op body serves both; FLOPs
+/// stay nnz-based either way (an int8 multiply-accumulate counts like an
+/// fp32 one — quantization moves bytes, not operation counts). The op
+/// also pins the kernel backend chosen at bind time (nullptr = defer
+/// each call to the process-wide active backend).
+template <typename M>
 class CsrOp : public EvalOp {
  public:
-  CsrOp(std::shared_ptr<const sparse::CsrMatrix> csr, tensor::Tensor bias,
-        bool has_bias, bool folded_bn, PlanEpilogue pe)
+  static constexpr bool kQuantized =
+      std::is_same_v<M, sparse::QCsrMatrix>;
+
+  CsrOp(std::shared_ptr<const M> csr, tensor::Tensor bias, bool has_bias,
+        bool folded_bn, PlanEpilogue pe,
+        const kernels::simd::KernelBackend* backend)
       : csr_(std::move(csr)),
         bias_(std::move(bias)),
         has_bias_(has_bias),
         folded_bn_(folded_bn),
-        pe_(pe) {}
+        pe_(pe),
+        backend_(backend) {}
 
-  const sparse::CsrMatrix& csr() const { return *csr_; }
+  const M& csr() const { return *csr_; }
 
   /// A residual-fused CSR op consumes the residual as its second input.
   std::size_t arity() const override { return pe_.add_residual ? 2 : 1; }
@@ -118,24 +145,32 @@ class CsrOp : public EvalOp {
   std::string csr_suffix() const {
     return "nnz=" + std::to_string(csr_->nnz()) + ", density=" +
            util::format_fixed(csr_->density() * 100.0, 1) + "%" +
-           (folded_bn_ ? ", +bn" : "") + fused_suffix() + ")";
+           (kQuantized ? ", int8" : "") + (folded_bn_ ? ", +bn" : "") +
+           fused_suffix() + ")";
   }
 
-  std::shared_ptr<const sparse::CsrMatrix> csr_;
+  std::shared_ptr<const M> csr_;
   tensor::Tensor bias_;
   bool has_bias_;
   bool folded_bn_;
   PlanEpilogue pe_;
+  const kernels::simd::KernelBackend* backend_;
 };
 
 /// CSR Linear: y = act(spmm(x) + bias + residual) — bias and the fused
 /// epilogue are applied inside the SpMM output loop.
-class SpmmOp final : public CsrOp {
+template <typename M>
+class SpmmOp final : public CsrOp<M> {
+  using Base = CsrOp<M>;
+  using Base::backend_;
+  using Base::csr_;
+
  public:
-  SpmmOp(std::shared_ptr<const sparse::CsrMatrix> csr, tensor::Tensor bias,
-         bool has_bias, bool folded_bn, PlanEpilogue pe,
-         runtime::IntraOp intra)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
+  SpmmOp(std::shared_ptr<const M> csr, tensor::Tensor bias, bool has_bias,
+         bool folded_bn, PlanEpilogue pe, runtime::IntraOp intra,
+         const kernels::simd::KernelBackend* backend)
+      : Base(std::move(csr), std::move(bias), has_bias, folded_bn, pe,
+             backend),
         intra_(intra) {}
 
   std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
@@ -145,7 +180,7 @@ class SpmmOp final : public CsrOp {
   }
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
-    return csr_->spmm(x, intra_, make_ep(nullptr, 0));
+    return csr_->spmm(x, intra_, this->make_ep(nullptr, 0), backend_);
   }
 
   tensor::Tensor run2(const tensor::Tensor& x,
@@ -153,12 +188,13 @@ class SpmmOp final : public CsrOp {
     util::check(residual.rank() == 2 && residual.dim(0) == x.dim(0) &&
                     residual.dim(1) == csr_->rows(),
                 "fused spmm residual shape mismatch");
-    return csr_->spmm(x, intra_, make_ep(residual.raw(), csr_->rows()));
+    return csr_->spmm(x, intra_,
+                      this->make_ep(residual.raw(), csr_->rows()), backend_);
   }
 
   std::string describe() const override {
     return "spmm(" + std::to_string(csr_->rows()) + "x" +
-           std::to_string(csr_->cols()) + ", " + csr_suffix();
+           std::to_string(csr_->cols()) + ", " + this->csr_suffix();
   }
 
   tensor::Shape out_shape(const tensor::Shape& in) const override {
@@ -167,12 +203,12 @@ class SpmmOp final : public CsrOp {
 
   double flops(const tensor::Shape& in) const override {
     return sparse::linear_nnz_flops(csr_->nnz(), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) * csr_->rows()));
+           this->ep_flops(static_cast<double>(in.dim(0) * csr_->rows()));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
     return sparse::linear_nnz_flops(csr_->rows() * csr_->cols(), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) * csr_->rows()));
+           this->ep_flops(static_cast<double>(in.dim(0) * csr_->rows()));
   }
 
  private:
@@ -204,13 +240,19 @@ tensor::ConvGeometry conv_geometry_for(std::size_t in_channels,
 /// masked weight viewed as [Cout, Cin·K·K] — the exact lowering
 /// nn::Conv2d uses densely, so a masked checkpoint deploys its trained
 /// topology bit-for-bit.
-class ConvOp final : public CsrOp {
+template <typename M>
+class ConvOp final : public CsrOp<M> {
+  using Base = CsrOp<M>;
+  using Base::backend_;
+  using Base::csr_;
+
  public:
-  ConvOp(std::shared_ptr<const sparse::CsrMatrix> csr,
-         std::size_t in_channels, std::size_t kernel, std::size_t stride,
-         std::size_t padding, tensor::Tensor bias, bool has_bias,
-         bool folded_bn, PlanEpilogue pe, runtime::IntraOp intra)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
+  ConvOp(std::shared_ptr<const M> csr, std::size_t in_channels,
+         std::size_t kernel, std::size_t stride, std::size_t padding,
+         tensor::Tensor bias, bool has_bias, bool folded_bn, PlanEpilogue pe,
+         runtime::IntraOp intra, const kernels::simd::KernelBackend* backend)
+      : Base(std::move(csr), std::move(bias), has_bias, folded_bn, pe,
+             backend),
         in_channels_(in_channels),
         kernel_(kernel),
         stride_(stride),
@@ -239,7 +281,7 @@ class ConvOp final : public CsrOp {
     return "spconv(" + std::to_string(in_channels_) + "->" +
            std::to_string(csr_->rows()) + ", k" + std::to_string(kernel_) +
            ", s" + std::to_string(stride_) + ", p" +
-           std::to_string(padding_) + ", " + csr_suffix();
+           std::to_string(padding_) + ", " + this->csr_suffix();
   }
 
   tensor::Shape out_shape(const tensor::Shape& in) const override {
@@ -253,8 +295,8 @@ class ConvOp final : public CsrOp {
         in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
     return sparse::conv_nnz_flops(csr_->nnz(), g.out_h(), g.out_w(),
                                   in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) * csr_->rows() *
-                                        g.out_h() * g.out_w()));
+           this->ep_flops(static_cast<double>(in.dim(0) * csr_->rows() *
+                                              g.out_h() * g.out_w()));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
@@ -262,8 +304,8 @@ class ConvOp final : public CsrOp {
         in_channels_, kernel_, stride_, padding_, in.dim(2), in.dim(3));
     return sparse::conv_nnz_flops(csr_->rows() * csr_->cols(), g.out_h(),
                                   g.out_w(), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) * csr_->rows() *
-                                        g.out_h() * g.out_w()));
+           this->ep_flops(static_cast<double>(in.dim(0) * csr_->rows() *
+                                              g.out_h() * g.out_w()));
   }
 
  private:
@@ -293,7 +335,7 @@ class ConvOp final : public CsrOp {
         const float* res =
             res_base != nullptr ? res_base + n * out_image_elems : nullptr;
         csr_->spmm_cols_into(cols, y.raw() + n * out_image_elems,
-                             make_ep(res, 0));
+                             this->make_ep(res, 0), backend_);
       }
     });
     return y;
@@ -381,13 +423,20 @@ class Im2colOp final : public EvalOp {
 /// is zero-copy over the shared parent matrix; the bias was sliced at the
 /// plan level. Slice kernels run inline — the partition group fan-out IS
 /// the parallelism.
-class RowSliceSpmmOp final : public CsrOp {
+template <typename M>
+class RowSliceSpmmOp final : public CsrOp<M> {
+  using Base = CsrOp<M>;
+  using Base::backend_;
+  using Base::csr_;
+  using Base::folded_bn_;
+
  public:
-  RowSliceSpmmOp(std::shared_ptr<const sparse::CsrMatrix> csr,
-                 std::size_t row_begin, std::size_t row_end,
-                 tensor::Tensor bias, bool has_bias, bool folded_bn,
-                 PlanEpilogue pe)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
+  RowSliceSpmmOp(std::shared_ptr<const M> csr, std::size_t row_begin,
+                 std::size_t row_end, tensor::Tensor bias, bool has_bias,
+                 bool folded_bn, PlanEpilogue pe,
+                 const kernels::simd::KernelBackend* backend)
+      : Base(std::move(csr), std::move(bias), has_bias, folded_bn, pe,
+             backend),
         row_begin_(row_begin),
         row_end_(row_end) {}
 
@@ -399,7 +448,7 @@ class RowSliceSpmmOp final : public CsrOp {
 
   tensor::Tensor run(const tensor::Tensor& x) const override {
     return csr_->row_slice(row_begin_, row_end_)
-        .spmm(x, {}, make_ep(nullptr, 0));
+        .spmm(x, {}, this->make_ep(nullptr, 0), backend_);
   }
 
   tensor::Tensor run2(const tensor::Tensor& x,
@@ -411,7 +460,9 @@ class RowSliceSpmmOp final : public CsrOp {
                     residual.dim(1) == csr_->rows(),
                 "fused row_slice residual shape mismatch");
     return csr_->row_slice(row_begin_, row_end_)
-        .spmm(x, {}, make_ep(residual.raw() + row_begin_, csr_->rows()));
+        .spmm(x, {},
+              this->make_ep(residual.raw() + row_begin_, csr_->rows()),
+              backend_);
   }
 
   std::string describe() const override {
@@ -420,7 +471,8 @@ class RowSliceSpmmOp final : public CsrOp {
            ", " +
            "nnz=" +
            std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
-           (folded_bn_ ? ", +bn" : "") + fused_suffix() + ")";
+           (Base::kQuantized ? ", int8" : "") + (folded_bn_ ? ", +bn" : "") +
+           this->fused_suffix() + ")";
   }
 
   tensor::Shape out_shape(const tensor::Shape& in) const override {
@@ -430,15 +482,15 @@ class RowSliceSpmmOp final : public CsrOp {
   double flops(const tensor::Shape& in) const override {
     return sparse::linear_nnz_flops(
                csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) *
-                                        (row_end_ - row_begin_)));
+           this->ep_flops(static_cast<double>(in.dim(0) *
+                                              (row_end_ - row_begin_)));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
     return sparse::linear_nnz_flops(
                (row_end_ - row_begin_) * csr_->cols(), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) *
-                                        (row_end_ - row_begin_)));
+           this->ep_flops(static_cast<double>(in.dim(0) *
+                                              (row_end_ - row_begin_)));
   }
 
  private:
@@ -449,13 +501,20 @@ class RowSliceSpmmOp final : public CsrOp {
 /// Output channels [row_begin, row_end) of a partitioned conv, reading
 /// the shared Im2colOp patch buffer [N, P, OH, OW] — the patches are
 /// computed once and every slice streams them.
-class RowSliceConvOp final : public CsrOp {
+template <typename M>
+class RowSliceConvOp final : public CsrOp<M> {
+  using Base = CsrOp<M>;
+  using Base::backend_;
+  using Base::csr_;
+  using Base::folded_bn_;
+
  public:
-  RowSliceConvOp(std::shared_ptr<const sparse::CsrMatrix> csr,
-                 std::size_t row_begin, std::size_t row_end,
-                 tensor::Tensor bias, bool has_bias, bool folded_bn,
-                 PlanEpilogue pe)
-      : CsrOp(std::move(csr), std::move(bias), has_bias, folded_bn, pe),
+  RowSliceConvOp(std::shared_ptr<const M> csr, std::size_t row_begin,
+                 std::size_t row_end, tensor::Tensor bias, bool has_bias,
+                 bool folded_bn, PlanEpilogue pe,
+                 const kernels::simd::KernelBackend* backend)
+      : Base(std::move(csr), std::move(bias), has_bias, folded_bn, pe,
+             backend),
         row_begin_(row_begin),
         row_end_(row_end) {}
 
@@ -486,7 +545,8 @@ class RowSliceConvOp final : public CsrOp {
            std::to_string(row_end_) + " of " + std::to_string(csr_->rows()) +
            ", conv, nnz=" +
            std::to_string(csr_->row_slice(row_begin_, row_end_).nnz()) +
-           (folded_bn_ ? ", +bn" : "") + fused_suffix() + ")";
+           (Base::kQuantized ? ", int8" : "") + (folded_bn_ ? ", +bn" : "") +
+           this->fused_suffix() + ")";
   }
 
   tensor::Shape out_shape(const tensor::Shape& in) const override {
@@ -498,17 +558,17 @@ class RowSliceConvOp final : public CsrOp {
     return sparse::conv_nnz_flops(
                csr_->row_slice(row_begin_, row_end_).nnz(), in.dim(2),
                in.dim(3), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) *
-                                        (row_end_ - row_begin_) *
-                                        in.dim(2) * in.dim(3)));
+           this->ep_flops(static_cast<double>(in.dim(0) *
+                                              (row_end_ - row_begin_) *
+                                              in.dim(2) * in.dim(3)));
   }
 
   double dense_flops(const tensor::Shape& in) const override {
     return sparse::conv_nnz_flops((row_end_ - row_begin_) * csr_->cols(),
                                   in.dim(2), in.dim(3), in.dim(0)) +
-           ep_flops(static_cast<double>(in.dim(0) *
-                                        (row_end_ - row_begin_) *
-                                        in.dim(2) * in.dim(3)));
+           this->ep_flops(static_cast<double>(in.dim(0) *
+                                              (row_end_ - row_begin_) *
+                                              in.dim(2) * in.dim(3)));
   }
 
  private:
@@ -518,7 +578,7 @@ class RowSliceConvOp final : public CsrOp {
                 "conv row_slice expects the [N, Cin*K*K, OH, OW] patch "
                 "buffer, got " +
                     x.shape().to_string());
-    const sparse::CsrRowSlice slice = csr_->row_slice(row_begin_, row_end_);
+    const auto slice = csr_->row_slice(row_begin_, row_end_);
     const std::size_t batch = x.dim(0);
     const std::size_t oh = x.dim(2), ow = x.dim(3);
     const std::size_t positions = oh * ow;
@@ -533,7 +593,7 @@ class RowSliceConvOp final : public CsrOp {
               : nullptr;
       slice.spmm_cols_into(x.raw() + n * patch * positions, positions,
                            y.raw() + n * slice.rows() * positions,
-                           make_ep(res, 0));
+                           this->make_ep(res, 0), backend_);
     }
     return y;
   }
@@ -613,7 +673,9 @@ class ConcatChannelsOp final : public EvalOp {
 /// models::ResidualBlock's add-then-activate tail.
 class AddOp final : public EvalOp {
  public:
-  AddOp(bool relu, runtime::IntraOp intra) : relu_(relu), intra_(intra) {}
+  AddOp(bool relu, runtime::IntraOp intra,
+        const kernels::simd::KernelBackend* backend)
+      : relu_(relu), intra_(intra), backend_(backend) {}
 
   std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
     (void)ctx;
@@ -630,7 +692,7 @@ class AddOp final : public EvalOp {
     kernels::Epilogue ep;
     ep.residual = b.raw();
     ep.has_act = relu_;
-    return kernels::apply_epilogue(a, ep, intra_);
+    return kernels::apply_epilogue(a, ep, intra_, backend_);
   }
 
   std::string describe() const override {
@@ -640,6 +702,7 @@ class AddOp final : public EvalOp {
  private:
   bool relu_;
   runtime::IntraOp intra_;
+  const kernels::simd::KernelBackend* backend_;
 };
 
 /// Eval-mode batch-norm not folded into a CSR op: y = x·scale + shift per
@@ -689,9 +752,9 @@ class ScaleShiftOp final : public EvalOp {
 
 class ActivationOp final : public EvalOp {
  public:
-  explicit ActivationOp(ActKind kind, runtime::IntraOp intra,
-                        float slope = 0.0f)
-      : kind_(kind), slope_(slope), intra_(intra) {}
+  ActivationOp(ActKind kind, runtime::IntraOp intra, float slope,
+               const kernels::simd::KernelBackend* backend)
+      : kind_(kind), slope_(slope), intra_(intra), backend_(backend) {}
 
   std::unique_ptr<EvalOp> clone(CloneContext& ctx) const override {
     (void)ctx;
@@ -703,7 +766,7 @@ class ActivationOp final : public EvalOp {
     ep.has_act = true;
     ep.act = kind_;
     ep.slope = slope_;
-    return kernels::apply_epilogue(x, ep, intra_);
+    return kernels::apply_epilogue(x, ep, intra_, backend_);
   }
 
   std::string describe() const override { return act_name(kind_); }
@@ -712,6 +775,7 @@ class ActivationOp final : public EvalOp {
   ActKind kind_;
   float slope_;
   runtime::IntraOp intra_;
+  const kernels::simd::KernelBackend* backend_;
 };
 
 /// Eval-time dropout when ElideDropout was disabled: inverted dropout is
@@ -831,29 +895,52 @@ class GlobalAvgPoolOp final : public EvalOp {
   runtime::IntraOp intra_;
 };
 
-std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra) {
+std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra,
+                                const kernels::simd::KernelBackend* backend) {
   switch (op.kind) {
     case PlanOpKind::kSpmm:
-      return std::make_unique<SpmmOp>(std::move(op.csr), std::move(op.bias),
-                                      op.has_bias, op.folded_bn, op.epilogue,
-                                      intra);
+      if (op.qcsr != nullptr) {
+        return std::make_unique<SpmmOp<sparse::QCsrMatrix>>(
+            std::move(op.qcsr), std::move(op.bias), op.has_bias,
+            op.folded_bn, op.epilogue, intra, backend);
+      }
+      return std::make_unique<SpmmOp<sparse::CsrMatrix>>(
+          std::move(op.csr), std::move(op.bias), op.has_bias, op.folded_bn,
+          op.epilogue, intra, backend);
     case PlanOpKind::kConv:
-      return std::make_unique<ConvOp>(std::move(op.csr), op.in_channels,
-                                      op.kernel, op.stride, op.padding,
-                                      std::move(op.bias), op.has_bias,
-                                      op.folded_bn, op.epilogue, intra);
+      if (op.qcsr != nullptr) {
+        return std::make_unique<ConvOp<sparse::QCsrMatrix>>(
+            std::move(op.qcsr), op.in_channels, op.kernel, op.stride,
+            op.padding, std::move(op.bias), op.has_bias, op.folded_bn,
+            op.epilogue, intra, backend);
+      }
+      return std::make_unique<ConvOp<sparse::CsrMatrix>>(
+          std::move(op.csr), op.in_channels, op.kernel, op.stride,
+          op.padding, std::move(op.bias), op.has_bias, op.folded_bn,
+          op.epilogue, intra, backend);
     case PlanOpKind::kIm2col:
       return std::make_unique<Im2colOp>(op.in_channels, op.kernel, op.stride,
                                         op.padding, intra);
     case PlanOpKind::kRowSlice:
       if (op.conv_slice) {
-        return std::make_unique<RowSliceConvOp>(
+        if (op.qcsr != nullptr) {
+          return std::make_unique<RowSliceConvOp<sparse::QCsrMatrix>>(
+              std::move(op.qcsr), op.row_begin, op.row_end,
+              std::move(op.bias), op.has_bias, op.folded_bn, op.epilogue,
+              backend);
+        }
+        return std::make_unique<RowSliceConvOp<sparse::CsrMatrix>>(
             std::move(op.csr), op.row_begin, op.row_end, std::move(op.bias),
-            op.has_bias, op.folded_bn, op.epilogue);
+            op.has_bias, op.folded_bn, op.epilogue, backend);
       }
-      return std::make_unique<RowSliceSpmmOp>(
+      if (op.qcsr != nullptr) {
+        return std::make_unique<RowSliceSpmmOp<sparse::QCsrMatrix>>(
+            std::move(op.qcsr), op.row_begin, op.row_end, std::move(op.bias),
+            op.has_bias, op.folded_bn, op.epilogue, backend);
+      }
+      return std::make_unique<RowSliceSpmmOp<sparse::CsrMatrix>>(
           std::move(op.csr), op.row_begin, op.row_end, std::move(op.bias),
-          op.has_bias, op.folded_bn, op.epilogue);
+          op.has_bias, op.folded_bn, op.epilogue, backend);
     case PlanOpKind::kConcatChannels: {
       // Total channels = sum of slice row counts, known statically.
       return std::make_unique<ConcatChannelsOp>(op.row_end - op.row_begin);
@@ -862,7 +949,8 @@ std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra) {
       return std::make_unique<ScaleShiftOp>(std::move(op.scale),
                                             std::move(op.shift), op.rank4);
     case PlanOpKind::kActivation:
-      return std::make_unique<ActivationOp>(op.act, intra, op.slope);
+      return std::make_unique<ActivationOp>(op.act, intra, op.slope,
+                                            backend);
     case PlanOpKind::kDropout:
       return std::make_unique<IdentityDropoutOp>();
     case PlanOpKind::kFlatten:
@@ -875,14 +963,15 @@ std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra) {
     case PlanOpKind::kGlobalAvgPool:
       return std::make_unique<GlobalAvgPoolOp>(intra);
     case PlanOpKind::kAdd:
-      return std::make_unique<AddOp>(op.relu_after_add, intra);
+      return std::make_unique<AddOp>(op.relu_after_add, intra, backend);
   }
   util::fail("unreachable plan op kind");
 }
 
 }  // namespace
 
-Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra) {
+Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra,
+                        const kernels::simd::KernelBackend* backend) {
   plan.validate();
   Executor exec;
   exec.intra_ = intra;
@@ -898,7 +987,8 @@ Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra) {
         head.kind == PlanOpKind::kSpmm ||
         (head.kind == PlanOpKind::kRowSlice && !head.conv_slice);
     if (linear_head && head.inputs.front() == Plan::kInputId) {
-      exec.input_features_ = head.csr->cols();
+      exec.input_features_ =
+          head.csr != nullptr ? head.csr->cols() : head.qcsr->cols();
     }
   }
 
@@ -938,7 +1028,8 @@ Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra) {
   for (std::size_t i = 0; i < plan.ops.size(); ++i) {
     PlanOp& op = plan.ops[i];
     std::vector<std::size_t> inputs = op.inputs;
-    exec.nodes_.push_back(OpNode{bind_op(op, intra), std::move(inputs)});
+    exec.nodes_.push_back(
+        OpNode{bind_op(op, intra, backend), std::move(inputs)});
   }
   exec.release_after_ = std::move(plan.release_after);
   return exec;
@@ -1010,7 +1101,7 @@ Executor Executor::clone() const {
 }
 
 Executor Executor::clone_shared(
-    const std::unordered_set<const sparse::CsrMatrix*>& shared) const {
+    const std::unordered_set<const void*>& shared) const {
   CloneContext ctx(&shared);
   return clone_with(ctx);
 }

@@ -19,7 +19,12 @@
 #include "runtime/pool.hpp"
 #include "serve/plan.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/qcsr.hpp"
 #include "tensor/tensor.hpp"
+
+namespace dstee::kernels::simd {
+struct KernelBackend;
+}  // namespace dstee::kernels::simd
 
 namespace dstee::serve {
 
@@ -29,10 +34,12 @@ namespace dstee::serve {
 /// (the NUMA prerequisite) but keep intra-replica sharing intact.
 ///
 /// A context may carry a SHARE SET: matrices in it are handed through
-/// untouched instead of copied. The delta hot-swap path uses this to
-/// build a new version's replica that shares every weight the delta did
-/// not touch with the outgoing version — a deliberate, bounded exception
-/// to full replica isolation (see CompiledNet::clone_shared).
+/// untouched instead of copied. Keys are type-erased (const void*) so one
+/// set can name fp32 and int8-quantized matrices alike. The delta
+/// hot-swap path uses this to build a new version's replica that shares
+/// every weight the delta did not touch with the outgoing version — a
+/// deliberate, bounded exception to full replica isolation (see
+/// CompiledNet::clone_shared).
 ///
 /// Concurrency: NOT thread-safe, and deliberately unannotated — a
 /// CloneContext lives on one thread's stack for the duration of a single
@@ -41,18 +48,20 @@ namespace dstee::serve {
 /// source ops are only read.
 struct CloneContext {
   CloneContext() = default;
-  explicit CloneContext(
-      const std::unordered_set<const sparse::CsrMatrix*>* share)
+  explicit CloneContext(const std::unordered_set<const void*>* share)
       : share_(share) {}
 
   std::shared_ptr<const sparse::CsrMatrix> dup(
       const std::shared_ptr<const sparse::CsrMatrix>& csr);
+  std::shared_ptr<const sparse::QCsrMatrix> dup(
+      const std::shared_ptr<const sparse::QCsrMatrix>& qcsr);
 
  private:
-  std::unordered_map<const sparse::CsrMatrix*,
-                     std::shared_ptr<const sparse::CsrMatrix>>
+  std::unordered_map<const void*, std::shared_ptr<const sparse::CsrMatrix>>
       copies_;
-  const std::unordered_set<const sparse::CsrMatrix*>* share_ = nullptr;
+  std::unordered_map<const void*, std::shared_ptr<const sparse::QCsrMatrix>>
+      qcopies_;
+  const std::unordered_set<const void*>* share_ = nullptr;
 };
 
 /// One compiled inference operation. run()/run2()/run_many() are const
@@ -134,7 +143,10 @@ class Executor {
   /// Binds `plan` (consumed: weights move into the ops) under the given
   /// intra-op policy. Partition slice groups always fan out on the
   /// policy's pool; the slices themselves run their kernels inline.
-  static Executor bind(Plan&& plan, const runtime::IntraOp& intra);
+  /// `backend` pins every op's kernel backend; nullptr defers each kernel
+  /// call to kernels::simd::active_backend() (the process-wide dispatch).
+  static Executor bind(Plan&& plan, const runtime::IntraOp& intra,
+                       const kernels::simd::KernelBackend* backend = nullptr);
 
   /// Executes the graph in topological (emission) order. `x` is
   /// [batch, ...]; thread-safe, may be called concurrently.
@@ -145,10 +157,10 @@ class Executor {
   /// replica shares no memory with the source.
   Executor clone() const;
 
-  /// clone() that hands matrices in `shared` through by reference instead
-  /// of copying — the delta hot-swap replica path.
-  Executor clone_shared(
-      const std::unordered_set<const sparse::CsrMatrix*>& shared) const;
+  /// clone() that hands matrices in `shared` (fp32 or quantized, keyed by
+  /// type-erased pointer) through by reference instead of copying — the
+  /// delta hot-swap replica path.
+  Executor clone_shared(const std::unordered_set<const void*>& shared) const;
 
   std::size_t num_ops() const { return nodes_.size(); }
   const OpNode& node(std::size_t i) const;

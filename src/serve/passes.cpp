@@ -8,6 +8,7 @@
 
 #include "serve/fusion.hpp"
 #include "serve/pass_util.hpp"
+#include "sparse/qcsr.hpp"
 #include "util/check.hpp"
 
 namespace dstee::serve {
@@ -46,7 +47,13 @@ void FoldBatchNorm::run(Plan& plan) const {
     if (fold) {
       const PlanOp& producer = plan.ops[src];
       const bool conv_like = producer.kind == PlanOpKind::kConv;
+      // Quantized producers (csr == nullptr) are skipped: folding scales
+      // into int8 values would re-round them, and re-quantizing here
+      // would hide a precision change inside an unrelated pass. Run
+      // fold_bn before quantize:int8 — the standalone kScaleShift stays
+      // correct either way.
       fold = (producer.kind == PlanOpKind::kSpmm || conv_like) &&
+             producer.csr != nullptr &&
              producer.csr->rows() == bn.scale.size() &&
              conv_like == bn.rank4 && plan.use_counts()[src] == 1;
     }
@@ -106,7 +113,8 @@ void PartitionRows::run(Plan& plan) const {
     for (std::size_t i = 0; i < plan.ops.size(); ++i) {
       const PlanOp& op = plan.ops[i];
       if (op.kind == PlanOpKind::kSpmm || op.kind == PlanOpKind::kConv) {
-        cost[i] = static_cast<double>(op.csr->nnz());
+        cost[i] = static_cast<double>(op.csr != nullptr ? op.csr->nnz()
+                                                        : op.qcsr->nnz());
       }
     }
   }
@@ -128,12 +136,16 @@ void PartitionRows::run(Plan& plan) const {
         op.kind == PlanOpKind::kSpmm || op.kind == PlanOpKind::kConv;
     if (!csr_node || total <= 0.0) continue;
     if (cost[i] / total < options_.min_cost_share) continue;
-    if (op.csr->rows() < options_.ways) continue;
+    const std::size_t node_rows =
+        op.csr != nullptr ? op.csr->rows() : op.qcsr->rows();
+    if (node_rows < options_.ways) continue;
 
     PlanOp original = std::move(plan.ops[i]);
     const bool is_conv = original.kind == PlanOpKind::kConv;
     const std::vector<std::size_t> bounds =
-        original.csr->balanced_row_splits(options_.ways);
+        original.csr != nullptr
+            ? original.csr->balanced_row_splits(options_.ways)
+            : original.qcsr->balanced_row_splits(options_.ways);
 
     std::vector<PlanOp> repl;
     repl.reserve(options_.ways + 2);
@@ -166,6 +178,7 @@ void PartitionRows::run(Plan& plan) const {
         slice.inputs.push_back(original.inputs[1]);
       }
       slice.csr = original.csr;  // zero-copy: all slices view one matrix
+      slice.qcsr = original.qcsr;
       slice.row_begin = bounds[j];
       slice.row_end = bounds[j + 1];
       if (original.has_bias) {
@@ -214,6 +227,31 @@ void PartitionRows::run(Plan& plan) const {
     ++plan.partitioned_ops;
   }
   refresh_release_if_present(plan);
+  plan.validate();
+}
+
+void QuantizeWeights::run(Plan& plan) const {
+  // Memoized per source matrix: when PartitionRows already split a node,
+  // every slice's shared_ptr resolves to the SAME quantized parent, so
+  // the zero-copy slice-sharing invariant survives quantization (and the
+  // pass composes identically on either side of partition_rows).
+  std::unordered_map<const sparse::CsrMatrix*,
+                     std::shared_ptr<sparse::QCsrMatrix>>
+      memo;
+  for (PlanOp& op : plan.ops) {
+    const bool csr_kind = op.kind == PlanOpKind::kSpmm ||
+                          op.kind == PlanOpKind::kConv ||
+                          op.kind == PlanOpKind::kRowSlice;
+    if (!csr_kind || op.csr == nullptr) continue;
+    std::shared_ptr<sparse::QCsrMatrix>& q = memo[op.csr.get()];
+    if (q == nullptr) {
+      q = std::make_shared<sparse::QCsrMatrix>(
+          sparse::QCsrMatrix::quantize(*op.csr));
+    }
+    op.qcsr = q;
+    op.csr.reset();
+    ++plan.quantized_ops;
+  }
   plan.validate();
 }
 
@@ -284,6 +322,15 @@ std::unordered_map<std::string, Compiler::PassFactory>& pass_registry() {
           check_no_args("fuse_epilogue", args);
           return std::make_unique<FuseEpilogue>();
         };
+        const auto quantize = [](const std::vector<std::string>& args,
+                                 const CompileOptions&) {
+          util::check(args.empty() || (args.size() == 1 && args[0] == "int8"),
+                      "quantize spec is quantize[:int8] — int8 is the only "
+                      "supported mode");
+          return std::make_unique<QuantizeWeights>();
+        };
+        reg["quantize_weights"] = quantize;
+        reg["quantize"] = quantize;  // spec alias
         reg["partition_rows"] = [](const std::vector<std::string>& args,
                                    const CompileOptions& options) {
           util::check(args.size() <= 2,

@@ -18,6 +18,8 @@
 //   FuseEpilogue      absorbs activation / residual-add consumers into
 //                     the producing CSR node as a fused kernel epilogue
 //                     (serve/fusion.hpp)
+//   QuantizeWeights   rewrites fp32 CSR weight nodes to int8 values with
+//                     per-row fp32 scales ("quantize:int8" in specs)
 //
 // Compiler runs the default pipeline (the first three, preserving the
 // monolith's behavior bit-for-bit) and lets callers append passes — or
@@ -113,6 +115,22 @@ class PartitionRows final : public Pass {
 
  private:
   PartitionRowsOptions options_;
+};
+
+/// Rewrites every fp32 CSR weight node (kSpmm / kConv / kRowSlice) to
+/// int8 weights with per-row fp32 scales (sparse::QCsrMatrix — symmetric
+/// round-to-nearest, fp32 accumulation). Registered as "quantize" with an
+/// optional mode argument ("quantize:int8", the only supported mode).
+/// Composes on either side of PartitionRows: quantization is memoized per
+/// source matrix, so the slices of a split node keep sharing ONE
+/// quantized parent, and PartitionRows can split quantized nodes. Weight
+/// bytes drop to ~5/8 of fp32 storage per nonzero (int8 value + uint32
+/// index vs fp32 + uint32) plus one fp32 scale per row — annotate() and
+/// Plan::total_weight_bytes() report the reduction.
+class QuantizeWeights final : public Pass {
+ public:
+  std::string name() const override { return "quantize_weights"; }
+  void run(Plan& plan) const override;
 };
 
 /// The serve pass manager: lowering + an ordered pass pipeline + binding.

@@ -1,7 +1,9 @@
 #include "serve/plan.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "models/resnet.hpp"
@@ -83,8 +85,42 @@ tensor::ConvGeometry conv_geometry(const PlanOp& op, std::size_t in_h,
   return g;
 }
 
+// A CSR node carries exactly one of csr (fp32) / qcsr (int8); these
+// helpers let annotate/dump/validate read the weight geometry without
+// branching at every use site.
+std::size_t weights_rows(const PlanOp& op) {
+  return op.csr != nullptr ? op.csr->rows() : op.qcsr->rows();
+}
+
+std::size_t weights_cols(const PlanOp& op) {
+  return op.csr != nullptr ? op.csr->cols() : op.qcsr->cols();
+}
+
+std::size_t weights_nnz(const PlanOp& op) {
+  return op.csr != nullptr ? op.csr->nnz() : op.qcsr->nnz();
+}
+
 std::size_t slice_nnz(const PlanOp& op) {
-  return op.csr->row_slice(op.row_begin, op.row_end).nnz();
+  return op.csr != nullptr
+             ? op.csr->row_slice(op.row_begin, op.row_end).nnz()
+             : op.qcsr->row_slice(op.row_begin, op.row_end).nnz();
+}
+
+// Weight bytes this node streams at run time. Row slices count their own
+// row range (the parent's bytes split across the group); fp32 CSR is
+// 4-byte values + 4-byte column indices, int8 QCsr is 1-byte values +
+// 4-byte indices + one fp32 scale per row; both stream size_t row_ptr.
+std::size_t node_weight_bytes(const PlanOp& op) {
+  const bool slice = op.kind == PlanOpKind::kRowSlice;
+  const std::size_t rows =
+      slice ? op.row_end - op.row_begin : weights_rows(op);
+  const std::size_t nnz = slice ? slice_nnz(op) : weights_nnz(op);
+  if (op.qcsr != nullptr) {
+    return nnz * (sizeof(std::int8_t) + sizeof(std::uint32_t)) +
+           rows * sizeof(float) + (rows + 1) * sizeof(std::size_t);
+  }
+  return nnz * (sizeof(float) + sizeof(std::uint32_t)) +
+         (rows + 1) * sizeof(std::size_t);
 }
 
 // FLOPs the fused epilogue adds per node: one add for the residual and
@@ -132,6 +168,24 @@ void bn_scale_shift(const nn::BatchNorm& bn, std::vector<float>& scale,
   }
 }
 
+std::size_t Plan::total_weight_bytes() const {
+  // Sum over distinct matrices, not nodes: every kRowSlice in a partition
+  // group shares its parent's storage, so counting per node would
+  // multiply the parent by the partition factor.
+  std::unordered_set<const void*> seen;
+  std::size_t bytes = 0;
+  for (const PlanOp& op : ops) {
+    if (op.csr != nullptr && seen.insert(op.csr.get()).second) {
+      bytes += op.csr->nnz() * (sizeof(float) + sizeof(std::uint32_t)) +
+               op.csr->row_ptr().size() * sizeof(std::size_t);
+    }
+    if (op.qcsr != nullptr && seen.insert(op.qcsr.get()).second) {
+      bytes += op.qcsr->weight_bytes();
+    }
+  }
+  return bytes;
+}
+
 std::vector<std::size_t> Plan::use_counts() const {
   std::vector<std::size_t> counts(ops.size(), 0);
   for (const PlanOp& op : ops) {
@@ -165,26 +219,28 @@ std::vector<Plan::NodeCost> Plan::annotate(
     NodeCost& c = costs[i];
     switch (op.kind) {
       case PlanOpKind::kSpmm: {
-        c.out_shape = tensor::Shape({batch, op.csr->rows()});
-        c.flops = sparse::linear_nnz_flops(op.csr->nnz(), batch);
+        c.out_shape = tensor::Shape({batch, weights_rows(op)});
+        c.flops = sparse::linear_nnz_flops(weights_nnz(op), batch);
         c.dense_flops = sparse::linear_nnz_flops(
-            op.csr->rows() * op.csr->cols(), batch);
+            weights_rows(op) * weights_cols(op), batch);
         const double ep = epilogue_flops(op, c.out_shape.numel());
         c.flops += ep;
         c.dense_flops += ep;
+        c.weight_bytes = node_weight_bytes(op);
         break;
       }
       case PlanOpKind::kConv: {
         const tensor::ConvGeometry g = conv_geometry(op, in.dim(2), in.dim(3));
         c.out_shape =
-            tensor::Shape({batch, op.csr->rows(), g.out_h(), g.out_w()});
-        c.flops = sparse::conv_nnz_flops(op.csr->nnz(), g.out_h(), g.out_w(),
+            tensor::Shape({batch, weights_rows(op), g.out_h(), g.out_w()});
+        c.flops = sparse::conv_nnz_flops(weights_nnz(op), g.out_h(), g.out_w(),
                                          batch);
         c.dense_flops = sparse::conv_nnz_flops(
-            op.csr->rows() * op.csr->cols(), g.out_h(), g.out_w(), batch);
+            weights_rows(op) * weights_cols(op), g.out_h(), g.out_w(), batch);
         const double ep = epilogue_flops(op, c.out_shape.numel());
         c.flops += ep;
         c.dense_flops += ep;
+        c.weight_bytes = node_weight_bytes(op);
         break;
       }
       case PlanOpKind::kIm2col: {
@@ -200,17 +256,18 @@ std::vector<Plan::NodeCost> Plan::annotate(
           // Input is the patch buffer [N, P, OH, OW].
           c.out_shape = tensor::Shape({batch, rows, in.dim(2), in.dim(3)});
           c.flops = sparse::conv_nnz_flops(nnz, in.dim(2), in.dim(3), batch);
-          c.dense_flops = sparse::conv_nnz_flops(rows * op.csr->cols(),
+          c.dense_flops = sparse::conv_nnz_flops(rows * weights_cols(op),
                                                  in.dim(2), in.dim(3), batch);
         } else {
           c.out_shape = tensor::Shape({batch, rows});
           c.flops = sparse::linear_nnz_flops(nnz, batch);
           c.dense_flops =
-              sparse::linear_nnz_flops(rows * op.csr->cols(), batch);
+              sparse::linear_nnz_flops(rows * weights_cols(op), batch);
         }
         const double ep = epilogue_flops(op, c.out_shape.numel());
         c.flops += ep;
         c.dense_flops += ep;
+        c.weight_bytes = node_weight_bytes(op);
         break;
       }
       case PlanOpKind::kConcatChannels: {
@@ -286,6 +343,10 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
   if (fused_ops > 0) {
     out += ", " + std::to_string(fused_ops) + " fused";
   }
+  if (quantized_ops > 0) {
+    out += ", " + std::to_string(quantized_ops) + " int8 (" +
+           std::to_string(total_weight_bytes()) + " weight bytes)";
+  }
   out += "\n";
 
   for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -296,20 +357,22 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
       // Trailing annotations use separate appends: GCC 12's -Wrestrict
       // misfires on long operator+ chains ending in a ternary char*.
       case PlanOpKind::kSpmm:
-        out += "(" + std::to_string(op.csr->rows()) + "x" +
-               std::to_string(op.csr->cols()) +
-               ", nnz=" + std::to_string(op.csr->nnz());
+        out += "(" + std::to_string(weights_rows(op)) + "x" +
+               std::to_string(weights_cols(op)) +
+               ", nnz=" + std::to_string(weights_nnz(op));
         if (op.folded_bn) out += ", +bn";
+        if (op.qcsr != nullptr) out += ", int8";
         append_fused(out, op);
         out += ")";
         break;
       case PlanOpKind::kConv:
         out += "(" + std::to_string(op.in_channels) + "->" +
-               std::to_string(op.csr->rows()) + ", k" +
+               std::to_string(weights_rows(op)) + ", k" +
                std::to_string(op.kernel) + " s" + std::to_string(op.stride) +
                " p" + std::to_string(op.padding) +
-               ", nnz=" + std::to_string(op.csr->nnz());
+               ", nnz=" + std::to_string(weights_nnz(op));
         if (op.folded_bn) out += ", +bn";
+        if (op.qcsr != nullptr) out += ", int8";
         append_fused(out, op);
         out += ")";
         break;
@@ -321,10 +384,11 @@ std::string Plan::dump(const tensor::Shape* sample_shape) const {
       case PlanOpKind::kRowSlice:
         out += "(rows " + std::to_string(op.row_begin) + ":" +
                std::to_string(op.row_end) + " of " +
-               std::to_string(op.csr->rows()) +
+               std::to_string(weights_rows(op)) +
                ", nnz=" + std::to_string(slice_nnz(op)) + ", group " +
                std::to_string(op.partition_group);
         if (op.conv_slice) out += ", conv";
+        if (op.qcsr != nullptr) out += ", int8";
         append_fused(out, op);
         out += ")";
         break;
@@ -422,13 +486,18 @@ void Plan::validate() const {
                   "plan op " + std::to_string(i) +
                       " consumes a later node (not topological)");
     }
-    if (op.kind == PlanOpKind::kSpmm || op.kind == PlanOpKind::kConv ||
-        op.kind == PlanOpKind::kRowSlice) {
-      util::check(op.csr != nullptr,
-                  "CSR plan op " + std::to_string(i) + " has no weights");
+    if (csr_kind) {
+      util::check((op.csr != nullptr) != (op.qcsr != nullptr),
+                  "CSR plan op " + std::to_string(i) +
+                      " must carry exactly one of fp32/int8 weights");
+    } else {
+      util::check(op.csr == nullptr && op.qcsr == nullptr,
+                  "non-CSR plan op " + std::to_string(i) +
+                      " carries weights");
     }
     if (op.kind == PlanOpKind::kRowSlice) {
-      util::check(op.row_begin < op.row_end && op.row_end <= op.csr->rows(),
+      util::check(op.row_begin < op.row_end &&
+                      op.row_end <= weights_rows(op),
                   "row_slice range invalid at op " + std::to_string(i));
     }
   }

@@ -33,6 +33,7 @@
 #include "kernels/epilogue.hpp"
 #include "nn/sequential.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/qcsr.hpp"
 #include "sparse/sparse_model.hpp"
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
@@ -98,6 +99,10 @@ struct PlanOp {
 
   // kSpmm / kConv / kRowSlice ------------------------------------------
   std::shared_ptr<sparse::CsrMatrix> csr;  ///< weights (shared with slices)
+  /// Int8-quantized weights (QuantizeWeights pass). A CSR node carries
+  /// exactly one of csr / qcsr — validate() enforces it; slices of a
+  /// quantized node share the parent's QCsrMatrix like csr slices do.
+  std::shared_ptr<sparse::QCsrMatrix> qcsr;
   tensor::Tensor bias;                     ///< per output row/channel
   bool has_bias = false;
   bool folded_bn = false;  ///< FoldBatchNorm absorbed a BN into this node
@@ -175,6 +180,13 @@ struct Plan {
   std::size_t total_weights = 0;
   std::size_t partitioned_ops = 0;
   std::size_t fused_ops = 0;  ///< CSR nodes carrying a FuseEpilogue annotation
+  std::size_t quantized_ops = 0;  ///< CSR nodes rewritten to int8 weights
+
+  /// Weight bytes a replica streams, summed over DISTINCT weight matrices
+  /// (row slices share their parent): fp32 CSR counts values + uint32
+  /// col_idx + row_ptr; int8 QCsr counts values + col_idx + row scales +
+  /// row_ptr. The memory lever QuantizeWeights moves.
+  std::size_t total_weight_bytes() const;
 
   std::size_t size() const { return ops.size(); }
 
@@ -189,6 +201,9 @@ struct Plan {
     double flops = 0.0;
     double dense_flops = 0.0;
     double share = 0.0;
+    /// Weight bytes THIS node streams (slices report their own row
+    /// range's share of the parent). 0 for non-weight ops.
+    std::size_t weight_bytes = 0;
   };
   std::vector<NodeCost> annotate(const tensor::Shape& sample_shape) const;
 

@@ -105,7 +105,7 @@ SwapReport ModelRegistry::apply_delta(const std::string& name,
   SwapReport report;
   report.total_weight_nodes = patch.total_weight_nodes;
   std::shared_ptr<const CompiledNet> net;
-  std::unordered_set<const sparse::CsrMatrix*> untouched;
+  std::unordered_set<const void*> untouched;
   if (patch.needs_full_recompile) {
     report.full_recompile = true;
     net = recompile(slot);
@@ -114,14 +114,19 @@ SwapReport ModelRegistry::apply_delta(const std::string& name,
     report.patched_scale_shifts = patch.patched_scale_shifts;
     // Matrices present in BOTH the old and the patched plan were not
     // rebuilt: shard replicas may keep sharing them with the outgoing
-    // version (see CompiledNet::clone_shared).
-    std::unordered_set<const sparse::CsrMatrix*> old_matrices;
+    // version (see CompiledNet::clone_shared). Quantized matrices are
+    // tracked by the same type-erased pointers.
+    std::unordered_set<const void*> old_matrices;
     for (const PlanOp& op : slot.base_plan.ops) {
       if (op.csr != nullptr) old_matrices.insert(op.csr.get());
+      if (op.qcsr != nullptr) old_matrices.insert(op.qcsr.get());
     }
     for (const PlanOp& op : patch.plan.ops) {
       if (op.csr != nullptr && old_matrices.count(op.csr.get()) > 0) {
         untouched.insert(op.csr.get());
+      }
+      if (op.qcsr != nullptr && old_matrices.count(op.qcsr.get()) > 0) {
+        untouched.insert(op.qcsr.get());
       }
     }
     slot.base_plan = std::move(patch.plan);

@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "kernels/simd/backend.hpp"
 #include "util/check.hpp"
 
 namespace dstee::sparse {
+
+// The SIMD gather kernels consume 32-bit column indices directly; keep the
+// storage type pinned so a well-meaning widening doesn't silently halve
+// their throughput (and break the CsrView ABI).
+static_assert(sizeof(std::uint32_t) == 4);
+
+namespace {
+
+kernels::simd::CsrView view_of(const std::size_t* row_ptr,
+                               const std::uint32_t* col_idx,
+                               const float* values, std::size_t rows,
+                               std::size_t cols) {
+  return kernels::simd::CsrView{row_ptr, col_idx, values, rows, cols};
+}
+
+}  // namespace
 
 double CsrRowSlice::density() const {
   const double total = static_cast<double>(rows_) * static_cast<double>(cols_);
@@ -14,72 +32,48 @@ double CsrRowSlice::density() const {
 
 tensor::Tensor CsrRowSlice::spmm(const tensor::Tensor& x,
                                  const runtime::IntraOp& intra,
-                                 const kernels::Epilogue& ep) const {
+                                 const kernels::Epilogue& ep,
+                                 const kernels::simd::KernelBackend* backend)
+    const {
   tensor::Tensor y({x.rank() == 2 ? x.dim(0) : 0, rows_});
-  spmm_into(x, y.raw(), intra, ep);
+  spmm_into(x, y.raw(), intra, ep, backend);
   return y;
 }
 
 void CsrRowSlice::spmm_into(const tensor::Tensor& x, float* out,
                             const runtime::IntraOp& intra,
-                            const kernels::Epilogue& ep) const {
+                            const kernels::Epilogue& ep,
+                            const kernels::simd::KernelBackend* backend)
+    const {
   util::check(x.rank() == 2 && x.dim(1) == cols_,
               "spmm expects [batch, cols]");
   util::check(ep.residual == nullptr || ep.residual_stride > 0,
               "spmm fused residual requires residual_stride");
   const std::size_t batch = x.dim(0);
+  const kernels::simd::KernelBackend& be =
+      backend != nullptr ? *backend : kernels::simd::active_backend();
+  const kernels::simd::CsrView a =
+      view_of(row_ptr_, col_idx_, values_, rows_, cols_);
 
   // One worker computes output rows [r0, r1) for every batch sample: the
   // chunk's values/col_idx stream stays hot across samples and each
-  // output element has exactly one writer. The epilogue finishes each
-  // value before the store — bias, then residual, then activation, the
-  // exact op order of the unfused node sequence it replaces.
-  auto run_rows = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t n = 0; n < batch; ++n) {
-      const float* xn = x.raw() + n * cols_;
-      float* yn = out + n * rows_;
-      const float* res =
-          ep.residual != nullptr ? ep.residual + n * ep.residual_stride
-                                 : nullptr;
-      for (std::size_t r = r0; r < r1; ++r) {
-        float acc = 0.0f;
-        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-          acc += values_[k] * xn[col_idx_[k]];
-        }
-        if (ep.bias != nullptr) acc += ep.bias[r];
-        if (res != nullptr) acc += res[r];
-        yn[r] = ep.activate(acc);
-      }
-    }
-  };
-
-  runtime::intra_chunks(intra, rows_, run_rows);
+  // output element has exactly one writer. Backends finish each value
+  // before the store — bias, then residual, then activation, the exact
+  // op order of the unfused node sequence it replaces — and are
+  // bit-identical to each other, so results don't depend on dispatch.
+  runtime::intra_chunks(intra, rows_, [&](std::size_t r0, std::size_t r1) {
+    be.spmm_rows(a, x.raw(), batch, out, r0, r1, ep);
+  });
 }
 
 void CsrRowSlice::spmm_cols_into(const float* b, std::size_t n, float* out,
-                                 const kernels::Epilogue& ep) const {
-  for (std::size_t r = 0; r < rows_; ++r) {
-    float* yr = out + r * n;
-    for (std::size_t j = 0; j < n; ++j) yr[j] = 0.0f;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      const float* br = b + col_idx_[k] * n;
-      for (std::size_t j = 0; j < n; ++j) yr[j] += v * br[j];
-    }
-    if (!ep.empty()) {
-      // Finish the row while it is still in cache: bias (one value per
-      // output channel row), residual (laid out like `out`), activation.
-      const float bias = ep.bias != nullptr ? ep.bias[r] : 0.0f;
-      const float* res = ep.residual != nullptr ? ep.residual + r * n
-                                                : nullptr;
-      for (std::size_t j = 0; j < n; ++j) {
-        float v = yr[j];
-        if (ep.bias != nullptr) v += bias;
-        if (res != nullptr) v += res[j];
-        yr[j] = ep.activate(v);
-      }
-    }
-  }
+                                 const kernels::Epilogue& ep,
+                                 const kernels::simd::KernelBackend* backend)
+    const {
+  const kernels::simd::KernelBackend& be =
+      backend != nullptr ? *backend : kernels::simd::active_backend();
+  be.spmm_cols(view_of(row_ptr_, col_idx_, values_, rows_, cols_), b, n, out,
+               ep);
 }
 
 CsrRowSlice CsrRowSlice::row_slice(std::size_t r0, std::size_t r1) const {
@@ -98,6 +92,14 @@ tensor::Tensor CsrRowSlice::to_dense() const {
   return dense;
 }
 
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  // Column indices are stored in 32 bits; a wider matrix would wrap
+  // silently in the kernels, so reject it at construction.
+  util::check(cols <= std::numeric_limits<std::uint32_t>::max(),
+              "CsrMatrix column count exceeds 32-bit index range");
+}
+
 CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
   util::check(dense.rank() >= 2,
               "CSR conversion requires a tensor of rank >= 2");
@@ -112,7 +114,7 @@ CsrMatrix CsrMatrix::from_dense(const tensor::Tensor& dense, float eps) {
     for (std::size_t c = 0; c < m.cols_; ++c) {
       const float v = dense[r * m.cols_ + c];
       if (std::fabs(v) > eps) {
-        m.col_idx_.push_back(c);
+        m.col_idx_.push_back(static_cast<std::uint32_t>(c));
         m.values_.push_back(v);
       }
     }
@@ -134,7 +136,7 @@ CsrMatrix CsrMatrix::from_masked(const MaskedParameter& param) {
     for (std::size_t c = 0; c < m.cols_; ++c) {
       const std::size_t i = r * m.cols_ + c;
       if (mask[i] != 0.0f) {
-        m.col_idx_.push_back(c);
+        m.col_idx_.push_back(static_cast<std::uint32_t>(c));
         m.values_.push_back(dense[i]);
       }
     }
@@ -167,10 +169,12 @@ tensor::Tensor CsrMatrix::matmul_nt(const tensor::Tensor& x) const {
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
                                const runtime::IntraOp& intra,
-                               const kernels::Epilogue& ep) const {
+                               const kernels::Epilogue& ep,
+                               const kernels::simd::KernelBackend* backend)
+    const {
   // The batched SpMM *is* the full-range slice: one loop nest serves the
   // whole matrix and every PartitionRows sub-range bit-identically.
-  return row_slice(0, rows_).spmm(x, intra, ep);
+  return row_slice(0, rows_).spmm(x, intra, ep, backend);
 }
 
 tensor::Tensor CsrMatrix::spmm(const tensor::Tensor& x,
@@ -185,10 +189,13 @@ tensor::Tensor CsrMatrix::spmm_cols(const tensor::Tensor& cols) const {
 }
 
 void CsrMatrix::spmm_cols_into(const tensor::Tensor& cols, float* out,
-                               const kernels::Epilogue& ep) const {
+                               const kernels::Epilogue& ep,
+                               const kernels::simd::KernelBackend* backend)
+    const {
   util::check(cols.rank() == 2 && cols.dim(0) == cols_,
               "spmm_cols expects [cols, n]");
-  row_slice(0, rows_).spmm_cols_into(cols.raw(), cols.dim(1), out, ep);
+  row_slice(0, rows_).spmm_cols_into(cols.raw(), cols.dim(1), out, ep,
+                                     backend);
 }
 
 CsrRowSlice CsrMatrix::row_slice(std::size_t r0, std::size_t r1) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,10 @@
 #include "runtime/pool.hpp"
 #include "sparse/masked_parameter.hpp"
 #include "tensor/tensor.hpp"
+
+namespace dstee::kernels::simd {
+struct KernelBackend;
+}  // namespace dstee::kernels::simd
 
 namespace dstee::sparse {
 
@@ -47,14 +52,20 @@ class CsrRowSlice {
   /// fused-epilogue path. ep.bias/ep.residual are indexed by the SLICE's
   /// local row r; a slice of a wider output pre-offsets both pointers by
   /// its row_begin and sets ep.residual_stride to the FULL output width.
+  /// `backend` picks the kernel implementation (nullptr = the process
+  /// active backend, see kernels::simd::active_backend()); all backends
+  /// are bit-identical, so this only affects speed.
   tensor::Tensor spmm(const tensor::Tensor& x,
                       const runtime::IntraOp& intra = {},
-                      const kernels::Epilogue& ep = {}) const;
+                      const kernels::Epilogue& ep = {},
+                      const kernels::simd::KernelBackend* backend =
+                          nullptr) const;
 
   /// spmm writing into caller storage of batch·rows() floats.
   void spmm_into(const tensor::Tensor& x, float* out,
                  const runtime::IntraOp& intra = {},
-                 const kernels::Epilogue& ep = {}) const;
+                 const kernels::Epilogue& ep = {},
+                 const kernels::simd::KernelBackend* backend = nullptr) const;
 
   /// Y = A[r0:r1)·B for a dense patch matrix B[cols, n] given as a raw
   /// row-major pointer, writing rows()·n floats to `out` — the partitioned
@@ -63,7 +74,9 @@ class CsrRowSlice {
   /// j]) — ep.residual (when set) is laid out exactly like `out`, i.e.
   /// already offset to this slice's block of the sample.
   void spmm_cols_into(const float* b, std::size_t n, float* out,
-                      const kernels::Epilogue& ep = {}) const;
+                      const kernels::Epilogue& ep = {},
+                      const kernels::simd::KernelBackend* backend =
+                          nullptr) const;
 
   /// Slice of a slice: rows [r0, r1) of THIS view (still zero-copy into
   /// the original parent).
@@ -74,14 +87,14 @@ class CsrRowSlice {
 
  private:
   friend class CsrMatrix;
-  CsrRowSlice(const std::size_t* row_ptr, const std::size_t* col_idx,
+  CsrRowSlice(const std::size_t* row_ptr, const std::uint32_t* col_idx,
               const float* values, std::size_t rows, std::size_t cols)
       : row_ptr_(row_ptr), col_idx_(col_idx), values_(values), rows_(rows),
         cols_(cols) {}
 
-  const std::size_t* row_ptr_;  ///< rows_+1 absolute offsets (parent-based)
-  const std::size_t* col_idx_;  ///< parent base pointer
-  const float* values_;         ///< parent base pointer
+  const std::size_t* row_ptr_;    ///< rows_+1 absolute offsets (parent-based)
+  const std::uint32_t* col_idx_;  ///< parent base pointer
+  const float* values_;           ///< parent base pointer
   std::size_t rows_;
   std::size_t cols_;
 };
@@ -127,7 +140,9 @@ class CsrMatrix {
   /// default is the identity).
   tensor::Tensor spmm(const tensor::Tensor& x,
                       const runtime::IntraOp& intra = {},
-                      const kernels::Epilogue& ep = {}) const;
+                      const kernels::Epilogue& ep = {},
+                      const kernels::simd::KernelBackend* backend =
+                          nullptr) const;
 
   /// Chunk-count-only overload (threads 0 = pool-wide on the process
   /// default pool) for call sites without a pool to inject.
@@ -145,7 +160,9 @@ class CsrMatrix {
   /// follows the CsrRowSlice::spmm_cols_into layout (bias per row,
   /// residual laid out like `out`).
   void spmm_cols_into(const tensor::Tensor& cols, float* out,
-                      const kernels::Epilogue& ep = {}) const;
+                      const kernels::Epilogue& ep = {},
+                      const kernels::simd::KernelBackend* backend =
+                          nullptr) const;
 
   /// Zero-copy view over rows [r0, r1) (r0 <= r1 <= rows()); this matrix
   /// must outlive the view. The row-range unit of serve::PartitionRows.
@@ -166,19 +183,21 @@ class CsrMatrix {
   /// Reconstructs the dense matrix (tests / round-trips).
   tensor::Tensor to_dense() const;
 
-  /// Raw CSR arrays (read-only).
+  /// Raw CSR arrays (read-only). Column indices are stored as uint32 —
+  /// half the index bandwidth of the original size_t layout, and the type
+  /// the SIMD gather kernels consume directly. The private constructor
+  /// rejects matrices whose column count cannot be indexed in 32 bits.
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
   const std::vector<float>& values() const { return values_; }
 
  private:
-  CsrMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+  CsrMatrix(std::size_t rows, std::size_t cols);
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
+  std::vector<std::uint32_t> col_idx_;
   std::vector<float> values_;
 };
 

@@ -1438,7 +1438,7 @@ TEST(FuseEpilogue, FusedCloneAndCloneSharedMatchBitForBit) {
   const auto replica = net.clone();
   EXPECT_EQ(replica.num_fused_ops(), net.num_fused_ops());
   const auto shared_replica =
-      net.clone_shared(std::unordered_set<const sparse::CsrMatrix*>{});
+      net.clone_shared(std::unordered_set<const void*>{});
   const auto x = random_tensor(tensor::Shape({4, 12}), 511);
   const auto expected = net.forward(x);
   EXPECT_TRUE(replica.forward(x).equals(expected));

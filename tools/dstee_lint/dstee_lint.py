@@ -34,6 +34,12 @@ that sit a level above the type system:
                    without atomics; hold it in util::RcuCell<CompiledNet>
                    (src/util/rcu.hpp). Locals snapshotting a loaded
                    version are fine.
+  simd-confinement SIMD intrinsics (<immintrin.h>-family includes,
+                   _mm*/__m* identifiers) live only under
+                   src/kernels/simd/. Everything else talks to the
+                   dispatch header (kernels/simd/backend.hpp), so a
+                   build without AVX2 — or a future backend — never
+                   ripples past that one directory.
   include-hygiene  Concurrency symbols (std::mutex, std::thread,
                    std::atomic, ...) require a DIRECT include of their
                    header — the concurrency surface must state its
@@ -68,6 +74,7 @@ RULES = {
     "kernel-intraop": "kernel reads the process pool instead of IntraOp",
     "serve-epilogue": "serve code calls a raw activation kernel, not Epilogue",
     "hot-swap-rcu": "shared_ptr<const CompiledNet> member outside util::RcuCell",
+    "simd-confinement": "SIMD intrinsics outside src/kernels/simd/",
     "include-hygiene": "concurrency symbol without its direct #include",
     "unbuilt-source": "src/ .cpp missing from compile_commands.json",
 }
@@ -232,8 +239,9 @@ def scan_unguarded_mutex(fs: FileScan, findings: list[Finding]) -> None:
 
 
 CLASS_RE = re.compile(
-    r"\b(?:class|struct)\s+(\w+)(\s+final)?\s*:\s*((?:public|private|protected)?\s*[\w:]+"
-    r"(?:\s*,\s*(?:public|private|protected)?\s*[\w:]+)*)\s*\{")
+    r"\b(?:class|struct)\s+(\w+)(\s+final)?\s*:\s*"
+    r"((?:public|private|protected)?\s*[\w:]+(?:<[\w:,\s]*>)?"
+    r"(?:\s*,\s*(?:public|private|protected)?\s*[\w:]+(?:<[\w:,\s]*>)?)*)\s*\{")
 
 
 def scan_evalop_clone(scans: list[FileScan], findings: list[Finding]) -> None:
@@ -244,7 +252,10 @@ def scan_evalop_clone(scans: list[FileScan], findings: list[Finding]) -> None:
         for m in CLASS_RE.finditer(fs.stripped):
             name = m.group(1)
             is_final = bool(m.group(2))
-            bases = [b.strip().split()[-1].split("::")[-1]
+            # Drop access specifiers, namespace qualifiers and template
+            # arguments: `public CsrOp<M>` -> `CsrOp`, so a class template
+            # base still anchors the EvalOp hierarchy walk.
+            bases = [b.strip().split("<")[0].split()[-1].split("::")[-1]
                      for b in m.group(3).split(",")]
             # Body: from the opening brace to its match.
             depth, i = 0, m.end() - 1
@@ -343,6 +354,33 @@ def scan_hot_swap_rcu(fs: FileScan, findings: list[Finding]) -> None:
                 "util::RcuCell<CompiledNet> (util/rcu.hpp)"))
 
 
+# Intrinsic headers (immintrin.h and the narrower x86 *intrin.h family)
+# and intrinsic identifiers: _mm_/_mm256_/_mm512_ calls and the __m128/
+# __m256/__m512 register types (with d/i suffixes).
+SIMD_INCLUDE_RE = re.compile(r"#\s*include\s*<\w*intrin\.h>")
+SIMD_IDENT_RE = re.compile(r"\b(?:_mm(?:\d+)?_\w+|__m(?:64|128|256|512)[di]?)\b")
+
+
+def scan_simd_confinement(fs: FileScan, findings: list[Finding]) -> None:
+    if fs.rel.startswith("src/kernels/simd/"):
+        return
+    for ln, line in enumerate(fs.lines, start=1):
+        if SIMD_INCLUDE_RE.search(fs.raw_lines[ln - 1]) \
+                and not fs.is_waived(ln, "simd-confinement"):
+            findings.append(Finding(
+                fs.path, ln, "simd-confinement",
+                "intrinsics header included outside src/kernels/simd/; talk "
+                "to the dispatch surface (kernels/simd/backend.hpp) instead"))
+            continue
+        m = SIMD_IDENT_RE.search(line)
+        if m and not fs.is_waived(ln, "simd-confinement"):
+            findings.append(Finding(
+                fs.path, ln, "simd-confinement",
+                f"SIMD intrinsic '{m.group(0)}' outside src/kernels/simd/; "
+                "add a KernelBackend kernel there and dispatch through "
+                "kernels/simd/backend.hpp"))
+
+
 def scan_include_hygiene(fs: FileScan, findings: list[Finding]) -> None:
     includes = {}
     for ln, line in enumerate(fs.raw_lines, start=1):
@@ -437,6 +475,7 @@ def main(argv: list[str]) -> int:
         scan_kernel_intraop(fs, findings)
         scan_serve_epilogue(fs, findings)
         scan_hot_swap_rcu(fs, findings)
+        scan_simd_confinement(fs, findings)
         scan_include_hygiene(fs, findings)
     scan_evalop_clone(scans, findings)
     if args.compile_commands is not None:

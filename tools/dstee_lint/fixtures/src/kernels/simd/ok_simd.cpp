@@ -1,0 +1,14 @@
+// Blessed pattern: intrinsics ARE allowed under src/kernels/simd/ — the
+// one directory simd-confinement exempts. Must produce no findings.
+#include <immintrin.h>
+
+namespace fixture {
+
+inline float sum2(const float* p) {
+  const __m128 v = _mm_loadu_ps(p);
+  float out[4];
+  _mm_storeu_ps(out, v);
+  return out[0] + out[1];
+}
+
+}  // namespace fixture

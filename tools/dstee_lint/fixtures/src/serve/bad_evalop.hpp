@@ -6,6 +6,8 @@
 //   LeafWithClone     leaf overriding clone — clean
 //   LeafNoClone       leaf (final, transitively via MidOp) missing clone — FLAGGED
 //   DirectNoClone     leaf deriving EvalOp directly, missing clone — FLAGGED
+//   TmplMidOp<T>      class-template intermediate with derivers — exempt
+//   TmplLeafNoClone   leaf via a templated base (TmplMidOp<int>) — FLAGGED
 #pragma once
 
 #include <memory>
@@ -34,6 +36,17 @@ class LeafNoClone final : public MidOp {
 };
 
 class DirectNoClone final : public EvalOp {
+ public:
+  int state = 0;
+};
+
+template <typename T>
+class TmplMidOp : public EvalOp {
+ public:
+  T shared_config{};
+};
+
+class TmplLeafNoClone final : public TmplMidOp<int> {
  public:
   int state = 0;
 };

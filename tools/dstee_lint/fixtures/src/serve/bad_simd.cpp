@@ -1,0 +1,15 @@
+// Known-bad: SIMD intrinsics outside src/kernels/simd/. Both the
+// intrinsics-header include and a direct intrinsic identifier must fire
+// simd-confinement; serve code talks to kernels/simd/backend.hpp only.
+#include <immintrin.h>
+
+namespace fixture {
+
+inline float first_lane(const float* p) {
+  const __m256 v = _mm256_loadu_ps(p);
+  float out[8];
+  _mm256_storeu_ps(out, v);
+  return out[0];
+}
+
+}  // namespace fixture

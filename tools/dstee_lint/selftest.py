@@ -30,9 +30,13 @@ EXPECTED = sorted([
     ("src/serve/bad_evalop.hpp", "evalop-clone"),         # LeafNoClone
     ("src/serve/bad_hotswap.hpp", "hot-swap-rcu"),        # plain member
     ("src/serve/bad_evalop.hpp", "evalop-clone"),         # DirectNoClone
+    ("src/serve/bad_evalop.hpp", "evalop-clone"),         # TmplLeafNoClone
     ("src/serve/bad_mutex.hpp", "unguarded-mutex"),       # naked std::mutex
     ("src/serve/bad_mutex.hpp", "unguarded-mutex"),       # orphan util::Mutex
     ("src/serve/bad_raw_act.cpp", "serve-epilogue"),      # raw kernels::relu
+    ("src/serve/bad_simd.cpp", "simd-confinement"),       # <immintrin.h>
+    ("src/serve/bad_simd.cpp", "simd-confinement"),       # __m256/_mm256 load
+    ("src/serve/bad_simd.cpp", "simd-confinement"),       # _mm256 store
 ])
 
 FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\]")

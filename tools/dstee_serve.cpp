@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/simd/backend.hpp"
 #include "models/mlp.hpp"
 #include "models/resnet.hpp"
 #include "models/vgg.hpp"
@@ -422,8 +423,13 @@ int run(int argc, const char* const* argv) {
       .add_flag("passes",
                 "replace the pass pipeline with this comma-separated spec "
                 "(registry names, \":\"-separated args), e.g. "
-                "\"elide-dropout,fold-bn,fuse-epilogue,partition-rows:4\" "
+                "\"elide-dropout,fold-bn,fuse-epilogue,quantize:int8\" "
                 "(empty = default pipeline; --partition-rows still appends)",
+                "")
+      .add_flag("kernel-backend",
+                "pin the sparse-kernel backend (\"scalar\", \"avx2\"); "
+                "empty = CPUID pick, or the DSTEE_KERNEL_BACKEND "
+                "environment variable. Unsupported names fail loudly.",
                 "")
       .add_flag("dump-plan",
                 "print the active pass pipeline and the post-pass compile "
@@ -463,6 +469,15 @@ int run(int argc, const char* const* argv) {
                 "false");
   if (!args.parse(argc, argv)) return 0;
 
+  // Backend first: every mode (classic, registry, --dump-plan probe) runs
+  // its kernels under the pinned choice. Unknown names fail loudly here.
+  const std::string backend_name = args.get_string("kernel-backend");
+  if (!backend_name.empty()) {
+    kernels::simd::set_active_backend(backend_name);
+  }
+  std::cout << "kernel backend: " << kernels::simd::active_backend().name
+            << "\n";
+
   if (args.get_int("registry") > 0) return run_registry(args);
 
   const bool smoke = args.get_bool("smoke");
@@ -490,6 +505,9 @@ int run(int argc, const char* const* argv) {
   // Shape-aware passes built from a --passes spec (partition-rows) need
   // the per-sample input shape for FLOPs-share costing.
   copts.sample_shape = m.sample_shape;
+  // Pin the backend into the bound ops too (not just the process-wide
+  // active choice), so a later set_active_backend cannot move this net.
+  copts.kernel_backend = backend_name;
 
   std::optional<sparse::SparseModel> smodel;
   if (ckpt.empty()) {
@@ -542,16 +560,38 @@ int run(int argc, const char* const* argv) {
             << "x compression)\n";
 
   // Sanity: the compiled program must reproduce the eval-mode dense
-  // forward. Cheap, and turns --smoke into a real correctness gate.
+  // forward. Cheap, and turns --smoke into a real correctness gate. An
+  // int8-quantized net is NOT elementwise-close to fp32 — for it the
+  // gate is per-sample top-1 agreement, the serving-level contract.
   {
     tensor::Tensor probe = batched(m.sample_shape, 4);
     util::Rng probe_rng(rng.fork("probe"));
     tensor::fill_normal(probe, probe_rng, 0.0f, 1.0f);
     const tensor::Tensor dense_out = m.module->forward(probe);
     const tensor::Tensor compiled_out = net.forward(probe);
-    util::check(compiled_out.allclose(dense_out, 1e-4f),
-                "compiled forward diverged from dense eval forward");
-    std::cout << "compiled == dense eval forward on probe batch [ok]\n";
+    if (net.num_quantized_ops() == 0) {
+      util::check(compiled_out.allclose(dense_out, 1e-4f),
+                  "compiled forward diverged from dense eval forward");
+      std::cout << "compiled == dense eval forward on probe batch [ok]\n";
+    } else {
+      const std::size_t classes = compiled_out.dim(1);
+      for (std::size_t n = 0; n < compiled_out.dim(0); ++n) {
+        std::size_t dense_top = 0, q_top = 0;
+        for (std::size_t c = 1; c < classes; ++c) {
+          if (dense_out[n * classes + c] >
+              dense_out[n * classes + dense_top]) {
+            dense_top = c;
+          }
+          if (compiled_out[n * classes + c] >
+              compiled_out[n * classes + q_top]) {
+            q_top = c;
+          }
+        }
+        util::check(dense_top == q_top,
+                    "quantized forward changed a probe sample's top-1");
+      }
+      std::cout << "int8 top-1 == dense eval top-1 on probe batch [ok]\n";
+    }
   }
 
   serve::ServerConfig scfg;
