@@ -16,8 +16,9 @@
 // pipelines, equals-gated); (4) SIMD kernel-backend dispatch and int8
 // quantized serving (equals-/top-1-gated against scalar fp32); (5)
 // InferenceServer aggregate throughput across shard counts (replicated
-// CompiledNets, round-robin routing). All land in
-// bench_results/serve_scaling.csv.
+// CompiledNets, round-robin routing); (6) observability overhead —
+// tracing disabled vs armed-idle, gated at <= 2% throughput cost. All
+// land in bench_results/serve_scaling.csv.
 //
 // DSTEE_SCALE scales the model width; DSTEE_SERVE_MIN_TIME (seconds, default
 // 0.15) controls per-cell measurement time.
@@ -32,6 +33,7 @@
 #include "models/resnet.hpp"
 #include "models/vgg.hpp"
 #include "nn/conv2d.hpp"
+#include "obs/trace.hpp"
 #include "serve/compiled_net.hpp"
 #include "serve/delta.hpp"
 #include "serve/passes.hpp"
@@ -788,6 +790,83 @@ void sweep_hotswap(const bench::BenchEnv& env, double min_time,
                      swap_p99 <= base_p99 * 2.0 + 2.0);
 }
 
+/// Observability overhead: closed-loop server throughput with the trace
+/// recorder fully disabled vs armed-but-idle (enabled with a sampling
+/// period no request ever reaches, so every submit pays the sample()
+/// check and every worker pays the enabled-path branches, but no span is
+/// recorded). This is the tentpole's "disabled tracing is free" claim in
+/// bench form: one relaxed atomic load per request must cost <= 2%
+/// throughput. Reps alternate off/armed so machine drift hits both sides
+/// equally; each side keeps its best of 3.
+void sweep_obs_overhead(const bench::BenchEnv& env, double min_time,
+                        util::CsvWriter& csv) {
+  models::MlpConfig cfg;
+  cfg.in_features = env.scaled(256, 32);
+  cfg.hidden = {env.scaled(512, 64), env.scaled(512, 64)};
+  cfg.out_features = 10;
+  util::Rng rng(47);
+  models::Mlp model(cfg, rng);
+  sparse::SparseModel smodel(model, 0.9, sparse::DistributionKind::kErk,
+                             rng);
+  model.set_training(false);
+  const serve::CompiledNet net = serve::CompiledNet::compile(model, &smodel);
+  const tensor::Shape sample_shape({cfg.in_features});
+
+  // Equals gate first: a fully TRACED request (sample_every = 1, spans
+  // recorded end to end) returns the same bits as the direct forward.
+  obs::trace().enable(1);
+  {
+    serve::ServerConfig scfg;
+    scfg.num_threads = 1;
+    scfg.max_batch = 8;
+    scfg.max_delay_ms = 0.2;
+    serve::InferenceServer server(net, scfg);
+    tensor::Tensor x(sample_shape);
+    util::Rng xrng(48);
+    tensor::fill_normal(x, xrng, 0.0f, 1.0f);
+    const tensor::Tensor got = server.submit(x).get();
+    const tensor::Tensor expected =
+        net.forward(x.reshaped(sample_shape.prepended(1)));
+    util::check(got.equals(expected.reshaped(tensor::Shape({got.numel()}))),
+                "traced request diverged from direct forward");
+    server.shutdown();
+  }
+  obs::trace().disable();
+
+  const double seconds = std::max(0.3, min_time * 2.0);
+  constexpr int kReps = 3;
+  double best_off = 0.0, best_armed = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    serve::StatsSnapshot stats;
+    obs::trace().disable();
+    best_off = std::max(
+        best_off, measure_server_rps(net, sample_shape, 1, 4, seconds,
+                                     stats));
+    obs::trace().enable(1u << 30);  // armed, but never actually samples
+    best_armed = std::max(
+        best_armed, measure_server_rps(net, sample_shape, 1, 4, seconds,
+                                       stats));
+  }
+  obs::trace().disable();
+  const double ratio = best_armed / best_off;
+
+  std::cout << "observability overhead: tracing disabled vs armed-idle "
+               "(closed loop, best of " << kReps << ")\n";
+  util::Table table({"tracing", "req/s", "vs disabled"});
+  table.add_row({"disabled", util::format_fixed(best_off, 0), "1.00x"});
+  table.add_row({"armed idle", util::format_fixed(best_armed, 0),
+                 util::format_fixed(ratio, 3) + "x"});
+  std::cout << table.render() << "\n";
+  csv.write_row({"obs_overhead", "1", "1", "-",
+                 util::format_fixed(best_off, 1),
+                 util::format_fixed(best_armed, 1),
+                 util::format_fixed(ratio, 3)});
+
+  bench::shape_check(
+      "armed-idle tracing costs <= 2% closed-loop throughput (best-of-3)",
+      ratio >= 0.98);
+}
+
 int run() {
   const bench::BenchEnv env = bench::BenchEnv::resolve();
   const double min_time = util::env_double("DSTEE_SERVE_MIN_TIME", 0.15);
@@ -868,6 +947,7 @@ int run() {
   sweep_kernel_backend(env, min_time, scaling_csv);
   sweep_shards(env, min_time, scaling_csv);
   sweep_hotswap(env, min_time, scaling_csv);
+  sweep_obs_overhead(env, min_time, scaling_csv);
   scaling_csv.flush();
 
   bench::shape_check(

@@ -1,8 +1,10 @@
 #include "runtime/pool.hpp"
 
 #include <atomic>
+#include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace dstee::runtime {
@@ -84,6 +86,9 @@ bool Pool::try_pop(std::size_t home, std::function<void()>& out) {
 
 void Pool::worker_loop(std::size_t index) {
   tl_worker_pool = this;
+  // Label this worker's trace ring so drained spans (partition-group
+  // slices, intra-op chunks) carry a readable lane name in the viewer.
+  obs::set_thread_name("pool-" + std::to_string(index));
   for (;;) {
     {
       util::UniqueLock lock(idle_mu_);

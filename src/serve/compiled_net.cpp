@@ -46,10 +46,15 @@ CompiledNet CompiledNet::bind(Plan&& plan, const CompileOptions& options) {
                 "unknown or unsupported kernel backend '" +
                     options.kernel_backend + "'");
   }
+  // Profile size must be fixed before bind() consumes the plan.
+  std::shared_ptr<obs::OpProfile> profile;
+  if (options.profile_ops) {
+    profile = std::make_shared<obs::OpProfile>(plan.ops.size());
+  }
   net.exec_ = Executor::bind(
       std::move(plan),
       runtime::IntraOp{options.intra_op_threads, options.intra_op_pool},
-      backend);
+      backend, std::move(profile));
   return net;
 }
 

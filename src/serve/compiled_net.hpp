@@ -61,6 +61,12 @@ struct CompileOptions {
   /// pick, overridable via DSTEE_KERNEL_BACKEND). Unknown or unsupported
   /// names fail loudly at bind time.
   std::string kernel_backend;
+  /// Attach an obs::OpProfile to the bound executor: every forward times
+  /// each node and accumulates wall time per op (shared across replica
+  /// clones, so a sharded server aggregates into one profile). Read it
+  /// back via CompiledNet::op_profile(). Off by default — the untimed
+  /// forward stays the fast path.
+  bool profile_ops = false;
 };
 
 /// An immutable, thread-safe inference program compiled from a model.
@@ -112,6 +118,10 @@ class CompiledNet {
       const std::unordered_set<const void*>& shared) const;
 
   const Executor& executor() const { return exec_; }
+
+  /// Per-op wall-time profile (null unless compiled with
+  /// CompileOptions::profile_ops). Shared with every clone of this net.
+  const obs::OpProfile* op_profile() const { return exec_.op_profile(); }
 
   std::size_t num_ops() const { return exec_.num_ops(); }
   std::size_t num_sparse_ops() const { return sparse_ops_; }

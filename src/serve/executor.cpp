@@ -5,6 +5,8 @@
 
 #include "kernels/epilogue.hpp"
 #include "kernels/pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "sparse/flops.hpp"
 #include "tensor/im2col.hpp"
 #include "util/check.hpp"
@@ -971,11 +973,14 @@ std::unique_ptr<EvalOp> bind_op(PlanOp& op, const runtime::IntraOp& intra,
 }  // namespace
 
 Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra,
-                        const kernels::simd::KernelBackend* backend) {
+                        const kernels::simd::KernelBackend* backend,
+                        std::shared_ptr<obs::OpProfile> profile) {
   plan.validate();
   Executor exec;
   exec.intra_ = intra;
+  exec.profile_ = std::move(profile);
   exec.nodes_.reserve(plan.ops.size());
+  exec.op_names_.reserve(plan.ops.size());
   exec.group_start_.assign(plan.ops.size(), 0);
 
   // Input validation data, read off the plan before binding moves the
@@ -1027,6 +1032,7 @@ Executor Executor::bind(Plan&& plan, const runtime::IntraOp& intra,
   }
   for (std::size_t i = 0; i < plan.ops.size(); ++i) {
     PlanOp& op = plan.ops[i];
+    exec.op_names_.push_back(to_string(op.kind));
     std::vector<std::size_t> inputs = op.inputs;
     exec.nodes_.push_back(
         OpNode{bind_op(op, intra, backend), std::move(inputs)});
@@ -1070,6 +1076,20 @@ tensor::Tensor Executor::forward(const tensor::Tensor& x) const {
       values[id] = tensor::Tensor();
     }
   };
+  // Per-op instrumentation is armed only when someone can observe it: a
+  // bound profile, or an active trace id on this thread (the server's
+  // worker loop opens a ThreadTraceScope around sampled batches). The
+  // common case — neither — pays two loads up front and nothing per op.
+  obs::OpProfile* const prof = profile_.get();
+  const std::uint64_t tid = obs::current_trace_id();
+  const bool instrument = prof != nullptr || tid != 0;
+  auto timed_run = [&](std::size_t i, std::vector<tensor::Tensor>& vals) {
+    const std::int64_t t0 = obs::now_ns();
+    run_node(i, vals, x);
+    const std::int64_t dt = obs::now_ns() - t0;
+    if (prof != nullptr) prof->add(i, dt);
+    obs::trace().record(tid, obs::SpanKind::kOp, op_names_[i], t0, dt, i);
+  };
   for (std::size_t i = 0; i < nodes_.size();) {
     if (group_start_[i] != 0) {
       // A partition group: sibling row slices of one split, each writing
@@ -1081,14 +1101,22 @@ tensor::Tensor Executor::forward(const tensor::Tensor& x) const {
       runtime::pool_of(intra_).run_chunks(
           g.count, g.count, [&](std::size_t b0, std::size_t b1) {
             for (std::size_t j = b0; j < b1; ++j) {
-              run_node(g.first + j, values, x);
+              if (instrument) {
+                timed_run(g.first + j, values);
+              } else {
+                run_node(g.first + j, values, x);
+              }
             }
           });
       for (std::size_t j = 0; j < g.count; ++j) release(g.first + j);
       i += g.count;
       continue;
     }
-    run_node(i, values, x);
+    if (instrument) {
+      timed_run(i, values);
+    } else {
+      run_node(i, values, x);
+    }
     release(i);
     ++i;
   }
@@ -1117,6 +1145,10 @@ Executor Executor::clone_with(CloneContext& ctx) const {
   copy.group_start_ = group_start_;
   copy.intra_ = intra_;
   copy.input_features_ = input_features_;
+  // The profile is shared ON PURPOSE: every replica of a model adds into
+  // the same accumulator, so per-op times aggregate across shards.
+  copy.profile_ = profile_;
+  copy.op_names_ = op_names_;
   return copy;
 }
 

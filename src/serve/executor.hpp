@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "runtime/pool.hpp"
 #include "serve/plan.hpp"
 #include "sparse/csr.hpp"
@@ -145,8 +146,13 @@ class Executor {
   /// policy's pool; the slices themselves run their kernels inline.
   /// `backend` pins every op's kernel backend; nullptr defers each kernel
   /// call to kernels::simd::active_backend() (the process-wide dispatch).
+  /// `profile`, when non-null, turns on per-op wall-time accumulation:
+  /// every forward times each node and adds into the shared profile
+  /// (replica clones keep sharing it, so a sharded server aggregates into
+  /// one place). Null keeps forward() on the untimed fast path.
   static Executor bind(Plan&& plan, const runtime::IntraOp& intra,
-                       const kernels::simd::KernelBackend* backend = nullptr);
+                       const kernels::simd::KernelBackend* backend = nullptr,
+                       std::shared_ptr<obs::OpProfile> profile = nullptr);
 
   /// Executes the graph in topological (emission) order. `x` is
   /// [batch, ...]; thread-safe, may be called concurrently.
@@ -167,6 +173,14 @@ class Executor {
 
   /// PartitionRows slice groups the executor fans out in parallel.
   std::size_t num_parallel_groups() const { return groups_.size(); }
+
+  /// Per-op wall-time profile (null unless bind() received one). Shared
+  /// across replica clones, so it aggregates every shard's forwards.
+  const obs::OpProfile* op_profile() const { return profile_.get(); }
+
+  /// Static name of node i's plan-op kind ("spmm", "relu", ...) — the
+  /// label its trace spans and profile rows carry.
+  const char* op_name(std::size_t i) const { return op_names_[i]; }
 
   /// Feature count demanded by a leading input-consuming CSR linear op
   /// (0 when the first op accepts any shape it can validate at run time).
@@ -204,6 +218,10 @@ class Executor {
   std::vector<std::size_t> group_start_;
   runtime::IntraOp intra_{};
   std::size_t input_features_ = 0;
+  /// Shared per-op wall-time accumulator; null = untimed fast path.
+  std::shared_ptr<obs::OpProfile> profile_;
+  /// op_names_[i]: static-storage kind name for node i (trace span label).
+  std::vector<const char*> op_names_;
 };
 
 }  // namespace dstee::serve

@@ -98,7 +98,51 @@ PartitionRows::PartitionRows(PartitionRowsOptions options)
   util::check(options_.min_cost_share >= 0.0 &&
                   options_.min_cost_share <= 1.0,
               "partition_rows cost share must be in [0, 1]");
+  if (options_.auto_mode) {
+    util::check(options_.probe_batch >= 1 && options_.probe_iters >= 1,
+                "partition_rows auto probe needs batch and iters >= 1");
+  }
 }
+
+namespace {
+
+/// The partition-rows:auto probe: bind a COPY of the plan (the plan's
+/// weights are shared_ptrs, so the copy is cheap and bind moving them out
+/// of the copy leaves the original intact), run a few profiled forwards
+/// on a deterministic input, and return each node's measured nanoseconds.
+/// All-zero result (clock too coarse for a tiny model) tells the caller
+/// to keep the analytic cost.
+std::vector<double> probe_measured_cost(const Plan& plan,
+                                        const PartitionRowsOptions& o) {
+  Plan copy = plan;
+  auto profile = std::make_shared<obs::OpProfile>(copy.ops.size());
+  // Inline intra-op policy: the probe measures per-node cost RATIOS, and
+  // sharing the runtime pool with concurrent work would skew them.
+  const Executor exec = Executor::bind(std::move(copy), runtime::IntraOp{},
+                                       nullptr, std::move(profile));
+  std::vector<std::size_t> dims;
+  dims.reserve(o.sample_shape.rank() + 1);
+  dims.push_back(o.probe_batch);
+  for (std::size_t i = 0; i < o.sample_shape.rank(); ++i) {
+    dims.push_back(o.sample_shape.dim(i));
+  }
+  tensor::Tensor x{tensor::Shape(dims)};
+  // Deterministic, sign-mixed fill — the probe must not depend on RNG
+  // state, and an all-zero input would let value-dependent epilogues
+  // (ReLU) short-circuit differently than real traffic.
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = 0.0625f * static_cast<float>(i % 33) - 1.0f;
+  }
+  for (std::size_t it = 0; it < o.probe_iters; ++it) exec.forward(x);
+  const obs::OpProfile* prof = exec.op_profile();
+  std::vector<double> cost(plan.ops.size(), 0.0);
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    cost[i] = static_cast<double>(prof->node_ns(i));
+  }
+  return cost;
+}
+
+}  // namespace
 
 void PartitionRows::run(Plan& plan) const {
   // Per-node cost: executed FLOPs for the configured sample shape, else
@@ -118,6 +162,19 @@ void PartitionRows::run(Plan& plan) const {
       }
     }
   }
+  // Auto mode: replace the analytic cost with measured per-node wall
+  // time from a short profiled probe run. A probe that measured nothing
+  // (sub-tick model) silently keeps the analytic cost above.
+  if (options_.auto_mode) {
+    util::check(options_.sample_shape.rank() > 0,
+                "partition-rows:auto requires a sample shape "
+                "(CompileOptions::sample_shape / dstee_serve --sample)");
+    std::vector<double> measured = probe_measured_cost(plan, options_);
+    double measured_total = 0.0;
+    for (const double c : measured) measured_total += c;
+    if (measured_total > 0.0) cost = std::move(measured);
+  }
+
   double total = 0.0;
   for (const double c : cost) total += c;
 
@@ -333,15 +390,20 @@ std::unordered_map<std::string, Compiler::PassFactory>& pass_registry() {
         reg["quantize"] = quantize;  // spec alias
         reg["partition_rows"] = [](const std::vector<std::string>& args,
                                    const CompileOptions& options) {
-          util::check(args.size() <= 2,
-                      "partition_rows spec is ways[:min_cost_share]");
           PartitionRowsOptions popts;
-          if (!args.empty()) {
-            popts.ways = parse_pass_size("partition_rows", args[0]);
+          std::size_t a = 0;
+          if (!args.empty() && args[0] == "auto") {
+            popts.auto_mode = true;
+            a = 1;
           }
-          if (args.size() >= 2) {
+          util::check(args.size() - a <= 2,
+                      "partition_rows spec is [auto:]ways[:min_cost_share]");
+          if (args.size() > a) {
+            popts.ways = parse_pass_size("partition_rows", args[a]);
+          }
+          if (args.size() > a + 1) {
             popts.min_cost_share =
-                parse_pass_double("partition_rows", args[1]);
+                parse_pass_double("partition_rows", args[a + 1]);
           }
           popts.sample_shape = options.sample_shape;
           return std::make_unique<PartitionRows>(popts);

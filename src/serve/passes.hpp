@@ -97,6 +97,19 @@ struct PartitionRowsOptions {
   /// rank 0 falls back to nnz shares (exact for Linear, a proxy for conv
   /// whose per-position cost still scales with nnz).
   tensor::Shape sample_shape{};
+  /// Measure instead of model ("partition-rows:auto" in specs): bind a
+  /// probe executor off a COPY of the plan, run a few deterministic
+  /// forwards with per-op profiling, and pick the nodes to split from the
+  /// OBSERVED wall-time shares — cache effects, fused epilogues and
+  /// kernel dispatch included, which the analytic nnz/FLOPs model cannot
+  /// see. Requires sample_shape (the probe needs an input); a probe that
+  /// measures nothing falls back to the analytic cost. Slice BOUNDARIES
+  /// still come from balanced_row_splits, so the partitioned program
+  /// stays bit-identical to the unpartitioned one either way — auto only
+  /// changes WHICH nodes split.
+  bool auto_mode = false;
+  std::size_t probe_batch = 4;  ///< rows in the probe input
+  std::size_t probe_iters = 3;  ///< timed forwards to accumulate
 };
 
 /// Splits the heaviest CSR nodes into `ways` cost-balanced row-range

@@ -197,7 +197,8 @@ std::vector<std::size_t> Plan::use_counts() const {
 }
 
 std::vector<Plan::NodeCost> Plan::annotate(
-    const tensor::Shape& sample_shape) const {
+    const tensor::Shape& sample_shape,
+    const obs::OpProfile* measured) const {
   std::vector<std::size_t> dims;
   dims.reserve(sample_shape.rank() + 1);
   dims.push_back(1);
@@ -314,6 +315,21 @@ std::vector<Plan::NodeCost> Plan::annotate(
   }
   if (total > 0.0) {
     for (NodeCost& c : costs) c.share = c.flops / total;
+  }
+  // A measured profile (recorded off an executor bound from this plan)
+  // overrides the analytic shares with observed wall-time shares. A
+  // profile of the wrong size (plan rewritten since it was recorded) or
+  // with no samples yet is ignored — the analytic shares stand.
+  if (measured != nullptr && measured->size() == ops.size()) {
+    const std::int64_t measured_total = measured->total_ns();
+    if (measured_total > 0) {
+      for (std::size_t i = 0; i < costs.size(); ++i) {
+        const std::int64_t ns = measured->node_ns(i);
+        costs[i].measured_ms = static_cast<double>(ns) / 1e6;
+        costs[i].share = static_cast<double>(ns) /
+                         static_cast<double>(measured_total);
+      }
+    }
   }
   return costs;
 }

@@ -32,6 +32,7 @@
 
 #include "kernels/epilogue.hpp"
 #include "nn/sequential.hpp"
+#include "obs/profile.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/qcsr.hpp"
 #include "sparse/sparse_model.hpp"
@@ -204,8 +205,18 @@ struct Plan {
     /// Weight bytes THIS node streams (slices report their own row
     /// range's share of the parent). 0 for non-weight ops.
     std::size_t weight_bytes = 0;
+    /// Measured wall milliseconds per node (summed over the profile's
+    /// forwards), 0 when annotate ran without a measured profile.
+    double measured_ms = 0.0;
   };
-  std::vector<NodeCost> annotate(const tensor::Shape& sample_shape) const;
+  /// `measured` (optional) replaces the analytic FLOPs-based `share` with
+  /// the profile's observed wall-time shares — an OpProfile recorded off
+  /// an executor bound from THIS plan (node indices must line up; a
+  /// size-mismatched or all-zero profile is ignored and the analytic
+  /// shares stand). Shapes/flops columns are analytic either way.
+  std::vector<NodeCost> annotate(const tensor::Shape& sample_shape,
+                                 const obs::OpProfile* measured =
+                                     nullptr) const;
 
   /// Human-readable plan listing: one line per node with kind, config,
   /// nnz, and — when `sample_shape` is given — output shape, FLOPs and

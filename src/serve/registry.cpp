@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/clock.hpp"
 #include "train/checkpoint.hpp"
 #include "util/check.hpp"
 
@@ -41,6 +42,14 @@ std::size_t autoscale_target(const AutoscalerConfig& config,
   return clamped(active > 1 ? active - 1 : 1);
 }
 
+ModelRegistry::ModelRegistry(obs::MetricsRegistry* metrics)
+    : metrics_(metrics),
+      evictions_(&metrics->counter("dstee_model_evictions_total", "",
+                                   "Models removed from the registry")) {
+  util::check(metrics != nullptr,
+              "ModelRegistry requires a metrics registry");
+}
+
 ModelRegistry::~ModelRegistry() { shutdown(); }
 
 void ModelRegistry::add_model(const std::string& name,
@@ -50,6 +59,13 @@ void ModelRegistry::add_model(const std::string& name,
   util::check(!name.empty(), "ModelRegistry: model name must not be empty");
   util::check(module != nullptr,
               "ModelRegistry: model '" + name + "' has no module");
+
+  // Wire the model's server into the registry's metrics registry under
+  // the model name, unless the caller already routed it elsewhere.
+  if (options.server.metrics == nullptr) options.server.metrics = metrics_;
+  if (options.server.metrics_label.empty()) {
+    options.server.metrics_label = name;
+  }
 
   auto slot = std::make_unique<Slot>(std::move(options));
   if (slot->options.partition_ways >= 2) {
@@ -71,7 +87,10 @@ void ModelRegistry::add_model(const std::string& name,
 
   util::MutexLock lock(mu_);
   for (const auto& existing : slots_) {
-    util::check(existing->name != name,
+    // A removed slot's name is free for re-use: re-adding a model after
+    // remove_model is part of the eviction contract.
+    util::check(existing->name != name ||
+                    existing->removed.load(std::memory_order_acquire),
                 "ModelRegistry: duplicate model name '" + name + "'");
   }
   slot->name = name;
@@ -93,6 +112,10 @@ SwapReport ModelRegistry::apply_delta(const std::string& name,
                                       const CheckpointDelta& delta) {
   Slot& slot = find(name);
   util::MutexLock lock(slot.mu);
+  // find() raced a concurrent remove_model: the slot was decommissioned
+  // (module/state freed) while we waited for the swap lock.
+  util::check(!slot.removed.load(std::memory_order_acquire),
+              "ModelRegistry: model '" + name + "' was removed");
 
   // Mutate the source-of-truth model first; this throws (mutating
   // nothing) when the delta's base hash does not match.
@@ -153,8 +176,28 @@ void ModelRegistry::swap_model(const std::string& name,
                                const std::string& checkpoint_path) {
   Slot& slot = find(name);
   util::MutexLock lock(slot.mu);
+  util::check(!slot.removed.load(std::memory_order_acquire),
+              "ModelRegistry: model '" + name + "' was removed");
   train::load_checkpoint(checkpoint_path, *slot.module, slot.state.get());
   slot.server->swap(recompile(slot));
+}
+
+void ModelRegistry::remove_model(const std::string& name) {
+  Slot& slot = find(name);  // throws when unknown or already removed
+  // Publish the removal first: find() stops handing the slot out, so no
+  // new submits/swaps reach it. A submit that already routed wins or
+  // loses the race against shutdown exactly like it does today — queued
+  // requests drain, post-shutdown submits throw.
+  slot.removed.store(true, std::memory_order_release);
+  util::MutexLock lock(slot.mu);  // serialize with in-flight swaps
+  slot.server->decommission();    // drain, join, release warm replicas
+  // Release the training-side source of truth; the slot shell (stats,
+  // config) stays for the lifetime of the registry.
+  slot.module.reset();
+  slot.state.reset();
+  slot.base_plan = Plan{};
+  slot.hash = 0;
+  evictions_->add(1);
 }
 
 std::size_t ModelRegistry::scale_model(const std::string& name,
@@ -184,19 +227,30 @@ std::vector<std::string> ModelRegistry::model_names() const {
   util::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(slots_.size());
-  for (const auto& slot : slots_) names.push_back(slot->name);
+  for (const auto& slot : slots_) {
+    if (!slot->removed.load(std::memory_order_acquire)) {
+      names.push_back(slot->name);
+    }
+  }
   return names;
 }
 
 std::size_t ModelRegistry::num_models() const {
   util::MutexLock lock(mu_);
-  return slots_.size();
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (!slot->removed.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
 }
 
 bool ModelRegistry::has_model(const std::string& name) const {
   util::MutexLock lock(mu_);
   for (const auto& slot : slots_) {
-    if (slot->name == name) return true;
+    if (slot->name == name &&
+        !slot->removed.load(std::memory_order_acquire)) {
+      return true;
+    }
   }
   return false;
 }
@@ -216,8 +270,14 @@ void ModelRegistry::shutdown() {
 
 ModelRegistry::Slot& ModelRegistry::find(const std::string& name) const {
   util::MutexLock lock(mu_);
+  bool saw_removed = false;
   for (const auto& slot : slots_) {
-    if (slot->name == name) return *slot;
+    if (slot->name != name) continue;
+    if (!slot->removed.load(std::memory_order_acquire)) return *slot;
+    saw_removed = true;  // a re-added live slot may still follow
+  }
+  if (saw_removed) {
+    util::fail("ModelRegistry: model '" + name + "' was removed");
   }
   util::fail("ModelRegistry: unknown model '" + name + "'");
 }
@@ -243,21 +303,22 @@ void ModelRegistry::autoscale_loop() {
     {
       util::MutexLock lock(mu_);
       for (const auto& slot : slots_) {
-        if (slot->options.autoscaler.enabled) {
+        if (slot->options.autoscaler.enabled &&
+            !slot->removed.load(std::memory_order_acquire)) {
           scaled.push_back(slot.get());
           interval_ms =
               std::min(interval_ms, slot->options.autoscaler.interval_ms);
         }
       }
     }
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+    const obs::Clock::time_point deadline =
+        obs::now() +
+        std::chrono::duration_cast<obs::Clock::duration>(
             std::chrono::duration<double, std::milli>(
                 std::max(1.0, interval_ms)));
     {
       util::UniqueLock lock(as_mu_);
-      while (!as_stop_ && std::chrono::steady_clock::now() < deadline) {
+      while (!as_stop_ && obs::now() < deadline) {
         as_cv_.wait_until(lock, deadline);
       }
       if (as_stop_) return;

@@ -29,6 +29,7 @@
 // warm replicas are pre-built, so reaction time is one poll interval.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
 #include "serve/delta.hpp"
 #include "serve/passes.hpp"
 #include "serve/server.hpp"
@@ -97,13 +99,19 @@ struct ModelOptions {
 
 /// Multi-tenant model registry with zero-downtime hot swap.
 ///
-/// Thread-safety: add_model/apply_delta/swap_model/scale_model may be
-/// called concurrently with each other and with submit/try_submit from
-/// any number of threads. Models cannot be removed — slots live until
-/// shutdown(), so references handed out internally stay valid.
+/// Thread-safety: add_model/apply_delta/swap_model/scale_model/
+/// remove_model may be called concurrently with each other and with
+/// submit/try_submit from any number of threads. Slot STORAGE lives until
+/// shutdown() (references handed out internally stay valid), but
+/// remove_model() decommissions a slot: its server drains in-flight
+/// requests on the version they captured, warm replicas and model state
+/// are released, and later lookups of the name fail until it is re-added.
 class ModelRegistry {
  public:
-  ModelRegistry() = default;
+  /// Evictions (and per-model serving metrics, when ModelOptions wires
+  /// them) are counted in `metrics`; the default is the process-wide
+  /// obs registry. Must outlive the registry.
+  explicit ModelRegistry(obs::MetricsRegistry* metrics = &obs::metrics());
   ~ModelRegistry();
 
   ModelRegistry(const ModelRegistry&) = delete;
@@ -142,6 +150,13 @@ class ModelRegistry {
   /// active count.
   std::size_t scale_model(const std::string& name, std::size_t shards);
 
+  /// Evicts `name`: in-flight and already-queued requests finish on the
+  /// version they captured, then the server's warm replicas and the
+  /// slot's module/state/plan are released. Later submits (and every
+  /// other by-name operation) throw a "removed" error; the name may be
+  /// re-added. Counted in the `dstee_model_evictions_total` obs metric.
+  void remove_model(const std::string& name);
+
   StatsSnapshot stats(const std::string& name) const;
   std::size_t num_active_shards(const std::string& name) const;
   std::size_t queue_depth(const std::string& name) const;
@@ -176,10 +191,16 @@ class ModelRegistry {
 
     std::unique_ptr<InferenceServer> server;  ///< set once in add_model
     std::size_t low_streak = 0;  ///< autoscaler thread only
+
+    /// Set (release) by remove_model before it decommissions the slot;
+    /// find() refuses removed slots, so no new work reaches a slot whose
+    /// replicas are being released. Storage stays until shutdown().
+    std::atomic<bool> removed{false};
   };
 
-  /// Name lookup; throws CheckError on unknown names. The returned slot
-  /// is pointer-stable (slots are never removed).
+  /// Name lookup; throws CheckError on unknown and on removed names. The
+  /// returned slot is pointer-stable (slot storage is never freed before
+  /// shutdown()).
   Slot& find(const std::string& name) const;
 
   /// Compiles the slot's current model state, retains the plan under
@@ -189,6 +210,9 @@ class ModelRegistry {
 
   void autoscale_loop();
   void start_autoscaler();
+
+  obs::MetricsRegistry* metrics_;       ///< never null
+  obs::Counter* evictions_;             ///< dstee_model_evictions_total
 
   mutable util::Mutex mu_;  ///< guards the slot vector (append-only)
   std::vector<std::unique_ptr<Slot>> slots_ DSTEE_GUARDED_BY(mu_);

@@ -3,15 +3,20 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace dstee::serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// The obs clock is the one sanctioned serve-path timing surface (lint
+// rule serve-timing); millis helpers below are pure duration arithmetic.
+using Clock = obs::Clock;
 
 Clock::duration millis_duration(double ms) {
   return std::chrono::duration_cast<Clock::duration>(
@@ -55,13 +60,29 @@ InferenceServer::InferenceServer(std::shared_ptr<const CompiledNet> net,
     shards_.push_back(std::move(shard));
   }
   active_shards_.store(config_.num_shards, std::memory_order_release);
+  if (config_.metrics != nullptr) {
+    latency_hist_ = &config_.metrics->histogram(
+        "dstee_request_latency_ms", config_.metrics_label,
+        "End-to-end request latency (queue wait + compute), milliseconds");
+    requests_ctr_ = &config_.metrics->counter(
+        "dstee_requests_total", config_.metrics_label, "Completed requests");
+    batches_ctr_ = &config_.metrics->counter(
+        "dstee_batches_total", config_.metrics_label,
+        "Micro-batches executed");
+  }
   // Workers start only after every shard exists: a worker never observes a
   // half-built shards_ vector.
-  for (auto& shard : shards_) {
-    Shard* s = shard.get();
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard* s = shards_[si].get();
     s->workers.reserve(config_.num_threads);
     for (std::size_t t = 0; t < config_.num_threads; ++t) {
-      s->workers.emplace_back([this, s] { worker_loop(*s); });
+      s->workers.emplace_back([this, s, si, t] {
+        // Named at thread start, before the first trace record registers
+        // this thread's ring (see obs::set_thread_name).
+        obs::set_thread_name("serve-s" + std::to_string(si) + "-w" +
+                             std::to_string(t));
+        worker_loop(*s);
+      });
     }
   }
 }
@@ -100,7 +121,10 @@ std::future<tensor::Tensor> InferenceServer::enqueue(Shard& shard,
                                                      tensor::Tensor input) {
   Request req;
   req.input = std::move(input);
-  req.enqueued = Clock::now();
+  // One relaxed load when tracing is off; a sampled request gets a
+  // nonzero id and its spans land in the trace.
+  req.trace_id = obs::trace().sample();
+  req.enqueued = obs::now();
   std::future<tensor::Tensor> result = req.result.get_future();
   shard.queue.push_back(std::move(req));
   shard.stats.record_queue_depth(shard.queue.size());
@@ -115,13 +139,13 @@ std::future<tensor::Tensor> InferenceServer::submit(tensor::Tensor input) {
   if (!shard.stopping && shard.queue.size() >= config_.queue_capacity) {
     // Backpressure stall: the wait itself is part of the serving story,
     // so it is measured and surfaced instead of silently absorbed.
-    const Clock::time_point blocked_from = Clock::now();
+    const Clock::time_point blocked_from = obs::now();
     while (!shard.stopping &&
            shard.queue.size() >= config_.queue_capacity) {
       shard.space_cv.wait(lock);
     }
     shard.stats.record_blocked_ms(
-        millis_between(blocked_from, Clock::now()));
+        millis_between(blocked_from, obs::now()));
   }
   util::check(!shard.stopping, "submit on a shut-down server");
   return enqueue(shard, std::move(input));
@@ -206,7 +230,7 @@ std::vector<InferenceServer::Request> InferenceServer::next_batch(
            shard.queue.size() < config_.max_batch) {
       const Clock::time_point deadline =
           shard.queue.front().enqueued + millis_duration(config_.max_delay_ms);
-      if (Clock::now() >= deadline) break;  // head's window expired: flush
+      if (obs::now() >= deadline) break;  // head's window expired: flush
       shard.queue_cv.wait_until(lock, deadline);
     }
     if (shard.queue.empty()) continue;
@@ -230,14 +254,30 @@ void InferenceServer::worker_loop(Shard& shard) {
     std::vector<Request> batch = next_batch(shard);
     if (batch.empty()) return;
 
+    // Trace bookkeeping: the batch's worker-side spans (flush/assemble/
+    // forward) are attributed to the first sampled request in it; with
+    // tracing off every trace_id is 0 and each record() below is a
+    // single predictable branch.
+    const Clock::time_point popped = obs::now();
+    std::uint64_t batch_tid = 0;
+    for (const Request& req : batch) {
+      if (req.trace_id != 0) {
+        batch_tid = req.trace_id;
+        break;
+      }
+    }
+
     const std::size_t b = batch.size();
     const std::size_t sample_elems = batch[0].input.numel();
+    const std::int64_t assemble_ns = obs::to_ns(popped);
     tensor::Tensor x{batch[0].input.shape().prepended(b)};
     for (std::size_t i = 0; i < b; ++i) {
       float* dst = x.raw() + i * sample_elems;
       const float* src = batch[i].input.raw();
       for (std::size_t j = 0; j < sample_elems; ++j) dst[j] = src[j];
     }
+    obs::trace().record(batch_tid, obs::SpanKind::kAssemble, "assemble",
+                        assemble_ns, obs::now_ns() - assemble_ns, b);
 
     std::vector<double> latencies_ms;
     latencies_ms.reserve(b);
@@ -248,11 +288,22 @@ void InferenceServer::worker_loop(Shard& shard) {
       // this one finishes on the version it captured, and the captured
       // shared_ptr keeps that version alive until the batch is done.
       const std::shared_ptr<const CompiledNet> net = shard.net.load();
-      const tensor::Tensor y = net->forward(x);
+      const std::int64_t fwd_ns = obs::now_ns();
+      tensor::Tensor y;
+      {
+        // Per-op spans inside this forward attach to the batch's trace id
+        // through the thread-local scope (see Executor::forward).
+        obs::ThreadTraceScope scope(batch_tid);
+        y = net->forward(x);
+      }
+      obs::trace().record(batch_tid, obs::SpanKind::kForward, "forward",
+                          fwd_ns, obs::now_ns() - fwd_ns, b);
       util::check(y.rank() >= 1 && y.dim(0) == b && y.numel() % b == 0,
                   "compiled forward returned a non-batched result");
       const std::size_t out = y.numel() / b;
-      const Clock::time_point done = Clock::now();
+      const Clock::time_point done = obs::now();
+      const std::int64_t popped_ns = obs::to_ns(popped);
+      const std::int64_t done_ns = obs::to_ns(done);
       for (std::size_t i = 0; i < b; ++i) {
         tensor::Tensor row({out});
         const float* src = y.raw() + i * out;
@@ -260,6 +311,28 @@ void InferenceServer::worker_loop(Shard& shard) {
         batch[i].result.set_value(std::move(row));
         ++fulfilled;
         latencies_ms.push_back(millis_between(batch[i].enqueued, done));
+        // Per-request spans: queue [enqueued, popped) + batch [popped,
+        // done) tile the request [enqueued, done) exactly, so a trace
+        // consumer can check dur(queue) + dur(batch) == dur(request).
+        const std::uint64_t tid = batch[i].trace_id;
+        if (tid != 0) {
+          const std::int64_t enq_ns = obs::to_ns(batch[i].enqueued);
+          obs::trace().record(tid, obs::SpanKind::kRequest, "request",
+                              enq_ns, done_ns - enq_ns, i);
+          obs::trace().record(tid, obs::SpanKind::kQueue, "queue", enq_ns,
+                              popped_ns - enq_ns, i);
+          obs::trace().record(tid, obs::SpanKind::kBatch, "batch",
+                              popped_ns, done_ns - popped_ns, i);
+        }
+        if (latency_hist_ != nullptr) {
+          latency_hist_->observe(latencies_ms.back());
+        }
+      }
+      obs::trace().record(batch_tid, obs::SpanKind::kFlush, "flush",
+                          popped_ns, done_ns - popped_ns, b);
+      if (requests_ctr_ != nullptr) {
+        requests_ctr_->add(b);
+        batches_ctr_->add(1);
       }
     } catch (...) {
       // Settle only the promises that have not been fulfilled yet —
@@ -289,6 +362,16 @@ void InferenceServer::shutdown() {
       if (worker.joinable()) worker.join();
     }
     shard->workers.clear();
+  }
+}
+
+void InferenceServer::decommission() {
+  shutdown();
+  // Workers are joined, so nothing loads the cells anymore; clearing them
+  // drops the last owning references to the warm replicas (and, for shard
+  // 0, to the borrowed/shared source net). Stats stay readable.
+  for (auto& shard : shards_) {
+    shard->net.store(nullptr);
   }
 }
 

@@ -50,12 +50,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.hpp"
 #include "serve/compiled_net.hpp"
 #include "serve/stats.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rcu.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
+
+namespace dstee::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace dstee::obs
 
 namespace dstee::serve {
 
@@ -68,6 +75,11 @@ struct ServerConfig {
   std::size_t max_shards = 0;    ///< scaling headroom; 0 = num_shards
   std::size_t queue_quota = 0;   ///< try_submit() sheds beyond this; 0 =
                                  ///< shed only at queue_capacity
+  /// When set, workers record per-request latency and request/batch
+  /// counts into this registry (labeled `metrics_label`), in addition to
+  /// the internal ServerStats. Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_label;  ///< `model` label on exported metrics
 };
 
 /// Multi-threaded micro-batching front-end over replicated CompiledNets.
@@ -138,6 +150,13 @@ class InferenceServer {
   /// already queued, then joins them.
   void shutdown();
 
+  /// shutdown() + releases every shard's warm replica (the RcuCells are
+  /// cleared once the workers are joined, so nothing loads them). The
+  /// eviction path: a decommissioned server keeps answering stats() but
+  /// holds no weight memory. submit()/try_submit() throw, like after
+  /// shutdown().
+  void decommission();
+
   /// Server-wide counters aggregated across all shards.
   StatsSnapshot stats() const;
 
@@ -154,7 +173,10 @@ class InferenceServer {
   struct Request {
     tensor::Tensor input;
     std::promise<tensor::Tensor> result;
-    std::chrono::steady_clock::time_point enqueued;
+    obs::Clock::time_point enqueued;
+    /// Nonzero when this request was picked by the trace sampler; its
+    /// queue/batch/compute spans are recorded under this id.
+    std::uint64_t trace_id = 0;
   };
 
   /// One worker group: a versioned replica, a queue, workers and stats.
@@ -200,6 +222,13 @@ class InferenceServer {
   ServerConfig config_;
   std::size_t input_features_ = 0;  ///< from the source net, for validation
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Optional obs export, resolved once in the constructor (metric
+  // objects are pointer-stable for the registry's lifetime); null when
+  // config_.metrics is null. The update path is lock-free either way.
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Counter* requests_ctr_ = nullptr;
+  obs::Counter* batches_ctr_ = nullptr;
 
   /// Routing bound: shards_[0 .. active) receive new traffic. Release
   /// store in scale_to(), acquire load in route().

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
 
@@ -100,7 +101,7 @@ StatsSnapshot ServerStats::snapshot() const {
     // counter reads below are lock-free and never stall a worker.
     util::MutexLock lock(mu_);
     samples = latencies_ms_;
-    elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
+    elapsed = std::chrono::duration<double>(obs::now() - start_).count();
   }
   return finalize(requests_.load(std::memory_order_relaxed),
                   batches_.load(std::memory_order_relaxed), elapsed,
@@ -134,7 +135,7 @@ StatsSnapshot ServerStats::aggregate(
                    group->latencies_ms_.end());
     elapsed = std::max(
         elapsed,
-        std::chrono::duration<double>(Clock::now() - group->start_).count());
+        std::chrono::duration<double>(obs::now() - group->start_).count());
   }
   return finalize(requests, batches, elapsed, std::move(samples), queue_peak,
                   blocked_ms, shed, swaps);
@@ -153,7 +154,36 @@ void ServerStats::reset() {
   util::MutexLock lock(mu_);
   latencies_ms_.clear();
   next_slot_ = 0;
-  start_ = Clock::now();
+  start_ = obs::now();
+}
+
+void export_stats_metrics(obs::MetricsRegistry& registry,
+                          const std::string& label, const StatsSnapshot& s) {
+  const auto set = [&](const char* name, double value, const char* help) {
+    registry.gauge(name, label, help).set(value);
+  };
+  set("dstee_stats_requests", static_cast<double>(s.requests),
+      "Completed requests");
+  set("dstee_stats_batches", static_cast<double>(s.batches),
+      "Forward passes executed");
+  set("dstee_stats_mean_batch_size", s.mean_batch_size,
+      "Requests per executed batch");
+  set("dstee_stats_throughput_rps", s.throughput_rps,
+      "Requests per second since start/reset");
+  set("dstee_stats_latency_mean_ms", s.latency_mean_ms,
+      "Mean end-to-end latency over the recent window, ms");
+  set("dstee_stats_latency_p50_ms", s.latency_p50_ms,
+      "p50 end-to-end latency over the recent window, ms");
+  set("dstee_stats_latency_p99_ms", s.latency_p99_ms,
+      "p99 end-to-end latency over the recent window, ms");
+  set("dstee_stats_queue_peak", static_cast<double>(s.queue_peak),
+      "Queue-depth high-water mark");
+  set("dstee_stats_blocked_ms", s.blocked_ms,
+      "Total submit() backpressure wait, ms");
+  set("dstee_stats_shed", static_cast<double>(s.shed_total),
+      "Requests rejected by admission control");
+  set("dstee_stats_swaps", static_cast<double>(s.swap_count),
+      "Hot-swap versions published");
 }
 
 std::string StatsSnapshot::to_string() const {

@@ -26,8 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
+
+namespace dstee::obs {
+class MetricsRegistry;
+}  // namespace dstee::obs
 
 namespace dstee::serve {
 
@@ -68,7 +73,7 @@ class ServerStats {
  public:
   static constexpr std::size_t kMaxLatencySamples = 1u << 16;
 
-  ServerStats() : start_(Clock::now()) {}
+  ServerStats() : start_(obs::now()) {}
 
   /// Records one executed micro-batch and the end-to-end latency (queue
   /// wait + compute) of each request it contained.
@@ -104,7 +109,9 @@ class ServerStats {
   void reset();
 
  private:
-  using Clock = std::chrono::steady_clock;
+  /// All serve-path timing goes through the obs clock surface — the
+  /// serve-timing lint rule keeps raw steady_clock calls out of src/serve.
+  using Clock = obs::Clock;
 
   static StatsSnapshot finalize(std::size_t requests, std::size_t batches,
                                 double elapsed_seconds,
@@ -131,5 +138,13 @@ class ServerStats {
   std::atomic<std::size_t> shed_{0};
   std::atomic<std::size_t> swaps_{0};
 };
+
+/// Surfaces one StatsSnapshot through the obs metrics registry under the
+/// given model label — every snapshot field becomes a gauge named
+/// dstee_stats_<field> (gauges, not counters: a snapshot is a point-in-
+/// time total, and re-exporting a counter would double-count). The bridge
+/// from the server's internal accounting to `dstee_serve --metrics-out`.
+void export_stats_metrics(obs::MetricsRegistry& registry,
+                          const std::string& label, const StatsSnapshot& s);
 
 }  // namespace dstee::serve

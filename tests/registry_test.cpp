@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "models/mlp.hpp"
+#include "obs/metrics.hpp"
 #include "serve/compiled_net.hpp"
 #include "serve/delta.hpp"
 #include "serve/registry.hpp"
@@ -335,6 +336,56 @@ TEST(Registry, AutoscalerGrowsUnderQueueBuildup) {
   }
   EXPECT_GE(registry.num_active_shards("m"), 2u);
   for (auto& f : futures) EXPECT_EQ(f.get().numel(), 5u);
+  registry.shutdown();
+}
+
+TEST(Registry, RemoveModelEvictsCountsAndAllowsReAdd) {
+  obs::MetricsRegistry metrics;
+  serve::ModelRegistry registry(&metrics);
+  SeededModel::add_to(registry, "a", 5);
+  SeededModel::add_to(registry, "b", 6);
+  const auto x = random_tensor(tensor::Shape({12}), 7);
+  EXPECT_TRUE(
+      registry.submit("a", x).get().equals(expected_row(5, x, false)));
+
+  registry.remove_model("a");
+  EXPECT_EQ(registry.num_models(), 1u);
+  EXPECT_FALSE(registry.has_model("a"));
+  EXPECT_EQ(registry.model_names(), std::vector<std::string>{"b"});
+  EXPECT_THROW(registry.submit("a", x), util::CheckError);
+  EXPECT_THROW(registry.stats("a"), util::CheckError);
+  EXPECT_THROW(registry.remove_model("a"), util::CheckError);  // only once
+  EXPECT_EQ(metrics.counter("dstee_model_evictions_total").value(), 1u);
+  // The surviving tenant is untouched.
+  EXPECT_TRUE(
+      registry.submit("b", x).get().equals(expected_row(6, x, false)));
+
+  // The evicted name is reusable: a fresh slot serves the NEW weights.
+  SeededModel::add_to(registry, "a", 9);
+  EXPECT_TRUE(registry.has_model("a"));
+  EXPECT_EQ(registry.num_models(), 2u);
+  EXPECT_TRUE(
+      registry.submit("a", x).get().equals(expected_row(9, x, false)));
+  registry.remove_model("a");
+  EXPECT_EQ(metrics.counter("dstee_model_evictions_total").value(), 2u);
+  registry.shutdown();
+}
+
+TEST(Registry, RemoveModelDrainsInFlightRequests) {
+  // Eviction decommissions via server shutdown, which drains the queue:
+  // every request submitted BEFORE remove_model completes with the right
+  // answer — eviction sheds capacity, not accepted work.
+  serve::ModelOptions mopts;
+  mopts.server.max_delay_ms = 20.0;  // slow flush so a queue builds
+  mopts.server.max_batch = 4;
+  serve::ModelRegistry registry;
+  SeededModel::add_to(registry, "a", 5, mopts);
+  const auto x = random_tensor(tensor::Shape({12}), 8);
+  const auto expected = expected_row(5, x, false);
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(registry.submit("a", x));
+  registry.remove_model("a");
+  for (auto& f : futures) EXPECT_TRUE(f.get().equals(expected));
   registry.shutdown();
 }
 

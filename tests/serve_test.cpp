@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <future>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -21,8 +22,12 @@
 #include "nn/linear.hpp"
 #include "nn/losses.hpp"
 #include "nn/pooling.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "serve/compiled_net.hpp"
+#include "serve/stats.hpp"
 #include "serve/delta.hpp"
 #include "serve/fusion.hpp"
 #include "serve/passes.hpp"
@@ -1597,6 +1602,268 @@ TEST(Compiler, RegisterPassExtendsTheSpecNamespace) {
   const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
   const auto x = random_tensor(tensor::Shape({4, 12}), 513);
   EXPECT_TRUE(net.forward(x).equals(baseline.forward(x)));
+}
+
+// --- Observability: measured costs, auto partitioning, tracing ----------
+
+/// partition-rows with auto_mode: split selection comes from a probe's
+/// measured per-op wall time instead of the static nnz/FLOPs model.
+serve::Compiler auto_partition_compiler(std::size_t ways,
+                                        tensor::Shape sample_shape,
+                                        double threshold = 0.0) {
+  serve::Compiler compiler;
+  serve::PartitionRowsOptions popts;
+  popts.ways = ways;
+  popts.min_cost_share = threshold;
+  popts.sample_shape = std::move(sample_shape);
+  popts.auto_mode = true;
+  compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+  return compiler;
+}
+
+TEST(PartitionRows, AutoModeMlpMatchesUnpartitionedAndStatic) {
+  // Auto mode only changes WHICH nodes split (measured shares instead of
+  // static cost); slice boundaries still come from balanced_row_splits,
+  // so the answers stay bit-identical to the unpartitioned program. At
+  // threshold 0 every CSR node splits either way, so auto and static
+  // produce the same program.
+  CompiledHarness h(0.9, /*batch_norm=*/true);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 601);
+  const auto expected = baseline.forward(x);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto net = auto_partition_compiler(k, tensor::Shape({12}))
+                         .compile(h.model, &h.smodel);
+    EXPECT_GT(net.num_partitioned_ops(), 0u) << "k=" << k;
+    const auto got = net.forward(x);
+    EXPECT_TRUE(got.equals(expected)) << "k=" << k;
+    const auto static_net = partition_compiler(k, tensor::Shape({12}))
+                                .compile(h.model, &h.smodel);
+    EXPECT_EQ(net.num_partitioned_ops(), static_net.num_partitioned_ops())
+        << "k=" << k;
+    EXPECT_TRUE(got.equals(static_net.forward(x))) << "k=" << k;
+  }
+}
+
+TEST(PartitionRows, AutoModeResNetMatchesUnpartitioned) {
+  models::ResNetConfig cfg;
+  cfg.depth = 18;
+  cfg.image_size = 8;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.07;
+  util::Rng rng(602);
+  models::ResNet resnet(cfg, rng);
+  sparse::SparseModel smodel(resnet, 0.85, sparse::DistributionKind::kErk,
+                             rng);
+  resnet.forward(random_tensor(tensor::Shape({4, 3, 8, 8}), 603));
+  resnet.set_training(false);
+
+  const auto baseline = serve::CompiledNet::compile(resnet, &smodel);
+  const auto net = auto_partition_compiler(2, tensor::Shape({3, 8, 8}))
+                       .compile(resnet, &smodel);
+  EXPECT_GT(net.num_partitioned_ops(), 0u);
+  const auto x = random_tensor(tensor::Shape({2, 3, 8, 8}), 604);
+  EXPECT_TRUE(net.forward(x).equals(baseline.forward(x)));
+}
+
+TEST(PartitionRows, AutoModeRequiresSampleShape) {
+  // The probe needs an input to forward; auto without a sample shape is
+  // an API-misuse error, not a silent fallback.
+  CompiledHarness h(0.9);
+  serve::Compiler compiler;
+  serve::PartitionRowsOptions popts;
+  popts.ways = 2;
+  popts.min_cost_share = 0.0;
+  popts.auto_mode = true;
+  compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+  EXPECT_THROW(compiler.compile(h.model, &h.smodel), util::CheckError);
+}
+
+TEST(Compiler, SpecBuiltAutoPartitionRowsParsesAndMatches) {
+  CompiledHarness h(0.9);
+  const auto baseline = serve::CompiledNet::compile(h.model, &h.smodel);
+  serve::CompileOptions opts;
+  opts.sample_shape = tensor::Shape({12});
+  serve::Compiler compiler(opts);
+  compiler.pipeline_from_spec(
+      "elide-dropout,fold-bn,partition-rows:auto:2:0,free-after-last-use");
+  EXPECT_EQ(compiler.pipeline_spec(),
+            "elide_dropout,fold_batch_norm,partition_rows,"
+            "free_after_last_use");
+  const auto net = compiler.compile(h.model, &h.smodel);
+  EXPECT_GT(net.num_partitioned_ops(), 0u);
+  const auto x = random_tensor(tensor::Shape({5, 12}), 605);
+  EXPECT_TRUE(net.forward(x).equals(baseline.forward(x)));
+
+  serve::Compiler bad(opts);
+  EXPECT_THROW(bad.pipeline_from_spec("partition-rows:auto:2:0:9"),
+               util::CheckError);  // too many arguments
+}
+
+TEST(Plan, AnnotateOverridesSharesWithMeasuredProfile) {
+  CompiledHarness h(0.9);
+  serve::Plan plan = serve::Compiler().plan(h.model, &h.smodel);
+  const tensor::Shape sample({12});
+
+  // A size-mismatched profile is ignored: analytic shares stand.
+  obs::OpProfile wrong_size(plan.ops.size() + 1);
+  const auto analytic = plan.annotate(sample);
+  const auto ignored = plan.annotate(sample, &wrong_size);
+  ASSERT_EQ(ignored.size(), analytic.size());
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ignored[i].share, analytic[i].share);
+    EXPECT_DOUBLE_EQ(ignored[i].measured_ms, 0.0);
+  }
+  // So is an attached-but-empty profile (nothing measured yet).
+  obs::OpProfile empty(plan.ops.size());
+  const auto still_analytic = plan.annotate(sample, &empty);
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    EXPECT_DOUBLE_EQ(still_analytic[i].share, analytic[i].share);
+  }
+
+  // Measured time replaces the shares: 3ms on node 0, 1ms on node 1.
+  obs::OpProfile measured(plan.ops.size());
+  measured.add(0, 3'000'000);
+  measured.add(1, 1'000'000);
+  const auto costs = plan.annotate(sample, &measured);
+  EXPECT_DOUBLE_EQ(costs[0].share, 0.75);
+  EXPECT_DOUBLE_EQ(costs[0].measured_ms, 3.0);
+  EXPECT_DOUBLE_EQ(costs[1].share, 0.25);
+  EXPECT_DOUBLE_EQ(costs[1].measured_ms, 1.0);
+  for (std::size_t i = 2; i < costs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(costs[i].share, 0.0);
+    EXPECT_DOUBLE_EQ(costs[i].measured_ms, 0.0);
+  }
+  // The FLOPs column is analytic and unaffected by measurement.
+  EXPECT_DOUBLE_EQ(costs[0].flops, analytic[0].flops);
+}
+
+TEST(CompiledNet, ProfileOpsAccumulatesAndIsSharedAcrossClones) {
+  CompiledHarness h(0.9);
+  serve::CompileOptions opts;
+  opts.profile_ops = true;
+  const auto net =
+      serve::Compiler(opts).compile(h.model, &h.smodel);
+  const obs::OpProfile* profile = net.op_profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->size(), net.num_ops());
+  EXPECT_EQ(profile->total_ns(), 0);
+
+  net.forward(random_tensor(tensor::Shape({4, 12}), 606));
+  std::uint64_t calls = 0;
+  for (std::size_t i = 0; i < profile->size(); ++i) {
+    calls += profile->node_calls(i);
+  }
+  EXPECT_EQ(calls, net.num_ops());  // every node timed exactly once
+
+  // Replica clones aggregate into the SAME profile, so shard counts sum.
+  const auto replica = net.clone();
+  EXPECT_EQ(replica.op_profile(), profile);
+  replica.forward(random_tensor(tensor::Shape({4, 12}), 607));
+  calls = 0;
+  for (std::size_t i = 0; i < profile->size(); ++i) {
+    calls += profile->node_calls(i);
+  }
+  EXPECT_EQ(calls, 2 * net.num_ops());
+
+  // Off by default: no profile, no timing.
+  const auto plain = serve::CompiledNet::compile(h.model, &h.smodel);
+  EXPECT_EQ(plain.op_profile(), nullptr);
+}
+
+TEST(Server, TraceSpansTileRequestLatencyExactly) {
+  // queue = [enqueued, popped] and batch = [popped, done] derive from the
+  // same three integer stamps as request = [enqueued, done], so the two
+  // child spans tile the request span EXACTLY — no slack.
+  CompiledHarness h(0.8);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  obs::trace().enable(/*sample_every=*/1);
+  serve::ServerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 0.5;
+  serve::InferenceServer server(net, cfg);
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 620 + i)));
+  }
+  for (auto& f : futures) f.get();
+  server.shutdown();
+  obs::trace().disable();
+
+  struct Lane {
+    const obs::TraceEvent* request = nullptr;
+    const obs::TraceEvent* queue = nullptr;
+    const obs::TraceEvent* batch = nullptr;
+  };
+  std::map<std::uint64_t, Lane> lanes;
+  std::size_t op_spans = 0;
+  const std::vector<obs::TraceEvent> events = obs::trace().drain();
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.kind == obs::SpanKind::kOp) ++op_spans;
+    if (!obs::is_request_scoped(ev.kind)) continue;
+    Lane& lane = lanes[ev.trace_id];
+    if (ev.kind == obs::SpanKind::kRequest) lane.request = &ev;
+    if (ev.kind == obs::SpanKind::kQueue) lane.queue = &ev;
+    if (ev.kind == obs::SpanKind::kBatch) lane.batch = &ev;
+  }
+  // The global recorder is shared across tests; only require that OUR
+  // requests produced complete lanes (other tests may leave partial
+  // rings behind). At sample_every=1 all 8 lanes must be complete.
+  std::size_t complete = 0;
+  for (const auto& [trace_id, lane] : lanes) {
+    if (lane.request == nullptr || lane.queue == nullptr ||
+        lane.batch == nullptr) {
+      continue;
+    }
+    ++complete;
+    EXPECT_EQ(lane.queue->ts_ns, lane.request->ts_ns) << trace_id;
+    EXPECT_EQ(lane.batch->ts_ns, lane.queue->ts_ns + lane.queue->dur_ns)
+        << trace_id;
+    EXPECT_EQ(lane.queue->dur_ns + lane.batch->dur_ns,
+              lane.request->dur_ns)
+        << trace_id;
+  }
+  EXPECT_GE(complete, 8u);
+  EXPECT_GT(op_spans, 0u);  // executor recorded per-PlanOp spans
+}
+
+TEST(Server, MetricsRegistryRecordsRequestsAndLatency) {
+  CompiledHarness h(0.8);
+  const auto net = serve::CompiledNet::compile(h.model, &h.smodel);
+  obs::MetricsRegistry registry;
+  serve::ServerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 0.5;
+  cfg.metrics = &registry;
+  cfg.metrics_label = "m0";
+  serve::InferenceServer server(net, cfg);
+  std::vector<std::future<tensor::Tensor>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        server.submit(random_tensor(tensor::Shape({12}), 630 + i)));
+  }
+  for (auto& f : futures) f.get();
+  // Futures resolve before the worker bumps its counters; shutdown joins
+  // the workers, so the snapshot taken after it is complete.
+  server.shutdown();
+  const serve::StatsSnapshot snapshot = server.stats();
+
+  EXPECT_EQ(registry.counter("dstee_requests_total", "m0").value(), 6u);
+  obs::Histogram& lat = registry.histogram("dstee_request_latency_ms", "m0");
+  EXPECT_EQ(lat.count(), 6u);
+  EXPECT_GE(registry.counter("dstee_batches_total", "m0").value(), 1u);
+
+  // The StatsSnapshot bridge lands the same numbers as labeled gauges.
+  serve::export_stats_metrics(registry, "m0", snapshot);
+  EXPECT_EQ(registry.gauge("dstee_stats_requests", "m0").value(), 6.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("dstee_requests_total{model=\"m0\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dstee_request_latency_ms histogram"),
+            std::string::npos);
 }
 
 }  // namespace

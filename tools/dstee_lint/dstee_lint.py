@@ -45,6 +45,13 @@ that sit a level above the type system:
                    header — the concurrency surface must state its
                    dependencies, not inherit them — and duplicate
                    includes are flagged.
+  serve-timing     src/serve/ never touches std::chrono::steady_clock
+                   directly; the serve hot path takes timestamps through
+                   the obs clock surface (obs::Clock / obs::now /
+                   obs::now_ns in src/obs/clock.hpp), so trace spans,
+                   stats and metrics all share one time base and the
+                   tracing cost model stays auditable in one place.
+                   Zero-waiver by policy.
   unbuilt-source   (only with --compile-commands) every .cpp under src/
                    appears in compile_commands.json, catching sources
                    dropped from the build.
@@ -76,6 +83,7 @@ RULES = {
     "hot-swap-rcu": "shared_ptr<const CompiledNet> member outside util::RcuCell",
     "simd-confinement": "SIMD intrinsics outside src/kernels/simd/",
     "include-hygiene": "concurrency symbol without its direct #include",
+    "serve-timing": "serve code reads steady_clock instead of the obs clock",
     "unbuilt-source": "src/ .cpp missing from compile_commands.json",
 }
 
@@ -381,6 +389,26 @@ def scan_simd_confinement(fs: FileScan, findings: list[Finding]) -> None:
                 "kernels/simd/backend.hpp"))
 
 
+# The serve layer's one sanctioned timing surface is src/obs/clock.hpp
+# (obs::Clock aliases steady_clock there, once). Naming steady_clock in
+# src/serve/ bypasses it — spans, stats and metrics would stop sharing a
+# time base. Deliberately waiver-free: there is no valid exception.
+SERVE_TIMING_RE = re.compile(r"\bsteady_clock\b")
+
+
+def scan_serve_timing(fs: FileScan, findings: list[Finding]) -> None:
+    if not fs.rel.startswith("src/serve/"):
+        return
+    for ln, line in enumerate(fs.lines, start=1):
+        if SERVE_TIMING_RE.search(line) and not fs.is_waived(ln, "serve-timing"):
+            findings.append(Finding(
+                fs.path, ln, "serve-timing",
+                "serve code names std::chrono::steady_clock directly; take "
+                "timestamps through obs::Clock / obs::now / obs::now_ns "
+                "(src/obs/clock.hpp) so spans, stats and metrics share one "
+                "time base"))
+
+
 def scan_include_hygiene(fs: FileScan, findings: list[Finding]) -> None:
     includes = {}
     for ln, line in enumerate(fs.raw_lines, start=1):
@@ -476,6 +504,7 @@ def main(argv: list[str]) -> int:
         scan_serve_epilogue(fs, findings)
         scan_hot_swap_rcu(fs, findings)
         scan_simd_confinement(fs, findings)
+        scan_serve_timing(fs, findings)
         scan_include_hygiene(fs, findings)
     scan_evalop_clone(scans, findings)
     if args.compile_commands is not None:

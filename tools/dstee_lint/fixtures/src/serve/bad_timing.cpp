@@ -1,0 +1,21 @@
+// Known-bad fixture: serve-layer code reading steady_clock directly.
+// Serve timestamps go through the obs clock surface (obs::Clock /
+// obs::now / obs::now_ns in src/obs/clock.hpp) so trace spans, stats and
+// metrics all share one time base. No waiver exists for this rule.
+#include <chrono>
+
+#include "obs/clock.hpp"
+
+namespace dstee::serve {
+
+double bad_direct_clock() {
+  // FIRES serve-timing: steady_clock named in src/serve/
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+std::int64_t good_obs_clock() {
+  return obs::now_ns();  // blessed pattern: stays quiet
+}
+
+}  // namespace dstee::serve

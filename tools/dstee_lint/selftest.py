@@ -37,6 +37,7 @@ EXPECTED = sorted([
     ("src/serve/bad_simd.cpp", "simd-confinement"),       # <immintrin.h>
     ("src/serve/bad_simd.cpp", "simd-confinement"),       # __m256/_mm256 load
     ("src/serve/bad_simd.cpp", "simd-confinement"),       # _mm256 store
+    ("src/serve/bad_timing.cpp", "serve-timing"),         # raw steady_clock
 ])
 
 FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\]")

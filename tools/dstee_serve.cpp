@@ -39,6 +39,7 @@
 #include <chrono>
 #include <cmath>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -47,6 +48,9 @@
 #include <vector>
 
 #include "kernels/simd/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "models/mlp.hpp"
 #include "models/resnet.hpp"
 #include "models/vgg.hpp"
@@ -134,6 +138,59 @@ ServeModel build_model(const util::ArgParser& args, bool smoke,
 
 tensor::Tensor batched(const tensor::Shape& sample, std::size_t batch) {
   return tensor::Tensor{sample.prepended(batch)};
+}
+
+/// --trace FILE: arm the process-wide recorder before serving starts.
+void arm_trace_if_requested(const util::ArgParser& args) {
+  if (args.get_string("trace").empty()) return;
+  const long every = args.get_int("trace-sample");
+  util::check(every >= 1, "--trace-sample must be >= 1");
+  obs::trace().enable(static_cast<std::uint32_t>(every));
+}
+
+/// --trace FILE: drain every ring to Chrome trace-event JSON after the
+/// run. Load the file in Perfetto / chrome://tracing.
+void write_trace_if_requested(const util::ArgParser& args) {
+  const std::string path = args.get_string("trace");
+  if (path.empty()) return;
+  obs::trace().disable();
+  std::ofstream out(path);
+  util::check(out.good(), "cannot open --trace output file " + path);
+  obs::trace().write_chrome_trace(out);
+  util::check(out.good(), "failed writing trace JSON to " + path);
+  std::cout << "trace: " << obs::trace().drain().size()
+            << " spans -> " << path << " (Chrome trace JSON)\n";
+}
+
+/// --metrics-out FILE: Prometheus text exposition of everything in the
+/// process-wide registry (live serve metrics + bridged StatsSnapshots).
+void write_metrics_if_requested(const util::ArgParser& args) {
+  const std::string path = args.get_string("metrics-out");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  util::check(out.good(), "cannot open --metrics-out file " + path);
+  out << obs::metrics().prometheus_text();
+  util::check(out.good(), "failed writing metrics to " + path);
+  std::cout << "metrics: " << obs::metrics().num_metrics()
+            << " metrics -> " << path << " (Prometheus text)\n";
+}
+
+/// --profile-ops: the measured per-op breakdown after the run.
+void print_op_profile(const serve::CompiledNet& net) {
+  const obs::OpProfile* prof = net.op_profile();
+  if (prof == nullptr) return;
+  const double total = static_cast<double>(prof->total_ns());
+  std::cout << "\nper-op profile (wall time over all forwards, all shards):\n";
+  for (std::size_t i = 0; i < net.num_ops(); ++i) {
+    const std::int64_t ns = prof->node_ns(i);
+    const double share = total > 0.0
+                             ? 100.0 * static_cast<double>(ns) / total
+                             : 0.0;
+    std::cout << "  [" << i << "] " << net.executor().op_name(i) << ": "
+              << util::format_fixed(static_cast<double>(ns) / 1e6, 3)
+              << " ms / " << prof->node_calls(i) << " calls ("
+              << util::format_fixed(share, 1) << "%)\n";
+  }
 }
 
 /// One DST grow/prune step, faked: per layer, flip a couple of mask
@@ -232,6 +289,7 @@ int run_registry(const util::ArgParser& args) {
             << mopts.server.num_shards << " shards ("
             << mopts.server.num_threads << " threads each)"
             << (mopts.autoscaler.enabled ? ", autoscaler on" : "") << "\n";
+  arm_trace_if_requested(args);
 
   // Pre-build the hot-swap delta: reconstruct m0's exact state from its
   // seed, advance a copy one DST step, diff the two. The delta's base
@@ -365,6 +423,17 @@ int run_registry(const util::ArgParser& args) {
               << ", swap epoch " << swap_report->swap_epoch << "\n";
   }
 
+  write_trace_if_requested(args);
+  if (!args.get_string("metrics-out").empty()) {
+    // Per-model live metrics are already in the process registry (the
+    // ModelRegistry wires every server); bridge the final snapshots too.
+    for (const std::string& name : registry.model_names()) {
+      serve::export_stats_metrics(obs::metrics(), name,
+                                  registry.stats(name));
+    }
+    write_metrics_if_requested(args);
+  }
+
   util::check(failures.load() == 0,
               std::to_string(failures.load()) +
                   " requests failed or returned a wrong-sized row");
@@ -414,8 +483,10 @@ int run(int argc, const char* const* argv) {
                 "pool-wide)",
                 "1")
       .add_flag("partition-rows",
-                "split the heaviest CSR ops into this many cost-balanced "
-                "row-range slices run in parallel (0/1 = off)",
+                "split the heaviest CSR ops into cost-balanced row-range "
+                "slices run in parallel: K ways (0/1 = off), or "
+                "\"auto\"/\"auto:K\" to pick the ops to split from a "
+                "measured profiling probe instead of the static cost model",
                 "0")
       .add_flag("partition-threshold",
                 "FLOPs share above which a CSR op is partitioned",
@@ -463,6 +534,22 @@ int run(int argc, const char* const* argv) {
                 "registry mode: grow/shrink each model's active shards "
                 "from queue depth",
                 "false")
+      .add_flag("trace",
+                "record sampled request traces and write Chrome trace-event "
+                "JSON (Perfetto-loadable) to this file after the run",
+                "")
+      .add_flag("trace-sample",
+                "trace every Nth request (with --trace; 1 = every request)",
+                "1")
+      .add_flag("metrics-out",
+                "write Prometheus text exposition of the obs metrics "
+                "registry (latency histogram, request/batch counters, "
+                "bridged stats) to this file after the run",
+                "")
+      .add_flag("profile-ops",
+                "accumulate per-PlanOp wall time across all forwards and "
+                "print the measured breakdown after the run",
+                "false")
       .add_flag("seed", "random seed", "1")
       .add_flag("smoke",
                 "tiny self-checking run for CI (overrides load knobs)",
@@ -508,6 +595,7 @@ int run(int argc, const char* const* argv) {
   // Pin the backend into the bound ops too (not just the process-wide
   // active choice), so a later set_active_backend cannot move this net.
   copts.kernel_backend = backend_name;
+  copts.profile_ops = args.get_bool("profile-ops");
 
   std::optional<sparse::SparseModel> smodel;
   if (ckpt.empty()) {
@@ -526,14 +614,26 @@ int run(int argc, const char* const* argv) {
   serve::Compiler compiler(copts);
   const std::string pass_spec = args.get_string("passes");
   if (!pass_spec.empty()) compiler.pipeline_from_spec(pass_spec);
-  const std::size_t partition_ways =
-      static_cast<std::size_t>(args.get_int("partition-rows"));
-  if (partition_ways >= 2) {
+  const std::string pr_spec = args.get_string("partition-rows");
+  {
     serve::PartitionRowsOptions popts;
-    popts.ways = partition_ways;
-    popts.min_cost_share = args.get_double("partition-threshold");
-    popts.sample_shape = m.sample_shape;
-    compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+    bool add_partition = false;
+    if (pr_spec == "auto" || pr_spec.rfind("auto:", 0) == 0) {
+      // "auto" / "auto:K": pick the ops to split from a measured probe.
+      popts.auto_mode = true;
+      add_partition = true;
+      if (pr_spec.size() > 5) {
+        popts.ways = static_cast<std::size_t>(std::stoul(pr_spec.substr(5)));
+      }
+    } else {
+      popts.ways = static_cast<std::size_t>(std::stoul(pr_spec));
+      add_partition = popts.ways >= 2;
+    }
+    if (add_partition) {
+      popts.min_cost_share = args.get_double("partition-threshold");
+      popts.sample_shape = m.sample_shape;
+      compiler.add_pass(std::make_unique<serve::PartitionRows>(popts));
+    }
   }
 
   if (!ckpt.empty()) {
@@ -614,6 +714,12 @@ int run(int argc, const char* const* argv) {
   }
   util::check(clients >= 1, "need at least one client");
   util::check(arrival_rate >= 0.0, "arrival rate must be non-negative");
+
+  if (!args.get_string("metrics-out").empty()) {
+    scfg.metrics = &obs::metrics();
+    scfg.metrics_label = args.get_string("model");
+  }
+  arm_trace_if_requested(args);
 
   serve::InferenceServer server(net, scfg);
   std::atomic<std::size_t> failures{0};
@@ -751,6 +857,16 @@ int run(int argc, const char* const* argv) {
                 << " ms, queue peak " << ss.queue_peak << ", blocked "
                 << util::format_fixed(ss.blocked_ms, 3) << " ms\n";
     }
+  }
+
+  print_op_profile(net);
+  write_trace_if_requested(args);
+  if (!args.get_string("metrics-out").empty()) {
+    // Bridge the final snapshot alongside the live hot-path metrics, then
+    // write the whole registry as one Prometheus exposition.
+    serve::export_stats_metrics(obs::metrics(), args.get_string("model"),
+                                stats);
+    write_metrics_if_requested(args);
   }
 
   util::check(failures.load() == 0, std::to_string(failures.load()) +
